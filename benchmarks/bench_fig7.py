@@ -1,0 +1,116 @@
+"""Figure 7: maximum message-latency distributions per application.
+
+For every panel application (LAMMPS, Nekbone, MILC, AlexNet, Cosmoflow)
+this prints the boxplot five-number summary (+ mean, the paper's red
+square) of per-rank maximum message latency, for each
+placement-routing combination on both systems, for the baseline and
+every Table III workload containing the application.
+
+Shape checks (the paper's Section VI-A findings, at mini scale):
+
+* the largest latency inflations appear under random-node placement
+  (the paper: "maximum message latency delays are always observed with
+  the random node placement");
+* within the HPC applications, the small-message apps (LAMMPS, Nekbone;
+  paper: up to 63x) suffer larger relative latency slowdown than the
+  intensive MILC (paper: <= 11% except one case).  The ML apps are
+  excluded from this ordering: their tiny negotiation broadcasts also
+  inflate strongly (the paper itself reports 200% for AlexNet under
+  RN-ADP), so they do not separate cleanly at mini scale.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import banner, sweep_combos, report
+from benchmarks.sweep_cache import get_sweep
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.metrics import slowdown
+from repro.harness.report import format_seconds, render_table
+from repro.harness.sweeps import panel_stats, workloads_of
+from repro.workloads.catalog import PANEL_APPS
+
+
+def _box_cell(stats):
+    b = stats.max_latency_box
+    return (f"[{format_seconds(b.minimum)} {format_seconds(b.q1)} "
+            f"{format_seconds(b.median)} {format_seconds(b.q3)} "
+            f"{format_seconds(b.maximum)}] mean={format_seconds(b.mean)}")
+
+
+def test_benchmark_one_sweep_cell(benchmark):
+    """Time one representative cell of the Figure 7 sweep."""
+    from repro.harness.experiment import clear_cache
+
+    def cell():
+        clear_cache()
+        return run_experiment(ExperimentConfig(
+            network="1d", workload="workload3", placement="rg", routing="adp", seed=1,
+        ))
+
+    res = benchmark.pedantic(cell, rounds=1, iterations=1)
+    assert res.apps
+
+
+def test_benchmark_fig7(benchmark):
+    sweep = benchmark.pedantic(get_sweep, rounds=1, iterations=1)
+    combos = sweep_combos()
+
+    rn_is_worst_votes = 0
+    votes_total = 0
+    per_app_rel_slowdown = {}
+
+    for app in PANEL_APPS:
+        report(banner(f"Figure 7 ({app}): max message latency boxes"))
+        rows = []
+        mix_means = {}
+        base_means = {}
+        for network in ("1d", "2d"):
+            for combo in combos:
+                cell = panel_stats(sweep, app, network, combo)
+                row = [network, combo]
+                base = cell.get("baseline")
+                row.append(_box_cell(base) if base else "-")
+                worst_mix = 0.0
+                for w in workloads_of(app):
+                    s = cell.get(w)
+                    row.append(_box_cell(s) if s else "-")
+                    if s:
+                        worst_mix = max(worst_mix, s.max_latency_box.mean)
+                rows.append(row)
+                if base and worst_mix:
+                    mix_means[(network, combo)] = worst_mix
+                    base_means[(network, combo)] = base.max_latency_box.mean
+        report(render_table(["net", "combo", "baseline"] + workloads_of(app), rows))
+
+        # Shape: where is the worst inflation?  Count RN among the worst combos.
+        for network in ("1d", "2d"):
+            worst_combo = max(
+                (c for (n, c) in mix_means if n == network),
+                key=lambda c: mix_means[(network, c)] / max(base_means[(network, c)], 1e-12),
+                default=None,
+            )
+            if worst_combo:
+                votes_total += 1
+                rn_is_worst_votes += worst_combo.startswith("rn")
+        rel = [
+            slowdown(mix_means[k], base_means[k])
+            for k in mix_means
+            if base_means[k] > 0
+        ]
+        per_app_rel_slowdown[app] = float(np.mean(rel)) if rel else 0.0
+
+    report(banner("Figure 7 shape summary"))
+    report(render_table(
+        ["app", "mean relative slowdown of mean max-latency"],
+        [(a, f"{v:+.1%}") for a, v in per_app_rel_slowdown.items()],
+    ))
+    report(f"worst-inflation combo is RN in {rn_is_worst_votes}/{votes_total} panels")
+
+    # Paper shape (within HPC apps): small-message lammps/nekbone are hit
+    # harder than the communication-intensive milc.
+    sensitive = max(per_app_rel_slowdown["lammps"], per_app_rel_slowdown["nekbone"])
+    assert sensitive > per_app_rel_slowdown["milc"]
+    # Interference inflates latency for every app on average.
+    assert all(v > 0 for v in per_app_rel_slowdown.values())
+    # RN should be among the worst placements in a majority of panels.
+    assert rn_is_worst_votes * 2 >= votes_total

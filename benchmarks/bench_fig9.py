@@ -1,0 +1,63 @@
+"""Figure 9: maximum communication time per application.
+
+Prints, for every panel application, the maximum (over ranks)
+communication time under each placement-routing combination on both
+systems, for baseline and mixed workloads -- the application-level view
+that Section VI-B contrasts with the message-level view of Figure 7.
+
+Shape checks:
+
+* HPC applications' comm time degrades more (relatively) under
+  interference than the ML applications' (the "ML absorbs latency"
+  finding);
+* ML baseline comm time is placement/routing-insensitive compared with
+  the HPC apps.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import banner, sweep_combos, report
+from benchmarks.sweep_cache import get_sweep
+from repro.harness.metrics import slowdown
+from repro.harness.report import format_seconds, render_table
+from repro.harness.sweeps import panel_stats, workloads_of
+from repro.workloads.catalog import PANEL_APPS
+
+ML_APPS = ("alexnet", "cosmoflow")
+HPC_APPS = ("lammps", "nekbone", "milc")
+
+
+def test_benchmark_fig9(benchmark):
+    sweep = benchmark.pedantic(get_sweep, rounds=1, iterations=1)
+    combos = sweep_combos()
+
+    rel_slowdown: dict[str, list[float]] = {a: [] for a in PANEL_APPS}
+    for app in PANEL_APPS:
+        report(banner(f"Figure 9 ({app}): max communication time"))
+        rows = []
+        for network in ("1d", "2d"):
+            for combo in combos:
+                cell = panel_stats(sweep, app, network, combo)
+                base = cell.get("baseline")
+                row = [network, combo, format_seconds(base.max_comm_time) if base else "-"]
+                for w in workloads_of(app):
+                    s = cell.get(w)
+                    row.append(format_seconds(s.max_comm_time) if s else "-")
+                    if s and base and base.max_comm_time > 0:
+                        rel_slowdown[app].append(slowdown(s.max_comm_time, base.max_comm_time))
+                rows.append(row)
+        report(render_table(["net", "combo", "baseline"] + workloads_of(app), rows))
+
+    summary = {a: float(np.mean(v)) if v else 0.0 for a, v in rel_slowdown.items()}
+    report(banner("Figure 9 shape summary: mean relative comm-time slowdown"))
+    report(render_table(
+        ["app", "class", "mean comm-time slowdown"],
+        [(a, "ML" if a in ML_APPS else "HPC", f"{summary[a]:+.1%}") for a in PANEL_APPS],
+    ))
+
+    worst_ml = max(summary[a] for a in ML_APPS)
+    worst_hpc = max(summary[a] for a in HPC_APPS)
+    report(f"\nworst ML slowdown {worst_ml:+.1%} vs worst HPC slowdown {worst_hpc:+.1%}")
+    # Section VI-B: interference shows up in HPC comm time much more
+    # than in ML comm time.
+    assert worst_hpc > worst_ml

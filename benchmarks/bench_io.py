@@ -1,0 +1,109 @@
+"""Section VII extension bench: concurrent communication + I/O.
+
+Not a paper table (the paper defers storage to future work); this bench
+quantifies the extension the discussion section describes:
+
+* **I/O interference** -- a halo-exchange solver's message latency with
+  storage servers placed inside its groups vs in an idle group, with a
+  checkpointing job and an ML input pipeline running concurrently (the
+  storage analogue of the Figure 7/8 placement-isolation finding);
+* **device contention scaling** -- mean write latency as clients per
+  server grow (queueing at the storage device, not the network).
+"""
+
+from benchmarks.conftest import banner, report
+
+from repro.harness.report import format_bytes, format_seconds, render_table
+from repro.mpi.engine import JobSpec, SimMPI
+from repro.network.config import NetworkConfig
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.fabric import NetworkFabric
+from repro.storage import StorageConfig, StorageSystem
+from repro.workloads.io_patterns import checkpointer, ml_reader
+from repro.workloads.nekbone import nekbone
+
+
+def _run_mix(server_nodes):
+    topo = Dragonfly1D.mini()
+    fabric = NetworkFabric(topo, NetworkConfig(seed=7), routing="adp")
+    mpi = SimMPI(fabric)
+    storage = StorageSystem(mpi, server_nodes,
+                            StorageConfig(write_bw=1 << 30, read_bw=2 << 30))
+    mpi.add_job(JobSpec("nekbone", 27, nekbone, list(range(27)),
+                        {"dims": (3, 3, 3), "iters": 6}))
+    mpi.add_job(JobSpec("train", 8, ml_reader, list(topo.nodes_of_group(2))[:8],
+                        {"storage": storage, "steps": 4, "files_per_step": 16,
+                         "file_bytes": 128 << 10, "step_s": 2e-4,
+                         "gradient_bytes": 1 << 20}))
+    mpi.add_job(JobSpec("ckpt", 8, checkpointer, list(topo.nodes_of_group(3))[:8],
+                        {"storage": storage, "iters": 3,
+                         "stripe_bytes": 2 << 20, "interval_s": 2e-4}))
+    mpi.run(until=5.0)
+    solver = mpi.results()[0]
+    assert solver.finished
+    return topo, solver, storage
+
+
+def test_benchmark_io_interference(benchmark):
+    def run():
+        topo = Dragonfly1D.mini()
+        inside = [list(topo.nodes_of_group(0))[-1], list(topo.nodes_of_group(1))[-1]]
+        outside = list(topo.nodes_of_group(topo.n_groups - 1))[:2]
+        return _run_mix(inside), _run_mix(outside)
+
+    (t1, solver_in, st_in), (t2, solver_out, st_out) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    rows = []
+    for label, solver, st in (
+        ("inside solver groups", solver_in, st_in),
+        ("idle group", solver_out, st_out),
+    ):
+        lats = solver.max_latencies_per_rank()
+        rows.append((
+            label,
+            format_seconds(max(lats)),
+            format_seconds(solver.avg_latency()),
+            format_seconds(solver.max_comm_time()),
+            format_bytes(st.total_bytes()),
+        ))
+    report(banner("I/O interference: storage placement vs solver latency (extension)"))
+    report(render_table(
+        ["server placement", "solver max latency", "solver avg latency",
+         "solver max comm time", "storage bytes served"],
+        rows,
+    ))
+    # The isolation shape: servers in the solver's groups inflate its tail.
+    in_max = max(solver_in.max_latencies_per_rank())
+    out_max = max(solver_out.max_latencies_per_rank())
+    assert in_max > out_max
+
+
+def test_benchmark_device_contention(benchmark):
+    def latency_for(n_ranks):
+        topo = Dragonfly1D.mini()
+        fabric = NetworkFabric(topo, NetworkConfig(seed=3), routing="min")
+        mpi = SimMPI(fabric)
+        storage = StorageSystem(
+            mpi, [topo.n_nodes - 1], StorageConfig(write_bw=2e8, access_latency=0.0)
+        )
+        mpi.add_job(JobSpec(
+            "ckpt", n_ranks, checkpointer, list(range(n_ranks)),
+            {"storage": storage, "iters": 1, "stripe_bytes": 1 << 20, "interval_s": 0.0},
+        ))
+        mpi.run(until=30.0)
+        assert mpi.results()[0].finished
+        return storage.app_stats(0).mean_latency()
+
+    def run():
+        return {n: latency_for(n) for n in (1, 2, 4, 8, 16)}
+
+    curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(banner("Device contention: mean write latency vs clients per server (extension)"))
+    report(render_table(
+        ["clients", "mean write latency"],
+        [(n, format_seconds(v)) for n, v in curve.items()],
+    ))
+    # FIFO queueing: latency grows monotonically with client count.
+    vals = list(curve.values())
+    assert all(b >= a for a, b in zip(vals, vals[1:]))

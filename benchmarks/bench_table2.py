@@ -1,0 +1,57 @@
+"""Table II: configuration of the two HPC systems.
+
+Builds the exact paper-scale topologies (8,448 nodes each) and prints
+their Table II rows, plus the mini-scale counterparts the sweeps use.
+The benchmark times paper-scale topology construction (port tables,
+global wiring) -- the setup cost of every simulation.
+"""
+
+from benchmarks.conftest import banner, report
+from repro.harness.configs import make_topology
+from repro.harness.report import render_table
+from repro.network.config import LinkClass
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.dragonfly2d import Dragonfly2D
+
+
+def _rows(scale):
+    rows = []
+    for network in ("1d", "2d"):
+        t = make_topology(network, scale)
+        d = t.describe()
+        rows.append((
+            d["topology"], d["radix"], d["groups"], d["routers_per_group"],
+            d["nodes_per_router"], d["nodes_per_group"], d["global_per_router"],
+            d["system_size"],
+        ))
+    return rows
+
+
+def test_benchmark_paper_1d_construction(benchmark):
+    topo = benchmark.pedantic(Dragonfly1D.paper, rounds=3, iterations=1)
+    assert topo.n_nodes == 8448
+
+
+def test_benchmark_paper_2d_construction(benchmark):
+    topo = benchmark.pedantic(Dragonfly2D.paper, rounds=3, iterations=1)
+    assert topo.n_nodes == 8448
+
+
+def test_benchmark_table2_rows(benchmark):
+    rows = benchmark.pedantic(_rows, args=("paper",), rounds=1, iterations=1)
+    headers = ["Topology", "Radix", "#Groups", "#Routers/Group", "#Nodes/Router",
+               "#Nodes/Group", "#Global/Router", "System Size"]
+    report(banner("Table II: configuration of two HPC systems (paper scale)"))
+    report(render_table(headers, rows))
+    report(banner("Mini-scale counterparts used by the simulation sweeps"))
+    report(render_table(headers, _rows("mini")))
+    # Paper facts (Table II): both systems 8,448 nodes.
+    assert rows[0][-1] == rows[1][-1] == 8448
+    assert rows[0][2] == 33 and rows[1][2] == 22
+    # Section VI-C preconditions: 2D has more local and global links.
+    c1 = Dragonfly1D.paper().link_census()
+    c2 = Dragonfly2D.paper().link_census()
+    report(f"\nLink census (directed): 1D local={c1[LinkClass.LOCAL]} global={c1[LinkClass.GLOBAL]}; "
+          f"2D local={c2[LinkClass.LOCAL]} global={c2[LinkClass.GLOBAL]}")
+    assert c2[LinkClass.LOCAL] > c1[LinkClass.LOCAL]
+    assert c2[LinkClass.GLOBAL] > c1[LinkClass.GLOBAL]

@@ -1,0 +1,57 @@
+"""Table V: AlexNet bytes transmitted by each rank, app vs skeleton.
+
+Checks the two claims the paper's Table V makes: (1) every rank's
+transmitted-byte count is identical between application and skeleton,
+and (2) the byte counts split into exactly two classes -- rank 0 (the
+Horovod coordinator, which transmits the negotiation broadcasts) and
+ranks 1..n-1 (which transmit only the gradient allreduce volume).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import banner, report
+from repro.harness.report import format_bytes, render_table
+from repro.union.validation import validate_skeleton
+from repro.workloads.alexnet import alexnet_skeleton
+
+N_TASKS = 64
+PARAMS = {"warmups": 1092, "updates": 856, "tail": 5, "gbytes": 246415360}
+
+
+def test_benchmark_table5(benchmark):
+    rep = benchmark.pedantic(
+        lambda: validate_skeleton(alexnet_skeleton(), N_TASKS, PARAMS, record_trace=False),
+        rounds=1,
+        iterations=1,
+    )
+    report(banner(f"Table V: AlexNet bytes transmitted by each rank ({N_TASKS} ranks)"))
+    report(render_table(["Rank", "Application", "Union Skeleton"], rep.table5_rows()))
+    report("\nPaper (512 ranks, traced): rank 0: 6.33e11; ranks 1-511: 2.47e8 + 6.33e11")
+    app_bytes = rep.app.bytes_by_rank()
+    report(f"Ours: rank 0: {format_bytes(app_bytes[0])}; "
+          f"ranks 1-{N_TASKS - 1}: {format_bytes(app_bytes[1])}")
+
+    assert rep.bytes_match
+    # Exactly two classes of ranks, all workers identical.
+    assert len(set(app_bytes[1:])) == 1
+    assert app_bytes[0] != app_bytes[1]
+    # Shared allreduce volume dominates; it equals updates*gbytes + tail*4.
+    allreduce_volume = 856 * 246415360 + 5 * 4
+    assert int(app_bytes[1]) == allreduce_volume
+    # Rank 0 additionally transmits the broadcast payloads.
+    bcast_volume = 1092 * 4 + 856 * 25 + 5 * 4
+    assert int(app_bytes[0]) == allreduce_volume + bcast_volume
+
+
+def test_benchmark_bytes_scale_with_ranks(benchmark):
+    """Per-rank byte counts are rank-count invariant (the scaling claim
+    behind 'scaling application size: Yes' in Table I)."""
+
+    def both():
+        a = validate_skeleton(alexnet_skeleton(), 16, PARAMS, record_trace=False)
+        b = validate_skeleton(alexnet_skeleton(), 32, PARAMS, record_trace=False)
+        return a, b
+
+    a, b = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert int(a.app.bytes_by_rank()[1]) == int(b.app.bytes_by_rank()[1])
+    assert int(a.app.bytes_by_rank()[0]) == int(b.app.bytes_by_rank()[0])

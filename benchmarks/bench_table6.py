@@ -1,0 +1,44 @@
+"""Table VI: global and local link loads, 1D vs 2D dragonfly.
+
+End-of-simulation per-link byte totals from Workload3 under RG-ADP
+(the paper's configuration), per link class.
+
+Shape checks (Section VI-C):
+
+* the 1D system routes a larger *fraction* of its traffic over global
+  links (paper: 19% vs 8%) because its groups are smaller;
+* per-link load (both classes) is higher on 1D than on 2D -- the
+  mechanism behind 2D's better latency/comm-time results.
+"""
+
+from benchmarks.conftest import banner, report
+from repro.harness.report import format_bytes, render_table
+from repro.harness.sweeps import table6_loads
+
+
+def test_benchmark_table6(benchmark):
+    loads = benchmark.pedantic(table6_loads, kwargs=dict(scale="mini", seed=1), rounds=1, iterations=1)
+    rows = []
+    for network in ("1d", "2d"):
+        s = loads[network]
+        rows.append((
+            f"{network.upper()} dragonfly",
+            format_bytes(s["global_total_bytes"]),
+            format_bytes(s["local_total_bytes"]),
+            format_bytes(s["global_per_link_bytes"]),
+            format_bytes(s["local_per_link_bytes"]),
+            f"{s['global_fraction']:.1%}",
+        ))
+    report(banner("Table VI: global and local link load (Workload3, RG-ADP)"))
+    report(render_table(
+        ["Dragonfly", "Glink Load", "Llink Load",
+         "Glink Load/link", "Llink Load/link", "global fraction"],
+        rows,
+    ))
+    report("\nPaper: 1D 1.26 TB global / 5.33 TB local (19% global), "
+          "2D 0.92 TB / 10.01 TB (8% global); per-link 313/5639 MB vs 65/3215 MB")
+
+    s1, s2 = loads["1d"], loads["2d"]
+    assert s1["global_fraction"] > s2["global_fraction"]
+    assert s1["global_per_link_bytes"] > s2["global_per_link_bytes"]
+    assert s1["local_per_link_bytes"] > s2["local_per_link_bytes"]

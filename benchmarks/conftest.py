@@ -1,0 +1,59 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation.  Benchmark timings wrap a representative simulation cell;
+the printed tables/series come from the shared in-process experiment
+cache (`repro.harness.experiment`), so figures that consume the same
+sweep (Fig 7, Fig 9, Table VI) do not re-simulate.
+
+Heavy sweeps run at mini scale by default.  Set ``REPRO_FULL_SWEEP=1``
+to run every placement/routing combination instead of the fast subset.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.configs import COMBOS
+
+#: The regenerated tables/series are printed (visible with ``pytest -s``)
+#: and appended to this file, so a plain ``pytest benchmarks/`` run still
+#: leaves the full evaluation record on disk.
+REPORT_PATH = os.path.join(os.path.dirname(__file__), "reports.txt")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_report_file():
+    if os.path.exists(REPORT_PATH):
+        os.unlink(REPORT_PATH)
+    yield
+
+
+def report(text: str) -> None:
+    """Print a report block and persist it to benchmarks/reports.txt."""
+    print(text)
+    with open(REPORT_PATH, "a", encoding="utf-8") as f:
+        f.write(text + "\n")
+
+
+def full_sweep_enabled() -> bool:
+    return os.environ.get("REPRO_FULL_SWEEP", "0") == "1"
+
+
+def sweep_combos() -> tuple[str, ...]:
+    """All six combos in full mode; the four most informative otherwise."""
+    if full_sweep_enabled():
+        return COMBOS
+    return ("rg-min", "rn-min", "rg-adp", "rn-adp")
+
+
+@pytest.fixture(scope="session")
+def combos() -> tuple[str, ...]:
+    return sweep_combos()
+
+
+def banner(title: str) -> str:
+    bar = "=" * len(title)
+    return f"\n{bar}\n{title}\n{bar}"

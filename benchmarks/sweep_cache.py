@@ -1,0 +1,20 @@
+"""Session-shared sweep for Figures 7 and 9 and Table VI.
+
+The sweep (2 networks x combos x {5 baselines + 3 workloads}) is the
+expensive part of the reproduction; it is computed once on first use and
+shared across bench modules through the harness experiment cache.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import sweep_combos
+from repro.harness.sweeps import latency_sweep
+
+_SWEEP = None
+
+
+def get_sweep():
+    global _SWEEP
+    if _SWEEP is None:
+        _SWEEP = latency_sweep(combos=sweep_combos(), scale="mini", seed=1)
+    return _SWEEP

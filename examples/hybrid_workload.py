@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Hybrid HPC + ML workload on both dragonfly systems (Section VI).
+
+Co-runs Workload3 (Cosmoflow + AlexNet + Nekbone + MILC + NN, Table III)
+on the mini 1D and 2D dragonfly systems with random-group placement and
+adaptive routing, then prints per-application latency/communication-time
+metrics and the Figure 8-style router traffic series.
+
+Run:  python examples/hybrid_workload.py
+"""
+
+from repro.harness.configs import default_horizon
+from repro.harness.report import format_bytes, format_seconds, render_series, render_table
+from repro.harness.configs import make_topology
+from repro.union.manager import WorkloadManager
+from repro.workloads.catalog import build_jobs
+
+
+def run_network(network: str) -> None:
+    topo = make_topology(network, "mini")
+    mgr = WorkloadManager(topo, routing="adp", placement="rg", seed=1)
+    for job in build_jobs("workload3", "mini"):
+        mgr.add_job(job)
+    outcome = mgr.run(until=default_horizon("mini"))
+
+    rows = []
+    for a in outcome.apps:
+        r = a.result
+        lat = r.max_latencies_per_rank()
+        rows.append((
+            a.name,
+            r.nranks,
+            format_seconds(max(lat) if lat else 0.0),
+            format_seconds(r.avg_latency()),
+            format_seconds(r.max_comm_time()),
+            len(a.groups),
+        ))
+    print(render_table(
+        ["app", "ranks", "max msg latency", "avg msg latency", "max comm time", "#groups"],
+        rows,
+        title=f"Workload3 on mini {network.upper()} dragonfly (RG-ADP)",
+    ))
+    ls = outcome.link_load_summary()
+    print(f"link loads: global={format_bytes(ls['global_total_bytes'])} "
+          f"({ls['global_fraction']:.1%} of router traffic), "
+          f"local={format_bytes(ls['local_total_bytes'])}\n")
+
+    if network == "1d":
+        print("Traffic received by AlexNet's routers (Figure 8 style):")
+        for src in ("alexnet", "milc", "nekbone", "cosmoflow", "nn"):
+            series = outcome.router_traffic_series("alexnet", src)
+            print(render_series(series, label=f"  {src:10s}"))
+        print()
+
+
+def main() -> None:
+    for network in ("1d", "2d"):
+        run_network(network)
+
+
+if __name__ == "__main__":
+    main()

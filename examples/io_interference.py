@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Concurrent communication + I/O simulation (the Section VII extension).
+
+A Nekbone-style CG solver shares a mini 1D dragonfly with an ML training
+job whose input pipeline reads many small files from storage servers
+(the read-intensive pattern the paper's discussion section describes),
+plus a periodic checkpointing job.  We run the mix twice:
+
+* storage servers placed *inside* the groups the solver occupies, and
+* storage servers placed in an otherwise idle group,
+
+and compare the solver's message latency plus every job's I/O metrics —
+the storage-placement analogue of the paper's random-group isolation
+finding.
+
+Run:  python examples/io_interference.py
+"""
+
+from repro.harness.report import format_bytes, format_seconds, render_table
+from repro.mpi.engine import JobSpec, SimMPI
+from repro.network.config import NetworkConfig
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.fabric import NetworkFabric
+from repro.storage import StorageConfig, StorageSystem
+from repro.workloads.io_patterns import checkpointer, ml_reader
+from repro.workloads.nekbone import nekbone
+
+
+def run(server_nodes: list[int], label: str) -> None:
+    topo = Dragonfly1D.mini()
+    fabric = NetworkFabric(topo, NetworkConfig(seed=7), routing="adp")
+    mpi = SimMPI(fabric)
+    storage = StorageSystem(
+        mpi, server_nodes, StorageConfig(write_bw=1 << 30, read_bw=2 << 30)
+    )
+
+    # Solver in groups 0-1 (nodes 0..31), trainer in group 2, ckpt in group 3.
+    solver_nodes = list(range(27))
+    trainer_nodes = list(topo.nodes_of_group(2))[:8]
+    ckpt_nodes = list(topo.nodes_of_group(3))[:8]
+
+    mpi.add_job(JobSpec("nekbone", 27, nekbone, solver_nodes,
+                        {"dims": (3, 3, 3), "iters": 6}))
+    mpi.add_job(JobSpec("train", 8, ml_reader, trainer_nodes,
+                        {"storage": storage, "steps": 4, "files_per_step": 16,
+                         "file_bytes": 128 << 10, "step_s": 2e-4,
+                         "gradient_bytes": 1 << 20}))
+    mpi.add_job(JobSpec("ckpt", 8, checkpointer, ckpt_nodes,
+                        {"storage": storage, "iters": 3,
+                         "stripe_bytes": 2 << 20, "interval_s": 2e-4}))
+    mpi.run(until=5.0)
+
+    rows = []
+    for res in mpi.results():
+        io = storage.app_stats(res.app_id)
+        lat = res.max_latencies_per_rank()
+        rows.append((
+            res.name,
+            format_seconds(max(lat) if lat else 0.0),
+            format_seconds(res.max_comm_time()),
+            io.ops,
+            format_bytes(io.bytes_read + io.bytes_written),
+            format_seconds(io.mean_latency()),
+        ))
+    print(render_table(
+        ["job", "max msg latency", "max comm time", "io ops", "io bytes", "mean io latency"],
+        rows,
+        title=f"Storage servers {label}",
+    ))
+    srv_rows = [
+        (f"server {s.server_id} @ node {s.node}", s.ops_served,
+         format_bytes(s.bytes_written), format_bytes(s.bytes_read),
+         f"{s.utilization(mpi.engine.now):.1%}", format_seconds(s.queue_time))
+        for s in storage.servers
+    ]
+    print(render_table(
+        ["device", "ops", "written", "read", "utilization", "total queue time"],
+        srv_rows,
+    ))
+    print()
+
+
+def main() -> None:
+    topo = Dragonfly1D.mini()
+    # Inside the solver's groups: first node of each of groups 0 and 1.
+    inside = [list(topo.nodes_of_group(0))[-1], list(topo.nodes_of_group(1))[-1]]
+    # Isolated: an idle group at the far end of the machine.
+    outside = list(topo.nodes_of_group(topo.n_groups - 1))[:2]
+    run(inside, "inside the solver's groups")
+    run(outside, "in an idle group")
+    print("Shape to observe: with servers inside the solver's groups, the\n"
+          "solver's tail message latency rises (I/O bursts share its local\n"
+          "and global links); moving servers to an idle group restores it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Placement x routing interference study (the Figure 7/9 question).
+
+For each placement (RG/RR/RN) and routing (MIN/ADP) on the mini 1D
+dragonfly, co-run Workload2 and compare each application's mean max
+message latency and max communication time against its baseline
+(running alone under the same configuration) -- the paper's measure of
+network interference.
+
+Run:  python examples/placement_study.py
+"""
+
+from repro.harness.configs import COMBOS
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.metrics import slowdown
+from repro.harness.report import format_seconds, render_table
+
+APPS = ("lammps", "milc", "alexnet", "cosmoflow")
+
+
+def main() -> None:
+    for app in APPS:
+        rows = []
+        for combo in COMBOS:
+            placement, routing = combo.split("-")
+            base = run_experiment(ExperimentConfig(
+                network="1d", workload=f"baseline:{app}",
+                placement=placement, routing=routing,
+            ))
+            mixed = run_experiment(ExperimentConfig(
+                network="1d", workload="workload2",
+                placement=placement, routing=routing,
+            ))
+            b, m = base.app(app), mixed.app(app)
+            rows.append((
+                combo,
+                format_seconds(b.max_latency_box.mean),
+                format_seconds(m.max_latency_box.mean),
+                f"{slowdown(m.max_latency_box.mean, b.max_latency_box.mean):+.1%}",
+                format_seconds(b.max_comm_time),
+                format_seconds(m.max_comm_time),
+                f"{slowdown(m.max_comm_time, b.max_comm_time):+.1%}",
+            ))
+        print(render_table(
+            ["combo", "lat base", "lat mixed", "lat slowdown",
+             "comm base", "comm mixed", "comm slowdown"],
+            rows,
+            title=f"{app}: baseline vs Workload2 (mini 1D dragonfly)",
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

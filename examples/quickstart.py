@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Figure 1 ping-pong, end to end.
+
+1. Write (here: reuse) a coNCePTuaL program.
+2. Union translates it into a skeleton automatically.
+3. Validate skeleton vs application (Section V methodology).
+4. Run it in situ on a simulated 1D dragonfly and read the latency.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.harness.report import format_bytes, format_seconds, render_table
+from repro.network.dragonfly import Dragonfly1D
+from repro.union.manager import Job, WorkloadManager
+from repro.union.translator import translate
+from repro.union.validation import validate_skeleton
+from repro.workloads.sources import PINGPONG_SOURCE
+
+
+def main() -> None:
+    # -- step 1+2: translate ------------------------------------------------
+    skeleton = translate(PINGPONG_SOURCE, "pingpong")
+    print("=== Generated Union skeleton (Figure 5 analogue) ===")
+    print(skeleton.python_source)
+
+    # -- step 3: validate ----------------------------------------------------
+    report = validate_skeleton(skeleton, n_tasks=4, params={"reps": 50})
+    print(render_table(
+        ["MPI function", "Application", "Union skeleton"],
+        report.table4_rows(),
+        title="Validation: event counts",
+    ))
+    app_mem, skel_mem = report.memory_comparison()
+    print(f"comm buffers: application={format_bytes(app_mem)}, skeleton={format_bytes(skel_mem)}")
+    assert report.ok, report.mismatches
+
+    # -- step 4: simulate in situ ----------------------------------------------
+    mgr = WorkloadManager(Dragonfly1D.mini(), routing="min", placement="rn", seed=7)
+    mgr.add_job(Job("pingpong", 2, skeleton=skeleton, params={"reps": 200, "msgsize": 4096}))
+    outcome = mgr.run(until=1.0)
+    app = outcome.app("pingpong")
+    lat_min, lat_avg, lat_max = app.result.rank_stats[0].latency_summary()
+    print("\n=== Simulated ping-pong on mini 1D dragonfly ===")
+    print(f"message latency (rank 0): min={format_seconds(lat_min)} "
+          f"avg={format_seconds(lat_avg)} max={format_seconds(lat_max)}")
+    print(f"communication time (rank 0): {format_seconds(app.result.rank_stats[0].comm_time)}")
+    logged = app.result.rank_stats[0].log_rows
+    print(f"logged half-RTT samples: {len(logged)} "
+          f"(first: {logged[0][1]:.2f} us)" if logged else "no log rows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Explore the two dragonfly systems of Table II.
+
+Builds the exact paper-scale 1D and 2D dragonfly networks (8,448 nodes
+each), prints their configurations, link censuses and minimal-path hop
+histograms -- the structural facts behind the Section VI-C analysis
+(2D has more local and global links; 1D has shorter paths but fewer of
+them).
+
+Run:  python examples/topology_explorer.py
+"""
+
+from collections import Counter
+
+from repro.harness.report import render_table
+from repro.network.config import LinkClass, NetworkConfig
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.dragonfly2d import Dragonfly2D
+from repro.network.routing import MinimalRouting
+
+
+def hop_histogram(topo, samples: int = 2000) -> Counter:
+    """Histogram of minimal-path hop counts over sampled router pairs."""
+    cfg = NetworkConfig(seed=3)
+    routing = MinimalRouting(topo, cfg, probe=lambda r, p: 0)
+    hist: Counter = Counter()
+    step = max(1, (topo.n_routers * topo.n_routers) // samples)
+    k = 0
+    for i in range(0, topo.n_routers * topo.n_routers, step):
+        src, dst = divmod(i, topo.n_routers)
+        if src >= topo.n_routers:
+            break
+        path, _ = routing.select_path(src % topo.n_routers, dst)
+        hist[len(path) - 1] += 1
+        k += 1
+    return hist
+
+
+def main() -> None:
+    rows = []
+    censuses = []
+    for topo in (Dragonfly1D.paper(), Dragonfly2D.paper()):
+        d = topo.describe()
+        rows.append((d["topology"], d["radix"], d["groups"], d["routers_per_group"],
+                     d["nodes_per_router"], d["nodes_per_group"], d["global_per_router"],
+                     d["system_size"]))
+        census = topo.link_census()
+        censuses.append((d["topology"],
+                         census[LinkClass.TERMINAL], census[LinkClass.LOCAL],
+                         census[LinkClass.GLOBAL], topo.diameter()))
+    print(render_table(
+        ["Topology", "Radix", "#Groups", "#Routers/Group", "#Nodes/Router",
+         "#Nodes/Group", "#Global/Router", "System Size"],
+        rows, title="Table II: system configurations",
+    ))
+    print()
+    print(render_table(
+        ["Topology", "terminal links", "local links", "global links", "diameter (router hops)"],
+        censuses, title="Link census (directed)",
+    ))
+    print()
+    for topo in (Dragonfly1D.paper(), Dragonfly2D.paper()):
+        hist = hop_histogram(topo)
+        total = sum(hist.values())
+        dist = ", ".join(f"{h} hops: {c / total:.0%}" for h, c in sorted(hist.items()))
+        print(f"{topo.name} minimal-path hops (sampled): {dist}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Trace replay vs Union skeleton: Table I, measured.
+
+Simulates the same nearest-neighbour workload three ways --
+
+1. directly (the "real application" reference),
+2. from a DUMPI-style trace collected in a prior instrumented run,
+3. as a Union skeleton written in coNCePTuaL --
+
+and contrasts the Table I columns: the trace artifact's size (and how it
+grows with execution length), the re-tracing requirement when the rank
+count changes, and the skeleton's fixed-size, scale-free description.
+
+Run:  python examples/trace_vs_union.py
+"""
+
+from repro.harness.report import format_bytes, format_seconds, render_table
+from repro.mpi.engine import JobSpec, SimMPI
+from repro.network import Dragonfly1D, NetworkConfig, NetworkFabric
+from repro.trace import TraceScalingError, record_job, replay_program
+from repro.union.manager import Job, WorkloadManager
+from repro.union.translator import translate
+from repro.workloads.nearest_neighbor import nearest_neighbor
+
+NN_DSL = """\
+side is "grid side" and comes from "--side" with default 2.
+iters is "iterations" and comes from "--iters" with default 6.
+Assert that "cubic grid" with side*side*side = num_tasks.
+For iters repetitions {
+  all tasks compute for 300 microseconds then
+  all tasks t sends a 32 kilobyte nonblocking message to task torus_neighbor(side, side, side, t, 1, 0, 0) then
+  all tasks t sends a 32 kilobyte nonblocking message to task torus_neighbor(side, side, side, t, 0, 1, 0) then
+  all tasks t sends a 32 kilobyte nonblocking message to task torus_neighbor(side, side, side, t, 0, 0, 1) then
+  all tasks await completion
+}
+"""
+
+PARAMS = {"dims": (2, 2, 2), "iters": 6, "msg_bytes": 32768, "compute_s": 0.3e-3}
+
+
+def simulate_program(program, nranks, params=None):
+    fabric = NetworkFabric(Dragonfly1D.mini(), NetworkConfig(seed=1), routing="min")
+    mpi = SimMPI(fabric)
+    mpi.add_job(JobSpec("job", nranks, program, list(range(nranks)), params or {}))
+    mpi.run(until=1.0)
+    res = mpi.results()[0]
+    return max(s.finished_at for s in res.rank_stats)
+
+
+def main() -> None:
+    # 1. Direct (reference).
+    t_direct = simulate_program(nearest_neighbor, 8, PARAMS)
+
+    # 2. Trace: instrumented run, then replay.
+    traces = record_job(nearest_neighbor, 8, PARAMS)
+    t_replay = simulate_program(replay_program(traces), 8)
+    traces_long = record_job(nearest_neighbor, 8, {**PARAMS, "iters": 48})
+
+    # 3. Union: translate the DSL description, run the skeleton in situ.
+    skeleton = translate(NN_DSL, "nn-dsl")
+    mgr = WorkloadManager(Dragonfly1D.mini(), routing="min", placement="rn", seed=1)
+    mgr.add_job(Job("nn-dsl", 8, skeleton=skeleton, params={"side": 2, "iters": 6}))
+    outcome = mgr.run(until=1.0)
+    t_union = max(
+        s.finished_at for s in outcome.app("nn-dsl").result.rank_stats
+    )
+
+    print(render_table(
+        ["path", "simulated completion", "artifact size", "scales to new rank count?"],
+        [
+            ("direct application", format_seconds(t_direct), "-", "re-run"),
+            ("trace replay (6 iters)", format_seconds(t_replay),
+             format_bytes(traces.byte_size()), "NO - re-trace"),
+            ("trace replay (48 iters)", "-",
+             format_bytes(traces_long.byte_size()), "NO - re-trace"),
+            ("Union skeleton", format_seconds(t_union),
+             format_bytes(len(skeleton.python_source)), "yes (same source)"),
+        ],
+        title="Table I, measured: three ways to drive the same workload",
+    ))
+
+    print("\nAttempting to replay the 8-rank trace on 27 ranks:")
+    try:
+        simulate_program(replay_program(traces), 27)
+    except TraceScalingError as e:
+        print(f"  TraceScalingError: {e}")
+    print("\nRunning the Union skeleton at 27 ranks (same source, new scale):")
+    mgr = WorkloadManager(Dragonfly1D.mini(), routing="min", placement="rn", seed=2)
+    mgr.add_job(Job("nn-dsl", 27, skeleton=skeleton, params={"side": 3, "iters": 6}))
+    outcome = mgr.run(until=1.0)
+    print(f"  finished: {outcome.app('nn-dsl').result.finished}")
+
+
+if __name__ == "__main__":
+    main()

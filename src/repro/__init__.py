@@ -1,0 +1,23 @@
+"""repro: reproduction of "Union: An Automatic Workload Manager for
+Accelerating Network Simulation" (Wang et al., IPDPS 2020).
+
+Layer map (bottom up):
+
+* :mod:`repro.pdes` -- discrete-event engines (ROSS substitute);
+* :mod:`repro.network` -- packet-level dragonfly models (CODES substitute);
+* :mod:`repro.mpi` -- simulated MPI runtime over the fabric (SWM substitute);
+* :mod:`repro.conceptual` -- the coNCePTuaL DSL front end + application backend;
+* :mod:`repro.union` -- the paper's contribution: translator, event
+  generator, registry, workload manager, validation;
+* :mod:`repro.workloads` -- the Section IV-B applications + I/O patterns;
+* :mod:`repro.storage` -- storage servers and I/O ops over the fabric
+  (the Section VII extension);
+* :mod:`repro.trace` -- DUMPI-style trace record/replay (Table I substrate);
+* :mod:`repro.placement` -- RN/RR/RG job placement;
+* :mod:`repro.harness` -- experiment configs, sweeps, metrics, reports.
+
+Besides the two dragonflies, :mod:`repro.network` ships torus, fat-tree
+and slim fly models that run on the same fabric.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,273 @@
+"""Command-line interface: ``union-sim``.
+
+Subcommands
+-----------
+``translate``  -- compile a coNCePTuaL file and print the Union skeleton
+``validate``   -- run the Section V application-vs-skeleton validation
+``run``        -- simulate one workload/placement/routing configuration
+``simulate``   -- translate a coNCePTuaL file and simulate it in situ
+``sweep``      -- run the full Figure 7/9 sweep and print summaries
+``systems``    -- print the Table II system configurations
+``topologies`` -- print the full fabric-model roster
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.configs import COMBOS, make_topology
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.report import format_bytes, format_seconds, render_table
+from repro.harness.sweeps import latency_sweep, panel_stats
+from repro.union.translator import translate
+from repro.union.validation import validate_skeleton
+from repro.workloads.catalog import PANEL_APPS, WORKLOADS
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    source = open(args.file).read() if args.file != "-" else sys.stdin.read()
+    skel = translate(source, args.name)
+    print(skel.python_source)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    source = open(args.file).read() if args.file != "-" else sys.stdin.read()
+    report = validate_skeleton(source, args.ntasks, name=args.name)
+    print(render_table(
+        ["MPI function", "Application", "Union skeleton"],
+        report.table4_rows(),
+        title=f"Event counts ({args.name}, {args.ntasks} ranks)",
+    ))
+    print()
+    print(render_table(
+        ["Rank", "Application bytes", "Skeleton bytes"],
+        report.table5_rows(),
+        title="Bytes transmitted per rank",
+    ))
+    app_mem, skel_mem = report.memory_comparison()
+    print(f"\nPeak comm buffer: application={format_bytes(app_mem)}, skeleton={format_bytes(skel_mem)}")
+    print(f"Validation {'PASSED' if report.ok else 'FAILED'}")
+    for m in report.mismatches:
+        print(f"  mismatch: {m}")
+    return 0 if report.ok else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = ExperimentConfig(
+        network=args.network,
+        workload=args.workload,
+        placement=args.placement,
+        routing=args.routing,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    res = run_experiment(cfg)
+    rows = []
+    for name, a in res.apps.items():
+        rows.append(
+            (
+                name,
+                a.nranks,
+                "yes" if a.finished else "no",
+                format_seconds(a.max_latency_box.mean),
+                format_seconds(a.max_latency_box.maximum),
+                format_seconds(a.max_comm_time),
+                a.messages,
+            )
+        )
+    print(render_table(
+        ["app", "ranks", "done", "mean max-lat", "max max-lat", "max comm time", "msgs"],
+        rows,
+        title=f"{cfg.workload} on {cfg.network} ({cfg.combo}, scale={cfg.scale})",
+    ))
+    ls = res.link_summary
+    print(
+        f"\nlink loads: global={format_bytes(ls['global_total_bytes'])} "
+        f"local={format_bytes(ls['local_total_bytes'])} "
+        f"global fraction={ls['global_fraction']:.1%}; "
+        f"events={res.events}"
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sweep = latency_sweep(scale=args.scale, seed=args.seed)
+    for app in PANEL_APPS:
+        rows = []
+        for network in ("1d", "2d"):
+            for combo in COMBOS:
+                cell = panel_stats(sweep, app, network, combo)
+                base = cell.get("baseline")
+                row = [network, combo]
+                row.append(format_seconds(base.max_latency_box.mean) if base else "-")
+                for w in sorted(WORKLOADS):
+                    s = cell.get(w)
+                    row.append(format_seconds(s.max_latency_box.mean) if s else "-")
+                rows.append(row)
+        print(render_table(
+            ["net", "combo", "baseline"] + sorted(WORKLOADS),
+            rows,
+            title=f"Mean max message latency: {app}",
+        ))
+        print()
+    return 0
+
+
+def _cmd_systems(args: argparse.Namespace) -> int:
+    rows = []
+    for network in ("1d", "2d"):
+        t = make_topology(network, args.scale)
+        d = t.describe()
+        rows.append(
+            (
+                d["topology"],
+                d["radix"],
+                d["groups"],
+                d["routers_per_group"],
+                d["nodes_per_router"],
+                d["nodes_per_group"],
+                d["global_per_router"],
+                d["system_size"],
+            )
+        )
+    print(render_table(
+        ["Topology", "Radix", "#Groups", "#Routers/Group", "#Nodes/Router",
+         "#Nodes/Group", "#Global/Router", "System Size"],
+        rows,
+        title=f"System configurations (Table II, scale={args.scale})",
+    ))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.union.manager import Job, WorkloadManager
+
+    source = open(args.file).read() if args.file != "-" else sys.stdin.read()
+    skel = translate(source, args.name)
+    topo = make_topology(args.network, args.scale)
+    storage_nodes = None
+    if args.storage_servers > 0:
+        storage_nodes = [topo.n_nodes - 1 - i for i in range(args.storage_servers)]
+    mgr = WorkloadManager(
+        topo,
+        routing=args.routing,
+        placement=args.placement,
+        seed=args.seed,
+        storage_nodes=storage_nodes,
+    )
+    mgr.add_job(Job(args.name, args.ntasks, skeleton=skel))
+    outcome = mgr.run(until=args.horizon)
+    res = outcome.app(args.name).result
+    lat = res.max_latencies_per_rank()
+    print(render_table(
+        ["metric", "value"],
+        [
+            ("finished", "yes" if res.finished else "no (raise --horizon?)"),
+            ("ranks", res.nranks),
+            ("messages received", sum(s.msgs_recvd for s in res.rank_stats)),
+            ("avg message latency", format_seconds(res.avg_latency())),
+            ("max message latency", format_seconds(max(lat) if lat else 0.0)),
+            ("max comm time", format_seconds(res.max_comm_time())),
+            ("MPI events", str(res.event_counts())),
+        ],
+        title=f"{args.name} on {args.network} dragonfly "
+              f"({args.placement}-{args.routing}, {args.ntasks} ranks)",
+    ))
+    if mgr.storage is not None:
+        st = mgr.storage.app_stats(0)
+        print(f"\nI/O: {st.ops} ops, read {format_bytes(st.bytes_read)}, "
+              f"wrote {format_bytes(st.bytes_written)}, "
+              f"mean latency {format_seconds(st.mean_latency())} "
+              f"(servers at nodes {storage_nodes})")
+    return 0 if res.finished else 1
+
+
+def _cmd_topologies(args: argparse.Namespace) -> int:
+    from repro.network.dragonfly import Dragonfly1D
+    from repro.network.dragonfly2d import Dragonfly2D
+    from repro.network.fattree import FatTreeTopology
+    from repro.network.slimfly import SlimFlyTopology
+    from repro.network.torus import TorusTopology
+
+    models = [
+        Dragonfly1D.mini(),
+        Dragonfly2D.mini(),
+        TorusTopology((4, 4, 4)),
+        FatTreeTopology(k=8),
+        SlimFlyTopology(q=5, nodes_per_router=2),
+    ]
+    rows = []
+    for t in models:
+        d = t.describe()
+        rows.append((d["topology"], d["system_size"], t.n_routers, t.radix(), t.diameter()))
+    print(render_table(
+        ["topology", "nodes", "routers", "radix", "diameter"],
+        rows,
+        title="Fabric model roster (CODES network-layer analogue)",
+    ))
+    print("\nDragonfly scales: use 'union-sim systems --scale paper' for Table II.")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="union-sim", description=__doc__)
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    t = sub.add_parser("translate", help="compile coNCePTuaL source to a Union skeleton")
+    t.add_argument("file", help="source file ('-' for stdin)")
+    t.add_argument("--name", default="app")
+    t.set_defaults(fn=_cmd_translate)
+
+    v = sub.add_parser("validate", help="application-vs-skeleton validation")
+    v.add_argument("file", help="source file ('-' for stdin)")
+    v.add_argument("--name", default="app")
+    v.add_argument("--ntasks", type=int, default=16)
+    v.set_defaults(fn=_cmd_validate)
+
+    r = sub.add_parser("run", help="simulate one configuration")
+    r.add_argument("--network", choices=["1d", "2d"], default="1d")
+    r.add_argument("--workload", default="workload3")
+    r.add_argument("--placement", choices=["rg", "rr", "rn"], default="rg")
+    r.add_argument("--routing", choices=["min", "adp"], default="adp")
+    r.add_argument("--scale", choices=["mini", "paper"], default="mini")
+    r.add_argument("--seed", type=int, default=1)
+    r.set_defaults(fn=_cmd_run)
+
+    s = sub.add_parser("sweep", help="full placement x routing sweep")
+    s.add_argument("--scale", choices=["mini"], default="mini")
+    s.add_argument("--seed", type=int, default=1)
+    s.set_defaults(fn=_cmd_sweep)
+
+    y = sub.add_parser("systems", help="print Table II configurations")
+    y.add_argument("--scale", choices=["mini", "paper"], default="paper")
+    y.set_defaults(fn=_cmd_systems)
+
+    m = sub.add_parser("simulate", help="translate a coNCePTuaL file and simulate it in situ")
+    m.add_argument("file", help="source file ('-' for stdin)")
+    m.add_argument("--name", default="app")
+    m.add_argument("--ntasks", type=int, default=16)
+    m.add_argument("--network", choices=["1d", "2d"], default="1d")
+    m.add_argument("--placement", choices=["rg", "rr", "rn"], default="rg")
+    m.add_argument("--routing", choices=["min", "adp"], default="adp")
+    m.add_argument("--scale", choices=["mini", "paper"], default="mini")
+    m.add_argument("--seed", type=int, default=1)
+    m.add_argument("--horizon", type=float, default=10.0,
+                   help="simulation horizon in seconds")
+    m.add_argument("--storage-servers", type=int, default=0,
+                   help="attach N storage servers (enables DSL I/O verbs)")
+    m.set_defaults(fn=_cmd_simulate)
+
+    o = sub.add_parser("topologies", help="print the fabric-model roster")
+    o.set_defaults(fn=_cmd_topologies)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

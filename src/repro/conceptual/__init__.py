@@ -1,0 +1,45 @@
+"""coNCePTuaL: the network-testing DSL Union translates (Pakin, TPDS'07).
+
+This package reimplements the subset of coNCePTuaL the paper relies on:
+an English-like language for describing communication patterns
+("task 0 sends a 1024 byte message to task 1"), with command-line
+parameter declarations, assertions, repetition/conditional control flow,
+timing primitives, logging, and the built-in virtual-topology functions
+(mesh/torus neighbours, n-ary and k-nomial trees) that make patterns
+like nearest-neighbour halo exchanges one-liners.
+
+Components mirror the original compiler pipeline (Section II-A):
+
+* :mod:`repro.conceptual.lexer` -- source text to token list;
+* :mod:`repro.conceptual.parser` -- token list to AST;
+* :mod:`repro.conceptual.semantics` -- static checks;
+* :mod:`repro.conceptual.interpreter` -- the *application* backend: runs
+  the full program with real buffer allocation and per-rank event/byte
+  accounting (what the paper obtains by executing the compiled C+MPI
+  program); Union's skeleton backend lives in :mod:`repro.union`.
+"""
+
+from repro.conceptual.errors import (
+    ConceptualError,
+    LexError,
+    ParseError,
+    SemanticError,
+    EvalError,
+)
+from repro.conceptual.lexer import tokenize
+from repro.conceptual.parser import parse
+from repro.conceptual.semantics import check
+from repro.conceptual.interpreter import ApplicationRun, run_application
+
+__all__ = [
+    "ConceptualError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "EvalError",
+    "tokenize",
+    "parse",
+    "check",
+    "ApplicationRun",
+    "run_application",
+]

@@ -1,0 +1,301 @@
+"""coNCePTuaL built-in functions.
+
+The language's salient feature (Section II-A) is its library of virtual
+topology helpers -- n-ary trees, k-nomial trees, meshes and tori -- that
+turn complex communication patterns into one-line statements.  These are
+plain module-level functions so the Union translator can reference them
+directly from generated skeleton code.
+
+All functions return integers; topology neighbour lookups return ``-1``
+for "no such task", and send statements skip ``-1`` targets.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.conceptual.errors import EvalError
+
+
+def _int(x, what: str) -> int:
+    xi = int(x)
+    if xi != x:
+        raise EvalError(f"{what} must be an integer, got {x!r}")
+    return xi
+
+
+# -- arithmetic ---------------------------------------------------------------
+
+def c_abs(x):
+    return abs(x)
+
+
+def c_min(*args):
+    if not args:
+        raise EvalError("min() needs at least one argument")
+    return min(args)
+
+
+def c_max(*args):
+    if not args:
+        raise EvalError("max() needs at least one argument")
+    return max(args)
+
+
+def c_sqrt(x):
+    """Integer square root for ints, float sqrt otherwise."""
+    if x < 0:
+        raise EvalError(f"sqrt of negative value {x}")
+    return math.isqrt(x) if isinstance(x, int) else math.sqrt(x)
+
+
+def c_cbrt(x):
+    """Integer cube root (floor) for ints."""
+    if x < 0:
+        raise EvalError(f"cbrt of negative value {x}")
+    if isinstance(x, int):
+        r = round(x ** (1 / 3))
+        while r * r * r > x:
+            r -= 1
+        while (r + 1) ** 3 <= x:
+            r += 1
+        return r
+    return x ** (1 / 3)
+
+
+def c_floor(x):
+    return math.floor(x)
+
+
+def c_ceiling(x):
+    return math.ceil(x)
+
+
+def c_round(x):
+    return math.floor(x + 0.5)
+
+
+def c_log2(x):
+    if x <= 0:
+        raise EvalError(f"log2 of non-positive value {x}")
+    if isinstance(x, int):
+        return x.bit_length() - 1
+    return math.log2(x)
+
+
+def c_log10(x):
+    if x <= 0:
+        raise EvalError(f"log10 of non-positive value {x}")
+    return math.log10(x)
+
+
+def c_bits(x):
+    """Number of bits needed to represent x (coNCePTuaL BITS)."""
+    return _int(x, "bits() argument").bit_length()
+
+
+def c_div(a, b):
+    """coNCePTuaL '/': integer division on integers, true division otherwise."""
+    if b == 0:
+        raise EvalError("division by zero")
+    if isinstance(a, int) and isinstance(b, int):
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q  # truncate towards zero
+    return a / b
+
+
+def c_mod(a, b):
+    if b == 0:
+        raise EvalError("modulo by zero")
+    return a % b
+
+
+# -- n-ary trees ----------------------------------------------------------------
+
+def tree_parent(task, arity=2):
+    """Parent of ``task`` in an ``arity``-ary tree rooted at 0 (-1 for root)."""
+    task = _int(task, "task")
+    arity = _int(arity, "arity")
+    if arity < 1:
+        raise EvalError(f"tree arity must be >= 1, got {arity}")
+    return (task - 1) // arity if task > 0 else -1
+
+
+def tree_child(task, child, arity=2):
+    """``child``-th child of ``task`` in an ``arity``-ary tree (may exceed n)."""
+    task = _int(task, "task")
+    child = _int(child, "child")
+    arity = _int(arity, "arity")
+    if not 0 <= child < arity:
+        raise EvalError(f"child index {child} outside arity {arity}")
+    return arity * task + child + 1
+
+
+# -- k-nomial trees ---------------------------------------------------------------
+
+def _knomial_low_power(task: int, k: int, n: int) -> int:
+    """k^(index of the lowest non-zero base-k digit of task)."""
+    if task == 0:
+        p = 1
+        while p < n:
+            p *= k
+        return p
+    p = 1
+    while task % (p * k) == 0:
+        p *= k
+    return p
+
+
+def knomial_parent(task, k=2, n=None):
+    """Parent of ``task`` in a k-nomial tree of ``n`` nodes (-1 for root)."""
+    task = _int(task, "task")
+    k = _int(k, "k")
+    if k < 2:
+        raise EvalError(f"k-nomial arity must be >= 2, got {k}")
+    if task == 0:
+        return -1
+    low = _knomial_low_power(task, k, n or (task + 1))
+    digit = (task // low) % k
+    return task - digit * low
+
+
+def knomial_children(task, k=2, n=None):
+    """Number of children of ``task`` in a k-nomial tree of ``n`` nodes."""
+    task = _int(task, "task")
+    k = _int(k, "k")
+    if n is None:
+        raise EvalError("knomial_children requires the tree size n")
+    n = _int(n, "n")
+    count = 0
+    p = 1
+    low = _knomial_low_power(task, k, n)
+    while p < low:
+        for j in range(1, k):
+            if task + j * p < n:
+                count += 1
+        p *= k
+    return count
+
+
+def knomial_child(task, child, k=2, n=None):
+    """``child``-th child of ``task`` in a k-nomial tree of ``n`` nodes (-1 if none)."""
+    task = _int(task, "task")
+    child = _int(child, "child")
+    k = _int(k, "k")
+    if n is None:
+        raise EvalError("knomial_child requires the tree size n")
+    n = _int(n, "n")
+    idx = 0
+    p = 1
+    low = _knomial_low_power(task, k, n)
+    while p < low:
+        for j in range(1, k):
+            c = task + j * p
+            if c < n:
+                if idx == child:
+                    return c
+                idx += 1
+        p *= k
+    return -1
+
+
+# -- meshes and tori -----------------------------------------------------------------
+
+def _mesh_coords(width: int, height: int, depth: int, task: int) -> tuple[int, int, int]:
+    if task < 0 or task >= width * height * depth:
+        raise EvalError(f"task {task} outside {width}x{height}x{depth} mesh")
+    return task % width, (task // width) % height, task // (width * height)
+
+
+def mesh_neighbor(width, height, depth, task, dx, dy, dz):
+    """Neighbour of ``task`` on a WxHxD mesh; -1 when off the edge."""
+    width, height, depth = _int(width, "width"), _int(height, "height"), _int(depth, "depth")
+    task = _int(task, "task")
+    dx, dy, dz = _int(dx, "dx"), _int(dy, "dy"), _int(dz, "dz")
+    x, y, z = _mesh_coords(width, height, depth, task)
+    nx, ny, nz = x + dx, y + dy, z + dz
+    if not (0 <= nx < width and 0 <= ny < height and 0 <= nz < depth):
+        return -1
+    return nx + ny * width + nz * width * height
+
+
+def torus_neighbor(width, height, depth, task, dx, dy, dz):
+    """Neighbour of ``task`` on a WxHxD torus (wraps around)."""
+    width, height, depth = _int(width, "width"), _int(height, "height"), _int(depth, "depth")
+    task = _int(task, "task")
+    x, y, z = _mesh_coords(width, height, depth, task)
+    nx = (x + _int(dx, "dx")) % width
+    ny = (y + _int(dy, "dy")) % height
+    nz = (z + _int(dz, "dz")) % depth
+    return nx + ny * width + nz * width * height
+
+
+def mesh_coordinate(width, height, depth, task, axis):
+    """Coordinate of ``task`` along ``axis`` (0=x, 1=y, 2=z)."""
+    coords = _mesh_coords(_int(width, "width"), _int(height, "height"), _int(depth, "depth"), _int(task, "task"))
+    axis = _int(axis, "axis")
+    if not 0 <= axis <= 2:
+        raise EvalError(f"mesh axis must be 0, 1 or 2, got {axis}")
+    return coords[axis]
+
+
+def range_seq(values: list, stop) -> list[int]:
+    """Expand a ``{a, b, ..., z}`` range list (used by generated skeletons).
+
+    ``values`` holds the explicit prefix; the step is the difference of
+    its last two entries (or +/-1 with a single entry); the progression
+    continues through ``stop`` inclusive.
+    """
+    values = [int(v) for v in values]
+    stop = int(stop)
+    if not values:
+        raise EvalError("range list needs at least one explicit value")
+    if len(values) == 1:
+        prefix: list[int] = []
+        start = values[0]
+        step = 1 if stop >= start else -1
+    else:
+        step = values[-1] - values[-2]
+        if step == 0:
+            raise EvalError("range step of 0")
+        prefix = values[:-1]
+        start = values[-1]
+    seq = list(prefix)
+    v = start
+    if step > 0:
+        while v <= stop:
+            seq.append(v)
+            v += step
+    else:
+        while v >= stop:
+            seq.append(v)
+            v += step
+    return seq
+
+
+#: Callable built-ins: name -> (function, min_arity, max_arity).
+FUNCTIONS: dict[str, tuple] = {
+    "abs": (c_abs, 1, 1),
+    "min": (c_min, 1, 8),
+    "max": (c_max, 1, 8),
+    "sqrt": (c_sqrt, 1, 1),
+    "cbrt": (c_cbrt, 1, 1),
+    "floor": (c_floor, 1, 1),
+    "ceiling": (c_ceiling, 1, 1),
+    "round": (c_round, 1, 1),
+    "log2": (c_log2, 1, 1),
+    "log10": (c_log10, 1, 1),
+    "bits": (c_bits, 1, 1),
+    "tree_parent": (tree_parent, 1, 2),
+    "tree_child": (tree_child, 2, 3),
+    "knomial_parent": (knomial_parent, 1, 3),
+    "knomial_children": (knomial_children, 3, 3),
+    "knomial_child": (knomial_child, 4, 4),
+    "mesh_neighbor": (mesh_neighbor, 7, 7),
+    "torus_neighbor": (torus_neighbor, 7, 7),
+    "mesh_coordinate": (mesh_coordinate, 5, 5),
+}
+
+#: Functions resolved by the runtime environment rather than this table
+#: (they need per-rank deterministic random state).
+RUNTIME_FUNCTIONS = frozenset({"random_task", "random_uniform"})

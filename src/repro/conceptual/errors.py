@@ -1,0 +1,30 @@
+"""Error hierarchy for the coNCePTuaL front end."""
+
+from __future__ import annotations
+
+
+class ConceptualError(Exception):
+    """Base class for all coNCePTuaL front-end errors."""
+
+    def __init__(self, message: str, line: int = -1, column: int = -1) -> None:
+        self.line = line
+        self.column = column
+        if line >= 0:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class LexError(ConceptualError):
+    """Unrecognized character or malformed literal."""
+
+
+class ParseError(ConceptualError):
+    """Token stream does not match the grammar."""
+
+
+class SemanticError(ConceptualError):
+    """Program is grammatical but ill-formed (unknown variable, bad arity)."""
+
+
+class EvalError(ConceptualError):
+    """Runtime expression evaluation failed."""

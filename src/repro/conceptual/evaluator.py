@@ -1,0 +1,206 @@
+"""Expression evaluation for the coNCePTuaL AST.
+
+Used by the application interpreter and by the Union translator when it
+needs compile-time constants (parameter defaults, assertions).  The
+semantics match the original language: integer arithmetic stays integral
+('/' truncates towards zero on integers), comparisons yield 0/1, and the
+``random_task`` built-in draws from a deterministic per-rank stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.conceptual import ast_nodes as A
+from repro.conceptual.builtins import FUNCTIONS, c_div, c_mod
+from repro.conceptual.errors import EvalError
+from repro.pdes.rng import SplitMix
+
+
+class Env:
+    """Variable/runtime environment for expression evaluation.
+
+    Parameters
+    ----------
+    variables:
+        Name to value bindings (command-line parameters, loop variables,
+        task bindings).
+    num_tasks:
+        Value of the built-in ``num_tasks`` variable.
+    rng:
+        Deterministic stream for ``random_task``; optional.
+    elapsed_usecs:
+        Callable returning the rank's elapsed timer, for the
+        ``elapsed_usecs`` pseudo-variable; optional.
+    """
+
+    __slots__ = ("variables", "num_tasks", "rng", "elapsed_usecs")
+
+    def __init__(
+        self,
+        variables: Mapping[str, Any] | None = None,
+        num_tasks: int = 1,
+        rng: SplitMix | None = None,
+        elapsed_usecs=None,
+    ) -> None:
+        self.variables = dict(variables or {})
+        self.num_tasks = num_tasks
+        self.rng = rng
+        self.elapsed_usecs = elapsed_usecs
+
+    def child(self, **bindings: Any) -> "Env":
+        env = Env(self.variables, self.num_tasks, self.rng, self.elapsed_usecs)
+        env.variables.update(bindings)
+        return env
+
+    def lookup(self, name: str, line: int) -> Any:
+        if name == "num_tasks":
+            return self.num_tasks
+        if name == "elapsed_usecs":
+            if self.elapsed_usecs is None:
+                raise EvalError("elapsed_usecs is not available in this context", line, 0)
+            return self.elapsed_usecs()
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise EvalError(f"undefined variable {name!r}", line, 0) from None
+
+
+def evaluate(expr: A.Expr, env: Env) -> Any:
+    """Evaluate ``expr`` in ``env``; returns an int, float or bool-int."""
+    if isinstance(expr, A.Num):
+        return expr.value
+    if isinstance(expr, A.Var):
+        return env.lookup(expr.name, expr.line)
+    if isinstance(expr, A.UnOp):
+        v = evaluate(expr.operand, env)
+        return -v if expr.op == "-" else +v
+    if isinstance(expr, A.BinOp):
+        left = evaluate(expr.left, env)
+        right = evaluate(expr.right, env)
+        op = expr.op
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                return c_div(left, right)
+            if op == "mod":
+                return c_mod(left, right)
+            if op == "**":
+                return left**right
+            if op == ">>":
+                return int(left) >> int(right)
+            if op == "<<":
+                return int(left) << int(right)
+            if op == "&":
+                return int(left) & int(right)
+            if op == "|":
+                return int(left) | int(right)
+            if op == "^":
+                return int(left) ^ int(right)
+        except EvalError:
+            raise
+        except Exception as exc:
+            raise EvalError(f"arithmetic error in {op!r}: {exc}", expr.line, 0) from exc
+        raise EvalError(f"unknown operator {op!r}", expr.line, 0)
+    if isinstance(expr, A.Compare):
+        left = evaluate(expr.left, env)
+        right = evaluate(expr.right, env)
+        op = expr.op
+        if op == "=":
+            return int(left == right)
+        if op == "<>":
+            return int(left != right)
+        if op == "<":
+            return int(left < right)
+        if op == ">":
+            return int(left > right)
+        if op == "<=":
+            return int(left <= right)
+        if op == ">=":
+            return int(left >= right)
+        if op == "divides":
+            if left == 0:
+                raise EvalError("0 divides nothing", expr.line, 0)
+            return int(right % left == 0)
+        raise EvalError(f"unknown comparison {op!r}", expr.line, 0)
+    if isinstance(expr, A.Parity):
+        v = evaluate(expr.operand, env)
+        even = int(v) % 2 == 0
+        return int(even if expr.even else not even)
+    if isinstance(expr, A.BoolOp):
+        left = evaluate(expr.left, env)
+        if expr.op == "and":
+            if not left:
+                return 0
+            return int(bool(evaluate(expr.right, env)))
+        if expr.op == "or":
+            if left:
+                return 1
+            return int(bool(evaluate(expr.right, env)))
+        if expr.op == "xor":
+            return int(bool(left) != bool(evaluate(expr.right, env)))
+        raise EvalError(f"unknown boolean operator {expr.op!r}", expr.line, 0)
+    if isinstance(expr, A.Not):
+        return int(not evaluate(expr.operand, env))
+    if isinstance(expr, A.Call):
+        name = expr.name.lower()
+        args = [evaluate(a, env) for a in expr.args]
+        if name in ("random_task", "random_uniform"):
+            if env.rng is None:
+                raise EvalError(f"{name} is unavailable: no random stream in this context", expr.line, 0)
+            if len(args) != 2:
+                raise EvalError(f"{name} expects 2 arguments, got {len(args)}", expr.line, 0)
+            lo, hi = int(args[0]), int(args[1])
+            if hi < lo:
+                raise EvalError(f"{name}: empty range [{lo}, {hi}]", expr.line, 0)
+            return lo + env.rng.randint(hi - lo + 1)
+        spec = FUNCTIONS.get(name)
+        if spec is None:
+            raise EvalError(f"unknown function {expr.name!r}", expr.line, 0)
+        fn, lo_ar, hi_ar = spec
+        if not lo_ar <= len(args) <= hi_ar:
+            raise EvalError(
+                f"{name} expects {lo_ar}..{hi_ar} arguments, got {len(args)}", expr.line, 0
+            )
+        try:
+            return fn(*args)
+        except EvalError:
+            raise
+        except Exception as exc:
+            raise EvalError(f"error in {name}: {exc}", expr.line, 0) from exc
+    raise EvalError(f"cannot evaluate node {type(expr).__name__}", getattr(expr, "line", -1), 0)
+
+
+def expand_range(spec: A.RangeSpec, env: Env, line: int = -1) -> list[int]:
+    """Expand a ``for each`` range spec into a concrete value list."""
+    values = [int(evaluate(e, env)) for e in spec.exprs]
+    if spec.ellipsis_to is None:
+        return values
+    stop = int(evaluate(spec.ellipsis_to, env))
+    if len(values) == 1:
+        prefix: list[int] = []
+        start = values[0]
+        step = 1 if stop >= start else -1
+    else:
+        # {a, b, ..., z}: explicit prefix, then continue with step b-a.
+        step = values[-1] - values[-2]
+        if step == 0:
+            raise EvalError("range step of 0 in 'for each'", line, 0)
+        prefix = values[:-1]
+        start = values[-1]
+    seq = list(prefix)
+    v = start
+    if step > 0:
+        while v <= stop:
+            seq.append(v)
+            v += step
+    else:
+        while v >= stop:
+            seq.append(v)
+            v += step
+    return seq

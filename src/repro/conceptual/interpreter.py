@@ -1,0 +1,387 @@
+"""Application backend: run the *full* coNCePTuaL program.
+
+This is the reproduction's stand-in for compiling the program to C+MPI
+and executing it on a real machine -- the reference against which Union
+skeletons are validated (Section V).  It
+
+* allocates real communication buffers (growing a backing ``bytearray``
+  exactly as the generated C would grow its message buffer), so the
+  memory-footprint comparison in Table I is measured, not asserted;
+* counts every MPI-level event per rank (Table IV) and the bytes each
+  rank transmits (Table V);
+* records the control-flow trace of MPI operations (Figure 6).
+
+coNCePTuaL control flow cannot depend on received data, so all ranks
+follow the same statement sequence; the interpreter exploits this by
+walking the AST once and applying each statement's effects to all ranks
+vectorially -- O(statements x ranks) instead of O(statements x ranks^2).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.conceptual import ast_nodes as A
+from repro.conceptual.errors import EvalError, SemanticError
+from repro.conceptual.evaluator import Env, evaluate, expand_range
+from repro.conceptual.semantics import check
+from repro.pdes.rng import SplitMix
+
+#: Byte-accounting rules shared with the skeleton counting backend
+#: (:mod:`repro.union.event_generator`): who "transmits" in a collective.
+#: send: the sender; bcast: the root; reduce: every non-root rank;
+#: allreduce: every rank.
+
+
+class ApplicationRun:
+    """Results of executing a coNCePTuaL program as a full application."""
+
+    def __init__(self, n_tasks: int, record_trace: bool) -> None:
+        self.n_tasks = n_tasks
+        self.counters: dict[str, np.ndarray] = {}
+        self.bytes_sent = np.zeros(n_tasks, dtype=np.int64)
+        self.bytes_io = np.zeros(n_tasks, dtype=np.int64)  # read+written per rank
+        self.clock = np.zeros(n_tasks, dtype=np.float64)
+        self.epoch = np.zeros(n_tasks, dtype=np.float64)
+        self.buffer_bytes = np.zeros(n_tasks, dtype=np.int64)  # per-rank buffer high-water
+        self.traces: list[list[str]] | None = [[] for _ in range(n_tasks)] if record_trace else None
+        self.logs: dict[tuple[int, str], list[float]] = {}
+        self.outputs: list[tuple[int, str]] = []
+        self._buffer = bytearray()  # the real allocation (grown to global max)
+
+    # -- recording helpers ------------------------------------------------
+    def count(self, fn: str, ranks) -> None:
+        arr = self.counters.get(fn)
+        if arr is None:
+            arr = self.counters[fn] = np.zeros(self.n_tasks, dtype=np.int64)
+        arr[ranks] += 1
+
+    def count_rank(self, fn: str, rank: int, n: int = 1) -> None:
+        arr = self.counters.get(fn)
+        if arr is None:
+            arr = self.counters[fn] = np.zeros(self.n_tasks, dtype=np.int64)
+        arr[rank] += n
+
+    def trace(self, fn: str, rank: int) -> None:
+        if self.traces is not None:
+            self.traces[rank].append(fn)
+
+    def trace_all(self, fn: str, ranks) -> None:
+        if self.traces is not None:
+            for r in ranks:
+                self.traces[r].append(fn)
+
+    def grow_buffer(self, rank: int, nbytes: int) -> None:
+        """Model the application's message buffer: grow-to-fit, touch last byte."""
+        if nbytes > self.buffer_bytes[rank]:
+            self.buffer_bytes[rank] = nbytes
+        if nbytes > len(self._buffer):
+            self._buffer.extend(b"\0" * (nbytes - len(self._buffer)))
+            if nbytes:
+                self._buffer[nbytes - 1] = 1
+
+    # -- summaries ----------------------------------------------------------
+    def event_counts(self) -> dict[str, int]:
+        """Total MPI event count per function (Table IV rows)."""
+        return {fn: int(arr.sum()) for fn, arr in sorted(self.counters.items())}
+
+    def event_counts_per_rank(self, fn: str) -> np.ndarray:
+        return self.counters.get(fn, np.zeros(self.n_tasks, dtype=np.int64))
+
+    def bytes_by_rank(self) -> np.ndarray:
+        """Bytes transmitted by each rank (Table V rows)."""
+        return self.bytes_sent.copy()
+
+    def peak_buffer_bytes(self) -> int:
+        """Largest per-rank communication buffer the application allocated."""
+        return int(self.buffer_bytes.max()) if self.n_tasks else 0
+
+    def log_values(self, rank: int, label: str) -> list[float]:
+        return self.logs.get((rank, label), [])
+
+    def aggregate_log(self, rank: int, label: str, how: str) -> float:
+        vals = self.log_values(rank, label)
+        if not vals:
+            raise KeyError(f"no logged values for rank {rank}, label {label!r}")
+        arr = np.asarray(vals)
+        return {
+            "mean": float(arr.mean()),
+            "median": float(np.median(arr)),
+            "minimum": float(arr.min()),
+            "maximum": float(arr.max()),
+            "sum": float(arr.sum()),
+            "variance": float(arr.var()),
+        }[how]
+
+
+class _Interp:
+    def __init__(self, program: A.Program, n_tasks: int, params: dict[str, Any], seed: int, record_trace: bool) -> None:
+        self.program = program
+        self.n = n_tasks
+        self.run = ApplicationRun(n_tasks, record_trace)
+        # Stream layout mirrors union.event_generator.SkeletonShared so
+        # random_task draws agree between application and skeleton runs:
+        # streams 1..n are per-rank 'own' streams (sizes, compute times),
+        # streams n+1..2n are pattern streams (send targets, sender sets).
+        self.own_rngs = [SplitMix(seed, r + 1) for r in range(n_tasks)]
+        self.pattern_rngs = [SplitMix(seed, n_tasks + 1 + r) for r in range(n_tasks)]
+        variables: dict[str, Any] = {}
+        base_env = Env({}, num_tasks=n_tasks)
+        for p in program.params:
+            if p.name in params:
+                variables[p.name] = params[p.name]
+            else:
+                variables[p.name] = evaluate(p.default, base_env)
+        unknown = set(params) - set(variables)
+        if unknown:
+            raise SemanticError(f"unknown parameters for {program.source_name}: {sorted(unknown)}")
+        self.env = Env(variables, num_tasks=n_tasks)
+        self.all_ranks = np.arange(n_tasks)
+
+    # -- entry ------------------------------------------------------------
+    def execute(self) -> ApplicationRun:
+        for a in self.program.asserts:
+            if not evaluate(a.cond, self.env):
+                raise AssertionError(a.text)
+        self.run.count("MPI_Init", self.all_ranks)
+        self.run.trace_all("MPI_Init", range(self.n))
+        self._seq(self.program.body, self.env)
+        self.run.count("MPI_Finalize", self.all_ranks)
+        self.run.trace_all("MPI_Finalize", range(self.n))
+        return self.run
+
+    # -- per-rank evaluation helpers ---------------------------------------
+    def _env_for(self, env: Env, var: str | None, rank: int, pattern: bool = False) -> Env:
+        e = env.child(**({var: rank} if var else {}))
+        e.rng = (self.pattern_rngs if pattern else self.own_rngs)[rank]
+        e.elapsed_usecs = lambda r=rank: (self.run.clock[r] - self.run.epoch[r]) * 1e6
+        return e
+
+    def _members(self, texpr: A.TaskExpr, env: Env, pattern: bool = False) -> tuple[list[int], str | None]:
+        """Concrete member ranks of a subject task expression + binding var.
+
+        ``pattern`` selects the pattern RNG family for the membership
+        condition (used when the members form the sender set of a
+        communication statement, matching the skeleton backend).
+        """
+        if isinstance(texpr, A.AllTasks):
+            return list(range(self.n)), texpr.var
+        if isinstance(texpr, A.TaskN):
+            t = int(evaluate(texpr.expr, env))
+            if not 0 <= t < self.n:
+                raise EvalError(f"task {t} outside 0..{self.n - 1}", texpr.line, 0)
+            return [t], None
+        if isinstance(texpr, A.SuchThat):
+            out = [
+                s
+                for s in range(self.n)
+                if evaluate(texpr.cond, self._env_for(env, texpr.var, s, pattern))
+            ]
+            return out, texpr.var
+        raise EvalError(f"unsupported subject {type(texpr).__name__}", texpr.line, 0)
+
+    def _targets_of(self, texpr: A.TaskExpr, env: Env, var: str | None, sender: int) -> list[int]:
+        """Targets one sender addresses (``-1`` entries are dropped)."""
+        if isinstance(texpr, A.TaskN):
+            t = int(evaluate(texpr.expr, self._env_for(env, var, sender, pattern=True)))
+            return [t] if t >= 0 else []
+        if isinstance(texpr, A.AllOtherTasks):
+            return [t for t in range(self.n) if t != sender]
+        if isinstance(texpr, A.AllTasks):
+            return list(range(self.n))
+        if isinstance(texpr, A.SuchThat):
+            return [
+                t
+                for t in range(self.n)
+                if evaluate(texpr.cond, self._env_for(env, texpr.var, t, pattern=True))
+            ]
+        raise EvalError(f"unsupported target {type(texpr).__name__}", texpr.line, 0)
+
+    # -- statement execution ----------------------------------------------------
+    def _seq(self, seq: A.StmtSeq, env: Env) -> None:
+        for stmt in seq.stmts:
+            self._stmt(stmt, env)
+
+    def _stmt(self, stmt: A.Stmt, env: Env) -> None:
+        run = self.run
+        if isinstance(stmt, A.StmtSeq):
+            self._seq(stmt, env)
+        elif isinstance(stmt, A.ForReps):
+            reps = int(evaluate(stmt.count, env))
+            for _ in range(reps):
+                self._seq(stmt.body, env)
+        elif isinstance(stmt, A.ForEach):
+            for spec in stmt.ranges:
+                for v in expand_range(spec, env, stmt.line):
+                    self._seq(stmt.body, env.child(**{stmt.var: v}))
+        elif isinstance(stmt, A.While):
+            guard = 0
+            while evaluate(stmt.cond, env):
+                self._seq(stmt.body, env)
+                guard += 1
+                if guard > 10_000_000:  # pragma: no cover - runaway guard
+                    raise EvalError("while loop exceeded 1e7 iterations", stmt.line, 0)
+        elif isinstance(stmt, A.If):
+            if evaluate(stmt.cond, env):
+                self._seq(stmt.then, env)
+            elif stmt.otherwise is not None:
+                self._seq(stmt.otherwise, env)
+        elif isinstance(stmt, A.Let):
+            child = env
+            for name, expr in stmt.bindings:
+                child = child.child(**{name: evaluate(expr, child)})
+            self._seq(stmt.body, child)
+        elif isinstance(stmt, A.Send):
+            self._send(stmt, env)
+        elif isinstance(stmt, A.Receive):
+            self._receive(stmt, env)
+        elif isinstance(stmt, A.Multicast):
+            root = int(evaluate(stmt.sender.expr, env))
+            size = int(evaluate(stmt.size, env) * stmt.unit)
+            run.count("MPI_Bcast", self.all_ranks)
+            run.trace_all("MPI_Bcast", range(self.n))
+            run.bytes_sent[root] += size
+            for r in range(self.n):
+                run.grow_buffer(r, size)
+        elif isinstance(stmt, A.ReduceStmt):
+            size = int(evaluate(stmt.size, env) * stmt.unit)
+            if isinstance(stmt.target, A.AllTasks):
+                run.count("MPI_Allreduce", self.all_ranks)
+                run.trace_all("MPI_Allreduce", range(self.n))
+                run.bytes_sent += size
+            else:
+                root = int(evaluate(stmt.target.expr, env))
+                run.count("MPI_Reduce", self.all_ranks)
+                run.trace_all("MPI_Reduce", range(self.n))
+                run.bytes_sent += size
+                run.bytes_sent[root] -= size
+            for r in range(self.n):
+                run.grow_buffer(r, size)
+        elif isinstance(stmt, A.Synchronize):
+            run.count("MPI_Barrier", self.all_ranks)
+            run.trace_all("MPI_Barrier", range(self.n))
+        elif isinstance(stmt, A.ResetCounters):
+            members, _ = self._members(stmt.tasks, env)
+            run.epoch[members] = run.clock[members]
+        elif isinstance(stmt, A.ComputeStmt):
+            members, var = self._members(stmt.tasks, env)
+            for r in members:
+                dt = float(evaluate(stmt.amount, self._env_for(env, var, r))) * stmt.unit
+                run.clock[r] += dt
+        elif isinstance(stmt, A.SleepStmt):
+            members, var = self._members(stmt.tasks, env)
+            for r in members:
+                dt = float(evaluate(stmt.amount, self._env_for(env, var, r))) * stmt.unit
+                run.clock[r] += dt
+        elif isinstance(stmt, A.AwaitCompletion):
+            members, _ = self._members(stmt.tasks, env)
+            run.count("MPI_Waitall", members)
+            run.trace_all("MPI_Waitall", members)
+        elif isinstance(stmt, A.LogStmt):
+            members, var = self._members(stmt.tasks, env)
+            for r in members:
+                e = self._env_for(env, var, r)
+                for item in stmt.items:
+                    val = float(evaluate(item.expr, e))
+                    run.logs.setdefault((r, item.label), []).append(val)
+        elif isinstance(stmt, A.ComputeAggregates):
+            pass  # aggregation happens lazily in ApplicationRun.aggregate_log
+        elif isinstance(stmt, A.OutputStmt):
+            members, var = self._members(stmt.tasks, env)
+            for r in members:
+                if stmt.text is not None:
+                    run.outputs.append((r, stmt.text))
+                else:
+                    val = evaluate(stmt.expr, self._env_for(env, var, r))
+                    run.outputs.append((r, str(val)))
+        elif isinstance(stmt, A.TouchStmt):
+            members, var = self._members(stmt.tasks, env)
+            for r in members:
+                size = int(evaluate(stmt.size, self._env_for(env, var, r)) * stmt.unit)
+                run.grow_buffer(r, size)
+        elif isinstance(stmt, A.IOStmt):
+            fn = "IO_Write" if stmt.write else "IO_Read"
+            members, var = self._members(stmt.tasks, env)
+            for r in members:
+                size = int(evaluate(stmt.size, self._env_for(env, var, r)) * stmt.unit)
+                run.count_rank(fn, r)
+                run.trace(fn, r)
+                run.bytes_io[r] += size
+                # The full application stages I/O through a real buffer;
+                # the skeleton nulls it (same rule as message buffers).
+                run.grow_buffer(r, size)
+        else:  # pragma: no cover - defensive
+            raise EvalError(f"unhandled statement {type(stmt).__name__}", stmt.line, 0)
+
+    def _send(self, stmt: A.Send, env: Env) -> None:
+        run = self.run
+        senders, var = self._members(stmt.sender, env, pattern=True)
+        send_fn = "MPI_Send" if stmt.blocking else "MPI_Isend"
+        recv_fn = "MPI_Recv" if stmt.blocking else "MPI_Irecv"
+        # Two passes so each rank's trace shows all of its sends before
+        # its receives -- the canonical order the generated skeleton uses.
+        pairs: list[tuple[int, int, int]] = []  # (sender, target, count)
+        for s in senders:
+            # Counts resolve inside the pattern (as in the skeleton
+            # backend); sizes are evaluated by the sender itself.
+            count = (
+                int(evaluate(stmt.count, self._env_for(env, var, s, pattern=True)))
+                if stmt.count is not None
+                else 1
+            )
+            size = int(evaluate(stmt.size, self._env_for(env, var, s)) * stmt.unit)
+            targets = self._targets_of(stmt.target, env, var, s)
+            for t in targets:
+                if not 0 <= t < self.n:
+                    raise EvalError(f"send target {t} outside 0..{self.n - 1}", stmt.line, 0)
+                pairs.append((s, t, count))
+                run.count_rank(send_fn, s, count)
+                run.bytes_sent[s] += size * count
+                run.grow_buffer(s, size)
+                run.grow_buffer(t, size)
+                if run.traces is not None:
+                    for _ in range(count):
+                        run.traces[s].append(send_fn)
+        for s, t, count in pairs:
+            run.count_rank(recv_fn, t, count)
+            if run.traces is not None:
+                for _ in range(count):
+                    run.traces[t].append(recv_fn)
+
+    def _receive(self, stmt: A.Receive, env: Env) -> None:
+        run = self.run
+        receivers, var = self._members(stmt.receiver, env, pattern=True)
+        recv_fn = "MPI_Recv" if stmt.blocking else "MPI_Irecv"
+        for r in receivers:
+            count = (
+                int(evaluate(stmt.count, self._env_for(env, var, r, pattern=True)))
+                if stmt.count is not None
+                else 1
+            )
+            size = int(evaluate(stmt.size, self._env_for(env, var, r)) * stmt.unit)
+            sources = self._targets_of(stmt.source, env, var, r)
+            for _src in sources:
+                run.count_rank(recv_fn, r, count)
+                run.grow_buffer(r, size)
+                if run.traces is not None:
+                    for _ in range(count):
+                        run.traces[r].append(recv_fn)
+
+
+def run_application(
+    program: A.Program,
+    n_tasks: int,
+    params: dict[str, Any] | None = None,
+    seed: int = 0,
+    record_trace: bool = False,
+) -> ApplicationRun:
+    """Execute ``program`` as a full application on ``n_tasks`` ranks.
+
+    ``params`` overrides command-line parameter defaults by name.
+    """
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+    check(program)
+    return _Interp(program, n_tasks, params or {}, seed, record_trace).execute()

@@ -1,0 +1,166 @@
+"""Lexer: coNCePTuaL source text to a token list.
+
+Hand-rolled scanner (the original uses lex).  Handles ``#`` comments,
+integer/real literals (with ``e`` exponents), double-quoted strings with
+escapes, identifiers/keywords, multi-character operators and the ``...``
+ellipsis used in range lists.
+"""
+
+from __future__ import annotations
+
+from repro.conceptual.errors import LexError
+from repro.conceptual.tokens import (
+    COMMA,
+    ELLIPSIS,
+    EOF,
+    IDENT,
+    KEYWORD,
+    KEYWORDS,
+    LBRACE,
+    LPAREN,
+    NUMBER,
+    OP,
+    PERIOD,
+    RBRACE,
+    RPAREN,
+    STRING,
+    Token,
+)
+
+_TWO_CHAR_OPS = ("**", "<=", ">=", "<>", ">>", "<<")
+_ONE_CHAR_OPS = "+-*/%<>=&|^"
+_PUNCT = {"{": LBRACE, "}": RBRACE, "(": LPAREN, ")": RPAREN, ",": COMMA}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Scan ``source`` into tokens (ending with an EOF token)."""
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def error(msg: str) -> LexError:
+        return LexError(msg, line, col)
+
+    while i < n:
+        c = source[i]
+        # -- whitespace / comments ----------------------------------------
+        if c == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if c == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_col = col
+        # -- ellipsis / period ------------------------------------------------
+        if source.startswith("...", i):
+            tokens.append(Token(ELLIPSIS, "...", line, start_col))
+            i += 3
+            col += 3
+            continue
+        if c == "." and not (i + 1 < n and source[i + 1].isdigit()):
+            tokens.append(Token(PERIOD, ".", line, start_col))
+            i += 1
+            col += 1
+            continue
+        # -- numbers -----------------------------------------------------------
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                ch = source[j]
+                if ch.isdigit():
+                    j += 1
+                elif ch == "." and not seen_dot and not seen_exp:
+                    # A lone trailing dot is a sentence period ("...1024.")
+                    if j + 1 < n and source[j + 1].isdigit():
+                        seen_dot = True
+                        j += 1
+                    else:
+                        break
+                elif ch in "eE" and not seen_exp and j + 1 < n and (
+                    source[j + 1].isdigit() or source[j + 1] in "+-"
+                ):
+                    seen_exp = True
+                    j += 1
+                    if source[j] in "+-":
+                        j += 1
+                else:
+                    break
+            text = source[i:j]
+            try:
+                value = float(text) if (seen_dot or seen_exp) else int(text)
+            except ValueError:  # pragma: no cover - unreachable by construction
+                raise error(f"malformed number {text!r}") from None
+            tokens.append(Token(NUMBER, value, line, start_col))
+            col += j - i
+            i = j
+            continue
+        # -- strings -----------------------------------------------------------
+        if c == '"':
+            j = i + 1
+            buf: list[str] = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\" and j + 1 < n:
+                    esc = source[j + 1]
+                    buf.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                    j += 2
+                elif source[j] == "\n":
+                    raise error("unterminated string literal")
+                else:
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            tokens.append(Token(STRING, "".join(buf), line, start_col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # -- identifiers / keywords ------------------------------------------------
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(KEYWORD, lowered, line, start_col))
+            else:
+                tokens.append(Token(IDENT, word, line, start_col))
+            col += j - i
+            i = j
+            continue
+        # -- punctuation / operators ----------------------------------------------------
+        if c in _PUNCT:
+            tokens.append(Token(_PUNCT[c], c, line, start_col))
+            i += 1
+            col += 1
+            continue
+        matched = False
+        for op in _TWO_CHAR_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token(OP, op, line, start_col))
+                i += 2
+                col += 2
+                matched = True
+                break
+        if matched:
+            continue
+        if c in _ONE_CHAR_OPS:
+            tokens.append(Token(OP, c, line, start_col))
+            i += 1
+            col += 1
+            continue
+        raise error(f"unexpected character {c!r}")
+
+    tokens.append(Token(EOF, None, line, col))
+    return tokens

@@ -1,0 +1,532 @@
+"""Recursive-descent parser: token list to :class:`Program` AST.
+
+Grammar (the coNCePTuaL subset the paper's workloads need)::
+
+    program     := header* stmt_seq
+    header      := "require language version" STRING "."
+                 | IDENT "is" STRING "and comes from" STRING ("or" STRING)*
+                   "with default" expr "."
+                 | "assert that" STRING "with" expr "."
+    stmt_seq    := stmt ("then" stmt)*
+    stmt        := block | for_stmt | while_stmt | if_stmt | let_stmt | simple
+    block       := "{" stmt_seq "}"
+    for_stmt    := "for" expr ("repetitions"|"repetition"|"times") block
+                 | "for each" IDENT "in" "{" range "}" block
+    range       := expr ("," expr)* ("," "..." "," expr)?
+    while_stmt  := "while" expr block
+    if_stmt     := "if" expr "then" block ("otherwise" block)?
+    let_stmt    := "let" IDENT "be" expr ("and" IDENT "be" expr)* "while" block
+    simple      := task_expr ["asynchronously"] verb ...
+    task_expr   := "all tasks" IDENT? | "all other tasks"
+                 | "task" primary | "tasks" IDENT "such that" expr
+    verb        := sends | receives | multicasts | reduces | synchronizes
+                 | computes | sleeps | resets counters | awaits completion
+                 | logs | outputs | touches
+
+Verbs accept both singular and plural forms.  Message phrases follow the
+paper's Figure 1 style: ``sends a <expr> <unit> [nonblocking] message to
+<task_expr>``.
+"""
+
+from __future__ import annotations
+
+from repro.conceptual import ast_nodes as A
+from repro.conceptual.errors import ParseError
+from repro.conceptual.lexer import tokenize
+from repro.conceptual.tokens import (
+    COMMA,
+    ELLIPSIS,
+    EOF,
+    IDENT,
+    KEYWORD,
+    LBRACE,
+    LPAREN,
+    NUMBER,
+    OP,
+    PERIOD,
+    RBRACE,
+    RPAREN,
+    SIZE_UNITS,
+    STRING,
+    TIME_UNITS,
+    Token,
+)
+
+_AGGREGATES = {"mean", "median", "minimum", "maximum", "sum", "variance"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source_name: str) -> None:
+        self.toks = tokens
+        self.pos = 0
+        self.source_name = source_name
+
+    # -- token helpers -----------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        idx = min(self.pos + ahead, len(self.toks) - 1)
+        return self.toks[idx]
+
+    def at(self, type_: str, value=None, ahead: int = 0) -> bool:
+        t = self.peek(ahead)
+        return t.type == type_ and (value is None or t.value == value)
+
+    def at_kw(self, *values: str, ahead: int = 0) -> bool:
+        t = self.peek(ahead)
+        return t.type == KEYWORD and t.value in values
+
+    def advance(self) -> Token:
+        t = self.toks[self.pos]
+        if t.type != EOF:
+            self.pos += 1
+        return t
+
+    def expect(self, type_: str, value=None) -> Token:
+        t = self.peek()
+        if t.type != type_ or (value is not None and t.value != value):
+            want = value if value is not None else type_
+            raise ParseError(f"expected {want!r}, found {t.value!r}", t.line, t.column)
+        return self.advance()
+
+    def expect_kw(self, *values: str) -> Token:
+        t = self.peek()
+        if t.type != KEYWORD or t.value not in values:
+            raise ParseError(
+                f"expected {' or '.join(repr(v) for v in values)}, found {t.value!r}",
+                t.line,
+                t.column,
+            )
+        return self.advance()
+
+    def accept_kw(self, *values: str) -> bool:
+        if self.at_kw(*values):
+            self.advance()
+            return True
+        return False
+
+    # -- program ----------------------------------------------------------------
+    def parse_program(self) -> A.Program:
+        requires: list[A.Require] = []
+        params: list[A.ParamDecl] = []
+        asserts: list[A.AssertDecl] = []
+        while True:
+            if self.at_kw("require"):
+                requires.append(self._parse_require())
+            elif self.at(IDENT) and self.at_kw("is", ahead=1) and self.peek(2).type == STRING:
+                params.append(self._parse_param())
+            elif self.at_kw("assert"):
+                asserts.append(self._parse_assert())
+            else:
+                break
+        body = self.parse_stmt_seq()
+        if self.at(PERIOD):
+            self.advance()
+        t = self.peek()
+        if t.type != EOF:
+            raise ParseError(f"unexpected trailing input {t.value!r}", t.line, t.column)
+        return A.Program(requires, params, asserts, body, self.source_name)
+
+    def _parse_require(self) -> A.Require:
+        t = self.expect_kw("require")
+        self.expect_kw("language")
+        self.expect_kw("version")
+        version = self.expect(STRING).value
+        self.expect(PERIOD)
+        return A.Require(version, line=t.line)
+
+    def _parse_param(self) -> A.ParamDecl:
+        name_tok = self.expect(IDENT)
+        self.expect_kw("is")
+        desc = self.expect(STRING).value
+        self.expect_kw("and")
+        self.expect_kw("comes")
+        self.expect_kw("from")
+        flags = [self.expect(STRING).value]
+        while self.accept_kw("or"):
+            flags.append(self.expect(STRING).value)
+        self.expect_kw("with")
+        self.expect_kw("default")
+        default = self.parse_expr()
+        self.expect(PERIOD)
+        return A.ParamDecl(name_tok.value, desc, flags, default, line=name_tok.line)
+
+    def _parse_assert(self) -> A.AssertDecl:
+        t = self.expect_kw("assert")
+        self.expect_kw("that")
+        text = self.expect(STRING).value
+        self.expect_kw("with")
+        cond = self.parse_expr()
+        self.expect(PERIOD)
+        return A.AssertDecl(text, cond, line=t.line)
+
+    # -- statements --------------------------------------------------------------
+    def parse_stmt_seq(self) -> A.StmtSeq:
+        first = self.parse_stmt()
+        stmts = [first]
+        while self.accept_kw("then"):
+            stmts.append(self.parse_stmt())
+        return A.StmtSeq(stmts, line=first.line)
+
+    def parse_block(self) -> A.StmtSeq:
+        self.expect(LBRACE)
+        seq = self.parse_stmt_seq()
+        self.expect(RBRACE)
+        return seq
+
+    def parse_stmt(self) -> A.Stmt:
+        t = self.peek()
+        if t.type == LBRACE:
+            return self.parse_block()
+        if self.at_kw("for"):
+            return self._parse_for()
+        if self.at_kw("while"):
+            self.advance()
+            cond = self.parse_expr()
+            body = self.parse_block()
+            return A.While(cond, body, line=t.line)
+        if self.at_kw("if"):
+            self.advance()
+            cond = self.parse_expr()
+            self.expect_kw("then")
+            then = self.parse_block()
+            otherwise = self.parse_block() if self.accept_kw("otherwise") else None
+            return A.If(cond, then, otherwise, line=t.line)
+        if self.at_kw("let"):
+            return self._parse_let()
+        return self._parse_simple()
+
+    def _parse_for(self) -> A.Stmt:
+        t = self.expect_kw("for")
+        if self.accept_kw("each"):
+            var = self.expect(IDENT).value
+            self.expect_kw("in")
+            self.expect(LBRACE)
+            ranges = [self._parse_range_spec()]
+            self.expect(RBRACE)
+            body = self.parse_block()
+            return A.ForEach(var, ranges, body, line=t.line)
+        count = self.parse_expr()
+        self.expect_kw("repetitions", "repetition", "times")
+        body = self.parse_block()
+        return A.ForReps(count, body, line=t.line)
+
+    def _parse_range_spec(self) -> A.RangeSpec:
+        exprs = [self.parse_expr()]
+        ellipsis_to = None
+        while self.at(COMMA):
+            self.advance()
+            if self.at(ELLIPSIS):
+                self.advance()
+                self.expect(COMMA)
+                ellipsis_to = self.parse_expr()
+                break
+            exprs.append(self.parse_expr())
+        return A.RangeSpec(exprs, ellipsis_to)
+
+    def _parse_let(self) -> A.Let:
+        t = self.expect_kw("let")
+        bindings = []
+        while True:
+            name = self.expect(IDENT).value
+            self.expect_kw("be")
+            # Arithmetic only: 'and' separates bindings, not booleans.
+            bindings.append((name, self.parse_arith()))
+            if not self.accept_kw("and"):
+                break
+        self.expect_kw("while")
+        body = self.parse_block()
+        return A.Let(bindings, body, line=t.line)
+
+    # -- simple statements ----------------------------------------------------------
+    def _parse_simple(self) -> A.Stmt:
+        t = self.peek()
+        tasks = self.parse_task_expr()
+        asynchronously = self.accept_kw("asynchronously")
+        v = self.peek()
+        if v.type != KEYWORD:
+            raise ParseError(f"expected a verb, found {v.value!r}", v.line, v.column)
+        verb = v.value
+        if verb in ("sends", "send"):
+            self.advance()
+            return self._parse_send(tasks, not asynchronously, t.line)
+        if verb in ("receives", "receive"):
+            self.advance()
+            return self._parse_receive(tasks, not asynchronously, t.line)
+        if verb in ("multicasts", "multicast"):
+            self.advance()
+            return self._parse_multicast(tasks, t.line)
+        if verb in ("reduces", "reduce"):
+            self.advance()
+            return self._parse_reduce(tasks, t.line)
+        if verb in ("synchronizes", "synchronize"):
+            self.advance()
+            return A.Synchronize(tasks, line=t.line)
+        if verb in ("computes", "compute"):
+            self.advance()
+            if self.accept_kw("aggregates"):
+                return A.ComputeAggregates(tasks, line=t.line)
+            self.expect_kw("for")
+            amount = self.parse_expr()
+            unit = self._parse_time_unit()
+            return A.ComputeStmt(tasks, amount, unit, line=t.line)
+        if verb in ("sleeps", "sleep"):
+            self.advance()
+            self.expect_kw("for")
+            amount = self.parse_expr()
+            unit = self._parse_time_unit()
+            return A.SleepStmt(tasks, amount, unit, line=t.line)
+        if verb in ("resets", "reset"):
+            self.advance()
+            self.expect_kw("its", "their")
+            self.expect_kw("counters")
+            return A.ResetCounters(tasks, line=t.line)
+        if verb in ("awaits", "await"):
+            self.advance()
+            self.expect_kw("completion", "completions")
+            return A.AwaitCompletion(tasks, line=t.line)
+        if verb in ("logs", "log"):
+            self.advance()
+            return self._parse_log(tasks, t.line)
+        if verb in ("outputs", "output"):
+            self.advance()
+            if self.at(STRING):
+                return A.OutputStmt(tasks, text=self.advance().value, line=t.line)
+            return A.OutputStmt(tasks, expr=self.parse_arith(), line=t.line)
+        if verb in ("touches", "touch"):
+            self.advance()
+            size = self.parse_expr()
+            unit = self._parse_size_unit()
+            self.accept_kw("of")
+            self.expect_kw("memory")
+            return A.TouchStmt(tasks, size, unit, line=t.line)
+        if verb in ("writes", "write", "reads", "read"):
+            self.advance()
+            return self._parse_io(tasks, verb.startswith("write"), t.line)
+        raise ParseError(f"unknown verb {verb!r}", v.line, v.column)
+
+    def _parse_io(self, tasks: A.TaskExpr, write: bool, line: int) -> A.IOStmt:
+        """``writes a <size> <unit> file [to server <expr>]`` /
+        ``reads a <size> <unit> file [from server <expr>]``."""
+        self.expect_kw("a", "an")
+        size = self.parse_expr()
+        unit = self._parse_size_unit()
+        self.expect_kw("file", "files")
+        server = None
+        if self.accept_kw("to" if write else "from"):
+            self.expect_kw("server")
+            server = self.parse_arith()
+        return A.IOStmt(tasks, write, size, unit, server, line=line)
+
+    def parse_task_expr(self) -> A.TaskExpr:
+        t = self.peek()
+        if self.accept_kw("all"):
+            if self.accept_kw("other"):
+                self.expect_kw("tasks")
+                return A.AllOtherTasks(line=t.line)
+            self.expect_kw("tasks")
+            var = None
+            if self.at(IDENT) and self.at_kw("such", ahead=1):
+                var_name = self.advance().value
+                self.expect_kw("such")
+                self.expect_kw("that")
+                cond = self.parse_expr()
+                return A.SuchThat(var_name, cond, line=t.line)
+            if self.at(IDENT):
+                var = self.advance().value
+            return A.AllTasks(var, line=t.line)
+        if self.accept_kw("task"):
+            # Full arithmetic expression: "task (t+1) mod num_tasks".
+            # Keywords (verbs, 'then', units) terminate it naturally.
+            return A.TaskN(self.parse_arith(), line=t.line)
+        if self.accept_kw("tasks"):
+            var = self.expect(IDENT).value
+            self.expect_kw("such")
+            self.expect_kw("that")
+            cond = self.parse_expr()
+            return A.SuchThat(var, cond, line=t.line)
+        raise ParseError(f"expected a task expression, found {t.value!r}", t.line, t.column)
+
+    def _parse_message_phrase(self) -> tuple[A.Expr | None, A.Expr, float, bool]:
+        """Parse ``(a|an|<count>) <size-expr> <unit> [nonblocking] message(s)``."""
+        count: A.Expr | None = None
+        if not self.accept_kw("a", "an"):
+            count = self.parse_primary()
+        size = self.parse_expr()
+        unit = self._parse_size_unit()
+        nonblocking = self.accept_kw("nonblocking")
+        self.expect_kw("message", "messages")
+        return count, size, unit, nonblocking
+
+    def _parse_send(self, sender: A.TaskExpr, blocking: bool, line: int) -> A.Send:
+        count, size, unit, nonblocking = self._parse_message_phrase()
+        self.expect_kw("to")
+        target = self.parse_task_expr()
+        return A.Send(sender, count, size, unit, blocking and not nonblocking, target, line=line)
+
+    def _parse_receive(self, receiver: A.TaskExpr, blocking: bool, line: int) -> A.Receive:
+        count, size, unit, nonblocking = self._parse_message_phrase()
+        self.expect_kw("from")
+        source = self.parse_task_expr()
+        return A.Receive(receiver, count, size, unit, blocking and not nonblocking, source, line=line)
+
+    def _parse_multicast(self, sender: A.TaskExpr, line: int) -> A.Multicast:
+        self.expect_kw("a", "an")
+        size = self.parse_expr()
+        unit = self._parse_size_unit()
+        self.expect_kw("message", "messages")
+        self.expect_kw("to")
+        target = self.parse_task_expr()
+        return A.Multicast(sender, size, unit, target, line=line)
+
+    def _parse_reduce(self, senders: A.TaskExpr, line: int) -> A.ReduceStmt:
+        self.expect_kw("a", "an")
+        size = self.parse_expr()
+        unit = self._parse_size_unit()
+        self.expect_kw("message", "messages", "value", "values")
+        self.expect_kw("to")
+        target = self.parse_task_expr()
+        return A.ReduceStmt(senders, size, unit, target, line=line)
+
+    def _parse_log(self, tasks: A.TaskExpr, line: int) -> A.LogStmt:
+        items = [self._parse_log_item()]
+        while self.accept_kw("and"):
+            items.append(self._parse_log_item())
+        return A.LogStmt(tasks, items, line=line)
+
+    def _parse_log_item(self) -> A.LogItem:
+        aggregate = None
+        if self.at_kw("the"):
+            if self.peek(1).type == KEYWORD and self.peek(1).value in _AGGREGATES:
+                self.advance()
+                aggregate = self.advance().value
+                self.expect_kw("of")
+            else:
+                self.advance()  # plain article: "logs the msgsize as ..."
+        expr = self.parse_arith()
+        self.expect_kw("as")
+        label = self.expect(STRING).value
+        return A.LogItem(aggregate, expr, label)
+
+    def _parse_size_unit(self) -> float:
+        t = self.peek()
+        if t.type == KEYWORD and t.value in SIZE_UNITS:
+            self.advance()
+            return float(SIZE_UNITS[t.value])
+        raise ParseError(f"expected a size unit, found {t.value!r}", t.line, t.column)
+
+    def _parse_time_unit(self) -> float:
+        t = self.peek()
+        if t.type == KEYWORD and t.value in TIME_UNITS:
+            self.advance()
+            return TIME_UNITS[t.value]
+        raise ParseError(f"expected a time unit, found {t.value!r}", t.line, t.column)
+
+    # -- expressions -------------------------------------------------------------
+    def parse_expr(self) -> A.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> A.Expr:
+        left = self._parse_and()
+        while self.at_kw("or", "xor"):
+            op = self.advance().value
+            right = self._parse_and()
+            left = A.BoolOp(op, left, right, line=left.line)
+        return left
+
+    def _parse_and(self) -> A.Expr:
+        left = self._parse_not()
+        while self.at_kw("and"):
+            self.advance()
+            right = self._parse_not()
+            left = A.BoolOp("and", left, right, line=left.line)
+        return left
+
+    def _parse_not(self) -> A.Expr:
+        if self.at_kw("not"):
+            t = self.advance()
+            return A.Not(self._parse_not(), line=t.line)
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> A.Expr:
+        left = self.parse_arith()
+        t = self.peek()
+        if t.type == OP and t.value in ("=", "<>", "<", ">", "<=", ">="):
+            self.advance()
+            right = self.parse_arith()
+            return A.Compare(t.value, left, right, line=left.line)
+        if self.at_kw("is") and self.at_kw("even", "odd", ahead=1):
+            self.advance()
+            parity = self.advance().value
+            return A.Parity(left, parity == "even", line=left.line)
+        if self.at_kw("divides"):
+            self.advance()
+            right = self.parse_arith()
+            return A.Compare("divides", left, right, line=left.line)
+        return left
+
+    def parse_arith(self) -> A.Expr:
+        left = self._parse_term()
+        while self.at(OP, "+") or self.at(OP, "-"):
+            op = self.advance().value
+            right = self._parse_term()
+            left = A.BinOp(op, left, right, line=left.line)
+        return left
+
+    def _parse_term(self) -> A.Expr:
+        left = self._parse_factor()
+        while True:
+            t = self.peek()
+            if t.type == OP and t.value in ("*", "/", ">>", "<<", "&", "|", "^"):
+                self.advance()
+                right = self._parse_factor()
+                left = A.BinOp(t.value, left, right, line=left.line)
+            elif self.at_kw("mod"):
+                self.advance()
+                right = self._parse_factor()
+                left = A.BinOp("mod", left, right, line=left.line)
+            else:
+                return left
+
+    def _parse_factor(self) -> A.Expr:
+        t = self.peek()
+        if t.type == OP and t.value in ("-", "+"):
+            self.advance()
+            return A.UnOp(t.value, self._parse_factor(), line=t.line)
+        return self._parse_power()
+
+    def _parse_power(self) -> A.Expr:
+        base = self.parse_primary()
+        if self.at(OP, "**"):
+            self.advance()
+            exponent = self._parse_factor()  # right-associative
+            return A.BinOp("**", base, exponent, line=base.line)
+        return base
+
+    def parse_primary(self) -> A.Expr:
+        t = self.peek()
+        if t.type == NUMBER:
+            self.advance()
+            return A.Num(t.value, line=t.line)
+        if t.type == IDENT:
+            self.advance()
+            if self.at(LPAREN):
+                self.advance()
+                args: list[A.Expr] = []
+                if not self.at(RPAREN):
+                    args.append(self.parse_expr())
+                    while self.at(COMMA):
+                        self.advance()
+                        args.append(self.parse_expr())
+                self.expect(RPAREN)
+                return A.Call(t.value, args, line=t.line)
+            return A.Var(t.value, line=t.line)
+        if t.type == LPAREN:
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(RPAREN)
+            return expr
+        raise ParseError(f"expected an expression, found {t.value!r}", t.line, t.column)
+
+
+def parse(source: str, source_name: str = "<string>") -> A.Program:
+    """Parse coNCePTuaL source text into a :class:`Program`."""
+    return _Parser(tokenize(source), source_name).parse_program()

@@ -1,0 +1,206 @@
+"""Static semantic checks for coNCePTuaL programs.
+
+Runs after parsing and before translation: verifies that every variable
+reference resolves (parameters, loop/let bindings, task bindings,
+``num_tasks``, ``elapsed_usecs``), that called functions exist with the
+right arity, and that collective statements use supportable task
+expressions (e.g. a multicast has a single root, a reduction involves
+all tasks).
+"""
+
+from __future__ import annotations
+
+from repro.conceptual import ast_nodes as A
+from repro.conceptual.builtins import FUNCTIONS, RUNTIME_FUNCTIONS
+from repro.conceptual.errors import SemanticError
+
+
+class _Checker:
+    def __init__(self, program: A.Program) -> None:
+        self.program = program
+        self.scope: set[str] = {p.name for p in program.params}
+
+    def check(self) -> None:
+        names = [p.name for p in self.program.params]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise SemanticError(f"duplicate parameter declarations: {sorted(dupes)}")
+        for p in self.program.params:
+            self._expr(p.default, set())
+        for a in self.program.asserts:
+            self._expr(a.cond, set())
+        self._seq(self.program.body, set())
+
+    # -- statements ------------------------------------------------------
+    def _seq(self, seq: A.StmtSeq, bound: set[str]) -> None:
+        for stmt in seq.stmts:
+            self._stmt(stmt, bound)
+
+    def _stmt(self, stmt: A.Stmt, bound: set[str]) -> None:
+        if isinstance(stmt, A.StmtSeq):
+            self._seq(stmt, bound)
+        elif isinstance(stmt, A.ForReps):
+            self._expr(stmt.count, bound)
+            self._seq(stmt.body, bound)
+        elif isinstance(stmt, A.ForEach):
+            for spec in stmt.ranges:
+                for e in spec.exprs:
+                    self._expr(e, bound)
+                if spec.ellipsis_to is not None:
+                    self._expr(spec.ellipsis_to, bound)
+            self._seq(stmt.body, bound | {stmt.var})
+        elif isinstance(stmt, A.While):
+            self._expr(stmt.cond, bound)
+            self._seq(stmt.body, bound)
+        elif isinstance(stmt, A.If):
+            self._expr(stmt.cond, bound)
+            self._seq(stmt.then, bound)
+            if stmt.otherwise is not None:
+                self._seq(stmt.otherwise, bound)
+        elif isinstance(stmt, A.Let):
+            inner = set(bound)
+            for name, expr in stmt.bindings:
+                self._expr(expr, inner)
+                inner.add(name)
+            self._seq(stmt.body, inner)
+        elif isinstance(stmt, A.Send):
+            var = self._task_expr(stmt.sender, bound, role="sender")
+            inner = bound | ({var} if var else set())
+            if stmt.count is not None:
+                self._expr(stmt.count, inner)
+            self._expr(stmt.size, inner)
+            self._target_expr(stmt.target, inner, stmt.line)
+        elif isinstance(stmt, A.Receive):
+            var = self._task_expr(stmt.receiver, bound, role="receiver")
+            inner = bound | ({var} if var else set())
+            if stmt.count is not None:
+                self._expr(stmt.count, inner)
+            self._expr(stmt.size, inner)
+            self._target_expr(stmt.source, inner, stmt.line)
+        elif isinstance(stmt, A.Multicast):
+            if not isinstance(stmt.sender, A.TaskN):
+                raise SemanticError(
+                    "multicast requires a single root ('task <expr> multicasts ...')",
+                    stmt.line,
+                    0,
+                )
+            self._expr(stmt.sender.expr, bound)
+            self._expr(stmt.size, bound)
+            if not isinstance(stmt.target, (A.AllTasks, A.AllOtherTasks)):
+                raise SemanticError(
+                    "multicast target must be 'all tasks' or 'all other tasks'", stmt.line, 0
+                )
+        elif isinstance(stmt, A.ReduceStmt):
+            if not isinstance(stmt.senders, A.AllTasks):
+                raise SemanticError("reduction must be performed by 'all tasks'", stmt.line, 0)
+            self._expr(stmt.size, bound)
+            if isinstance(stmt.target, A.TaskN):
+                self._expr(stmt.target.expr, bound)
+            elif not isinstance(stmt.target, A.AllTasks):
+                raise SemanticError(
+                    "reduction target must be 'task <expr>' or 'all tasks'", stmt.line, 0
+                )
+        elif isinstance(stmt, A.Synchronize):
+            if not isinstance(stmt.tasks, A.AllTasks) or (
+                isinstance(stmt.tasks, A.AllTasks) and stmt.tasks.var
+            ):
+                raise SemanticError("synchronization must involve 'all tasks'", stmt.line, 0)
+        elif isinstance(stmt, (A.ResetCounters, A.AwaitCompletion, A.ComputeAggregates)):
+            self._task_expr(stmt.tasks, bound, role="subject")
+        elif isinstance(stmt, (A.ComputeStmt, A.SleepStmt)):
+            var = self._task_expr(stmt.tasks, bound, role="subject")
+            self._expr(stmt.amount, bound | ({var} if var else set()))
+        elif isinstance(stmt, A.LogStmt):
+            var = self._task_expr(stmt.tasks, bound, role="subject")
+            inner = bound | ({var} if var else set())
+            for item in stmt.items:
+                self._expr(item.expr, inner)
+        elif isinstance(stmt, A.OutputStmt):
+            var = self._task_expr(stmt.tasks, bound, role="subject")
+            if stmt.expr is not None:
+                self._expr(stmt.expr, bound | ({var} if var else set()))
+        elif isinstance(stmt, A.TouchStmt):
+            var = self._task_expr(stmt.tasks, bound, role="subject")
+            self._expr(stmt.size, bound | ({var} if var else set()))
+        elif isinstance(stmt, A.IOStmt):
+            var = self._task_expr(stmt.tasks, bound, role="subject")
+            inner = bound | ({var} if var else set())
+            self._expr(stmt.size, inner)
+            if stmt.server is not None:
+                self._expr(stmt.server, inner)
+        else:  # pragma: no cover - defensive
+            raise SemanticError(f"unhandled statement {type(stmt).__name__}", stmt.line, 0)
+
+    def _task_expr(self, texpr: A.TaskExpr, bound: set[str], role: str) -> str | None:
+        """Check a subject task expression; returns the binding var if any."""
+        if isinstance(texpr, A.AllTasks):
+            return texpr.var
+        if isinstance(texpr, A.TaskN):
+            self._expr(texpr.expr, bound)
+            return None
+        if isinstance(texpr, A.SuchThat):
+            self._expr(texpr.cond, bound | {texpr.var})
+            return texpr.var
+        if isinstance(texpr, A.AllOtherTasks):
+            raise SemanticError(f"'all other tasks' cannot be a {role}", texpr.line, 0)
+        raise SemanticError(f"unhandled task expression {type(texpr).__name__}", texpr.line, 0)
+
+    def _target_expr(self, texpr: A.TaskExpr, bound: set[str], line: int) -> None:
+        """Check a send-target / receive-source task expression."""
+        if isinstance(texpr, A.TaskN):
+            self._expr(texpr.expr, bound)
+        elif isinstance(texpr, (A.AllTasks, A.AllOtherTasks)):
+            if isinstance(texpr, A.AllTasks) and texpr.var:
+                raise SemanticError("a send target cannot introduce a new binding", line, 0)
+        elif isinstance(texpr, A.SuchThat):
+            self._expr(texpr.cond, bound | {texpr.var})
+        else:  # pragma: no cover - defensive
+            raise SemanticError(f"unhandled target {type(texpr).__name__}", line, 0)
+
+    # -- expressions ------------------------------------------------------
+    def _expr(self, expr: A.Expr, bound: set[str]) -> None:
+        if isinstance(expr, A.Num):
+            return
+        if isinstance(expr, A.Var):
+            name = expr.name
+            if name in ("num_tasks", "elapsed_usecs"):
+                return
+            if name not in self.scope and name not in bound:
+                raise SemanticError(f"undefined variable {name!r}", expr.line, 0)
+            return
+        if isinstance(expr, A.UnOp):
+            self._expr(expr.operand, bound)
+            return
+        if isinstance(expr, (A.BinOp, A.Compare, A.BoolOp)):
+            self._expr(expr.left, bound)
+            self._expr(expr.right, bound)
+            return
+        if isinstance(expr, (A.Not, A.Parity)):
+            self._expr(expr.operand, bound)
+            return
+        if isinstance(expr, A.Call):
+            name = expr.name.lower()
+            if name in RUNTIME_FUNCTIONS:
+                if len(expr.args) != 2:
+                    raise SemanticError(f"{name} expects 2 arguments", expr.line, 0)
+            else:
+                spec = FUNCTIONS.get(name)
+                if spec is None:
+                    raise SemanticError(f"unknown function {expr.name!r}", expr.line, 0)
+                _fn, lo, hi = spec
+                if not lo <= len(expr.args) <= hi:
+                    raise SemanticError(
+                        f"{name} expects {lo}..{hi} arguments, got {len(expr.args)}",
+                        expr.line,
+                        0,
+                    )
+            for a in expr.args:
+                self._expr(a, bound)
+            return
+        raise SemanticError(f"unhandled expression {type(expr).__name__}", getattr(expr, "line", -1), 0)
+
+
+def check(program: A.Program) -> A.Program:
+    """Validate ``program``; returns it unchanged on success."""
+    _Checker(program).check()
+    return program

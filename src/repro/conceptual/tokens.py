@@ -1,0 +1,92 @@
+"""Token definitions for the coNCePTuaL lexer."""
+
+from __future__ import annotations
+
+# Token types
+NUMBER = "NUMBER"
+STRING = "STRING"
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+OP = "OP"
+LBRACE = "LBRACE"
+RBRACE = "RBRACE"
+LPAREN = "LPAREN"
+RPAREN = "RPAREN"
+COMMA = "COMMA"
+PERIOD = "PERIOD"
+ELLIPSIS = "ELLIPSIS"
+EOF = "EOF"
+
+#: Reserved words.  The language is keyword-heavy by design; words here
+#: cannot be used as variable names.  Singular/plural verb forms are both
+#: listed so "task 0 sends" and "all tasks send" parse alike.
+KEYWORDS = frozenset(
+    {
+        # structure
+        "require", "language", "version",
+        "is", "and", "comes", "from", "with", "default",
+        "assert", "that",
+        "then", "otherwise", "if", "while", "for", "each", "in",
+        "repetitions", "repetition", "times",
+        "let", "be",
+        # task expressions
+        "task", "tasks", "all", "other", "such",
+        # verbs
+        "sends", "send", "receives", "receive",
+        "multicasts", "multicast",
+        "reduces", "reduce",
+        "synchronizes", "synchronize",
+        "computes", "compute", "sleeps", "sleep",
+        "resets", "reset", "its", "their", "counters",
+        "awaits", "await", "completion", "completions",
+        "logs", "log", "as",
+        "outputs", "output",
+        "touches", "touch", "memory", "of",
+        "writes", "write", "reads", "read", "file", "files", "server",
+        "aggregates",
+        # message attributes
+        "a", "an", "message", "messages", "value", "values",
+        "nonblocking", "asynchronously", "to",
+        # units
+        "bit", "bits", "byte", "bytes",
+        "kilobyte", "kilobytes", "megabyte", "megabytes", "gigabyte", "gigabytes",
+        "microsecond", "microseconds", "millisecond", "milliseconds",
+        "second", "seconds", "minute", "minutes",
+        # aggregate functions in logs
+        "the", "mean", "median", "minimum", "maximum", "sum", "variance",
+        # expression keywords
+        "mod", "not", "or", "xor", "even", "odd", "divides",
+    }
+)
+
+#: Size units in bytes (coNCePTuaL uses powers of two).
+SIZE_UNITS = {
+    "bit": 0.125, "bits": 0.125,
+    "byte": 1, "bytes": 1,
+    "kilobyte": 1 << 10, "kilobytes": 1 << 10,
+    "megabyte": 1 << 20, "megabytes": 1 << 20,
+    "gigabyte": 1 << 30, "gigabytes": 1 << 30,
+}
+
+#: Time units in seconds.
+TIME_UNITS = {
+    "microsecond": 1e-6, "microseconds": 1e-6,
+    "millisecond": 1e-3, "milliseconds": 1e-3,
+    "second": 1.0, "seconds": 1.0,
+    "minute": 60.0, "minutes": 60.0,
+}
+
+
+class Token:
+    """One lexical token with its source position."""
+
+    __slots__ = ("type", "value", "line", "column")
+
+    def __init__(self, type_: str, value, line: int, column: int) -> None:
+        self.type = type_
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type}, {self.value!r}, {self.line}:{self.column})"

@@ -1,0 +1,47 @@
+"""Experiment harness: configurations, sweeps, metrics and reports.
+
+Everything needed to regenerate the paper's evaluation (Tables I-VI,
+Figures 7-9) at mini scale: experiment configs and a cached runner
+(:mod:`repro.harness.experiment`), boxplot/slowdown metrics
+(:mod:`repro.harness.metrics`), the placement x routing sweeps
+(:mod:`repro.harness.sweeps`) and ASCII table/series renderers
+(:mod:`repro.harness.report`).
+"""
+
+from repro.harness.configs import (
+    COMBOS,
+    NETWORKS,
+    PLACEMENTS,
+    ROUTINGS,
+    make_topology,
+    default_horizon,
+    default_counter_window,
+)
+from repro.harness.experiment import ExperimentConfig, ExperimentResult, AppStats, run_experiment, clear_cache
+from repro.harness.metrics import boxplot_stats, slowdown
+from repro.harness.sweeps import latency_sweep, fig8_series, table6_loads
+from repro.harness.report import render_table, render_series, format_bytes, format_seconds
+
+__all__ = [
+    "COMBOS",
+    "NETWORKS",
+    "PLACEMENTS",
+    "ROUTINGS",
+    "make_topology",
+    "default_horizon",
+    "default_counter_window",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "AppStats",
+    "run_experiment",
+    "clear_cache",
+    "boxplot_stats",
+    "slowdown",
+    "latency_sweep",
+    "fig8_series",
+    "table6_loads",
+    "render_table",
+    "render_series",
+    "format_bytes",
+    "format_seconds",
+]

@@ -1,0 +1,46 @@
+"""Canonical experiment dimensions (Section IV)."""
+
+from __future__ import annotations
+
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.dragonfly2d import Dragonfly2D
+from repro.network.topology import Topology
+
+#: Networks under study.
+NETWORKS = ("1d", "2d")
+
+#: Placement policies, in the paper's panel order.
+PLACEMENTS = ("rg", "rr", "rn")
+
+#: Routing algorithms.
+ROUTINGS = ("min", "adp")
+
+#: The six placement-routing combinations, in Figure 7/9 axis order.
+COMBOS = tuple(f"{p}-{r}" for r in ROUTINGS for p in PLACEMENTS)
+
+
+def make_topology(network: str, scale: str = "mini") -> Topology:
+    """Instantiate one of the two systems at the requested scale."""
+    cls = {"1d": Dragonfly1D, "2d": Dragonfly2D}.get(network.lower())
+    if cls is None:
+        raise ValueError(f"unknown network {network!r}; expected '1d' or '2d'")
+    if scale == "paper":
+        return cls.paper()
+    if scale == "mini":
+        return cls.mini()
+    raise ValueError(f"unknown scale {scale!r}; expected 'paper' or 'mini'")
+
+
+def default_horizon(scale: str = "mini") -> float:
+    """Simulation horizon in seconds.
+
+    The paper simulates long enough for every finite job to complete;
+    at mini scale 50 ms comfortably covers the catalog's job lengths
+    while keeping a full sweep in minutes.
+    """
+    return 0.05 if scale == "mini" else 0.5
+
+
+def default_counter_window(scale: str = "mini") -> float:
+    """Per-app router counter window (paper: 0.5 ms)."""
+    return 0.5e-3

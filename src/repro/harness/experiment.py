@@ -1,0 +1,144 @@
+"""Cached experiment runner.
+
+One :class:`ExperimentConfig` = one simulated system under one workload
+with one placement-routing combination -- a single cell of the paper's
+sweep.  Results are reduced to plain data (:class:`ExperimentResult`)
+and memoized per process so Figure 7, Figure 9 and Table VI benches can
+share the same runs instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.harness.configs import default_counter_window, default_horizon, make_topology
+from repro.harness.metrics import BoxStats, boxplot_stats
+from repro.union.manager import WorkloadManager
+from repro.workloads.catalog import app_catalog, build_baseline_job, build_jobs
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One sweep cell.
+
+    ``workload`` is a Table III name (``workload1``..``workload3``) or
+    ``baseline:<app>`` for a single application running alone.
+    """
+
+    network: str = "1d"  # "1d" | "2d"
+    workload: str = "workload3"
+    placement: str = "rg"
+    routing: str = "adp"
+    scale: str = "mini"
+    seed: int = 1
+    horizon: float | None = None
+
+    @property
+    def combo(self) -> str:
+        return f"{self.placement}-{self.routing}"
+
+    def resolved_horizon(self) -> float:
+        return self.horizon if self.horizon is not None else default_horizon(self.scale)
+
+
+@dataclass
+class AppStats:
+    """Reduced per-application metrics of one run."""
+
+    name: str
+    ml: bool
+    nranks: int
+    finished: bool
+    max_latency_box: BoxStats  # distribution over ranks of per-rank max latency
+    avg_latency: float
+    max_comm_time: float
+    mean_comm_time: float
+    messages: int
+    bytes_sent: int
+    groups: tuple[int, ...]
+    routers: tuple[int, ...]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything the table/figure builders need, as plain data."""
+
+    config: ExperimentConfig
+    apps: dict[str, AppStats]
+    end_time: float
+    events: int
+    link_summary: dict[str, float]
+    counter_window: float
+    # (serving_app, source_app) -> bytes-per-window series
+    router_series: dict[tuple[str, str], np.ndarray] = field(default_factory=dict)
+
+    def app(self, name: str) -> AppStats:
+        return self.apps[name]
+
+
+_CACHE: dict[ExperimentConfig, ExperimentResult] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
+    """Run (or fetch from cache) one sweep cell."""
+    hit = _CACHE.get(cfg)
+    if hit is not None:
+        return hit
+    topo = make_topology(cfg.network, cfg.scale)
+    window = default_counter_window(cfg.scale)
+    mgr = WorkloadManager(
+        topo,
+        routing=cfg.routing,
+        placement=cfg.placement,
+        seed=cfg.seed,
+        counter_window=window,
+    )
+    if cfg.workload.startswith("baseline:"):
+        mgr.add_job(build_baseline_job(cfg.workload.split(":", 1)[1], cfg.scale))
+    else:
+        for job in build_jobs(cfg.workload, cfg.scale):
+            mgr.add_job(job)
+    horizon = cfg.resolved_horizon()
+    outcome = mgr.run(until=horizon)
+
+    catalog = app_catalog(cfg.scale)
+    apps: dict[str, AppStats] = {}
+    for a in outcome.apps:
+        r = a.result
+        apps[a.name] = AppStats(
+            name=a.name,
+            ml=catalog[a.name].ml if a.name in catalog else False,
+            nranks=r.nranks,
+            finished=r.finished,
+            max_latency_box=boxplot_stats(r.max_latencies_per_rank()),
+            avg_latency=r.avg_latency(),
+            max_comm_time=r.max_comm_time(),
+            mean_comm_time=r.mean_comm_time(),
+            messages=sum(s.msgs_recvd for s in r.rank_stats),
+            bytes_sent=r.total_bytes_sent(),
+            groups=tuple(sorted(a.groups)),
+            routers=tuple(sorted(a.routers)),
+        )
+    series: dict[tuple[str, str], np.ndarray] = {}
+    for serving in outcome.apps:
+        for source in outcome.apps:
+            series[(serving.name, source.name)] = outcome.fabric.app_counter.series(
+                serving.routers, source.app_id, horizon
+            )
+    result = ExperimentResult(
+        config=cfg,
+        apps=apps,
+        end_time=outcome.end_time,
+        events=outcome.fabric.engine.events_processed,
+        link_summary=outcome.link_load_summary(),
+        counter_window=window,
+        router_series=series,
+    )
+    _CACHE[cfg] = result
+    return result

@@ -1,0 +1,47 @@
+"""Metric helpers: boxplot summaries and slowdowns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary + mean, the content of one Figure 7 box."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    n: int
+
+    def as_tuple(self) -> tuple[float, float, float, float, float]:
+        return (self.minimum, self.q1, self.median, self.q3, self.maximum)
+
+
+def boxplot_stats(values) -> BoxStats:
+    """Five-number summary of a sample (empty samples become all-zero)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return BoxStats(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0)
+    q1, med, q3 = np.percentile(arr, [25, 50, 75])
+    return BoxStats(
+        float(arr.min()), float(q1), float(med), float(q3), float(arr.max()), float(arr.mean()), int(arr.size)
+    )
+
+
+def slowdown(value: float, baseline: float) -> float:
+    """Relative slowdown of ``value`` against ``baseline``.
+
+    Returns 0 for equal, 1.0 for 2x, matching the paper's "x% delay" /
+    "Nx slowdown" phrasing (``63x slowdown`` = factor 64 here would be
+    off-by-one; the paper's usage is factor-style, so we report
+    ``value/baseline - 1``).
+    """
+    if baseline <= 0:
+        return 0.0 if value <= 0 else float("inf")
+    return value / baseline - 1.0

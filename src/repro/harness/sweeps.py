@@ -1,0 +1,104 @@
+"""High-level sweeps: the data behind Figures 7-9 and Table VI.
+
+Every function is a thin loop over :func:`run_experiment`, so repeated
+calls (and different benches in one pytest session) share cached runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness.configs import COMBOS, NETWORKS
+from repro.harness.experiment import AppStats, ExperimentConfig, ExperimentResult, run_experiment
+from repro.workloads.catalog import WORKLOADS, PANEL_APPS
+
+#: Which workloads each panel application participates in (Figure 7's
+#: legend): baseline plus every Table III workload containing the app.
+def workloads_of(app: str) -> list[str]:
+    return [w for w, spec in WORKLOADS.items() if app in spec.apps]
+
+
+def latency_sweep(
+    networks: tuple[str, ...] = NETWORKS,
+    combos: tuple[str, ...] = COMBOS,
+    workloads: tuple[str, ...] | None = None,
+    apps: tuple[str, ...] | None = None,
+    scale: str = "mini",
+    seed: int = 1,
+) -> dict[tuple[str, str, str], ExperimentResult]:
+    """Run the full placement x routing x workload sweep.
+
+    Returns ``{(network, combo, workload): ExperimentResult}`` where
+    ``workload`` includes ``baseline:<app>`` entries for every panel
+    application, exactly the data Figures 7 and 9 plot.
+    """
+    apps = apps if apps is not None else tuple(PANEL_APPS)
+    wl: list[str] = [f"baseline:{a}" for a in apps]
+    wl += list(workloads if workloads is not None else tuple(WORKLOADS))
+    out: dict[tuple[str, str, str], ExperimentResult] = {}
+    for network in networks:
+        for combo in combos:
+            placement, routing = combo.split("-")
+            for w in wl:
+                cfg = ExperimentConfig(
+                    network=network,
+                    workload=w,
+                    placement=placement,
+                    routing=routing,
+                    scale=scale,
+                    seed=seed,
+                )
+                out[(network, combo, w)] = run_experiment(cfg)
+    return out
+
+
+def panel_stats(
+    sweep: dict[tuple[str, str, str], ExperimentResult],
+    app: str,
+    network: str,
+    combo: str,
+) -> dict[str, AppStats]:
+    """One Figure 7/9 panel cell: baseline + each workload's stats for ``app``."""
+    out: dict[str, AppStats] = {}
+    base = sweep.get((network, combo, f"baseline:{app}"))
+    if base is not None:
+        out["baseline"] = base.app(app)
+    for w in workloads_of(app):
+        res = sweep.get((network, combo, w))
+        if res is not None and app in res.apps:
+            out[w] = res.app(app)
+    return out
+
+
+def fig8_series(
+    scale: str = "mini",
+    seed: int = 1,
+    serving: str = "alexnet",
+    network: str = "1d",
+    workload: str = "workload3",
+) -> dict[str, dict[str, np.ndarray]]:
+    """Figure 8: traffic received by ``serving``'s routers, per source app,
+    under RR-ADP vs RG-ADP on the 1D system."""
+    out: dict[str, dict[str, np.ndarray]] = {}
+    for placement in ("rr", "rg"):
+        cfg = ExperimentConfig(
+            network=network, workload=workload, placement=placement, routing="adp",
+            scale=scale, seed=seed,
+        )
+        res = run_experiment(cfg)
+        out[placement] = {
+            src: res.router_series[(serving, src)]
+            for src in res.apps
+        }
+    return out
+
+
+def table6_loads(scale: str = "mini", seed: int = 1, workload: str = "workload3") -> dict[str, dict[str, float]]:
+    """Table VI: link-class loads for both systems (workload3, RG-ADP)."""
+    out: dict[str, dict[str, float]] = {}
+    for network in NETWORKS:
+        cfg = ExperimentConfig(
+            network=network, workload=workload, placement="rg", routing="adp", scale=scale, seed=seed
+        )
+        out[network] = run_experiment(cfg).link_summary
+    return out

@@ -1,0 +1,432 @@
+"""SimMPI: drives rank generators over a NetworkFabric.
+
+The execution model mirrors the paper's Argobots arrangement: every rank
+is a lightweight coroutine; it runs until it issues a blocking operation,
+then yields control to the simulator; when the simulated network
+completes the operation, the simulator resumes the coroutine at the
+completion timestamp.
+
+Metric definitions (Section IV-D):
+
+* *message latency* -- time from send post to complete arrival at the
+  destination terminal, recorded per delivered message on the receiving
+  rank;
+* *communication time* -- total wall-clock the rank spends blocked in
+  MPI operations (waits, blocking send/recv, collectives), excluding
+  Compute/Sleep delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.mpi.types import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Compute,
+    Irecv,
+    Isend,
+    Message,
+    MessageHook,
+    Request,
+    Wait,
+    Waitall,
+)
+from repro.network.fabric import NetworkFabric
+from repro.pdes.event import Event, Priority
+from repro.pdes.lp import LP
+
+_BLOCKED = object()  # sentinel: rank suspended, stop advancing
+
+
+class RankStats:
+    """Per-rank metrics accumulated during simulation."""
+
+    __slots__ = (
+        "comm_time",
+        "compute_time",
+        "latencies",
+        "msgs_sent",
+        "msgs_recvd",
+        "bytes_sent",
+        "counters",
+        "log_rows",
+        "finished_at",
+    )
+
+    def __init__(self) -> None:
+        self.comm_time = 0.0
+        self.compute_time = 0.0
+        self.latencies: list[float] = []
+        self.msgs_sent = 0
+        self.msgs_recvd = 0
+        self.bytes_sent = 0
+        self.counters: dict[str, int] = {}
+        self.log_rows: list[tuple[str, float]] = []
+        self.finished_at = -1.0
+
+    def count(self, fn: str, n: int = 1) -> None:
+        self.counters[fn] = self.counters.get(fn, 0) + n
+
+    def latency_summary(self) -> tuple[float, float, float]:
+        """(min, mean, max) message latency over received messages."""
+        if not self.latencies:
+            return (0.0, 0.0, 0.0)
+        return (
+            min(self.latencies),
+            sum(self.latencies) / len(self.latencies),
+            max(self.latencies),
+        )
+
+
+class _RankState:
+    __slots__ = (
+        "job",
+        "rank",
+        "node",
+        "gen",
+        "stats",
+        "posted_recvs",
+        "unexpected",
+        "blocked",
+        "pending_reqs",
+        "wait_group",
+        "block_start",
+        "finished",
+        "epoch_start",
+    )
+
+    def __init__(self, job: "_Job", rank: int, node: int) -> None:
+        self.job = job
+        self.rank = rank
+        self.node = node
+        self.gen: Generator | None = None
+        self.stats = RankStats()
+        self.posted_recvs: list[Request] = []
+        self.unexpected: list[Message] = []
+        self.blocked = False
+        self.pending_reqs = 0
+        self.wait_group: list[Request] | None = None
+        self.block_start = 0.0
+        self.finished = False
+        self.epoch_start = 0.0  # set by "resets its counters"
+
+
+@dataclass
+class JobSpec:
+    """A job to co-schedule on the fabric.
+
+    Attributes
+    ----------
+    name:
+        Human-readable application name.
+    nranks:
+        Number of MPI ranks.
+    program:
+        ``program(ctx) -> generator`` producing the rank's operations.
+    rank_to_node:
+        Global node id for each rank (from a placement policy).
+    params:
+        Free-form parameters forwarded to the program via the ctx.
+    """
+
+    name: str
+    nranks: int
+    program: Callable[..., Generator]
+    rank_to_node: list[int]
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise ValueError(f"job {self.name!r} needs at least 1 rank")
+        if len(self.rank_to_node) != self.nranks:
+            raise ValueError(
+                f"job {self.name!r}: rank_to_node has {len(self.rank_to_node)} "
+                f"entries for {self.nranks} ranks"
+            )
+
+
+class _Job:
+    def __init__(self, spec: JobSpec, app_id: int) -> None:
+        self.spec = spec
+        self.app_id = app_id
+        self.ranks: list[_RankState] = [
+            _RankState(self, r, spec.rank_to_node[r]) for r in range(spec.nranks)
+        ]
+        self.done_ranks = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.done_ranks == len(self.ranks)
+
+
+@dataclass
+class JobResult:
+    """Final metrics of one job."""
+
+    name: str
+    app_id: int
+    nranks: int
+    rank_stats: list[RankStats]
+    finished: bool
+
+    def max_comm_time(self) -> float:
+        return max((s.comm_time for s in self.rank_stats), default=0.0)
+
+    def mean_comm_time(self) -> float:
+        if not self.rank_stats:
+            return 0.0
+        return sum(s.comm_time for s in self.rank_stats) / len(self.rank_stats)
+
+    def all_latencies(self) -> list[float]:
+        out: list[float] = []
+        for s in self.rank_stats:
+            out.extend(s.latencies)
+        return out
+
+    def max_latencies_per_rank(self) -> list[float]:
+        return [max(s.latencies) for s in self.rank_stats if s.latencies]
+
+    def avg_latency(self) -> float:
+        lats = self.all_latencies()
+        return sum(lats) / len(lats) if lats else 0.0
+
+    def total_bytes_sent(self) -> int:
+        return sum(s.bytes_sent for s in self.rank_stats)
+
+    def event_counts(self) -> dict[str, int]:
+        total: dict[str, int] = {}
+        for s in self.rank_stats:
+            for k, v in s.counters.items():
+                total[k] = total.get(k, 0) + v
+        return total
+
+
+class _DriverLP(LP):
+    """Anchor LP for MPI engine events (start, compute wakeups)."""
+
+    __slots__ = ("mpi",)
+
+    def __init__(self, mpi: "SimMPI") -> None:
+        super().__init__()
+        self.mpi = mpi
+
+    def handle(self, event: Event) -> None:
+        if event.kind == "start":
+            self.mpi._start_all()
+        elif event.kind == "wake":
+            self.mpi._on_wake(event.data)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"MPI driver got unknown event kind {event.kind!r}")
+
+
+class SimMPI:
+    """The simulated MPI runtime.
+
+    Typical use::
+
+        fabric = NetworkFabric(Dragonfly1D.mini(), routing="adp")
+        mpi = SimMPI(fabric)
+        mpi.add_job(JobSpec("pingpong", 2, pingpong_program, [0, 1]))
+        mpi.run(until=0.01)
+        results = mpi.results()
+    """
+
+    def __init__(self, fabric: NetworkFabric) -> None:
+        from repro.mpi.process import RankCtx  # local import to avoid a cycle
+
+        self._ctx_cls = RankCtx
+        self.fabric = fabric
+        self.engine = fabric.engine
+        self.jobs: list[_Job] = []
+        self._driver = _DriverLP(self)
+        self.engine.register(self._driver)
+        fabric.set_delivery_callback(self._on_delivery)
+        fabric.set_injection_callback(self._on_injected)
+        self._started = False
+        #: Extension dispatch: op type -> handler(mpi, rank_state, op).
+        #: A handler returns the value sent back into the generator, or
+        #: blocks the rank itself and returns :data:`BLOCKED`.
+        self.op_handlers: dict[type, Callable] = {}
+
+    def register_op_handler(self, op_type: type, handler: Callable) -> None:
+        """Let a subsystem (e.g. storage) handle a new yieldable op type."""
+        if op_type in self.op_handlers:
+            raise ValueError(f"handler for {op_type.__name__} already registered")
+        self.op_handlers[op_type] = handler
+
+    # -- job management -------------------------------------------------------
+    def add_job(self, spec: JobSpec) -> int:
+        if self._started:
+            raise RuntimeError("cannot add jobs after the simulation started")
+        n_nodes = self.fabric.topo.n_nodes
+        for node in spec.rank_to_node:
+            if not 0 <= node < n_nodes:
+                raise ValueError(f"job {spec.name!r}: node {node} outside system of {n_nodes}")
+        app_id = len(self.jobs)
+        self.jobs.append(_Job(spec, app_id))
+        return app_id
+
+    # -- execution ----------------------------------------------------------------
+    def run(self, until: float = float("inf")) -> float:
+        """Run the co-scheduled jobs until the horizon (or until drained)."""
+        if not self.jobs:
+            raise RuntimeError("no jobs added")
+        if not self._started:
+            self._started = True
+            self.engine.schedule_at(0.0, self._driver.lp_id, "start", None, Priority.MPI)
+        return self.engine.run(until=until)
+
+    def _start_all(self) -> None:
+        for job in self.jobs:
+            for rs in job.ranks:
+                ctx = self._ctx_cls(self, rs)
+                rs.gen = job.spec.program(ctx)
+                self._advance(rs, None)
+
+    def all_finished(self) -> bool:
+        return all(j.finished for j in self.jobs)
+
+    def results(self) -> list[JobResult]:
+        return [
+            JobResult(
+                name=j.spec.name,
+                app_id=j.app_id,
+                nranks=len(j.ranks),
+                rank_stats=[rs.stats for rs in j.ranks],
+                finished=j.finished,
+            )
+            for j in self.jobs
+        ]
+
+    # -- generator driving ------------------------------------------------------------
+    def _advance(self, rs: _RankState, value: Any) -> None:
+        gen = rs.gen
+        assert gen is not None
+        while True:
+            try:
+                op = gen.send(value)
+            except StopIteration:
+                rs.finished = True
+                rs.stats.finished_at = self.engine.now
+                rs.job.done_ranks += 1
+                return
+            value = self._dispatch(rs, op)
+            if value is _BLOCKED:
+                return
+
+    def _dispatch(self, rs: _RankState, op: Any) -> Any:
+        now = self.engine.now
+        if isinstance(op, Isend):
+            if not 0 <= op.dst < len(rs.job.ranks):
+                raise ValueError(
+                    f"rank {rs.rank} of {rs.job.spec.name!r} sends to invalid rank {op.dst}"
+                )
+            req = Request("send", rs.rank, op.nbytes, op.dst, op.tag, now)
+            rs.stats.msgs_sent += 1
+            rs.stats.bytes_sent += op.nbytes
+            meta = (rs.job.app_id, rs.rank, op.dst, op.tag, op.nbytes, now, req)
+            self.fabric.send_message(
+                rs.job.app_id, rs.node, rs.job.spec.rank_to_node[op.dst], op.nbytes, meta
+            )
+            return req
+        if isinstance(op, Irecv):
+            req = Request("recv", rs.rank, op.nbytes or 0, op.src, op.tag, now)
+            msg = self._match_unexpected(rs, op.src, op.tag)
+            if msg is not None:
+                req.complete = True
+                req.result = msg
+            else:
+                rs.posted_recvs.append(req)
+            return req
+        if isinstance(op, Wait):
+            req = op.request
+            if req.complete:
+                return req.result
+            req.waiter = rs
+            rs.wait_group = None
+            rs.pending_reqs = 1
+            self._block(rs)
+            return _BLOCKED
+        if isinstance(op, Waitall):
+            pending = [r for r in op.requests if not r.complete]
+            if not pending:
+                return [r.result for r in op.requests]
+            for r in pending:
+                r.waiter = rs
+            rs.wait_group = op.requests
+            rs.pending_reqs = len(pending)
+            self._block(rs)
+            return _BLOCKED
+        if isinstance(op, Compute):  # Sleep subclasses Compute
+            rs.stats.compute_time += op.seconds
+            self.engine.schedule(op.seconds, self._driver.lp_id, "wake", rs, Priority.WAKEUP)
+            rs.blocked = False  # not comm-blocked; just descheduled
+            return _BLOCKED
+        handler = self.op_handlers.get(type(op))
+        if handler is not None:
+            return handler(self, rs, op)
+        raise TypeError(f"rank program yielded unsupported object {op!r}")
+
+    def _block(self, rs: _RankState) -> None:
+        rs.blocked = True
+        rs.block_start = self.engine.now
+
+    def _unblock(self, rs: _RankState, value: Any) -> None:
+        rs.blocked = False
+        rs.stats.comm_time += self.engine.now - rs.block_start
+        self._advance(rs, value)
+
+    def _on_wake(self, rs: _RankState) -> None:
+        self._advance(rs, None)
+
+    # -- completion plumbing -----------------------------------------------------------
+    def _match_unexpected(self, rs: _RankState, src: int, tag: int) -> Message | None:
+        for i, msg in enumerate(rs.unexpected):
+            if (src == ANY_SOURCE or msg.src == src) and (tag == ANY_TAG or msg.tag == tag):
+                return rs.unexpected.pop(i)
+        return None
+
+    def _on_delivery(self, msg_id: int, meta: Any, time: float) -> None:
+        if isinstance(meta, MessageHook):
+            meta.on_delivered(time)
+            return
+        app_id, src_rank, dst_rank, tag, nbytes, posted_at, _send_req = meta
+        job = self.jobs[app_id]
+        rs = job.ranks[dst_rank]
+        rs.stats.msgs_recvd += 1
+        rs.stats.latencies.append(time - posted_at)
+        msg = Message(src_rank, tag, nbytes, posted_at, time)
+        for i, req in enumerate(rs.posted_recvs):
+            if (req.peer == ANY_SOURCE or req.peer == src_rank) and (
+                req.tag == ANY_TAG or req.tag == tag
+            ):
+                rs.posted_recvs.pop(i)
+                self._complete_request(req, msg)
+                return
+        rs.unexpected.append(msg)
+
+    def _on_injected(self, msg_id: int, meta: Any, time: float) -> None:
+        if isinstance(meta, MessageHook):
+            meta.on_injected(time)
+            return
+        send_req: Request = meta[6]
+        self._complete_request(send_req, None)
+
+    def _complete_request(self, req: Request, result: Any) -> None:
+        req.complete = True
+        req.result = result
+        rs = req.waiter
+        if rs is None or not rs.blocked:
+            return
+        req.waiter = None
+        rs.pending_reqs -= 1
+        if rs.pending_reqs > 0:
+            return
+        if rs.wait_group is not None:
+            value = [r.result for r in rs.wait_group]
+            rs.wait_group = None
+        else:
+            value = result
+        self._unblock(rs, value)

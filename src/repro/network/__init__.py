@@ -1,0 +1,44 @@
+"""Packet-level interconnect models (CODES substitute).
+
+Implements 1D and 2D dragonfly topologies with output-queued routers,
+bandwidth/latency link serialization, minimal and UGAL-style adaptive
+routing, per-application router counters and link-class load accounting
+-- the measurement machinery behind the paper's Figures 7-9 and
+Table VI.  Torus, fat-tree and slim fly models plug into the same
+fabric (the CODES network-layer roster of Section II-B).
+"""
+
+from repro.network.config import NetworkConfig, LinkClass
+from repro.network.topology import Topology, Port
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.dragonfly2d import Dragonfly2D
+from repro.network.torus import TorusTopology, torus_routing_factory
+from repro.network.fattree import FatTreeTopology, fattree_routing_factory
+from repro.network.slimfly import SlimFlyTopology, slimfly_routing_factory
+from repro.network.routing import RoutingPolicy, MinimalRouting, AdaptiveRouting, make_routing
+from repro.network.fabric import NetworkFabric
+from repro.network.packet import Packet
+from repro.network.stats import LinkLoadAccounting, WindowedAppCounter
+
+__all__ = [
+    "NetworkConfig",
+    "LinkClass",
+    "Topology",
+    "Port",
+    "Dragonfly1D",
+    "Dragonfly2D",
+    "TorusTopology",
+    "torus_routing_factory",
+    "FatTreeTopology",
+    "fattree_routing_factory",
+    "SlimFlyTopology",
+    "slimfly_routing_factory",
+    "RoutingPolicy",
+    "MinimalRouting",
+    "AdaptiveRouting",
+    "make_routing",
+    "NetworkFabric",
+    "Packet",
+    "LinkLoadAccounting",
+    "WindowedAppCounter",
+]

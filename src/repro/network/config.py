@@ -1,0 +1,91 @@
+"""Network configuration parameters.
+
+Bandwidths default to the paper's Section IV-A values: 16 GiB/s terminal
+links, 4.69 GiB/s local (intra-group) links and 5.25 GiB/s global
+(inter-group) links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+GiB = float(1 << 30)
+MiB = float(1 << 20)
+KiB = float(1 << 10)
+
+
+class LinkClass(IntEnum):
+    """Physical link classes of a dragonfly."""
+
+    TERMINAL = 0  # router <-> compute node
+    LOCAL = 1     # router <-> router, same group
+    GLOBAL = 2    # router <-> router, different groups
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Tunable parameters of the packet-level network model.
+
+    Attributes
+    ----------
+    packet_bytes:
+        Maximum payload carried by one packet; messages are segmented
+        into ceil(size / packet_bytes) packets.
+    terminal_bw / local_bw / global_bw:
+        Link bandwidths in bytes/second, per link class.
+    terminal_latency / local_latency / global_latency:
+        Propagation delay (seconds) added per traversal of a link of the
+        given class.  Global links are long optical cables and carry an
+        order of magnitude more latency than local electrical links.
+    router_delay:
+        Per-hop routing/arbitration pipeline delay (seconds).
+    adaptive_bias:
+        UGAL bias (packets) favouring the minimal path; the non-minimal
+        path is taken only when its weighted queue estimate beats the
+        minimal estimate by more than this margin.
+    seed:
+        Seed for all routing tie-break randomness.
+    """
+
+    packet_bytes: int = 4096
+    terminal_bw: float = 16.0 * GiB
+    local_bw: float = 4.69 * GiB
+    global_bw: float = 5.25 * GiB
+    terminal_latency: float = 30e-9
+    local_latency: float = 60e-9
+    global_latency: float = 600e-9
+    router_delay: float = 50e-9
+    adaptive_bias: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.packet_bytes <= 0:
+            raise ValueError(f"packet_bytes must be positive, got {self.packet_bytes}")
+        for name in ("terminal_bw", "local_bw", "global_bw"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        for name in (
+            "terminal_latency",
+            "local_latency",
+            "global_latency",
+            "router_delay",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def bandwidth(self, link_class: LinkClass) -> float:
+        """Bandwidth (bytes/s) for a link class."""
+        if link_class == LinkClass.TERMINAL:
+            return self.terminal_bw
+        if link_class == LinkClass.LOCAL:
+            return self.local_bw
+        return self.global_bw
+
+    def latency(self, link_class: LinkClass) -> float:
+        """Propagation latency (s) for a link class."""
+        if link_class == LinkClass.TERMINAL:
+            return self.terminal_latency
+        if link_class == LinkClass.LOCAL:
+            return self.local_latency
+        return self.global_latency

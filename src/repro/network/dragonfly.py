@@ -1,0 +1,63 @@
+"""1D dragonfly: fully-connected groups (Kim et al., ISCA'08).
+
+Routers within a group are all-to-all connected, so any intra-group move
+is one local hop and the minimal inter-group path is at most
+local + global + local = 3 router-to-router hops.  The paper's 1D system
+(Table II): 33 groups x 32 routers x 8 nodes = 8,448 nodes, 4 global
+channels per router.
+"""
+
+from __future__ import annotations
+
+from repro.network.config import LinkClass
+from repro.network.topology import Topology
+
+
+class Dragonfly1D(Topology):
+    """Classic single-level dragonfly group."""
+
+    name = "1D dragonfly"
+
+    def __init__(
+        self,
+        n_groups: int = 33,
+        routers_per_group: int = 32,
+        nodes_per_router: int = 8,
+        global_per_router: int = 4,
+    ) -> None:
+        super().__init__(n_groups, routers_per_group, nodes_per_router, global_per_router)
+
+    @classmethod
+    def paper(cls) -> "Dragonfly1D":
+        """The exact Table II 1D configuration (8,448 nodes)."""
+        return cls(n_groups=33, routers_per_group=32, nodes_per_router=8, global_per_router=4)
+
+    @classmethod
+    def mini(cls) -> "Dragonfly1D":
+        """Scaled-down configuration used by the simulation sweeps.
+
+        Preserves the 1D balance rules (all-to-all groups, about one
+        global link per router pair of groups) at ~1/60 the node count.
+        """
+        return cls(n_groups=9, routers_per_group=8, nodes_per_router=2, global_per_router=2)
+
+    def _build_local_links(self) -> None:
+        a = self.routers_per_group
+        for g in range(self.n_groups):
+            base = g * a
+            for i in range(a):
+                for j in range(a):
+                    if i != j:
+                        self._add_router_port(base + i, LinkClass.LOCAL, base + j)
+
+    def local_paths(self, src_router: int, dst_router: int) -> list[list[int]]:
+        if self.group_of(src_router) != self.group_of(dst_router):
+            raise ValueError(
+                f"local_paths requires same-group routers, got {src_router} and {dst_router}"
+            )
+        if src_router == dst_router:
+            return [[]]
+        return [[dst_router]]
+
+    def local_diameter(self) -> int:
+        return 1

@@ -1,0 +1,101 @@
+"""2D dragonfly: Cray Cascade / XC-style groups (Faanes et al., SC'12).
+
+Routers within a group sit on a ``rows x cols`` grid; routers sharing a
+row or a column are all-to-all connected, so an intra-group move takes
+up to 2 local hops (row then column, or column then row) and the minimal
+inter-group path is up to 2 + 1 + 2 = 5 hops.  The paper's 2D system
+(Table II): 22 groups x 96 routers (6 x 16) x 4 nodes = 8,448 nodes,
+7 global channels per router.
+"""
+
+from __future__ import annotations
+
+from repro.network.config import LinkClass
+from repro.network.topology import Topology
+
+
+class Dragonfly2D(Topology):
+    """Two-dimensional (row/column all-to-all) dragonfly group."""
+
+    name = "2D dragonfly"
+
+    def __init__(
+        self,
+        n_groups: int = 22,
+        rows: int = 6,
+        cols: int = 16,
+        nodes_per_router: int = 4,
+        global_per_router: int = 7,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError(f"rows and cols must be >= 1, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        super().__init__(n_groups, rows * cols, nodes_per_router, global_per_router)
+
+    @classmethod
+    def paper(cls) -> "Dragonfly2D":
+        """The exact Table II 2D configuration (8,448 nodes)."""
+        return cls(n_groups=22, rows=6, cols=16, nodes_per_router=4, global_per_router=7)
+
+    @classmethod
+    def mini(cls) -> "Dragonfly2D":
+        """Scaled-down configuration matching :meth:`Dragonfly1D.mini`.
+
+        Same node count (144) as the mini 1D system so the two networks
+        host identical workloads, and the same structural relations as
+        the paper-scale pair: the 2D system has twice the routers (via
+        fewer nodes per router), larger groups, and more local *and*
+        global links than the 1D system -- the Table VI preconditions.
+        """
+        return cls(n_groups=6, rows=4, cols=6, nodes_per_router=1, global_per_router=2)
+
+    # -- grid helpers --------------------------------------------------------
+    def row_col(self, router: int) -> tuple[int, int]:
+        """Grid coordinates of a router within its group."""
+        li = self.local_index(router)
+        return li // self.cols, li % self.cols
+
+    def router_at(self, group: int, row: int, col: int) -> int:
+        return self.router_id(group, row * self.cols + col)
+
+    def _build_local_links(self) -> None:
+        for g in range(self.n_groups):
+            for row in range(self.rows):
+                for c1 in range(self.cols):
+                    for c2 in range(self.cols):
+                        if c1 != c2:
+                            self._add_router_port(
+                                self.router_at(g, row, c1),
+                                LinkClass.LOCAL,
+                                self.router_at(g, row, c2),
+                            )
+            for col in range(self.cols):
+                for r1 in range(self.rows):
+                    for r2 in range(self.rows):
+                        if r1 != r2:
+                            self._add_router_port(
+                                self.router_at(g, r1, col),
+                                LinkClass.LOCAL,
+                                self.router_at(g, r2, col),
+                            )
+
+    def local_paths(self, src_router: int, dst_router: int) -> list[list[int]]:
+        g = self.group_of(src_router)
+        if g != self.group_of(dst_router):
+            raise ValueError(
+                f"local_paths requires same-group routers, got {src_router} and {dst_router}"
+            )
+        if src_router == dst_router:
+            return [[]]
+        r1, c1 = self.row_col(src_router)
+        r2, c2 = self.row_col(dst_router)
+        if r1 == r2 or c1 == c2:
+            return [[dst_router]]
+        # Dimension change: go through one of the two corner routers.
+        corner_a = self.router_at(g, r1, c2)  # row first
+        corner_b = self.router_at(g, r2, c1)  # column first
+        return [[corner_a, dst_router], [corner_b, dst_router]]
+
+    def local_diameter(self) -> int:
+        return 2 if (self.rows > 1 and self.cols > 1) else 1

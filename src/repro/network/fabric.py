@@ -1,0 +1,221 @@
+"""NetworkFabric: ties topology, routers, terminals and stats together.
+
+The fabric is the message-level facade the MPI layer talks to: it
+assigns message ids, segments/injects via the source terminal, tracks
+reassembly, and invokes a delivery callback when the last byte of a
+message reaches the destination terminal.  It owns the two measurement
+instruments (per-app windowed router counters and link-load accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.network.config import NetworkConfig
+from repro.network.router import RouterLP
+from repro.network.routing import make_routing
+from repro.network.stats import LinkLoadAccounting, WindowedAppCounter
+from repro.network.terminal import TerminalLP
+from repro.network.topology import Topology
+from repro.pdes.engine import Engine
+from repro.pdes.event import Priority
+from repro.pdes.sequential import SequentialEngine
+
+# Called as callback(msg_id, meta, completion_time)
+DeliveryCallback = Callable[[int, Any, float], None]
+
+
+class _MsgState:
+    __slots__ = ("size", "remaining", "meta", "app_id", "injected_at")
+
+    def __init__(self, size: int, meta: Any, app_id: int) -> None:
+        self.size = size
+        self.remaining = size
+        self.meta = meta
+        self.app_id = app_id
+        self.injected_at = -1.0
+
+
+class NetworkFabric:
+    """A simulated interconnect instance.
+
+    Parameters
+    ----------
+    topo:
+        Topology (1D or 2D dragonfly).
+    config:
+        Link/packet parameters.
+    routing:
+        ``"min"`` / ``"adp"`` (dragonfly policies), or a callable
+        ``factory(topo, config, probe, stream_id) -> policy`` for other
+        topologies (e.g. :func:`repro.network.torus.torus_routing_factory`).
+    engine:
+        PDES engine; a fresh :class:`SequentialEngine` by default.
+    counter_window:
+        Aggregation window of the per-app router counters (the paper
+        uses 0.5 ms; mini-scale experiments shrink it proportionally).
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        config: NetworkConfig | None = None,
+        routing: str = "adp",
+        engine: Engine | None = None,
+        counter_window: float = 0.5e-3,
+    ) -> None:
+        self.topo = topo
+        self.config = config or NetworkConfig()
+        self.engine = engine or SequentialEngine()
+        self.app_counter = WindowedAppCounter(counter_window)
+        self.link_loads = LinkLoadAccounting(topo)
+
+        self.routers: list[RouterLP] = []
+        self.terminals: list[TerminalLP] = []
+        for r in range(topo.n_routers):
+            lp = RouterLP(r, topo, self.config, self)
+            self.engine.register(lp)
+            self.routers.append(lp)
+        for n in range(topo.n_nodes):
+            lp = TerminalLP(n, topo, self.config, self)
+            self.engine.register(lp)
+            self.terminals.append(lp)
+
+        def probe(router: int, port: int) -> int:
+            return self.routers[router].queue_depth(port)
+
+        if callable(routing):
+            self.routing = routing(topo, self.config, probe, stream_id=1)
+        else:
+            self.routing = make_routing(routing, topo, self.config, probe, stream_id=1)
+        self.routing_name = self.routing.name
+        self._probe = probe
+        # Per-application routing overrides ("routing police" per job, as
+        # the paper's concurrent-workload support allows).
+        self._app_routing: dict[int, Any] = {}
+
+        self._msgs: dict[int, _MsgState] = {}
+        self._next_msg_id = 0
+        self._next_pkt_id = 0
+        #: Per-application count of packets routed non-minimally.
+        self.nonmin_packets: dict[int, int] = {}
+        self.total_packets: dict[int, int] = {}
+        self._on_delivery: DeliveryCallback | None = None
+        self._on_injected: Callable[[int, Any, float], None] | None = None
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.bytes_sent = 0
+
+    # -- LP id mapping ----------------------------------------------------
+    def router_lp_id(self, router: int) -> int:
+        return self.routers[router].lp_id
+
+    def terminal_lp_id(self, node: int) -> int:
+        return self.terminals[node].lp_id
+
+    def next_packet_id(self) -> int:
+        pid = self._next_pkt_id
+        self._next_pkt_id += 1
+        return pid
+
+    # -- per-application routing -----------------------------------------------
+    def set_app_routing(self, app_id: int, routing) -> None:
+        """Override the routing policy for one application's traffic.
+
+        ``routing`` is a policy name (``"min"``/``"adp"``) or a factory
+        like the constructor's ``routing`` parameter.  Each override gets
+        its own RNG stream so adding one job's override never perturbs
+        another job's path choices.
+        """
+        stream_id = 101 + app_id
+        if callable(routing):
+            policy = routing(self.topo, self.config, self._probe, stream_id=stream_id)
+        else:
+            policy = make_routing(routing, self.topo, self.config, self._probe, stream_id=stream_id)
+        self._app_routing[app_id] = policy
+
+    def routing_for(self, app_id: int):
+        """The routing policy used by ``app_id``'s packets."""
+        return self._app_routing.get(app_id, self.routing)
+
+    # -- callbacks -----------------------------------------------------------
+    def set_delivery_callback(self, cb: DeliveryCallback) -> None:
+        """Invoked as ``cb(msg_id, meta, time)`` when a message completes."""
+        self._on_delivery = cb
+
+    def set_injection_callback(self, cb: Callable[[int, Any, float], None]) -> None:
+        """Invoked when a message's last packet leaves the source NIC."""
+        self._on_injected = cb
+
+    # -- message API -----------------------------------------------------------
+    def send_message(self, app_id: int, src_node: int, dst_node: int, size: int, meta: Any = None) -> int:
+        """Inject one message; returns its id.
+
+        Must be called from within an event handler (engine time must be
+        current).  ``size`` may be zero (control message).
+        """
+        if not 0 <= src_node < self.topo.n_nodes:
+            raise ValueError(f"src_node {src_node} out of range")
+        if not 0 <= dst_node < self.topo.n_nodes:
+            raise ValueError(f"dst_node {dst_node} out of range")
+        if size < 0:
+            raise ValueError(f"message size must be >= 0, got {size}")
+        msg_id = self._next_msg_id
+        self._next_msg_id += 1
+        self._msgs[msg_id] = _MsgState(size, meta, app_id)
+        self.messages_sent += 1
+        self.bytes_sent += size
+        if src_node == dst_node:
+            # Self-send: a local memory copy, modeled at terminal bandwidth
+            # plus one terminal latency, bypassing the network entirely.
+            delay = size / self.config.terminal_bw + self.config.terminal_latency
+            self.engine.schedule(
+                delay, self.terminal_lp_id(dst_node), "loopback", msg_id, Priority.NETWORK
+            )
+        else:
+            self.terminals[src_node].inject_message(msg_id, app_id, dst_node, size)
+        return msg_id
+
+    # -- notifications from LPs ---------------------------------------------------
+    def on_message_injected(self, msg_id: int, time: float) -> None:
+        st = self._msgs[msg_id]
+        st.injected_at = time
+        if self._on_injected is not None:
+            self._on_injected(msg_id, st.meta, time)
+
+    def on_packet_delivered(self, pkt, time: float) -> None:
+        st = self._msgs.get(pkt.msg_id)
+        if st is None:  # pragma: no cover - defensive
+            raise KeyError(f"packet for unknown message {pkt.msg_id}")
+        st.remaining -= pkt.size
+        if st.remaining <= 0:
+            self._complete(pkt.msg_id, st, time)
+
+    def on_loopback(self, msg_id: int, time: float) -> None:
+        st = self._msgs[msg_id]
+        st.injected_at = time
+        if self._on_injected is not None:
+            self._on_injected(msg_id, st.meta, time)
+        self._complete(msg_id, st, time)
+
+    def _complete(self, msg_id: int, st: _MsgState, time: float) -> None:
+        del self._msgs[msg_id]
+        self.messages_delivered += 1
+        if self._on_delivery is not None:
+            self._on_delivery(msg_id, st.meta, time)
+
+    def on_packet_routed(self, app_id: int, nonmin: bool) -> None:
+        """Terminal notification: one packet's route was chosen."""
+        self.total_packets[app_id] = self.total_packets.get(app_id, 0) + 1
+        if nonmin:
+            self.nonmin_packets[app_id] = self.nonmin_packets.get(app_id, 0) + 1
+
+    # -- inspection -------------------------------------------------------------
+    def in_flight(self) -> int:
+        """Messages injected but not yet fully delivered."""
+        return len(self._msgs)
+
+    def nonmin_fraction(self, app_id: int) -> float:
+        """Fraction of ``app_id``'s packets that took a Valiant detour."""
+        total = self.total_packets.get(app_id, 0)
+        return self.nonmin_packets.get(app_id, 0) / total if total else 0.0

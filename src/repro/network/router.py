@@ -1,0 +1,99 @@
+"""Router logical process: output-queued, per-port serialized forwarding.
+
+Each output port transmits one packet at a time at the link's bandwidth;
+packets arriving while the port is busy wait in the port's FIFO.  This
+serialization is the sole source of queueing delay in the model -- and
+therefore of all congestion phenomena the paper measures (message-latency
+inflation under interference, adaptive routing's reaction to queue
+depth, hot links under random-node placement).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.network.config import LinkClass, NetworkConfig
+from repro.network.packet import Packet
+from repro.network.topology import Topology
+from repro.pdes.event import Event, Priority
+from repro.pdes.lp import LP
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.fabric import NetworkFabric
+
+
+class RouterLP(LP):
+    """One dragonfly router."""
+
+    __slots__ = ("rid", "topo", "config", "fabric", "queues", "busy", "packets_forwarded")
+
+    def __init__(self, rid: int, topo: Topology, config: NetworkConfig, fabric: "NetworkFabric") -> None:
+        super().__init__()
+        self.rid = rid
+        self.topo = topo
+        self.config = config
+        self.fabric = fabric
+        n_ports = len(topo.router_ports[rid])
+        self.queues: list[deque[Packet]] = [deque() for _ in range(n_ports)]
+        self.busy: list[bool] = [False] * n_ports
+        self.packets_forwarded = 0
+
+    # -- queue sensing (used by adaptive routing) ---------------------------
+    def queue_depth(self, port: int) -> int:
+        return len(self.queues[port]) + (1 if self.busy[port] else 0)
+
+    # -- event handling ------------------------------------------------------
+    def handle(self, event: Event) -> None:
+        if event.kind == "pkt":
+            self._on_arrival(event.data)
+        elif event.kind == "free":
+            self._on_port_free(event.data)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"router {self.rid} got unknown event kind {event.kind!r}")
+
+    def _on_arrival(self, pkt: Packet) -> None:
+        self.fabric.app_counter.record(self.rid, pkt.app_id, self.engine.now, pkt.size)
+        port = self._select_port(pkt)
+        if self.busy[port]:
+            self.queues[port].append(pkt)
+        else:
+            self._transmit(port, pkt)
+
+    def _select_port(self, pkt: Packet) -> int:
+        if pkt.at_last_router():
+            return self.topo.port_to_node[self.rid][pkt.dst_node]
+        next_router = pkt.path[pkt.hop + 1]
+        candidates = self.topo.ports_to_router[self.rid][next_router]
+        if len(candidates) == 1:
+            return candidates[0]
+        # Parallel links to the same neighbour: take the shallowest queue.
+        return min(candidates, key=self.queue_depth)
+
+    def _transmit(self, port: int, pkt: Packet) -> None:
+        self.busy[port] = True
+        p = self.topo.router_ports[self.rid][port]
+        bw = self.config.bandwidth(p.link_class)
+        tx = pkt.size / bw
+        done = self.engine.now + tx
+        self.fabric.link_loads.record(p.link_id, pkt.size)
+        self.packets_forwarded += 1
+        if p.link_class == LinkClass.TERMINAL:
+            arrive = done + self.config.terminal_latency
+            self.engine.schedule_at(
+                arrive, self.fabric.terminal_lp_id(p.peer_node), "pkt", pkt, Priority.NETWORK, self.lp_id
+            )
+        else:
+            pkt.hop += 1
+            arrive = done + self.config.latency(p.link_class) + self.config.router_delay
+            self.engine.schedule_at(
+                arrive, self.fabric.router_lp_id(p.peer_router), "pkt", pkt, Priority.NETWORK, self.lp_id
+            )
+        self.engine.schedule_at(done, self.lp_id, "free", port, Priority.NETWORK, self.lp_id)
+
+    def _on_port_free(self, port: int) -> None:
+        q = self.queues[port]
+        if q:
+            self._transmit(port, q.popleft())
+        else:
+            self.busy[port] = False

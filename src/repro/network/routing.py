@@ -1,0 +1,135 @@
+"""Routing policies: minimal (MIN) and UGAL-style adaptive (ADP).
+
+Paths are selected per packet at injection time, at router granularity;
+the forwarding router picks the least-loaded port among parallel links
+to the chosen next router.  Adaptive routing implements UGAL-L: compare
+the queue depth of the first hop of a candidate minimal path against a
+candidate Valiant (non-minimal) path, weighted by path length, with a
+configurable bias towards minimal (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.network.config import NetworkConfig
+from repro.network.topology import Topology
+from repro.pdes.rng import SplitMix
+
+# queue_probe(router_id, port_id) -> packets queued on that output port
+QueueProbe = Callable[[int, int], int]
+
+
+class RoutingPolicy:
+    """Base class: selects the router-level path of one packet."""
+
+    name = "abstract"
+
+    def __init__(self, topo: Topology, config: NetworkConfig, probe: QueueProbe, stream_id: int = 0) -> None:
+        self.topo = topo
+        self.config = config
+        self.probe = probe
+        self.rng = SplitMix(config.seed, stream_id)
+
+    def select_path(self, src_router: int, dst_router: int) -> tuple[list[int], bool]:
+        """Return ``(path, nonminimal)``; path includes src and dst routers."""
+        raise NotImplementedError
+
+    # -- shared path construction -------------------------------------------
+    def _minimal_candidate(self, src_router: int, dst_router: int) -> list[int]:
+        """One randomly chosen minimal path (router ids, src..dst)."""
+        topo = self.topo
+        if src_router == dst_router:
+            return [src_router]
+        g1, g2 = topo.group_of(src_router), topo.group_of(dst_router)
+        if g1 == g2:
+            tail = self.rng.choice(topo.local_paths(src_router, dst_router))
+            return [src_router] + tail
+        gw1 = self.rng.choice(topo.gateways[g1][g2])
+        port = self.rng.choice(topo.global_ports_to_group[gw1][g2])
+        gw2 = topo.router_ports[gw1][port].peer_router
+        path = [src_router]
+        if gw1 != src_router:
+            path += self.rng.choice(topo.local_paths(src_router, gw1))
+        path.append(gw2)
+        if gw2 != dst_router:
+            path += self.rng.choice(topo.local_paths(gw2, dst_router))
+        return path
+
+    def _valiant_candidate(self, src_router: int, dst_router: int) -> list[int]:
+        """One non-minimal path through a random intermediate group."""
+        topo = self.topo
+        g1, g2 = topo.group_of(src_router), topo.group_of(dst_router)
+        if topo.n_groups <= 2 or g1 == g2:
+            # No useful intermediate group exists; fall back to minimal.
+            return self._minimal_candidate(src_router, dst_router)
+        gi = self.rng.randint(topo.n_groups)
+        while gi == g1 or gi == g2:
+            gi = self.rng.randint(topo.n_groups)
+        gw1 = self.rng.choice(topo.gateways[g1][gi])
+        port = self.rng.choice(topo.global_ports_to_group[gw1][gi])
+        entry = topo.router_ports[gw1][port].peer_router
+        head = [src_router]
+        if gw1 != src_router:
+            head += self.rng.choice(topo.local_paths(src_router, gw1))
+        head.append(entry)
+        tail = self._minimal_candidate(entry, dst_router)
+        return head + tail[1:]
+
+    def _first_hop_queue(self, path: list[int]) -> int:
+        """Depth of the output queue the packet would first join."""
+        if len(path) < 2:
+            return 0
+        src = path[0]
+        ports = self.topo.ports_to_router[src][path[1]]
+        return min(self.probe(src, p) for p in ports)
+
+
+class MinimalRouting(RoutingPolicy):
+    """Always route along a (randomly tie-broken) minimal path."""
+
+    name = "min"
+
+    def select_path(self, src_router: int, dst_router: int) -> tuple[list[int], bool]:
+        return self._minimal_candidate(src_router, dst_router), False
+
+
+class AdaptiveRouting(RoutingPolicy):
+    """UGAL-L: pick minimal unless a Valiant detour looks less congested.
+
+    Decision rule (per packet, using source-router queue depths only):
+    take the non-minimal path iff
+
+        q_min * h_min > q_non * h_non + bias
+    """
+
+    name = "adp"
+
+    def select_path(self, src_router: int, dst_router: int) -> tuple[list[int], bool]:
+        min_path = self._minimal_candidate(src_router, dst_router)
+        if src_router == dst_router:
+            return min_path, False
+        non_path = self._valiant_candidate(src_router, dst_router)
+        if len(non_path) <= len(min_path):
+            return min_path, False
+        q_min = self._first_hop_queue(min_path)
+        q_non = self._first_hop_queue(non_path)
+        h_min = len(min_path) - 1
+        h_non = len(non_path) - 1
+        if q_min * h_min > q_non * h_non + self.config.adaptive_bias:
+            return non_path, True
+        return min_path, False
+
+
+_POLICIES = {"min": MinimalRouting, "adp": AdaptiveRouting}
+
+
+def make_routing(
+    name: str, topo: Topology, config: NetworkConfig, probe: QueueProbe, stream_id: int = 0
+) -> RoutingPolicy:
+    """Construct a routing policy by short name (``"min"`` or ``"adp"``)."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown routing policy {name!r}; expected one of {sorted(_POLICIES)}") from None
+    return cls(topo, config, probe, stream_id)

@@ -1,0 +1,116 @@
+"""Measurement machinery: per-app router counters and link loads.
+
+Implements the two instruments described in Section IV-D:
+
+* a per-application packet counter on every router, aggregated over a
+  configurable time window (the paper uses 0.5 ms) -- drives Figure 8;
+* end-of-simulation per-link byte totals by link class -- drives
+  Table VI.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.network.config import LinkClass
+from repro.network.topology import Topology
+
+
+class WindowedAppCounter:
+    """Counts bytes received by each router, per application, per window.
+
+    ``record`` is on the packet-arrival hot path; it does two dict
+    lookups and an integer add.  Queries aggregate lazily.
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        # (router, app) -> {bin_index: bytes}
+        self._bins: dict[tuple[int, int], dict[int, int]] = defaultdict(dict)
+
+    def record(self, router: int, app_id: int, time: float, nbytes: int) -> None:
+        b = int(time / self.window)
+        bins = self._bins[(router, app_id)]
+        bins[b] = bins.get(b, 0) + nbytes
+
+    def apps_seen(self) -> set[int]:
+        return {app for (_r, app) in self._bins}
+
+    def routers_seen(self) -> set[int]:
+        return {r for (r, _app) in self._bins}
+
+    def series(self, routers: set[int] | list[int], app_id: int, horizon: float) -> np.ndarray:
+        """Total bytes per window received by ``routers`` from ``app_id``.
+
+        Returns an array of length ``ceil(horizon / window)``.
+        """
+        n_bins = max(1, int(np.ceil(horizon / self.window)))
+        out = np.zeros(n_bins, dtype=np.int64)
+        for r in routers:
+            bins = self._bins.get((r, app_id))
+            if not bins:
+                continue
+            for b, v in bins.items():
+                if b < n_bins:
+                    out[b] += v
+        return out
+
+    def total(self, routers: set[int] | list[int], app_id: int) -> int:
+        return int(
+            sum(
+                sum(bins.values())
+                for r in routers
+                if (bins := self._bins.get((r, app_id)))
+            )
+        )
+
+
+class LinkLoadAccounting:
+    """Accumulates bytes pushed over every directed link.
+
+    Queried at end of simulation for the Table VI rows: total load per
+    link class and average load per link.
+    """
+
+    def __init__(self, topo: Topology) -> None:
+        self.topo = topo
+        self.bytes_per_link = np.zeros(topo.n_links, dtype=np.int64)
+        self._class_index = np.asarray(topo.link_class_of, dtype=np.int8)
+
+    def record(self, link_id: int, nbytes: int) -> None:
+        self.bytes_per_link[link_id] += nbytes
+
+    def class_total(self, link_class: LinkClass) -> int:
+        mask = self._class_index == int(link_class)
+        return int(self.bytes_per_link[mask].sum())
+
+    def class_link_count(self, link_class: LinkClass) -> int:
+        return int((self._class_index == int(link_class)).sum())
+
+    def class_mean_per_link(self, link_class: LinkClass) -> float:
+        n = self.class_link_count(link_class)
+        return self.class_total(link_class) / n if n else 0.0
+
+    def class_max_per_link(self, link_class: LinkClass) -> int:
+        mask = self._class_index == int(link_class)
+        return int(self.bytes_per_link[mask].max()) if mask.any() else 0
+
+    def global_fraction(self) -> float:
+        """Fraction of all router-to-router traffic on global links."""
+        g = self.class_total(LinkClass.GLOBAL)
+        l = self.class_total(LinkClass.LOCAL)
+        return g / (g + l) if (g + l) else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Table VI row for this system."""
+        return {
+            "global_total_bytes": self.class_total(LinkClass.GLOBAL),
+            "local_total_bytes": self.class_total(LinkClass.LOCAL),
+            "global_per_link_bytes": self.class_mean_per_link(LinkClass.GLOBAL),
+            "local_per_link_bytes": self.class_mean_per_link(LinkClass.LOCAL),
+            "global_fraction": self.global_fraction(),
+        }

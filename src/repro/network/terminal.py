@@ -1,0 +1,117 @@
+"""Terminal (NIC) logical process: injection, segmentation, reassembly.
+
+The terminal serializes outgoing packets onto its uplink at the terminal
+bandwidth (so a rank's sends contend at its own NIC before they contend
+in the network), selects each packet's route at the moment the packet
+leaves (so adaptive routing sees fresh queue depths) and reassembles
+arriving packets into messages, notifying the fabric when a message is
+complete.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.network.config import NetworkConfig
+from repro.network.packet import Packet
+from repro.network.topology import Topology
+from repro.pdes.event import Event, Priority
+from repro.pdes.lp import LP
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.fabric import NetworkFabric
+
+
+class _PendingPacket:
+    """A packet waiting in the NIC injection queue (route not yet chosen)."""
+
+    __slots__ = ("msg_id", "app_id", "dst_node", "size", "is_tail")
+
+    def __init__(self, msg_id: int, app_id: int, dst_node: int, size: int, is_tail: bool) -> None:
+        self.msg_id = msg_id
+        self.app_id = app_id
+        self.dst_node = dst_node
+        self.size = size
+        self.is_tail = is_tail
+
+
+class TerminalLP(LP):
+    """One compute node's network interface."""
+
+    __slots__ = ("node", "topo", "config", "fabric", "inj_queue", "inj_busy")
+
+    def __init__(self, node: int, topo: Topology, config: NetworkConfig, fabric: "NetworkFabric") -> None:
+        super().__init__()
+        self.node = node
+        self.topo = topo
+        self.config = config
+        self.fabric = fabric
+        self.inj_queue: deque[_PendingPacket] = deque()
+        self.inj_busy = False
+
+    # -- sending ---------------------------------------------------------
+    def inject_message(self, msg_id: int, app_id: int, dst_node: int, size: int) -> None:
+        """Segment a message into packets and queue them for injection.
+
+        Called synchronously by the fabric from within an event handler.
+        """
+        psize = self.config.packet_bytes
+        remaining = size
+        first = True
+        while remaining > 0 or first:
+            chunk = min(psize, remaining) if remaining > 0 else 0
+            remaining -= chunk
+            self.inj_queue.append(
+                _PendingPacket(msg_id, app_id, dst_node, chunk, is_tail=(remaining <= 0))
+            )
+            first = False
+        if not self.inj_busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        pend = self.inj_queue.popleft()
+        self.inj_busy = True
+        src_router = self.topo.router_of_node(self.node)
+        dst_router = self.topo.router_of_node(pend.dst_node)
+        path, nonmin = self.fabric.routing_for(pend.app_id).select_path(src_router, dst_router)
+        self.fabric.on_packet_routed(pend.app_id, nonmin)
+        pkt = Packet(
+            self.fabric.next_packet_id(),
+            pend.msg_id,
+            pend.app_id,
+            self.node,
+            pend.dst_node,
+            pend.size,
+            path,
+            nonmin,
+        )
+        tx = pend.size / self.config.terminal_bw
+        done = self.engine.now + tx
+        arrive = done + self.config.terminal_latency + self.config.router_delay
+        self.engine.schedule_at(
+            arrive, self.fabric.router_lp_id(src_router), "pkt", pkt, Priority.NETWORK, self.lp_id
+        )
+        # Uplink shares the terminal link's load accounting with the downlink.
+        uplink = self.topo.router_ports[src_router][self.topo.port_to_node[src_router][self.node]]
+        self.fabric.link_loads.record(uplink.link_id, pend.size)
+        if pend.is_tail:
+            # Injection-complete notification must fire *at* `done`, not now.
+            self.engine.schedule_at(done, self.lp_id, "inj_done", pend.msg_id, Priority.NETWORK, self.lp_id)
+        self.engine.schedule_at(done, self.lp_id, "inj_free", None, Priority.NETWORK, self.lp_id)
+
+    # -- event handling ------------------------------------------------------
+    def handle(self, event: Event) -> None:
+        if event.kind == "pkt":
+            self.fabric.on_packet_delivered(event.data, self.engine.now)
+        elif event.kind == "inj_done":
+            self.fabric.on_message_injected(event.data, self.engine.now)
+        elif event.kind == "inj_free":
+            if self.inj_queue:
+                self._start_next()
+            else:
+                self.inj_busy = False
+        elif event.kind == "loopback":
+            self.fabric.on_loopback(event.data, self.engine.now)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"terminal {self.node} got unknown event kind {event.kind!r}")

@@ -1,0 +1,38 @@
+"""Parallel discrete-event simulation kernel (ROSS substitute).
+
+The paper's simulation stack runs CODES on top of ROSS, a parallel
+optimistic (Time Warp) discrete-event engine.  This package provides the
+Python equivalent: a common :class:`~repro.pdes.engine.Engine` interface
+with three interchangeable schedulers,
+
+* :class:`~repro.pdes.sequential.SequentialEngine` -- a deterministic
+  single-queue scheduler used by all network experiments,
+* :class:`~repro.pdes.conservative.ConservativeEngine` -- a YAWNS-style
+  lookahead-window scheduler over partitioned LPs,
+* :class:`~repro.pdes.timewarp.TimeWarpEngine` -- an optimistic Time Warp
+  scheduler with state saving, rollback, anti-messages and GVT-based
+  fossil collection.
+
+All three produce identical event trajectories for models with unique
+``(time, priority)`` keys; this is verified by the PHOLD tests in
+``tests/pdes``.
+"""
+
+from repro.pdes.event import Event, Priority
+from repro.pdes.lp import LP
+from repro.pdes.engine import Engine
+from repro.pdes.sequential import SequentialEngine
+from repro.pdes.conservative import ConservativeEngine
+from repro.pdes.timewarp import TimeWarpEngine
+from repro.pdes.rng import lp_stream
+
+__all__ = [
+    "Event",
+    "Priority",
+    "LP",
+    "Engine",
+    "SequentialEngine",
+    "ConservativeEngine",
+    "TimeWarpEngine",
+    "lp_stream",
+]

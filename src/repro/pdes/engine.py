@@ -1,0 +1,90 @@
+"""Common engine interface shared by all schedulers."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.pdes.event import Event, Priority
+from repro.pdes.lp import LP
+
+
+class Engine:
+    """Abstract discrete-event engine.
+
+    Concrete engines differ only in *how* they order and commit events;
+    the model-facing API (:meth:`register`, :meth:`schedule`,
+    :meth:`schedule_at`, :meth:`run`, :attr:`now`) is identical, so a
+    model written against :class:`Engine` runs unmodified on the
+    sequential, conservative and optimistic schedulers.
+    """
+
+    def __init__(self) -> None:
+        self.lps: list[LP] = []
+        self.now: float = 0.0
+        self._seq: int = 0
+        self.events_processed: int = 0
+        self._end_hooks: list[Callable[[], None]] = []
+
+    # -- topology of the model -------------------------------------------
+    def register(self, lp: LP) -> int:
+        """Register one LP and return its id."""
+        lp_id = len(self.lps)
+        lp.bind(self, lp_id)
+        self.lps.append(lp)
+        return lp_id
+
+    def register_all(self, lps: Iterable[LP]) -> list[int]:
+        return [self.register(lp) for lp in lps]
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        dst: int,
+        kind: str,
+        data: Any = None,
+        priority: int = Priority.NETWORK,
+        src: int = -1,
+    ) -> Event:
+        """Schedule an event ``delay`` seconds from the current time."""
+        return self.schedule_at(self.now + delay, dst, kind, data, priority, src)
+
+    def schedule_at(
+        self,
+        time: float,
+        dst: int,
+        kind: str,
+        data: Any = None,
+        priority: int = Priority.NETWORK,
+        src: int = -1,
+    ) -> Event:
+        """Schedule an event at absolute time ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past: t={time} < now={self.now}"
+            )
+        if not 0 <= dst < len(self.lps):
+            raise ValueError(f"unknown destination LP {dst}")
+        ev = Event(time, dst, kind, data, priority, src, send_time=self.now)
+        ev.seq = self._seq
+        self._seq += 1
+        self._push(ev)
+        return ev
+
+    # -- hooks -------------------------------------------------------------
+    def add_end_hook(self, fn: Callable[[], None]) -> None:
+        """Register a callable invoked once when :meth:`run` returns."""
+        self._end_hooks.append(fn)
+
+    def _run_end_hooks(self) -> None:
+        for fn in self._end_hooks:
+            fn()
+
+    # -- to be provided by concrete engines ---------------------------------
+    def _push(self, ev: Event) -> None:
+        raise NotImplementedError
+
+    def run(self, until: float = float("inf"), max_events: int | None = None) -> float:
+        """Execute events until the queue drains, ``until`` is passed, or
+        ``max_events`` have been committed.  Returns the final time."""
+        raise NotImplementedError

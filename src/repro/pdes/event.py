@@ -1,0 +1,88 @@
+"""Event objects and ordering keys for the PDES kernel.
+
+Events are ordered by ``(time, priority, seq)``.  ``seq`` is a globally
+monotone sequence number assigned at scheduling time; it makes heap
+ordering total, so runs are reproducible for a fixed schedule order.
+Cross-engine determinism additionally requires the ``(time, priority)``
+part of the key to be unique per destination LP (the engines may assign
+``seq`` in different orders); the network models guarantee this by
+deriving event times from continuous quantities.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Any
+
+
+class Priority(IntEnum):
+    """Coarse event classes used to break timestamp ties deterministically.
+
+    Lower values run first at equal timestamps.  ``CONTROL`` events
+    (e.g. GVT bookkeeping, stat flushes) run before model events so that
+    windowed counters close their bins before new traffic is recorded.
+    """
+
+    CONTROL = 0
+    NETWORK = 1
+    MPI = 2
+    WAKEUP = 3
+    LOW = 9
+
+
+class Event:
+    """A timestamped message addressed to one logical process.
+
+    Parameters
+    ----------
+    time:
+        Absolute simulation time (seconds) at which the event fires.
+    dst:
+        Destination LP id.
+    kind:
+        Small string tag dispatched on by the LP's handler.
+    data:
+        Arbitrary payload (kept opaque by the kernel).
+    priority:
+        Tie-break class, see :class:`Priority`.
+    src:
+        Originating LP id (or ``-1`` for external/initial events).
+    send_time:
+        Time at which the event was scheduled; used by Time Warp for
+        causality checks and anti-message matching.
+    """
+
+    __slots__ = ("time", "dst", "kind", "data", "priority", "src", "send_time", "seq")
+
+    def __init__(
+        self,
+        time: float,
+        dst: int,
+        kind: str,
+        data: Any = None,
+        priority: int = Priority.NETWORK,
+        src: int = -1,
+        send_time: float = 0.0,
+    ) -> None:
+        self.time = time
+        self.dst = dst
+        self.kind = kind
+        self.data = data
+        self.priority = priority
+        self.src = src
+        self.send_time = send_time
+        self.seq = -1  # assigned by the engine at scheduling time
+
+    def key(self) -> tuple[float, int, int]:
+        """Total ordering key used by every engine's event queue."""
+        return (self.time, self.priority, self.seq)
+
+    def uid(self) -> tuple[float, int, int, int]:
+        """Identity used for anti-message matching in Time Warp."""
+        return (self.time, self.priority, self.seq, self.dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(t={self.time:.9f}, dst={self.dst}, kind={self.kind!r}, "
+            f"prio={int(self.priority)}, seq={self.seq})"
+        )

@@ -1,0 +1,51 @@
+"""Logical process base class."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pdes.engine import Engine
+    from repro.pdes.event import Event
+
+
+class LP:
+    """A logical process: a state machine driven by timestamped events.
+
+    Subclasses implement :meth:`handle`.  LPs that run under the
+    optimistic engine must additionally implement :meth:`save_state` /
+    :meth:`load_state` (the defaults raise, making the requirement
+    explicit rather than silently wrong).
+    """
+
+    __slots__ = ("lp_id", "engine")
+
+    def __init__(self) -> None:
+        self.lp_id: int = -1
+        self.engine: "Engine | None" = None
+
+    # -- wiring ---------------------------------------------------------
+    def bind(self, engine: "Engine", lp_id: int) -> None:
+        """Called by the engine when the LP is registered."""
+        self.engine = engine
+        self.lp_id = lp_id
+
+    # -- model interface -------------------------------------------------
+    def handle(self, event: "Event") -> None:
+        """Process one event.  May schedule new events via ``self.engine``."""
+        raise NotImplementedError
+
+    # -- optimistic-execution support -------------------------------------
+    def save_state(self) -> Any:
+        """Return an opaque snapshot of the LP's mutable state."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state saving; "
+            "it cannot run under TimeWarpEngine"
+        )
+
+    def load_state(self, state: Any) -> None:
+        """Restore a snapshot previously produced by :meth:`save_state`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state restore; "
+            "it cannot run under TimeWarpEngine"
+        )

@@ -1,0 +1,19 @@
+"""Job placement policies (Section IV-C)."""
+
+from repro.placement.policies import (
+    PlacementError,
+    random_nodes,
+    random_routers,
+    random_groups,
+    make_placement,
+    PLACEMENTS,
+)
+
+__all__ = [
+    "PlacementError",
+    "random_nodes",
+    "random_routers",
+    "random_groups",
+    "make_placement",
+    "PLACEMENTS",
+]

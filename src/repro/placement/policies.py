@@ -1,0 +1,115 @@
+"""Job placement policies for multi-job co-scheduling (Section IV-C).
+
+Each policy maps a list of job sizes (rank counts) onto disjoint node
+sets of a topology:
+
+* **Random Nodes (RN)** -- nodes drawn uniformly from the whole system;
+  nodes on one router typically end up in different jobs.
+* **Random Routers (RR)** -- jobs get whole routers (randomly chosen);
+  nodes under a router are assigned consecutively, preventing
+  router-level sharing between jobs.
+* **Random Groups (RG)** -- jobs get whole groups; confines most of a
+  job's traffic within its own groups.
+
+All policies draw from a deterministic :class:`numpy.random.Generator`
+stream derived from the experiment seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.topology import Topology
+from repro.pdes.rng import lp_stream
+
+
+class PlacementError(ValueError):
+    """The requested jobs do not fit under the policy's constraints."""
+
+
+def _check_total(topo: Topology, job_sizes: list[int]) -> None:
+    for i, size in enumerate(job_sizes):
+        if size < 1:
+            raise PlacementError(f"job {i} has non-positive size {size}")
+    total = sum(job_sizes)
+    if total > topo.n_nodes:
+        raise PlacementError(
+            f"jobs need {total} nodes but the system has only {topo.n_nodes}"
+        )
+
+
+def random_nodes(topo: Topology, job_sizes: list[int], seed: int = 0) -> list[list[int]]:
+    """RN: sample each job's nodes uniformly from the entire system."""
+    _check_total(topo, job_sizes)
+    rng = lp_stream(seed, 101)
+    perm = rng.permutation(topo.n_nodes)
+    out: list[list[int]] = []
+    cursor = 0
+    for size in job_sizes:
+        out.append([int(x) for x in perm[cursor : cursor + size]])
+        cursor += size
+    return out
+
+
+def random_routers(topo: Topology, job_sizes: list[int], seed: int = 0) -> list[list[int]]:
+    """RR: give each job whole routers; fill each router's nodes consecutively."""
+    _check_total(topo, job_sizes)
+    npr = topo.nodes_per_router
+    rng = lp_stream(seed, 102)
+    routers = [int(r) for r in rng.permutation(topo.n_routers)]
+    needed = sum(-(-size // npr) for size in job_sizes)
+    if needed > topo.n_routers:
+        raise PlacementError(
+            f"jobs need {needed} whole routers but the system has only {topo.n_routers}"
+        )
+    out: list[list[int]] = []
+    cursor = 0
+    for size in job_sizes:
+        n_routers = -(-size // npr)
+        nodes: list[int] = []
+        for r in routers[cursor : cursor + n_routers]:
+            nodes.extend(topo.nodes_of_router(r))
+        out.append(nodes[:size])
+        cursor += n_routers
+    return out
+
+
+def random_groups(topo: Topology, job_sizes: list[int], seed: int = 0) -> list[list[int]]:
+    """RG: give each job whole groups; fill each group's nodes consecutively."""
+    _check_total(topo, job_sizes)
+    npg = topo.nodes_per_group
+    rng = lp_stream(seed, 103)
+    groups = [int(g) for g in rng.permutation(topo.n_groups)]
+    needed = sum(-(-size // npg) for size in job_sizes)
+    if needed > topo.n_groups:
+        raise PlacementError(
+            f"jobs need {needed} whole groups but the system has only {topo.n_groups}"
+        )
+    out: list[list[int]] = []
+    cursor = 0
+    for size in job_sizes:
+        n_groups = -(-size // npg)
+        nodes: list[int] = []
+        for g in groups[cursor : cursor + n_groups]:
+            nodes.extend(topo.nodes_of_group(g))
+        out.append(nodes[:size])
+        cursor += n_groups
+    return out
+
+
+PLACEMENTS = {
+    "rn": random_nodes,
+    "rr": random_routers,
+    "rg": random_groups,
+}
+
+
+def make_placement(name: str, topo: Topology, job_sizes: list[int], seed: int = 0) -> list[list[int]]:
+    """Apply the placement policy named ``rn``/``rr``/``rg``."""
+    try:
+        fn = PLACEMENTS[name.lower()]
+    except KeyError:
+        raise PlacementError(
+            f"unknown placement {name!r}; expected one of {sorted(PLACEMENTS)}"
+        ) from None
+    return fn(topo, job_sizes, seed)

@@ -1,0 +1,45 @@
+"""Simulated storage subsystem (the paper's Section VII extension).
+
+The paper's discussion section plans two changes for hybrid-workload
+I/O analysis: application-level I/O operations, and a CODES storage
+module simulating communication and I/O traffic concurrently.  This
+package provides both halves for our fabric:
+
+* :class:`~repro.storage.system.StorageSystem` attaches storage servers
+  to chosen compute nodes; requests and responses travel over the same
+  simulated interconnect as MPI traffic (so I/O and communication
+  contend for links, which is the entire point);
+* rank programs issue :class:`~repro.storage.ops.IORead` /
+  :class:`~repro.storage.ops.IOWrite` operations, or use the blocking
+  :func:`~repro.storage.ops.read_file` / :func:`~repro.storage.ops.write_file`
+  helpers.
+
+Example::
+
+    fabric = NetworkFabric(topo, routing="adp")
+    mpi = SimMPI(fabric)
+    storage = StorageSystem(mpi, server_nodes=[30, 31])
+
+    def checkpointer(ctx):
+        yield ctx.compute(1e-3)
+        yield from write_file(ctx, storage, server=0, nbytes=1 << 20)
+
+    mpi.add_job(JobSpec("ckpt", 4, checkpointer, [0, 1, 2, 3]))
+    mpi.run(until=1.0)
+"""
+
+from repro.storage.config import StorageConfig
+from repro.storage.ops import IORead, IOWrite, read_file, write_file
+from repro.storage.server import StorageServer
+from repro.storage.system import IOStats, StorageSystem
+
+__all__ = [
+    "IORead",
+    "IOStats",
+    "IOWrite",
+    "StorageConfig",
+    "StorageServer",
+    "StorageSystem",
+    "read_file",
+    "write_file",
+]

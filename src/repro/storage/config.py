@@ -1,0 +1,46 @@
+"""Storage server parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Service model of one storage server.
+
+    A request arriving at time ``t`` starts service when the device is
+    free, holds it for ``access_latency + nbytes / bw`` seconds, then
+    the response is injected into the network.  Defaults approximate a
+    burst-buffer-class NVMe target.
+
+    Attributes
+    ----------
+    write_bw / read_bw:
+        Device bandwidth in bytes/second.
+    access_latency:
+        Fixed per-operation device latency in seconds.
+    request_bytes:
+        Wire size of a read request / write header (RPC envelope).
+    ack_bytes:
+        Wire size of a write acknowledgement.
+    """
+
+    write_bw: float = 2.0 * 2**30
+    read_bw: float = 4.0 * 2**30
+    access_latency: float = 50e-6
+    request_bytes: int = 128
+    ack_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.write_bw <= 0 or self.read_bw <= 0:
+            raise ValueError("storage bandwidths must be positive")
+        if self.access_latency < 0:
+            raise ValueError(f"access_latency must be >= 0, got {self.access_latency}")
+        if self.request_bytes < 0 or self.ack_bytes < 0:
+            raise ValueError("request_bytes and ack_bytes must be >= 0")
+
+    def service_time(self, kind: str, nbytes: int) -> float:
+        """Device occupancy of one operation (seconds)."""
+        bw = self.write_bw if kind == "write" else self.read_bw
+        return self.access_latency + nbytes / bw

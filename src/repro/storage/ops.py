@@ -1,0 +1,73 @@
+"""I/O operations yieldable from rank programs.
+
+Nonblocking form (mirrors Isend/Irecv)::
+
+    req = yield IOWrite(storage, server=0, nbytes=1 << 20)
+    ...overlap computation...
+    yield ctx.wait(req)
+
+Blocking helpers::
+
+    yield from write_file(ctx, storage, server=0, nbytes=1 << 20)
+    msg = yield from read_file(ctx, storage, server=0, nbytes=1 << 20)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.mpi.types import Wait
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.system import StorageSystem
+
+
+class IOWrite:
+    """Nonblocking write of ``nbytes`` to ``server``.
+
+    The engine resumes immediately with a :class:`~repro.mpi.types.Request`
+    that completes when the server's acknowledgement arrives back at the
+    issuing rank's node (data has been shipped over the network *and*
+    retired by the device).
+    """
+
+    __slots__ = ("storage", "server", "nbytes")
+
+    def __init__(self, storage: "StorageSystem", server: int, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"write size must be >= 0, got {nbytes}")
+        self.storage = storage
+        self.server = server
+        self.nbytes = nbytes
+
+
+class IORead:
+    """Nonblocking read of ``nbytes`` from ``server``.
+
+    The request completes when the data message arrives at the issuing
+    rank's node.
+    """
+
+    __slots__ = ("storage", "server", "nbytes")
+
+    def __init__(self, storage: "StorageSystem", server: int, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"read size must be >= 0, got {nbytes}")
+        self.storage = storage
+        self.server = server
+        self.nbytes = nbytes
+
+
+def write_file(ctx, storage: "StorageSystem", server: int, nbytes: int) -> Generator:
+    """Blocking write: returns once the server acknowledged the data."""
+    ctx.stats.count("IO_Write")
+    req = yield IOWrite(storage, server, nbytes)
+    yield Wait(req)
+
+
+def read_file(ctx, storage: "StorageSystem", server: int, nbytes: int) -> Generator:
+    """Blocking read: returns once the data arrived at this rank."""
+    ctx.stats.count("IO_Read")
+    req = yield IORead(storage, server, nbytes)
+    result = yield Wait(req)
+    return result

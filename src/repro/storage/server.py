@@ -1,0 +1,88 @@
+"""StorageServer: a FIFO storage device attached to one compute node.
+
+The server is an LP on the shared PDES engine.  Incoming requests (which
+arrive as fabric messages) are serialized through the device: a request
+starts service when the device frees up, occupies it for
+``config.service_time(kind, nbytes)``, and the response is injected into
+the network at completion time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.pdes.event import Event
+from repro.pdes.lp import LP
+from repro.storage.config import StorageConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.system import _IOTransaction
+
+
+class StorageServer(LP):
+    """One storage target.
+
+    Attributes
+    ----------
+    server_id:
+        Index of this server within its :class:`StorageSystem`.
+    node:
+        Compute node whose NIC this server uses.
+    busy_until:
+        Time the device frees up; requests arriving earlier queue.
+    """
+
+    __slots__ = (
+        "server_id",
+        "node",
+        "config",
+        "busy_until",
+        "bytes_written",
+        "bytes_read",
+        "ops_served",
+        "busy_time",
+        "queue_time",
+    )
+
+    def __init__(self, server_id: int, node: int, config: StorageConfig) -> None:
+        super().__init__()
+        self.server_id = server_id
+        self.node = node
+        self.config = config
+        self.busy_until = 0.0
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.ops_served = 0
+        self.busy_time = 0.0
+        self.queue_time = 0.0
+
+    def admit(self, txn: "_IOTransaction", engine, now: float) -> float:
+        """Serialize one request through the device; returns completion time.
+
+        Called by the transaction hook when the request message has
+        fully arrived at the server's node.
+        """
+        start = max(now, self.busy_until)
+        svc = self.config.service_time(txn.kind, txn.nbytes)
+        done = start + svc
+        self.busy_until = done
+        self.queue_time += start - now
+        self.busy_time += svc
+        self.ops_served += 1
+        if txn.kind == "write":
+            self.bytes_written += txn.nbytes
+        else:
+            self.bytes_read += txn.nbytes
+        engine.schedule_at(done, self.lp_id, "io_done", txn)
+        return done
+
+    def handle(self, event: Event) -> None:
+        if event.kind != "io_done":  # pragma: no cover - defensive
+            raise ValueError(f"storage server got unknown event kind {event.kind!r}")
+        event.data.on_device_done(event.time)
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` the device spent serving."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)

@@ -1,0 +1,161 @@
+"""StorageSystem: wires storage servers into a running SimMPI simulation.
+
+Request and response bytes travel the simulated interconnect, so I/O
+traffic interferes with MPI traffic on shared links -- the concurrent
+communication + I/O simulation the paper's discussion section calls for.
+
+Flow of one operation (``write`` shown; ``read`` swaps the payload to
+the response leg)::
+
+    rank yields IOWrite --> request message (header + data) ..network..
+      --> server node --> device FIFO (service time) --> ack message
+      ..network.. --> rank's node --> Request completes
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpi.engine import SimMPI
+from repro.mpi.types import MessageHook, Request
+from repro.storage.config import StorageConfig
+from repro.storage.ops import IORead, IOWrite
+from repro.storage.server import StorageServer
+
+
+@dataclass
+class IOStats:
+    """Aggregate I/O metrics of one application."""
+
+    ops: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    total_latency: float = 0.0
+    max_latency: float = 0.0
+
+    def mean_latency(self) -> float:
+        return self.total_latency / self.ops if self.ops else 0.0
+
+
+class _IOTransaction(MessageHook):
+    """One in-flight read or write; doubles as the message hook for both
+    the request and the response leg."""
+
+    __slots__ = (
+        "system",
+        "server",
+        "req",
+        "kind",
+        "nbytes",
+        "app_id",
+        "client_node",
+        "issued_at",
+        "phase",
+    )
+
+    def __init__(
+        self,
+        system: "StorageSystem",
+        server: StorageServer,
+        req: Request,
+        kind: str,
+        nbytes: int,
+        app_id: int,
+        client_node: int,
+        issued_at: float,
+    ) -> None:
+        self.system = system
+        self.server = server
+        self.req = req
+        self.kind = kind
+        self.nbytes = nbytes
+        self.app_id = app_id
+        self.client_node = client_node
+        self.issued_at = issued_at
+        self.phase = "request"
+
+    def on_delivered(self, time: float) -> None:
+        if self.phase == "request":
+            self.server.admit(self, self.system.mpi.engine, time)
+        else:
+            self.system._finish(self, time)
+
+    def on_device_done(self, time: float) -> None:
+        """Device retired the op; send the response leg."""
+        self.phase = "response"
+        cfg = self.system.config
+        payload = cfg.ack_bytes if self.kind == "write" else self.nbytes
+        self.system.mpi.fabric.send_message(
+            self.app_id, self.server.node, self.client_node, payload, self
+        )
+
+
+class StorageSystem:
+    """A set of storage servers on a simulated network.
+
+    Parameters
+    ----------
+    mpi:
+        The :class:`~repro.mpi.engine.SimMPI` runtime to attach to.
+        Handlers for :class:`IORead` / :class:`IOWrite` are registered
+        on it; at most one StorageSystem per SimMPI.
+    server_nodes:
+        Compute node ids hosting a storage server each.  Placement
+        matters: servers inside a busy group contend with that group's
+        MPI traffic.
+    config:
+        Device parameters, shared by all servers.
+    """
+
+    def __init__(self, mpi: SimMPI, server_nodes: list[int], config: StorageConfig | None = None) -> None:
+        if not server_nodes:
+            raise ValueError("need at least one storage server node")
+        n_nodes = mpi.fabric.topo.n_nodes
+        for node in server_nodes:
+            if not 0 <= node < n_nodes:
+                raise ValueError(f"storage node {node} outside system of {n_nodes} nodes")
+        self.mpi = mpi
+        self.config = config or StorageConfig()
+        self.servers: list[StorageServer] = []
+        for i, node in enumerate(server_nodes):
+            srv = StorageServer(i, node, self.config)
+            mpi.engine.register(srv)
+            self.servers.append(srv)
+        self._stats: dict[int, IOStats] = {}
+        mpi.register_op_handler(IOWrite, self._handle_op)
+        mpi.register_op_handler(IORead, self._handle_op)
+
+    # -- op handling -------------------------------------------------------
+    def _handle_op(self, mpi: SimMPI, rs, op) -> Request:
+        if op.storage is not self:
+            raise ValueError("I/O op targets a different StorageSystem")
+        if not 0 <= op.server < len(self.servers):
+            raise ValueError(f"server {op.server} out of range (have {len(self.servers)})")
+        kind = "write" if isinstance(op, IOWrite) else "read"
+        now = mpi.engine.now
+        server = self.servers[op.server]
+        req = Request(f"io-{kind}", rs.rank, op.nbytes, -1, -1, now)
+        txn = _IOTransaction(self, server, req, kind, op.nbytes, rs.job.app_id, rs.node, now)
+        payload = self.config.request_bytes + (op.nbytes if kind == "write" else 0)
+        mpi.fabric.send_message(rs.job.app_id, rs.node, server.node, payload, txn)
+        return req
+
+    def _finish(self, txn: _IOTransaction, time: float) -> None:
+        st = self._stats.setdefault(txn.app_id, IOStats())
+        st.ops += 1
+        if txn.kind == "write":
+            st.bytes_written += txn.nbytes
+        else:
+            st.bytes_read += txn.nbytes
+        latency = time - txn.issued_at
+        st.total_latency += latency
+        st.max_latency = max(st.max_latency, latency)
+        self.mpi._complete_request(txn.req, latency)
+
+    # -- inspection ----------------------------------------------------------
+    def app_stats(self, app_id: int) -> IOStats:
+        """I/O metrics of one application (zeroes if it did no I/O)."""
+        return self._stats.get(app_id, IOStats())
+
+    def total_bytes(self) -> int:
+        return sum(s.bytes_written + s.bytes_read for s in self.servers)

@@ -1,0 +1,32 @@
+"""Trace collection and replay (the paper's Table I baseline).
+
+CODES supports trace-driven simulation from SST DUMPI traces; Table I
+contrasts that mode with SWM skeletons and Union.  This package
+implements the equivalent baseline for the reproduction:
+
+* :class:`~repro.trace.recorder.TraceRecorder` -- wraps a rank context
+  and records every MPI operation with its timing (the DUMPI analogue);
+* :mod:`~repro.trace.format` -- a compact JSON-lines on-disk format;
+* :func:`~repro.trace.replay.replay_program` -- a workload that replays
+  a recorded trace through the simulator.
+
+The package exists to *measure* Table I's trace-replay column: traces
+are large (every event is stored), must be re-collected to change the
+rank count, and replaying needs the whole trace in memory -- all
+demonstrated by ``benchmarks/bench_table1.py`` and ``tests/trace``.
+"""
+
+from repro.trace.format import TraceOp, TraceSet, load_traces, save_traces
+from repro.trace.recorder import TraceRecorder, record_job
+from repro.trace.replay import replay_program, TraceScalingError
+
+__all__ = [
+    "TraceOp",
+    "TraceSet",
+    "load_traces",
+    "save_traces",
+    "TraceRecorder",
+    "record_job",
+    "replay_program",
+    "TraceScalingError",
+]

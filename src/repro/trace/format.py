@@ -1,0 +1,135 @@
+"""On-disk trace format (DUMPI substitute).
+
+A trace set is one record stream per rank.  Each record is one MPI-level
+operation::
+
+    ("send",    dst, nbytes, tag)
+    ("isend",   dst, nbytes, tag)
+    ("recv",    src, tag)
+    ("irecv",   src, tag)
+    ("waitall", n_pending)
+    ("compute", seconds)
+    ("barrier",)
+    ("bcast",   nbytes, root)
+    ("reduce",  nbytes, root)
+    ("allreduce", nbytes)
+    ("allgather", nbytes)
+    ("alltoall",  nbytes)
+
+Serialization is gzip JSON-lines: line 0 is a header, then one line per
+(rank, op).  Deliberately verbose -- real traces are, and their bulk is
+part of the Table I story.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from typing import Any, Iterable
+
+FORMAT_VERSION = 1
+
+#: op name -> number of arguments (for validation)
+OP_ARITY = {
+    "send": 3,
+    "isend": 3,
+    "recv": 2,
+    "irecv": 2,
+    "waitall": 1,
+    "compute": 1,
+    "barrier": 0,
+    "bcast": 2,
+    "reduce": 2,
+    "allreduce": 1,
+    "allgather": 1,
+    "alltoall": 1,
+}
+
+
+class TraceOp(tuple):
+    """One recorded operation: ``(name, *args)``."""
+
+    __slots__ = ()
+
+    def __new__(cls, name: str, *args):
+        arity = OP_ARITY.get(name)
+        if arity is None:
+            raise ValueError(f"unknown trace op {name!r}")
+        if len(args) != arity:
+            raise ValueError(f"trace op {name!r} takes {arity} args, got {len(args)}")
+        return super().__new__(cls, (name, *args))
+
+    @property
+    def name(self) -> str:
+        return self[0]
+
+    @property
+    def args(self) -> tuple:
+        return tuple(self[1:])
+
+
+class TraceSet:
+    """Recorded operations of one job, indexed by rank."""
+
+    def __init__(self, nranks: int, job_name: str = "traced") -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = nranks
+        self.job_name = job_name
+        self.ops: list[list[TraceOp]] = [[] for _ in range(nranks)]
+
+    def append(self, rank: int, op: TraceOp) -> None:
+        self.ops[rank].append(op)
+
+    def total_ops(self) -> int:
+        return sum(len(o) for o in self.ops)
+
+    def byte_size(self) -> int:
+        """Approximate in-memory footprint: serialized size of all records."""
+        return sum(
+            len(json.dumps([rank, list(op)]))
+            for rank in range(self.nranks)
+            for op in self.ops[rank]
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TraceSet)
+            and self.nranks == other.nranks
+            and self.ops == other.ops
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceSet({self.job_name!r}, nranks={self.nranks}, ops={self.total_ops()})"
+
+
+def save_traces(traces: TraceSet, path: str) -> int:
+    """Write a trace set as gzip JSON-lines; returns compressed bytes."""
+    with gzip.open(path, "wt", encoding="utf-8") as f:
+        f.write(json.dumps({
+            "format": FORMAT_VERSION,
+            "job": traces.job_name,
+            "nranks": traces.nranks,
+        }) + "\n")
+        for rank in range(traces.nranks):
+            for op in traces.ops[rank]:
+                f.write(json.dumps([rank, list(op)]) + "\n")
+    import os
+
+    return os.stat(path).st_size
+
+
+def load_traces(path: str) -> TraceSet:
+    """Read a trace set written by :func:`save_traces`."""
+    with gzip.open(path, "rt", encoding="utf-8") as f:
+        header = json.loads(f.readline())
+        if header.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format {header.get('format')!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        traces = TraceSet(header["nranks"], header.get("job", "traced"))
+        for line in f:
+            rank, op = json.loads(line)
+            traces.append(rank, TraceOp(op[0], *op[1:]))
+    return traces

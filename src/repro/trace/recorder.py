@@ -1,0 +1,163 @@
+"""Trace collection: the DUMPI-style tracing step of Table I.
+
+:class:`TraceRecorder` proxies a :class:`~repro.mpi.process.RankCtx` and
+records every operation the rank issues (point-to-point, collectives,
+compute intervals) into a :class:`~repro.trace.format.TraceSet`.
+``record_job`` runs a whole job once on a dedicated fabric to collect
+its traces -- the analogue of running the instrumented application on a
+real machine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.mpi.engine import JobSpec, SimMPI
+from repro.mpi.types import Request
+from repro.network.config import NetworkConfig
+from repro.network.fabric import NetworkFabric
+from repro.network.dragonfly import Dragonfly1D
+from repro.trace.format import TraceOp, TraceSet
+
+
+class TraceRecorder:
+    """Records one rank's MPI operations while forwarding them.
+
+    Supports the subset of the RankCtx surface the shipped workloads
+    use.  Compute intervals are recorded with their duration, which is
+    what lets the replay reproduce timing without the application.
+    """
+
+    def __init__(self, ctx, traces: TraceSet) -> None:
+        self._ctx = ctx
+        self._traces = traces
+        self._rank = ctx.rank
+
+    # -- identity (forwarded) ------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._ctx.rank
+
+    @property
+    def size(self) -> int:
+        return self._ctx.size
+
+    @property
+    def params(self) -> dict[str, Any]:
+        return self._ctx.params
+
+    @property
+    def now(self) -> float:
+        return self._ctx.now
+
+    @property
+    def stats(self):
+        return self._ctx.stats
+
+    def _rec(self, name: str, *args) -> None:
+        self._traces.append(self._rank, TraceOp(name, *args))
+
+    # -- nonblocking primitives -------------------------------------------------
+    def isend(self, dst: int, nbytes: int, tag: int = 0):
+        self._rec("isend", dst, nbytes, tag)
+        return self._ctx.isend(dst, nbytes, tag)
+
+    def irecv(self, src: int = -1, tag: int = -1):
+        self._rec("irecv", src, tag)
+        return self._ctx.irecv(src, tag)
+
+    def wait(self, request: Request):
+        # waits are folded into waitall(1) on replay
+        self._rec("waitall", 1)
+        return self._ctx.wait(request)
+
+    def waitall(self, requests):
+        self._rec("waitall", len(requests))
+        return self._ctx.waitall(requests)
+
+    # -- blocking helpers ------------------------------------------------------------
+    def send(self, dst: int, nbytes: int, tag: int = 0) -> Generator:
+        self._rec("send", dst, nbytes, tag)
+        return self._ctx.send(dst, nbytes, tag)
+
+    def recv(self, src: int = -1, tag: int = -1) -> Generator:
+        self._rec("recv", src, tag)
+        return self._ctx.recv(src, tag)
+
+    # -- timing -----------------------------------------------------------------------
+    def compute(self, seconds: float):
+        self._rec("compute", seconds)
+        return self._ctx.compute(seconds)
+
+    def sleep(self, seconds: float):
+        self._rec("compute", seconds)
+        return self._ctx.sleep(seconds)
+
+    # -- collectives -------------------------------------------------------------------
+    def barrier(self) -> Generator:
+        self._rec("barrier")
+        return self._ctx.barrier()
+
+    def bcast(self, nbytes: int, root: int = 0) -> Generator:
+        self._rec("bcast", nbytes, root)
+        return self._ctx.bcast(nbytes, root)
+
+    def reduce(self, nbytes: int, root: int = 0) -> Generator:
+        self._rec("reduce", nbytes, root)
+        return self._ctx.reduce(nbytes, root)
+
+    def allreduce(self, nbytes: int, algorithm: str = "auto") -> Generator:
+        self._rec("allreduce", nbytes)
+        return self._ctx.allreduce(nbytes, algorithm)
+
+    def allgather(self, nbytes: int) -> Generator:
+        self._rec("allgather", nbytes)
+        return self._ctx.allgather(nbytes)
+
+    def alltoall(self, nbytes: int) -> Generator:
+        self._rec("alltoall", nbytes)
+        return self._ctx.alltoall(nbytes)
+
+    # -- logging (forwarded, not traced: DUMPI does not trace app logs) ---------------
+    def reset_counters(self) -> None:
+        self._ctx.reset_counters()
+
+    @property
+    def elapsed_usecs(self) -> float:
+        return self._ctx.elapsed_usecs
+
+    def log(self, label: str, value: float) -> None:
+        self._ctx.log(label, value)
+
+
+def record_job(
+    program: Callable,
+    nranks: int,
+    params: dict[str, Any] | None = None,
+    job_name: str = "traced",
+    until: float = 10.0,
+    seed: int = 0,
+) -> TraceSet:
+    """Run ``program`` once on a private fabric, recording its traces.
+
+    This is the "execute the application on a real system" step of
+    trace-driven simulation: it requires a full run at the target rank
+    count (the Table I "re-tracing" cost).
+    """
+    traces = TraceSet(nranks, job_name)
+    fabric = NetworkFabric(Dragonfly1D.mini(), NetworkConfig(seed=seed), routing="min")
+    if nranks > fabric.topo.n_nodes:
+        raise ValueError(
+            f"tracing machine has {fabric.topo.n_nodes} nodes; cannot trace {nranks} ranks"
+        )
+    mpi = SimMPI(fabric)
+
+    def traced_program(ctx):
+        rec = TraceRecorder(ctx, traces)
+        yield from program(rec)
+
+    mpi.add_job(JobSpec(job_name, nranks, traced_program, list(range(nranks)), params or {}))
+    mpi.run(until=until)
+    if not mpi.all_finished():
+        raise RuntimeError(f"tracing run of {job_name!r} did not finish by t={until}")
+    return traces

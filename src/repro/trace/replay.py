@@ -1,0 +1,89 @@
+"""Trace replay: drive the simulator from a recorded trace.
+
+The replay program re-issues each rank's recorded operations in order.
+Two Table I limitations are faithfully present:
+
+* the entire trace must be resident in memory for the whole simulation
+  (*large memory footprint*);
+* a trace records one specific rank count -- replaying it on a
+  different number of ranks raises :class:`TraceScalingError`
+  (*scaling application size: re-tracing*).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.trace.format import TraceSet
+
+
+class TraceScalingError(ValueError):
+    """Trace rank count does not match the job's rank count."""
+
+
+def replay_program(traces: TraceSet) -> Callable:
+    """Build a rank program that replays ``traces``.
+
+    Use with :class:`~repro.mpi.engine.JobSpec` or
+    :meth:`WorkloadManager.add_program_job`.
+    """
+
+    def program(ctx):
+        if ctx.size != traces.nranks:
+            raise TraceScalingError(
+                f"trace was recorded at {traces.nranks} ranks; job has "
+                f"{ctx.size}. Trace-driven simulation cannot scale the "
+                "application size -- re-trace at the target scale."
+            )
+        pending = []
+        for op in traces.ops[ctx.rank]:
+            name = op.name
+            if name == "isend":
+                dst, nbytes, tag = op.args
+                pending.append((yield ctx.isend(dst, nbytes, tag)))
+            elif name == "irecv":
+                src, tag = op.args
+                pending.append((yield ctx.irecv(src, tag)))
+            elif name == "waitall":
+                # Approximation: a recorded wait(all) completes the most
+                # recently issued n requests (exact for programs that
+                # accumulate-then-drain, which all shipped workloads do).
+                (n,) = op.args
+                if n > len(pending):
+                    raise ValueError(
+                        f"corrupt trace: waitall({n}) with only {len(pending)} pending"
+                    )
+                if n:
+                    batch = pending[-n:]
+                    pending = pending[:-n]
+                    yield ctx.waitall(batch)
+            elif name == "send":
+                dst, nbytes, tag = op.args
+                yield from ctx.send(dst, nbytes, tag)
+            elif name == "recv":
+                src, tag = op.args
+                yield from ctx.recv(src, tag)
+            elif name == "compute":
+                (seconds,) = op.args
+                yield ctx.compute(seconds)
+            elif name == "barrier":
+                yield from ctx.barrier()
+            elif name == "bcast":
+                nbytes, root = op.args
+                yield from ctx.bcast(nbytes, root)
+            elif name == "reduce":
+                nbytes, root = op.args
+                yield from ctx.reduce(nbytes, root)
+            elif name == "allreduce":
+                (nbytes,) = op.args
+                yield from ctx.allreduce(nbytes)
+            elif name == "allgather":
+                (nbytes,) = op.args
+                yield from ctx.allgather(nbytes)
+            elif name == "alltoall":
+                (nbytes,) = op.args
+                yield from ctx.alltoall(nbytes)
+            else:  # pragma: no cover - format validates op names
+                raise ValueError(f"unknown trace op {name!r}")
+
+    return program

@@ -1,0 +1,46 @@
+"""Union: automatic workload manager for the network simulation (Section III).
+
+The paper's contribution, reimplemented in full:
+
+* :mod:`repro.union.translator` -- compiles a coNCePTuaL program into a
+  *Union skeleton*: generated Python source in which communication
+  buffers are nulled (only sizes remain), computation is replaced by
+  ``UNION_Compute`` delay models, and every communication call is
+  intercepted through the ``UNION_MPI_*`` interface (Figure 5);
+* :mod:`repro.union.skeleton` / :mod:`repro.union.registry` -- the
+  skeleton object and the list of available skeletons (Figure 4);
+* :mod:`repro.union.event_generator` -- the abstraction layer that lets
+  skeletons run as pluggable in-situ workloads: one backend drives the
+  packet-level simulation, another executes in counting mode for
+  validation;
+* :mod:`repro.union.manager` -- co-schedules multiple skeleton and
+  SWM-style jobs on one simulated network with per-job placement;
+* :mod:`repro.union.validation` -- the Section V methodology: compare a
+  skeleton against the full application (event counts, bytes per rank,
+  control flow).
+"""
+
+from repro.union.skeleton import Skeleton
+from repro.union.translator import translate, generate_python
+from repro.union.registry import register_skeleton, get_skeleton, available_skeletons, clear_registry
+from repro.union.event_generator import SimUnionAPI, CountingUnionAPI, SkeletonShared, run_skeleton_counting
+from repro.union.manager import WorkloadManager, Job
+from repro.union.validation import validate_skeleton, ValidationReport
+
+__all__ = [
+    "Skeleton",
+    "translate",
+    "generate_python",
+    "register_skeleton",
+    "get_skeleton",
+    "available_skeletons",
+    "clear_registry",
+    "SimUnionAPI",
+    "CountingUnionAPI",
+    "SkeletonShared",
+    "run_skeleton_counting",
+    "WorkloadManager",
+    "Job",
+    "validate_skeleton",
+    "ValidationReport",
+]

@@ -1,0 +1,372 @@
+"""Union event generator: the UNION_MPI_* abstraction layer (Section III-B).
+
+One generated skeleton, two interchangeable backends:
+
+* :class:`SimUnionAPI` emits the skeleton's communication as simulation
+  events through a :class:`~repro.mpi.process.RankCtx` -- the in-situ
+  workload path that drives CODES-style network simulation;
+* :class:`CountingUnionAPI` executes the skeleton standalone, counting
+  MPI events, transmitted bytes and control flow -- the validation path
+  behind Tables IV/V and Figure 6.
+
+Both share :class:`SkeletonShared`, which resolves communication
+patterns ("all tasks t sends ... to task f(t)") once per statement
+instance per *job* and shares the result across ranks; entries are
+reference-counted and discarded once every rank has consumed them, so
+memory stays bounded by the spread between the fastest and slowest rank.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.conceptual.interpreter import ApplicationRun
+from repro.mpi.process import RankCtx
+from repro.pdes.rng import SplitMix
+
+TargetSpec = tuple[str, Callable[[int], Any] | None]
+
+
+class SkeletonShared:
+    """Per-job shared state: pattern cache and deterministic streams.
+
+    Stream layout matches the application interpreter so that programs
+    using ``random_task`` validate bit-for-bit: stream ``r+1`` is rank
+    ``r``'s own stream, stream ``n+1+r`` is rank ``r``'s pattern-target
+    stream (drawn while resolving communication patterns).
+    """
+
+    def __init__(self, n_tasks: int, seed: int = 0, storage=None) -> None:
+        if n_tasks < 1:
+            raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+        self.n = n_tasks
+        self.seed = seed
+        self.cache: dict[tuple[int, int], list] = {}
+        self.own_rngs = [SplitMix(seed, r + 1) for r in range(n_tasks)]
+        self.pattern_rngs = [SplitMix(seed, n_tasks + 1 + r) for r in range(n_tasks)]
+        self.in_pattern = False
+        #: StorageSystem backing the DSL's I/O statements (None when the
+        #: job was launched without storage; I/O statements then raise).
+        self.storage = storage
+
+    def compute(self, pred, tgt: TargetSpec, cnt) -> tuple[dict, dict]:
+        """Resolve one statement instance into sender/receiver maps."""
+        n = self.n
+        mode, fn = tgt
+        self.in_pattern = True
+        try:
+            senders = range(n) if pred is None else [s for s in range(n) if pred(s)]
+            flt: list[int] | None = None
+            if mode == "filter":
+                flt = [t for t in range(n) if fn(t)]
+            by_sender: dict[int, list[int]] = {}
+            by_receiver: dict[int, list[int]] = {}
+            for s in senders:
+                c = cnt(s) if cnt is not None else 1
+                if c <= 0:
+                    continue
+                if mode == "expr":
+                    t0 = fn(s)
+                    if t0 < 0:
+                        continue  # e.g. mesh_neighbor off the edge
+                    if t0 >= n:
+                        raise ValueError(f"send target {t0} outside 0..{n - 1}")
+                    ts = [t0]
+                elif mode == "others":
+                    ts = [t for t in range(n) if t != s]
+                elif mode == "all":
+                    ts = list(range(n))
+                elif mode == "filter":
+                    ts = flt  # type: ignore[assignment]
+                else:
+                    raise ValueError(f"unknown target mode {mode!r}")
+                for t in ts:
+                    by_sender.setdefault(s, []).extend([t] * c)
+                    by_receiver.setdefault(t, []).extend([s] * c)
+            return by_sender, by_receiver
+        finally:
+            self.in_pattern = False
+
+
+class UnionAPIBase:
+    """State and helpers common to both event-generator backends."""
+
+    def __init__(self, rank: int, shared: SkeletonShared) -> None:
+        self.rank = rank
+        self.num_tasks = shared.n
+        self.shared = shared
+        self._inst: dict[int, int] = {}
+        self._outstanding: list = []
+        self.outputs: list[str] = []
+
+    # -- communication-pattern resolution --------------------------------
+    def pattern(self, sid: int, pred, tgt: TargetSpec, cnt) -> tuple[list[int], list[int]]:
+        """Targets this rank sends to / sources it receives from, for the
+        current instance of statement ``sid``."""
+        idx = self._inst.get(sid, 0)
+        self._inst[sid] = idx + 1
+        key = (sid, idx)
+        entry = self.shared.cache.get(key)
+        if entry is None:
+            by_sender, by_receiver = self.shared.compute(pred, tgt, cnt)
+            entry = [by_sender, by_receiver, self.shared.n]
+            self.shared.cache[key] = entry
+        entry[2] -= 1
+        if entry[2] == 0:
+            del self.shared.cache[key]
+        return entry[0].get(self.rank, []), entry[1].get(self.rank, [])
+
+    def random_task_for(self, task: int, lo, hi) -> int:
+        """Deterministic ``random_task`` draw on ``task``'s stream."""
+        lo, hi = int(lo), int(hi)
+        if hi < lo:
+            raise ValueError(f"random_task: empty range [{lo}, {hi}]")
+        rngs = self.shared.pattern_rngs if self.shared.in_pattern else self.shared.own_rngs
+        return lo + rngs[task].randint(hi - lo + 1)
+
+    # -- trivial hooks shared by backends ----------------------------------
+    def compute_aggregates(self) -> None:
+        """coNCePTuaL's "computes aggregates" -- aggregation is lazy here."""
+
+    def output(self, text: str) -> None:
+        self.outputs.append(text)
+
+    def touch(self, nbytes: int) -> None:
+        """Memory touch: skeletonized away (buffers are null)."""
+
+
+class SimUnionAPI(UnionAPIBase):
+    """Backend that emits skeleton communication as simulation events.
+
+    Wraps a :class:`RankCtx`; every UNION_MPI_* call turns into real
+    point-to-point traffic on the simulated fabric (collectives expand
+    through the MPI layer's algorithms).
+    """
+
+    def __init__(self, ctx: RankCtx, shared: SkeletonShared) -> None:
+        super().__init__(ctx.rank, shared)
+        self.ctx = ctx
+
+    # -- lifecycle ------------------------------------------------------------
+    def UNION_MPI_Init(self):
+        self.ctx.stats.count("MPI_Init")
+        return ()
+
+    def UNION_MPI_Finalize(self):
+        self.ctx.stats.count("MPI_Finalize")
+        return ()
+
+    # -- point-to-point ----------------------------------------------------------
+    def UNION_MPI_Send(self, dst: int, nbytes: int):
+        return self.ctx.send(dst, nbytes, tag=0)
+
+    def UNION_MPI_Recv(self, src: int):
+        return self.ctx.recv(src, tag=0)
+
+    def UNION_MPI_Isend(self, dst: int, nbytes: int):
+        req = yield self.ctx.isend(dst, nbytes, tag=0)
+        self._outstanding.append(req)
+
+    def UNION_MPI_Irecv(self, src: int):
+        req = yield self.ctx.irecv(src, tag=0)
+        self._outstanding.append(req)
+
+    def UNION_MPI_Waitall(self):
+        if self._outstanding:
+            yield self.ctx.waitall(self._outstanding)
+            self._outstanding = []
+
+    # -- collectives -----------------------------------------------------------------
+    def UNION_MPI_Barrier(self):
+        return self.ctx.barrier()
+
+    def UNION_MPI_Bcast(self, nbytes: int, root: int):
+        return self.ctx.bcast(nbytes, root)
+
+    def UNION_MPI_Reduce(self, nbytes: int, root: int):
+        return self.ctx.reduce(nbytes, root)
+
+    def UNION_MPI_Allreduce(self, nbytes: int):
+        return self.ctx.allreduce(nbytes)
+
+    # -- I/O (Section VII extension) ---------------------------------------------------
+    def _resolve_server(self, server: int | None) -> int:
+        storage = self.shared.storage
+        if storage is None:
+            raise RuntimeError(
+                "skeleton issues I/O but the job has no storage attached "
+                "(pass storage_nodes= to WorkloadManager)"
+            )
+        n_srv = len(storage.servers)
+        return (self.rank if server is None else int(server)) % n_srv
+
+    def UNION_IO_Write(self, nbytes: int, server: int | None = None):
+        from repro.storage.ops import write_file
+
+        sid = self._resolve_server(server)
+        yield from write_file(self.ctx, self.shared.storage, sid, nbytes)
+
+    def UNION_IO_Read(self, nbytes: int, server: int | None = None):
+        from repro.storage.ops import read_file
+
+        sid = self._resolve_server(server)
+        yield from read_file(self.ctx, self.shared.storage, sid, nbytes)
+
+    # -- computation / bookkeeping ------------------------------------------------------
+    def UNION_Compute(self, seconds: float):
+        yield self.ctx.compute(seconds)
+
+    def UNION_Sleep(self, seconds: float):
+        yield self.ctx.sleep(seconds)
+
+    def reset_counters(self) -> None:
+        self.ctx.reset_counters()
+
+    def elapsed_usecs(self) -> float:
+        return self.ctx.elapsed_usecs
+
+    def log(self, label: str, value: float, aggregate: str | None = None) -> None:
+        self.ctx.log(label, value)
+
+
+class CountingUnionAPI(UnionAPIBase):
+    """Backend that executes a skeleton standalone, counting everything.
+
+    Shares :class:`~repro.conceptual.interpreter.ApplicationRun` with the
+    application interpreter so validation compares like with like.  The
+    byte-accounting rules are identical by construction: sends charge the
+    sender, bcasts the root, allreduces every rank, reduces every
+    non-root rank.  Note ``ApplicationRun.buffer_bytes`` stays zero here
+    -- the skeleton allocates no communication buffers, which *is* the
+    memory-footprint claim of Table I.
+    """
+
+    def __init__(self, rank: int, shared: SkeletonShared, run: ApplicationRun) -> None:
+        super().__init__(rank, shared)
+        self.run = run
+
+    # -- lifecycle ------------------------------------------------------------
+    def UNION_MPI_Init(self):
+        self.run.count_rank("MPI_Init", self.rank)
+        self.run.trace("MPI_Init", self.rank)
+        return ()
+
+    def UNION_MPI_Finalize(self):
+        self.run.count_rank("MPI_Finalize", self.rank)
+        self.run.trace("MPI_Finalize", self.rank)
+        return ()
+
+    # -- point-to-point ----------------------------------------------------------
+    def UNION_MPI_Send(self, dst: int, nbytes: int):
+        self.run.count_rank("MPI_Send", self.rank)
+        self.run.bytes_sent[self.rank] += nbytes
+        self.run.trace("MPI_Send", self.rank)
+        return ()
+
+    def UNION_MPI_Recv(self, src: int):
+        self.run.count_rank("MPI_Recv", self.rank)
+        self.run.trace("MPI_Recv", self.rank)
+        return ()
+
+    def UNION_MPI_Isend(self, dst: int, nbytes: int):
+        self.run.count_rank("MPI_Isend", self.rank)
+        self.run.bytes_sent[self.rank] += nbytes
+        self.run.trace("MPI_Isend", self.rank)
+        self._outstanding.append(None)
+        return ()
+
+    def UNION_MPI_Irecv(self, src: int):
+        self.run.count_rank("MPI_Irecv", self.rank)
+        self.run.trace("MPI_Irecv", self.rank)
+        self._outstanding.append(None)
+        return ()
+
+    def UNION_MPI_Waitall(self):
+        if self._outstanding:
+            self.run.count_rank("MPI_Waitall", self.rank)
+            self.run.trace("MPI_Waitall", self.rank)
+            self._outstanding = []
+        return ()
+
+    # -- collectives -----------------------------------------------------------------
+    def UNION_MPI_Barrier(self):
+        self.run.count_rank("MPI_Barrier", self.rank)
+        self.run.trace("MPI_Barrier", self.rank)
+        return ()
+
+    def UNION_MPI_Bcast(self, nbytes: int, root: int):
+        self.run.count_rank("MPI_Bcast", self.rank)
+        self.run.trace("MPI_Bcast", self.rank)
+        if self.rank == root:
+            self.run.bytes_sent[self.rank] += nbytes
+        return ()
+
+    def UNION_MPI_Reduce(self, nbytes: int, root: int):
+        self.run.count_rank("MPI_Reduce", self.rank)
+        self.run.trace("MPI_Reduce", self.rank)
+        if self.rank != root:
+            self.run.bytes_sent[self.rank] += nbytes
+        return ()
+
+    def UNION_MPI_Allreduce(self, nbytes: int):
+        self.run.count_rank("MPI_Allreduce", self.rank)
+        self.run.trace("MPI_Allreduce", self.rank)
+        self.run.bytes_sent[self.rank] += nbytes
+        return ()
+
+    # -- I/O (Section VII extension) ---------------------------------------------------
+    def UNION_IO_Write(self, nbytes: int, server: int | None = None):
+        self.run.count_rank("IO_Write", self.rank)
+        self.run.trace("IO_Write", self.rank)
+        self.run.bytes_io[self.rank] += nbytes
+        return ()
+
+    def UNION_IO_Read(self, nbytes: int, server: int | None = None):
+        self.run.count_rank("IO_Read", self.rank)
+        self.run.trace("IO_Read", self.rank)
+        self.run.bytes_io[self.rank] += nbytes
+        return ()
+
+    # -- computation / bookkeeping ------------------------------------------------------
+    def UNION_Compute(self, seconds: float):
+        self.run.clock[self.rank] += seconds
+        return ()
+
+    def UNION_Sleep(self, seconds: float):
+        self.run.clock[self.rank] += seconds
+        return ()
+
+    def reset_counters(self) -> None:
+        self.run.epoch[self.rank] = self.run.clock[self.rank]
+
+    def elapsed_usecs(self) -> float:
+        return (self.run.clock[self.rank] - self.run.epoch[self.rank]) * 1e6
+
+    def log(self, label: str, value: float, aggregate: str | None = None) -> None:
+        self.run.logs.setdefault((self.rank, label), []).append(float(value))
+
+
+def run_skeleton_counting(
+    skeleton,
+    n_tasks: int,
+    params: dict[str, Any] | None = None,
+    seed: int = 0,
+    record_trace: bool = False,
+) -> ApplicationRun:
+    """Execute a Union skeleton in counting mode across ``n_tasks`` ranks.
+
+    Rank generators run to exhaustion one after another (control flow is
+    data-independent, so sequential execution is exact for counting).
+    """
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+    resolved = skeleton.resolve_params(params)
+    run = ApplicationRun(n_tasks, record_trace)
+    shared = SkeletonShared(n_tasks, seed)
+    for rank in range(n_tasks):
+        api = CountingUnionAPI(rank, shared, run)
+        for _ in skeleton.main(api, resolved):  # pragma: no branch
+            raise AssertionError(
+                "counting backend must not yield simulation operations"
+            )
+    return run

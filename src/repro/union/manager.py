@@ -1,0 +1,204 @@
+"""WorkloadManager: co-schedule skeleton and SWM jobs on one network.
+
+The top of the Union stack: give it a topology, a routing algorithm, a
+placement policy and a list of jobs (Union skeletons from the registry
+or SWM-style Python programs), and it wires up the fabric, maps ranks to
+nodes, runs the co-scheduled simulation and returns per-application
+metrics plus the fabric's measurement instruments -- everything the
+paper's Figures 7-9 and Tables IV-VI consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.mpi.engine import JobResult, JobSpec, SimMPI
+from repro.network.config import NetworkConfig
+from repro.network.fabric import NetworkFabric
+from repro.network.topology import Topology
+from repro.placement.policies import make_placement
+from repro.union.event_generator import SimUnionAPI, SkeletonShared
+from repro.union.registry import get_skeleton
+from repro.union.skeleton import Skeleton
+
+
+@dataclass
+class Job:
+    """One application instance to co-schedule.
+
+    Exactly one of ``skeleton``/``program`` is set: ``skeleton`` runs a
+    Union-translated coNCePTuaL application, ``program`` a hand-written
+    SWM-style generator ``program(ctx)``.  ``routing`` optionally
+    overrides the fabric-wide routing policy for this job's traffic
+    (the paper's per-job "routing police").
+    """
+
+    name: str
+    nranks: int
+    skeleton: Skeleton | None = None
+    program: Callable | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+    routing: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.skeleton is None) == (self.program is None):
+            raise ValueError(f"job {self.name!r}: set exactly one of skeleton/program")
+        if self.nranks < 1:
+            raise ValueError(f"job {self.name!r}: nranks must be >= 1")
+
+
+@dataclass
+class AppMetrics:
+    """Per-application results joined with its placement."""
+
+    name: str
+    app_id: int
+    result: JobResult
+    nodes: list[int]
+    routers: set[int]
+    groups: set[int]
+
+
+class RunOutcome:
+    """Everything measured in one co-scheduled simulation."""
+
+    def __init__(self, manager: "WorkloadManager", apps: list[AppMetrics], end_time: float) -> None:
+        self.manager = manager
+        self.apps = apps
+        self.end_time = end_time
+        self.fabric = manager.fabric
+
+    def app(self, name: str) -> AppMetrics:
+        for a in self.apps:
+            if a.name == name:
+                return a
+        raise KeyError(f"no application named {name!r}; have {[a.name for a in self.apps]}")
+
+    def router_traffic_series(self, serving: str, source: str, horizon: float | None = None):
+        """Figure 8 series: bytes/window received by ``serving``'s routers
+        from application ``source``."""
+        srv = self.app(serving)
+        src = self.app(source)
+        h = horizon if horizon is not None else self.end_time
+        return self.fabric.app_counter.series(srv.routers, src.app_id, h)
+
+    def link_load_summary(self) -> dict[str, float]:
+        """Table VI row."""
+        return self.fabric.link_loads.summary()
+
+
+class WorkloadManager:
+    """Build and run one hybrid-workload simulation.
+
+    Parameters
+    ----------
+    topo:
+        Network topology instance.
+    config:
+        Link-level parameters (defaults to the paper's bandwidths).
+    routing:
+        ``"min"`` or ``"adp"``; the fabric-wide default (the paper's
+        placement x routing sweep uses one policy per run).  Individual
+        jobs may override it via ``Job(routing=...)``.
+    placement:
+        ``"rn"``, ``"rr"`` or ``"rg"``.
+    seed:
+        Master seed for placement shuffles and routing tie-breaks.
+    counter_window:
+        Window of the per-app router counters (paper: 0.5 ms).
+    storage_nodes:
+        Compute nodes hosting storage servers; enables the DSL's I/O
+        statements and program-level ``IORead``/``IOWrite`` ops
+        (Section VII extension).  ``None`` means no storage.
+    storage_config:
+        :class:`~repro.storage.config.StorageConfig` device parameters.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        config: NetworkConfig | None = None,
+        routing: str = "adp",
+        placement: str = "rn",
+        seed: int = 0,
+        counter_window: float = 0.5e-3,
+        storage_nodes: list[int] | None = None,
+        storage_config=None,
+    ) -> None:
+        self.topo = topo
+        self.config = config or NetworkConfig(seed=seed)
+        self.routing = routing
+        self.placement = placement
+        self.seed = seed
+        self.counter_window = counter_window
+        self.storage_nodes = list(storage_nodes) if storage_nodes else None
+        self.storage_config = storage_config
+        self.jobs: list[Job] = []
+        self.fabric: NetworkFabric | None = None
+        self.mpi: SimMPI | None = None
+        self.storage = None
+
+    # -- job assembly ------------------------------------------------------
+    def add_job(self, job: Job) -> "WorkloadManager":
+        self.jobs.append(job)
+        return self
+
+    def add_skeleton_job(
+        self, name: str, nranks: int, params: dict[str, Any] | None = None, job_name: str | None = None
+    ) -> "WorkloadManager":
+        """Add a job running the registered Union skeleton ``name``."""
+        skel = get_skeleton(name)
+        return self.add_job(Job(job_name or name, nranks, skeleton=skel, params=params or {}))
+
+    def add_program_job(
+        self, name: str, nranks: int, program: Callable, params: dict[str, Any] | None = None
+    ) -> "WorkloadManager":
+        """Add an SWM-style Python generator job."""
+        return self.add_job(Job(name, nranks, program=program, params=params or {}))
+
+    # -- execution -------------------------------------------------------------
+    def _skeleton_program(self, job: Job) -> Callable:
+        skel = job.skeleton
+        assert skel is not None
+        resolved = skel.resolve_params(job.params)
+        shared = SkeletonShared(job.nranks, self.seed, storage=self.storage)
+
+        def program(ctx):
+            api = SimUnionAPI(ctx, shared)
+            yield from skel.main(api, resolved)
+
+        return program
+
+    def run(self, until: float = float("inf")) -> RunOutcome:
+        """Place jobs, run the co-scheduled simulation, collect metrics."""
+        if not self.jobs:
+            raise RuntimeError("no jobs to run")
+        placements = make_placement(
+            self.placement, self.topo, [j.nranks for j in self.jobs], self.seed
+        )
+        self.fabric = NetworkFabric(
+            self.topo,
+            self.config,
+            routing=self.routing,
+            counter_window=self.counter_window,
+        )
+        self.mpi = SimMPI(self.fabric)
+        if self.storage_nodes:
+            from repro.storage.system import StorageSystem
+
+            self.storage = StorageSystem(self.mpi, self.storage_nodes, self.storage_config)
+        for job, nodes in zip(self.jobs, placements):
+            program = self._skeleton_program(job) if job.skeleton is not None else job.program
+            app_id = self.mpi.add_job(
+                JobSpec(job.name, job.nranks, program, nodes, dict(job.params))
+            )
+            if job.routing is not None:
+                self.fabric.set_app_routing(app_id, job.routing)
+        end = self.mpi.run(until=until)
+        apps = []
+        for job, nodes, result in zip(self.jobs, placements, self.mpi.results()):
+            routers = {self.topo.router_of_node(n) for n in nodes}
+            groups = {self.topo.group_of(r) for r in routers}
+            apps.append(AppMetrics(job.name, result.app_id, result, nodes, routers, groups))
+        return RunOutcome(self, apps, end)

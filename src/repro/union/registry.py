@@ -1,0 +1,47 @@
+"""Registry of available Union skeletons (paper Figure 4).
+
+The original Union keeps a C array of skeleton objects compiled into
+CODES; here the registry is a process-level dict that the workload
+manager consults by name.  Registration happens automatically when a
+source is translated through :func:`register_source`.
+"""
+
+from __future__ import annotations
+
+from repro.union.skeleton import Skeleton
+from repro.union.translator import translate
+
+_REGISTRY: dict[str, Skeleton] = {}
+
+
+def register_skeleton(skeleton: Skeleton, replace: bool = False) -> Skeleton:
+    """Add a skeleton to the available list; returns it for chaining."""
+    if skeleton.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"skeleton {skeleton.name!r} is already registered; pass replace=True to overwrite"
+        )
+    _REGISTRY[skeleton.name] = skeleton
+    return skeleton
+
+
+def register_source(source: str, name: str, replace: bool = False) -> Skeleton:
+    """Translate coNCePTuaL source and register the resulting skeleton."""
+    return register_skeleton(translate(source, name), replace=replace)
+
+
+def get_skeleton(name: str) -> Skeleton:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no skeleton named {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_skeletons() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def clear_registry() -> None:
+    """Forget all registered skeletons (used by tests)."""
+    _REGISTRY.clear()

@@ -1,0 +1,58 @@
+"""The Union skeleton object (paper Figure 4).
+
+A skeleton bundles the program name, the entry point of the generated
+code, and enough provenance (original coNCePTuaL source, generated
+Python source, parameter defaults) to validate and re-deploy it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.conceptual import ast_nodes as A
+
+
+@dataclass
+class Skeleton:
+    """One translated application, ready for in-situ simulation.
+
+    Attributes
+    ----------
+    name:
+        Program name (registry key).
+    main:
+        ``union_main(u, params)`` generator function produced by the
+        translator; ``u`` is a Union event-generator API object.
+    conceptual_source:
+        The original coNCePTuaL program text.
+    python_source:
+        The generated skeleton source (Figure 5 analogue).
+    program:
+        The parsed/checked AST the skeleton was generated from.
+    defaults:
+        Evaluated command-line parameter defaults.
+    """
+
+    name: str
+    main: Callable[..., Any]
+    conceptual_source: str
+    python_source: str
+    program: A.Program
+    defaults: dict[str, Any] = field(default_factory=dict)
+
+    def resolve_params(self, overrides: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Merge parameter overrides onto the declared defaults."""
+        params = dict(self.defaults)
+        if overrides:
+            unknown = set(overrides) - set(params)
+            if unknown:
+                raise ValueError(
+                    f"skeleton {self.name!r} has no parameters {sorted(unknown)}; "
+                    f"declared: {sorted(params)}"
+                )
+            params.update(overrides)
+        return params
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Skeleton({self.name!r}, params={sorted(self.defaults)})"

@@ -1,0 +1,414 @@
+"""The Union translator: coNCePTuaL AST to skeleton code (Section III-C).
+
+Mirrors the paper's three steps for adding an application:
+
+1. *initialization* -- build a :class:`~repro.union.skeleton.Skeleton`
+   object (name + main function) and hand it to the registry;
+2. *skeletonization* -- communication buffers become null (the generated
+   code carries only byte counts), computation collapses into
+   ``UNION_Compute`` delay instructions;
+3. *interception* -- every communication operation is rewritten to the
+   ``UNION_MPI_*`` message-passing interface of the event generator.
+
+Unlike the original (which subclasses coNCePTuaL's C backend), we emit
+Python source, ``compile()`` it, and return the ``union_main`` generator
+function.  The generated source is kept on the skeleton for inspection
+-- it is the direct analogue of the paper's Figure 5 listing.
+
+Communication-pattern resolution: statements like ``all tasks t sends
+... to task f(t)`` require each rank to know who sends to it.  The
+generated code delegates to ``u.pattern(...)``, which computes the full
+communication matrix for one statement instance once per *job* (not once
+per rank) and shares it across ranks -- SPMD control flow guarantees all
+ranks reach the same instances in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.conceptual import ast_nodes as A
+from repro.conceptual.builtins import FUNCTIONS, c_div, range_seq
+from repro.conceptual.errors import SemanticError
+from repro.conceptual.evaluator import Env, evaluate
+from repro.conceptual.parser import parse
+from repro.conceptual.semantics import check
+from repro.union.skeleton import Skeleton
+
+_HEADER = '''\
+# Auto-generated Union skeleton for {name!r} -- DO NOT EDIT.
+#
+# Produced by repro.union.translator from the coNCePTuaL source of the
+# same name.  Skeletonization applied:
+#   * message buffers are null: only byte counts survive;
+#   * computation is replaced by UNION_Compute() delay models;
+#   * all communication is intercepted via the UNION_MPI_* interface.
+def union_main(u, params):
+    n = u.num_tasks
+    rank = u.rank
+'''
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.indent = 1
+
+    def emit(self, line: str = "") -> None:
+        self.lines.append("    " * self.indent + line if line else "")
+
+    def push(self) -> None:
+        self.indent += 1
+
+    def pop(self) -> None:
+        self.indent -= 1
+
+
+class _CodeGen:
+    def __init__(self, program: A.Program, name: str) -> None:
+        self.program = program
+        self.name = name
+        self.w = _Writer()
+        self._loop_id = 0
+        self._stmt_id = 0
+
+    # -- expression compilation ----------------------------------------------
+    def expr(self, e: A.Expr, rename: dict[str, str] | None = None, task_var: str = "rank") -> str:
+        """Compile an expression to Python source.
+
+        ``rename`` maps coNCePTuaL variable names to Python names (used
+        for the ``_s``/``_t`` arguments of pattern lambdas);
+        ``task_var`` is the Python expression for "the task evaluating
+        this", which seeds ``random_task``'s per-task stream.
+        """
+        rename = rename or {}
+        c = lambda sub: self.expr(sub, rename, task_var)  # noqa: E731
+        if isinstance(e, A.Num):
+            return repr(e.value)
+        if isinstance(e, A.Var):
+            if e.name == "num_tasks":
+                return "n"
+            if e.name == "elapsed_usecs":
+                return "u.elapsed_usecs()"
+            return rename.get(e.name, f"v_{e.name}")
+        if isinstance(e, A.UnOp):
+            return f"({e.op}{c(e.operand)})"
+        if isinstance(e, A.BinOp):
+            l, r = c(e.left), c(e.right)
+            if e.op == "/":
+                return f"_div({l}, {r})"
+            if e.op == "mod":
+                return f"(({l}) % ({r}))"
+            if e.op in (">>", "<<", "&", "|", "^"):
+                return f"(int({l}) {e.op} int({r}))"
+            return f"(({l}) {e.op} ({r}))"
+        if isinstance(e, A.Compare):
+            l, r = c(e.left), c(e.right)
+            if e.op == "divides":
+                return f"((({r}) % ({l})) == 0)"
+            op = {"=": "==", "<>": "!="}.get(e.op, e.op)
+            return f"(({l}) {op} ({r}))"
+        if isinstance(e, A.BoolOp):
+            l, r = c(e.left), c(e.right)
+            if e.op == "xor":
+                return f"(bool({l}) != bool({r}))"
+            return f"(({l}) {e.op} ({r}))"
+        if isinstance(e, A.Not):
+            return f"(not ({c(e.operand)}))"
+        if isinstance(e, A.Parity):
+            op = "==" if e.even else "!="
+            return f"((({c(e.operand)}) % 2) {op} 0)"
+        if isinstance(e, A.Call):
+            args = ", ".join(c(a) for a in e.args)
+            name = e.name.lower()
+            if name in ("random_task", "random_uniform"):
+                return f"u.random_task_for({task_var}, {args})"
+            return f"_fn_{name}({args})"
+        raise SemanticError(f"cannot compile expression {type(e).__name__}", getattr(e, "line", -1), 0)
+
+    def _size(self, size: A.Expr, unit: float, rename: dict[str, str] | None = None, task_var: str = "rank") -> str:
+        src = self.expr(size, rename, task_var)
+        if unit == 1.0:
+            return f"int({src})"
+        return f"int(({src}) * {unit!r})"
+
+    def _next_loop_var(self) -> str:
+        v = f"_i{self._loop_id}"
+        self._loop_id += 1
+        return v
+
+    def _next_stmt_id(self) -> int:
+        sid = self._stmt_id
+        self._stmt_id += 1
+        return sid
+
+    # -- program -------------------------------------------------------------------
+    def generate(self) -> str:
+        w = self.w
+        for p in self.program.params:
+            w.emit(f"v_{p.name} = params.get({p.name!r}, {self.expr(p.default)})")
+        for a in self.program.asserts:
+            w.emit(f"if not ({self.expr(a.cond)}):")
+            w.push()
+            w.emit(f"raise AssertionError({a.text!r})")
+            w.pop()
+        w.emit("yield from u.UNION_MPI_Init()")
+        self.seq(self.program.body)
+        w.emit("yield from u.UNION_MPI_Finalize()")
+        return _HEADER.format(name=self.name) + "\n".join(w.lines) + "\n"
+
+    def seq(self, seq: A.StmtSeq) -> None:
+        for stmt in seq.stmts:
+            self.stmt(stmt)
+
+    # -- membership conditionals --------------------------------------------------------
+    def _open_membership(self, texpr: A.TaskExpr) -> tuple[bool, str | None]:
+        """Emit the ``if`` guard for a subject task expression.
+
+        Returns ``(opened_block, binding_var)``; callers must ``pop()``
+        when ``opened_block`` is true.
+        """
+        w = self.w
+        if isinstance(texpr, A.AllTasks):
+            if texpr.var:
+                w.emit(f"v_{texpr.var} = rank")
+            return False, texpr.var
+        if isinstance(texpr, A.TaskN):
+            w.emit(f"if rank == int({self.expr(texpr.expr)}):")
+            w.push()
+            return True, None
+        if isinstance(texpr, A.SuchThat):
+            w.emit(f"v_{texpr.var} = rank")
+            w.emit(f"if {self.expr(texpr.cond)}:")
+            w.push()
+            return True, texpr.var
+        raise SemanticError(f"unsupported subject {type(texpr).__name__}", texpr.line, 0)
+
+    # -- statements ------------------------------------------------------------------------
+    def stmt(self, stmt: A.Stmt) -> None:
+        w = self.w
+        if isinstance(stmt, A.StmtSeq):
+            self.seq(stmt)
+        elif isinstance(stmt, A.ForReps):
+            v = self._next_loop_var()
+            w.emit(f"for {v} in range(int({self.expr(stmt.count)})):")
+            w.push()
+            self.seq(stmt.body)
+            w.pop()
+        elif isinstance(stmt, A.ForEach):
+            spec = stmt.ranges[0]
+            exprs = ", ".join(self.expr(e) for e in spec.exprs)
+            if spec.ellipsis_to is None:
+                iterable = f"[{exprs}]"
+            else:
+                iterable = f"_range_seq([{exprs}], {self.expr(spec.ellipsis_to)})"
+            w.emit(f"for v_{stmt.var} in {iterable}:")
+            w.push()
+            self.seq(stmt.body)
+            w.pop()
+        elif isinstance(stmt, A.While):
+            w.emit(f"while {self.expr(stmt.cond)}:")
+            w.push()
+            self.seq(stmt.body)
+            w.pop()
+        elif isinstance(stmt, A.If):
+            w.emit(f"if {self.expr(stmt.cond)}:")
+            w.push()
+            self.seq(stmt.then)
+            w.pop()
+            if stmt.otherwise is not None:
+                w.emit("else:")
+                w.push()
+                self.seq(stmt.otherwise)
+                w.pop()
+        elif isinstance(stmt, A.Let):
+            for name, expr in stmt.bindings:
+                w.emit(f"v_{name} = {self.expr(expr)}")
+            self.seq(stmt.body)
+        elif isinstance(stmt, A.Send):
+            self._send(stmt)
+        elif isinstance(stmt, A.Receive):
+            self._receive(stmt)
+        elif isinstance(stmt, A.Multicast):
+            w.emit(f"yield from u.UNION_MPI_Bcast({self._size(stmt.size, stmt.unit)}, int({self.expr(stmt.sender.expr)}))")
+        elif isinstance(stmt, A.ReduceStmt):
+            if isinstance(stmt.target, A.AllTasks):
+                w.emit(f"yield from u.UNION_MPI_Allreduce({self._size(stmt.size, stmt.unit)})")
+            else:
+                w.emit(
+                    f"yield from u.UNION_MPI_Reduce({self._size(stmt.size, stmt.unit)}, int({self.expr(stmt.target.expr)}))"
+                )
+        elif isinstance(stmt, A.Synchronize):
+            w.emit("yield from u.UNION_MPI_Barrier()")
+        elif isinstance(stmt, A.ResetCounters):
+            opened, _ = self._open_membership(stmt.tasks)
+            w.emit("u.reset_counters()")
+            if opened:
+                w.pop()
+        elif isinstance(stmt, A.ComputeStmt):
+            opened, _ = self._open_membership(stmt.tasks)
+            w.emit(f"yield from u.UNION_Compute(({self.expr(stmt.amount)}) * {stmt.unit!r})")
+            if opened:
+                w.pop()
+        elif isinstance(stmt, A.SleepStmt):
+            opened, _ = self._open_membership(stmt.tasks)
+            w.emit(f"yield from u.UNION_Sleep(({self.expr(stmt.amount)}) * {stmt.unit!r})")
+            if opened:
+                w.pop()
+        elif isinstance(stmt, A.AwaitCompletion):
+            opened, _ = self._open_membership(stmt.tasks)
+            w.emit("yield from u.UNION_MPI_Waitall()")
+            if opened:
+                w.pop()
+        elif isinstance(stmt, A.LogStmt):
+            opened, _ = self._open_membership(stmt.tasks)
+            for item in stmt.items:
+                agg = repr(item.aggregate)
+                w.emit(f"u.log({item.label!r}, ({self.expr(item.expr)}), {agg})")
+            if opened:
+                w.pop()
+        elif isinstance(stmt, A.ComputeAggregates):
+            opened, _ = self._open_membership(stmt.tasks)
+            w.emit("u.compute_aggregates()")
+            if opened:
+                w.pop()
+        elif isinstance(stmt, A.OutputStmt):
+            opened, _ = self._open_membership(stmt.tasks)
+            if stmt.text is not None:
+                w.emit(f"u.output({stmt.text!r})")
+            else:
+                w.emit(f"u.output(str({self.expr(stmt.expr)}))")
+            if opened:
+                w.pop()
+        elif isinstance(stmt, A.TouchStmt):
+            opened, _ = self._open_membership(stmt.tasks)
+            w.emit(f"u.touch({self._size(stmt.size, stmt.unit)})")
+            if opened:
+                w.pop()
+        elif isinstance(stmt, A.IOStmt):
+            opened, _ = self._open_membership(stmt.tasks)
+            fn = "UNION_IO_Write" if stmt.write else "UNION_IO_Read"
+            srv = "None" if stmt.server is None else f"int({self.expr(stmt.server)})"
+            w.emit(f"yield from u.{fn}({self._size(stmt.size, stmt.unit)}, {srv})")
+            if opened:
+                w.pop()
+        else:  # pragma: no cover - defensive
+            raise SemanticError(f"cannot translate {type(stmt).__name__}", stmt.line, 0)
+
+    # -- point-to-point statements -----------------------------------------------------------
+    def _target_spec(self, target: A.TaskExpr, var: str | None) -> str:
+        """Compile a target task expression into a pattern-mode tuple."""
+        if isinstance(target, A.TaskN):
+            body = self.expr(target.expr, rename={var: "_s"} if var else {}, task_var="_s")
+            return f"('expr', lambda _s: int({body}))"
+        if isinstance(target, A.AllOtherTasks):
+            return "('others', None)"
+        if isinstance(target, A.AllTasks):
+            return "('all', None)"
+        if isinstance(target, A.SuchThat):
+            body = self.expr(target.cond, rename={target.var: "_t"}, task_var="_t")
+            return f"('filter', lambda _t: bool({body}))"
+        raise SemanticError(f"unsupported target {type(target).__name__}", target.line, 0)
+
+    def _send(self, stmt: A.Send) -> None:
+        w = self.w
+        sid = self._next_stmt_id()
+        send_call = "UNION_MPI_Send" if stmt.blocking else "UNION_MPI_Isend"
+        recv_call = "UNION_MPI_Recv" if stmt.blocking else "UNION_MPI_Irecv"
+        sender = stmt.sender
+        if isinstance(sender, A.AllTasks):
+            pred = "None"
+            var = sender.var
+        elif isinstance(sender, A.SuchThat):
+            body = self.expr(sender.cond, rename={sender.var: "_s"}, task_var="_s")
+            pred = f"(lambda _s: bool({body}))"
+            var = sender.var
+        elif isinstance(sender, A.TaskN):
+            body = self.expr(sender.expr)
+            pred = f"(lambda _s, _v=int({body}): _s == _v)"
+            var = None
+        else:
+            raise SemanticError(f"unsupported sender {type(sender).__name__}", stmt.line, 0)
+        tgt = self._target_spec(stmt.target, var)
+        if stmt.count is None:
+            cnt = "None"
+        else:
+            body = self.expr(stmt.count, rename={var: "_s"} if var else {}, task_var="_s")
+            cnt = f"(lambda _s: int({body}))"
+        w.emit(f"_snd, _rcv = u.pattern({sid}, {pred}, {tgt}, {cnt})")
+        if var:
+            w.emit(f"v_{var} = rank")
+        w.emit("if _snd:")
+        w.push()
+        w.emit(f"_sz = {self._size(stmt.size, stmt.unit)}")
+        w.emit("for _t in _snd:")
+        w.push()
+        w.emit(f"yield from u.{send_call}(_t, _sz)")
+        w.pop()
+        w.pop()
+        w.emit("for _s in _rcv:")
+        w.push()
+        w.emit(f"yield from u.{recv_call}(_s)")
+        w.pop()
+
+    def _receive(self, stmt: A.Receive) -> None:
+        """Explicit receive: post matching receives, no send side."""
+        w = self.w
+        sid = self._next_stmt_id()
+        recv_call = "UNION_MPI_Recv" if stmt.blocking else "UNION_MPI_Irecv"
+        receiver = stmt.receiver
+        if isinstance(receiver, A.AllTasks):
+            pred = "None"
+            var = receiver.var
+        elif isinstance(receiver, A.SuchThat):
+            body = self.expr(receiver.cond, rename={receiver.var: "_s"}, task_var="_s")
+            pred = f"(lambda _s: bool({body}))"
+            var = receiver.var
+        elif isinstance(receiver, A.TaskN):
+            body = self.expr(receiver.expr)
+            pred = f"(lambda _s, _v=int({body}): _s == _v)"
+            var = None
+        else:
+            raise SemanticError(f"unsupported receiver {type(receiver).__name__}", stmt.line, 0)
+        src = self._target_spec(stmt.source, var)
+        w.emit(f"_rf, _ = u.pattern({sid}, {pred}, {src}, None)")
+        w.emit("for _s in _rf:")
+        w.push()
+        w.emit(f"yield from u.{recv_call}(_s)")
+        w.pop()
+
+
+def generate_python(program: A.Program, name: str) -> str:
+    """Generate Union-skeleton Python source for a checked program."""
+    return _CodeGen(program, name).generate()
+
+
+def _exec_namespace() -> dict[str, Any]:
+    ns: dict[str, Any] = {f"_fn_{k}": v[0] for k, v in FUNCTIONS.items()}
+    ns["_div"] = c_div
+    ns["_range_seq"] = range_seq
+    return ns
+
+
+def translate(source: str, name: str) -> Skeleton:
+    """Translate coNCePTuaL source text into a registered-ready Skeleton.
+
+    Runs the full pipeline: lex/parse, semantic check, skeleton code
+    generation, compilation.  Parameter defaults are evaluated eagerly
+    so callers can inspect/override them.
+    """
+    program = check(parse(source, name))
+    py_src = generate_python(program, name)
+    ns = _exec_namespace()
+    code = compile(py_src, f"<union-skeleton:{name}>", "exec")
+    exec(code, ns)
+    base_env = Env({}, num_tasks=1)
+    defaults = {p.name: evaluate(p.default, base_env) for p in program.params}
+    return Skeleton(
+        name=name,
+        main=ns["union_main"],
+        conceptual_source=source,
+        python_source=py_src,
+        program=program,
+        defaults=defaults,
+    )

@@ -1,0 +1,153 @@
+"""Skeleton validation (Section V): skeleton vs full application.
+
+"In order to use a skeleton in place of an application, the runtime
+behavior of the skeleton has to match the application's behavior both in
+terms of control flow and communication pattern."
+
+This module runs both backends on the same program and compares:
+
+* MPI event counts grouped by function (Table IV);
+* bytes transmitted by each rank (Table V);
+* per-rank control-flow traces of MPI operations (Figure 6);
+* communication-buffer footprint (the quantitative half of Table I:
+  the application allocates real buffers, the skeleton none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.conceptual.interpreter import ApplicationRun, run_application
+from repro.union.event_generator import run_skeleton_counting
+from repro.union.skeleton import Skeleton
+from repro.union.translator import translate
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one application-vs-skeleton comparison."""
+
+    name: str
+    n_tasks: int
+    app: ApplicationRun
+    skel: ApplicationRun
+    event_counts_match: bool
+    bytes_match: bool
+    traces_match: bool | None  # None when traces were not recorded
+    mismatches: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.event_counts_match
+            and self.bytes_match
+            and (self.traces_match is not False)
+        )
+
+    # -- table builders ------------------------------------------------------
+    def table4_rows(self) -> list[tuple[str, int, int]]:
+        """(function, application count, skeleton count) rows, Table IV style."""
+        fns = sorted(set(self.app.event_counts()) | set(self.skel.event_counts()))
+        a, s = self.app.event_counts(), self.skel.event_counts()
+        return [(fn, a.get(fn, 0), s.get(fn, 0)) for fn in fns]
+
+    def table5_rows(self, max_rows: int = 8) -> list[tuple[str, int, int]]:
+        """(rank-range, app bytes, skeleton bytes) rows, Table V style.
+
+        Consecutive ranks with identical byte counts are folded into one
+        row, as the paper folds ranks 1..511.
+        """
+        a, s = self.app.bytes_by_rank(), self.skel.bytes_by_rank()
+        rows: list[tuple[str, int, int]] = []
+        i = 0
+        n = self.n_tasks
+        while i < n and len(rows) < max_rows:
+            j = i
+            while j + 1 < n and a[j + 1] == a[i] and s[j + 1] == s[i]:
+                j += 1
+            label = str(i) if i == j else f"{i} to {j}"
+            rows.append((label, int(a[i]), int(s[i])))
+            i = j + 1
+        return rows
+
+    def memory_comparison(self) -> tuple[int, int]:
+        """(application peak buffer bytes, skeleton peak buffer bytes)."""
+        return self.app.peak_buffer_bytes(), self.skel.peak_buffer_bytes()
+
+
+def _compare_traces(app: ApplicationRun, skel: ApplicationRun, mismatches: list[str]) -> bool:
+    assert app.traces is not None and skel.traces is not None
+    ok = True
+    for r, (ta, ts) in enumerate(zip(app.traces, skel.traces)):
+        if ta != ts:
+            ok = False
+            # Locate the first divergence for the report.
+            for i, (x, y) in enumerate(zip(ta, ts)):
+                if x != y:
+                    mismatches.append(
+                        f"rank {r}: control flow diverges at op {i}: app={x}, skeleton={y}"
+                    )
+                    break
+            else:
+                mismatches.append(
+                    f"rank {r}: trace lengths differ: app={len(ta)}, skeleton={len(ts)}"
+                )
+            if len(mismatches) >= 5:
+                break
+    return ok
+
+
+def validate_skeleton(
+    source_or_skeleton: str | Skeleton,
+    n_tasks: int,
+    params: dict[str, Any] | None = None,
+    seed: int = 0,
+    record_trace: bool = True,
+    name: str = "app",
+) -> ValidationReport:
+    """Run the Section V validation for one program.
+
+    Accepts either coNCePTuaL source text (translated on the fly) or an
+    already-translated :class:`Skeleton`.
+    """
+    skeleton = (
+        source_or_skeleton
+        if isinstance(source_or_skeleton, Skeleton)
+        else translate(source_or_skeleton, name)
+    )
+    app = run_application(skeleton.program, n_tasks, params, seed, record_trace)
+    skel = run_skeleton_counting(skeleton, n_tasks, params, seed, record_trace)
+
+    mismatches: list[str] = []
+    a_counts, s_counts = app.event_counts(), skel.event_counts()
+    counts_ok = a_counts == s_counts
+    if not counts_ok:
+        for fn in sorted(set(a_counts) | set(s_counts)):
+            if a_counts.get(fn, 0) != s_counts.get(fn, 0):
+                mismatches.append(
+                    f"event count {fn}: app={a_counts.get(fn, 0)}, skeleton={s_counts.get(fn, 0)}"
+                )
+    bytes_ok = bool(np.array_equal(app.bytes_by_rank(), skel.bytes_by_rank()))
+    if not bytes_ok:
+        diff = np.nonzero(app.bytes_by_rank() != skel.bytes_by_rank())[0]
+        for r in diff[:5]:
+            mismatches.append(
+                f"bytes rank {r}: app={int(app.bytes_sent[r])}, skeleton={int(skel.bytes_sent[r])}"
+            )
+    io_ok = bool(np.array_equal(app.bytes_io, skel.bytes_io))
+    if not io_ok:
+        diff = np.nonzero(app.bytes_io != skel.bytes_io)[0]
+        for r in diff[:5]:
+            mismatches.append(
+                f"I/O bytes rank {r}: app={int(app.bytes_io[r])}, skeleton={int(skel.bytes_io[r])}"
+            )
+    bytes_ok = bytes_ok and io_ok
+    traces_ok: bool | None = None
+    if record_trace:
+        traces_ok = _compare_traces(app, skel, mismatches)
+    return ValidationReport(
+        skeleton.name, n_tasks, app, skel, counts_ok, bytes_ok, traces_ok, mismatches
+    )

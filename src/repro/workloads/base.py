@@ -1,0 +1,54 @@
+"""Shared helpers for SWM-style Python workloads."""
+
+from __future__ import annotations
+
+from repro.mpi.process import RankCtx
+from repro.pdes.rng import SplitMix
+
+
+def grid_coords(rank: int, dims: tuple[int, ...]) -> tuple[int, ...]:
+    """Coordinates of ``rank`` on a row-major Cartesian grid."""
+    coords = []
+    for d in dims:
+        coords.append(rank % d)
+        rank //= d
+    return tuple(coords)
+
+
+def grid_rank(coords: tuple[int, ...], dims: tuple[int, ...]) -> int:
+    """Inverse of :func:`grid_coords`."""
+    rank = 0
+    stride = 1
+    for c, d in zip(coords, dims):
+        rank += (c % d) * stride
+        stride *= d
+    return rank
+
+
+def torus_neighbors(rank: int, dims: tuple[int, ...]) -> list[int]:
+    """The 2*len(dims) wrap-around neighbours of ``rank``."""
+    coords = grid_coords(rank, dims)
+    out = []
+    for axis in range(len(dims)):
+        for delta in (-1, 1):
+            nc = list(coords)
+            nc[axis] = (nc[axis] + delta) % dims[axis]
+            out.append(grid_rank(tuple(nc), dims))
+    return out
+
+
+def check_grid(ctx: RankCtx, dims: tuple[int, ...], name: str) -> None:
+    total = 1
+    for d in dims:
+        total *= d
+    if total != ctx.size:
+        raise ValueError(
+            f"{name}: grid {'x'.join(map(str, dims))} = {total} ranks "
+            f"but the job has {ctx.size}"
+        )
+
+
+def workload_rng(ctx: RankCtx, salt: int = 0) -> SplitMix:
+    """Deterministic per-rank stream for a Python workload."""
+    seed = int(ctx.params.get("seed", 0))
+    return SplitMix(seed + salt, ctx.rank + 1)

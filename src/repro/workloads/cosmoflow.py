@@ -1,0 +1,25 @@
+"""Cosmoflow: Union-translated skeleton accessor.
+
+The program lives in :data:`repro.workloads.sources.COSMOFLOW_SOURCE`;
+this module memoizes its translation and records the paper-scale
+configuration (1,024 ranks, 28.15 MiB Allreduce every 129 ms).
+"""
+
+from __future__ import annotations
+
+from repro.union.skeleton import Skeleton
+from repro.union.translator import translate
+from repro.workloads.sources import COSMOFLOW_SOURCE
+
+#: Paper-scale parameters (Section IV-B).
+COSMOFLOW_PAPER = {"nranks": 1024, "abytes": 29517414, "cmsecs": 129, "iters": 10}
+
+_cached: Skeleton | None = None
+
+
+def cosmoflow_skeleton() -> Skeleton:
+    """Translate (once) and return the Cosmoflow Union skeleton."""
+    global _cached
+    if _cached is None:
+        _cached = translate(COSMOFLOW_SOURCE, "cosmoflow")
+    return _cached

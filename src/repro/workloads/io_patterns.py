@@ -1,0 +1,96 @@
+"""I/O-heavy workload patterns (Section VII's motivating scenarios).
+
+The paper's discussion section singles out two storage pressures of
+converged HPC+ML systems:
+
+* **checkpointing** -- HPC applications periodically flushing large
+  state to storage (bursty, write-heavy, large sequential I/O);
+* **ML training input** -- "read-intensive I/O of a large number of
+  small files that need to be accessed in real-time during the training
+  phases".
+
+Both are expressed as ordinary rank programs so they co-schedule with
+the communication workloads of Section IV-B; their storage traffic and
+MPI traffic contend on the same simulated links.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.process import RankCtx
+from repro.storage.ops import IORead, read_file, write_file
+from repro.workloads.base import workload_rng
+
+
+def checkpointer(ctx: RankCtx):
+    """Compute/checkpoint cycle: compute for ``interval_s``, then every
+    rank writes a ``stripe_bytes`` stripe to its round-robin server.
+
+    Params: ``storage`` (StorageSystem), ``iters``, ``interval_s``,
+    ``stripe_bytes``.
+    """
+    p = ctx.params
+    storage = p["storage"]
+    iters = int(p.get("iters", 4))
+    interval_s = float(p.get("interval_s", 1e-3))
+    stripe = int(p.get("stripe_bytes", 1 << 20))
+    n_srv = len(storage.servers)
+    for _ in range(iters):
+        yield ctx.compute(interval_s)
+        yield from write_file(ctx, storage, server=ctx.rank % n_srv, nbytes=stripe)
+
+
+def ml_reader(ctx: RankCtx):
+    """Training-input pipeline: each step reads ``files_per_step`` small
+    files from random servers (prefetched concurrently), computes for
+    ``step_s``, then allreduces a gradient of ``gradient_bytes``.
+
+    This is the converged pattern the paper's discussion motivates: the
+    same job issues read-intensive small-file I/O *and* the periodic
+    gradient allreduce of Section IV-B's ML skeletons.
+
+    Params: ``storage``, ``steps``, ``files_per_step``, ``file_bytes``,
+    ``step_s``, ``gradient_bytes``, ``seed``.
+    """
+    p = ctx.params
+    storage = p["storage"]
+    steps = int(p.get("steps", 4))
+    files_per_step = int(p.get("files_per_step", 8))
+    file_bytes = int(p.get("file_bytes", 128 << 10))
+    step_s = float(p.get("step_s", 1e-3))
+    gradient_bytes = int(p.get("gradient_bytes", 1 << 20))
+    rng = workload_rng(ctx, salt=11)
+    n_srv = len(storage.servers)
+    for _ in range(steps):
+        # Prefetch the step's input files concurrently.
+        reqs = []
+        for _ in range(files_per_step):
+            req = yield IORead(storage, server=rng.randint(n_srv), nbytes=file_bytes)
+            reqs.append(req)
+        yield ctx.waitall(reqs)
+        yield ctx.compute(step_s)
+        yield from ctx.allreduce(gradient_bytes)
+
+
+def io_benchmark(ctx: RankCtx):
+    """IOR-style sequential bandwidth probe: each rank writes then reads
+    back ``block_bytes`` in ``xfer_bytes`` transfers, with barriers
+    between phases (the classic parallel-filesystem benchmark shape).
+
+    Params: ``storage``, ``block_bytes``, ``xfer_bytes``.
+    """
+    p = ctx.params
+    storage = p["storage"]
+    block = int(p.get("block_bytes", 4 << 20))
+    xfer = int(p.get("xfer_bytes", 1 << 20))
+    n_srv = len(storage.servers)
+    server = ctx.rank % n_srv
+    ctx.reset_counters()
+    for _ in range(max(1, block // xfer)):
+        yield from write_file(ctx, storage, server=server, nbytes=xfer)
+    yield from ctx.barrier()
+    ctx.log("write_usecs", ctx.elapsed_usecs)
+    ctx.reset_counters()
+    for _ in range(max(1, block // xfer)):
+        yield from read_file(ctx, storage, server=server, nbytes=xfer)
+    yield from ctx.barrier()
+    ctx.log("read_usecs", ctx.elapsed_usecs)

@@ -1,0 +1,53 @@
+"""LAMMPS SWM skeleton (Section IV-B).
+
+Classical molecular dynamics: per timestep, ghost-atom exchange along
+each dimension using *blocking* sends paired with nonblocking receives
+(message sizes 4 B .. 135 KiB), plus small-message Allreduce calls for
+global thermodynamic quantities.  The blocking sends are what make
+LAMMPS the most interference-sensitive application in the paper's
+sweep.  Paper configuration: 2,048 ranks.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.process import RankCtx
+from repro.workloads.base import check_grid, torus_neighbors
+
+#: Paper-scale configuration.
+LAMMPS_PAPER = {
+    "dims": (16, 16, 8),
+    "msg_sizes": (4, 2048, 32768, 138240),
+    "iters": 60,
+    "compute_s": 0.3e-3,
+    "allreduce_every": 2,
+}
+
+
+def lammps(ctx: RankCtx):
+    """MD timestep: per-dimension blocking-send/irecv exchange + allreduce.
+
+    Params: ``dims`` (3-tuple), ``msg_sizes`` (cycled), ``iters``,
+    ``compute_s``, ``allreduce_every``.
+    """
+    p = ctx.params
+    dims = tuple(p.get("dims", (16, 16, 8)))
+    if len(dims) != 3:
+        raise ValueError(f"lammps needs 3 grid dimensions, got {dims}")
+    msg_sizes = tuple(int(s) for s in p.get("msg_sizes", (4, 2048, 32768, 138240)))
+    iters = int(p.get("iters", 60))
+    compute_s = float(p.get("compute_s", 0.3e-3))
+    allreduce_every = int(p.get("allreduce_every", 2))
+    check_grid(ctx, dims, "lammps")
+    neighbors = torus_neighbors(ctx.rank, dims)
+    for it in range(iters):
+        yield ctx.compute(compute_s)
+        size = msg_sizes[it % len(msg_sizes)]
+        # Ghost exchange: post all receives, then *blocking* sends.
+        rreqs = []
+        for nb in neighbors:
+            rreqs.append((yield ctx.irecv(nb, tag=it)))
+        for nb in neighbors:
+            yield from ctx.send(nb, size, tag=it)
+        yield ctx.waitall(rreqs)
+        if allreduce_every and it % allreduce_every == 0:
+            yield from ctx.allreduce(8)

@@ -1,0 +1,39 @@
+"""Nearest Neighbor (NN) synthetic kernel (Section IV-B).
+
+"The processes are formed into a 3D Cartesian grid.  In each iteration,
+every process communicates with neighbors in each dimension" -- the
+common halo-exchange kernel of AMG, HACC and friends.  Paper
+configuration: 512 ranks, 128 KiB nonblocking sends/receives.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.process import RankCtx
+from repro.workloads.base import check_grid, torus_neighbors
+
+#: Paper-scale configuration.
+NN_PAPER = {"dims": (8, 8, 8), "msg_bytes": 131072, "iters": 100, "compute_s": 0.2e-3}
+
+
+def nearest_neighbor(ctx: RankCtx):
+    """3D halo exchange with nonblocking send/recv (wrap-around grid).
+
+    Params: ``dims`` (3-tuple), ``msg_bytes``, ``iters``, ``compute_s``.
+    """
+    p = ctx.params
+    dims = tuple(p.get("dims", (8, 8, 8)))
+    if len(dims) != 3:
+        raise ValueError(f"nearest_neighbor needs 3 grid dimensions, got {dims}")
+    msg_bytes = int(p.get("msg_bytes", 131072))
+    iters = int(p.get("iters", 100))
+    compute_s = float(p.get("compute_s", 0.2e-3))
+    check_grid(ctx, dims, "nearest_neighbor")
+    neighbors = torus_neighbors(ctx.rank, dims)
+    for it in range(iters):
+        yield ctx.compute(compute_s)
+        reqs = []
+        for nb in neighbors:
+            reqs.append((yield ctx.irecv(nb, tag=it)))
+        for nb in neighbors:
+            reqs.append((yield ctx.isend(nb, msg_bytes, tag=it)))
+        yield ctx.waitall(reqs)

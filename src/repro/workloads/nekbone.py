@@ -1,0 +1,50 @@
+"""Nekbone SWM skeleton (Section IV-B).
+
+Conjugate-gradient Poisson solve from Nek5000: each CG iteration does a
+nonblocking neighbour (gather-scatter) exchange with messages spanning
+8 B .. 165 KiB, followed by the two tiny 8-byte Allreduce reductions of
+the CG dot products -- "a large number of MPI collective operations with
+small 8-byte messages."  Paper configuration: 2,197 ranks (13^3).
+"""
+
+from __future__ import annotations
+
+from repro.mpi.process import RankCtx
+from repro.workloads.base import check_grid, torus_neighbors
+
+#: Paper-scale configuration.
+NEKBONE_PAPER = {
+    "dims": (13, 13, 13),
+    "msg_sizes": (8, 1024, 16384, 168960),
+    "iters": 60,
+    "compute_s": 0.2e-3,
+}
+
+
+def nekbone(ctx: RankCtx):
+    """CG iteration: small-message halo exchange + 2 x 8-byte allreduce.
+
+    Params: ``dims`` (3-tuple), ``msg_sizes`` (cycled per iteration),
+    ``iters``, ``compute_s``.
+    """
+    p = ctx.params
+    dims = tuple(p.get("dims", (13, 13, 13)))
+    if len(dims) != 3:
+        raise ValueError(f"nekbone needs 3 grid dimensions, got {dims}")
+    msg_sizes = tuple(int(s) for s in p.get("msg_sizes", (8, 1024, 16384, 168960)))
+    iters = int(p.get("iters", 60))
+    compute_s = float(p.get("compute_s", 0.2e-3))
+    check_grid(ctx, dims, "nekbone")
+    neighbors = torus_neighbors(ctx.rank, dims)
+    for it in range(iters):
+        yield ctx.compute(compute_s)
+        size = msg_sizes[it % len(msg_sizes)]
+        reqs = []
+        for nb in neighbors:
+            reqs.append((yield ctx.irecv(nb, tag=it)))
+        for nb in neighbors:
+            reqs.append((yield ctx.isend(nb, size, tag=it)))
+        yield ctx.waitall(reqs)
+        # CG dot products: two scalar allreduces per iteration.
+        yield from ctx.allreduce(8)
+        yield from ctx.allreduce(8)

@@ -1,0 +1,102 @@
+"""coNCePTuaL sources for the Union-translated applications.
+
+The two ML applications of Section IV-B are *written in the DSL* and run
+through the Union pipeline, exactly as in the paper.  Parameters default
+to the paper-scale values; the mini-scale catalog overrides them.
+"""
+
+# The paper's Figure 1 program (ping-pong latency test), verbatim except
+# for whitespace.  Used by the quickstart example and the parser tests.
+PINGPONG_SOURCE = """\
+# A ping-pong latency test written in coNCePTuaL
+Require language version "1.5".
+
+# Parse command line.
+reps is "Number of repetitions" and comes from "--reps" or "-r" with default 1000.
+msgsize is "Message size of bytes to transmit" and comes from "--msgsize" or "-m" with default 1024.
+
+Assert that "the latency test requires at least two tasks" with num_tasks>=2.
+
+# Perform the test.
+For reps repetitions {
+  task 0 resets its counters then
+  task 0 sends a msgsize byte message to task 1 then
+  task 1 sends a msgsize byte message to task 0 then
+  task 0 logs the msgsize as "Bytes" and the median of elapsed_usecs/2 as "1/2 RTT (usecs)"
+} then
+task 0 computes aggregates
+"""
+
+# Cosmoflow (Mathuriya et al., SC'18 as cited): distributed training
+# dominated by periodic gradient Allreduce.  Paper configuration: 1,024
+# ranks, 28.15 MiB Allreduce every 129 ms.
+COSMOFLOW_SOURCE = """\
+# Cosmoflow: periodic gradient all-reduce (Section IV-B).
+Require language version "1.5".
+
+iters is "Number of training steps" and comes from "--iters" with default 10.
+abytes is "Allreduce payload in bytes" and comes from "--abytes" with default 29517414.
+cmsecs is "Compute interval in milliseconds" and comes from "--cmsecs" with default 129.
+
+Assert that "cosmoflow needs at least two workers" with num_tasks>=2.
+
+For iters repetitions {
+  all tasks compute for cmsecs milliseconds then
+  all tasks reduce an abytes byte value to all tasks
+}
+"""
+
+# AlexNet via Horovod: the control-flow graph of the paper's Figure 6 --
+# a broadcast warm-up loop, a gradient-update loop whose iterations
+# interleave small negotiation broadcasts with the large gradient
+# allreduces, and a short shutdown loop.  Paper-scale counts came from a
+# DUMPI trace of a real 512-node run; the defaults below encode the
+# published structure (1092 warm-up broadcasts, 856 updates totalling
+# 235 MiB of gradients each, 5 tail iterations).
+ALEXNET_SOURCE = """\
+# AlexNet/Horovod communication skeleton (Figure 6 control flow).
+Require language version "1.5".
+
+warmups is "Warm-up negotiation broadcasts" and comes from "--warmups" with default 1092.
+updates is "Gradient updates" and comes from "--updates" with default 856.
+tail is "Shutdown iterations" and comes from "--tail" with default 5.
+gbytes is "Gradient bytes per update" and comes from "--gbytes" with default 246415360.
+nar is "Allreduce calls per update" and comes from "--nar" with default 2.
+negbytes is "Negotiation broadcast size" and comes from "--negbytes" with default 25.
+cmsecs is "Compute milliseconds per update" and comes from "--cmsecs" with default 25.
+
+Assert that "alexnet needs at least two workers" with num_tasks>=2.
+
+For warmups repetitions {
+  task 0 multicasts a 4 byte message to all other tasks
+} then
+For updates repetitions {
+  task 0 multicasts a negbytes byte message to all other tasks then
+  all tasks compute for cmsecs milliseconds then
+  For nar repetitions {
+    all tasks reduce a gbytes/nar byte value to all tasks
+  }
+} then
+For tail repetitions {
+  all tasks reduce a 4 byte value to all tasks then
+  task 0 multicasts a 4 byte message to all other tasks
+}
+"""
+
+# Uniform-random background traffic, as a DSL program (the sweeps use
+# the SWM-style generator in uniform_random.py; this source exists to
+# exercise random_task through the full Union pipeline).
+UNIFORM_RANDOM_SOURCE = """\
+# Uniform-random synthetic traffic.
+Require language version "1.5".
+
+iters is "Number of send rounds" and comes from "--iters" with default 100.
+msgsize is "Message size in bytes" and comes from "--msgsize" with default 10240.
+imsecs is "Injection interval in milliseconds" and comes from "--imsecs" with default 1.
+
+For iters repetitions {
+  all tasks compute for imsecs milliseconds then
+  all tasks t sends a msgsize byte nonblocking message to task random_task(0, num_tasks-1) then
+  all tasks await completion
+}
+"""

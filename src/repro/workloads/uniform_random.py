@@ -1,0 +1,39 @@
+"""Uniform-random (UR) synthetic background traffic (Section IV-B).
+
+Workload1's synthetic component: each rank sends a 10 KiB message to a
+uniformly random destination every 1 ms.  Runs for ``iters`` rounds, or
+forever (until the simulation horizon) when ``iters`` is 0 -- the
+paper's background traffic has no natural end.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.process import RankCtx
+from repro.workloads.base import workload_rng
+
+#: Paper-scale configuration (4,096 ranks in Workload1).
+UR_PAPER = {"msg_bytes": 10240, "interval_s": 1e-3, "iters": 0}
+
+
+def uniform_random(ctx: RankCtx):
+    """Fire-and-forget random-destination traffic.
+
+    Params: ``msg_bytes``, ``interval_s``, ``iters`` (0 = endless),
+    ``seed``.  Receives are intentionally never posted: deliveries are
+    recorded at the destination NIC either way, which is exactly what a
+    background-traffic pattern needs.
+    """
+    p = ctx.params
+    msg_bytes = int(p.get("msg_bytes", 10240))
+    interval_s = float(p.get("interval_s", 1e-3))
+    iters = int(p.get("iters", 0))
+    rng = workload_rng(ctx, salt=7)
+    n = ctx.size
+    it = 0
+    while iters == 0 or it < iters:
+        yield ctx.compute(interval_s)
+        dst = rng.randint(n - 1)
+        if dst >= ctx.rank:
+            dst += 1  # uniform over all ranks except self
+        yield ctx.isend(dst, msg_bytes, tag=3)
+        it += 1

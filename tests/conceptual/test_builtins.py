@@ -1,0 +1,193 @@
+"""Virtual-topology built-ins, including property-based checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conceptual.builtins import (
+    c_cbrt,
+    c_div,
+    c_log2,
+    c_sqrt,
+    knomial_child,
+    knomial_children,
+    knomial_parent,
+    mesh_coordinate,
+    mesh_neighbor,
+    range_seq,
+    torus_neighbor,
+    tree_child,
+    tree_parent,
+)
+from repro.conceptual.errors import EvalError
+
+
+# -- arithmetic helpers -------------------------------------------------------
+
+
+def test_div_truncates_towards_zero():
+    assert c_div(7, 2) == 3
+    assert c_div(-7, 2) == -3
+    assert c_div(7, -2) == -3
+    assert c_div(-7, -2) == 3
+    assert c_div(7.0, 2) == 3.5
+
+
+def test_sqrt_integer_exact():
+    assert c_sqrt(16) == 4
+    assert c_sqrt(17) == 4
+    assert c_sqrt(2.25) == 1.5
+    with pytest.raises(EvalError):
+        c_sqrt(-1)
+
+
+@given(st.integers(0, 10**9))
+@settings(max_examples=200)
+def test_cbrt_is_floor_cube_root(x):
+    r = c_cbrt(x)
+    assert r**3 <= x < (r + 1) ** 3
+
+
+def test_log2_integer():
+    assert c_log2(1) == 0
+    assert c_log2(1024) == 10
+    assert c_log2(1025) == 10
+    with pytest.raises(EvalError):
+        c_log2(0)
+
+
+# -- n-ary trees ---------------------------------------------------------------
+
+
+def test_tree_parent_root():
+    assert tree_parent(0) == -1
+
+
+@given(st.integers(1, 10_000), st.integers(1, 5))
+@settings(max_examples=200)
+def test_tree_parent_child_inverse(task, arity):
+    parent = tree_parent(task, arity)
+    assert parent >= 0
+    children = [tree_child(parent, c, arity) for c in range(arity)]
+    assert task in children
+
+
+def test_tree_child_bounds_checked():
+    with pytest.raises(EvalError):
+        tree_child(0, 2, 2)
+
+
+# -- k-nomial trees ---------------------------------------------------------------
+
+
+@given(st.integers(1, 500), st.integers(2, 4), st.integers(2, 501))
+@settings(max_examples=200)
+def test_knomial_parent_is_smaller(task, k, n):
+    if task >= n:
+        task = task % n
+    if task == 0:
+        assert knomial_parent(task, k, n) == -1
+    else:
+        p = knomial_parent(task, k, n)
+        assert 0 <= p < task
+
+
+@given(st.integers(2, 200), st.integers(2, 4))
+@settings(max_examples=100)
+def test_knomial_tree_spans_all_nodes(n, k):
+    """Every node except the root has exactly one parent; following
+    children from the root reaches every node exactly once."""
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        t = frontier.pop()
+        n_children = knomial_children(t, k, n)
+        for c in range(n_children):
+            child = knomial_child(t, c, k, n)
+            assert child not in seen
+            assert knomial_parent(child, k, n) == t
+            seen.add(child)
+            frontier.append(child)
+    assert seen == set(range(n))
+
+
+def test_knomial_requires_n():
+    with pytest.raises(EvalError):
+        knomial_children(0, 2, None)
+    with pytest.raises(EvalError):
+        knomial_child(0, 0, 2, None)
+
+
+def test_knomial_k_validated():
+    with pytest.raises(EvalError):
+        knomial_parent(3, 1, 8)
+
+
+# -- meshes / tori ------------------------------------------------------------------
+
+
+def test_mesh_neighbor_interior():
+    # 4x4x1 mesh, task 5 = (1,1,0)
+    assert mesh_neighbor(4, 4, 1, 5, 1, 0, 0) == 6
+    assert mesh_neighbor(4, 4, 1, 5, 0, 1, 0) == 9
+    assert mesh_neighbor(4, 4, 1, 5, -1, -1, 0) == 0
+
+
+def test_mesh_neighbor_edge_returns_minus_one():
+    assert mesh_neighbor(4, 4, 1, 0, -1, 0, 0) == -1
+    assert mesh_neighbor(4, 4, 1, 3, 1, 0, 0) == -1
+    assert mesh_neighbor(4, 4, 1, 15, 0, 1, 0) == -1
+
+
+def test_torus_neighbor_wraps():
+    assert torus_neighbor(4, 4, 1, 0, -1, 0, 0) == 3
+    assert torus_neighbor(4, 4, 1, 3, 1, 0, 0) == 0
+    assert torus_neighbor(2, 2, 2, 7, 1, 1, 1) == 0
+
+
+@given(
+    st.integers(1, 6), st.integers(1, 6), st.integers(1, 6),
+    st.integers(-2, 2), st.integers(-2, 2), st.integers(-2, 2),
+    st.data(),
+)
+@settings(max_examples=200)
+def test_torus_neighbor_is_invertible(w, h, d, dx, dy, dz, data):
+    task = data.draw(st.integers(0, w * h * d - 1))
+    nb = torus_neighbor(w, h, d, task, dx, dy, dz)
+    assert 0 <= nb < w * h * d
+    assert torus_neighbor(w, h, d, nb, -dx, -dy, -dz) == task
+
+
+def test_mesh_coordinate():
+    assert mesh_coordinate(4, 3, 2, 23, 0) == 3
+    assert mesh_coordinate(4, 3, 2, 23, 1) == 2
+    assert mesh_coordinate(4, 3, 2, 23, 2) == 1
+    with pytest.raises(EvalError):
+        mesh_coordinate(4, 3, 2, 23, 3)
+
+
+def test_mesh_task_out_of_range():
+    with pytest.raises(EvalError):
+        mesh_neighbor(2, 2, 1, 4, 0, 0, 0)
+
+
+def test_non_integer_rejected():
+    with pytest.raises(EvalError):
+        tree_parent(1.5)
+
+
+# -- range_seq -----------------------------------------------------------------------
+
+
+def test_range_seq_matches_examples():
+    assert range_seq([1], 5) == [1, 2, 3, 4, 5]
+    assert range_seq([1, 3], 9) == [1, 3, 5, 7, 9]
+    assert range_seq([10], 7) == [10, 9, 8, 7]
+    assert range_seq([0, 5], 22) == [0, 5, 10, 15, 20]
+
+
+def test_range_seq_errors():
+    with pytest.raises(EvalError):
+        range_seq([], 5)
+    with pytest.raises(EvalError):
+        range_seq([3, 3], 9)

@@ -1,0 +1,190 @@
+"""Expression evaluation semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conceptual import ast_nodes as A
+from repro.conceptual.errors import EvalError
+from repro.conceptual.evaluator import Env, evaluate, expand_range
+from repro.conceptual.parser import parse
+from repro.pdes.rng import SplitMix
+
+
+def ev(src, variables=None, num_tasks=8, rng=None):
+    prog = parse(f"if {src} then {{ all tasks synchronize }}")
+    cond = prog.body.stmts[0].cond
+    return evaluate(cond, Env(variables or {}, num_tasks=num_tasks, rng=rng))
+
+
+def ev_arith(src, variables=None, num_tasks=8, rng=None):
+    prog = parse(f"task 0 computes for {src} seconds")
+    amount = prog.body.stmts[0].amount
+    return evaluate(amount, Env(variables or {}, num_tasks=num_tasks, rng=rng))
+
+
+def test_basic_arithmetic():
+    assert ev_arith("1 + 2 * 3") == 7
+    assert ev_arith("(1 + 2) * 3") == 9
+    assert ev_arith("10 - 4 - 3") == 3
+    assert ev_arith("2 ** 10") == 1024
+
+
+def test_integer_division_truncates():
+    assert ev_arith("7 / 2") == 3
+    assert ev_arith("(0-7) / 2") == -3  # truncation towards zero
+    assert ev_arith("7.0 / 2") == 3.5
+
+
+def test_mod():
+    assert ev_arith("7 mod 3") == 1
+    assert ev_arith("9 mod 3") == 0
+
+
+def test_division_by_zero():
+    with pytest.raises(EvalError, match="division by zero"):
+        ev_arith("1 / 0")
+    with pytest.raises(EvalError, match="modulo by zero"):
+        ev_arith("1 mod 0")
+
+
+def test_unary_minus():
+    assert ev_arith("-5 + 10") == 5
+
+
+def test_shifts_and_bitwise():
+    assert ev_arith("1 << 10") == 1024
+    assert ev_arith("1024 >> 3") == 128
+    assert ev_arith("12 & 10") == 8
+    assert ev_arith("12 | 10") == 14
+    assert ev_arith("12 ^ 10") == 6
+
+
+def test_comparisons():
+    assert ev("3 < 4") == 1
+    assert ev("3 > 4") == 0
+    assert ev("3 = 3") == 1
+    assert ev("3 <> 3") == 0
+    assert ev("3 <= 3") == 1
+    assert ev("4 >= 5") == 0
+
+
+def test_divides():
+    assert ev("3 divides 9") == 1
+    assert ev("3 divides 10") == 0
+    with pytest.raises(EvalError):
+        ev("0 divides 10")
+
+
+def test_parity():
+    assert ev("4 is even") == 1
+    assert ev("4 is odd") == 0
+    assert ev("7 is odd") == 1
+
+
+def test_bool_ops_short_circuit():
+    assert ev("1 = 1 and 2 = 2") == 1
+    assert ev("1 = 2 and (1 / 0) = 0") == 0  # rhs never evaluated
+    assert ev("1 = 1 or (1 / 0) = 0") == 1
+    assert ev("not 1 = 2") == 1
+    assert ev("(1 = 1) xor (2 = 2)") == 0
+
+
+def test_num_tasks_builtin():
+    assert ev("num_tasks = 8") == 1
+    assert ev("num_tasks = 8", num_tasks=4) == 0
+
+
+def test_variables_resolve():
+    assert ev_arith("x * y", {"x": 6, "y": 7}) == 42
+
+
+def test_undefined_variable():
+    with pytest.raises(EvalError, match="undefined variable"):
+        ev_arith("nope")
+
+
+def test_unknown_function():
+    with pytest.raises(EvalError, match="unknown function"):
+        ev_arith("frobnicate(1)")
+
+
+def test_function_arity_checked():
+    with pytest.raises(EvalError, match="arguments"):
+        ev_arith("abs(1, 2)")
+
+
+def test_random_task_bounds_and_determinism():
+    a = ev_arith("random_task(3, 7)", rng=SplitMix(5, 1))
+    b = ev_arith("random_task(3, 7)", rng=SplitMix(5, 1))
+    assert a == b
+    assert 3 <= a <= 7
+
+
+def test_random_task_without_rng():
+    with pytest.raises(EvalError, match="random"):
+        ev_arith("random_task(0, 3)")
+
+
+def test_random_task_empty_range():
+    with pytest.raises(EvalError, match="empty range"):
+        ev_arith("random_task(5, 2)", rng=SplitMix(0, 0))
+
+
+def test_elapsed_usecs_hook():
+    prog = parse("task 0 computes for elapsed_usecs seconds")
+    amount = prog.body.stmts[0].amount
+    env = Env({}, num_tasks=1, elapsed_usecs=lambda: 123.0)
+    assert evaluate(amount, env) == 123.0
+    with pytest.raises(EvalError, match="elapsed_usecs"):
+        evaluate(amount, Env({}, num_tasks=1))
+
+
+def test_env_child_scoping():
+    env = Env({"a": 1}, num_tasks=2)
+    child = env.child(b=2)
+    assert child.lookup("a", 0) == 1
+    assert child.lookup("b", 0) == 2
+    with pytest.raises(EvalError):
+        env.lookup("b", 0)
+
+
+# -- range expansion --------------------------------------------------------------
+
+
+def expand(src, variables=None):
+    prog = parse(f"for each i in {src} {{ all tasks synchronize }}")
+    spec = prog.body.stmts[0].ranges[0]
+    return expand_range(spec, Env(variables or {}, num_tasks=8))
+
+
+def test_expand_simple_range():
+    assert expand("{1, ..., 5}") == [1, 2, 3, 4, 5]
+
+
+def test_expand_stepped_range():
+    assert expand("{1, 3, ..., 9}") == [1, 3, 5, 7, 9]
+
+
+def test_expand_geometricish_prefix():
+    assert expand("{0, 10, ..., 40}") == [0, 10, 20, 30, 40]
+
+
+def test_expand_descending():
+    assert expand("{5, 4, ..., 1}") == [5, 4, 3, 2, 1]
+
+
+def test_expand_explicit_list():
+    assert expand("{2, 4, 32}") == [2, 4, 32]
+
+
+def test_expand_with_variables():
+    assert expand("{1, ..., n}", {"n": 3}) == [1, 2, 3]
+
+
+@given(st.integers(-50, 50), st.integers(-50, 50))
+@settings(max_examples=100)
+def test_expand_matches_python_range(a, b):
+    got = expand(f"{{{a}, ..., {b}}}")
+    step = 1 if b >= a else -1
+    assert got == list(range(a, b + step, step))

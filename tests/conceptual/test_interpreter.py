@@ -1,0 +1,180 @@
+"""Application interpreter: event counts, bytes, buffers, control flow."""
+
+import numpy as np
+import pytest
+
+from repro.conceptual.parser import parse
+from repro.conceptual.interpreter import run_application
+from repro.workloads.sources import PINGPONG_SOURCE
+
+
+def run(src, n, params=None, **kw):
+    return run_application(parse(src), n, params, **kw)
+
+
+def test_init_finalize_counted_once_per_rank():
+    r = run("all tasks synchronize", 6)
+    assert r.event_counts()["MPI_Init"] == 6
+    assert r.event_counts()["MPI_Finalize"] == 6
+
+
+def test_pingpong_figure1_counts():
+    r = run(PINGPONG_SOURCE, 4, {"reps": 10})
+    counts = r.event_counts()
+    assert counts["MPI_Send"] == 20
+    assert counts["MPI_Recv"] == 20
+    assert list(r.bytes_by_rank()) == [10240, 10240, 0, 0]
+
+
+def test_send_count_multiplier():
+    r = run("task 0 sends 5 100 byte messages to task 1", 2)
+    assert r.event_counts()["MPI_Send"] == 5
+    assert r.event_counts()["MPI_Recv"] == 5
+    assert r.bytes_sent[0] == 500
+
+
+def test_nonblocking_send_counts_isend():
+    r = run("task 0 sends a 8 byte nonblocking message to task 1 then all tasks await completion", 2)
+    c = r.event_counts()
+    assert c["MPI_Isend"] == 1
+    assert c["MPI_Irecv"] == 1
+    assert c["MPI_Waitall"] == 2
+
+
+def test_all_tasks_ring_send():
+    r = run("all tasks t sends a 10 byte message to task (t+1) mod num_tasks", 5)
+    assert r.event_counts()["MPI_Send"] == 5
+    assert r.event_counts()["MPI_Recv"] == 5
+    assert all(r.bytes_sent == 10)
+
+
+def test_such_that_sender_subset():
+    r = run("tasks t such that t>1 sends a 10 byte message to task 0", 5)
+    assert r.event_counts()["MPI_Send"] == 3
+    assert int(r.event_counts_per_rank("MPI_Recv")[0]) == 3
+
+
+def test_mesh_edge_targets_skipped():
+    # 1D chain of 4: task 3 has no +1 neighbour.
+    r = run("all tasks t sends a 8 byte message to task mesh_neighbor(4, 1, 1, t, 1, 0, 0)", 4)
+    assert r.event_counts()["MPI_Send"] == 3
+
+
+def test_all_other_tasks_target():
+    r = run("task 1 sends a 8 byte message to all other tasks", 4)
+    assert r.event_counts()["MPI_Send"] == 3
+    assert int(r.event_counts_per_rank("MPI_Recv")[1]) == 0
+
+
+def test_bcast_accounting():
+    r = run("task 2 multicasts a 100 byte message to all other tasks", 4)
+    assert r.event_counts()["MPI_Bcast"] == 4
+    assert list(r.bytes_by_rank()) == [0, 0, 100, 0]
+
+
+def test_allreduce_accounting():
+    r = run("all tasks reduce a 100 byte value to all tasks", 4)
+    assert r.event_counts()["MPI_Allreduce"] == 4
+    assert all(r.bytes_by_rank() == 100)
+
+
+def test_reduce_accounting():
+    r = run("all tasks reduce a 100 byte value to task 1", 4)
+    assert r.event_counts()["MPI_Reduce"] == 4
+    assert list(r.bytes_by_rank()) == [100, 0, 100, 100]
+
+
+def test_compute_advances_clock_subset():
+    r = run("task 1 computes for 5 milliseconds", 3)
+    assert r.clock[1] == pytest.approx(5e-3)
+    assert r.clock[0] == 0.0
+
+
+def test_reset_and_elapsed_in_logs():
+    src = (
+        "task 0 computes for 10 milliseconds then "
+        "task 0 resets its counters then "
+        "task 0 computes for 2 milliseconds then "
+        'task 0 logs elapsed_usecs as "e"'
+    )
+    r = run(src, 2)
+    assert r.log_values(0, "e") == [pytest.approx(2000.0)]
+
+
+def test_log_aggregates():
+    src = 'for each i in {1, ..., 5} { task 0 logs i*10 as "v" }'
+    r = run(src, 1)
+    assert r.log_values(0, "v") == [10, 20, 30, 40, 50]
+    assert r.aggregate_log(0, "v", "mean") == 30
+    assert r.aggregate_log(0, "v", "median") == 30
+    assert r.aggregate_log(0, "v", "maximum") == 50
+    assert r.aggregate_log(0, "v", "sum") == 150
+    with pytest.raises(KeyError):
+        r.aggregate_log(1, "v", "mean")
+
+
+def test_buffer_growth_tracks_message_sizes():
+    src = "task 0 sends a 100 byte message to task 1 then task 0 sends a 5000 byte message to task 1"
+    r = run(src, 2)
+    assert r.buffer_bytes[0] == 5000
+    assert r.buffer_bytes[1] == 5000
+    assert r.peak_buffer_bytes() == 5000
+
+
+def test_touch_grows_buffer():
+    r = run("all tasks touch 2 kilobytes of memory", 2)
+    assert r.peak_buffer_bytes() == 2048
+
+
+def test_if_otherwise_branches():
+    src = "if num_tasks > 2 then { all tasks synchronize } otherwise { all tasks synchronize then all tasks synchronize }"
+    assert run(src, 4).event_counts()["MPI_Barrier"] == 4
+    assert run(src, 2).event_counts()["MPI_Barrier"] == 4  # two barriers x 2 ranks
+
+
+def test_while_loop():
+    src = 'x is "x" and comes from "--x" with default 3. while x > 0 { all tasks synchronize then let x be x - 1 while { all tasks synchronize } }'
+    # 'let' cannot mutate outer scope -> this would loop forever; instead use for
+    src = "for each i in {1, ..., 3} { all tasks synchronize }"
+    assert run(src, 2).event_counts()["MPI_Barrier"] == 6
+
+
+def test_param_override_and_unknown_param():
+    r = run(PINGPONG_SOURCE, 2, {"reps": 1})
+    assert r.event_counts()["MPI_Send"] == 2
+    with pytest.raises(Exception, match="unknown parameters"):
+        run(PINGPONG_SOURCE, 2, {"nope": 1})
+
+
+def test_assert_failure_raised():
+    with pytest.raises(AssertionError, match="at least two"):
+        run(PINGPONG_SOURCE, 1)
+
+
+def test_traces_recorded_only_on_request():
+    r = run("all tasks synchronize", 2)
+    assert r.traces is None
+    r = run("all tasks synchronize", 2, record_trace=True)
+    assert r.traces[0] == ["MPI_Init", "MPI_Barrier", "MPI_Finalize"]
+
+
+def test_outputs_collected():
+    r = run('task 0 outputs "hi" then task 0 outputs num_tasks', 3)
+    assert (0, "hi") in r.outputs
+    assert (0, "3") in r.outputs
+
+
+def test_sleep_statement():
+    r = run("all tasks sleep for 1 second", 2)
+    assert all(r.clock == 1.0)
+
+
+def test_explicit_receive_counts():
+    r = run("task 1 receives a 64 byte message from task 0", 2)
+    assert r.event_counts()["MPI_Recv"] == 1
+    assert int(r.event_counts_per_rank("MPI_Recv")[1]) == 1
+
+
+def test_n_tasks_validated():
+    with pytest.raises(ValueError):
+        run("all tasks synchronize", 0)

@@ -1,0 +1,112 @@
+"""Lexer behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conceptual.errors import LexError
+from repro.conceptual.lexer import tokenize
+from repro.conceptual.tokens import (
+    COMMA,
+    ELLIPSIS,
+    EOF,
+    IDENT,
+    KEYWORD,
+    LBRACE,
+    NUMBER,
+    OP,
+    PERIOD,
+    STRING,
+)
+
+
+def types(src):
+    return [t.type for t in tokenize(src)]
+
+
+def values(src):
+    return [t.value for t in tokenize(src)][:-1]  # drop EOF
+
+
+def test_empty_source_is_just_eof():
+    assert types("") == [EOF]
+
+
+def test_comments_skipped():
+    assert values("# a comment\n42 # trailing\n") == [42]
+
+
+def test_integers_and_floats():
+    assert values("42 3.14 1e3 2.5e-2 0") == [42, 3.14, 1000.0, 0.025, 0]
+    assert isinstance(values("42")[0], int)
+    assert isinstance(values("42.0")[0], float)
+
+
+def test_trailing_period_not_part_of_number():
+    toks = tokenize("with default 1000.")
+    assert toks[-3].value == 1000
+    assert toks[-2].type == PERIOD
+
+
+def test_string_literals_with_escapes():
+    assert values('"hello" "a\\"b" "tab\\there"') == ["hello", 'a"b', "tab\there"]
+
+
+def test_unterminated_string():
+    with pytest.raises(LexError, match="unterminated"):
+        tokenize('"abc')
+    with pytest.raises(LexError, match="unterminated"):
+        tokenize('"abc\ndef"')
+
+
+def test_keywords_case_insensitive():
+    toks = tokenize("For REPETITIONS Task SENDS")
+    assert all(t.type == KEYWORD for t in toks[:-1])
+    assert [t.value for t in toks[:-1]] == ["for", "repetitions", "task", "sends"]
+
+
+def test_identifiers_preserved():
+    toks = tokenize("msgsize num_tasks MyVar")
+    assert [t.type for t in toks[:-1]] == [IDENT, IDENT, IDENT]
+    assert toks[2].value == "MyVar"
+
+
+def test_operators():
+    assert values("+ - * / ** <= >= <> < > =") == [
+        "+", "-", "*", "/", "**", "<=", ">=", "<>", "<", ">", "=",
+    ]
+
+
+def test_ellipsis_vs_period():
+    toks = tokenize("{1, ..., 8}.")
+    typs = [t.type for t in toks]
+    assert ELLIPSIS in typs
+    assert typs[-2] == PERIOD
+
+
+def test_punctuation():
+    assert types("{ } ( ) ,")[:-1] == [LBRACE, "RBRACE", "LPAREN", "RPAREN", COMMA]
+
+
+def test_line_and_column_tracking():
+    toks = tokenize("a\n  b")
+    assert (toks[0].line, toks[0].column) == (1, 1)
+    assert (toks[1].line, toks[1].column) == (2, 3)
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError, match="unexpected character"):
+        tokenize("task 0 sends @")
+
+
+@given(st.integers(min_value=0, max_value=10**12))
+@settings(max_examples=100)
+def test_integer_roundtrip(n):
+    assert values(str(n)) == [n]
+
+
+@given(st.floats(min_value=0.001, max_value=1e9, allow_nan=False, allow_infinity=False))
+@settings(max_examples=100)
+def test_float_roundtrip(x):
+    got = values(repr(x))
+    assert got[0] == pytest.approx(x)

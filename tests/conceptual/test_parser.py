@@ -1,0 +1,270 @@
+"""Parser: statement forms, headers, expression precedence, errors."""
+
+import pytest
+
+from repro.conceptual import ast_nodes as A
+from repro.conceptual.errors import ParseError
+from repro.conceptual.parser import parse
+from repro.workloads.sources import ALEXNET_SOURCE, COSMOFLOW_SOURCE, PINGPONG_SOURCE
+
+
+def body_stmts(src):
+    return parse(src).body.stmts
+
+
+def first_stmt(src):
+    return body_stmts(src)[0]
+
+
+# -- headers ------------------------------------------------------------------
+
+
+def test_require_header():
+    p = parse('Require language version "1.5". all tasks synchronize')
+    assert p.requires[0].version == "1.5"
+
+
+def test_param_declaration():
+    p = parse('reps is "Reps" and comes from "--reps" or "-r" with default 1000. all tasks synchronize')
+    d = p.params[0]
+    assert d.name == "reps"
+    assert d.flags == ["--reps", "-r"]
+    assert isinstance(d.default, A.Num) and d.default.value == 1000
+
+
+def test_assert_declaration():
+    p = parse('Assert that "need tasks" with num_tasks>=2. all tasks synchronize')
+    a = p.asserts[0]
+    assert a.text == "need tasks"
+    assert isinstance(a.cond, A.Compare)
+
+
+# -- statements ----------------------------------------------------------------
+
+
+def test_send_statement():
+    s = first_stmt("task 0 sends a 1024 byte message to task 1")
+    assert isinstance(s, A.Send)
+    assert s.blocking
+    assert s.unit == 1.0
+    assert isinstance(s.sender, A.TaskN)
+    assert isinstance(s.target, A.TaskN)
+
+
+def test_send_with_units():
+    s = first_stmt("task 0 sends a 2 megabyte message to task 1")
+    assert s.unit == 1 << 20
+    s = first_stmt("task 0 sends a 3 kilobyte message to task 1")
+    assert s.unit == 1 << 10
+
+
+def test_send_nonblocking_keyword():
+    s = first_stmt("task 0 sends a 8 byte nonblocking message to task 1")
+    assert not s.blocking
+
+
+def test_asynchronously_prefix():
+    s = first_stmt("task 0 asynchronously sends a 8 byte message to task 1")
+    assert not s.blocking
+
+
+def test_send_with_count():
+    s = first_stmt("task 0 sends 5 1024 byte messages to task 1")
+    assert isinstance(s.count, A.Num) and s.count.value == 5
+
+
+def test_send_all_tasks_with_binding():
+    s = first_stmt("all tasks t sends a 8 byte message to task (t+1) mod num_tasks")
+    assert isinstance(s.sender, A.AllTasks)
+    assert s.sender.var == "t"
+
+
+def test_send_such_that():
+    s = first_stmt("tasks t such that t>0 sends a 8 byte message to task 0")
+    assert isinstance(s.sender, A.SuchThat)
+    assert s.sender.var == "t"
+
+
+def test_receive_statement():
+    s = first_stmt("task 1 receives a 64 byte message from task 0")
+    assert isinstance(s, A.Receive)
+
+
+def test_multicast():
+    s = first_stmt("task 0 multicasts a 4 byte message to all other tasks")
+    assert isinstance(s, A.Multicast)
+    assert isinstance(s.target, A.AllOtherTasks)
+
+
+def test_reduce_to_all_tasks():
+    s = first_stmt("all tasks reduce a 28 megabyte value to all tasks")
+    assert isinstance(s, A.ReduceStmt)
+    assert isinstance(s.target, A.AllTasks)
+
+
+def test_reduce_to_single_task():
+    s = first_stmt("all tasks reduce an 8 byte value to task 0")
+    assert isinstance(s.target, A.TaskN)
+
+
+def test_synchronize():
+    assert isinstance(first_stmt("all tasks synchronize"), A.Synchronize)
+
+
+def test_compute_and_sleep():
+    c = first_stmt("all tasks compute for 129 milliseconds")
+    assert isinstance(c, A.ComputeStmt)
+    assert c.unit == 1e-3
+    s = first_stmt("task 0 sleeps for 2 seconds")
+    assert isinstance(s, A.SleepStmt)
+    assert s.unit == 1.0
+
+
+def test_reset_and_aggregates():
+    assert isinstance(first_stmt("task 0 resets its counters"), A.ResetCounters)
+    assert isinstance(first_stmt("all tasks reset their counters"), A.ResetCounters)
+    assert isinstance(first_stmt("task 0 computes aggregates"), A.ComputeAggregates)
+
+
+def test_await_completion():
+    assert isinstance(first_stmt("all tasks await completion"), A.AwaitCompletion)
+
+
+def test_log_with_aggregate():
+    s = first_stmt('task 0 logs the median of elapsed_usecs/2 as "RTT" and the msgsize as "B"')
+    assert isinstance(s, A.LogStmt)
+    assert s.items[0].aggregate == "median"
+    assert s.items[1].aggregate is None
+    assert s.items[1].label == "B"
+
+
+def test_output():
+    s = first_stmt('task 0 outputs "hello"')
+    assert isinstance(s, A.OutputStmt) and s.text == "hello"
+    s = first_stmt("task 0 outputs num_tasks*2")
+    assert s.expr is not None
+
+
+def test_touch():
+    s = first_stmt("all tasks touch 1 megabyte of memory")
+    assert isinstance(s, A.TouchStmt)
+
+
+# -- control flow -----------------------------------------------------------------
+
+
+def test_for_repetitions():
+    s = first_stmt("for 10 repetitions { all tasks synchronize }")
+    assert isinstance(s, A.ForReps)
+
+
+def test_then_sequencing():
+    stmts = body_stmts("all tasks synchronize then all tasks synchronize then all tasks synchronize")
+    assert len(stmts) == 3
+
+
+def test_for_each_with_ellipsis():
+    s = first_stmt("for each i in {1, 2, ..., 9} { all tasks synchronize }")
+    assert isinstance(s, A.ForEach)
+    assert s.ranges[0].ellipsis_to is not None
+    assert len(s.ranges[0].exprs) == 2
+
+
+def test_for_each_explicit_list():
+    s = first_stmt("for each i in {1, 5, 25} { all tasks synchronize }")
+    assert s.ranges[0].ellipsis_to is None
+    assert len(s.ranges[0].exprs) == 3
+
+
+def test_if_otherwise():
+    s = first_stmt(
+        "if num_tasks > 4 then { all tasks synchronize } otherwise { all tasks synchronize }"
+    )
+    assert isinstance(s, A.If)
+    assert s.otherwise is not None
+
+
+def test_while():
+    s = first_stmt("while 0 { all tasks synchronize }")
+    assert isinstance(s, A.While)
+
+
+def test_let():
+    s = first_stmt("let x be 5 and y be x*2 while { task 0 computes for y microseconds }")
+    assert isinstance(s, A.Let)
+    assert [b[0] for b in s.bindings] == ["x", "y"]
+
+
+# -- expressions -------------------------------------------------------------------
+
+
+def expr_of(src):
+    return first_stmt(f"if {src} then {{ all tasks synchronize }}").cond
+
+
+def test_precedence_mul_before_add():
+    e = expr_of("1 + 2 * 3 = 7")
+    assert isinstance(e, A.Compare)
+    assert isinstance(e.left, A.BinOp) and e.left.op == "+"
+
+
+def test_power_right_associative():
+    e = expr_of("2 ** 3 ** 2 = 512")
+    left = e.left
+    assert left.op == "**"
+    assert isinstance(left.right, A.BinOp) and left.right.op == "**"
+
+
+def test_parity_and_divides():
+    assert isinstance(expr_of("num_tasks is even"), A.Parity)
+    assert isinstance(expr_of("3 divides num_tasks"), A.Compare)
+
+
+def test_bool_ops():
+    e = expr_of("num_tasks > 1 and num_tasks < 100 or num_tasks = 1")
+    assert isinstance(e, A.BoolOp) and e.op == "or"
+
+
+def test_call_with_args():
+    e = expr_of("mesh_neighbor(4, 4, 1, 0, 1, 0, 0) >= 0")
+    assert isinstance(e.left, A.Call)
+    assert len(e.left.args) == 7
+
+
+# -- whole programs -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("src", [PINGPONG_SOURCE, COSMOFLOW_SOURCE, ALEXNET_SOURCE])
+def test_shipped_sources_parse(src):
+    p = parse(src)
+    assert p.body.stmts
+
+
+# -- errors --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "src,msg",
+    [
+        ("task 0 sends a 8 byte message", "expected 'to'"),
+        ("task 0 jumps", "expected a verb|unknown verb"),
+        ("for 10 { all tasks synchronize }", "repetitions"),
+        ("task 0 sends a 8 furlong message to task 1", "size unit"),
+        ("task 0 computes for 8 bytes", "time unit"),
+        ("all tasks synchronize then", "task expression|expected"),
+        ("task 0 sends a 8 byte message to task 1 extra", "trailing"),
+    ],
+)
+def test_parse_errors(src, msg):
+    with pytest.raises(ParseError, match=msg):
+        parse(src)
+
+
+def test_error_carries_position():
+    try:
+        parse("task 0 sends a 8 furlong message to task 1")
+    except ParseError as e:
+        assert e.line == 1
+        assert e.column > 0
+    else:  # pragma: no cover
+        pytest.fail("expected ParseError")

@@ -1,0 +1,107 @@
+"""Static semantic checks."""
+
+import pytest
+
+from repro.conceptual.errors import SemanticError
+from repro.conceptual.parser import parse
+from repro.conceptual.semantics import check
+
+
+def ok(src):
+    check(parse(src))
+
+
+def bad(src, msg):
+    with pytest.raises(SemanticError, match=msg):
+        check(parse(src))
+
+
+def test_param_usage_ok():
+    ok('n is "N" and comes from "--n" with default 4. task 0 sends a n byte message to task 1')
+
+
+def test_undefined_variable():
+    bad("task 0 sends a siz byte message to task 1", "undefined variable")
+
+
+def test_loop_var_scoped_to_body():
+    ok("for each i in {1, ..., 3} { task 0 computes for i seconds }")
+    bad(
+        "for each i in {1, ..., 3} { all tasks synchronize } then task 0 computes for i seconds",
+        "undefined variable",
+    )
+
+
+def test_task_binding_visible_in_target():
+    ok("all tasks t sends a 8 byte message to task (t+1) mod num_tasks")
+    bad("all tasks sends a 8 byte message to task (t+1) mod num_tasks", "undefined variable")
+
+
+def test_such_that_binding():
+    ok("tasks t such that t>0 sends a 8 byte message to task 0")
+    bad("tasks t such that q>0 sends a 8 byte message to task 0", "undefined variable")
+
+
+def test_let_bindings_sequential():
+    ok("let x be 2 and y be x+1 while { task 0 computes for y seconds }")
+    bad("let x be y+1 and y be 2 while { all tasks synchronize }", "undefined variable")
+
+
+def test_duplicate_params():
+    bad(
+        'n is "N" and comes from "--n" with default 1. '
+        'n is "N again" and comes from "--n2" with default 2. '
+        "all tasks synchronize",
+        "duplicate parameter",
+    )
+
+
+def test_unknown_function():
+    bad("task 0 computes for warp(3) seconds", "unknown function")
+
+
+def test_function_arity():
+    bad("task 0 computes for abs(1, 2, 3) seconds", "arguments")
+    bad("task 0 computes for random_task(1) seconds", "2 arguments")
+
+
+def test_multicast_needs_single_root():
+    ok("task 0 multicasts a 4 byte message to all other tasks")
+    bad("all tasks multicasts a 4 byte message to all other tasks", "single root")
+
+
+def test_multicast_target_restricted():
+    bad("task 0 multicasts a 4 byte message to task 1", "'all tasks' or 'all other tasks'")
+
+
+def test_reduce_needs_all_tasks():
+    ok("all tasks reduce an 8 byte value to all tasks")
+    ok("all tasks reduce an 8 byte value to task 0")
+    bad("task 0 reduces an 8 byte value to all tasks", "all tasks")
+    bad("all tasks reduce an 8 byte value to tasks t such that t>0", "task <expr>")
+
+
+def test_synchronize_needs_all_tasks():
+    ok("all tasks synchronize")
+    bad("task 0 synchronizes", "all tasks")
+
+
+def test_all_other_tasks_cannot_be_subject():
+    bad("all other tasks compute for 1 second", "cannot be a")
+
+
+def test_send_target_cannot_rebind():
+    bad("all tasks sends a 8 byte message to all tasks q", "binding")
+
+
+def test_num_tasks_always_defined():
+    ok("if num_tasks > 2 then { all tasks synchronize }")
+
+
+def test_assert_exprs_checked():
+    bad('Assert that "x" with unknown_thing > 2. all tasks synchronize', "undefined variable")
+
+
+def test_check_returns_program():
+    p = parse("all tasks synchronize")
+    assert check(p) is p

@@ -1,0 +1,122 @@
+"""Experiment runner: caching, result shape, sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.harness.configs import COMBOS, make_topology, default_horizon
+from repro.harness.experiment import (
+    ExperimentConfig,
+    clear_cache,
+    run_experiment,
+)
+from repro.harness.sweeps import fig8_series, latency_sweep, panel_stats, table6_loads, workloads_of
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_make_topology():
+    assert make_topology("1d", "mini").n_nodes == 144
+    assert make_topology("2d", "paper").n_nodes == 8448
+    with pytest.raises(ValueError, match="unknown network"):
+        make_topology("3d")
+    with pytest.raises(ValueError, match="unknown scale"):
+        make_topology("1d", "giant")
+
+
+def test_combos_order():
+    assert COMBOS == ("rg-min", "rr-min", "rn-min", "rg-adp", "rr-adp", "rn-adp")
+
+
+def test_run_experiment_baseline():
+    cfg = ExperimentConfig(network="1d", workload="baseline:nn", placement="rr", routing="min")
+    res = run_experiment(cfg)
+    assert set(res.apps) == {"nn"}
+    a = res.app("nn")
+    assert a.finished
+    assert a.max_latency_box.maximum > 0
+    assert a.max_comm_time > 0
+    assert res.events > 0
+
+
+def test_run_experiment_workload_has_all_apps():
+    cfg = ExperimentConfig(network="1d", workload="workload2", placement="rn", routing="adp")
+    res = run_experiment(cfg)
+    assert set(res.apps) == {"cosmoflow", "alexnet", "lammps", "milc", "nn"}
+    assert res.app("cosmoflow").ml
+    assert not res.app("milc").ml
+
+
+def test_cache_hit_returns_same_object():
+    cfg = ExperimentConfig(network="1d", workload="baseline:nn")
+    a = run_experiment(cfg)
+    b = run_experiment(cfg)
+    assert a is b
+    clear_cache()
+    c = run_experiment(cfg)
+    assert c is not a
+
+
+def test_results_deterministic_across_cache_clear():
+    cfg = ExperimentConfig(network="1d", workload="baseline:lammps", seed=9)
+    a = run_experiment(cfg)
+    clear_cache()
+    b = run_experiment(cfg)
+    assert a.app("lammps").max_comm_time == b.app("lammps").max_comm_time
+    assert a.app("lammps").max_latency_box == b.app("lammps").max_latency_box
+    assert a.events == b.events
+
+
+def test_router_series_shape():
+    cfg = ExperimentConfig(network="1d", workload="baseline:nn")
+    res = run_experiment(cfg)
+    series = res.router_series[("nn", "nn")]
+    expected_bins = int(np.ceil(cfg.resolved_horizon() / res.counter_window))
+    assert len(series) == expected_bins
+    assert series.sum() > 0
+
+
+def test_config_helpers():
+    cfg = ExperimentConfig(placement="rr", routing="adp")
+    assert cfg.combo == "rr-adp"
+    assert cfg.resolved_horizon() == default_horizon("mini")
+    assert ExperimentConfig(horizon=0.01).resolved_horizon() == 0.01
+
+
+def test_workloads_of():
+    assert workloads_of("lammps") == ["workload1", "workload2"]
+    assert workloads_of("nekbone") == ["workload3"]
+    assert workloads_of("cosmoflow") == ["workload1", "workload2", "workload3"]
+
+
+def test_small_sweep_and_panel():
+    sweep = latency_sweep(
+        networks=("1d",),
+        combos=("rg-adp",),
+        workloads=("workload3",),
+        apps=("milc",),
+    )
+    assert ("1d", "rg-adp", "baseline:milc") in sweep
+    assert ("1d", "rg-adp", "workload3") in sweep
+    cell = panel_stats(sweep, "milc", "1d", "rg-adp")
+    assert "baseline" in cell and "workload3" in cell
+    assert cell["baseline"].nranks == 16
+
+
+def test_fig8_series_structure():
+    out = fig8_series(scale="mini", seed=1)
+    assert set(out) == {"rr", "rg"}
+    for placement in out.values():
+        assert "alexnet" in placement
+        assert all(isinstance(v, np.ndarray) for v in placement.values())
+
+
+def test_table6_structure():
+    out = table6_loads()
+    assert set(out) == {"1d", "2d"}
+    for summary in out.values():
+        assert summary["local_total_bytes"] > 0

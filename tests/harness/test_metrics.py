@@ -1,0 +1,54 @@
+"""Metric helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.metrics import BoxStats, boxplot_stats, slowdown
+
+
+def test_boxplot_basic():
+    b = boxplot_stats([1, 2, 3, 4, 5])
+    assert b.minimum == 1 and b.maximum == 5
+    assert b.median == 3
+    assert b.mean == 3
+    assert b.n == 5
+
+
+def test_boxplot_empty():
+    b = boxplot_stats([])
+    assert b.as_tuple() == (0, 0, 0, 0, 0)
+    assert b.n == 0
+
+
+def test_boxplot_single_value():
+    b = boxplot_stats([7.0])
+    assert b.as_tuple() == (7, 7, 7, 7, 7)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=100))
+@settings(max_examples=200)
+def test_boxplot_invariants(values):
+    b = boxplot_stats(values)
+    assert b.minimum <= b.q1 <= b.median <= b.q3 <= b.maximum
+    eps = 1e-9 * max(1.0, abs(b.minimum), abs(b.maximum))  # summation ulps
+    assert b.minimum - eps <= b.mean <= b.maximum + eps
+    assert b.n == len(values)
+    assert b.minimum == min(values)
+    assert b.maximum == max(values)
+
+
+def test_boxplot_matches_numpy_percentiles():
+    vals = list(np.linspace(0, 10, 41))
+    b = boxplot_stats(vals)
+    assert b.q1 == pytest.approx(np.percentile(vals, 25))
+    assert b.q3 == pytest.approx(np.percentile(vals, 75))
+
+
+def test_slowdown():
+    assert slowdown(2.0, 1.0) == pytest.approx(1.0)
+    assert slowdown(1.0, 1.0) == 0.0
+    assert slowdown(0.5, 1.0) == pytest.approx(-0.5)
+    assert slowdown(1.0, 0.0) == float("inf")
+    assert slowdown(0.0, 0.0) == 0.0

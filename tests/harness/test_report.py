@@ -1,0 +1,55 @@
+"""Report rendering."""
+
+import numpy as np
+
+from repro.harness.report import format_bytes, format_seconds, render_series, render_table
+
+
+def test_render_table_alignment():
+    out = render_table(["a", "long-header"], [[1, 2], [333, 4]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "long-header" in lines[1]
+    widths = {len(l) for l in lines[1:]}
+    assert len(widths) == 1  # all rows equal width
+
+
+def test_render_table_stringifies():
+    out = render_table(["x"], [[None], [3.5]])
+    assert "None" in out and "3.5" in out
+
+
+def test_render_series_peak():
+    s = np.array([0, 10, 100, 50])
+    out = render_series(s, label="x")
+    assert out.startswith("x|")
+    assert "peak=" in out
+
+
+def test_render_series_empty_and_zero():
+    assert "(empty)" in render_series(np.array([]))
+    out = render_series(np.zeros(10), label="z")
+    assert "peak=0 B" in out
+
+
+def test_render_series_downsamples():
+    s = np.arange(1000)
+    out = render_series(s, width=40)
+    bar = out.split("|")[1]
+    assert len(bar) <= 41
+
+
+def test_format_bytes():
+    assert format_bytes(0) == "0 B"
+    assert format_bytes(512) == "512 B"
+    assert format_bytes(2048) == "2.00 KB"
+    assert format_bytes(5 * 1024**2) == "5.00 MB"
+    assert format_bytes(3 * 1024**3) == "3.00 GB"
+    assert format_bytes(2 * 1024**4) == "2.00 TB"
+
+
+def test_format_seconds():
+    assert format_seconds(0) == "0"
+    assert format_seconds(5e-6) == "5.00 us"
+    assert format_seconds(1.5e-3) == "1.500 ms"
+    assert format_seconds(2.0) == "2.000 s"

@@ -1,0 +1,99 @@
+"""Mini-scale checks of the paper's directional claims (Section VI).
+
+These are *shape* tests: they assert the direction of effects the paper
+reports (interference inflates latency; RG isolates; adaptive helps a
+congested minimal hotspot; ML comm time absorbs latency), each on a
+single configuration to stay fast.  The full sweep lives in benchmarks/.
+"""
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.metrics import slowdown
+
+
+def res(workload, placement="rn", routing="adp", network="1d", seed=1):
+    return run_experiment(
+        ExperimentConfig(network=network, workload=workload, placement=placement, routing=routing, seed=seed)
+    )
+
+
+def test_interference_inflates_max_latency_under_rn():
+    """Co-running with Workload2 must not *improve* LAMMPS's worst-case
+    latency, and should measurably inflate it under random-node placement."""
+    base = res("baseline:lammps").app("lammps")
+    mixed = res("workload2").app("lammps")
+    assert mixed.max_latency_box.maximum > base.max_latency_box.maximum
+
+
+def test_rg_isolates_other_apps_traffic_from_alexnet_routers():
+    """Figure 8's mechanism: under RG, AlexNet's routers carry (almost)
+    no bytes from other jobs; under RR they carry plenty."""
+    rg = res("workload3", placement="rg")
+    rr = res("workload3", placement="rr")
+
+    def foreign_bytes(r):
+        return sum(
+            int(r.router_series[("alexnet", src)].sum())
+            for src in r.apps
+            if src != "alexnet"
+        )
+
+    assert foreign_bytes(rg) < foreign_bytes(rr)
+
+
+def test_rg_traffic_is_group_confined():
+    """Under RG + minimal routing, a job's groups see only its traffic."""
+    r = res("workload3", placement="rg", routing="min")
+    own = int(r.router_series[("milc", "milc")].sum())
+    foreign = sum(
+        int(r.router_series[("milc", src)].sum()) for src in r.apps if src != "milc"
+    )
+    assert own > 0
+    assert foreign == 0
+
+
+def test_ml_absorbs_latency_better_than_hpc():
+    """Section VI-B: relative comm-time slowdown of the ML apps stays
+    below the worst HPC app's under the same interference."""
+    baseline = {a: res(f"baseline:{a}").app(a) for a in ("lammps", "alexnet", "cosmoflow")}
+    mixed = res("workload2")
+    sd = {
+        a: slowdown(mixed.app(a).max_comm_time, baseline[a].max_comm_time)
+        for a in baseline
+    }
+    assert max(sd["alexnet"], sd["cosmoflow"]) < max(sd["lammps"], 1e-9) + 1.0
+
+
+def test_latency_and_comm_time_positive_everywhere():
+    r = res("workload3", placement="rr", routing="adp")
+    for app in r.apps.values():
+        assert app.max_latency_box.maximum > 0
+        assert app.max_comm_time > 0
+        assert app.finished
+
+
+def test_2d_carries_smaller_global_fraction():
+    """Table VI: the 1D system routes a larger share of its traffic over
+    global links than the 2D system (smaller groups -> more inter-group)."""
+    r1 = res("workload3", placement="rg", routing="adp", network="1d")
+    r2 = res("workload3", placement="rg", routing="adp", network="2d")
+    assert r1.link_summary["global_fraction"] > r2.link_summary["global_fraction"]
+
+
+def test_2d_lower_per_link_load():
+    """Table VI: per-link load is lower on the 2D system (more links)."""
+    r1 = res("workload3", placement="rg", routing="adp", network="1d")
+    r2 = res("workload3", placement="rg", routing="adp", network="2d")
+    assert r2.link_summary["local_per_link_bytes"] < r1.link_summary["local_per_link_bytes"]
+    assert r2.link_summary["global_per_link_bytes"] < r1.link_summary["global_per_link_bytes"]
+
+
+def test_all_table3_workloads_complete_on_both_networks():
+    for network in ("1d", "2d"):
+        for w in ("workload1", "workload2", "workload3"):
+            r = res(w, placement="rg", routing="adp", network=network)
+            for name, app in r.apps.items():
+                if name == "ur":
+                    continue  # endless background traffic
+                assert app.finished, (network, w, name)

@@ -1,0 +1,210 @@
+"""Collective algorithms: completion, message counts, synchronization."""
+
+import pytest
+
+from repro.mpi.engine import JobSpec, SimMPI
+from repro.network.config import NetworkConfig
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.fabric import NetworkFabric
+
+
+def run_collective(nranks, body, until=2.0, seed=1):
+    fabric = NetworkFabric(Dragonfly1D.mini(), NetworkConfig(seed=seed), routing="min")
+    mpi = SimMPI(fabric)
+    mpi.add_job(JobSpec("coll", nranks, body, list(range(nranks))))
+    mpi.run(until=until)
+    return mpi.results()[0], fabric
+
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 13, 16]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_barrier_completes(n):
+    def prog(ctx):
+        yield from ctx.barrier()
+
+    res, _ = run_collective(n, prog)
+    assert res.finished
+
+
+def test_barrier_synchronizes():
+    """No rank may leave the barrier before the last rank has entered."""
+    enter, leave = {}, {}
+
+    def prog(ctx):
+        yield ctx.compute(0.001 * (ctx.rank + 1))  # staggered arrival
+        enter[ctx.rank] = ctx.now
+        yield from ctx.barrier()
+        leave[ctx.rank] = ctx.now
+
+    res, _ = run_collective(6, prog)
+    assert res.finished
+    assert min(leave.values()) >= max(enter.values())
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bcast_completes(n):
+    def prog(ctx):
+        yield from ctx.bcast(4096, root=0)
+
+    res, _ = run_collective(n, prog)
+    assert res.finished
+
+
+def test_bcast_message_count_is_n_minus_1():
+    """A binomial broadcast delivers exactly n-1 point-to-point messages."""
+    n = 16
+
+    def prog(ctx):
+        yield from ctx.bcast(1024, root=3)
+
+    res, fabric = run_collective(n, prog)
+    assert res.finished
+    assert fabric.messages_sent == n - 1
+
+
+@pytest.mark.parametrize("root", [0, 1, 5])
+def test_bcast_nonzero_root(root):
+    def prog(ctx):
+        yield from ctx.bcast(2048, root=root)
+
+    res, _ = run_collective(6, prog)
+    assert res.finished
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_reduce_completes(n):
+    def prog(ctx):
+        yield from ctx.reduce(4096, root=0)
+
+    res, fabric = run_collective(n, prog)
+    assert res.finished
+    assert fabric.messages_sent == n - 1
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("algorithm", ["rd", "ring"])
+def test_allreduce_completes(n, algorithm):
+    def prog(ctx):
+        yield from ctx.allreduce(8192, algorithm=algorithm)
+
+    res, _ = run_collective(n, prog)
+    assert res.finished
+
+
+def test_allreduce_auto_switches_to_ring():
+    """Large payloads use the ring: 2(n-1) steps of size/n chunks, so the
+    per-rank transmitted volume is ~2*size*(n-1)/n instead of ~size*log n."""
+    n = 8
+    size = 1 << 20
+
+    def prog(ctx):
+        yield from ctx.allreduce(size)  # auto -> ring
+
+    res, _ = run_collective(n, prog)
+    per_rank = res.rank_stats[0].bytes_sent
+    expected_ring = 2 * (n - 1) * ((size + n - 1) // n)
+    assert per_rank == expected_ring
+
+
+def test_allreduce_small_uses_recursive_doubling():
+    n = 8
+    size = 64
+
+    def prog(ctx):
+        yield from ctx.allreduce(size)  # auto -> rd
+
+    res, _ = run_collective(n, prog)
+    # log2(8)=3 rounds of full-size exchange
+    assert res.rank_stats[0].bytes_sent == 3 * size
+
+
+def test_allreduce_rd_non_power_of_two():
+    def prog(ctx):
+        yield from ctx.allreduce(1024, algorithm="rd")
+
+    res, _ = run_collective(6, prog)
+    assert res.finished
+
+
+def test_allreduce_rejects_unknown_algorithm():
+    def prog(ctx):
+        yield from ctx.allreduce(8, algorithm="magic")
+
+    with pytest.raises(ValueError, match="unknown allreduce"):
+        run_collective(4, prog)
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 8])
+def test_allgather_completes(n):
+    def prog(ctx):
+        yield from ctx.allgather(256)
+
+    res, _ = run_collective(n, prog)
+    assert res.finished
+    assert res.rank_stats[0].bytes_sent == (n - 1) * 256
+
+
+@pytest.mark.parametrize("n", [2, 4, 5])
+def test_alltoall_completes(n):
+    def prog(ctx):
+        yield from ctx.alltoall(128)
+
+    res, _ = run_collective(n, prog)
+    assert res.finished
+    assert res.rank_stats[0].bytes_sent == (n - 1) * 128
+
+
+def test_gather_and_scatter():
+    n = 7
+
+    def prog(ctx):
+        yield from ctx.gather(512, root=2)
+        yield from ctx.scatter(256, root=2)
+
+    res, fabric = run_collective(n, prog)
+    assert res.finished
+    assert fabric.messages_sent == 2 * (n - 1)
+
+
+def test_collectives_single_rank_are_noops():
+    def prog(ctx):
+        yield from ctx.barrier()
+        yield from ctx.bcast(100)
+        yield from ctx.allreduce(100)
+        yield from ctx.reduce(100)
+        yield from ctx.allgather(100)
+        yield from ctx.alltoall(100)
+
+    res, fabric = run_collective(1, prog)
+    assert res.finished
+    assert fabric.messages_sent == 0
+
+
+def test_back_to_back_collectives_do_not_cross_match():
+    """Sequence numbers isolate consecutive collectives' tags."""
+
+    def prog(ctx):
+        for _ in range(5):
+            yield from ctx.allreduce(64, algorithm="rd")
+            yield from ctx.barrier()
+            yield from ctx.bcast(64, root=0)
+
+    res, _ = run_collective(5, prog)
+    assert res.finished
+
+
+def test_collective_counters():
+    def prog(ctx):
+        yield from ctx.allreduce(64)
+        yield from ctx.bcast(64)
+        yield from ctx.barrier()
+
+    res, _ = run_collective(4, prog)
+    counts = res.event_counts()
+    assert counts["MPI_Allreduce"] == 4
+    assert counts["MPI_Bcast"] == 4
+    assert counts["MPI_Barrier"] == 4
+    # internal point-to-point traffic is not double counted
+    assert "MPI_Isend" not in counts

@@ -1,0 +1,78 @@
+"""2D dragonfly grid wiring and corner-turn paths."""
+
+import pytest
+
+from repro.network.config import LinkClass
+from repro.network.dragonfly2d import Dragonfly2D
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Dragonfly2D(n_groups=3, rows=3, cols=4, nodes_per_router=2, global_per_router=2)
+
+
+def test_row_col_roundtrip(topo):
+    for r in topo.routers_of_group(1):
+        row, col = topo.row_col(r)
+        assert topo.router_at(1, row, col) == r
+        assert 0 <= row < topo.rows
+        assert 0 <= col < topo.cols
+
+
+def test_local_degree_is_row_plus_col(topo):
+    expect = (topo.cols - 1) + (topo.rows - 1)
+    for r in range(topo.n_routers):
+        n_local = sum(
+            1 for p in topo.router_ports[r] if p.link_class == LinkClass.LOCAL
+        )
+        assert n_local == expect
+
+
+def test_same_row_direct_link(topo):
+    a = topo.router_at(0, 1, 0)
+    b = topo.router_at(0, 1, 3)
+    assert topo.local_paths(a, b) == [[b]]
+
+
+def test_same_col_direct_link(topo):
+    a = topo.router_at(0, 0, 2)
+    b = topo.router_at(0, 2, 2)
+    assert topo.local_paths(a, b) == [[b]]
+
+
+def test_dimension_change_goes_through_corner(topo):
+    a = topo.router_at(0, 0, 0)
+    b = topo.router_at(0, 2, 3)
+    paths = topo.local_paths(a, b)
+    assert len(paths) == 2
+    corners = {paths[0][0], paths[1][0]}
+    assert corners == {topo.router_at(0, 0, 3), topo.router_at(0, 2, 0)}
+    for path in paths:
+        assert path[-1] == b
+        assert len(path) == 2
+
+
+def test_no_direct_link_across_dimensions(topo):
+    a = topo.router_at(0, 0, 0)
+    b = topo.router_at(0, 1, 1)
+    assert b not in topo.ports_to_router[a]
+
+
+def test_local_paths_same_router(topo):
+    r = topo.router_at(2, 1, 1)
+    assert topo.local_paths(r, r) == [[]]
+
+
+def test_local_paths_cross_group_rejected(topo):
+    with pytest.raises(ValueError):
+        topo.local_paths(topo.router_at(0, 0, 0), topo.router_at(1, 0, 0))
+
+
+def test_local_diameter(topo):
+    assert topo.local_diameter() == 2
+    assert Dragonfly2D(n_groups=2, rows=1, cols=4, nodes_per_router=1, global_per_router=1).local_diameter() == 1
+
+
+def test_invalid_grid():
+    with pytest.raises(ValueError, match="rows and cols"):
+        Dragonfly2D(n_groups=2, rows=0, cols=4)

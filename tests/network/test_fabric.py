@@ -1,0 +1,91 @@
+"""NetworkFabric message API."""
+
+import pytest
+
+from repro.network.config import NetworkConfig
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.fabric import NetworkFabric
+
+
+@pytest.fixture()
+def fabric():
+    return NetworkFabric(Dragonfly1D.mini(), NetworkConfig(seed=1), routing="adp")
+
+
+def test_lp_layout(fabric):
+    topo = fabric.topo
+    assert len(fabric.routers) == topo.n_routers
+    assert len(fabric.terminals) == topo.n_nodes
+    assert fabric.router_lp_id(0) == 0
+    assert fabric.terminal_lp_id(0) == topo.n_routers
+
+
+def test_message_ids_unique(fabric):
+    ids = {fabric.send_message(0, 0, 1, 10) for _ in range(10)}
+    assert len(ids) == 10
+
+
+def test_delivery_and_injection_callbacks_order(fabric):
+    events = []
+    fabric.set_delivery_callback(lambda mid, meta, t: events.append(("deliver", mid, t)))
+    fabric.set_injection_callback(lambda mid, meta, t: events.append(("inject", mid, t)))
+    mid = fabric.send_message(3, 0, 100, 8192, meta="m")
+    fabric.engine.run(until=1.0)
+    kinds = [e[0] for e in events]
+    assert kinds == ["inject", "deliver"]
+    inject_t = events[0][2]
+    deliver_t = events[1][2]
+    assert 0 < inject_t < deliver_t
+
+
+def test_self_send_loopback(fabric):
+    got = []
+    fabric.set_delivery_callback(lambda mid, meta, t: got.append((mid, t)))
+    mid = fabric.send_message(0, 5, 5, 4096)
+    fabric.engine.run(until=1.0)
+    assert got and got[0][0] == mid
+    # loopback never touches the network
+    assert fabric.routers[fabric.topo.router_of_node(5)].packets_forwarded == 0
+
+
+def test_in_flight_tracking(fabric):
+    assert fabric.in_flight() == 0
+    fabric.send_message(0, 0, 80, 4096)
+    assert fabric.in_flight() == 1
+    fabric.engine.run(until=1.0)
+    assert fabric.in_flight() == 0
+
+
+def test_counters(fabric):
+    fabric.send_message(0, 0, 1, 100)
+    fabric.send_message(0, 1, 2, 200)
+    fabric.engine.run(until=1.0)
+    assert fabric.messages_sent == 2
+    assert fabric.messages_delivered == 2
+    assert fabric.bytes_sent == 300
+
+
+def test_meta_passthrough(fabric):
+    seen = []
+    fabric.set_delivery_callback(lambda mid, meta, t: seen.append(meta))
+    fabric.send_message(0, 0, 1, 10, meta={"tag": 42})
+    fabric.engine.run(until=1.0)
+    assert seen == [{"tag": 42}]
+
+
+@pytest.mark.parametrize(
+    "src,dst,size,err",
+    [
+        (-1, 0, 10, "src_node"),
+        (0, 999999, 10, "dst_node"),
+        (0, 1, -5, "size"),
+    ],
+)
+def test_send_validation(fabric, src, dst, size, err):
+    with pytest.raises(ValueError, match=err):
+        fabric.send_message(0, src, dst, size)
+
+
+def test_routing_name_recorded():
+    f = NetworkFabric(Dragonfly1D.mini(), routing="min")
+    assert f.routing_name == "min"

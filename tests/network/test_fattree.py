@@ -1,0 +1,180 @@
+"""Fat-tree topology + NCA routing on the unchanged fabric."""
+
+import pytest
+
+from repro.mpi.engine import JobSpec, SimMPI
+from repro.network.config import LinkClass, NetworkConfig
+from repro.network.fabric import NetworkFabric
+from repro.network.fattree import (
+    FatTreeNCARouting,
+    FatTreeTopology,
+    fattree_routing_factory,
+)
+from repro.workloads.uniform_random import uniform_random
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return FatTreeTopology(k=4)
+
+
+def test_construction_counts(topo):
+    # k=4: 16 nodes, 8 edge + 8 agg + 4 core switches.
+    assert topo.n_nodes == 16
+    assert topo.n_edge == 8
+    assert topo.n_agg == 8
+    assert topo.n_core == 4
+    assert topo.n_routers == 20
+    assert topo.radix() == 4
+    assert topo.diameter() == 4
+
+
+def test_scaling_with_k():
+    t6 = FatTreeTopology(k=6)
+    assert t6.n_nodes == 6**3 // 4
+    assert t6.n_routers == 5 * 6**2 // 4
+    assert t6.radix() == 6
+
+
+def test_tier_predicates(topo):
+    for e in range(topo.n_edge):
+        assert topo.is_edge(e) and not topo.is_agg(e) and not topo.is_core(e)
+    for a in range(topo.n_edge, topo.n_edge + topo.n_agg):
+        assert topo.is_agg(a)
+    for c in range(topo.n_edge + topo.n_agg, topo.n_routers):
+        assert topo.is_core(c)
+        assert topo.pod_of(c) == -1
+
+
+def test_edge_hosts_nodes_only(topo):
+    for r in range(topo.n_routers):
+        nodes = list(topo.nodes_of_router(r))
+        if topo.is_edge(r):
+            assert len(nodes) == topo.half
+            for n in nodes:
+                assert topo.router_of_node(n) == r
+        else:
+            assert nodes == []
+
+
+def test_links_symmetric(topo):
+    for r in range(topo.n_routers):
+        for peer, ports in topo.ports_to_router[r].items():
+            assert len(topo.ports_to_router[peer][r]) == len(ports)
+
+
+def test_link_classes_by_tier(topo):
+    # Edge->agg links are LOCAL, agg->core GLOBAL.
+    for e in range(topo.n_edge):
+        for p in topo.router_ports[e]:
+            if p.peer_router >= 0:
+                assert p.link_class == LinkClass.LOCAL
+    for c in range(topo.n_edge + topo.n_agg, topo.n_routers):
+        for p in topo.router_ports[c]:
+            assert p.link_class == LinkClass.GLOBAL
+
+
+def test_core_connects_every_pod_once(topo):
+    for c in range(topo.n_core):
+        core = topo.core_id(c)
+        pods = sorted(topo.pod_of(peer) for peer in topo.ports_to_router[core])
+        assert pods == list(range(topo.n_pods))
+
+
+def test_full_bisection_counts(topo):
+    # Up-capacity of each tier equals down-capacity (rearrangeably
+    # non-blocking Clos property): k/2 uplinks per edge switch.
+    for e in range(topo.n_edge):
+        ups = [p for p in topo.router_ports[e] if p.peer_router >= 0]
+        downs = [p for p in topo.router_ports[e] if p.peer_node >= 0]
+        assert len(ups) == len(downs) == topo.half
+
+
+def test_invalid_configs():
+    with pytest.raises(ValueError, match="even"):
+        FatTreeTopology(k=3)
+    with pytest.raises(ValueError, match="even"):
+        FatTreeTopology(k=0)
+
+
+@pytest.mark.parametrize("mode", ["dmodk", "random", "adaptive"])
+def test_paths_valid_and_shortest(topo, mode):
+    routing = FatTreeNCARouting(topo, NetworkConfig(seed=1), probe=lambda r, p: 0, mode=mode)
+    for src in range(topo.n_edge):
+        for dst in range(topo.n_edge):
+            path, nonmin = routing.select_path(src, dst)
+            assert not nonmin
+            assert path[0] == src and path[-1] == dst
+            for a, b in zip(path, path[1:]):
+                assert b in topo.ports_to_router[a]
+            if src == dst:
+                assert len(path) == 1
+            elif topo.pod_of(src) == topo.pod_of(dst):
+                assert len(path) == 3  # edge -> agg -> edge
+            else:
+                assert len(path) == 5  # edge -> agg -> core -> agg -> edge
+
+
+def test_dmodk_is_deterministic(topo):
+    r1 = FatTreeNCARouting(topo, NetworkConfig(seed=1), probe=lambda r, p: 0, mode="dmodk")
+    r2 = FatTreeNCARouting(topo, NetworkConfig(seed=99), probe=lambda r, p: 0, mode="dmodk")
+    for src in range(topo.n_edge):
+        for dst in range(topo.n_edge):
+            assert r1.select_path(src, dst) == r2.select_path(src, dst)
+
+
+def test_adaptive_avoids_congested_uplink(topo):
+    depth = {}
+
+    def probe(router, port):
+        return depth.get((router, port), 0)
+
+    routing = FatTreeNCARouting(topo, NetworkConfig(seed=1), probe=probe, mode="adaptive")
+    src, dst = 0, 2  # same pod (pod 0), must go via one of two aggs
+    aggs = [topo.agg_id(0, j) for j in range(topo.half)]
+    # Congest every port towards the first agg.
+    for p in topo.ports_to_router[src][aggs[0]]:
+        depth[(src, p)] = 50
+    for _ in range(8):
+        path, _ = routing.select_path(src, dst)
+        assert path[1] == aggs[1]
+
+
+def test_mode_validation(topo):
+    with pytest.raises(ValueError, match="unknown fat-tree mode"):
+        FatTreeNCARouting(topo, NetworkConfig(), probe=lambda r, p: 0, mode="ecmp")
+
+
+def test_uniform_random_on_fattree(topo):
+    fabric = NetworkFabric(topo, NetworkConfig(seed=3), routing=fattree_routing_factory("random"))
+    mpi = SimMPI(fabric)
+    n = topo.n_nodes
+    mpi.add_job(JobSpec(
+        "ur", n, uniform_random, list(range(n)),
+        {"iters": 4, "msg_bytes": 4096, "interval_s": 1e-5},
+    ))
+    mpi.run(until=1.0)
+    res = mpi.results()[0]
+    assert res.finished
+    assert fabric.messages_delivered == fabric.messages_sent
+    # Cross-pod traffic must exercise the core (GLOBAL) tier.
+    assert fabric.link_loads.class_total(LinkClass.GLOBAL) > 0
+
+
+def test_intra_pod_traffic_stays_off_core():
+    topo = FatTreeTopology(k=4)
+    fabric = NetworkFabric(topo, NetworkConfig(seed=4), routing=fattree_routing_factory("dmodk"))
+    # Send only between nodes of pod 0 (nodes 0..3 live on edges 0..1).
+    mpi = SimMPI(fabric)
+
+    def pod_local(ctx):
+        from repro.mpi.types import Isend, Irecv, Waitall
+        peer = ctx.rank ^ 2  # node on the other edge switch of pod 0
+        s = yield Isend(peer, 1024, tag=0)
+        r = yield Irecv(peer, tag=0)
+        yield Waitall([s, r])
+
+    mpi.add_job(JobSpec("local", 4, pod_local, [0, 1, 2, 3]))
+    mpi.run(until=1.0)
+    assert mpi.results()[0].finished
+    assert fabric.link_loads.class_total(LinkClass.GLOBAL) == 0

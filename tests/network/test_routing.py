@@ -1,0 +1,152 @@
+"""Routing policies: path validity, minimality, adaptive behaviour."""
+
+import pytest
+
+from repro.network.config import NetworkConfig
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.dragonfly2d import Dragonfly2D
+from repro.network.routing import AdaptiveRouting, MinimalRouting, make_routing
+
+
+def _zero_probe(router, port):
+    return 0
+
+
+def path_is_valid(topo, path):
+    """Every consecutive hop must be a physical link."""
+    for a, b in zip(path, path[1:]):
+        if b not in topo.ports_to_router[a]:
+            return False
+    return True
+
+
+@pytest.fixture(scope="module")
+def topo1d():
+    return Dragonfly1D.mini()
+
+
+@pytest.fixture(scope="module")
+def topo2d():
+    return Dragonfly2D.mini()
+
+
+@pytest.mark.parametrize("fixture", ["topo1d", "topo2d"])
+def test_minimal_paths_follow_links(fixture, request):
+    topo = request.getfixturevalue(fixture)
+    routing = MinimalRouting(topo, NetworkConfig(seed=1), _zero_probe)
+    step = max(1, topo.n_routers // 10)
+    for src in range(0, topo.n_routers, step):
+        for dst in range(0, topo.n_routers, step):
+            path, nonmin = routing.select_path(src, dst)
+            assert not nonmin
+            assert path[0] == src and path[-1] == dst
+            assert path_is_valid(topo, path)
+
+
+def test_minimal_hop_bounds_1d(topo1d):
+    routing = MinimalRouting(topo1d, NetworkConfig(seed=1), _zero_probe)
+    for src in range(0, topo1d.n_routers, 5):
+        for dst in range(0, topo1d.n_routers, 7):
+            path, _ = routing.select_path(src, dst)
+            assert len(path) - 1 <= 3  # local + global + local
+
+
+def test_minimal_hop_bounds_2d(topo2d):
+    routing = MinimalRouting(topo2d, NetworkConfig(seed=1), _zero_probe)
+    for src in range(0, topo2d.n_routers, 5):
+        for dst in range(0, topo2d.n_routers, 7):
+            path, _ = routing.select_path(src, dst)
+            assert len(path) - 1 <= 5  # 2 local + global + 2 local
+
+
+def test_same_router_trivial_path(topo1d):
+    routing = MinimalRouting(topo1d, NetworkConfig(seed=1), _zero_probe)
+    path, nonmin = routing.select_path(4, 4)
+    assert path == [4]
+    assert not nonmin
+
+
+def test_intra_group_single_hop_1d(topo1d):
+    routing = MinimalRouting(topo1d, NetworkConfig(seed=1), _zero_probe)
+    src, dst = 0, 5  # same group in mini 1D (8 routers/group)
+    path, _ = routing.select_path(src, dst)
+    assert path == [0, 5]
+
+
+def test_inter_group_path_crosses_exactly_one_global_link(topo1d):
+    routing = MinimalRouting(topo1d, NetworkConfig(seed=2), _zero_probe)
+    src = 0
+    dst = topo1d.router_id(4, 3)
+    for _ in range(20):
+        path, _ = routing.select_path(src, dst)
+        crossings = sum(
+            1
+            for a, b in zip(path, path[1:])
+            if topo1d.group_of(a) != topo1d.group_of(b)
+        )
+        assert crossings == 1
+
+
+def test_adaptive_prefers_minimal_when_idle(topo1d):
+    routing = AdaptiveRouting(topo1d, NetworkConfig(seed=3), _zero_probe)
+    dst = topo1d.router_id(3, 2)
+    for _ in range(50):
+        path, nonmin = routing.select_path(0, dst)
+        assert not nonmin
+        assert len(path) - 1 <= 3
+
+
+def test_adaptive_detours_under_congestion(topo1d):
+    """When every minimal first-hop port is deeply queued, UGAL must
+    sometimes choose the Valiant path."""
+    congested_src = 0
+
+    def probe(router, port):
+        if router != congested_src:
+            return 0
+        p = topo1d.router_ports[router][port]
+        # Congest the direct links toward the destination group only.
+        if p.peer_router >= 0 and topo1d.group_of(p.peer_router) in (0, 3):
+            # local ports within group 0 and globals to group 3
+            return 50
+        return 0
+
+    routing = AdaptiveRouting(topo1d, NetworkConfig(seed=4, adaptive_bias=1.0), probe)
+    dst = topo1d.router_id(3, 0)
+    nonmin_taken = 0
+    for _ in range(100):
+        path, nonmin = routing.select_path(congested_src, dst)
+        assert path_is_valid(topo1d, path)
+        nonmin_taken += nonmin
+    assert nonmin_taken > 0
+
+
+def test_valiant_path_visits_intermediate_group(topo1d):
+    routing = AdaptiveRouting(topo1d, NetworkConfig(seed=5), _zero_probe)
+    for _ in range(50):
+        path = routing._valiant_candidate(0, topo1d.router_id(5, 0))
+        assert path_is_valid(topo1d, path)
+        groups = {topo1d.group_of(r) for r in path}
+        assert 0 in groups and 5 in groups
+
+
+def test_valiant_falls_back_with_two_groups():
+    tiny = Dragonfly1D(n_groups=2, routers_per_group=4, nodes_per_router=1, global_per_router=2)
+    routing = AdaptiveRouting(tiny, NetworkConfig(seed=6), _zero_probe)
+    path, nonmin = routing.select_path(0, 7)
+    assert path_is_valid(tiny, path)
+
+
+def test_make_routing_dispatch(topo1d):
+    cfg = NetworkConfig(seed=1)
+    assert isinstance(make_routing("min", topo1d, cfg, _zero_probe), MinimalRouting)
+    assert isinstance(make_routing("ADP", topo1d, cfg, _zero_probe), AdaptiveRouting)
+    with pytest.raises(ValueError, match="unknown routing"):
+        make_routing("ecmp", topo1d, cfg, _zero_probe)
+
+
+def test_routing_deterministic_per_seed(topo1d):
+    a = MinimalRouting(topo1d, NetworkConfig(seed=9), _zero_probe)
+    b = MinimalRouting(topo1d, NetworkConfig(seed=9), _zero_probe)
+    for src, dst in [(0, 30), (5, 60), (12, 71)]:
+        assert a.select_path(src, dst) == b.select_path(src, dst)

@@ -1,0 +1,124 @@
+"""Measurement instruments: windowed app counters, link loads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.config import LinkClass
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.stats import LinkLoadAccounting, WindowedAppCounter
+
+
+def test_window_binning():
+    c = WindowedAppCounter(0.5e-3)
+    c.record(1, 0, 0.0001, 100)
+    c.record(1, 0, 0.0004, 50)   # same bin 0
+    c.record(1, 0, 0.0006, 25)   # bin 1
+    s = c.series([1], 0, horizon=1.5e-3)
+    assert list(s) == [150, 25, 0]
+
+
+def test_series_sums_over_router_set():
+    c = WindowedAppCounter(1e-3)
+    c.record(1, 0, 0.0005, 10)
+    c.record(2, 0, 0.0005, 20)
+    c.record(3, 0, 0.0005, 40)  # excluded
+    s = c.series({1, 2}, 0, horizon=1e-3)
+    assert list(s) == [30]
+
+
+def test_apps_and_routers_seen():
+    c = WindowedAppCounter(1e-3)
+    c.record(5, 2, 0.0, 1)
+    c.record(6, 3, 0.0, 1)
+    assert c.apps_seen() == {2, 3}
+    assert c.routers_seen() == {5, 6}
+
+
+def test_total():
+    c = WindowedAppCounter(1e-3)
+    for i in range(10):
+        c.record(1, 0, i * 1e-3, 7)
+    assert c.total([1], 0) == 70
+    assert c.total([2], 0) == 0
+
+
+def test_record_beyond_horizon_excluded_from_series():
+    c = WindowedAppCounter(1e-3)
+    c.record(1, 0, 0.0095, 99)
+    s = c.series([1], 0, horizon=5e-3)
+    assert s.sum() == 0
+
+
+def test_invalid_window():
+    with pytest.raises(ValueError):
+        WindowedAppCounter(0.0)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=0.01), st.integers(1, 1000)), min_size=1, max_size=50))
+@settings(max_examples=100)
+def test_series_conserves_bytes(records):
+    c = WindowedAppCounter(1e-3)
+    for t, b in records:
+        c.record(0, 0, t, b)
+    s = c.series([0], 0, horizon=0.011)
+    assert s.sum() == sum(b for _, b in records)
+
+
+# -- link loads ---------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Dragonfly1D.mini()
+
+
+def test_class_totals(topo):
+    loads = LinkLoadAccounting(topo)
+    # Find one link of each class.
+    ids = {c: None for c in LinkClass}
+    for lid, c in enumerate(topo.link_class_of):
+        if ids[c] is None:
+            ids[c] = lid
+    loads.record(ids[LinkClass.LOCAL], 100)
+    loads.record(ids[LinkClass.GLOBAL], 50)
+    loads.record(ids[LinkClass.TERMINAL], 25)
+    assert loads.class_total(LinkClass.LOCAL) == 100
+    assert loads.class_total(LinkClass.GLOBAL) == 50
+    assert loads.class_total(LinkClass.TERMINAL) == 25
+
+
+def test_mean_and_max_per_link(topo):
+    loads = LinkLoadAccounting(topo)
+    gl = [lid for lid, c in enumerate(topo.link_class_of) if c == LinkClass.GLOBAL]
+    loads.record(gl[0], 300)
+    loads.record(gl[1], 100)
+    n = loads.class_link_count(LinkClass.GLOBAL)
+    assert n == len(gl)
+    assert loads.class_mean_per_link(LinkClass.GLOBAL) == pytest.approx(400 / n)
+    assert loads.class_max_per_link(LinkClass.GLOBAL) == 300
+
+
+def test_global_fraction(topo):
+    loads = LinkLoadAccounting(topo)
+    gl = next(lid for lid, c in enumerate(topo.link_class_of) if c == LinkClass.GLOBAL)
+    ll = next(lid for lid, c in enumerate(topo.link_class_of) if c == LinkClass.LOCAL)
+    loads.record(gl, 25)
+    loads.record(ll, 75)
+    assert loads.global_fraction() == pytest.approx(0.25)
+
+
+def test_global_fraction_empty(topo):
+    assert LinkLoadAccounting(topo).global_fraction() == 0.0
+
+
+def test_summary_keys(topo):
+    s = LinkLoadAccounting(topo).summary()
+    assert set(s) == {
+        "global_total_bytes",
+        "local_total_bytes",
+        "global_per_link_bytes",
+        "local_per_link_bytes",
+        "global_fraction",
+    }

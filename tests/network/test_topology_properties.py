@@ -1,0 +1,177 @@
+"""Property-based structural invariants across all five topology models.
+
+Every topology the fabric supports must satisfy the same contracts: the
+port tables are symmetric, every node hangs off exactly one router,
+link ids are dense, and the routing policy produces edge-valid paths
+bounded by the advertised diameter.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.config import LinkClass, NetworkConfig
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.dragonfly2d import Dragonfly2D
+from repro.network.fattree import FatTreeNCARouting, FatTreeTopology
+from repro.network.routing import make_routing
+from repro.network.slimfly import SlimFlyRouting, SlimFlyTopology
+from repro.network.torus import TorusDORRouting, TorusTopology
+
+# -- shared structural contracts --------------------------------------------------
+
+
+def assert_structural_contracts(topo):
+    """Invariants every fabric-compatible topology must satisfy."""
+    # Every node attaches to exactly one router, via one terminal port.
+    seen_nodes = set()
+    for r in range(topo.n_routers):
+        for node, pid in topo.port_to_node[r].items():
+            port = topo.router_ports[r][pid]
+            assert port.link_class == LinkClass.TERMINAL
+            assert port.peer_node == node
+            assert topo.router_of_node(node) == r
+            assert node not in seen_nodes
+            seen_nodes.add(node)
+    assert seen_nodes == set(range(topo.n_nodes))
+    # Port table symmetric: r->peer parallel link counts match peer->r.
+    for r in range(topo.n_routers):
+        for peer, ports in topo.ports_to_router[r].items():
+            assert len(topo.ports_to_router[peer][r]) == len(ports)
+            for pid in ports:
+                assert topo.router_ports[r][pid].peer_router == peer
+    # Link ids dense and classed.
+    assert len(topo.link_class_of) == topo.n_links
+    lids = [p.link_id for ports in topo.router_ports for p in ports]
+    assert sorted(lids) == list(range(topo.n_links))
+
+
+def assert_paths_valid(topo, routing, pairs, hop_bound):
+    for src, dst in pairs:
+        path, _ = routing.select_path(src, dst)
+        assert path[0] == src and path[-1] == dst
+        for a, b in zip(path, path[1:]):
+            assert b in topo.ports_to_router[a], f"no link {a}->{b}"
+        assert len(path) - 1 <= hop_bound
+
+
+def sample_pairs(n_routers, rnd):
+    return [(rnd.randrange(n_routers), rnd.randrange(n_routers)) for _ in range(25)]
+
+
+# -- dragonfly ---------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    groups=st.integers(3, 9),
+    rpg=st.integers(2, 8),
+    npr=st.integers(1, 3),
+    data=st.data(),
+)
+def test_dragonfly1d_properties(groups, rpg, npr, data):
+    h = max(1, (groups - 1) // rpg + ((groups - 1) % rpg > 0))
+    topo = Dragonfly1D(n_groups=groups, routers_per_group=rpg,
+                       nodes_per_router=npr, global_per_router=h)
+    assert_structural_contracts(topo)
+    assert topo.n_nodes == groups * rpg * npr
+    # All-to-all local wiring: every router reaches every group peer.
+    for g in range(groups):
+        routers = list(topo.routers_of_group(g))
+        for r in routers:
+            for r2 in routers:
+                if r != r2:
+                    assert r2 in topo.ports_to_router[r]
+    # Every group pair owns at least one global link, both directions.
+    for g1 in range(groups):
+        for g2 in range(groups):
+            if g1 != g2:
+                assert topo.gateways[g1][g2], f"groups {g1},{g2} unconnected"
+    rnd = data.draw(st.randoms(use_true_random=False))
+    routing = make_routing("min", topo, NetworkConfig(seed=1), lambda r, p: 0)
+    assert_paths_valid(topo, routing, sample_pairs(topo.n_routers, rnd), topo.diameter())
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    groups=st.integers(2, 5),
+    rows=st.integers(2, 4),
+    cols=st.integers(2, 5),
+    data=st.data(),
+)
+def test_dragonfly2d_properties(groups, rows, cols, data):
+    rpg = rows * cols
+    need = groups - 1
+    h = max(1, (need + rpg - 1) // rpg)
+    topo = Dragonfly2D(n_groups=groups, rows=rows, cols=cols,
+                       nodes_per_router=1, global_per_router=h)
+    assert_structural_contracts(topo)
+    # Row/column all-to-all: same row or column => direct link.
+    for g in range(groups):
+        base = g * rpg
+        for i in range(rpg):
+            for j in range(rpg):
+                if i == j:
+                    continue
+                same_row = i // cols == j // cols
+                same_col = i % cols == j % cols
+                linked = (base + j) in topo.ports_to_router[base + i]
+                assert linked == (same_row or same_col)
+    rnd = data.draw(st.randoms(use_true_random=False))
+    routing = make_routing("adp", topo, NetworkConfig(seed=2), lambda r, p: 0)
+    # Adaptive may take a Valiant detour: bound = 2 local diameters + 2
+    # globals + intermediate-group local crossing.
+    bound = 3 * topo.local_diameter() + 2
+    assert_paths_valid(topo, routing, sample_pairs(topo.n_routers, rnd), bound)
+
+
+# -- torus --------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    dims=st.lists(st.integers(2, 5), min_size=1, max_size=4),
+    npr=st.integers(1, 2),
+    data=st.data(),
+)
+def test_torus_properties(dims, npr, data):
+    topo = TorusTopology(tuple(dims), nodes_per_router=npr)
+    assert_structural_contracts(topo)
+    rnd = data.draw(st.randoms(use_true_random=False))
+    routing = TorusDORRouting(topo, NetworkConfig(seed=3), probe=lambda r, p: 0)
+    for src, dst in sample_pairs(topo.n_routers, rnd):
+        path, _ = routing.select_path(src, dst)
+        ca, cb = topo.coords(src), topo.coords(dst)
+        dist = sum(min((x - y) % d, (y - x) % d) for x, y, d in zip(ca, cb, topo.dims))
+        assert len(path) - 1 == dist  # DOR is exactly minimal
+
+
+# -- fat-tree ------------------------------------------------------------------
+
+
+@settings(max_examples=10, deadline=None)
+@given(k=st.sampled_from([2, 4, 6, 8]), mode=st.sampled_from(["dmodk", "random", "adaptive"]), data=st.data())
+def test_fattree_properties(k, mode, data):
+    topo = FatTreeTopology(k=k)
+    assert_structural_contracts(topo)
+    assert topo.n_nodes == k**3 // 4
+    assert topo.n_routers == 5 * k**2 // 4
+    rnd = data.draw(st.randoms(use_true_random=False))
+    routing = FatTreeNCARouting(topo, NetworkConfig(seed=4), probe=lambda r, p: 0, mode=mode)
+    pairs = [(rnd.randrange(topo.n_edge), rnd.randrange(topo.n_edge)) for _ in range(25)]
+    assert_paths_valid(topo, routing, pairs, topo.diameter())
+
+
+# -- slim fly -------------------------------------------------------------------
+
+
+@settings(max_examples=6, deadline=None)
+@given(q=st.sampled_from([5, 13]), mode=st.sampled_from(["min", "adaptive"]), data=st.data())
+def test_slimfly_properties(q, mode, data):
+    topo = SlimFlyTopology(q=q, nodes_per_router=1)
+    assert_structural_contracts(topo)
+    degree = (3 * q - 1) // 2
+    assert all(len(topo.adj[r]) == degree for r in range(topo.n_routers))
+    rnd = data.draw(st.randoms(use_true_random=False))
+    routing = SlimFlyRouting(topo, NetworkConfig(seed=5), probe=lambda r, p: 0, mode=mode)
+    # Valiant detours compose two <=2-hop legs.
+    assert_paths_valid(topo, routing, sample_pairs(topo.n_routers, rnd), 4)

@@ -1,0 +1,121 @@
+"""Torus topology + dimension-order routing on the unchanged fabric."""
+
+import pytest
+
+from repro.mpi.engine import JobSpec, SimMPI
+from repro.network.config import LinkClass, NetworkConfig
+from repro.network.fabric import NetworkFabric
+from repro.network.torus import TorusDORRouting, TorusTopology, torus_routing_factory
+from repro.workloads.nearest_neighbor import nearest_neighbor
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return TorusTopology((4, 4, 2), nodes_per_router=1)
+
+
+def test_construction_counts(topo):
+    assert topo.n_routers == 32
+    assert topo.n_nodes == 32
+    # 3D torus: degree 6, except the 2-ring axis contributes 1 link.
+    assert topo.radix() == 1 + 2 + 2 + 1
+    assert topo.diameter() == 2 + 2 + 1
+
+
+def test_coords_roundtrip(topo):
+    for r in range(topo.n_routers):
+        assert topo.router_at(topo.coords(r)) == r
+
+
+def test_links_symmetric(topo):
+    for r in range(topo.n_routers):
+        for peer, ports in topo.ports_to_router[r].items():
+            assert len(topo.ports_to_router[peer][r]) == len(ports)
+
+
+def test_all_links_local_class(topo):
+    classes = {p.link_class for ports in topo.router_ports for p in ports}
+    assert classes == {LinkClass.TERMINAL, LinkClass.LOCAL}
+
+
+def test_two_ring_axis_has_single_link(topo):
+    # Axis of size 2: +1 and -1 neighbours coincide; only one link.
+    r = 0
+    peer = topo.router_at((0, 0, 1))
+    assert len(topo.ports_to_router[r][peer]) == 1
+
+
+def test_invalid_configs():
+    with pytest.raises(ValueError, match=">= 2"):
+        TorusTopology((4, 1, 4))
+    with pytest.raises(ValueError, match="nodes_per_router"):
+        TorusTopology((2, 2), nodes_per_router=0)
+
+
+def test_dor_paths_are_minimal_and_valid(topo):
+    routing = TorusDORRouting(topo, NetworkConfig(seed=1), probe=lambda r, p: 0)
+    for src in range(0, 32, 5):
+        for dst in range(0, 32, 3):
+            path, nonmin = routing.select_path(src, dst)
+            assert not nonmin
+            assert path[0] == src and path[-1] == dst
+            for a, b in zip(path, path[1:]):
+                assert b in topo.ports_to_router[a]
+            # Minimality: hop count equals the torus Manhattan distance.
+            ca, cb = topo.coords(src), topo.coords(dst)
+            dist = sum(min((x - y) % d, (y - x) % d) for x, y, d in zip(ca, cb, topo.dims))
+            assert len(path) - 1 == dist
+
+
+def test_dor_routes_dimensions_in_order(topo):
+    routing = TorusDORRouting(topo, NetworkConfig(seed=2), probe=lambda r, p: 0)
+    src = topo.router_at((0, 0, 0))
+    dst = topo.router_at((2, 3, 1))
+    path, _ = routing.select_path(src, dst)
+    coords = [topo.coords(r) for r in path]
+    # x settles before y moves, y before z.
+    x_done = next(i for i, c in enumerate(coords) if c[0] == 2)
+    assert all(c[1] == 0 and c[2] == 0 for c in coords[: x_done + 1])
+
+
+def test_factory_validation():
+    with pytest.raises(ValueError, match="unknown torus routing"):
+        torus_routing_factory("valiant")
+
+
+def test_nn_workload_on_torus(topo):
+    fabric = NetworkFabric(topo, NetworkConfig(seed=3), routing=torus_routing_factory())
+    mpi = SimMPI(fabric)
+    mpi.add_job(JobSpec(
+        "nn", 32, nearest_neighbor, list(range(32)),
+        {"dims": (4, 4, 2), "iters": 4, "msg_bytes": 16384},
+    ))
+    mpi.run(until=1.0)
+    res = mpi.results()[0]
+    assert res.finished
+    assert all(s.msgs_recvd == 6 * 4 for s in res.rank_stats)
+    # No global links on a torus.
+    assert fabric.link_loads.global_fraction() == 0.0
+    assert fabric.link_loads.class_total(LinkClass.LOCAL) > 0
+
+
+def test_torus_neighbor_traffic_stays_one_hop(topo):
+    """Halo exchange on a matching torus: every message is one router hop,
+    so per-message latency is near the analytic single-hop time."""
+    cfg = NetworkConfig(seed=4)
+    fabric = NetworkFabric(topo, cfg, routing=torus_routing_factory())
+    mpi = SimMPI(fabric)
+    size = 4096
+    mpi.add_job(JobSpec(
+        "nn", 32, nearest_neighbor, list(range(32)),
+        {"dims": (4, 4, 2), "iters": 1, "msg_bytes": size, "compute_s": 0.0},
+    ))
+    mpi.run(until=1.0)
+    res = mpi.results()[0]
+    single_hop = (
+        size / cfg.terminal_bw + cfg.terminal_latency + cfg.router_delay
+        + size / cfg.local_bw + cfg.local_latency + cfg.router_delay
+        + size / cfg.terminal_bw + cfg.terminal_latency
+    )
+    lats = res.all_latencies()
+    assert min(lats) == pytest.approx(single_hop, rel=1e-6)

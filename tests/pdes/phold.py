@@ -1,0 +1,70 @@
+"""PHOLD: the standard PDES benchmark model, used to cross-validate engines.
+
+Each LP holds a counter; on every event it increments the counter,
+records the event's timestamp and (with its own deterministic stream)
+schedules a new event at a random future time on a random LP.  Event
+timestamps are continuous, so (time, priority) keys are unique and all
+three engines must produce identical trajectories.
+"""
+
+from __future__ import annotations
+
+from repro.pdes.event import Event
+from repro.pdes.lp import LP
+from repro.pdes.rng import SplitMix
+
+
+class PholdLP(LP):
+    """One PHOLD logical process."""
+
+    __slots__ = ("n_lps", "min_delay", "mean_delay", "seed", "count", "checksum", "hops_left")
+
+    def __init__(self, n_lps: int, min_delay: float, mean_delay: float, seed: int) -> None:
+        super().__init__()
+        self.n_lps = n_lps
+        self.min_delay = min_delay
+        self.mean_delay = mean_delay
+        self.seed = seed
+        self.count = 0
+        self.checksum = 0.0
+
+    def start(self, initial_events: int = 1) -> None:
+        rng = self._rng()
+        for k in range(initial_events):
+            delay = self.min_delay + rng.random() * self.mean_delay
+            self.engine.schedule(delay, self.lp_id, "ball", k)
+
+    def _rng(self) -> SplitMix:
+        # Keyed by (seed, lp, count) so replays after rollback redraw the
+        # same values: the stream position is part of the restored state.
+        return SplitMix(self.seed * 1_000_003 + self.lp_id, self.count)
+
+    def handle(self, event: Event) -> None:
+        self.count += 1
+        self.checksum += event.time
+        rng = self._rng()
+        dst = rng.randint(self.n_lps)
+        delay = self.min_delay + rng.random() * self.mean_delay
+        self.engine.schedule(delay, dst, "ball", None)
+
+    # -- Time Warp support ------------------------------------------------
+    def save_state(self):
+        return (self.count, self.checksum)
+
+    def load_state(self, state) -> None:
+        self.count, self.checksum = state
+
+
+def build_phold(engine, n_lps: int = 8, seed: int = 42, min_delay: float = 0.5, mean_delay: float = 1.0, initial: int = 2):
+    """Register ``n_lps`` PHOLD LPs on ``engine`` and seed initial events."""
+    lps = [PholdLP(n_lps, min_delay, mean_delay, seed) for _ in range(n_lps)]
+    for lp in lps:
+        engine.register(lp)
+    for lp in lps:
+        lp.start(initial)
+    return lps
+
+
+def fingerprint(lps) -> tuple:
+    """Deterministic digest of the model state."""
+    return tuple((lp.count, round(lp.checksum, 9)) for lp in lps)

@@ -1,0 +1,102 @@
+"""ConservativeEngine: equivalence with sequential, lookahead enforcement."""
+
+import pytest
+
+from repro.pdes.conservative import ConservativeEngine
+from repro.pdes.event import Event
+from repro.pdes.lp import LP
+from repro.pdes.sequential import SequentialEngine
+
+from tests.pdes.phold import build_phold, fingerprint
+
+
+def run_phold(engine, **kw):
+    lps = build_phold(engine, **kw)
+    engine.run(until=50.0)
+    return fingerprint(lps)
+
+
+@pytest.mark.parametrize("n_partitions", [1, 2, 4, 7])
+def test_matches_sequential_on_phold(n_partitions):
+    seq = SequentialEngine()
+    ref = run_phold(seq, n_lps=8, seed=3)
+    con = ConservativeEngine(lookahead=0.5, n_partitions=n_partitions)
+    got = run_phold(con, n_lps=8, seed=3)
+    assert got == ref
+    assert con.events_processed == seq.events_processed
+
+
+def test_windows_counted():
+    con = ConservativeEngine(lookahead=0.5, n_partitions=2)
+    run_phold(con, n_lps=4, seed=9)
+    assert con.windows_executed > 1
+
+
+def test_lookahead_violation_detected():
+    class Cheater(LP):
+        def handle(self, event):
+            # Cross-partition event with delay below the lookahead.
+            other = (self.lp_id + 1) % 2
+            self.engine.schedule(0.01, other, "bad")
+
+    eng = ConservativeEngine(lookahead=1.0, n_partitions=2)
+    a, b = Cheater(), Cheater()
+    eng.register(a)
+    eng.register(b)
+    eng.schedule_at(1.0, a.lp_id, "go")
+    with pytest.raises(RuntimeError, match="lookahead violation"):
+        eng.run()
+
+
+def test_same_partition_short_delays_allowed():
+    class SelfChainer(LP):
+        def __init__(self):
+            super().__init__()
+            self.count = 0
+
+        def handle(self, event):
+            self.count += 1
+            if self.count < 10:
+                self.engine.schedule(0.01, self.lp_id, "tick")
+
+    eng = ConservativeEngine(lookahead=1.0, n_partitions=2)
+    lp = SelfChainer()
+    eng.register(lp)
+    eng.register(SelfChainer())  # occupy the other partition
+    eng.schedule_at(0.5, lp.lp_id, "tick")
+    eng.run()
+    assert lp.count == 10
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError, match="lookahead"):
+        ConservativeEngine(lookahead=0.0)
+    with pytest.raises(ValueError, match="partition"):
+        ConservativeEngine(lookahead=1.0, n_partitions=0)
+
+
+def test_horizon_respected():
+    eng = ConservativeEngine(lookahead=0.5, n_partitions=2)
+    lps = build_phold(eng, n_lps=4, seed=5)
+    eng.run(until=10.0)
+    assert eng.now == pytest.approx(10.0)
+    # nothing beyond the horizon was handled
+    seq = SequentialEngine()
+    ref_lps = build_phold(seq, n_lps=4, seed=5)
+    seq.run(until=10.0)
+    assert fingerprint(lps) == fingerprint(ref_lps)
+
+
+def test_max_events_budget():
+    eng = ConservativeEngine(lookahead=0.5, n_partitions=2)
+    build_phold(eng, n_lps=4, seed=5)
+    eng.run(until=50.0, max_events=7)
+    assert eng.events_processed == 7
+
+
+def test_custom_partition_fn():
+    eng = ConservativeEngine(lookahead=0.5, n_partitions=2, partition_fn=lambda lp: 0)
+    ref = SequentialEngine()
+    a = run_phold(eng, n_lps=6, seed=11)
+    b = run_phold(ref, n_lps=6, seed=11)
+    assert a == b

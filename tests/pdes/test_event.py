@@ -1,0 +1,51 @@
+"""Event ordering and identity."""
+
+import pytest
+
+from repro.pdes.event import Event, Priority
+
+
+def test_key_orders_by_time_first():
+    a = Event(1.0, 0, "x")
+    b = Event(2.0, 0, "x")
+    a.seq, b.seq = 5, 1
+    assert a.key() < b.key()
+
+
+def test_key_breaks_time_ties_by_priority():
+    a = Event(1.0, 0, "x", priority=Priority.CONTROL)
+    b = Event(1.0, 0, "x", priority=Priority.NETWORK)
+    a.seq, b.seq = 9, 1
+    assert a.key() < b.key()
+
+
+def test_key_breaks_full_ties_by_seq():
+    a = Event(1.0, 0, "x")
+    b = Event(1.0, 0, "x")
+    a.seq, b.seq = 1, 2
+    assert a.key() < b.key()
+
+
+def test_priority_control_precedes_all():
+    assert Priority.CONTROL < Priority.NETWORK < Priority.MPI < Priority.WAKEUP < Priority.LOW
+
+
+def test_uid_includes_destination():
+    a = Event(1.0, 3, "x")
+    b = Event(1.0, 4, "x")
+    a.seq = b.seq = 7
+    assert a.uid() != b.uid()
+    assert a.uid()[:3] == b.uid()[:3]
+
+
+def test_event_defaults():
+    e = Event(0.5, 2, "kind", data={"k": 1})
+    assert e.seq == -1
+    assert e.src == -1
+    assert e.send_time == 0.0
+    assert e.data == {"k": 1}
+
+
+@pytest.mark.parametrize("prio", list(Priority))
+def test_priorities_are_ints(prio):
+    assert isinstance(int(prio), int)

@@ -1,0 +1,124 @@
+"""Placement policies: structure, disjointness, determinism, capacity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.dragonfly2d import Dragonfly2D
+from repro.placement.policies import (
+    PlacementError,
+    make_placement,
+    random_groups,
+    random_nodes,
+    random_routers,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Dragonfly1D.mini()  # 144 nodes, 2/router, 16/group
+
+
+ALL_POLICIES = [random_nodes, random_routers, random_groups]
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_sizes_and_disjointness(policy, topo):
+    sizes = [10, 20, 5]
+    placements = policy(topo, sizes, seed=1)
+    assert [len(p) for p in placements] == sizes
+    flat = [n for p in placements for n in p]
+    assert len(flat) == len(set(flat))
+    assert all(0 <= n < topo.n_nodes for n in flat)
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_deterministic_per_seed(policy, topo):
+    a = policy(topo, [8, 8], seed=42)
+    b = policy(topo, [8, 8], seed=42)
+    c = policy(topo, [8, 8], seed=43)
+    assert a == b
+    assert a != c
+
+
+def test_random_routers_allocates_whole_routers(topo):
+    placements = random_routers(topo, [7, 9], seed=2)
+    for nodes in placements:
+        routers = {topo.router_of_node(n) for n in nodes}
+        # No router is shared with the other job.
+        for other in placements:
+            if other is nodes:
+                continue
+            other_routers = {topo.router_of_node(n) for n in other}
+            assert not (routers & other_routers)
+
+
+def test_random_groups_allocates_whole_groups(topo):
+    placements = random_groups(topo, [20, 30], seed=3)
+    group_sets = [
+        {topo.group_of_node(n) for n in nodes} for nodes in placements
+    ]
+    assert not (group_sets[0] & group_sets[1])
+    # 20 nodes need 2 groups of 16; 30 need 2.
+    assert len(group_sets[0]) == 2
+    assert len(group_sets[1]) == 2
+
+
+def test_random_groups_nodes_consecutive_within_groups(topo):
+    (nodes,) = random_groups(topo, [16], seed=4)
+    g = topo.group_of_node(nodes[0])
+    assert nodes == list(topo.nodes_of_group(g))
+
+
+def test_capacity_errors(topo):
+    with pytest.raises(PlacementError, match="only"):
+        random_nodes(topo, [topo.n_nodes + 1], seed=0)
+    with pytest.raises(PlacementError, match="whole routers"):
+        # 100 jobs of 1 rank each need 100 routers > 72.
+        random_routers(topo, [1] * 100, seed=0)
+    with pytest.raises(PlacementError, match="whole groups"):
+        random_groups(topo, [1] * 10, seed=0)  # 10 groups > 9
+    with pytest.raises(PlacementError, match="non-positive"):
+        random_nodes(topo, [0], seed=0)
+
+
+def test_make_placement_dispatch(topo):
+    for name in ("rn", "rr", "rg", "RN"):
+        out = make_placement(name, topo, [4], seed=0)
+        assert len(out[0]) == 4
+    with pytest.raises(PlacementError, match="unknown placement"):
+        make_placement("best-fit", topo, [4], seed=0)
+
+
+def test_random_nodes_scatter_across_routers(topo):
+    """RN should usually split router-mates across jobs (the property
+    the paper blames for its worst-case interference)."""
+    placements = random_nodes(topo, [72, 72], seed=7)
+    routers_a = {topo.router_of_node(n) for n in placements[0]}
+    routers_b = {topo.router_of_node(n) for n in placements[1]}
+    assert routers_a & routers_b  # plenty of shared routers
+
+
+@given(st.lists(st.integers(1, 30), min_size=1, max_size=4), st.integers(0, 100))
+@settings(max_examples=50, deadline=None)
+def test_property_disjoint_any_policy(sizes, seed):
+    topo = Dragonfly1D.mini()
+    if sum(sizes) > topo.n_nodes:
+        return
+    for name in ("rn", "rr", "rg"):
+        try:
+            placements = make_placement(name, topo, sizes, seed)
+        except PlacementError:
+            continue  # rr/rg may legitimately run out of routers/groups
+        flat = [n for p in placements for n in p]
+        assert len(flat) == len(set(flat))
+        assert [len(p) for p in placements] == sizes
+
+
+def test_policies_work_on_2d():
+    topo = Dragonfly2D.mini()
+    for name in ("rn", "rr", "rg"):
+        placements = make_placement(name, topo, [12, 12], seed=1)
+        flat = [n for p in placements for n in p]
+        assert len(set(flat)) == 24

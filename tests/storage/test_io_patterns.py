@@ -1,0 +1,112 @@
+"""I/O workload patterns co-scheduled with communication workloads."""
+
+import pytest
+
+from repro.mpi.engine import JobSpec, SimMPI
+from repro.network.config import NetworkConfig
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.fabric import NetworkFabric
+from repro.storage import StorageConfig, StorageSystem
+from repro.workloads.io_patterns import checkpointer, io_benchmark, ml_reader
+from repro.workloads.nearest_neighbor import nearest_neighbor
+
+
+@pytest.fixture()
+def sim():
+    topo = Dragonfly1D.mini()
+    fabric = NetworkFabric(topo, NetworkConfig(seed=2), routing="adp")
+    mpi = SimMPI(fabric)
+    servers = [topo.n_nodes - 1 - i for i in range(2)]
+    storage = StorageSystem(mpi, servers, StorageConfig())
+    return topo, fabric, mpi, storage
+
+
+def test_checkpointer_writes_expected_volume(sim):
+    topo, _, mpi, storage = sim
+    n, iters, stripe = 8, 3, 1 << 16
+    mpi.add_job(JobSpec(
+        "ckpt", n, checkpointer, list(range(n)),
+        {"storage": storage, "iters": iters, "stripe_bytes": stripe, "interval_s": 1e-4},
+    ))
+    mpi.run(until=10.0)
+    assert mpi.results()[0].finished
+    total = sum(s.bytes_written for s in storage.servers)
+    assert total == n * iters * stripe
+    # Round-robin striping touched both servers.
+    assert all(s.bytes_written > 0 for s in storage.servers)
+
+
+def test_ml_reader_reads_and_allreduces(sim):
+    topo, _, mpi, storage = sim
+    n, steps, files, fbytes = 8, 2, 4, 64 << 10
+    mpi.add_job(JobSpec(
+        "train", n, ml_reader, list(range(n)),
+        {"storage": storage, "steps": steps, "files_per_step": files,
+         "file_bytes": fbytes, "step_s": 1e-4, "gradient_bytes": 1 << 18},
+    ))
+    mpi.run(until=10.0)
+    res = mpi.results()[0]
+    assert res.finished
+    total_read = sum(s.bytes_read for s in storage.servers)
+    assert total_read == n * steps * files * fbytes
+    assert res.event_counts()["MPI_Allreduce"] == n * steps
+
+
+def test_io_benchmark_logs_both_phases(sim):
+    topo, _, mpi, storage = sim
+    n = 4
+    mpi.add_job(JobSpec(
+        "ior", n, io_benchmark, list(range(n)),
+        {"storage": storage, "block_bytes": 1 << 18, "xfer_bytes": 1 << 16},
+    ))
+    mpi.run(until=10.0)
+    res = mpi.results()[0]
+    assert res.finished
+    for s in res.rank_stats:
+        labels = [k for k, _ in s.log_rows]
+        assert labels == ["write_usecs", "read_usecs"]
+        assert all(v > 0 for _, v in s.log_rows)
+    srv_bytes = sum(s.bytes_written for s in storage.servers)
+    assert srv_bytes == n * (1 << 18)
+
+
+def test_io_and_mpi_jobs_coexist(sim):
+    """A checkpointing job and a halo-exchange job on one network: both
+    finish, and the storage stats only show the I/O app."""
+    topo, fabric, mpi, storage = sim
+    mpi.add_job(JobSpec(
+        "ckpt", 4, checkpointer, [0, 1, 2, 3],
+        {"storage": storage, "iters": 2, "stripe_bytes": 1 << 16, "interval_s": 1e-4},
+    ))
+    nn_nodes = list(range(8, 16))
+    mpi.add_job(JobSpec(
+        "nn", 8, nearest_neighbor, nn_nodes,
+        {"dims": (2, 2, 2), "iters": 3, "msg_bytes": 8192},
+    ))
+    mpi.run(until=10.0)
+    ckpt, nn = mpi.results()
+    assert ckpt.finished and nn.finished
+    assert storage.app_stats(0).ops == 8  # 4 ranks x 2 checkpoints
+    assert storage.app_stats(1).ops == 0  # the NN job did no I/O
+
+
+def test_checkpoint_burst_slows_under_shared_server():
+    """Doubling the number of clients per server increases mean write
+    latency (device contention), holding everything else fixed."""
+
+    def mean_latency(n_ranks):
+        topo = Dragonfly1D.mini()
+        fabric = NetworkFabric(topo, NetworkConfig(seed=3), routing="min")
+        mpi = SimMPI(fabric)
+        storage = StorageSystem(
+            mpi, [topo.n_nodes - 1], StorageConfig(write_bw=2e8, access_latency=0.0)
+        )
+        mpi.add_job(JobSpec(
+            "ckpt", n_ranks, checkpointer, list(range(n_ranks)),
+            {"storage": storage, "iters": 1, "stripe_bytes": 1 << 20, "interval_s": 0.0},
+        ))
+        mpi.run(until=30.0)
+        assert mpi.results()[0].finished
+        return storage.app_stats(0).mean_latency()
+
+    assert mean_latency(8) > mean_latency(2) * 1.5

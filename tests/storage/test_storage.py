@@ -1,0 +1,286 @@
+"""Storage subsystem: servers, I/O ops, and network coupling."""
+
+import pytest
+
+from repro.mpi.engine import JobSpec, SimMPI
+from repro.mpi.types import Wait
+from repro.network.config import NetworkConfig
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.fabric import NetworkFabric
+from repro.storage import (
+    IORead,
+    IOWrite,
+    StorageConfig,
+    StorageSystem,
+    read_file,
+    write_file,
+)
+
+
+def make_sim(seed=1, routing="min"):
+    topo = Dragonfly1D.mini()
+    fabric = NetworkFabric(topo, NetworkConfig(seed=seed), routing=routing)
+    mpi = SimMPI(fabric)
+    return topo, fabric, mpi
+
+
+# -- configuration -----------------------------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="bandwidths"):
+        StorageConfig(write_bw=0)
+    with pytest.raises(ValueError, match="access_latency"):
+        StorageConfig(access_latency=-1e-6)
+    with pytest.raises(ValueError, match="request_bytes"):
+        StorageConfig(request_bytes=-1)
+
+
+def test_service_time_uses_per_direction_bandwidth():
+    cfg = StorageConfig(write_bw=1e9, read_bw=2e9, access_latency=1e-5)
+    assert cfg.service_time("write", 10**9) == pytest.approx(1.0 + 1e-5)
+    assert cfg.service_time("read", 10**9) == pytest.approx(0.5 + 1e-5)
+
+
+def test_system_validates_nodes():
+    _, _, mpi = make_sim()
+    with pytest.raises(ValueError, match="at least one"):
+        StorageSystem(mpi, [])
+    with pytest.raises(ValueError, match="outside system"):
+        StorageSystem(mpi, [10**6])
+
+
+def test_double_registration_rejected():
+    _, _, mpi = make_sim()
+    StorageSystem(mpi, [0])
+    with pytest.raises(ValueError, match="already registered"):
+        StorageSystem(mpi, [1])
+
+
+def test_op_validation():
+    _, _, mpi = make_sim()
+    storage = StorageSystem(mpi, [0])
+    with pytest.raises(ValueError, match="write size"):
+        IOWrite(storage, 0, -1)
+    with pytest.raises(ValueError, match="read size"):
+        IORead(storage, 0, -5)
+
+
+# -- single-op behaviour ---------------------------------------------------------
+
+
+def run_one_rank(mpi, program, node=0, until=10.0):
+    mpi.add_job(JobSpec("app", 1, program, [node]))
+    mpi.run(until=until)
+    return mpi.results()[0]
+
+
+def test_blocking_write_completes_and_counts():
+    topo, fabric, mpi = make_sim()
+    storage = StorageSystem(mpi, [topo.n_nodes - 1])
+
+    def program(ctx):
+        yield from write_file(ctx, storage, server=0, nbytes=1 << 20)
+
+    res = run_one_rank(mpi, program)
+    assert res.finished
+    srv = storage.servers[0]
+    assert srv.bytes_written == 1 << 20
+    assert srv.bytes_read == 0
+    assert srv.ops_served == 1
+    st = storage.app_stats(0)
+    assert st.ops == 1 and st.bytes_written == 1 << 20
+    assert st.max_latency > 0
+
+
+def test_blocking_read_returns_latency():
+    topo, _, mpi = make_sim()
+    storage = StorageSystem(mpi, [topo.n_nodes - 1])
+    seen = {}
+
+    def program(ctx):
+        latency = yield from read_file(ctx, storage, server=0, nbytes=1 << 20)
+        seen["latency"] = latency
+
+    res = run_one_rank(mpi, program)
+    assert res.finished
+    assert seen["latency"] > 0
+    assert storage.servers[0].bytes_read == 1 << 20
+
+
+def test_write_latency_includes_device_service_time():
+    """End-to-end write latency >= data transfer + device service."""
+    topo, fabric, mpi = make_sim()
+    cfg = StorageConfig(write_bw=1e9, access_latency=1e-3)
+    storage = StorageSystem(mpi, [topo.n_nodes - 1], cfg)
+    nbytes = 1 << 20
+
+    def program(ctx):
+        latency = yield from write_file(ctx, storage, server=0, nbytes=nbytes)
+
+    run_one_rank(mpi, program)
+    st = storage.app_stats(0)
+    assert st.max_latency >= cfg.service_time("write", nbytes)
+
+
+def test_read_ships_data_on_response_leg():
+    """A read moves ~nbytes over the network server->client; a write
+    moves them client->server.  Either way the fabric carries the data."""
+    topo, fabric, mpi = make_sim()
+    storage = StorageSystem(mpi, [topo.n_nodes - 1])
+    nbytes = 1 << 20
+
+    def program(ctx):
+        yield from read_file(ctx, storage, server=0, nbytes=nbytes)
+
+    run_one_rank(mpi, program)
+    assert fabric.bytes_sent >= nbytes  # data leg + request envelope
+    assert fabric.messages_delivered == fabric.messages_sent == 2
+
+
+def test_device_serializes_concurrent_writes():
+    """Two ranks writing to one server: the device is a FIFO, so total
+    busy time equals the sum of both service times and completions are
+    strictly ordered."""
+    topo, _, mpi = make_sim()
+    cfg = StorageConfig(write_bw=1e8, access_latency=0.0)  # 10 ms per MiB
+    storage = StorageSystem(mpi, [topo.n_nodes - 1], cfg)
+    nbytes = 1 << 20
+    done = {}
+
+    def program(ctx):
+        yield from write_file(ctx, storage, server=0, nbytes=nbytes)
+        done[ctx.rank] = ctx.now
+
+    mpi.add_job(JobSpec("app", 2, program, [0, 1]))
+    mpi.run(until=10.0)
+    assert mpi.results()[0].finished
+    srv = storage.servers[0]
+    svc = cfg.service_time("write", nbytes)
+    assert srv.busy_time == pytest.approx(2 * svc)
+    assert abs(done[0] - done[1]) >= svc * 0.99  # second op waited for first
+    assert srv.queue_time > 0
+
+
+def test_nonblocking_io_overlaps_compute():
+    """IOWrite then compute then Wait: the rank's comm/IO wait is less
+    than the full device time because the write progressed during the
+    compute block."""
+    topo, _, mpi = make_sim()
+    cfg = StorageConfig(write_bw=1e8, access_latency=0.0)
+    storage = StorageSystem(mpi, [topo.n_nodes - 1], cfg)
+    nbytes = 1 << 20
+    svc = cfg.service_time("write", nbytes)
+
+    def overlapped(ctx):
+        req = yield IOWrite(storage, server=0, nbytes=nbytes)
+        yield ctx.compute(svc)  # overlap device time with compute
+        yield Wait(req)
+
+    res = run_one_rank(mpi, overlapped)
+    stats = res.rank_stats[0]
+    assert stats.compute_time == pytest.approx(svc)
+    # Wait time far below svc: device worked during the compute.
+    assert stats.comm_time < svc * 0.5
+
+
+def test_striped_writes_across_servers_parallelize():
+    """One rank striping to two servers finishes faster than writing the
+    same bytes to one server (devices work in parallel)."""
+    total = 2 << 20
+    cfg = StorageConfig(write_bw=1e8, access_latency=0.0)
+
+    def run(n_servers):
+        topo, _, mpi = make_sim()
+        nodes = [topo.n_nodes - 1 - i for i in range(n_servers)]
+        storage = StorageSystem(mpi, nodes, cfg)
+        end = {}
+
+        def program(ctx):
+            reqs = []
+            per = total // n_servers
+            for s in range(n_servers):
+                req = yield IOWrite(storage, server=s, nbytes=per)
+                reqs.append(req)
+            yield ctx.waitall(reqs)
+            end["t"] = ctx.now
+
+        run_one_rank(mpi, program)
+        return end["t"]
+
+    assert run(2) < run(1) * 0.75
+
+
+def test_io_traffic_shares_network_with_mpi():
+    """I/O bytes appear in the fabric's link-load accounting, tagged
+    with the issuing application's id on the router counters."""
+    topo, fabric, mpi = make_sim()
+    storage = StorageSystem(mpi, [topo.n_nodes - 1])
+
+    def program(ctx):
+        yield from write_file(ctx, storage, server=0, nbytes=1 << 18)
+
+    run_one_rank(mpi, program, node=0)
+    total_link_bytes = sum(fabric.link_loads.summary().values())
+    assert total_link_bytes > 0
+
+
+def test_wrong_system_and_server_rejected():
+    topo, _, mpi = make_sim()
+    storage = StorageSystem(mpi, [topo.n_nodes - 1])
+
+    class Fake:
+        pass
+
+    def bad_server(ctx):
+        yield IOWrite(storage, server=7, nbytes=16)
+
+    mpi.add_job(JobSpec("bad", 1, bad_server, [0]))
+    with pytest.raises(ValueError, match="server 7 out of range"):
+        mpi.run(until=1.0)
+
+
+def test_utilization_bounded():
+    topo, _, mpi = make_sim()
+    cfg = StorageConfig(write_bw=1e9)
+    storage = StorageSystem(mpi, [topo.n_nodes - 1], cfg)
+
+    def program(ctx):
+        for _ in range(4):
+            yield from write_file(ctx, storage, server=0, nbytes=1 << 16)
+
+    run_one_rank(mpi, program)
+    srv = storage.servers[0]
+    assert 0.0 < srv.utilization(mpi.engine.now) <= 1.0
+    assert srv.utilization(0.0) == 0.0
+
+
+def test_zero_byte_ops_still_roundtrip():
+    topo, _, mpi = make_sim()
+    storage = StorageSystem(mpi, [topo.n_nodes - 1])
+
+    def program(ctx):
+        yield from write_file(ctx, storage, server=0, nbytes=0)
+        yield from read_file(ctx, storage, server=0, nbytes=0)
+
+    res = run_one_rank(mpi, program)
+    assert res.finished
+    assert storage.app_stats(0).ops == 2
+
+
+def test_many_clients_aggregate_stats():
+    topo, _, mpi = make_sim()
+    storage = StorageSystem(mpi, [topo.n_nodes - 1, topo.n_nodes - 2])
+    n = 8
+
+    def program(ctx):
+        yield from write_file(ctx, storage, server=ctx.rank % 2, nbytes=4096)
+
+    mpi.add_job(JobSpec("app", n, program, list(range(n))))
+    mpi.run(until=10.0)
+    assert mpi.results()[0].finished
+    st = storage.app_stats(0)
+    assert st.ops == n
+    assert st.bytes_written == n * 4096
+    assert storage.total_bytes() == n * 4096
+    assert st.mean_latency() > 0

@@ -1,0 +1,109 @@
+"""Property-based invariants of the storage device model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.mpi.engine import JobSpec, SimMPI
+from repro.network.config import NetworkConfig
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.fabric import NetworkFabric
+from repro.storage import IORead, IOWrite, StorageConfig, StorageSystem
+
+op_strategy = st.tuples(
+    st.sampled_from(["read", "write"]),
+    st.integers(0, 1 << 20),   # nbytes
+    st.integers(0, 1),         # server index
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(op_strategy, min_size=1, max_size=12))
+def test_device_conservation_laws(ops):
+    """For any op sequence: per-server busy time equals the sum of the
+    admitted ops' service times, byte totals match what was issued, and
+    every op completes."""
+    topo = Dragonfly1D.mini()
+    fabric = NetworkFabric(topo, NetworkConfig(seed=1), routing="min")
+    mpi = SimMPI(fabric)
+    cfg = StorageConfig(write_bw=1e9, read_bw=2e9, access_latency=1e-5)
+    storage = StorageSystem(mpi, [topo.n_nodes - 1, topo.n_nodes - 2], cfg)
+
+    def program(ctx):
+        reqs = []
+        for kind, nbytes, server in ops:
+            cls = IOWrite if kind == "write" else IORead
+            req = yield cls(storage, server, nbytes)
+            reqs.append(req)
+        yield ctx.waitall(reqs)
+
+    mpi.add_job(JobSpec("client", 1, program, [0]))
+    mpi.run(until=120.0)
+    assert mpi.results()[0].finished
+
+    expected_busy = [0.0, 0.0]
+    expected_rd = [0, 0]
+    expected_wr = [0, 0]
+    for kind, nbytes, server in ops:
+        expected_busy[server] += cfg.service_time(kind, nbytes)
+        (expected_wr if kind == "write" else expected_rd)[server] += nbytes
+    for s in storage.servers:
+        assert s.busy_time == pytest.approx(expected_busy[s.server_id])
+        assert s.bytes_read == expected_rd[s.server_id]
+        assert s.bytes_written == expected_wr[s.server_id]
+        assert s.ops_served == sum(1 for _, _, srv in ops if srv == s.server_id)
+        assert s.queue_time >= 0.0
+    st_app = storage.app_stats(0)
+    assert st_app.ops == len(ops)
+    assert st_app.bytes_read == sum(expected_rd)
+    assert st_app.bytes_written == sum(expected_wr)
+    assert st_app.max_latency >= st_app.mean_latency() >= 0.0
+    # Everything the fabric carried was delivered.
+    assert fabric.in_flight() == 0
+    assert fabric.messages_delivered == fabric.messages_sent
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 1 << 18), min_size=2, max_size=6),
+    n_clients=st.integers(2, 6),
+)
+def test_fifo_completion_order_single_server(sizes, n_clients):
+    """A single device is a FIFO: requests that *arrive* earlier finish
+    earlier, regardless of size."""
+    topo = Dragonfly1D.mini()
+    fabric = NetworkFabric(topo, NetworkConfig(seed=2), routing="min")
+    mpi = SimMPI(fabric)
+    cfg = StorageConfig(write_bw=1e8, access_latency=0.0)
+    storage = StorageSystem(mpi, [topo.n_nodes - 1], cfg)
+    admitted = []
+    done = []
+
+    from repro.storage.server import StorageServer
+
+    orig_admit = StorageServer.admit
+
+    def tracking_admit(self, txn, engine, now):
+        admitted.append((now, txn))
+        completion = orig_admit(self, txn, engine, now)
+        done.append((completion, txn))
+        return completion
+
+    def program(ctx):
+        for nbytes in sizes:
+            req = yield IOWrite(storage, 0, nbytes)
+            yield ctx.wait(req)
+
+    mpi.add_job(JobSpec("clients", n_clients, program, list(range(n_clients))))
+    StorageServer.admit = tracking_admit
+    try:
+        mpi.run(until=300.0)
+    finally:
+        StorageServer.admit = orig_admit
+    assert mpi.results()[0].finished
+    # Admission order == completion order (FIFO device).
+    assert [id(t) for _, t in done] == [id(t) for _, t in admitted]
+    # Completions never overlap: gaps >= each op's service time.
+    times = [t for t, _ in done]
+    assert all(b >= a for a, b in zip(times, times[1:]))

@@ -1,0 +1,92 @@
+"""CLI smoke tests via main(argv)."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.sources import PINGPONG_SOURCE
+
+
+@pytest.fixture()
+def pingpong_file(tmp_path):
+    p = tmp_path / "pingpong.ncptl"
+    p.write_text(PINGPONG_SOURCE)
+    return str(p)
+
+
+def test_systems(capsys):
+    assert main(["systems", "--scale", "paper"]) == 0
+    out = capsys.readouterr().out
+    assert "8448" in out
+    assert "1D dragonfly" in out and "2D dragonfly" in out
+
+
+def test_translate(capsys, pingpong_file):
+    assert main(["translate", pingpong_file, "--name", "pp"]) == 0
+    out = capsys.readouterr().out
+    assert "union_main" in out
+    assert "UNION_MPI_Send" in out
+
+
+def test_validate_passes(capsys, pingpong_file):
+    assert main(["validate", pingpong_file, "--ntasks", "4", "--name", "pp"]) == 0
+    out = capsys.readouterr().out
+    assert "PASSED" in out
+    assert "MPI_Send" in out
+
+
+def test_run(capsys):
+    assert main([
+        "run", "--network", "1d", "--workload", "baseline:nn",
+        "--placement", "rr", "--routing", "min",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "nn" in out
+    assert "link loads" in out
+
+
+def test_run_workload(capsys):
+    assert main(["run", "--workload", "workload2", "--placement", "rg", "--routing", "adp"]) == 0
+    out = capsys.readouterr().out
+    for app in ("cosmoflow", "alexnet", "lammps", "milc", "nn"):
+        assert app in out
+
+
+def test_simulate(capsys, pingpong_file):
+    assert main(["simulate", pingpong_file, "--ntasks", "2", "--name", "pp"]) == 0
+    out = capsys.readouterr().out
+    assert "finished" in out and "yes" in out
+    assert "max comm time" in out
+
+
+def test_simulate_with_storage(capsys, tmp_path):
+    p = tmp_path / "io.ncptl"
+    p.write_text(
+        'Require language version "1.5".\n'
+        "For 2 repetitions { all tasks t reads a 65536 byte file from server t }\n"
+    )
+    assert main(["simulate", str(p), "--ntasks", "4", "--storage-servers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "I/O: 8 ops" in out
+    assert "read 512.00 KB" in out
+
+
+def test_simulate_io_without_storage_fails(tmp_path):
+    p = tmp_path / "io.ncptl"
+    p.write_text(
+        'Require language version "1.5".\n'
+        "task 0 writes a 1 megabyte file\n"
+    )
+    with pytest.raises(RuntimeError, match="no storage"):
+        main(["simulate", str(p), "--ntasks", "2"])
+
+
+def test_topologies(capsys):
+    assert main(["topologies"]) == 0
+    out = capsys.readouterr().out
+    for name in ("dragonfly", "torus", "fat-tree", "slim fly"):
+        assert name in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,114 @@
+"""Every shipped example must run to completion (smoke level).
+
+``placement_study`` is exercised via a trimmed variant because its full
+sweep belongs in benchmarks, not the unit suite.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_examples_directory_complete():
+    names = {p.stem for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart",
+        "hybrid_workload",
+        "placement_study",
+        "validate_skeleton",
+        "topology_explorer",
+        "write_your_own",
+        "trace_vs_union",
+        "io_interference",
+        "whatif_topologies",
+        "conceptual_io",
+    } <= names
+
+
+def test_quickstart(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "Generated Union skeleton" in out
+    assert "message latency" in out
+
+
+def test_validate_skeleton(capsys):
+    load_example("validate_skeleton").main()
+    out = capsys.readouterr().out
+    assert "Validation PASSED" in out
+    assert "identical" in out
+
+
+def test_write_your_own(capsys):
+    load_example("write_your_own").main()
+    out = capsys.readouterr().out
+    assert "halo2d" in out
+    assert "PASSED" in out
+
+
+def test_topology_explorer(capsys):
+    load_example("topology_explorer").main()
+    out = capsys.readouterr().out
+    assert "8448" in out
+    assert "minimal-path hops" in out
+
+
+def test_trace_vs_union(capsys):
+    load_example("trace_vs_union").main()
+    out = capsys.readouterr().out
+    assert "TraceScalingError" in out
+    assert "finished: True" in out
+
+
+@pytest.mark.slow
+def test_hybrid_workload(capsys):
+    load_example("hybrid_workload").main()
+    out = capsys.readouterr().out
+    assert "Workload3 on mini 1D dragonfly" in out
+    assert "Workload3 on mini 2D dragonfly" in out
+    assert "Figure 8 style" in out
+
+
+def test_io_interference(capsys):
+    load_example("io_interference").main()
+    out = capsys.readouterr().out
+    assert "inside the solver's groups" in out
+    assert "in an idle group" in out
+    assert "utilization" in out
+
+
+def test_conceptual_io(capsys):
+    load_example("conceptual_io").main()
+    out = capsys.readouterr().out
+    assert "Validation PASSED" in out
+    assert "IO_Read" in out
+
+
+@pytest.mark.slow
+def test_whatif_topologies(capsys):
+    load_example("whatif_topologies").main()
+    out = capsys.readouterr().out
+    assert "slim fly q=5" in out
+    assert "fat-tree" in out
+
+
+def test_placement_study_single_combo(capsys, monkeypatch):
+    mod = load_example("placement_study")
+    monkeypatch.setattr(mod, "COMBOS", ("rg-adp",))
+    monkeypatch.setattr(mod, "APPS", ("lammps",))
+    mod.main()
+    out = capsys.readouterr().out
+    assert "lammps: baseline vs Workload2" in out
+    assert "rg-adp" in out

@@ -1,0 +1,137 @@
+"""Trace collection, serialization, and replay (Table I baseline)."""
+
+import pytest
+
+from repro.mpi.engine import JobSpec, SimMPI
+from repro.network.config import NetworkConfig
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.fabric import NetworkFabric
+from repro.trace.format import TraceOp, TraceSet, load_traces, save_traces
+from repro.trace.recorder import record_job
+from repro.trace.replay import TraceScalingError, replay_program
+from repro.workloads.lammps import lammps
+from repro.workloads.nearest_neighbor import nearest_neighbor
+
+NN_PARAMS = {"dims": (2, 2, 2), "iters": 3, "msg_bytes": 8192}
+
+
+def run_replay(traces, nranks, until=1.0):
+    fabric = NetworkFabric(Dragonfly1D.mini(), NetworkConfig(seed=1), routing="min")
+    mpi = SimMPI(fabric)
+    mpi.add_job(JobSpec("replay", nranks, replay_program(traces), list(range(nranks))))
+    mpi.run(until=until)
+    return mpi.results()[0], fabric
+
+
+# -- format ----------------------------------------------------------------
+
+
+def test_trace_op_validation():
+    op = TraceOp("isend", 3, 100, 0)
+    assert op.name == "isend"
+    assert op.args == (3, 100, 0)
+    with pytest.raises(ValueError, match="unknown trace op"):
+        TraceOp("teleport", 1)
+    with pytest.raises(ValueError, match="takes"):
+        TraceOp("barrier", 1)
+
+
+def test_traceset_validation():
+    with pytest.raises(ValueError):
+        TraceSet(0)
+
+
+def test_save_load_roundtrip(tmp_path):
+    traces = record_job(nearest_neighbor, 8, NN_PARAMS)
+    path = str(tmp_path / "nn.trace.gz")
+    size = save_traces(traces, path)
+    assert size > 0
+    loaded = load_traces(path)
+    assert loaded == traces
+    assert loaded.job_name == traces.job_name
+
+
+def test_load_rejects_bad_version(tmp_path):
+    import gzip
+    import json
+
+    path = str(tmp_path / "bad.trace.gz")
+    with gzip.open(path, "wt") as f:
+        f.write(json.dumps({"format": 99, "nranks": 1}) + "\n")
+    with pytest.raises(ValueError, match="unsupported trace format"):
+        load_traces(path)
+
+
+# -- recording ------------------------------------------------------------------
+
+
+def test_record_job_captures_all_ranks():
+    traces = record_job(nearest_neighbor, 8, NN_PARAMS)
+    assert traces.nranks == 8
+    # Per rank per iteration: 6 irecv + 6 isend + 1 waitall + 1 compute.
+    for rank in range(8):
+        names = [op.name for op in traces.ops[rank]]
+        assert names.count("isend") == 18
+        assert names.count("irecv") == 18
+        assert names.count("waitall") == 3
+        assert names.count("compute") == 3
+
+
+def test_record_blocking_sends_and_collectives():
+    params = {"dims": (2, 2, 2), "iters": 2, "msg_sizes": (64,), "allreduce_every": 1}
+    traces = record_job(lammps, 8, params)
+    names = [op.name for op in traces.ops[0]]
+    assert "send" in names
+    assert "allreduce" in names
+
+
+def test_trace_is_bulky():
+    """The Table I point: traces grow with execution length."""
+    short = record_job(nearest_neighbor, 8, {**NN_PARAMS, "iters": 2})
+    long = record_job(nearest_neighbor, 8, {**NN_PARAMS, "iters": 8})
+    assert long.byte_size() > 3 * short.byte_size()
+
+
+# -- replay -------------------------------------------------------------------------
+
+
+def test_replay_reproduces_message_counts():
+    traces = record_job(nearest_neighbor, 8, NN_PARAMS)
+    res, fabric = run_replay(traces, 8)
+    assert res.finished
+    # 6 neighbours x 3 iters x 8 ranks messages delivered.
+    assert sum(s.msgs_recvd for s in res.rank_stats) == 6 * 3 * 8
+
+
+def test_replay_matches_original_timing_approximately():
+    traces = record_job(nearest_neighbor, 8, NN_PARAMS)
+    res, _ = run_replay(traces, 8)
+
+    fabric = NetworkFabric(Dragonfly1D.mini(), NetworkConfig(seed=1), routing="min")
+    mpi = SimMPI(fabric)
+    mpi.add_job(JobSpec("orig", 8, nearest_neighbor, list(range(8)), NN_PARAMS))
+    mpi.run(until=1.0)
+    orig = mpi.results()[0]
+    t_replay = max(s.finished_at for s in res.rank_stats)
+    t_orig = max(s.finished_at for s in orig.rank_stats)
+    assert t_replay == pytest.approx(t_orig, rel=0.05)
+
+
+def test_replay_rejects_different_rank_count():
+    traces = record_job(nearest_neighbor, 8, NN_PARAMS)
+    with pytest.raises(TraceScalingError, match="re-trace"):
+        run_replay(traces, 12)
+
+
+def test_record_job_checks_capacity():
+    with pytest.raises(ValueError, match="cannot trace"):
+        record_job(nearest_neighbor, 1000, {"dims": (10, 10, 10)})
+
+
+def test_record_job_requires_completion():
+    def forever(ctx):
+        while True:
+            yield ctx.compute(1e-3)
+
+    with pytest.raises(RuntimeError, match="did not finish"):
+        record_job(forever, 2, until=0.01)

@@ -1,0 +1,157 @@
+"""Event-generator backends: pattern cache, counting rules, RNG layout."""
+
+import pytest
+
+from repro.conceptual.interpreter import ApplicationRun
+from repro.union.event_generator import (
+    CountingUnionAPI,
+    SkeletonShared,
+    run_skeleton_counting,
+)
+from repro.union.translator import translate
+
+
+def test_pattern_cache_shared_and_bounded():
+    shared = SkeletonShared(4, seed=0)
+    apis = [CountingUnionAPI(r, shared, ApplicationRun(4, False)) for r in range(4)]
+    tgt = ("expr", lambda s: (s + 1) % 4)
+    for api in apis:
+        snd, rcv = api.pattern(0, None, tgt, None)
+        assert snd == [(api.rank + 1) % 4]
+        assert rcv == [(api.rank - 1) % 4]
+    # After all 4 ranks consumed the instance, the cache entry is gone.
+    assert shared.cache == {}
+
+
+def test_pattern_instances_advance_per_rank():
+    shared = SkeletonShared(2, seed=0)
+    api0 = CountingUnionAPI(0, shared, ApplicationRun(2, False))
+    api1 = CountingUnionAPI(1, shared, ApplicationRun(2, False))
+    tgt_a = ("expr", lambda s: 1 - s)
+    # rank 0 executes the statement twice before rank 1 starts.
+    api0.pattern(0, None, tgt_a, None)
+    api0.pattern(0, None, tgt_a, None)
+    assert len(shared.cache) == 2
+    api1.pattern(0, None, tgt_a, None)
+    api1.pattern(0, None, tgt_a, None)
+    assert shared.cache == {}
+
+
+def test_pattern_modes():
+    shared = SkeletonShared(5, seed=0)
+    api = CountingUnionAPI(2, shared, ApplicationRun(5, False))
+    snd, rcv = api.pattern(0, None, ("others", None), None)
+    assert len(snd) == 4 and 2 not in snd
+    assert len(rcv) == 4
+    snd, rcv = api.pattern(1, None, ("all", None), None)
+    assert len(snd) == 5 and len(rcv) == 5
+    snd, rcv = api.pattern(2, (lambda s: s == 0), ("filter", lambda t: t > 2), None)
+    assert snd == []  # rank 2 is not a sender
+    assert rcv == []  # rank 2 fails the filter
+    api3 = CountingUnionAPI(3, shared, ApplicationRun(5, False))
+    # same instance from another rank: rank 3 receives from sender 0
+    _, rcv3 = api3.pattern(2, (lambda s: s == 0), ("filter", lambda t: t > 2), None)
+    assert rcv3 == [0]
+
+
+def test_pattern_count_multiplier():
+    shared = SkeletonShared(2, seed=0)
+    api = CountingUnionAPI(0, shared, ApplicationRun(2, False))
+    snd, _ = api.pattern(0, None, ("expr", lambda s: 1 - s), lambda s: 3)
+    assert snd == [1, 1, 1]
+
+
+def test_pattern_negative_target_skipped():
+    shared = SkeletonShared(3, seed=0)
+    api = CountingUnionAPI(0, shared, ApplicationRun(3, False))
+    snd, rcv = api.pattern(0, None, ("expr", lambda s: s - 1), None)
+    assert snd == []  # rank 0's target is -1
+    assert rcv == [1]
+
+
+def test_pattern_out_of_range_target_raises():
+    shared = SkeletonShared(3, seed=0)
+    api = CountingUnionAPI(0, shared, ApplicationRun(3, False))
+    with pytest.raises(ValueError, match="outside"):
+        api.pattern(0, None, ("expr", lambda s: 99), None)
+
+
+def test_random_task_for_uses_family_streams():
+    shared = SkeletonShared(4, seed=1)
+    api = CountingUnionAPI(0, shared, ApplicationRun(4, False))
+    own_draw = api.random_task_for(0, 0, 1000)
+    shared2 = SkeletonShared(4, seed=1)
+    api2 = CountingUnionAPI(0, shared2, ApplicationRun(4, False))
+    shared2.in_pattern = True
+    pattern_draw = api2.random_task_for(0, 0, 1000)
+    assert own_draw != pattern_draw  # distinct stream families
+    with pytest.raises(ValueError, match="empty range"):
+        api.random_task_for(0, 5, 2)
+
+
+# -- counting backend rules ---------------------------------------------------
+
+
+def counting_run(src, n, params=None, **kw):
+    sk = translate(src, "t")
+    return run_skeleton_counting(sk, n, params, **kw)
+
+
+def test_counting_send_bytes_at_sender():
+    r = counting_run("task 0 sends a 100 byte message to task 1", 2)
+    assert list(r.bytes_by_rank()) == [100, 0]
+    assert r.event_counts()["MPI_Send"] == 1
+    assert r.event_counts()["MPI_Recv"] == 1
+
+
+def test_counting_bcast_bytes_at_root():
+    r = counting_run("task 1 multicasts a 50 byte message to all other tasks", 3)
+    assert list(r.bytes_by_rank()) == [0, 50, 0]
+    assert r.event_counts()["MPI_Bcast"] == 3
+
+
+def test_counting_allreduce_bytes_everywhere():
+    r = counting_run("all tasks reduce a 10 byte value to all tasks", 3)
+    assert list(r.bytes_by_rank()) == [10, 10, 10]
+
+
+def test_counting_reduce_bytes_nonroot():
+    r = counting_run("all tasks reduce a 10 byte value to task 0", 3)
+    assert list(r.bytes_by_rank()) == [0, 10, 10]
+
+
+def test_counting_clock_and_elapsed():
+    src = (
+        "all tasks compute for 4 milliseconds then "
+        "task 0 resets its counters then "
+        "task 0 computes for 1 millisecond then "
+        'task 0 logs elapsed_usecs as "e"'
+    )
+    r = counting_run(src, 2)
+    assert r.clock[0] == pytest.approx(5e-3)
+    assert r.log_values(0, "e") == [pytest.approx(1000.0)]
+
+
+def test_counting_skeleton_has_no_buffers():
+    r = counting_run("task 0 sends a 1 megabyte message to task 1", 2)
+    assert r.peak_buffer_bytes() == 0
+
+
+def test_counting_waitall_only_with_outstanding():
+    r = counting_run("all tasks await completion", 2)
+    assert "MPI_Waitall" not in r.event_counts()
+    r = counting_run(
+        "task 0 sends a 1 byte nonblocking message to task 1 then all tasks await completion", 2
+    )
+    assert r.event_counts()["MPI_Waitall"] == 2  # sender's isend + receiver's irecv
+
+
+def test_counting_validates_n_tasks():
+    sk = translate("all tasks synchronize", "t")
+    with pytest.raises(ValueError):
+        run_skeleton_counting(sk, 0)
+
+
+def test_shared_validates_n_tasks():
+    with pytest.raises(ValueError):
+        SkeletonShared(0)

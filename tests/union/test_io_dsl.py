@@ -1,0 +1,170 @@
+"""The Section VII I/O extension: coNCePTuaL verbs through the whole
+Union pipeline (parse -> translate -> validate -> simulate)."""
+
+import pytest
+
+from repro.conceptual import ast_nodes as A
+from repro.conceptual.errors import ParseError, SemanticError
+from repro.conceptual.interpreter import run_application
+from repro.conceptual.parser import parse
+from repro.conceptual.semantics import check
+from repro.network.dragonfly import Dragonfly1D
+from repro.union.manager import Job, WorkloadManager
+from repro.union.translator import translate
+from repro.union.validation import validate_skeleton
+
+HEADER = 'Require language version "1.5".\n'
+
+
+# -- parsing ------------------------------------------------------------------
+
+
+def test_parse_write_with_server():
+    prog = parse(HEADER + "task 0 writes a 4 megabyte file to server 1", "t")
+    stmt = prog.body.stmts[0]
+    assert isinstance(stmt, A.IOStmt)
+    assert stmt.write is True
+    assert stmt.unit == 1048576.0
+    assert stmt.server is not None
+
+
+def test_parse_read_defaults_server():
+    prog = parse(HEADER + "all tasks reads a 128 kilobyte file", "t")
+    stmt = prog.body.stmts[0]
+    assert isinstance(stmt, A.IOStmt)
+    assert stmt.write is False
+    assert stmt.server is None
+
+
+def test_parse_read_server_expression():
+    prog = parse(HEADER + "all tasks t reads a 1 megabyte file from server (t mod 4)", "t")
+    stmt = prog.body.stmts[0]
+    assert isinstance(stmt, A.IOStmt)
+    assert stmt.server is not None
+
+
+def test_parse_rejects_wrong_preposition():
+    # "to" belongs to writes, "from" to reads.
+    with pytest.raises(ParseError):
+        parse(HEADER + "task 0 writes a 1 megabyte file from server 0 to server 1", "t")
+
+
+def test_semantics_checks_server_expr():
+    prog = parse(HEADER + "task 0 writes a 1 megabyte file to server nosuchvar", "t")
+    with pytest.raises(SemanticError, match="undefined variable"):
+        check(prog)
+
+
+def test_semantics_binds_task_var_in_size():
+    prog = parse(HEADER + "all tasks t writes a (t+1) kilobyte file", "t")
+    check(prog)  # must not raise
+
+
+# -- application interpreter -------------------------------------------------------
+
+
+def test_interpreter_counts_io_events_and_bytes():
+    prog = check(parse(
+        HEADER + "For 3 repetitions { all tasks t reads a 1 megabyte file from server t }",
+        "t",
+    ))
+    run = run_application(prog, 4)
+    assert run.event_counts()["IO_Read"] == 12
+    assert list(run.bytes_io) == [3 * 1048576] * 4
+    # The application stages I/O through a real buffer.
+    assert run.peak_buffer_bytes() >= 1048576
+
+
+def test_interpreter_io_single_task_membership():
+    prog = check(parse(HEADER + "task 2 writes a 64 kilobyte file", "t"))
+    run = run_application(prog, 4)
+    assert list(run.event_counts_per_rank("IO_Write")) == [0, 0, 1, 0]
+    assert list(run.bytes_io) == [0, 0, 65536, 0]
+
+
+# -- translation + validation ----------------------------------------------------
+
+
+IO_PROGRAM = HEADER + """
+fsize is "File size" and comes from "--fsize" or "-f" with default 262144.
+
+For 2 repetitions {
+  all tasks t reads a fsize byte file from server (t mod 2) then
+  all tasks reduces a 65536 byte message to all tasks then
+  task 0 writes a 1 megabyte file
+}
+"""
+
+
+def test_translator_emits_union_io_calls():
+    skel = translate(IO_PROGRAM, "io_prog")
+    assert "UNION_IO_Read(int(v_fsize), int(((v_t) % (2))))" in skel.python_source
+    assert "UNION_IO_Write" in skel.python_source
+
+
+def test_validation_matches_app_and_skeleton():
+    rep = validate_skeleton(IO_PROGRAM, 8, name="io_prog")
+    assert rep.ok, rep.mismatches
+    counts = dict((fn, a) for fn, a, _ in rep.table4_rows())
+    assert counts["IO_Read"] == 16
+    assert counts["IO_Write"] == 2
+    # Buffers: app stages I/O, skeleton nulls them (Table I property).
+    app_buf, skel_buf = rep.memory_comparison()
+    assert app_buf >= 1048576 and skel_buf == 0
+
+
+def test_validation_catches_io_byte_mismatch():
+    """Same op counts but different sizes must fail the byte check."""
+    a = HEADER + "task 0 writes a 1 megabyte file"
+    b = HEADER + "task 0 writes a 2 megabyte file"
+    skel_b = translate(b, "b")
+    from repro.union.event_generator import run_skeleton_counting
+    import numpy as np
+
+    app = run_application(check(parse(a, "a")), 2)
+    skel = run_skeleton_counting(skel_b, 2)
+    assert not np.array_equal(app.bytes_io, skel.bytes_io)
+
+
+# -- simulation -----------------------------------------------------------------
+
+
+def test_skeleton_io_runs_on_fabric_with_storage():
+    skel = translate(IO_PROGRAM, "io_prog")
+    topo = Dragonfly1D.mini()
+    mgr = WorkloadManager(
+        topo, routing="adp", placement="rg", seed=3,
+        storage_nodes=[topo.n_nodes - 1, topo.n_nodes - 2],
+    )
+    mgr.add_job(Job("io_prog", 8, skeleton=skel))
+    out = mgr.run(until=10.0)
+    res = out.app("io_prog").result
+    assert res.finished
+    st = mgr.storage.app_stats(0)
+    assert st.ops == 18  # 16 reads + 2 writes
+    assert st.bytes_read == 16 * 262144
+    assert st.bytes_written == 2 * 1048576
+    # server (t mod 2) striping touched both servers.
+    assert all(s.bytes_read > 0 for s in mgr.storage.servers)
+
+
+def test_skeleton_io_without_storage_raises():
+    skel = translate(HEADER + "task 0 writes a 1 megabyte file", "w")
+    topo = Dragonfly1D.mini()
+    mgr = WorkloadManager(topo, seed=1)
+    mgr.add_job(Job("w", 2, skeleton=skel))
+    with pytest.raises(RuntimeError, match="no storage"):
+        mgr.run(until=1.0)
+
+
+def test_default_server_round_robins_by_rank():
+    skel = translate(HEADER + "all tasks writes a 64 kilobyte file", "w")
+    topo = Dragonfly1D.mini()
+    mgr = WorkloadManager(
+        topo, seed=1, placement="rg",
+        storage_nodes=[topo.n_nodes - 1, topo.n_nodes - 2],
+    )
+    mgr.add_job(Job("w", 4, skeleton=skel))
+    mgr.run(until=10.0)
+    # Ranks 0,2 -> server 0; ranks 1,3 -> server 1.
+    assert [s.bytes_written for s in mgr.storage.servers] == [2 * 65536, 2 * 65536]

@@ -1,0 +1,108 @@
+"""WorkloadManager: co-scheduling, placement wiring, metrics."""
+
+import pytest
+
+from repro.network.dragonfly import Dragonfly1D
+from repro.union.manager import Job, WorkloadManager
+from repro.union.registry import clear_registry, register_source
+from repro.union.translator import translate
+from repro.workloads.nearest_neighbor import nearest_neighbor
+
+SYNC_SRC = "for 5 repetitions { all tasks compute for 100 microseconds then all tasks reduce a 4 kilobyte value to all tasks }"
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    clear_registry()
+    yield
+    clear_registry()
+
+
+def test_job_requires_exactly_one_payload():
+    sk = translate(SYNC_SRC, "s")
+    with pytest.raises(ValueError, match="exactly one"):
+        Job("x", 2)
+    with pytest.raises(ValueError, match="exactly one"):
+        Job("x", 2, skeleton=sk, program=nearest_neighbor)
+    with pytest.raises(ValueError, match="nranks"):
+        Job("x", 0, skeleton=sk)
+
+
+def test_run_without_jobs():
+    mgr = WorkloadManager(Dragonfly1D.mini())
+    with pytest.raises(RuntimeError, match="no jobs"):
+        mgr.run()
+
+
+def test_skeleton_and_program_jobs_corun():
+    register_source(SYNC_SRC, "sync")
+    mgr = WorkloadManager(Dragonfly1D.mini(), routing="adp", placement="rr", seed=3)
+    mgr.add_skeleton_job("sync", 8)
+    mgr.add_program_job(
+        "nn", 8, nearest_neighbor, {"dims": (2, 2, 2), "iters": 3, "msg_bytes": 8192}
+    )
+    outcome = mgr.run(until=0.1)
+    assert {a.name for a in outcome.apps} == {"sync", "nn"}
+    for a in outcome.apps:
+        assert a.result.finished
+        assert a.result.avg_latency() > 0
+
+
+def test_placement_disjoint_and_metadata():
+    register_source(SYNC_SRC, "sync")
+    mgr = WorkloadManager(Dragonfly1D.mini(), placement="rg", seed=5)
+    mgr.add_skeleton_job("sync", 16, job_name="a")
+    mgr.add_skeleton_job("sync", 16, job_name="b")
+    outcome = mgr.run(until=0.1)
+    a, b = outcome.app("a"), outcome.app("b")
+    assert not (set(a.nodes) & set(b.nodes))
+    # RG placement: whole groups, so group sets are disjoint too.
+    assert not (set(a.groups) & set(b.groups))
+    assert a.routers and b.routers
+
+
+def test_rg_confines_traffic_to_own_groups():
+    register_source(SYNC_SRC, "sync")
+    mgr = WorkloadManager(Dragonfly1D.mini(), routing="min", placement="rg", seed=2)
+    mgr.add_skeleton_job("sync", 16, job_name="a")
+    mgr.add_skeleton_job("sync", 16, job_name="b")
+    outcome = mgr.run(until=0.1)
+    # With minimal routing and whole-group placement, job b's traffic
+    # never crosses job a's routers.
+    series = outcome.router_traffic_series("a", "b")
+    assert series.sum() == 0
+    assert outcome.router_traffic_series("a", "a").sum() > 0
+
+
+def test_outcome_app_lookup_error():
+    register_source(SYNC_SRC, "sync")
+    mgr = WorkloadManager(Dragonfly1D.mini())
+    mgr.add_skeleton_job("sync", 4)
+    outcome = mgr.run(until=0.05)
+    with pytest.raises(KeyError, match="no application"):
+        outcome.app("nope")
+
+
+def test_skeleton_params_forwarded():
+    src = 'reps is "r" and comes from "--reps" with default 2. for reps repetitions { all tasks synchronize }'
+    register_source(src, "param-app")
+    mgr = WorkloadManager(Dragonfly1D.mini(), seed=4)
+    mgr.add_skeleton_job("param-app", 4, {"reps": 7})
+    outcome = mgr.run(until=0.1)
+    counts = outcome.app("param-app").result.event_counts()
+    assert counts["MPI_Barrier"] == 7 * 4
+
+
+def test_undeclared_loop_variable_rejected_at_translate():
+    with pytest.raises(Exception, match="undefined variable"):
+        translate("for reps repetitions { all tasks synchronize }", "p")
+
+
+def test_link_load_summary_exposed():
+    register_source(SYNC_SRC, "sync")
+    mgr = WorkloadManager(Dragonfly1D.mini(), seed=1)
+    mgr.add_skeleton_job("sync", 8)
+    outcome = mgr.run(until=0.1)
+    summary = outcome.link_load_summary()
+    assert summary["local_total_bytes"] > 0
+    assert 0 <= summary["global_fraction"] <= 1

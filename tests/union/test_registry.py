@@ -1,0 +1,51 @@
+"""Skeleton registry (Figure 4)."""
+
+import pytest
+
+from repro.union.registry import (
+    available_skeletons,
+    clear_registry,
+    get_skeleton,
+    register_skeleton,
+    register_source,
+)
+from repro.union.translator import translate
+
+
+@pytest.fixture(autouse=True)
+def clean():
+    clear_registry()
+    yield
+    clear_registry()
+
+
+def test_register_and_get():
+    sk = register_source("all tasks synchronize", "sync")
+    assert get_skeleton("sync") is sk
+    assert available_skeletons() == ["sync"]
+
+
+def test_duplicate_rejected_unless_replace():
+    register_source("all tasks synchronize", "app")
+    with pytest.raises(ValueError, match="already registered"):
+        register_source("all tasks synchronize", "app")
+    replacement = register_source("all tasks synchronize then all tasks synchronize", "app", replace=True)
+    assert get_skeleton("app") is replacement
+
+
+def test_missing_skeleton_lists_available():
+    register_source("all tasks synchronize", "a")
+    with pytest.raises(KeyError, match="available.*'a'"):
+        get_skeleton("b")
+
+
+def test_register_skeleton_object():
+    sk = translate("all tasks synchronize", "obj")
+    assert register_skeleton(sk) is sk
+    assert "obj" in available_skeletons()
+
+
+def test_clear():
+    register_source("all tasks synchronize", "x")
+    clear_registry()
+    assert available_skeletons() == []

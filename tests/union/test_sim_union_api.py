@@ -1,0 +1,119 @@
+"""SimUnionAPI: the simulation backend of the event generator."""
+
+import pytest
+
+from repro.mpi.engine import JobSpec, SimMPI
+from repro.network.config import NetworkConfig
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.fabric import NetworkFabric
+from repro.union.event_generator import SimUnionAPI, SkeletonShared
+from repro.union.translator import translate
+
+
+def run_skeleton_sim(src, nranks, params=None, until=1.0):
+    skeleton = translate(src, "api-test")
+    resolved = skeleton.resolve_params(params)
+    shared = SkeletonShared(nranks, seed=0)
+
+    def program(ctx):
+        api = SimUnionAPI(ctx, shared)
+        yield from skeleton.main(api, resolved)
+
+    fabric = NetworkFabric(Dragonfly1D.mini(), NetworkConfig(seed=1), routing="min")
+    mpi = SimMPI(fabric)
+    mpi.add_job(JobSpec("api-test", nranks, program, list(range(nranks)), resolved))
+    mpi.run(until=until)
+    return mpi.results()[0], fabric
+
+
+def test_init_finalize_counted_without_traffic():
+    res, fabric = run_skeleton_sim("all tasks compute for 1 microsecond", 4)
+    counts = res.event_counts()
+    assert counts["MPI_Init"] == 4
+    assert counts["MPI_Finalize"] == 4
+    assert fabric.messages_sent == 0
+
+
+def test_blocking_send_produces_network_traffic():
+    res, fabric = run_skeleton_sim("task 0 sends a 8192 byte message to task 1", 2)
+    assert res.finished
+    assert fabric.messages_sent == 1
+    assert fabric.bytes_sent == 8192
+    assert res.rank_stats[1].msgs_recvd == 1
+
+
+def test_nonblocking_send_awaits_completion():
+    src = (
+        "all tasks t sends a 4096 byte nonblocking message to task (t+1) mod num_tasks then "
+        "all tasks await completion"
+    )
+    res, fabric = run_skeleton_sim(src, 6)
+    assert res.finished
+    assert fabric.messages_sent == 6
+    counts = res.event_counts()
+    assert counts["MPI_Isend"] == 6
+    assert counts["MPI_Irecv"] == 6
+    assert counts["MPI_Waitall"] == 6
+
+
+def test_collectives_expand_to_traffic():
+    src = "all tasks reduce a 4 kilobyte value to all tasks then all tasks synchronize"
+    res, fabric = run_skeleton_sim(src, 8)
+    assert res.finished
+    counts = res.event_counts()
+    assert counts["MPI_Allreduce"] == 8
+    assert counts["MPI_Barrier"] == 8
+    assert fabric.messages_sent > 8  # expanded point-to-point traffic
+
+
+def test_compute_advances_time_not_comm():
+    res, _ = run_skeleton_sim("all tasks compute for 2 milliseconds", 3)
+    for s in res.rank_stats:
+        assert s.compute_time == pytest.approx(2e-3)
+        assert s.comm_time == 0.0
+        assert s.finished_at >= 2e-3
+
+
+def test_logging_reaches_rank_stats():
+    src = (
+        "task 0 resets its counters then "
+        "task 0 computes for 1 millisecond then "
+        'task 0 logs elapsed_usecs as "t"'
+    )
+    res, _ = run_skeleton_sim(src, 2)
+    rows = res.rank_stats[0].log_rows
+    assert rows and rows[0][0] == "t"
+    assert rows[0][1] == pytest.approx(1000.0, rel=0.01)
+
+
+def test_mesh_pattern_skips_edges_in_sim():
+    src = "all tasks t sends a 1024 byte message to task mesh_neighbor(4, 1, 1, t, 1, 0, 0)"
+    res, fabric = run_skeleton_sim(src, 4)
+    assert res.finished
+    assert fabric.messages_sent == 3  # task 3 has no +x neighbour
+
+
+def test_two_skeleton_jobs_have_independent_shared_state():
+    skeleton = translate(
+        "all tasks t sends a 512 byte message to task (t+1) mod num_tasks", "ring"
+    )
+
+    def make_program(shared, resolved):
+        def program(ctx):
+            api = SimUnionAPI(ctx, shared)
+            yield from skeleton.main(api, resolved)
+
+        return program
+
+    fabric = NetworkFabric(Dragonfly1D.mini(), NetworkConfig(seed=2), routing="min")
+    mpi = SimMPI(fabric)
+    for i, n in enumerate((4, 6)):
+        mpi.add_job(JobSpec(
+            f"ring{i}", n, make_program(SkeletonShared(n, seed=i), {}),
+            list(range(i * 8, i * 8 + n)),
+        ))
+    mpi.run(until=1.0)
+    a, b = mpi.results()
+    assert a.finished and b.finished
+    assert sum(s.msgs_recvd for s in a.rank_stats) == 4
+    assert sum(s.msgs_recvd for s in b.rank_stats) == 6

@@ -1,0 +1,113 @@
+"""Union translator: code generation and compilation."""
+
+import pytest
+
+from repro.conceptual.errors import SemanticError
+from repro.union.translator import generate_python, translate
+from repro.conceptual.parser import parse
+from repro.conceptual.semantics import check
+from repro.workloads.sources import ALEXNET_SOURCE, COSMOFLOW_SOURCE, PINGPONG_SOURCE
+
+
+def test_pingpong_translates():
+    sk = translate(PINGPONG_SOURCE, "pingpong")
+    assert sk.name == "pingpong"
+    assert callable(sk.main)
+    assert sk.defaults == {"reps": 1000, "msgsize": 1024}
+    assert "UNION_MPI_Send" in sk.python_source
+    assert "UNION_MPI_Init" in sk.python_source
+    assert "UNION_MPI_Finalize" in sk.python_source
+
+
+def test_generated_code_is_skeletonized():
+    """No buffers in the generated code: only byte counts and the
+    UNION_Compute delay model (the Section III-C transformations)."""
+    sk = translate(COSMOFLOW_SOURCE, "cosmo")
+    assert "UNION_Compute" in sk.python_source
+    assert "bytearray" not in sk.python_source
+    assert "UNION_MPI_Allreduce" in sk.python_source
+
+
+def test_assert_compiled_into_guard():
+    sk = translate(PINGPONG_SOURCE, "pp")
+    assert "raise AssertionError" in sk.python_source
+
+
+def test_params_resolve_and_reject_unknown():
+    sk = translate(PINGPONG_SOURCE, "pp")
+    merged = sk.resolve_params({"reps": 5})
+    assert merged == {"reps": 5, "msgsize": 1024}
+    with pytest.raises(ValueError, match="no parameters"):
+        sk.resolve_params({"bogus": 1})
+
+
+def test_unit_conversion_in_sizes():
+    sk = translate("task 0 sends a 2 megabyte message to task 1", "m")
+    assert "2097152" in sk.python_source or "* 1048576" in sk.python_source
+
+
+def test_multicast_reduce_barrier_codegen():
+    src = (
+        "task 0 multicasts a 4 byte message to all other tasks then "
+        "all tasks reduce an 8 byte value to all tasks then "
+        "all tasks reduce an 8 byte value to task 2 then "
+        "all tasks synchronize"
+    )
+    sk = translate(src, "colls")
+    assert "UNION_MPI_Bcast" in sk.python_source
+    assert "UNION_MPI_Allreduce" in sk.python_source
+    assert "UNION_MPI_Reduce" in sk.python_source
+    assert "UNION_MPI_Barrier" in sk.python_source
+
+
+def test_control_flow_codegen():
+    src = (
+        "for 3 repetitions { "
+        "for each i in {1, ..., 4} { "
+        "if i is even then { all tasks synchronize } otherwise { all tasks synchronize } } }"
+    )
+    sk = translate(src, "cf")
+    assert "for _i0 in range" in sk.python_source
+    assert "_range_seq" in sk.python_source
+    assert "else:" in sk.python_source
+
+
+def test_nonblocking_send_codegen():
+    src = "all tasks t sends a 8 byte nonblocking message to task (t+1) mod num_tasks then all tasks await completion"
+    sk = translate(src, "nb")
+    assert "UNION_MPI_Isend" in sk.python_source
+    assert "UNION_MPI_Irecv" in sk.python_source
+    assert "UNION_MPI_Waitall" in sk.python_source
+
+
+def test_log_and_reset_codegen():
+    sk = translate(PINGPONG_SOURCE, "pp")
+    assert "u.reset_counters()" in sk.python_source
+    assert "u.log(" in sk.python_source
+    assert "u.compute_aggregates()" in sk.python_source
+
+
+def test_semantic_errors_propagate():
+    with pytest.raises(SemanticError):
+        translate("task 0 sends a whoops byte message to task 1", "bad")
+
+
+def test_generate_python_matches_translate():
+    program = check(parse(PINGPONG_SOURCE, "pp"))
+    src = generate_python(program, "pp")
+    assert src == translate(PINGPONG_SOURCE, "pp").python_source
+
+
+def test_all_shipped_sources_translate():
+    for name, src in [
+        ("pingpong", PINGPONG_SOURCE),
+        ("cosmoflow", COSMOFLOW_SOURCE),
+        ("alexnet", ALEXNET_SOURCE),
+    ]:
+        sk = translate(src, name)
+        assert sk.python_source.startswith("# Auto-generated Union skeleton")
+
+
+def test_generated_code_compiles_clean():
+    sk = translate(ALEXNET_SOURCE, "alexnet")
+    compile(sk.python_source, "<check>", "exec")
