@@ -4,7 +4,9 @@ Not a paper table -- these benches quantify the substrate:
 
 * PDES scheduler comparison on PHOLD (sequential / conservative /
   Time Warp), the ROSS-layer ablation;
-* raw network simulator throughput (events/second);
+* raw network simulator throughput (events/second), tracked over time
+  in ``BENCH_engine.json`` via ``scripts/bench.sh`` (see
+  ``benchmarks/throughput.py`` for the metric definitions);
 * allreduce algorithm ablation (ring vs recursive doubling) at the
   message size regimes of the ML workloads;
 * adaptive-routing bias ablation under a permutation hotspot.
@@ -73,7 +75,27 @@ def _run_permutation(routing: str, bias: float) -> float:
 
 
 def test_benchmark_network_throughput(benchmark):
-    """Events per second of the packet-level model under load."""
+    """Raw events/second of the network core: the fabric-level
+    permutation packet storm from the tracked throughput trajectory."""
+    from benchmarks.throughput import REFERENCE_EVENTS, run_network_throughput
+
+    events = benchmark.pedantic(run_network_throughput, rounds=3, iterations=1)
+    best = benchmark.stats.stats.min
+    ref = REFERENCE_EVENTS["network_throughput"]
+    report(
+        f"\nnetwork-throughput storm: {events} events in {best:.3f}s"
+        f" -> {events / best:,.0f} ev/s"
+        f" ({ref / best:,.0f} seed-reference ev/s; seed graph: {ref} events)"
+    )
+    # The busy_until forwarding path must keep the event graph well under
+    # the seed model's 2-events-per-transmission traffic.
+    assert events < 0.75 * ref
+    assert events > 10_000
+
+
+def test_benchmark_mpi_workload_throughput(benchmark):
+    """Events per second of the packet-level model under a co-scheduled
+    MPI workload (full stack)."""
 
     def run():
         fabric = NetworkFabric(Dragonfly1D.mini(), NetworkConfig(seed=2), routing="adp")

@@ -1,0 +1,172 @@
+"""Raw engine/network throughput measurement (events per second).
+
+This is the tracked perf trajectory for the PDES substrate: a fabric-
+level permutation packet storm (network core only), a co-scheduled
+32-rank allreduce (full MPI stack) and a pure-engine PHOLD run.  Each
+bench reports, from the best of ``--repeat`` runs:
+
+* ``events`` / ``seconds`` / ``events_per_sec`` -- committed events of
+  *this* tree's model and the raw rate it sustained;
+* ``ref_events_per_sec`` -- the rate normalized to the *reference*
+  event count (the v0 seed model's committed events for the identical
+  workload).  The event-core rework deliberately shrinks the event
+  graph (no more ``free``/``inj_free`` self-events), so raw committed
+  ev/s undercounts progress: simulating the same workload with fewer,
+  slightly heavier events is a win the normalized metric captures and
+  the raw one hides.  Across trees the workloads are identical, making
+  ``ref_events_per_sec`` the comparable simulation-speed number; it is
+  the headline throughput metric of the trajectory.
+
+Run via ``scripts/bench.sh [label]``, which appends an entry to
+``BENCH_engine.json`` at the repo root; or directly::
+
+    PYTHONPATH=src:. python benchmarks/throughput.py --label my-change
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from datetime import date
+
+from repro.mpi.engine import JobSpec, SimMPI
+from repro.network.config import NetworkConfig
+from repro.network.dragonfly import Dragonfly1D
+from repro.network.fabric import NetworkFabric
+from repro.pdes.sequential import SequentialEngine
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_engine.json")
+
+
+def run_network_throughput() -> int:
+    """Raw network-core throughput: a fabric-level permutation packet
+    storm (no MPI layer).
+
+    Every node streams 64 KiB messages to a far partner, all injected at
+    t=0: NICs serialize back-to-back packets, local and global links
+    congest, adaptive routing probes queue depths per packet.  This is
+    the event traffic the PDES substrate must sustain, isolated from
+    rank-program (generator) overhead.
+    """
+    fabric = NetworkFabric(Dragonfly1D.mini(), NetworkConfig(seed=2), routing="adp")
+    n = fabric.topo.n_nodes
+    for node in range(n):
+        partner = (node + n // 2) % n
+        for k in range(4):
+            fabric.send_message(node % 4, node, partner, 1 << 16)
+    fabric.engine.run(until=1.0)
+    assert fabric.in_flight() == 0
+    return fabric.engine.events_processed
+
+
+def run_mpi_workload_throughput() -> int:
+    """End-to-end reference run: events committed by a 32-rank,
+    3-iteration 512 KiB allreduce under adaptive routing (MPI layer
+    included)."""
+    fabric = NetworkFabric(Dragonfly1D.mini(), NetworkConfig(seed=2), routing="adp")
+    mpi = SimMPI(fabric)
+
+    def allred(ctx):
+        for _ in range(3):
+            yield ctx.compute(1e-4)
+            yield from ctx.allreduce(1 << 19)
+
+    mpi.add_job(JobSpec("a", 32, allred, list(range(32))))
+    mpi.run(until=1.0)
+    return fabric.engine.events_processed
+
+
+def run_phold() -> int:
+    """Pure engine overhead: 64-LP PHOLD on the sequential scheduler."""
+    from tests.pdes.phold import build_phold
+
+    eng = SequentialEngine()
+    build_phold(eng, n_lps=64, seed=7, initial=4)
+    eng.run(until=500.0)
+    return eng.events_processed
+
+
+BENCHES = {
+    "network_throughput": run_network_throughput,
+    "mpi_workload": run_mpi_workload_throughput,
+    "phold_sequential": run_phold,
+}
+
+#: Committed event counts of the v0 seed model for the identical
+#: workloads, measured with this harness.  Denominator-stable unit for
+#: ``ref_events_per_sec``; re-pin if a bench workload ever changes.
+REFERENCE_EVENTS = {
+    "network_throughput": 117_846,
+    "mpi_workload": 132_317,
+    "phold_sequential": 127_946,
+}
+
+
+def measure(repeat: int = 3) -> dict:
+    out = {}
+    for name, fn in BENCHES.items():
+        best = None
+        events = 0
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            events = fn()
+            dt = time.perf_counter() - t0
+            if best is None or dt < best:
+                best = dt
+        out[name] = {
+            "events": events,
+            "seconds": round(best, 6),
+            "events_per_sec": round(events / best),
+            "ref_events_per_sec": round(REFERENCE_EVENTS[name] / best),
+        }
+    return out
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--label", default="dev", help="entry label (e.g. git rev or PR name)")
+    ap.add_argument("--out", default=DEFAULT_OUT, help="JSON trajectory file to append to")
+    ap.add_argument("--repeat", type=int, default=3, help="runs per bench (best is kept)")
+    args = ap.parse_args()
+
+    entry = {
+        "label": args.label,
+        "date": date.today().isoformat(),
+        "python": platform.python_version(),
+        "benches": measure(args.repeat),
+    }
+
+    path = os.path.abspath(args.out)
+    doc = {"bench": "engine-throughput", "entries": []}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    # Re-running with an existing label replaces that entry *in place*,
+    # preserving its position: entry 0 is the baseline every later entry
+    # is compared against, so re-measuring the baseline must not move it.
+    labels = [e["label"] for e in doc["entries"]]
+    if entry["label"] in labels:
+        doc["entries"][labels.index(entry["label"])] = entry
+    else:
+        doc["entries"].append(entry)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+    for name, r in entry["benches"].items():
+        print(f"{name:20s} {r['events']:>9d} events  {r['seconds']:.3f}s  "
+              f"{r['events_per_sec']:>9,d} ev/s  "
+              f"{r['ref_events_per_sec']:>9,d} ref-ev/s")
+    if len(doc["entries"]) > 1:
+        base = doc["entries"][0]["benches"]
+        for name, r in entry["benches"].items():
+            if name in base:
+                speedup = r["ref_events_per_sec"] / base[name]["ref_events_per_sec"]
+                print(f"{name:20s} {speedup:.2f}x vs {doc['entries'][0]['label']}")
+
+
+if __name__ == "__main__":
+    main()

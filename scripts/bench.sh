@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Measure engine/network event throughput and append an entry to the
+# tracked trajectory in BENCH_engine.json.
+#
+#   scripts/bench.sh [label] [extra throughput.py args...]
+#
+# The first entry in BENCH_engine.json is the baseline every later entry
+# is compared against (the v0 seed model, measured with this same
+# harness).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+LABEL="${1:-dev}"
+shift || true
+PYTHONPATH="src:.${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/throughput.py --label "$LABEL" "$@"

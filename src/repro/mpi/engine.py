@@ -30,6 +30,7 @@ from repro.mpi.types import (
     Message,
     MessageHook,
     Request,
+    Sleep,
     Wait,
     Waitall,
 )
@@ -249,6 +250,16 @@ class SimMPI:
         #: A handler returns the value sent back into the generator, or
         #: blocks the rank itself and returns :data:`BLOCKED`.
         self.op_handlers: dict[type, Callable] = {}
+        # Exact-type fast dispatch for the canonical ops, bound through
+        # ``self`` so subclass overrides of _op_* are honored.
+        self._op_dispatch: dict[type, Callable] = {
+            Isend: self._op_isend,
+            Irecv: self._op_irecv,
+            Wait: self._op_wait,
+            Waitall: self._op_waitall,
+            Compute: self._op_compute,
+            Sleep: self._op_compute,
+        }
 
     def register_op_handler(self, op_type: type, handler: Callable) -> None:
         """Let a subsystem (e.g. storage) handle a new yieldable op type."""
@@ -317,57 +328,78 @@ class SimMPI:
                 return
 
     def _dispatch(self, rs: _RankState, op: Any) -> Any:
-        now = self.engine.now
+        # Exact-type method table first (the hot path for the canonical
+        # ops); op subclasses and extension ops fall back to the
+        # isinstance chain below.
+        handler = self._op_dispatch.get(type(op))
+        if handler is not None:
+            return handler(rs, op)
         if isinstance(op, Isend):
-            if not 0 <= op.dst < len(rs.job.ranks):
-                raise ValueError(
-                    f"rank {rs.rank} of {rs.job.spec.name!r} sends to invalid rank {op.dst}"
-                )
-            req = Request("send", rs.rank, op.nbytes, op.dst, op.tag, now)
-            rs.stats.msgs_sent += 1
-            rs.stats.bytes_sent += op.nbytes
-            meta = (rs.job.app_id, rs.rank, op.dst, op.tag, op.nbytes, now, req)
-            self.fabric.send_message(
-                rs.job.app_id, rs.node, rs.job.spec.rank_to_node[op.dst], op.nbytes, meta
-            )
-            return req
+            return self._op_isend(rs, op)
         if isinstance(op, Irecv):
-            req = Request("recv", rs.rank, op.nbytes or 0, op.src, op.tag, now)
-            msg = self._match_unexpected(rs, op.src, op.tag)
-            if msg is not None:
-                req.complete = True
-                req.result = msg
-            else:
-                rs.posted_recvs.append(req)
-            return req
+            return self._op_irecv(rs, op)
         if isinstance(op, Wait):
-            req = op.request
-            if req.complete:
-                return req.result
-            req.waiter = rs
-            rs.wait_group = None
-            rs.pending_reqs = 1
-            self._block(rs)
-            return _BLOCKED
+            return self._op_wait(rs, op)
         if isinstance(op, Waitall):
-            pending = [r for r in op.requests if not r.complete]
-            if not pending:
-                return [r.result for r in op.requests]
-            for r in pending:
-                r.waiter = rs
-            rs.wait_group = op.requests
-            rs.pending_reqs = len(pending)
-            self._block(rs)
-            return _BLOCKED
+            return self._op_waitall(rs, op)
         if isinstance(op, Compute):  # Sleep subclasses Compute
-            rs.stats.compute_time += op.seconds
-            self.engine.schedule(op.seconds, self._driver.lp_id, "wake", rs, Priority.WAKEUP)
-            rs.blocked = False  # not comm-blocked; just descheduled
-            return _BLOCKED
+            return self._op_compute(rs, op)
         handler = self.op_handlers.get(type(op))
         if handler is not None:
             return handler(self, rs, op)
         raise TypeError(f"rank program yielded unsupported object {op!r}")
+
+    def _op_isend(self, rs: _RankState, op: Isend) -> Request:
+        now = self.engine.now
+        if not 0 <= op.dst < len(rs.job.ranks):
+            raise ValueError(
+                f"rank {rs.rank} of {rs.job.spec.name!r} sends to invalid rank {op.dst}"
+            )
+        req = Request("send", rs.rank, op.nbytes, op.dst, op.tag, now)
+        rs.stats.msgs_sent += 1
+        rs.stats.bytes_sent += op.nbytes
+        meta = (rs.job.app_id, rs.rank, op.dst, op.tag, op.nbytes, now, req)
+        self.fabric.send_message(
+            rs.job.app_id, rs.node, rs.job.spec.rank_to_node[op.dst], op.nbytes, meta
+        )
+        return req
+
+    def _op_irecv(self, rs: _RankState, op: Irecv) -> Request:
+        req = Request("recv", rs.rank, op.nbytes or 0, op.src, op.tag, self.engine.now)
+        msg = self._match_unexpected(rs, op.src, op.tag)
+        if msg is not None:
+            req.complete = True
+            req.result = msg
+        else:
+            rs.posted_recvs.append(req)
+        return req
+
+    def _op_wait(self, rs: _RankState, op: Wait) -> Any:
+        req = op.request
+        if req.complete:
+            return req.result
+        req.waiter = rs
+        rs.wait_group = None
+        rs.pending_reqs = 1
+        self._block(rs)
+        return _BLOCKED
+
+    def _op_waitall(self, rs: _RankState, op: Waitall) -> Any:
+        pending = [r for r in op.requests if not r.complete]
+        if not pending:
+            return [r.result for r in op.requests]
+        for r in pending:
+            r.waiter = rs
+        rs.wait_group = op.requests
+        rs.pending_reqs = len(pending)
+        self._block(rs)
+        return _BLOCKED
+
+    def _op_compute(self, rs: _RankState, op: Compute) -> Any:
+        rs.stats.compute_time += op.seconds
+        self.engine.schedule(op.seconds, self._driver.lp_id, "wake", rs, Priority.WAKEUP)
+        rs.blocked = False  # not comm-blocked; just descheduled
+        return _BLOCKED
 
     def _block(self, rs: _RankState) -> None:
         rs.blocked = True
@@ -430,3 +462,4 @@ class SimMPI:
         else:
             value = result
         self._unblock(rs, value)
+

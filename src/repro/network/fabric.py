@@ -80,9 +80,18 @@ class NetworkFabric:
             lp = TerminalLP(n, topo, self.config, self)
             self.engine.register(lp)
             self.terminals.append(lp)
+        # All LP ids exist now: let every LP resolve its forwarding
+        # constants (peer LP ids, bandwidths, latencies) once, instead of
+        # re-deriving them per packet on the hot path.
+        for r_lp in self.routers:
+            r_lp.wire_ports()
+        for t_lp in self.terminals:
+            t_lp.wire_ports()
+
+        routers = self.routers
 
         def probe(router: int, port: int) -> int:
-            return self.routers[router].queue_depth(port)
+            return routers[router].queue_depth(port)
 
         if callable(routing):
             self.routing = routing(topo, self.config, probe, stream_id=1)
@@ -169,8 +178,12 @@ class NetworkFabric:
             # Self-send: a local memory copy, modeled at terminal bandwidth
             # plus one terminal latency, bypassing the network entirely.
             delay = size / self.config.terminal_bw + self.config.terminal_latency
-            self.engine.schedule(
-                delay, self.terminal_lp_id(dst_node), "loopback", msg_id, Priority.NETWORK
+            self.engine.schedule_fast(
+                self.engine.now + delay,
+                self.terminal_lp_id(dst_node),
+                "loopback",
+                msg_id,
+                Priority.NETWORK,
             )
         else:
             self.terminals[src_node].inject_message(msg_id, app_id, dst_node, size)

@@ -6,6 +6,24 @@ serialization is the sole source of queueing delay in the model -- and
 therefore of all congestion phenomena the paper measures (message-latency
 inflation under interference, adaptive routing's reaction to queue
 depth, hot links under random-node placement).
+
+The forwarding path is *event-free* beyond the packet arrivals
+themselves.  The output port is chosen at arrival (as in the original
+CODES-style model), the FIFO discipline admits no preemption, and the
+link bandwidth is fixed -- so a packet's transmit start is fully
+determined the moment it arrives: ``start = max(now, busy_until)``.
+The router therefore schedules the downstream arrival immediately and
+advances ``busy_until`` by the packet's serialization time; no ``free``
+or ``drain`` self-events exist at all.  The seed model spent one
+self-event per forwarded packet on this bookkeeping -- half of all
+router event traffic.
+
+Queue depth (sensed by adaptive routing) is derived from the recorded
+transmit-start times: a packet occupies the FIFO until its start time,
+so the depth at ``now`` is the number of pending start times still in
+the future, plus one while the transmitter is serializing
+(``now < busy_until``).  Start times already passed are pruned lazily
+on access.
 """
 
 from __future__ import annotations
@@ -22,11 +40,27 @@ from repro.pdes.lp import LP
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.fabric import NetworkFabric
 
+_NETWORK = Priority.NETWORK
+
 
 class RouterLP(LP):
     """One dragonfly router."""
 
-    __slots__ = ("rid", "topo", "config", "fabric", "queues", "busy", "packets_forwarded")
+    __slots__ = (
+        "rid",
+        "topo",
+        "config",
+        "fabric",
+        "pending_starts",
+        "busy_until",
+        "packets_forwarded",
+        "_ports",
+        "_port_to_node",
+        "_ports_to_router",
+        "_sched",
+        "_app_record",
+        "_load_record",
+    )
 
     def __init__(self, rid: int, topo: Topology, config: NetworkConfig, fabric: "NetworkFabric") -> None:
         super().__init__()
@@ -35,65 +69,87 @@ class RouterLP(LP):
         self.config = config
         self.fabric = fabric
         n_ports = len(topo.router_ports[rid])
-        self.queues: list[deque[Packet]] = [deque() for _ in range(n_ports)]
-        self.busy: list[bool] = [False] * n_ports
+        #: Per-port transmit-start times of packets still waiting in the
+        #: FIFO (ascending; pruned lazily once they pass).
+        self.pending_starts: list[deque[float]] = [deque() for _ in range(n_ports)]
+        #: Per-port timestamp until which the port's transmitter is occupied.
+        self.busy_until: list[float] = [0.0] * n_ports
         self.packets_forwarded = 0
+        self._port_to_node = topo.port_to_node[rid]
+        self._ports_to_router = topo.ports_to_router[rid]
+        # (peer_lp, bandwidth, post_tx_latency, link_id, hop_increment) per
+        # port; resolved by wire_ports() once all LPs are registered.
+        self._ports: list[tuple[int, float, float, int, int]] = []
+        self._sched = None
+        self._app_record = fabric.app_counter.record
+        self._load_record = fabric.link_loads.record
+
+    def wire_ports(self) -> None:
+        """Resolve per-port forwarding constants (called by the fabric
+        after every router and terminal LP has been registered)."""
+        cfg = self.config
+        self._ports = []
+        for p in self.topo.router_ports[self.rid]:
+            bw = cfg.bandwidth(p.link_class)
+            if p.link_class == LinkClass.TERMINAL:
+                peer = self.fabric.terminal_lp_id(p.peer_node)
+                extra = cfg.terminal_latency
+                hop_inc = 0
+            else:
+                peer = self.fabric.router_lp_id(p.peer_router)
+                extra = cfg.latency(p.link_class) + cfg.router_delay
+                hop_inc = 1
+            self._ports.append((peer, bw, extra, p.link_id, hop_inc))
+        self._sched = self.engine.schedule_fast
 
     # -- queue sensing (used by adaptive routing) ---------------------------
     def queue_depth(self, port: int) -> int:
-        return len(self.queues[port]) + (1 if self.busy[port] else 0)
+        """Packets occupying the port: waiting in the FIFO or on the wire."""
+        now = self.engine.now
+        dq = self.pending_starts[port]
+        while dq and dq[0] <= now:
+            dq.popleft()
+        occupied = 1 if now < self.busy_until[port] else 0
+        return len(dq) + occupied
 
     # -- event handling ------------------------------------------------------
     def handle(self, event: Event) -> None:
-        if event.kind == "pkt":
-            self._on_arrival(event.data)
-        elif event.kind == "free":
-            self._on_port_free(event.data)
-        else:  # pragma: no cover - defensive
+        if event.kind != "pkt":  # pragma: no cover - defensive
             raise ValueError(f"router {self.rid} got unknown event kind {event.kind!r}")
+        self._on_arrival(event.data)
 
     def _on_arrival(self, pkt: Packet) -> None:
-        self.fabric.app_counter.record(self.rid, pkt.app_id, self.engine.now, pkt.size)
+        now = self.engine.now
+        size = pkt.size
+        self._app_record(self.rid, pkt.app_id, now, size)
         port = self._select_port(pkt)
-        if self.busy[port]:
-            self.queues[port].append(pkt)
+        peer_lp, bw, extra, link_id, hop_inc = self._ports[port]
+        start = self.busy_until[port]
+        if start > now:
+            # Port busy: the packet waits in the FIFO until its
+            # (already determined) transmit start.  Prune starts that
+            # have passed so the deque stays bounded by the actual FIFO
+            # depth even when no probe ever reads this port.
+            dq = self.pending_starts[port]
+            while dq and dq[0] <= now:
+                dq.popleft()
+            dq.append(start)
         else:
-            self._transmit(port, pkt)
+            start = now
+        done = start + size / bw
+        self.busy_until[port] = done
+        self._load_record(link_id, size)
+        self.packets_forwarded += 1
+        pkt.hop += hop_inc
+        self._sched(done + extra, peer_lp, "pkt", pkt, _NETWORK, self.lp_id)
 
     def _select_port(self, pkt: Packet) -> int:
-        if pkt.at_last_router():
-            return self.topo.port_to_node[self.rid][pkt.dst_node]
-        next_router = pkt.path[pkt.hop + 1]
-        candidates = self.topo.ports_to_router[self.rid][next_router]
+        path = pkt.path
+        if pkt.hop == len(path) - 1:
+            return self._port_to_node[pkt.dst_node]
+        next_router = path[pkt.hop + 1]
+        candidates = self._ports_to_router[next_router]
         if len(candidates) == 1:
             return candidates[0]
         # Parallel links to the same neighbour: take the shallowest queue.
         return min(candidates, key=self.queue_depth)
-
-    def _transmit(self, port: int, pkt: Packet) -> None:
-        self.busy[port] = True
-        p = self.topo.router_ports[self.rid][port]
-        bw = self.config.bandwidth(p.link_class)
-        tx = pkt.size / bw
-        done = self.engine.now + tx
-        self.fabric.link_loads.record(p.link_id, pkt.size)
-        self.packets_forwarded += 1
-        if p.link_class == LinkClass.TERMINAL:
-            arrive = done + self.config.terminal_latency
-            self.engine.schedule_at(
-                arrive, self.fabric.terminal_lp_id(p.peer_node), "pkt", pkt, Priority.NETWORK, self.lp_id
-            )
-        else:
-            pkt.hop += 1
-            arrive = done + self.config.latency(p.link_class) + self.config.router_delay
-            self.engine.schedule_at(
-                arrive, self.fabric.router_lp_id(p.peer_router), "pkt", pkt, Priority.NETWORK, self.lp_id
-            )
-        self.engine.schedule_at(done, self.lp_id, "free", port, Priority.NETWORK, self.lp_id)
-
-    def _on_port_free(self, port: int) -> None:
-        q = self.queues[port]
-        if q:
-            self._transmit(port, q.popleft())
-        else:
-            self.busy[port] = False

@@ -30,48 +30,94 @@ class RoutingPolicy:
         self.config = config
         self.probe = probe
         self.rng = SplitMix(config.seed, stream_id)
+        # Per-packet hot-path caches: intra-group candidate path lists are
+        # static, so memoize them instead of re-enumerating per packet.
+        # ``_min_full`` caches complete same-group candidate paths; the
+        # cached lists are shared across packets and must not be mutated.
+        self._routers_per_group = topo.routers_per_group
+        self._draw = self.rng.next_u64  # bound: one draw is one call
+        self._local_paths: dict[tuple[int, int], list[list[int]]] = {}
+        # (src, dst) -> (candidate full paths, rng draws consumed): 0 draws
+        # for the trivial same-router path, 1 for a same-group selection.
+        self._min_full: dict[tuple[int, int], tuple[list[list[int]], int]] = {}
 
     def select_path(self, src_router: int, dst_router: int) -> tuple[list[int], bool]:
         """Return ``(path, nonminimal)``; path includes src and dst routers."""
         raise NotImplementedError
 
+    def _local_paths_cached(self, src_router: int, dst_router: int) -> list[list[int]]:
+        key = (src_router, dst_router)
+        paths = self._local_paths.get(key)
+        if paths is None:
+            paths = self._local_paths[key] = self.topo.local_paths(src_router, dst_router)
+        return paths
+
     # -- shared path construction -------------------------------------------
     def _minimal_candidate(self, src_router: int, dst_router: int) -> list[int]:
-        """One randomly chosen minimal path (router ids, src..dst)."""
+        """One randomly chosen minimal path (router ids, src..dst).
+
+        Same-group (and same-router) requests return a *shared* cached
+        path list -- one rng draw, zero allocation; callers must treat
+        paths as immutable (packets only ever read them).  The draw
+        sequence is identical to enumerating the candidates on the fly.
+        """
         topo = self.topo
+        key = (src_router, dst_router)
+        cached = self._min_full.get(key)
+        if cached is not None:
+            full, draws = cached
+            if draws:
+                # Consume exactly the draw the uncached path would have.
+                return full[self._draw() % len(full)]
+            return full[0]
         if src_router == dst_router:
-            return [src_router]
-        g1, g2 = topo.group_of(src_router), topo.group_of(dst_router)
+            self._min_full[key] = ([[src_router]], 0)
+            return self._min_full[key][0][0]
+        draw = self._draw
+        g1 = src_router // self._routers_per_group
+        g2 = dst_router // self._routers_per_group
         if g1 == g2:
-            tail = self.rng.choice(topo.local_paths(src_router, dst_router))
-            return [src_router] + tail
-        gw1 = self.rng.choice(topo.gateways[g1][g2])
-        port = self.rng.choice(topo.global_ports_to_group[gw1][g2])
+            tails = self._local_paths_cached(src_router, dst_router)
+            full = [[src_router] + tail for tail in tails]
+            self._min_full[key] = (full, 1)
+            return full[draw() % len(full)]
+        gws = topo.gateways[g1][g2]
+        gw1 = gws[draw() % len(gws)]
+        ports = topo.global_ports_to_group[gw1][g2]
+        port = ports[draw() % len(ports)]
         gw2 = topo.router_ports[gw1][port].peer_router
         path = [src_router]
         if gw1 != src_router:
-            path += self.rng.choice(topo.local_paths(src_router, gw1))
+            tails = self._local_paths_cached(src_router, gw1)
+            path += tails[draw() % len(tails)]
         path.append(gw2)
         if gw2 != dst_router:
-            path += self.rng.choice(topo.local_paths(gw2, dst_router))
+            tails = self._local_paths_cached(gw2, dst_router)
+            path += tails[draw() % len(tails)]
         return path
 
     def _valiant_candidate(self, src_router: int, dst_router: int) -> list[int]:
         """One non-minimal path through a random intermediate group."""
         topo = self.topo
-        g1, g2 = topo.group_of(src_router), topo.group_of(dst_router)
+        draw = self._draw
+        g1 = src_router // self._routers_per_group
+        g2 = dst_router // self._routers_per_group
         if topo.n_groups <= 2 or g1 == g2:
             # No useful intermediate group exists; fall back to minimal.
             return self._minimal_candidate(src_router, dst_router)
-        gi = self.rng.randint(topo.n_groups)
+        n_groups = topo.n_groups
+        gi = draw() % n_groups
         while gi == g1 or gi == g2:
-            gi = self.rng.randint(topo.n_groups)
-        gw1 = self.rng.choice(topo.gateways[g1][gi])
-        port = self.rng.choice(topo.global_ports_to_group[gw1][gi])
+            gi = draw() % n_groups
+        gws = topo.gateways[g1][gi]
+        gw1 = gws[draw() % len(gws)]
+        ports = topo.global_ports_to_group[gw1][gi]
+        port = ports[draw() % len(ports)]
         entry = topo.router_ports[gw1][port].peer_router
         head = [src_router]
         if gw1 != src_router:
-            head += self.rng.choice(topo.local_paths(src_router, gw1))
+            tails = self._local_paths_cached(src_router, gw1)
+            head += tails[draw() % len(tails)]
         head.append(entry)
         tail = self._minimal_candidate(entry, dst_router)
         return head + tail[1:]
@@ -82,6 +128,8 @@ class RoutingPolicy:
             return 0
         src = path[0]
         ports = self.topo.ports_to_router[src][path[1]]
+        if len(ports) == 1:
+            return self.probe(src, ports[0])
         return min(self.probe(src, p) for p in ports)
 
 
@@ -105,6 +153,10 @@ class AdaptiveRouting(RoutingPolicy):
 
     name = "adp"
 
+    def __init__(self, topo: Topology, config: NetworkConfig, probe: QueueProbe, stream_id: int = 0) -> None:
+        super().__init__(topo, config, probe, stream_id)
+        self._bias = config.adaptive_bias
+
     def select_path(self, src_router: int, dst_router: int) -> tuple[list[int], bool]:
         min_path = self._minimal_candidate(src_router, dst_router)
         if src_router == dst_router:
@@ -116,7 +168,7 @@ class AdaptiveRouting(RoutingPolicy):
         q_non = self._first_hop_queue(non_path)
         h_min = len(min_path) - 1
         h_non = len(non_path) - 1
-        if q_min * h_min > q_non * h_non + self.config.adaptive_bias:
+        if q_min * h_min > q_non * h_non + self._bias:
             return non_path, True
         return min_path, False
 

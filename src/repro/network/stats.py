@@ -31,11 +31,23 @@ class WindowedAppCounter:
         self.window = window
         # (router, app) -> {bin_index: bytes}
         self._bins: dict[tuple[int, int], dict[int, int]] = defaultdict(dict)
+        # (router, app) -> {bin_index: bytes recorded at *exactly* the
+        # bin's start time}.  Rare in practice (event times are
+        # continuous), but it lets ``series`` fold precisely the bytes
+        # committed at ``time == horizon`` -- and nothing later -- into
+        # the final bin.
+        self._edge_bins: dict[tuple[int, int], dict[int, int]] = defaultdict(dict)
 
     def record(self, router: int, app_id: int, time: float, nbytes: int) -> None:
         b = int(time / self.window)
         bins = self._bins[(router, app_id)]
-        bins[b] = bins.get(b, 0) + nbytes
+        try:
+            bins[b] += nbytes
+        except KeyError:
+            bins[b] = nbytes
+        if time == b * self.window:
+            edge = self._edge_bins[(router, app_id)]
+            edge[b] = edge.get(b, 0) + nbytes
 
     def apps_seen(self) -> set[int]:
         return {app for (_r, app) in self._bins}
@@ -46,9 +58,22 @@ class WindowedAppCounter:
     def series(self, routers: set[int] | list[int], app_id: int, horizon: float) -> np.ndarray:
         """Total bytes per window received by ``routers`` from ``app_id``.
 
-        Returns an array of length ``ceil(horizon / window)``.
+        Returns an array of length ``ceil(horizon / window)``.  The
+        horizon boundary is closed: bytes recorded at exactly
+        ``time == horizon`` land in bin ``int(horizon / window)``, which
+        equals ``n_bins`` when the horizon is an exact multiple of the
+        window (the common case -- a run to ``until=horizon`` commits
+        events *at* the horizon); those bytes are folded into the final
+        bin rather than silently dropped.  Bytes recorded strictly
+        after the horizon are excluded, even when they share the
+        boundary bin (the exact-boundary side channel kept by
+        ``record`` makes the fold precise).
         """
         n_bins = max(1, int(np.ceil(horizon / self.window)))
+        # Same float semantics as ``record``'s int(time / window): the
+        # bin whose start lies exactly at the horizon is the fold source.
+        hb = int(horizon / self.window)
+        fold_edge = hb >= n_bins
         out = np.zeros(n_bins, dtype=np.int64)
         for r in routers:
             bins = self._bins.get((r, app_id))
@@ -57,6 +82,10 @@ class WindowedAppCounter:
             for b, v in bins.items():
                 if b < n_bins:
                     out[b] += v
+            if fold_edge:
+                edge = self._edge_bins.get((r, app_id))
+                if edge:
+                    out[n_bins - 1] += edge.get(hb, 0)
         return out
 
     def total(self, routers: set[int] | list[int], app_id: int) -> int:
@@ -73,16 +102,31 @@ class LinkLoadAccounting:
     """Accumulates bytes pushed over every directed link.
 
     Queried at end of simulation for the Table VI rows: total load per
-    link class and average load per link.
+    link class and average load per link.  ``record`` is on the
+    per-transmit hot path, so the accumulator is a plain Python list
+    (a scalar ``+=`` on an int64 ndarray costs several times a list
+    index-add); queries convert lazily.
+
+    Semantics: bytes are recorded when a packet *commits* to a link --
+    at arrival for router forwarding (the event-free forwarding path
+    fixes the transmit schedule at arrival), at transmit start for NIC
+    injection.  For runs that drain, this equals bytes transmitted; a
+    run truncated at a horizon additionally counts packets whose
+    (already scheduled) transmission starts after the cutoff.
     """
 
     def __init__(self, topo: Topology) -> None:
         self.topo = topo
-        self.bytes_per_link = np.zeros(topo.n_links, dtype=np.int64)
+        self._bytes: list[int] = [0] * topo.n_links
         self._class_index = np.asarray(topo.link_class_of, dtype=np.int8)
 
     def record(self, link_id: int, nbytes: int) -> None:
-        self.bytes_per_link[link_id] += nbytes
+        self._bytes[link_id] += nbytes
+
+    @property
+    def bytes_per_link(self) -> np.ndarray:
+        """Per-link byte totals as an int64 array (snapshot)."""
+        return np.asarray(self._bytes, dtype=np.int64)
 
     def class_total(self, link_class: LinkClass) -> int:
         mask = self._class_index == int(link_class)

@@ -6,6 +6,18 @@ in the network), selects each packet's route at the moment the packet
 leaves (so adaptive routing sees fresh queue depths) and reassembles
 arriving packets into messages, notifying the fabric when a message is
 complete.
+
+Like the router's output ports, the injection channel is tracked as a
+``busy_until`` timestamp instead of per-packet ``inj_free`` self-events:
+a message injected while the NIC is idle starts transmitting
+synchronously, and a single ``drain`` event is scheduled only when the
+injection FIFO transitions empty -> non-empty.  The invariant is: *a
+drain event is pending iff the injection FIFO is non-empty*, and it
+fires exactly at ``busy_until``.
+
+Queued packets are plain ``(msg_id, app_id, dst_node, size, is_tail)``
+tuples -- the NIC churns through one per packet transmission, and a
+tuple allocates and unpacks measurably faster than a slotted object.
 """
 
 from __future__ import annotations
@@ -22,24 +34,30 @@ from repro.pdes.lp import LP
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.fabric import NetworkFabric
 
-
-class _PendingPacket:
-    """A packet waiting in the NIC injection queue (route not yet chosen)."""
-
-    __slots__ = ("msg_id", "app_id", "dst_node", "size", "is_tail")
-
-    def __init__(self, msg_id: int, app_id: int, dst_node: int, size: int, is_tail: bool) -> None:
-        self.msg_id = msg_id
-        self.app_id = app_id
-        self.dst_node = dst_node
-        self.size = size
-        self.is_tail = is_tail
+_NETWORK = Priority.NETWORK
 
 
 class TerminalLP(LP):
     """One compute node's network interface."""
 
-    __slots__ = ("node", "topo", "config", "fabric", "inj_queue", "inj_busy")
+    __slots__ = (
+        "node",
+        "topo",
+        "config",
+        "fabric",
+        "inj_queue",
+        "busy_until",
+        "_src_router",
+        "_router_lp",
+        "_inject_latency",
+        "_uplink_id",
+        "_terminal_bw",
+        "_router_of_node",
+        "_sched",
+        "_next_pkt_id",
+        "_load_record",
+        "_dispatch",
+    )
 
     def __init__(self, node: int, topo: Topology, config: NetworkConfig, fabric: "NetworkFabric") -> None:
         super().__init__()
@@ -47,8 +65,38 @@ class TerminalLP(LP):
         self.topo = topo
         self.config = config
         self.fabric = fabric
-        self.inj_queue: deque[_PendingPacket] = deque()
-        self.inj_busy = False
+        self.inj_queue: deque[tuple[int, int, int, int, bool]] = deque()
+        #: Timestamp until which the injection channel is occupied.
+        self.busy_until: float = 0.0
+        self._src_router = topo.router_of_node(node)
+        # Uplink shares the terminal link's load accounting with the downlink.
+        uplink = topo.router_ports[self._src_router][topo.port_to_node[self._src_router][node]]
+        self._uplink_id = uplink.link_id
+        self._inject_latency = config.terminal_latency + config.router_delay
+        self._terminal_bw = config.terminal_bw
+        # Bound method, not an inlined division: custom topologies
+        # duck-type the fabric contract through router_of_node().
+        self._router_of_node = topo.router_of_node
+        self._router_lp = -1  # resolved by wire_ports()
+        self._sched = None
+        self._next_pkt_id = None
+        self._load_record = fabric.link_loads.record
+        # Interned-kind method table bound through ``self`` (one dict
+        # lookup replaces the chain of string comparisons on the
+        # per-packet hot path, and subclass overrides are honored).
+        self._dispatch = {
+            "pkt": self._on_pkt,
+            "inj_done": self._on_inj_done,
+            "drain": self._on_drain,
+            "loopback": self._on_loopback,
+        }
+
+    def wire_ports(self) -> None:
+        """Resolve hot-path constants (called by the fabric after every
+        router and terminal LP has been registered)."""
+        self._router_lp = self.fabric.router_lp_id(self._src_router)
+        self._sched = self.engine.schedule_fast
+        self._next_pkt_id = self.fabric.next_packet_id
 
     # -- sending ---------------------------------------------------------
     def inject_message(self, msg_id: int, app_id: int, dst_node: int, size: int) -> None:
@@ -56,62 +104,65 @@ class TerminalLP(LP):
 
         Called synchronously by the fabric from within an event handler.
         """
+        q = self.inj_queue
+        drain_pending = bool(q)
         psize = self.config.packet_bytes
         remaining = size
         first = True
         while remaining > 0 or first:
-            chunk = min(psize, remaining) if remaining > 0 else 0
+            chunk = psize if remaining > psize else (remaining if remaining > 0 else 0)
             remaining -= chunk
-            self.inj_queue.append(
-                _PendingPacket(msg_id, app_id, dst_node, chunk, is_tail=(remaining <= 0))
-            )
+            q.append((msg_id, app_id, dst_node, chunk, remaining <= 0))
             first = False
-        if not self.inj_busy:
+        if drain_pending:
+            return
+        if self.engine.now >= self.busy_until:
+            # NIC idle: the first packet starts transmitting right now.
             self._start_next()
+            if q:
+                self._sched(self.busy_until, self.lp_id, "drain", None, _NETWORK, self.lp_id)
+        else:
+            # Mid-transmission with an empty FIFO: the queue just became
+            # non-empty, so schedule the one drain at the busy boundary.
+            self._sched(self.busy_until, self.lp_id, "drain", None, _NETWORK, self.lp_id)
 
     def _start_next(self) -> None:
-        pend = self.inj_queue.popleft()
-        self.inj_busy = True
-        src_router = self.topo.router_of_node(self.node)
-        dst_router = self.topo.router_of_node(pend.dst_node)
-        path, nonmin = self.fabric.routing_for(pend.app_id).select_path(src_router, dst_router)
-        self.fabric.on_packet_routed(pend.app_id, nonmin)
+        msg_id, app_id, dst_node, size, is_tail = self.inj_queue.popleft()
+        fab = self.fabric
+        src_router = self._src_router
+        path, nonmin = fab.routing_for(app_id).select_path(
+            src_router, self._router_of_node(dst_node)
+        )
+        fab.on_packet_routed(app_id, nonmin)
         pkt = Packet(
-            self.fabric.next_packet_id(),
-            pend.msg_id,
-            pend.app_id,
-            self.node,
-            pend.dst_node,
-            pend.size,
-            path,
-            nonmin,
+            self._next_pkt_id(), msg_id, app_id, self.node, dst_node, size, path, nonmin
         )
-        tx = pend.size / self.config.terminal_bw
-        done = self.engine.now + tx
-        arrive = done + self.config.terminal_latency + self.config.router_delay
-        self.engine.schedule_at(
-            arrive, self.fabric.router_lp_id(src_router), "pkt", pkt, Priority.NETWORK, self.lp_id
-        )
-        # Uplink shares the terminal link's load accounting with the downlink.
-        uplink = self.topo.router_ports[src_router][self.topo.port_to_node[src_router][self.node]]
-        self.fabric.link_loads.record(uplink.link_id, pend.size)
-        if pend.is_tail:
+        done = self.engine.now + size / self._terminal_bw
+        self.busy_until = done
+        sched = self._sched
+        sched(done + self._inject_latency, self._router_lp, "pkt", pkt, _NETWORK, self.lp_id)
+        self._load_record(self._uplink_id, size)
+        if is_tail:
             # Injection-complete notification must fire *at* `done`, not now.
-            self.engine.schedule_at(done, self.lp_id, "inj_done", pend.msg_id, Priority.NETWORK, self.lp_id)
-        self.engine.schedule_at(done, self.lp_id, "inj_free", None, Priority.NETWORK, self.lp_id)
+            sched(done, self.lp_id, "inj_done", msg_id, _NETWORK, self.lp_id)
 
     # -- event handling ------------------------------------------------------
     def handle(self, event: Event) -> None:
-        if event.kind == "pkt":
-            self.fabric.on_packet_delivered(event.data, self.engine.now)
-        elif event.kind == "inj_done":
-            self.fabric.on_message_injected(event.data, self.engine.now)
-        elif event.kind == "inj_free":
-            if self.inj_queue:
-                self._start_next()
-            else:
-                self.inj_busy = False
-        elif event.kind == "loopback":
-            self.fabric.on_loopback(event.data, self.engine.now)
-        else:  # pragma: no cover - defensive
+        handler = self._dispatch.get(event.kind)
+        if handler is None:  # pragma: no cover - defensive
             raise ValueError(f"terminal {self.node} got unknown event kind {event.kind!r}")
+        handler(event.data)
+
+    def _on_pkt(self, pkt: Packet) -> None:
+        self.fabric.on_packet_delivered(pkt, self.engine.now)
+
+    def _on_inj_done(self, msg_id: int) -> None:
+        self.fabric.on_message_injected(msg_id, self.engine.now)
+
+    def _on_drain(self, _data: None) -> None:
+        self._start_next()
+        if self.inj_queue:
+            self._sched(self.busy_until, self.lp_id, "drain", None, _NETWORK, self.lp_id)
+
+    def _on_loopback(self, msg_id: int) -> None:
+        self.fabric.on_loopback(msg_id, self.engine.now)

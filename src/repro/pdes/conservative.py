@@ -49,11 +49,13 @@ class ConservativeEngine(Engine):
         self.lookahead = lookahead
         self.n_partitions = n_partitions
         self._partition_fn = partition_fn or (lambda lp_id: lp_id % n_partitions)
+        # Per-partition heaps of (time, priority, seq, Event) entries:
+        # the leading key triple keeps heap comparisons at C speed (see
+        # the note in pdes/sequential.py).
         self._heaps: list[list[tuple[float, int, int, Event]]] = [
             [] for _ in range(n_partitions)
         ]
         self._current_partition: int = -1
-        self._window_end: float = float("inf")
         self.windows_executed: int = 0
 
     def partition_of(self, lp_id: int) -> int:
@@ -78,31 +80,41 @@ class ConservativeEngine(Engine):
         return min(times) if times else float("inf")
 
     def run(self, until: float = float("inf"), max_events: int | None = None) -> float:
-        budget = max_events if max_events is not None else -1
+        # ``committed == budget`` is the stop condition, so an unlimited
+        # run uses -1 (never equal) and ``max_events=0`` commits nothing.
+        budget = -1 if max_events is None else max_events
+        budget_hit = budget == 0
+        committed = 0
         lps = self.lps
-        while True:
-            floor = self._floor()
-            if floor == float("inf") or floor > until:
-                break  # drained, or nothing left inside the horizon
-            window_end = floor + self.lookahead
-            self._window_end = window_end
-            self.windows_executed += 1
-            for part in range(self.n_partitions):
-                heap = self._heaps[part]
-                self._current_partition = part
-                while heap and heap[0][0] < window_end and heap[0][0] <= until:
-                    ev = heapq.heappop(heap)[3]
-                    self.now = ev.time
-                    lps[ev.dst].handle(ev)
-                    self.events_processed += 1
-                    if budget > 0:
-                        budget -= 1
-                        if budget == 0:
-                            self._current_partition = -1
-                            self._run_end_hooks()
-                            return self.now
-                self._current_partition = -1
-        if self.now < until < float("inf"):
+        try:
+            while not budget_hit:
+                floor = self._floor()
+                if floor == float("inf") or floor > until:
+                    break  # drained, or nothing left inside the horizon
+                window_end = floor + self.lookahead
+                self.windows_executed += 1
+                for part in range(self.n_partitions):
+                    heap = self._heaps[part]
+                    self._current_partition = part
+                    while heap and heap[0][0] < window_end and heap[0][0] <= until:
+                        ev = heapq.heappop(heap)[3]
+                        self.now = ev.time
+                        lps[ev.dst].handle(ev)
+                        committed += 1
+                        if committed == budget:
+                            budget_hit = True
+                            break
+                    self._current_partition = -1
+                    if budget_hit:
+                        break
+        finally:
+            # Leave the engine re-runnable on *every* exit path,
+            # including a handler raising mid-window: clear the
+            # executing-partition marker (it gates the lookahead check
+            # in _push) and keep the committed count accurate.
+            self._current_partition = -1
+            self.events_processed += committed
+        if not budget_hit and self.now < until < float("inf"):
             self.now = until
         self._run_end_hooks()
         return self.now

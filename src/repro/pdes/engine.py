@@ -47,7 +47,14 @@ class Engine:
         src: int = -1,
     ) -> Event:
         """Schedule an event ``delay`` seconds from the current time."""
-        return self.schedule_at(self.now + delay, dst, kind, data, priority, src)
+        time = self.now + delay
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past: t={time} < now={self.now}"
+            )
+        if not 0 <= dst < len(self.lps):
+            raise ValueError(f"unknown destination LP {dst}")
+        return self.schedule_fast(time, dst, kind, data, priority, src)
 
     def schedule_at(
         self,
@@ -65,6 +72,29 @@ class Engine:
             )
         if not 0 <= dst < len(self.lps):
             raise ValueError(f"unknown destination LP {dst}")
+        return self.schedule_fast(time, dst, kind, data, priority, src)
+
+    def schedule_fast(
+        self,
+        time: float,
+        dst: int,
+        kind: str,
+        data: Any = None,
+        priority: int = Priority.NETWORK,
+        src: int = -1,
+    ) -> Event:
+        """Hot-path variant of :meth:`schedule_at` that skips argument
+        re-validation.
+
+        The network LPs schedule hundreds of thousands of events per
+        simulated second against destinations the fabric wired up at
+        construction time and timestamps derived from ``now`` plus
+        non-negative delays; re-checking both on every call is pure
+        overhead.  Callers must guarantee ``time >= now`` and a valid
+        ``dst``.  Engine-specific safety checks that are part of the
+        execution contract (e.g. the conservative engine's lookahead
+        enforcement in ``_push``) still apply.
+        """
         ev = Event(time, dst, kind, data, priority, src, send_time=self.now)
         ev.seq = self._seq
         self._seq += 1

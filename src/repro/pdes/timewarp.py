@@ -36,7 +36,8 @@ class _LpRuntime:
     __slots__ = ("pending", "processed", "sent", "lvt")
 
     def __init__(self) -> None:
-        # min-heap of (time, priority, seq, Event)
+        # min-heap of (time, priority, seq, Event); the leading key
+        # triple keeps heap comparisons at C speed.
         self.pending: list[tuple[float, int, int, Event]] = []
         # chronological list of (Event, state-before) pairs
         self.processed: list[tuple[Event, Any]] = []
@@ -162,7 +163,13 @@ class TimeWarpEngine(Engine):
 
     # -- main loop ------------------------------------------------------------------
     def run(self, until: float = float("inf"), max_events: int | None = None) -> float:
-        budget = max_events if max_events is not None else -1
+        # ``executed == budget`` is the stop condition, so an unlimited
+        # run uses -1 (never equal) and ``max_events=0`` commits nothing.
+        budget = -1 if max_events is None else max_events
+        if budget == 0:
+            self._run_end_hooks()
+            return self.now
+        executed = 0
         rounds = 0
         n = len(self.lps)
         while True:
@@ -180,12 +187,11 @@ class TimeWarpEngine(Engine):
                 rt.processed.append((ev, state))
                 rt.lvt = ev.time
                 self.events_executed += 1
+                executed += 1
                 progressed = True
-                if budget > 0:
-                    budget -= 1
-                    if budget == 0:
-                        self._finalize(until)
-                        return self.now
+                if executed == budget:
+                    self._finalize(until)
+                    return self.now
             rounds += 1
             if rounds % self.gvt_interval == 0:
                 gvt = self._compute_gvt()

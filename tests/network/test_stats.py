@@ -51,6 +51,41 @@ def test_record_beyond_horizon_excluded_from_series():
     assert s.sum() == 0
 
 
+def test_record_at_exact_horizon_lands_in_final_bin():
+    """Regression: a record at ``time == horizon`` (horizon an exact
+    multiple of the window -- the normal case for a run to
+    ``until=horizon``) fell into bin ``int(horizon/window) == n_bins``
+    and was silently dropped from the series."""
+    c = WindowedAppCounter(0.5e-3)
+    c.record(1, 0, 0.0e-3, 10)
+    c.record(1, 0, 1.5e-3, 99)  # exactly at the horizon boundary
+    s = c.series([1], 0, horizon=1.5e-3)
+    assert len(s) == 3
+    assert list(s) == [10, 0, 99]
+    # Totals and series agree again (bytes are conserved).
+    assert s.sum() == c.total([1], 0)
+
+
+def test_shorter_horizon_query_excludes_post_horizon_bytes():
+    """Querying a horizon shorter than the recorded data must not fold
+    post-horizon traffic from the boundary bin into the series."""
+    c = WindowedAppCounter(0.5e-3)
+    c.record(1, 0, 0.2e-3, 10)
+    c.record(1, 0, 1.0e-3, 5)    # exactly at the queried horizon: folded
+    c.record(1, 0, 1.2e-3, 99)   # after the horizon, same bin: excluded
+    c.record(1, 0, 1.7e-3, 70)   # well after: excluded
+    s = c.series([1], 0, horizon=1.0e-3)
+    assert list(s) == [10, 5]
+
+
+def test_record_at_non_multiple_horizon_unaffected():
+    c = WindowedAppCounter(0.5e-3)
+    c.record(1, 0, 1.4e-3, 7)   # inside the final (partial) bin
+    c.record(1, 0, 1.6e-3, 99)  # beyond the horizon: excluded
+    s = c.series([1], 0, horizon=1.45e-3)
+    assert list(s) == [0, 0, 7]
+
+
 def test_invalid_window():
     with pytest.raises(ValueError):
         WindowedAppCounter(0.0)

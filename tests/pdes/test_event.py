@@ -30,6 +30,18 @@ def test_priority_control_precedes_all():
     assert Priority.CONTROL < Priority.NETWORK < Priority.MPI < Priority.WAKEUP < Priority.LOW
 
 
+def test_lt_matches_key_ordering():
+    """Events are directly comparable with the same total order as key()."""
+    a = Event(1.0, 0, "x")
+    b = Event(2.0, 0, "x")
+    c = Event(1.0, 0, "x", priority=Priority.CONTROL)
+    d = Event(1.0, 0, "x")
+    a.seq, b.seq, c.seq, d.seq = 1, 2, 3, 4
+    events = [b, d, a, c]
+    assert sorted(events) == sorted(events, key=lambda e: e.key())
+    assert c < a < d < b
+
+
 def test_uid_includes_destination():
     a = Event(1.0, 3, "x")
     b = Event(1.0, 4, "x")

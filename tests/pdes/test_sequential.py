@@ -156,6 +156,30 @@ def test_now_tracks_current_event_time():
     assert times == [1.0, 2.5]
 
 
+def test_schedule_fast_orders_like_schedule_at():
+    """The hot-path scheduler interleaves correctly with the checked one."""
+    eng = SequentialEngine()
+    rec = Recorder()
+    eng.register(rec)
+    eng.schedule_at(2.0, rec.lp_id, "b")
+    eng.schedule_fast(1.0, rec.lp_id, "a")
+    eng.schedule_fast(3.0, rec.lp_id, "c")
+    eng.run()
+    assert [s[1] for s in rec.seen] == ["a", "b", "c"]
+    assert eng.events_processed == 3
+
+
+def test_schedule_fast_skips_validation():
+    """Documented contract: no destination or past-time re-checks."""
+    eng = SequentialEngine()
+    rec = Recorder()
+    eng.register(rec)
+    # An invalid destination is NOT rejected at scheduling time.
+    eng.schedule_fast(1.0, 99, "x")
+    with pytest.raises(IndexError):
+        eng.run()
+
+
 def test_register_all():
     eng = SequentialEngine()
     ids = eng.register_all([Recorder(), Recorder(), Recorder()])
