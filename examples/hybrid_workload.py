@@ -6,22 +6,28 @@ on the mini 1D and 2D dragonfly systems with random-group placement and
 adaptive routing, then prints per-application latency/communication-time
 metrics and the Figure 8-style router traffic series.
 
+The whole experiment is declared in
+``examples/scenarios/hybrid_workload.toml`` and runs through the
+scenario subsystem -- this script only flips the network between runs
+and renders the extra traffic series.  ``union-sim scenario
+examples/scenarios/hybrid_workload.toml`` runs the same spec directly.
+
 Run:  python examples/hybrid_workload.py
 """
 
-from repro.harness.configs import default_horizon
+from pathlib import Path
+
 from repro.harness.report import format_bytes, format_seconds, render_series, render_table
-from repro.harness.configs import make_topology
-from repro.union.manager import WorkloadManager
-from repro.workloads.catalog import build_jobs
+from repro.scenario import load_scenario, run_scenario
+
+SPEC = Path(__file__).resolve().parent / "scenarios" / "hybrid_workload.toml"
 
 
 def run_network(network: str) -> None:
-    topo = make_topology(network, "mini")
-    mgr = WorkloadManager(topo, routing="adp", placement="rg", seed=1)
-    for job in build_jobs("workload3", "mini"):
-        mgr.add_job(job)
-    outcome = mgr.run(until=default_horizon("mini"))
+    spec = load_scenario(SPEC)
+    spec.network = network
+    result = run_scenario(spec)
+    outcome = result.outcome
 
     rows = []
     for a in outcome.apps:

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Documentation drift checks (registered as a tier-1 test).
+
+Two invariants keep the docs honest:
+
+1. ``docs/cli.md`` must name **every** subcommand registered on the
+   ``union-sim`` argparse parser (introspected, not hard-coded), plus
+   every subcommand it documents must actually exist.
+2. Every fenced ``toml``/``json`` snippet in ``docs/scenarios.md`` must
+   parse *and* validate through :func:`repro.scenario.parse_scenario` --
+   the format reference cannot show a spec the parser would reject.
+
+Run directly (``python scripts/check_docs.py``) or via pytest
+(``tests/test_docs.py`` wraps the same functions).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+import tomllib
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+
+_FENCE_RE = re.compile(r"^```(\w+)\n(.*?)^```", re.MULTILINE | re.DOTALL)
+
+
+def registered_subcommands() -> set[str]:
+    """The subcommand names argparse actually registers, introspected."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:  # noqa: SLF001
+        return set(action.choices)
+    raise AssertionError("union-sim parser has no subparsers")  # pragma: no cover
+
+
+def documented_subcommands(cli_md: str) -> set[str]:
+    """Subcommands docs/cli.md documents, via its ``## `union-sim X``` headings."""
+    return set(re.findall(r"^## `union-sim (\w+)`", cli_md, re.MULTILINE))
+
+
+def check_cli_doc(path: Path = DOCS / "cli.md") -> None:
+    """docs/cli.md and the argparse parser must agree exactly."""
+    text = path.read_text()
+    actual = registered_subcommands()
+    documented = documented_subcommands(text)
+    missing = actual - documented
+    assert not missing, (
+        f"{path} is missing a section for subcommand(s) {sorted(missing)}; "
+        "add an '## `union-sim <name>`' heading with usage and example output"
+    )
+    stale = documented - actual
+    assert not stale, (
+        f"{path} documents subcommand(s) {sorted(stale)} that no longer exist "
+        "in repro/cli.py; delete or update those sections"
+    )
+
+
+def scenario_snippets(path: Path = DOCS / "scenarios.md") -> list[tuple[str, str]]:
+    """All fenced (language, body) blocks with toml/json language tags."""
+    return [
+        (lang, body)
+        for lang, body in _FENCE_RE.findall(path.read_text())
+        if lang in ("toml", "json")
+    ]
+
+
+def check_scenario_snippets(path: Path = DOCS / "scenarios.md") -> int:
+    """Every toml/json snippet in docs/scenarios.md must validate.
+
+    Returns the number of snippets checked (the caller asserts > 0 so an
+    accidental fence-syntax change cannot silently skip everything).
+    """
+    from repro.scenario import parse_scenario
+
+    snippets = scenario_snippets(path)
+    assert snippets, f"{path} contains no toml/json snippets -- fence regex broken?"
+    for i, (lang, body) in enumerate(snippets):
+        where = f"{path} snippet #{i + 1} ({lang})"
+        try:
+            data = tomllib.loads(body) if lang == "toml" else json.loads(body)
+        except (tomllib.TOMLDecodeError, json.JSONDecodeError) as exc:
+            raise AssertionError(f"{where} is not well-formed {lang}: {exc}") from None
+        try:
+            parse_scenario(data, name=f"snippet-{i + 1}", base_dir=path.parent)
+        except Exception as exc:
+            raise AssertionError(f"{where} fails validation: {exc}") from None
+    return len(snippets)
+
+
+def main() -> int:
+    check_cli_doc()
+    n = check_scenario_snippets()
+    print(f"docs OK: cli.md covers all {len(registered_subcommands())} subcommands; "
+          f"{n} scenarios.md snippets validate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO / "src"))
+    sys.exit(main())

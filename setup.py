@@ -1,4 +1,9 @@
-"""Shim for environments whose setuptools cannot build PEP 660 editable wheels."""
+"""Shim for environments whose setuptools cannot build PEP 660 editable wheels.
+
+All real metadata -- including the ``union-sim`` console entry point --
+lives in ``pyproject.toml``; this file exists only so legacy
+``setup.py``-driven editable installs keep working.
+"""
 from setuptools import setup
 
 setup()

@@ -6,9 +6,14 @@ Subcommands
 ``validate``   -- run the Section V application-vs-skeleton validation
 ``run``        -- simulate one workload/placement/routing configuration
 ``simulate``   -- translate a coNCePTuaL file and simulate it in situ
+``scenario``   -- run a declarative TOML/JSON scenario spec
+``batch``      -- run every scenario spec in a directory, one summary
 ``sweep``      -- run the full Figure 7/9 sweep and print summaries
 ``systems``    -- print the Table II system configurations
 ``topologies`` -- print the full fabric-model roster
+
+The subcommand reference with example output lives in ``docs/cli.md``;
+the scenario spec format in ``docs/scenarios.md``.
 """
 
 from __future__ import annotations
@@ -184,6 +189,51 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if res.finished else 1
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.conceptual.errors import ConceptualError
+    from repro.placement.policies import PlacementError
+    from repro.scenario import ScenarioError, load_scenario, render_scenario_report, run_scenario
+
+    if args.horizon is not None and args.horizon <= 0:
+        print(f"error: --horizon must be > 0, got {args.horizon:g}", file=sys.stderr)
+        return 2
+    try:
+        spec = load_scenario(args.spec)
+        if args.horizon is not None:
+            spec.horizon = args.horizon
+        # run_scenario may raise too: a missing or untranslatable job
+        # source file, or a t=0 job that does not fit the topology.
+        result = run_scenario(spec)
+    except (ScenarioError, PlacementError, ConceptualError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_scenario_report(result))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result.to_json_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    apps = [j for j in result.jobs if not j.background]
+    return 0 if all(j.finished for j in apps) else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.scenario import ScenarioError, render_batch_summary, run_batch
+
+    try:
+        batch = run_batch(args.directory, workers=args.jobs)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_batch_summary(batch))
+    if args.json:
+        batch.write_json(args.json)
+        print(f"wrote {args.json}")
+    return 0 if not batch.failures else 1
+
+
 def _cmd_topologies(args: argparse.Namespace) -> int:
     from repro.network.dragonfly import Dragonfly1D
     from repro.network.dragonfly2d import Dragonfly2D
@@ -258,6 +308,22 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--storage-servers", type=int, default=0,
                    help="attach N storage servers (enables DSL I/O verbs)")
     m.set_defaults(fn=_cmd_simulate)
+
+    c = sub.add_parser("scenario", help="run a declarative TOML/JSON scenario spec")
+    c.add_argument("spec", help="path to a .toml or .json scenario file")
+    c.add_argument("--horizon", type=float, default=None,
+                   help="override the spec's simulation horizon (seconds)")
+    c.add_argument("--json", default=None, metavar="FILE",
+                   help="also write the full per-job metrics as JSON")
+    c.set_defaults(fn=_cmd_scenario)
+
+    b = sub.add_parser("batch", help="run every scenario spec in a directory")
+    b.add_argument("directory", help="directory of .toml/.json scenario files")
+    b.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = sequential)")
+    b.add_argument("--json", default=None, metavar="FILE",
+                   help="also write every scenario's metrics as JSON")
+    b.set_defaults(fn=_cmd_batch)
 
     o = sub.add_parser("topologies", help="print the fabric-model roster")
     o.set_defaults(fn=_cmd_topologies)

@@ -6,6 +6,11 @@ then yields control to the simulator; when the simulated network
 completes the operation, the simulator resumes the coroutine at the
 completion timestamp.
 
+Jobs either start at t=0 (:meth:`SimMPI.add_job`) or arrive
+mid-simulation (:meth:`SimMPI.submit_job` with an ``arrival`` time and,
+optionally, a deferred :class:`JobSpec` factory so rank placement can be
+decided against whatever nodes are free at the arrival instant).
+
 Metric definitions (Section IV-D):
 
 * *message latency* -- time from send post to complete arrival at the
@@ -205,7 +210,7 @@ class JobResult:
 
 
 class _DriverLP(LP):
-    """Anchor LP for MPI engine events (start, compute wakeups)."""
+    """Anchor LP for MPI engine events (start, job launches, compute wakeups)."""
 
     __slots__ = ("mpi",)
 
@@ -218,6 +223,8 @@ class _DriverLP(LP):
             self.mpi._start_all()
         elif event.kind == "wake":
             self.mpi._on_wake(event.data)
+        elif event.kind == "launch":
+            self.mpi._launch_submission(event.data)
         else:  # pragma: no cover - defensive
             raise ValueError(f"MPI driver got unknown event kind {event.kind!r}")
 
@@ -246,6 +253,12 @@ class SimMPI:
         fabric.set_delivery_callback(self._on_delivery)
         fabric.set_injection_callback(self._on_injected)
         self._started = False
+        #: Jobs submitted with a future arrival time:
+        #: (arrival, spec-or-factory, on_launch-callback).
+        self._pending: list[tuple[float, Any, Callable[[int], None] | None]] = []
+        #: Invoked as ``cb(job_result)`` whenever the last rank of a job
+        #: finishes (lets a scheduler return the job's nodes to a free pool).
+        self.job_end_callback: Callable[[JobResult], None] | None = None
         #: Extension dispatch: op type -> handler(mpi, rank_state, op).
         #: A handler returns the value sent back into the generator, or
         #: blocks the rank itself and returns :data:`BLOCKED`.
@@ -268,21 +281,49 @@ class SimMPI:
         self.op_handlers[op_type] = handler
 
     # -- job management -------------------------------------------------------
-    def add_job(self, spec: JobSpec) -> int:
-        if self._started:
-            raise RuntimeError("cannot add jobs after the simulation started")
+    def _check_nodes(self, spec: JobSpec) -> None:
         n_nodes = self.fabric.topo.n_nodes
         for node in spec.rank_to_node:
             if not 0 <= node < n_nodes:
                 raise ValueError(f"job {spec.name!r}: node {node} outside system of {n_nodes}")
+
+    def add_job(self, spec: JobSpec) -> int:
+        """Register a job that starts at t=0; returns its app id."""
+        if self._started:
+            raise RuntimeError("cannot add jobs after the simulation started")
+        self._check_nodes(spec)
         app_id = len(self.jobs)
         self.jobs.append(_Job(spec, app_id))
         return app_id
 
+    def submit_job(
+        self,
+        spec: JobSpec | Callable[[], JobSpec | None],
+        arrival: float = 0.0,
+        on_launch: Callable[[int], None] | None = None,
+    ) -> None:
+        """Submit a job that launches mid-simulation at ``arrival`` seconds.
+
+        ``spec`` is either a ready :class:`JobSpec` or a zero-argument
+        factory invoked *at the arrival time* -- the deferred form lets a
+        scheduler place ranks against whatever nodes are free at that
+        moment rather than at submission time.  A factory may return
+        ``None`` to decline the launch (e.g. placement no longer fits).
+        App ids are assigned in launch order, after every t=0 job;
+        ``on_launch(app_id)`` fires after the id is assigned but *before*
+        the first rank runs, so callers can install per-app routing
+        overrides ahead of the job's first send.
+        """
+        if self._started:
+            raise RuntimeError("cannot submit jobs after the simulation started")
+        if arrival < 0:
+            raise ValueError(f"arrival time must be >= 0, got {arrival}")
+        self._pending.append((arrival, spec, on_launch))
+
     # -- execution ----------------------------------------------------------------
     def run(self, until: float = float("inf")) -> float:
         """Run the co-scheduled jobs until the horizon (or until drained)."""
-        if not self.jobs:
+        if not self.jobs and not self._pending:
             raise RuntimeError("no jobs added")
         if not self._started:
             self._started = True
@@ -290,26 +331,47 @@ class SimMPI:
         return self.engine.run(until=until)
 
     def _start_all(self) -> None:
+        for arrival, spec, on_launch in self._pending:
+            self.engine.schedule_at(
+                arrival, self._driver.lp_id, "launch", (spec, on_launch), Priority.MPI
+            )
+        self._pending = []
         for job in self.jobs:
-            for rs in job.ranks:
-                ctx = self._ctx_cls(self, rs)
-                rs.gen = job.spec.program(ctx)
-                self._advance(rs, None)
+            self._start_job(job)
+
+    def _start_job(self, job: "_Job") -> None:
+        for rs in job.ranks:
+            ctx = self._ctx_cls(self, rs)
+            rs.gen = job.spec.program(ctx)
+            self._advance(rs, None)
+
+    def _launch_submission(self, item) -> None:
+        spec, on_launch = item
+        if callable(spec) and not isinstance(spec, JobSpec):
+            spec = spec()
+            if spec is None:  # factory declined (e.g. no free nodes)
+                return
+        self._check_nodes(spec)
+        job = _Job(spec, len(self.jobs))
+        self.jobs.append(job)
+        if on_launch is not None:
+            on_launch(job.app_id)
+        self._start_job(job)
 
     def all_finished(self) -> bool:
         return all(j.finished for j in self.jobs)
 
+    def _result_of(self, j: "_Job") -> JobResult:
+        return JobResult(
+            name=j.spec.name,
+            app_id=j.app_id,
+            nranks=len(j.ranks),
+            rank_stats=[rs.stats for rs in j.ranks],
+            finished=j.finished,
+        )
+
     def results(self) -> list[JobResult]:
-        return [
-            JobResult(
-                name=j.spec.name,
-                app_id=j.app_id,
-                nranks=len(j.ranks),
-                rank_stats=[rs.stats for rs in j.ranks],
-                finished=j.finished,
-            )
-            for j in self.jobs
-        ]
+        return [self._result_of(j) for j in self.jobs]
 
     # -- generator driving ------------------------------------------------------------
     def _advance(self, rs: _RankState, value: Any) -> None:
@@ -322,6 +384,8 @@ class SimMPI:
                 rs.finished = True
                 rs.stats.finished_at = self.engine.now
                 rs.job.done_ranks += 1
+                if rs.job.finished and self.job_end_callback is not None:
+                    self.job_end_callback(self._result_of(rs.job))
                 return
             value = self._dispatch(rs, op)
             if value is _BLOCKED:

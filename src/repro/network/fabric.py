@@ -5,6 +5,12 @@ assigns message ids, segments/injects via the source terminal, tracks
 reassembly, and invokes a delivery callback when the last byte of a
 message reaches the destination terminal.  It owns the two measurement
 instruments (per-app windowed router counters and link-load accounting).
+
+Construction wires every Router/Terminal LP onto one PDES engine and
+resolves their per-port forwarding constants up front; from then on all
+link serialization is tracked by the LPs' ``busy_until`` timestamps
+(see ``router.py``/``terminal.py`` -- there are no per-packet
+``free``-style bookkeeping self-events anywhere in the fabric).
 """
 
 from __future__ import annotations

@@ -13,6 +13,13 @@ sets of a topology:
 
 All policies draw from a deterministic :class:`numpy.random.Generator`
 stream derived from the experiment seed.
+
+Every policy accepts an optional ``allowed_nodes`` set restricting the
+draw to a subset of the system -- the residual free-node set when jobs
+arrive mid-simulation (scenario dynamic arrivals).  ``None`` (the
+default) means the whole system and reproduces the historical draws
+bit-for-bit.  Under RR/RG a router/group is eligible only when *all* of
+its nodes are allowed, preserving each policy's isolation guarantee.
 """
 
 from __future__ import annotations
@@ -27,22 +34,32 @@ class PlacementError(ValueError):
     """The requested jobs do not fit under the policy's constraints."""
 
 
-def _check_total(topo: Topology, job_sizes: list[int]) -> None:
+def _check_total(
+    topo: Topology, job_sizes: list[int], allowed_nodes: set[int] | None = None
+) -> None:
     for i, size in enumerate(job_sizes):
         if size < 1:
             raise PlacementError(f"job {i} has non-positive size {size}")
     total = sum(job_sizes)
-    if total > topo.n_nodes:
-        raise PlacementError(
-            f"jobs need {total} nodes but the system has only {topo.n_nodes}"
-        )
+    capacity = topo.n_nodes if allowed_nodes is None else len(allowed_nodes)
+    if total > capacity:
+        word = "system has only" if allowed_nodes is None else "free-node set has only"
+        raise PlacementError(f"jobs need {total} nodes but the {word} {capacity}")
 
 
-def random_nodes(topo: Topology, job_sizes: list[int], seed: int = 0) -> list[list[int]]:
-    """RN: sample each job's nodes uniformly from the entire system."""
-    _check_total(topo, job_sizes)
+def random_nodes(
+    topo: Topology,
+    job_sizes: list[int],
+    seed: int = 0,
+    allowed_nodes: set[int] | None = None,
+) -> list[list[int]]:
+    """RN: sample each job's nodes uniformly from the allowed set."""
+    _check_total(topo, job_sizes, allowed_nodes)
     rng = lp_stream(seed, 101)
-    perm = rng.permutation(topo.n_nodes)
+    if allowed_nodes is None:
+        perm = rng.permutation(topo.n_nodes)
+    else:
+        perm = rng.permutation(sorted(allowed_nodes))
     out: list[list[int]] = []
     cursor = 0
     for size in job_sizes:
@@ -51,16 +68,27 @@ def random_nodes(topo: Topology, job_sizes: list[int], seed: int = 0) -> list[li
     return out
 
 
-def random_routers(topo: Topology, job_sizes: list[int], seed: int = 0) -> list[list[int]]:
+def random_routers(
+    topo: Topology,
+    job_sizes: list[int],
+    seed: int = 0,
+    allowed_nodes: set[int] | None = None,
+) -> list[list[int]]:
     """RR: give each job whole routers; fill each router's nodes consecutively."""
-    _check_total(topo, job_sizes)
+    _check_total(topo, job_sizes, allowed_nodes)
     npr = topo.nodes_per_router
     rng = lp_stream(seed, 102)
     routers = [int(r) for r in rng.permutation(topo.n_routers)]
+    if allowed_nodes is not None:
+        routers = [
+            r for r in routers
+            if all(n in allowed_nodes for n in topo.nodes_of_router(r))
+        ]
     needed = sum(-(-size // npr) for size in job_sizes)
-    if needed > topo.n_routers:
+    if needed > len(routers):
+        pool = "system has only" if allowed_nodes is None else "free set has only"
         raise PlacementError(
-            f"jobs need {needed} whole routers but the system has only {topo.n_routers}"
+            f"jobs need {needed} whole routers but the {pool} {len(routers)}"
         )
     out: list[list[int]] = []
     cursor = 0
@@ -74,16 +102,27 @@ def random_routers(topo: Topology, job_sizes: list[int], seed: int = 0) -> list[
     return out
 
 
-def random_groups(topo: Topology, job_sizes: list[int], seed: int = 0) -> list[list[int]]:
+def random_groups(
+    topo: Topology,
+    job_sizes: list[int],
+    seed: int = 0,
+    allowed_nodes: set[int] | None = None,
+) -> list[list[int]]:
     """RG: give each job whole groups; fill each group's nodes consecutively."""
-    _check_total(topo, job_sizes)
+    _check_total(topo, job_sizes, allowed_nodes)
     npg = topo.nodes_per_group
     rng = lp_stream(seed, 103)
     groups = [int(g) for g in rng.permutation(topo.n_groups)]
+    if allowed_nodes is not None:
+        groups = [
+            g for g in groups
+            if all(n in allowed_nodes for n in topo.nodes_of_group(g))
+        ]
     needed = sum(-(-size // npg) for size in job_sizes)
-    if needed > topo.n_groups:
+    if needed > len(groups):
+        pool = "system has only" if allowed_nodes is None else "free set has only"
         raise PlacementError(
-            f"jobs need {needed} whole groups but the system has only {topo.n_groups}"
+            f"jobs need {needed} whole groups but the {pool} {len(groups)}"
         )
     out: list[list[int]] = []
     cursor = 0
@@ -104,7 +143,13 @@ PLACEMENTS = {
 }
 
 
-def make_placement(name: str, topo: Topology, job_sizes: list[int], seed: int = 0) -> list[list[int]]:
+def make_placement(
+    name: str,
+    topo: Topology,
+    job_sizes: list[int],
+    seed: int = 0,
+    allowed_nodes: set[int] | None = None,
+) -> list[list[int]]:
     """Apply the placement policy named ``rn``/``rr``/``rg``."""
     try:
         fn = PLACEMENTS[name.lower()]
@@ -112,4 +157,4 @@ def make_placement(name: str, topo: Topology, job_sizes: list[int], seed: int = 
         raise PlacementError(
             f"unknown placement {name!r}; expected one of {sorted(PLACEMENTS)}"
         ) from None
-    return fn(topo, job_sizes, seed)
+    return fn(topo, job_sizes, seed, allowed_nodes)

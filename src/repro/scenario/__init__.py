@@ -1,0 +1,55 @@
+"""Declarative experiment scenarios (the "as many scenarios as you can
+imagine" layer).
+
+One 20-line TOML/JSON file describes a whole hybrid-workload experiment:
+the topology, routing, placement and seed, the measured jobs -- each
+with an optional mid-simulation arrival time and per-job overrides --
+and background-traffic injectors loading the fabric underneath them.
+
+* :mod:`repro.scenario.spec`   -- parsing + validation (:func:`load_scenario`)
+* :mod:`repro.scenario.runner` -- one scenario -> metrics (:func:`run_scenario`)
+* :mod:`repro.scenario.batch`  -- a directory of scenarios -> one report
+
+See ``docs/scenarios.md`` for the spec-format reference.
+"""
+
+from repro.scenario.batch import (
+    BatchResult,
+    discover_specs,
+    render_batch_summary,
+    run_batch,
+    run_spec_file,
+)
+from repro.scenario.runner import (
+    JobReport,
+    ScenarioResult,
+    build_manager,
+    render_scenario_report,
+    run_scenario,
+)
+from repro.scenario.spec import (
+    JobEntry,
+    ScenarioError,
+    ScenarioSpec,
+    TrafficEntry,
+    load_scenario,
+    parse_scenario,
+)
+
+__all__ = [
+    "BatchResult",
+    "JobEntry",
+    "JobReport",
+    "ScenarioError",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "TrafficEntry",
+    "build_manager",
+    "discover_specs",
+    "load_scenario",
+    "parse_scenario",
+    "render_batch_summary",
+    "render_scenario_report",
+    "run_batch",
+    "run_spec_file",
+]

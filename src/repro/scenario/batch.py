@@ -1,0 +1,121 @@
+"""Batch runner: fan a directory of scenario specs into one report.
+
+``union-sim batch <dir>`` discovers every ``*.toml``/``*.json`` spec
+under a directory, runs each scenario (sequentially, or across worker
+processes with ``--jobs N`` -- scenarios are independent simulations, so
+they parallelize embarrassingly via :mod:`multiprocessing`), and reduces
+everything to one summary table plus an optional JSON report.  A spec
+that fails to parse or crashes mid-run is reported alongside the
+successes instead of aborting the rest of the batch.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.harness.report import format_seconds, render_table
+from repro.scenario.runner import run_scenario
+from repro.scenario.spec import ScenarioError, load_scenario
+
+
+def discover_specs(directory: str | Path) -> list[Path]:
+    """Every scenario file in ``directory``, sorted for stable ordering."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ScenarioError(f"not a directory: {directory}")
+    return sorted(
+        p for p in directory.iterdir()
+        if p.suffix.lower() in (".toml", ".json") and p.is_file()
+    )
+
+
+def run_spec_file(path: str | Path) -> dict[str, Any]:
+    """Run one spec file; always returns a JSON-able dict.
+
+    Shaped for :class:`multiprocessing.Pool` workers: errors become
+    ``{"scenario", "path", "error"}`` records instead of exceptions, so
+    one broken spec cannot take down a batch.
+    """
+    path = Path(path)
+    try:
+        result = run_scenario(load_scenario(path)).to_json_dict()
+        result["path"] = str(path)
+        return result
+    except Exception as exc:  # noqa: BLE001 - the batch must survive any spec
+        return {
+            "scenario": path.stem,
+            "path": str(path),
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+
+
+@dataclass
+class BatchResult:
+    """All per-scenario JSON dicts of one batch run."""
+
+    results: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[dict[str, Any]]:
+        return [r for r in self.results if "error" in r]
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {"scenarios": self.results}
+
+    def write_json(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_json_dict(), indent=2) + "\n")
+
+
+def run_batch(paths: list[Path] | str | Path, workers: int = 1) -> BatchResult:
+    """Run many scenario files; ``paths`` may also be a directory.
+
+    ``workers > 1`` fans the specs out over a process pool; each worker
+    simulates whole scenarios independently (results come back in input
+    order either way).
+    """
+    if isinstance(paths, (str, Path)):
+        paths = discover_specs(paths)
+    if not paths:
+        raise ScenarioError("no .toml/.json scenario files to run")
+    if workers > 1 and len(paths) > 1:
+        with multiprocessing.Pool(min(workers, len(paths))) as pool:
+            results = pool.map(run_spec_file, paths)
+    else:
+        results = [run_spec_file(p) for p in paths]
+    return BatchResult(results)
+
+
+def render_batch_summary(batch: BatchResult) -> str:
+    """The ``union-sim batch`` summary: one row per scenario."""
+    rows = []
+    for r in batch.results:
+        if "error" in r:
+            rows.append((r["scenario"], "ERROR", "-", "-", "-", r["error"]))
+            continue
+        jobs = r["jobs"]
+        apps = [j for j in jobs if not j["background"]]
+        done = sum(1 for j in apps if j["finished"])
+        worst = max((j["max_latency"] for j in apps if j["started"]), default=0.0)
+        note = "; ".join(
+            f"{j['name']}: {j['skip_reason']}" for j in jobs if j["skip_reason"]
+        )
+        rows.append((
+            r["scenario"],
+            f"{done}/{len(apps)} apps done",
+            format_seconds(r["end_time"]),
+            r["events"],
+            format_seconds(worst),
+            note or "-",
+        ))
+    return render_table(
+        ["scenario", "status", "end time", "events", "worst max lat", "notes"],
+        rows,
+        title=f"batch: {len(batch.results)} scenario(s), "
+              f"{len(batch.failures)} failure(s)",
+    )

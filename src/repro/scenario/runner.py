@@ -1,0 +1,274 @@
+"""Build and run one scenario; reduce the outcome to a report.
+
+``build_manager`` turns a validated :class:`ScenarioSpec` into a wired
+:class:`~repro.union.manager.WorkloadManager` (catalog apps, translated
+DSL sources, background-traffic injectors, arrival times, per-job
+overrides).  ``run_scenario`` executes it and reduces the outcome to
+plain-data :class:`ScenarioResult` rows that serialize to JSON --
+the same rows the CLI table and the batch runner consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.harness.configs import default_counter_window, make_topology
+from repro.harness.report import format_bytes, format_seconds, render_table
+from repro.scenario.spec import JobEntry, ScenarioError, ScenarioSpec, TrafficEntry
+from repro.union.manager import Job, RunOutcome, WorkloadManager
+from repro.union.translator import translate
+from repro.workloads.catalog import app_catalog
+from repro.workloads.hotspot import hotspot
+from repro.workloads.uniform_random import uniform_random
+
+_TRAFFIC_PROGRAMS = {"uniform": uniform_random, "hotspot": hotspot}
+
+
+def _build_job(entry: JobEntry, scale: str, base_dir: Path | None) -> Job:
+    common = dict(
+        params=dict(entry.params),
+        routing=entry.routing,
+        arrival=entry.arrival,
+        placement=entry.placement,
+    )
+    if entry.app is not None:
+        spec = app_catalog(scale)[entry.app]
+        params = dict(spec.params)
+        params.update(entry.params)
+        common["params"] = params
+        nranks = entry.nranks or spec.nranks
+        dims = params.get("dims")
+        if dims is not None:
+            total = 1
+            for d in dims:
+                total *= int(d)
+            if total != nranks:
+                raise ScenarioError(
+                    f"job {entry.name!r}: nranks={nranks} does not match the "
+                    f"{entry.app!r} grid dims {tuple(dims)} (= {total} ranks); "
+                    "override params.dims alongside nranks"
+                )
+        if spec.kind == "skeleton":
+            return Job(entry.name, nranks, skeleton=spec.skeleton_factory(), **common)
+        return Job(entry.name, nranks, program=spec.program, **common)
+    path = Path(entry.source)
+    if not path.is_absolute() and base_dir is not None:
+        path = base_dir / path
+    if not path.is_file():
+        raise ScenarioError(
+            f"job {entry.name!r}: source file not found: {path} "
+            "(relative paths resolve against the spec file)"
+        )
+    skeleton = translate(path.read_text(), entry.name)
+    return Job(entry.name, entry.nranks, skeleton=skeleton, **common)
+
+
+def _build_traffic(entry: TrafficEntry, seed: int) -> Job:
+    params = {
+        "msg_bytes": entry.msg_bytes,
+        "interval_s": entry.interval_s,
+        "iters": entry.iters,
+        "seed": seed,
+    }
+    if entry.pattern == "hotspot":
+        params["hot_ranks"] = entry.hot_ranks
+    return Job(
+        entry.name,
+        entry.nranks,
+        program=_TRAFFIC_PROGRAMS[entry.pattern],
+        params=params,
+        routing=entry.routing,
+        arrival=entry.arrival,
+        placement=entry.placement,
+        background=True,
+    )
+
+
+def build_manager(spec: ScenarioSpec) -> WorkloadManager:
+    """Wire a :class:`WorkloadManager` exactly as the spec describes."""
+    topo = make_topology(spec.network, spec.scale)
+    window = (
+        spec.counter_window
+        if spec.counter_window is not None
+        else default_counter_window(spec.scale)
+    )
+    mgr = WorkloadManager(
+        topo,
+        routing=spec.routing,
+        placement=spec.placement,
+        seed=spec.seed,
+        counter_window=window,
+    )
+    for entry in spec.jobs:
+        mgr.add_job(_build_job(entry, spec.scale, spec.base_dir))
+    for i, entry in enumerate(spec.traffic):
+        # Salt the seed per injector so every injector emits an
+        # independent stream.  The stride must dominate the per-pattern
+        # salts workload_rng folds into the same scalar (uniform 7,
+        # hotspot 11), or injectors of different patterns at nearby
+        # indices would alias onto one stream.
+        mgr.add_job(_build_traffic(entry, spec.seed + 1009 * i))
+    return mgr
+
+
+@dataclass
+class JobReport:
+    """Per-job metrics of one scenario run, as plain data."""
+
+    name: str
+    nranks: int
+    background: bool
+    arrival: float
+    started: bool
+    finished: bool
+    #: Background injector with no natural end (iters = 0): "running"
+    #: at the horizon is its expected state, not a truncation.
+    endless: bool = False
+    avg_latency: float = 0.0
+    max_latency: float = 0.0
+    max_comm_time: float = 0.0
+    messages: int = 0
+    bytes_sent: int = 0
+    n_groups: int = 0
+    skip_reason: str = ""
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run reports (JSON-serializable core)."""
+
+    scenario: str
+    network: str
+    scale: str
+    routing: str
+    placement: str
+    seed: int
+    horizon: float
+    end_time: float
+    events: int
+    jobs: list[JobReport]
+    link_summary: dict[str, float]
+    #: The live outcome (fabric, counters) -- in-process callers only,
+    #: excluded from the JSON form.
+    outcome: RunOutcome | None = field(default=None, repr=False, compare=False)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        # Not dataclasses.asdict: that would deep-copy the live outcome.
+        return {
+            "scenario": self.scenario,
+            "network": self.network,
+            "scale": self.scale,
+            "routing": self.routing,
+            "placement": self.placement,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "end_time": self.end_time,
+            "events": self.events,
+            "jobs": [asdict(j) for j in self.jobs],
+            "link_summary": dict(self.link_summary),
+        }
+
+    def job(self, name: str) -> JobReport:
+        for j in self.jobs:
+            if j.name == name:
+                return j
+        raise KeyError(f"no job named {name!r}; have {[j.name for j in self.jobs]}")
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Run one scenario end to end and reduce it to a result."""
+    mgr = build_manager(spec)
+    outcome = mgr.run(until=spec.horizon)
+    reports: list[JobReport] = []
+    by_name = {a.name: a for a in outcome.apps}
+    skipped = dict(outcome.not_started)
+    for job in mgr.jobs:
+        endless = job.background and int(job.params.get("iters", 0)) == 0
+        a = by_name.get(job.name)
+        if a is None:
+            reports.append(JobReport(
+                name=job.name, nranks=job.nranks, background=job.background,
+                arrival=job.arrival, started=False, finished=False,
+                endless=endless, skip_reason=skipped.get(job.name, ""),
+            ))
+            continue
+        r = a.result
+        lat = r.max_latencies_per_rank()
+        reports.append(JobReport(
+            name=job.name,
+            nranks=r.nranks,
+            background=job.background,
+            arrival=job.arrival,
+            started=True,
+            finished=r.finished,
+            endless=endless,
+            avg_latency=r.avg_latency(),
+            max_latency=max(lat) if lat else 0.0,
+            max_comm_time=r.max_comm_time(),
+            messages=sum(s.msgs_recvd for s in r.rank_stats),
+            bytes_sent=r.total_bytes_sent(),
+            n_groups=len(a.groups),
+        ))
+    return ScenarioResult(
+        scenario=spec.name,
+        network=spec.network,
+        scale=spec.scale,
+        routing=spec.routing,
+        placement=spec.placement,
+        seed=spec.seed,
+        horizon=spec.horizon,
+        end_time=outcome.end_time,
+        events=outcome.fabric.engine.events_processed,
+        jobs=reports,
+        link_summary=outcome.link_load_summary(),
+        outcome=outcome,
+    )
+
+
+def render_scenario_report(result: ScenarioResult) -> str:
+    """The ``union-sim scenario`` table: one row per job."""
+    rows = []
+    for j in result.jobs:
+        if not j.started:
+            status = "skipped"
+        elif j.finished:
+            status = "done"
+        else:
+            # A finite injector truncated by the horizon is "cut off"
+            # like any app; only endless ones are expected to be running.
+            status = "running" if j.endless else "cut off"
+        rows.append((
+            j.name,
+            "traffic" if j.background else "app",
+            j.nranks,
+            format_seconds(j.arrival) if j.arrival else "0",
+            status,
+            format_seconds(j.avg_latency),
+            format_seconds(j.max_latency),
+            format_seconds(j.max_comm_time),
+            j.messages,
+        ))
+    table = render_table(
+        ["job", "kind", "ranks", "arrival", "status",
+         "avg msg lat", "max msg lat", "max comm time", "msgs"],
+        rows,
+        title=(f"scenario {result.scenario!r} on {result.network} "
+               f"{result.scale} dragonfly "
+               f"({result.placement}-{result.routing}, seed {result.seed})"),
+    )
+    ls = result.link_summary
+    lines = [table]
+    for j in result.jobs:
+        if j.skip_reason:
+            lines.append(f"  note: {j.name}: {j.skip_reason}")
+    lines.append(
+        f"end time {format_seconds(result.end_time)} of "
+        f"{format_seconds(result.horizon)} horizon; "
+        f"{result.events} events; link loads: "
+        f"global={format_bytes(ls['global_total_bytes'])} "
+        f"local={format_bytes(ls['local_total_bytes'])} "
+        f"(global fraction {ls['global_fraction']:.1%})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,406 @@
+"""Declarative scenario specs: parsing and validation.
+
+A *scenario* is one co-scheduled simulation described as data instead of
+a hand-written Python script: the topology, the fabric-wide routing and
+placement policies, the seed and horizon, a list of jobs -- each with an
+optional arrival time and per-job routing/placement overrides -- and a
+list of background-traffic injectors that load the fabric underneath the
+measured applications.
+
+Specs live in TOML (stdlib :mod:`tomllib`) or JSON files, or are built
+programmatically from plain dicts via :func:`parse_scenario`.  The
+format is documented with worked examples in ``docs/scenarios.md``;
+``scripts/check_docs.py`` validates every snippet there against this
+parser, so the docs cannot drift.
+
+Every validation failure raises :class:`ScenarioError` carrying the
+offending key path (``jobs[2].nranks``) and what was expected -- specs
+are written by hand, so error messages are the user interface.
+"""
+
+from __future__ import annotations
+
+import json
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.harness.configs import NETWORKS, PLACEMENTS, ROUTINGS, default_horizon
+from repro.workloads.catalog import app_catalog
+
+#: Background-traffic patterns a ``[[traffic]]`` entry may name.
+TRAFFIC_PATTERNS = ("uniform", "hotspot")
+
+#: Scales a ``[topology]`` section may name.
+SCALES = ("mini", "paper")
+
+
+class ScenarioError(ValueError):
+    """A scenario spec failed validation; the message names the key path."""
+
+
+def _err(path: str, problem: str) -> ScenarioError:
+    where = f"{path}: " if path else ""
+    return ScenarioError(f"{where}{problem}")
+
+
+def _require_mapping(value: Any, path: str) -> Mapping:
+    if not isinstance(value, Mapping):
+        raise _err(path, f"expected a table/object, got {type(value).__name__}")
+    return value
+
+
+def _check_keys(data: Mapping, allowed: dict[str, str], path: str) -> None:
+    unknown = set(data) - set(allowed)
+    if unknown:
+        key = sorted(unknown)[0]
+        expected = ", ".join(sorted(allowed))
+        raise _err(
+            f"{path}.{key}" if path else key,
+            f"unknown key {key!r}; expected one of: {expected}",
+        )
+
+
+def _get_str(data: Mapping, key: str, path: str, default: str | None = None,
+             choices: tuple[str, ...] | None = None) -> str | None:
+    value = data.get(key, default)
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise _err(f"{path}.{key}" if path else key,
+                   f"expected a string, got {value!r}")
+    if choices is not None and value not in choices:
+        raise _err(f"{path}.{key}" if path else key,
+                   f"{value!r} is not one of {list(choices)}")
+    return value
+
+
+def _get_int(data: Mapping, key: str, path: str, default: int | None = None,
+             minimum: int | None = None) -> int | None:
+    value = data.get(key, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _err(f"{path}.{key}" if path else key,
+                   f"expected an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise _err(f"{path}.{key}" if path else key,
+                   f"must be >= {minimum}, got {value}")
+    return value
+
+
+def _get_float(data: Mapping, key: str, path: str, default: float | None = None,
+               minimum: float | None = None) -> float | None:
+    value = data.get(key, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _err(f"{path}.{key}" if path else key,
+                   f"expected a number, got {value!r}")
+    value = float(value)
+    if minimum is not None and value < minimum:
+        raise _err(f"{path}.{key}" if path else key,
+                   f"must be >= {minimum}, got {value}")
+    return value
+
+
+@dataclass
+class JobEntry:
+    """One measured application in a scenario.
+
+    Exactly one of ``app``/``source`` is set: ``app`` names a
+    workload-catalog entry (``cosmoflow``, ``lammps``, ...) whose rank
+    count and parameters become defaults; ``source`` points to a
+    coNCePTuaL file (relative paths resolve against the spec file) that
+    is translated to a Union skeleton when the scenario is built.
+    """
+
+    name: str
+    app: str | None = None
+    source: str | None = None
+    nranks: int | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+    arrival: float = 0.0
+    routing: str | None = None
+    placement: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"name": self.name}
+        if self.app is not None:
+            out["app"] = self.app
+        if self.source is not None:
+            out["source"] = self.source
+        if self.nranks is not None:
+            out["nranks"] = self.nranks
+        if self.params:
+            out["params"] = dict(self.params)
+        if self.arrival:
+            out["arrival"] = self.arrival
+        if self.routing is not None:
+            out["routing"] = self.routing
+        if self.placement is not None:
+            out["placement"] = self.placement
+        return out
+
+
+@dataclass
+class TrafficEntry:
+    """One background-traffic injector (not a measured application)."""
+
+    name: str
+    pattern: str = "uniform"  # "uniform" | "hotspot"
+    nranks: int = 8
+    msg_bytes: int = 10240
+    interval_s: float = 1e-3
+    iters: int = 0  # 0 = endless (until the horizon)
+    hot_ranks: int = 1  # hotspot only: how many ranks are targets
+    arrival: float = 0.0
+    routing: str | None = None
+    placement: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "pattern": self.pattern,
+            "nranks": self.nranks,
+            "msg_bytes": self.msg_bytes,
+            "interval_s": self.interval_s,
+        }
+        if self.iters:
+            out["iters"] = self.iters
+        if self.pattern == "hotspot":
+            out["hot_ranks"] = self.hot_ranks
+        if self.arrival:
+            out["arrival"] = self.arrival
+        if self.routing is not None:
+            out["routing"] = self.routing
+        if self.placement is not None:
+            out["placement"] = self.placement
+        return out
+
+
+@dataclass
+class ScenarioSpec:
+    """A fully validated scenario, ready for :func:`repro.scenario.runner.run_scenario`."""
+
+    name: str
+    network: str = "1d"
+    scale: str = "mini"
+    routing: str = "adp"
+    placement: str = "rg"
+    seed: int = 1
+    horizon: float = 0.0  # resolved: always > 0 after parsing
+    counter_window: float | None = None
+    jobs: list[JobEntry] = field(default_factory=list)
+    traffic: list[TrafficEntry] = field(default_factory=list)
+    base_dir: Path | None = None  # where relative job sources resolve
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form that round-trips through :func:`parse_scenario`."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "topology": {"network": self.network, "scale": self.scale},
+            "routing": self.routing,
+            "placement": self.placement,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "jobs": [j.to_dict() for j in self.jobs],
+        }
+        if self.counter_window is not None:
+            out["counter_window"] = self.counter_window
+        if self.traffic:
+            out["traffic"] = [t.to_dict() for t in self.traffic]
+        if self.base_dir is not None:
+            # Keep relative job sources resolvable after a round trip.
+            out["base_dir"] = str(self.base_dir)
+        return out
+
+
+_TOP_KEYS = {
+    "name": "scenario name",
+    "topology": "[topology] table",
+    "routing": "fabric-wide routing",
+    "placement": "fabric-wide placement",
+    "seed": "master seed",
+    "horizon": "simulation horizon (s)",
+    "counter_window": "router counter window (s)",
+    "jobs": "[[jobs]] entries",
+    "traffic": "[[traffic]] entries",
+    "base_dir": "directory for relative job sources",
+}
+
+_TOPOLOGY_KEYS = {"network": "1d|2d", "scale": "mini|paper"}
+
+_JOB_KEYS = {
+    "name": "job name",
+    "app": "workload-catalog entry",
+    "source": "coNCePTuaL file",
+    "nranks": "rank count",
+    "params": "parameter overrides",
+    "arrival": "arrival time (s)",
+    "routing": "per-job routing override",
+    "placement": "per-job placement override",
+}
+
+_TRAFFIC_KEYS = {
+    "name": "injector name",
+    "pattern": "uniform|hotspot",
+    "nranks": "rank count",
+    "msg_bytes": "message size",
+    "interval_s": "injection interval (s)",
+    "iters": "rounds (0 = endless)",
+    "hot_ranks": "hotspot targets",
+    "arrival": "arrival time (s)",
+    "routing": "per-injector routing override",
+    "placement": "per-injector placement override",
+}
+
+
+def _parse_job(data: Any, i: int, scale: str) -> JobEntry:
+    path = f"jobs[{i}]"
+    data = _require_mapping(data, path)
+    _check_keys(data, _JOB_KEYS, path)
+    app = _get_str(data, "app", path)
+    source = _get_str(data, "source", path)
+    if (app is None) == (source is None):
+        raise _err(path, "set exactly one of 'app' (a workload-catalog name) "
+                         "or 'source' (a coNCePTuaL file)")
+    if app is not None:
+        catalog = app_catalog(scale)
+        if app not in catalog:
+            raise _err(f"{path}.app",
+                       f"unknown application {app!r}; the {scale!r} catalog has: "
+                       f"{sorted(catalog)}")
+    name = _get_str(data, "name", path, default=app or Path(source).stem)
+    nranks = _get_int(data, "nranks", path, minimum=1)
+    if source is not None and nranks is None:
+        raise _err(f"{path}.nranks",
+                   "required for 'source' jobs (DSL files carry no rank count)")
+    params = data.get("params", {})
+    params = dict(_require_mapping(params, f"{path}.params"))
+    return JobEntry(
+        name=name,
+        app=app,
+        source=source,
+        nranks=nranks,
+        params=params,
+        arrival=_get_float(data, "arrival", path, default=0.0, minimum=0.0),
+        routing=_get_str(data, "routing", path, choices=ROUTINGS),
+        placement=_get_str(data, "placement", path, choices=PLACEMENTS),
+    )
+
+
+def _parse_traffic(data: Any, i: int) -> TrafficEntry:
+    path = f"traffic[{i}]"
+    data = _require_mapping(data, path)
+    _check_keys(data, _TRAFFIC_KEYS, path)
+    pattern = _get_str(data, "pattern", path, default="uniform",
+                       choices=TRAFFIC_PATTERNS)
+    interval_s = _get_float(data, "interval_s", path, default=1e-3, minimum=0.0)
+    iters = _get_int(data, "iters", path, default=0, minimum=0)
+    if iters == 0 and interval_s == 0.0:
+        raise _err(f"{path}.interval_s",
+                   "an endless injector (iters = 0) needs interval_s > 0, "
+                   "or simulated time would never advance")
+    return TrafficEntry(
+        name=_get_str(data, "name", path, default=f"{pattern}-{i}"),
+        pattern=pattern,
+        # Both patterns need a peer to send to: 1-rank "uniform" has no
+        # valid destination and a 1-rank hotspot degenerates to self-sends.
+        nranks=_get_int(data, "nranks", path, default=8, minimum=2),
+        msg_bytes=_get_int(data, "msg_bytes", path, default=10240, minimum=0),
+        interval_s=interval_s,
+        iters=iters,
+        hot_ranks=_get_int(data, "hot_ranks", path, default=1, minimum=1),
+        arrival=_get_float(data, "arrival", path, default=0.0, minimum=0.0),
+        routing=_get_str(data, "routing", path, choices=ROUTINGS),
+        placement=_get_str(data, "placement", path, choices=PLACEMENTS),
+    )
+
+
+def parse_scenario(
+    data: Mapping,
+    name: str | None = None,
+    base_dir: str | Path | None = None,
+) -> ScenarioSpec:
+    """Validate a plain mapping (parsed TOML/JSON) into a :class:`ScenarioSpec`.
+
+    ``name`` is the fallback scenario name (usually the file stem);
+    ``base_dir`` is where relative job ``source`` paths resolve (it
+    falls back to a ``base_dir`` key in the data itself, which is how
+    :meth:`ScenarioSpec.to_dict` keeps round-tripped specs runnable).
+    """
+    data = _require_mapping(data, "")
+    _check_keys(data, _TOP_KEYS, "")
+    if base_dir is None:
+        base_dir = _get_str(data, "base_dir", "")
+    topo = _require_mapping(data.get("topology", {}), "topology")
+    _check_keys(topo, _TOPOLOGY_KEYS, "topology")
+    network = _get_str(topo, "network", "topology", default="1d", choices=NETWORKS)
+    scale = _get_str(topo, "scale", "topology", default="mini", choices=SCALES)
+
+    jobs_raw = data.get("jobs", [])
+    if not isinstance(jobs_raw, list):
+        raise _err("jobs", f"expected an array of tables, got {type(jobs_raw).__name__}")
+    jobs = [_parse_job(j, i, scale) for i, j in enumerate(jobs_raw)]
+    if not jobs:
+        raise _err("jobs", "a scenario needs at least one [[jobs]] entry")
+
+    traffic_raw = data.get("traffic", [])
+    if not isinstance(traffic_raw, list):
+        raise _err("traffic",
+                   f"expected an array of tables, got {type(traffic_raw).__name__}")
+    traffic = [_parse_traffic(t, i) for i, t in enumerate(traffic_raw)]
+
+    seen: set[str] = set()
+    for section, entries in (("jobs", jobs), ("traffic", traffic)):
+        for i, entry in enumerate(entries):
+            if entry.name in seen:
+                raise _err(f"{section}[{i}].name",
+                           f"duplicate job/traffic name {entry.name!r}; "
+                           "names must be unique so reports are unambiguous")
+            seen.add(entry.name)
+
+    spec = ScenarioSpec(
+        name=_get_str(data, "name", "", default=name or "scenario"),
+        network=network,
+        scale=scale,
+        routing=_get_str(data, "routing", "", default="adp", choices=ROUTINGS),
+        placement=_get_str(data, "placement", "", default="rg", choices=PLACEMENTS),
+        seed=_get_int(data, "seed", "", default=1, minimum=0),  # RNG wants uint64
+        horizon=_get_float(data, "horizon", "", default=default_horizon(scale),
+                           minimum=0.0),
+        counter_window=_get_float(data, "counter_window", "", minimum=0.0),
+        jobs=jobs,
+        traffic=traffic,
+        base_dir=Path(base_dir) if base_dir is not None else None,
+    )
+    if spec.horizon <= 0:
+        raise _err("horizon", f"must be > 0, got {spec.horizon}")
+    return spec
+
+
+def load_scenario(path: str | Path) -> ScenarioSpec:
+    """Load and validate a ``.toml`` or ``.json`` scenario file."""
+    path = Path(path)
+    if not path.is_file():
+        raise ScenarioError(f"scenario file not found: {path}")
+    suffix = path.suffix.lower()
+    try:
+        if suffix == ".toml":
+            with open(path, "rb") as fh:
+                data = tomllib.load(fh)
+        elif suffix == ".json":
+            with open(path, "rb") as fh:
+                data = json.load(fh)
+        else:
+            raise ScenarioError(
+                f"{path}: unsupported spec format {suffix!r}; use .toml or .json"
+            )
+    except (tomllib.TOMLDecodeError, json.JSONDecodeError) as exc:
+        raise ScenarioError(f"{path}: not valid {suffix[1:].upper()}: {exc}") from exc
+    try:
+        return parse_scenario(data, name=path.stem, base_dir=path.parent)
+    except ScenarioError as exc:
+        raise ScenarioError(f"{path}: {exc}") from None

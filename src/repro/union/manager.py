@@ -6,6 +6,12 @@ or SWM-style Python programs), and it wires up the fabric, maps ranks to
 nodes, runs the co-scheduled simulation and returns per-application
 metrics plus the fabric's measurement instruments -- everything the
 paper's Figures 7-9 and Tables IV-VI consume.
+
+Jobs need not all start at t=0: a :class:`Job` may carry an ``arrival``
+time (it is then placed at that simulated instant against the residual
+free-node set, reusing nodes of finished jobs), a per-job ``placement``
+policy override, and a ``background`` flag marking traffic injectors.
+Declarative access to all of this lives in :mod:`repro.scenario`.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from repro.mpi.engine import JobResult, JobSpec, SimMPI
 from repro.network.config import NetworkConfig
 from repro.network.fabric import NetworkFabric
 from repro.network.topology import Topology
-from repro.placement.policies import make_placement
+from repro.placement.policies import PlacementError, make_placement
 from repro.union.event_generator import SimUnionAPI, SkeletonShared
 from repro.union.registry import get_skeleton
 from repro.union.skeleton import Skeleton
@@ -32,6 +38,13 @@ class Job:
     SWM-style generator ``program(ctx)``.  ``routing`` optionally
     overrides the fabric-wide routing policy for this job's traffic
     (the paper's per-job "routing police").
+
+    ``arrival`` schedules the job's launch mid-simulation: its ranks are
+    placed at that simulated time against the then-free node set (nodes
+    of already-finished jobs are reused).  ``placement`` overrides the
+    manager-wide policy for this one job.  ``background`` marks traffic
+    injectors that load the fabric but are not themselves the measured
+    applications (scenario reports separate the two).
     """
 
     name: str
@@ -40,12 +53,17 @@ class Job:
     program: Callable | None = None
     params: dict[str, Any] = field(default_factory=dict)
     routing: str | None = None
+    arrival: float = 0.0
+    placement: str | None = None
+    background: bool = False
 
     def __post_init__(self) -> None:
         if (self.skeleton is None) == (self.program is None):
             raise ValueError(f"job {self.name!r}: set exactly one of skeleton/program")
         if self.nranks < 1:
             raise ValueError(f"job {self.name!r}: nranks must be >= 1")
+        if self.arrival < 0:
+            raise ValueError(f"job {self.name!r}: arrival must be >= 0, got {self.arrival}")
 
 
 @dataclass
@@ -58,16 +76,30 @@ class AppMetrics:
     nodes: list[int]
     routers: set[int]
     groups: set[int]
+    arrival: float = 0.0
+    background: bool = False
 
 
 class RunOutcome:
-    """Everything measured in one co-scheduled simulation."""
+    """Everything measured in one co-scheduled simulation.
 
-    def __init__(self, manager: "WorkloadManager", apps: list[AppMetrics], end_time: float) -> None:
+    ``not_started`` lists ``(job_name, reason)`` for jobs whose arrival
+    never happened inside the horizon or whose placement did not fit the
+    free-node set at arrival time.
+    """
+
+    def __init__(
+        self,
+        manager: "WorkloadManager",
+        apps: list[AppMetrics],
+        end_time: float,
+        not_started: list[tuple[str, str]] | None = None,
+    ) -> None:
         self.manager = manager
         self.apps = apps
         self.end_time = end_time
         self.fabric = manager.fabric
+        self.not_started = not_started or []
 
     def app(self, name: str) -> AppMetrics:
         for a in self.apps:
@@ -171,12 +203,19 @@ class WorkloadManager:
         return program
 
     def run(self, until: float = float("inf")) -> RunOutcome:
-        """Place jobs, run the co-scheduled simulation, collect metrics."""
+        """Place jobs, run the co-scheduled simulation, collect metrics.
+
+        Jobs whose ``arrival`` is zero and that carry no per-job
+        ``placement`` override are placed together up front (one draw of
+        the manager-wide policy, the paper's static co-schedule).  As
+        soon as any job has an arrival time or a placement override, the
+        manager switches to *dynamic* mode: t=0 jobs are placed one at a
+        time, arriving jobs are placed at their arrival instants against
+        the residual free-node set, and nodes of finished jobs return to
+        the pool.
+        """
         if not self.jobs:
             raise RuntimeError("no jobs to run")
-        placements = make_placement(
-            self.placement, self.topo, [j.nranks for j in self.jobs], self.seed
-        )
         self.fabric = NetworkFabric(
             self.topo,
             self.config,
@@ -188,17 +227,113 @@ class WorkloadManager:
             from repro.storage.system import StorageSystem
 
             self.storage = StorageSystem(self.mpi, self.storage_nodes, self.storage_config)
-        for job, nodes in zip(self.jobs, placements):
-            program = self._skeleton_program(job) if job.skeleton is not None else job.program
-            app_id = self.mpi.add_job(
-                JobSpec(job.name, job.nranks, program, nodes, dict(job.params))
-            )
-            if job.routing is not None:
-                self.fabric.set_app_routing(app_id, job.routing)
+        n = len(self.jobs)
+        self._job_nodes: list[list[int] | None] = [None] * n
+        self._job_footprint: list[set[int] | None] = [None] * n
+        self._job_app: list[int | None] = [None] * n
+        self._job_skip: list[str | None] = [None] * n
+        self._nodes_by_app: dict[int, set[int]] = {}
+        dynamic = any(j.arrival > 0 or j.placement is not None for j in self.jobs)
+        if dynamic:
+            self._setup_dynamic()
+        else:
+            self._setup_static()
         end = self.mpi.run(until=until)
         apps = []
-        for job, nodes, result in zip(self.jobs, placements, self.mpi.results()):
+        not_started: list[tuple[str, str]] = []
+        results = self.mpi.results()
+        for i, job in enumerate(self.jobs):
+            app_id = self._job_app[i]
+            if app_id is None:
+                reason = self._job_skip[i] or (
+                    f"arrival t={job.arrival:g}s is beyond the end of the "
+                    f"simulation (t={end:g}s)"
+                )
+                not_started.append((job.name, reason))
+                continue
+            nodes = self._job_nodes[i]
+            assert nodes is not None
             routers = {self.topo.router_of_node(n) for n in nodes}
             groups = {self.topo.group_of(r) for r in routers}
-            apps.append(AppMetrics(job.name, result.app_id, result, nodes, routers, groups))
-        return RunOutcome(self, apps, end)
+            apps.append(AppMetrics(
+                job.name, app_id, results[app_id], nodes, routers, groups,
+                arrival=job.arrival, background=job.background,
+            ))
+        return RunOutcome(self, apps, end, not_started)
+
+    def _job_spec(self, i: int, job: Job, nodes: list[int]) -> JobSpec:
+        program = self._skeleton_program(job) if job.skeleton is not None else job.program
+        self._job_nodes[i] = nodes
+        return JobSpec(job.name, job.nranks, program, nodes, dict(job.params))
+
+    def _record_launch(self, i: int, job: Job, app_id: int) -> None:
+        self._job_app[i] = app_id
+        # The footprint (whole routers/groups under RR/RG) is what the
+        # job occupies and what returns to the pool when it finishes.
+        self._nodes_by_app[app_id] = (
+            self._job_footprint[i] or set(self._job_nodes[i] or ())
+        )
+        if job.routing is not None:
+            self.fabric.set_app_routing(app_id, job.routing)
+
+    def _setup_static(self) -> None:
+        """Historical path: one placement draw covering every job."""
+        placements = make_placement(
+            self.placement, self.topo, [j.nranks for j in self.jobs], self.seed
+        )
+        for i, (job, nodes) in enumerate(zip(self.jobs, placements)):
+            app_id = self.mpi.add_job(self._job_spec(i, job, nodes))
+            self._record_launch(i, job, app_id)
+
+    def _setup_dynamic(self) -> None:
+        """Arrival-aware path: place per job against the free-node set."""
+        self._free: set[int] = set(range(self.topo.n_nodes))
+        self.mpi.job_end_callback = self._on_job_end
+        for i, job in enumerate(self.jobs):
+            if job.arrival <= 0:
+                nodes = self._place_one(i, job)  # t=0 jobs must fit: raises
+                app_id = self.mpi.add_job(self._job_spec(i, job, nodes))
+                self._record_launch(i, job, app_id)
+            else:
+                self.mpi.submit_job(
+                    self._arrival_factory(i, job),
+                    arrival=job.arrival,
+                    on_launch=lambda app_id, i=i, job=job: self._record_launch(i, job, app_id),
+                )
+
+    def _place_one(self, i: int, job: Job) -> list[int]:
+        policy = (job.placement or self.placement).lower()
+        nodes = make_placement(
+            policy, self.topo, [job.nranks], self.seed + i, allowed_nodes=self._free
+        )[0]
+        # Under RR/RG the job owns its whole routers/groups: reserve the
+        # unused tail nodes too, or a later arrival would be co-located
+        # inside the "isolated" router/group.
+        footprint = set(nodes)
+        if policy == "rr":
+            for node in nodes:
+                footprint.update(self.topo.nodes_of_router(self.topo.router_of_node(node)))
+        elif policy == "rg":
+            for node in nodes:
+                group = self.topo.group_of(self.topo.router_of_node(node))
+                footprint.update(self.topo.nodes_of_group(group))
+        self._free.difference_update(footprint)
+        self._job_footprint[i] = footprint
+        return nodes
+
+    def _arrival_factory(self, i: int, job: Job) -> Callable:
+        def factory() -> JobSpec | None:
+            try:
+                nodes = self._place_one(i, job)
+            except PlacementError as exc:
+                self._job_skip[i] = (
+                    f"placement failed at arrival t={job.arrival:g}s: {exc}"
+                )
+                return None
+            return self._job_spec(i, job, nodes)
+
+        return factory
+
+    def _on_job_end(self, result: JobResult) -> None:
+        """Return a finished job's nodes to the free pool."""
+        self._free.update(self._nodes_by_app.get(result.app_id, ()))

@@ -2,18 +2,26 @@
 
 Two ML applications written in coNCePTuaL and run through Union
 (:mod:`repro.workloads.sources`), three SWM-style HPC skeletons
-(MILC, Nekbone, LAMMPS), and two synthetics (3D nearest neighbour,
-uniform random).  :mod:`repro.workloads.catalog` assembles them into the
-paper's Workload1/2/3 mixes (Table III) at paper or mini scale.
+(MILC, Nekbone, LAMMPS), and three synthetics (3D nearest neighbour,
+uniform random, hotspot).  :mod:`repro.workloads.catalog` assembles them
+into the paper's Workload1/2/3 mixes (Table III) at paper or mini scale;
+the synthetics double as scenario background-traffic injectors.
 """
 
-from repro.workloads.sources import COSMOFLOW_SOURCE, ALEXNET_SOURCE, PINGPONG_SOURCE, UNIFORM_RANDOM_SOURCE
+from repro.workloads.sources import (
+    ALEXNET_SOURCE,
+    COSMOFLOW_SOURCE,
+    HOTSPOT_SOURCE,
+    PINGPONG_SOURCE,
+    UNIFORM_RANDOM_SOURCE,
+)
 from repro.workloads.cosmoflow import cosmoflow_skeleton, COSMOFLOW_PAPER
 from repro.workloads.alexnet import alexnet_skeleton, ALEXNET_PAPER
 from repro.workloads.nearest_neighbor import nearest_neighbor
 from repro.workloads.milc import milc
 from repro.workloads.nekbone import nekbone
 from repro.workloads.lammps import lammps
+from repro.workloads.hotspot import hotspot
 from repro.workloads.uniform_random import uniform_random
 from repro.workloads.io_patterns import checkpointer, io_benchmark, ml_reader
 from repro.workloads.catalog import WORKLOADS, AppSpec, WorkloadSpec, build_jobs, app_catalog
@@ -21,6 +29,7 @@ from repro.workloads.catalog import WORKLOADS, AppSpec, WorkloadSpec, build_jobs
 __all__ = [
     "COSMOFLOW_SOURCE",
     "ALEXNET_SOURCE",
+    "HOTSPOT_SOURCE",
     "PINGPONG_SOURCE",
     "UNIFORM_RANDOM_SOURCE",
     "cosmoflow_skeleton",
@@ -31,6 +40,7 @@ __all__ = [
     "milc",
     "nekbone",
     "lammps",
+    "hotspot",
     "uniform_random",
     "checkpointer",
     "io_benchmark",

@@ -1,0 +1,44 @@
+"""Hotspot synthetic background traffic.
+
+The adversarial complement of uniform-random: every rank fires its
+messages at a small set of *hot* destination ranks, concentrating load
+on a few terminals (and, under minimal routing, a few links).  This is
+the classic pattern for stressing adaptive routing and for loading a
+fabric underneath measured applications in scenario specs.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.process import RankCtx
+from repro.workloads.base import workload_rng
+
+#: Default configuration used by scenario background-traffic injectors.
+HOTSPOT_DEFAULTS = {"msg_bytes": 10240, "interval_s": 1e-3, "iters": 0, "hot_ranks": 1}
+
+
+def hotspot(ctx: RankCtx):
+    """Fire-and-forget traffic aimed at the first ``hot_ranks`` ranks.
+
+    Params: ``msg_bytes``, ``interval_s``, ``iters`` (0 = endless, until
+    the simulation horizon), ``hot_ranks`` (how many of the lowest ranks
+    are targets), ``seed``.  Hot ranks themselves also send (to another
+    hot rank when there is one).  As with uniform-random, receives are
+    never posted: deliveries are recorded at the destination NIC, which
+    is all a background pattern needs.
+    """
+    p = ctx.params
+    msg_bytes = int(p.get("msg_bytes", 10240))
+    interval_s = float(p.get("interval_s", 1e-3))
+    iters = int(p.get("iters", 0))
+    hot = max(1, min(int(p.get("hot_ranks", 1)), ctx.size))
+    rng = workload_rng(ctx, salt=11)
+    it = 0
+    while iters == 0 or it < iters:
+        yield ctx.compute(interval_s)
+        dst = rng.randint(hot) if hot > 1 else 0
+        if dst == ctx.rank:
+            # Never self-send: stay inside the hot set when it has
+            # another member, else the lone hot rank sprays its neighbor.
+            dst = (dst + 1) % hot if hot > 1 else (ctx.rank + 1) % ctx.size
+        yield ctx.isend(dst, msg_bytes, tag=4)
+        it += 1

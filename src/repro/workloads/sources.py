@@ -83,6 +83,26 @@ For tail repetitions {
 }
 """
 
+# Hotspot background traffic, as a DSL program (scenario traffic
+# injectors use the SWM-style generator in hotspot.py; this source is
+# the same pattern expressed through the full Union pipeline).
+HOTSPOT_SOURCE = """\
+# Hotspot synthetic traffic: everyone hammers task 0.
+Require language version "1.5".
+
+iters is "Number of send rounds" and comes from "--iters" with default 100.
+msgsize is "Message size in bytes" and comes from "--msgsize" with default 10240.
+imsecs is "Injection interval in milliseconds" and comes from "--imsecs" with default 1.
+
+Assert that "a hotspot needs a non-target sender" with num_tasks>=2.
+
+For iters repetitions {
+  all tasks compute for imsecs milliseconds then
+  all tasks t such that t>0 sends a msgsize byte nonblocking message to task 0 then
+  all tasks await completion
+}
+"""
+
 # Uniform-random background traffic, as a DSL program (the sweeps use
 # the SWM-style generator in uniform_random.py; this source exists to
 # exercise random_task through the full Union pipeline).

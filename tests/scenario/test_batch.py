@@ -1,0 +1,102 @@
+"""Batch runner: discovery, fan-out, error tolerance, summary."""
+
+import json
+
+import pytest
+
+from repro.scenario import (
+    ScenarioError,
+    discover_specs,
+    render_batch_summary,
+    run_batch,
+    run_spec_file,
+)
+
+TINY_A = """\
+name = "tiny-a"
+horizon = 0.005
+placement = "rn"
+[topology]
+network = "1d"
+[[jobs]]
+app = "nn"
+[jobs.params]
+iters = 2
+"""
+
+TINY_B = """\
+name = "tiny-b"
+horizon = 0.005
+placement = "rr"
+[topology]
+network = "1d"
+[[jobs]]
+app = "lammps"
+[jobs.params]
+iters = 2
+[[traffic]]
+nranks = 4
+interval_s = 0.001
+"""
+
+
+@pytest.fixture()
+def spec_dir(tmp_path):
+    (tmp_path / "a.toml").write_text(TINY_A)
+    (tmp_path / "b.toml").write_text(TINY_B)
+    (tmp_path / "notes.txt").write_text("not a spec")
+    return tmp_path
+
+
+def test_discovery_is_sorted_and_filtered(spec_dir):
+    assert [p.name for p in discover_specs(spec_dir)] == ["a.toml", "b.toml"]
+    with pytest.raises(ScenarioError, match="not a directory"):
+        discover_specs(spec_dir / "nope")
+
+
+def test_batch_over_two_specs(spec_dir):
+    batch = run_batch(spec_dir)
+    assert [r["scenario"] for r in batch.results] == ["tiny-a", "tiny-b"]
+    assert not batch.failures
+    for r in batch.results:
+        apps = [j for j in r["jobs"] if not j["background"]]
+        assert all(j["finished"] for j in apps)
+    summary = render_batch_summary(batch)
+    assert "tiny-a" in summary and "tiny-b" in summary
+    assert "2 scenario(s), 0 failure(s)" in summary
+
+
+def test_batch_parallel_workers_match_sequential(spec_dir):
+    seq = run_batch(spec_dir, workers=1)
+    par = run_batch(spec_dir, workers=2)
+    assert seq.results == par.results  # same sims, same order, same numbers
+
+
+def test_broken_spec_becomes_error_row(spec_dir):
+    (spec_dir / "c.toml").write_text("[[jobs]]\nbanana = 1\n")
+    batch = run_batch(spec_dir)
+    assert len(batch.results) == 3 and len(batch.failures) == 1
+    (failure,) = batch.failures
+    assert failure["scenario"] == "c"
+    assert "banana" in failure["error"]
+    assert "ERROR" in render_batch_summary(batch)
+
+
+def test_run_spec_file_catches_crashes(tmp_path):
+    p = tmp_path / "x.toml"
+    p.write_text("garbage = [")
+    rec = run_spec_file(p)
+    assert "error" in rec and rec["path"] == str(p)
+
+
+def test_write_json_report(spec_dir, tmp_path):
+    batch = run_batch(spec_dir)
+    out = tmp_path / "report.json"
+    batch.write_json(out)
+    data = json.loads(out.read_text())
+    assert {r["scenario"] for r in data["scenarios"]} == {"tiny-a", "tiny-b"}
+
+
+def test_empty_directory_is_an_error(tmp_path):
+    with pytest.raises(ScenarioError, match="no .toml/.json"):
+        run_batch(tmp_path)

@@ -1,0 +1,259 @@
+"""Scenario runner: dynamic arrivals, interference, node reuse, reports."""
+
+import pytest
+
+from repro.network.dragonfly import Dragonfly1D
+from repro.scenario import parse_scenario, render_scenario_report, run_scenario
+from repro.union.manager import Job, WorkloadManager
+from repro.workloads.uniform_random import uniform_random
+
+
+def _arrival_spec(traffic_interval: float) -> dict:
+    """Same scenario twice: only the background-traffic intensity differs.
+
+    The background injector never finishes in either run and every seed
+    matches, so placements (including the arriving job's draw against
+    the residual free-node set) are identical -- any latency difference
+    for the arriving job is interference, not placement luck.
+    """
+    return {
+        "name": "arrival-interference",
+        "topology": {"network": "1d", "scale": "mini"},
+        "placement": "rn",
+        "routing": "min",
+        "seed": 5,
+        "horizon": 0.03,
+        "jobs": [
+            {"name": "late-nn", "app": "nn", "arrival": 0.002},
+        ],
+        "traffic": [
+            {"name": "bg", "pattern": "hotspot", "nranks": 32,
+             "msg_bytes": 65536, "interval_s": traffic_interval, "hot_ranks": 2},
+        ],
+    }
+
+
+def test_mid_simulation_arrival_sees_a_loaded_fabric():
+    quiet = run_scenario(parse_scenario(_arrival_spec(traffic_interval=1.0)))
+    loaded = run_scenario(parse_scenario(_arrival_spec(traffic_interval=0.0001)))
+
+    # Identical placements: the control is exact.
+    q_app, l_app = quiet.outcome.app("late-nn"), loaded.outcome.app("late-nn")
+    assert q_app.nodes == l_app.nodes
+
+    # The quiet run's injector sent nothing (interval > horizon): the
+    # arriving job effectively ran solo.
+    assert quiet.job("bg").messages == 0
+    assert loaded.job("bg").messages > 0
+
+    # Both runs completed the measured job...
+    assert q_app.result.finished and l_app.result.finished
+    # ...and the loaded fabric strictly inflates its latency.
+    assert l_app.result.avg_latency() > q_app.result.avg_latency()
+    assert loaded.job("late-nn").max_latency > quiet.job("late-nn").max_latency
+
+
+def test_arrival_after_horizon_is_reported_not_run():
+    res = run_scenario(parse_scenario({
+        "name": "too-late",
+        "horizon": 0.01,
+        "placement": "rn",
+        "jobs": [
+            {"app": "nn"},
+            {"name": "ghost", "app": "milc", "arrival": 5.0},
+        ],
+    }))
+    ghost = res.job("ghost")
+    assert not ghost.started and not ghost.finished
+    assert "beyond the end" in ghost.skip_reason
+    assert res.job("nn").finished
+    report = render_scenario_report(res)
+    assert "skipped" in report and "beyond the end" in report
+
+
+def test_arrival_placement_failure_is_reported_not_fatal():
+    # 'ur' with iters=0 never finishes, so it holds 140 of the mini 1D
+    # system's 144 nodes for the whole run; the 16-rank arrival cannot
+    # be placed and must be reported, while the rest of the run survives.
+    res = run_scenario(parse_scenario({
+        "name": "machine-full",
+        "horizon": 0.005,
+        "placement": "rn",
+        "jobs": [
+            {"name": "hog", "app": "ur", "nranks": 140,
+             "params": {"interval_s": 0.001}},
+            {"name": "crowded-out", "app": "nn", "arrival": 0.001},
+        ],
+    }))
+    out = res.job("crowded-out")
+    assert not out.started
+    assert "placement failed at arrival" in out.skip_reason
+    assert res.job("hog").started
+
+
+def test_finished_jobs_return_their_nodes_to_the_pool():
+    # Two 100-rank jobs on a 144-node system only fit if the second
+    # (arriving after the first finished) reuses the first one's nodes.
+    res = run_scenario(parse_scenario({
+        "name": "reuse",
+        "horizon": 0.05,
+        "placement": "rn",
+        "seed": 2,
+        "jobs": [
+            {"name": "first", "app": "ur", "nranks": 100,
+             "params": {"iters": 2, "interval_s": 0.0001}},
+            {"name": "second", "app": "ur", "nranks": 100, "arrival": 0.02,
+             "params": {"iters": 2, "interval_s": 0.0001}},
+        ],
+    }))
+    first, second = res.job("first"), res.job("second")
+    assert first.finished
+    assert second.started and second.finished
+    a, b = res.outcome.app("first"), res.outcome.app("second")
+    assert set(a.nodes) & set(b.nodes), "second job should reuse freed nodes"
+
+
+def test_per_job_routing_override_applies_to_arrivals():
+    res = run_scenario(parse_scenario({
+        "name": "override",
+        "horizon": 0.02,
+        "placement": "rn",
+        "routing": "min",
+        "jobs": [
+            {"app": "nn"},
+            {"name": "late", "app": "milc", "arrival": 0.001, "routing": "adp"},
+        ],
+    }))
+    fabric = res.outcome.fabric
+    late_id = res.outcome.app("late").app_id
+    assert fabric.routing_for(late_id).name == "adp"
+    assert fabric.routing_for(res.outcome.app("nn").app_id).name == "min"
+
+
+def test_nranks_override_mismatching_grid_dims_is_actionable():
+    from repro.scenario import ScenarioError, build_manager
+
+    spec = parse_scenario({
+        "name": "bad-grid",
+        "jobs": [{"app": "nn", "nranks": 32}],  # catalog dims (4,2,2) = 16
+    })
+    with pytest.raises(ScenarioError, match="override params.dims"):
+        build_manager(spec)
+    # Overriding dims alongside nranks is accepted.
+    spec = parse_scenario({
+        "name": "good-grid",
+        "horizon": 0.02,
+        "jobs": [{"app": "nn", "nranks": 32,
+                  "params": {"dims": [4, 4, 2], "iters": 2}}],
+    })
+    assert run_scenario(spec).job("nn").finished
+
+
+def test_rg_arrival_footprint_blocks_co_location():
+    """An RG job owns its whole groups; a later arrival must not land on
+    the unused tail nodes of those groups."""
+    res = run_scenario(parse_scenario({
+        "name": "rg-isolation",
+        "horizon": 0.05,
+        "placement": "rg",
+        "seed": 3,
+        "jobs": [
+            # 27 ranks claim 2 whole 16-node groups (5 tail nodes unused).
+            {"app": "nekbone"},
+            {"name": "late", "app": "nn", "arrival": 0.001, "placement": "rn"},
+        ],
+    }))
+    rg_app, late = res.outcome.app("nekbone"), res.outcome.app("late")
+    assert late.result.finished
+    assert not (rg_app.groups & late.groups), (
+        "arriving job was co-located inside the RG job's groups"
+    )
+
+
+def test_two_injectors_of_one_pattern_are_independent():
+    """Same-pattern injectors must not emit byte-identical streams."""
+    from repro.scenario import build_manager
+
+    spec = parse_scenario({
+        "name": "two-bg",
+        "jobs": [{"app": "nn"}],
+        "traffic": [
+            {"name": "bg1", "pattern": "uniform", "nranks": 8},
+            {"name": "bg2", "pattern": "uniform", "nranks": 8},
+        ],
+    })
+    bg1, bg2 = build_manager(spec).jobs[1:]
+    assert bg1.params["seed"] != bg2.params["seed"]
+
+
+def test_hotspot_stays_inside_the_hot_set():
+    from repro.mpi.engine import JobSpec, SimMPI
+    from repro.network.fabric import NetworkFabric
+    from repro.workloads.hotspot import hotspot
+
+    topo = Dragonfly1D.mini()
+    fabric = NetworkFabric(topo, routing="min")
+    mpi = SimMPI(fabric)
+    mpi.add_job(JobSpec("hs", 8, hotspot, list(range(8)),
+                        {"hot_ranks": 2, "iters": 4, "interval_s": 1e-5}))
+    mpi.run(until=0.01)
+    (res,) = mpi.results()
+    # Every message lands on a hot rank (0 or 1), none anywhere else.
+    hot_recvd = sum(res.rank_stats[r].msgs_recvd for r in (0, 1))
+    assert hot_recvd == 8 * 4
+    assert all(res.rank_stats[r].msgs_recvd == 0 for r in range(2, 8))
+
+
+def test_manager_static_path_unchanged_without_arrivals():
+    """No arrivals/overrides -> the historical single-draw placement."""
+    from repro.placement.policies import make_placement
+
+    topo = Dragonfly1D.mini()
+    mgr = WorkloadManager(topo, placement="rn", seed=11)
+    mgr.add_job(Job("a", 8, program=uniform_random, params={"iters": 1}))
+    mgr.add_job(Job("b", 8, program=uniform_random, params={"iters": 1}))
+    outcome = mgr.run(until=0.02)
+    expected = make_placement("rn", topo, [8, 8], 11)
+    assert outcome.app("a").nodes == expected[0]
+    assert outcome.app("b").nodes == expected[1]
+
+
+def test_json_dict_is_serializable():
+    import json
+
+    res = run_scenario(parse_scenario({
+        "name": "tiny",
+        "horizon": 0.005,
+        "jobs": [{"app": "nn", "params": {"iters": 2}}],
+        "traffic": [{"nranks": 4, "interval_s": 0.001}],
+    }))
+    blob = json.dumps(res.to_json_dict())
+    assert "tiny" in blob and "outcome" not in blob
+
+
+def test_source_job_builds_and_runs(tmp_path):
+    src = tmp_path / "sync.ncptl"
+    src.write_text(
+        "for 3 repetitions { all tasks compute for 50 microseconds "
+        "then all tasks reduce a 4 kilobyte value to all tasks }"
+    )
+    spec = parse_scenario(
+        {"name": "dsl", "horizon": 0.05, "jobs": [
+            {"name": "sync", "source": "sync.ncptl", "nranks": 8},
+        ]},
+        base_dir=tmp_path,
+    )
+    res = run_scenario(spec)
+    assert res.job("sync").finished
+    assert res.job("sync").messages > 0
+
+
+def test_source_job_missing_file_is_actionable(tmp_path):
+    from repro.scenario import ScenarioError, build_manager
+
+    spec = parse_scenario(
+        {"name": "dsl", "jobs": [{"name": "x", "source": "nope.ncptl", "nranks": 2}]},
+        base_dir=tmp_path,
+    )
+    with pytest.raises(ScenarioError, match="source file not found"):
+        build_manager(spec)

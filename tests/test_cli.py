@@ -80,6 +80,104 @@ def test_simulate_io_without_storage_fails(tmp_path):
         main(["simulate", str(p), "--ntasks", "2"])
 
 
+SCENARIO_TOML = """\
+name = "cli-demo"
+horizon = 0.01
+placement = "rn"
+[topology]
+network = "1d"
+[[jobs]]
+app = "nn"
+[jobs.params]
+iters = 2
+[[jobs]]
+name = "late"
+app = "lammps"
+arrival = 0.002
+[jobs.params]
+iters = 2
+[[traffic]]
+name = "bg"
+nranks = 4
+interval_s = 0.001
+"""
+
+
+@pytest.fixture()
+def scenario_file(tmp_path):
+    p = tmp_path / "demo.toml"
+    p.write_text(SCENARIO_TOML)
+    return p
+
+
+def test_scenario(capsys, scenario_file, tmp_path):
+    out_json = tmp_path / "out.json"
+    assert main(["scenario", str(scenario_file), "--json", str(out_json)]) == 0
+    out = capsys.readouterr().out
+    assert "cli-demo" in out
+    for token in ("nn", "late", "bg", "traffic", "2.000 ms", "link loads"):
+        assert token in out
+    import json
+    data = json.loads(out_json.read_text())
+    assert {j["name"] for j in data["jobs"]} == {"nn", "late", "bg"}
+
+
+def test_scenario_horizon_override(capsys, scenario_file):
+    # A 1us horizon cuts the apps off -> nonzero exit, "cut off" status.
+    assert main(["scenario", str(scenario_file), "--horizon", "1e-6"]) == 1
+    assert "cut off" in capsys.readouterr().out
+
+
+def test_scenario_nonpositive_horizon_override_is_rejected(capsys, scenario_file):
+    assert main(["scenario", str(scenario_file), "--horizon", "0"]) == 2
+    assert "must be > 0" in capsys.readouterr().err
+
+
+def test_scenario_bad_spec_is_a_clean_error(capsys, tmp_path):
+    p = tmp_path / "bad.toml"
+    p.write_text("[[jobs]]\nbanana = 1\n")
+    assert main(["scenario", str(p)]) == 2
+    assert "unknown key 'banana'" in capsys.readouterr().err
+
+
+def test_scenario_missing_source_file_is_a_clean_error(capsys, tmp_path):
+    # Parses fine, fails at build time -> must still be a friendly error.
+    p = tmp_path / "spec.toml"
+    p.write_text('[[jobs]]\nname = "x"\nsource = "nope.ncptl"\nnranks = 2\n')
+    assert main(["scenario", str(p)]) == 2
+    assert "source file not found" in capsys.readouterr().err
+
+
+def test_scenario_untranslatable_source_is_a_clean_error(capsys, tmp_path):
+    (tmp_path / "bad.ncptl").write_text("this is not coNCePTuaL !!\n")
+    p = tmp_path / "spec.toml"
+    p.write_text('[[jobs]]\nname = "x"\nsource = "bad.ncptl"\nnranks = 2\n')
+    assert main(["scenario", str(p)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_scenario_oversized_job_is_a_clean_error(capsys, tmp_path):
+    # Parses fine, fails at placement time (500 > 144 nodes) -> exit 2.
+    p = tmp_path / "spec.toml"
+    p.write_text('[[jobs]]\napp = "ur"\nnranks = 500\n')
+    assert main(["scenario", str(p)]) == 2
+    assert "500 nodes" in capsys.readouterr().err
+
+
+def test_batch(capsys, scenario_file, tmp_path):
+    other = tmp_path / "second.toml"
+    other.write_text(SCENARIO_TOML.replace('"cli-demo"', '"cli-demo-2"'))
+    assert main(["batch", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "cli-demo" in out and "cli-demo-2" in out
+    assert "2 scenario(s), 0 failure(s)" in out
+
+
+def test_batch_missing_directory(capsys, tmp_path):
+    assert main(["batch", str(tmp_path / "nope")]) == 2
+    assert "not a directory" in capsys.readouterr().err
+
+
 def test_topologies(capsys):
     assert main(["topologies"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Documentation drift checks (scripts/check_docs.py as tier-1 tests).
+
+docs/cli.md must cover every argparse subcommand; every TOML/JSON
+snippet in docs/scenarios.md must parse and validate.  The checker is
+also exercised against doctored inputs so a regression in the checker
+itself (e.g. a fence-regex change matching nothing) cannot silently
+pass.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO / "scripts" / "check_docs.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    return load_check_docs()
+
+
+def test_cli_doc_covers_every_subcommand(check_docs):
+    check_docs.check_cli_doc()
+
+
+def test_scenario_snippets_validate(check_docs):
+    assert check_docs.check_scenario_snippets() >= 3
+
+
+def test_missing_subcommand_is_caught(check_docs, tmp_path):
+    text = (REPO / "docs" / "cli.md").read_text()
+    doctored = text.replace("## `union-sim scenario`", "## gone")
+    p = tmp_path / "cli.md"
+    p.write_text(doctored)
+    with pytest.raises(AssertionError, match="scenario"):
+        check_docs.check_cli_doc(p)
+
+
+def test_stale_subcommand_is_caught(check_docs, tmp_path):
+    text = (REPO / "docs" / "cli.md").read_text()
+    p = tmp_path / "cli.md"
+    p.write_text(text + "\n## `union-sim frobnicate`\n\nnot a real subcommand\n")
+    with pytest.raises(AssertionError, match="frobnicate"):
+        check_docs.check_cli_doc(p)
+
+
+def test_invalid_snippet_is_caught(check_docs, tmp_path):
+    p = tmp_path / "scenarios.md"
+    p.write_text('```toml\njobs = "oops"\n```\n')
+    with pytest.raises(AssertionError, match="snippet #1"):
+        check_docs.check_scenario_snippets(p)
+
+
+def test_snippetless_doc_is_caught(check_docs, tmp_path):
+    p = tmp_path / "scenarios.md"
+    p.write_text("no fences here\n")
+    with pytest.raises(AssertionError, match="no toml/json"):
+        check_docs.check_scenario_snippets(p)
+
+
+def test_checker_runs_as_a_script():
+    import subprocess
+
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "docs OK" in proc.stdout

@@ -7,6 +7,7 @@ from repro.union.validation import validate_skeleton
 from repro.workloads.sources import (
     ALEXNET_SOURCE,
     COSMOFLOW_SOURCE,
+    HOTSPOT_SOURCE,
     PINGPONG_SOURCE,
     UNIFORM_RANDOM_SOURCE,
 )
@@ -58,6 +59,12 @@ def test_alexnet_table5_shape():
 def test_uniform_random_with_random_task_validates():
     """random_task draws must agree across both backends (stream layout)."""
     rep = validate_skeleton(UNIFORM_RANDOM_SOURCE, 6, {"iters": 20}, name="ur")
+    assert rep.ok, rep.mismatches
+
+
+def test_hotspot_source_validates():
+    """The hotspot DSL twin (restricted sender set) survives translation."""
+    rep = validate_skeleton(HOTSPOT_SOURCE, 6, {"iters": 10}, name="hs")
     assert rep.ok, rep.mismatches
 
 
