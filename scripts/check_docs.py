@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation drift checks (registered as a tier-1 test).
 
-Two invariants keep the docs honest:
+Three invariants keep the docs honest:
 
 1. ``docs/cli.md`` must name **every** subcommand registered on the
    ``union-sim`` argparse parser (introspected, not hard-coded), plus
@@ -9,6 +9,9 @@ Two invariants keep the docs honest:
 2. Every fenced ``toml``/``json`` snippet in ``docs/scenarios.md`` must
    parse *and* validate through :func:`repro.scenario.parse_scenario` --
    the format reference cannot show a spec the parser would reject.
+3. ``docs/registry.md`` must name every registered component
+   (topologies, routings, placements), so the roster tables cannot
+   silently drift from :mod:`repro.registry`.
 
 Run directly (``python scripts/check_docs.py``) or via pytest
 (``tests/test_docs.py`` wraps the same functions).
@@ -92,11 +95,35 @@ def check_scenario_snippets(path: Path = DOCS / "scenarios.md") -> int:
     return len(snippets)
 
 
+def check_registry_doc(path: Path = DOCS / "registry.md") -> int:
+    """docs/registry.md must name every registered component.
+
+    Names must appear backtick-quoted (as in the roster tables).
+    Returns the number of component names checked.
+    """
+    from repro.registry import all_routing_names, placement_registry, topology_registry
+
+    text = path.read_text()
+    names = (
+        list(topology_registry.names())
+        + list(all_routing_names())
+        + list(placement_registry.names())
+    )
+    missing = [n for n in names if f"`{n}`" not in text]
+    assert not missing, (
+        f"{path} does not mention registered component(s) {missing}; "
+        "update the roster tables (names must be backtick-quoted)"
+    )
+    return len(names)
+
+
 def main() -> int:
     check_cli_doc()
     n = check_scenario_snippets()
+    m = check_registry_doc()
     print(f"docs OK: cli.md covers all {len(registered_subcommands())} subcommands; "
-          f"{n} scenarios.md snippets validate")
+          f"{n} scenarios.md snippets validate; "
+          f"registry.md names all {m} components")
     return 0
 
 

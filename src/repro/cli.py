@@ -21,13 +21,39 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.harness.configs import COMBOS, make_topology
+from repro.harness.configs import COMBOS, NETWORKS, make_topology
 from repro.harness.experiment import ExperimentConfig, run_experiment
 from repro.harness.report import format_bytes, format_seconds, render_table
 from repro.harness.sweeps import latency_sweep, panel_stats
+from repro.registry import (
+    RegistryError,
+    all_routing_names,
+    placement_registry,
+    topology_registry,
+)
 from repro.union.translator import translate
 from repro.union.validation import validate_skeleton
 from repro.workloads.catalog import PANEL_APPS, WORKLOADS
+
+
+def _network_choices() -> list[str]:
+    """Registry topology names plus their aliases (legacy '1d'/'2d' first)."""
+    aliases = list(topology_registry.aliases())
+    return aliases + [n for n in topology_registry.names() if n not in aliases]
+
+
+def _resolve_policy_defaults(args: argparse.Namespace) -> None:
+    """Fill unset --routing/--placement from the network's registry entry.
+
+    Each topology carries its own sensible defaults (adp/rg on the
+    dragonflies, dor/rn on a torus, ...), so leaving the flags off works
+    on every network instead of only on the dragonflies.
+    """
+    spec = topology_registry.get(args.network)
+    if args.routing is None:
+        args.routing = spec.default_routing
+    if args.placement is None:
+        args.placement = spec.default_placement
 
 
 def _cmd_translate(args: argparse.Namespace) -> int:
@@ -60,6 +86,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _resolve_policy_defaults(args)
     cfg = ExperimentConfig(
         network=args.network,
         workload=args.workload,
@@ -68,7 +95,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
     )
-    res = run_experiment(cfg)
+    try:
+        # Capability mismatches (routing/placement the topology cannot
+        # run) surface here with the registry's choose-from message.
+        res = run_experiment(cfg)
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     rows = []
     for name, a in res.apps.items():
         rows.append(
@@ -101,7 +134,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = latency_sweep(scale=args.scale, seed=args.seed)
     for app in PANEL_APPS:
         rows = []
-        for network in ("1d", "2d"):
+        for network in NETWORKS:
             for combo in COMBOS:
                 cell = panel_stats(sweep, app, network, combo)
                 base = cell.get("baseline")
@@ -122,7 +155,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_systems(args: argparse.Namespace) -> int:
     rows = []
-    for network in ("1d", "2d"):
+    for network in NETWORKS:
         t = make_topology(network, args.scale)
         d = t.describe()
         rows.append(
@@ -149,6 +182,7 @@ def _cmd_systems(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.union.manager import Job, WorkloadManager
 
+    _resolve_policy_defaults(args)
     source = open(args.file).read() if args.file != "-" else sys.stdin.read()
     skel = translate(source, args.name)
     topo = make_topology(args.network, args.scale)
@@ -163,7 +197,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         storage_nodes=storage_nodes,
     )
     mgr.add_job(Job(args.name, args.ntasks, skeleton=skel))
-    outcome = mgr.run(until=args.horizon)
+    try:
+        outcome = mgr.run(until=args.horizon)
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     res = outcome.app(args.name).result
     lat = res.max_latencies_per_rank()
     print(render_table(
@@ -177,7 +215,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ("max comm time", format_seconds(res.max_comm_time())),
             ("MPI events", str(res.event_counts())),
         ],
-        title=f"{args.name} on {args.network} dragonfly "
+        title=f"{args.name} on {args.network} "
               f"({args.placement}-{args.routing}, {args.ntasks} ranks)",
     ))
     if mgr.storage is not None:
@@ -206,7 +244,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         # run_scenario may raise too: a missing or untranslatable job
         # source file, or a t=0 job that does not fit the topology.
         result = run_scenario(spec)
-    except (ScenarioError, PlacementError, ConceptualError) as exc:
+    except (ScenarioError, PlacementError, ConceptualError, RegistryError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_scenario_report(result))
@@ -235,29 +273,35 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_topologies(args: argparse.Namespace) -> int:
-    from repro.network.dragonfly import Dragonfly1D
-    from repro.network.dragonfly2d import Dragonfly2D
-    from repro.network.fattree import FatTreeTopology
-    from repro.network.slimfly import SlimFlyTopology
-    from repro.network.torus import TorusTopology
+    from repro.registry import available_placements
 
-    models = [
-        Dragonfly1D.mini(),
-        Dragonfly2D.mini(),
-        TorusTopology((4, 4, 4)),
-        FatTreeTopology(k=8),
-        SlimFlyTopology(q=5, nodes_per_router=2),
-    ]
     rows = []
-    for t in models:
+    for spec in topology_registry:
+        t = spec.build(spec.presets[args.scale])
         d = t.describe()
-        rows.append((d["topology"], d["system_size"], t.n_routers, t.radix(), t.diameter()))
+        rows.append((
+            spec.name, d["topology"], d["system_size"], t.n_routers,
+            t.radix(), t.diameter(),
+            "/".join(spec.routings), "/".join(available_placements(spec.name)),
+        ))
     print(render_table(
-        ["topology", "nodes", "routers", "radix", "diameter"],
+        ["name", "topology", "nodes", "routers", "radix", "diameter",
+         "routings", "placements"],
         rows,
-        title="Fabric model roster (CODES network-layer analogue)",
+        title=f"Fabric model registry ({args.scale} presets)",
     ))
-    print("\nDragonfly scales: use 'union-sim systems --scale paper' for Table II.")
+    print("\nDeclared parameters (override any of them in a scenario "
+          "[topology] table or via repro.registry.build_topology):")
+    for spec in topology_registry:
+        print(f"\n  {spec.name} -- {spec.summary}")
+        for p in spec.params:
+            preset = spec.presets[args.scale].get(p.name)
+            print(f"    {p.name}: {p.kind} = {preset!r}  ({p.doc})")
+    aliases = topology_registry.aliases()
+    if aliases:
+        pairs = ", ".join(f"{a} -> {n}" for a, n in aliases.items())
+        print(f"\nAliases: {pairs}.")
+    print("Dragonfly scales: use 'union-sim systems --scale paper' for Table II.")
     return 0
 
 
@@ -276,11 +320,18 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--ntasks", type=int, default=16)
     v.set_defaults(fn=_cmd_validate)
 
+    networks = _network_choices()
+    routings = list(all_routing_names())
+    placements = list(placement_registry.names())
+
     r = sub.add_parser("run", help="simulate one configuration")
-    r.add_argument("--network", choices=["1d", "2d"], default="1d")
+    r.add_argument("--network", choices=networks, default="1d",
+                   help="registry fabric model ('union-sim topologies' lists them)")
     r.add_argument("--workload", default="workload3")
-    r.add_argument("--placement", choices=["rg", "rr", "rn"], default="rg")
-    r.add_argument("--routing", choices=["min", "adp"], default="adp")
+    r.add_argument("--placement", choices=placements, default=None,
+                   help="placement policy (default: the network's registry default)")
+    r.add_argument("--routing", choices=routings, default=None,
+                   help="routing policy (default: the network's registry default)")
     r.add_argument("--scale", choices=["mini", "paper"], default="mini")
     r.add_argument("--seed", type=int, default=1)
     r.set_defaults(fn=_cmd_run)
@@ -298,9 +349,12 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("file", help="source file ('-' for stdin)")
     m.add_argument("--name", default="app")
     m.add_argument("--ntasks", type=int, default=16)
-    m.add_argument("--network", choices=["1d", "2d"], default="1d")
-    m.add_argument("--placement", choices=["rg", "rr", "rn"], default="rg")
-    m.add_argument("--routing", choices=["min", "adp"], default="adp")
+    m.add_argument("--network", choices=networks, default="1d",
+                   help="registry fabric model ('union-sim topologies' lists them)")
+    m.add_argument("--placement", choices=placements, default=None,
+                   help="placement policy (default: the network's registry default)")
+    m.add_argument("--routing", choices=routings, default=None,
+                   help="routing policy (default: the network's registry default)")
     m.add_argument("--scale", choices=["mini", "paper"], default="mini")
     m.add_argument("--seed", type=int, default=1)
     m.add_argument("--horizon", type=float, default=10.0,
@@ -325,7 +379,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write every scenario's metrics as JSON")
     b.set_defaults(fn=_cmd_batch)
 
-    o = sub.add_parser("topologies", help="print the fabric-model roster")
+    o = sub.add_parser("topologies", help="print the fabric-model registry")
+    o.add_argument("--scale", choices=["mini", "paper"], default="mini",
+                   help="which preset to instantiate for the size columns")
     o.set_defaults(fn=_cmd_topologies)
     return p
 

@@ -9,11 +9,13 @@ Figures 7-9) at mini scale: experiment configs and a cached runner
 """
 
 from repro.harness.configs import (
+    ALL_TOPOLOGIES,
     COMBOS,
     NETWORKS,
     PLACEMENTS,
     ROUTINGS,
     make_topology,
+    topology_spec,
     default_horizon,
     default_counter_window,
 )
@@ -23,11 +25,13 @@ from repro.harness.sweeps import latency_sweep, fig8_series, table6_loads
 from repro.harness.report import render_table, render_series, format_bytes, format_seconds
 
 __all__ = [
+    "ALL_TOPOLOGIES",
     "COMBOS",
     "NETWORKS",
     "PLACEMENTS",
     "ROUTINGS",
     "make_topology",
+    "topology_spec",
     "default_horizon",
     "default_counter_window",
     "ExperimentConfig",

@@ -27,7 +27,7 @@ class ExperimentConfig:
     ``baseline:<app>`` for a single application running alone.
     """
 
-    network: str = "1d"  # "1d" | "2d"
+    network: str = "1d"  # any registry topology name or alias ("1d", "2d", "fattree", "torus", "slimfly")
     workload: str = "workload3"
     placement: str = "rg"
     routing: str = "adp"
@@ -91,7 +91,7 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
     if hit is not None:
         return hit
     topo = make_topology(cfg.network, cfg.scale)
-    window = default_counter_window(cfg.scale)
+    window = default_counter_window()
     mgr = WorkloadManager(
         topo,
         routing=cfg.routing,

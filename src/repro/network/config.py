@@ -73,19 +73,24 @@ class NetworkConfig:
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
+        # Per-class lookup tuples, indexed by LinkClass (an IntEnum):
+        # bandwidth()/latency() sit on the per-packet hot path, where a
+        # tuple index beats an if-chain.  The dataclass is frozen, so
+        # the caches are installed via object.__setattr__ and stay
+        # consistent with the (immutable) fields.
+        object.__setattr__(
+            self, "_bw_of_class", (self.terminal_bw, self.local_bw, self.global_bw)
+        )
+        object.__setattr__(
+            self,
+            "_latency_of_class",
+            (self.terminal_latency, self.local_latency, self.global_latency),
+        )
 
     def bandwidth(self, link_class: LinkClass) -> float:
         """Bandwidth (bytes/s) for a link class."""
-        if link_class == LinkClass.TERMINAL:
-            return self.terminal_bw
-        if link_class == LinkClass.LOCAL:
-            return self.local_bw
-        return self.global_bw
+        return self._bw_of_class[link_class]
 
     def latency(self, link_class: LinkClass) -> float:
         """Propagation latency (s) for a link class."""
-        if link_class == LinkClass.TERMINAL:
-            return self.terminal_latency
-        if link_class == LinkClass.LOCAL:
-            return self.local_latency
-        return self.global_latency
+        return self._latency_of_class[link_class]

@@ -6,6 +6,8 @@ from repro.placement.policies import (
     random_routers,
     random_groups,
     make_placement,
+    topology_has_groups,
+    topology_has_uniform_routers,
     PLACEMENTS,
 )
 
@@ -15,5 +17,7 @@ __all__ = [
     "random_routers",
     "random_groups",
     "make_placement",
+    "topology_has_groups",
+    "topology_has_uniform_routers",
     "PLACEMENTS",
 ]

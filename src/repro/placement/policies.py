@@ -34,6 +34,50 @@ class PlacementError(ValueError):
     """The requested jobs do not fit under the policy's constraints."""
 
 
+def topology_has_uniform_routers(topo) -> bool:
+    """True iff every router hosts exactly ``nodes_per_router`` nodes.
+
+    The structural requirement behind RR (and the registry's
+    ``uniform-nodes`` capability): handing out "whole routers" on a
+    fabric where some routers host no nodes (a fat-tree's aggregation
+    and core switches) would silently under-allocate jobs.
+    """
+    return (
+        hasattr(topo, "nodes_per_router")
+        and topo.n_routers * topo.nodes_per_router == topo.n_nodes
+    )
+
+
+def topology_has_groups(topo) -> bool:
+    """True iff the topology has dragonfly-style groups covering every
+    node -- the structural requirement behind RG (and the registry's
+    ``groups`` capability)."""
+    return all(
+        hasattr(topo, attr)
+        for attr in ("n_groups", "nodes_per_group", "nodes_of_group", "group_of")
+    ) and topo.n_groups * topo.nodes_per_group == topo.n_nodes
+
+
+def _check_uniform_routers(topo, policy: str) -> None:
+    if not topology_has_uniform_routers(topo):
+        label = getattr(topo, "name", type(topo).__name__)
+        raise PlacementError(
+            f"placement {policy!r} requires every router to host nodes "
+            f"(uniform node attachment), which topology {label!r} does not "
+            "provide; use 'rn' instead"
+        )
+
+
+def _check_groups(topo, policy: str) -> None:
+    if not topology_has_groups(topo):
+        label = getattr(topo, "name", type(topo).__name__)
+        raise PlacementError(
+            f"placement {policy!r} requires dragonfly-style group structure, "
+            f"which topology {label!r} does not provide; use 'rn' (or 'rr' "
+            "where routers host nodes uniformly) instead"
+        )
+
+
 def _check_total(
     topo: Topology, job_sizes: list[int], allowed_nodes: set[int] | None = None
 ) -> None:
@@ -75,6 +119,7 @@ def random_routers(
     allowed_nodes: set[int] | None = None,
 ) -> list[list[int]]:
     """RR: give each job whole routers; fill each router's nodes consecutively."""
+    _check_uniform_routers(topo, "rr")
     _check_total(topo, job_sizes, allowed_nodes)
     npr = topo.nodes_per_router
     rng = lp_stream(seed, 102)
@@ -109,6 +154,7 @@ def random_groups(
     allowed_nodes: set[int] | None = None,
 ) -> list[list[int]]:
     """RG: give each job whole groups; fill each group's nodes consecutively."""
+    _check_groups(topo, "rg")
     _check_total(topo, job_sizes, allowed_nodes)
     npg = topo.nodes_per_group
     rng = lp_stream(seed, 103)

@@ -1,0 +1,205 @@
+"""Generic component registry: named, self-describing factories.
+
+Every pluggable piece of the simulator -- topologies, routing policies,
+placement policies -- is described by a :class:`ComponentSpec`: a name,
+a one-line summary, and a tuple of typed :class:`Param` declarations.
+A :class:`Registry` maps names (plus optional aliases) to specs and
+produces the same key-path error style as the scenario parser
+(``topology.k: expected an integer, got 'wide'``), because registry
+lookups are driven by hand-written spec files and CLI flags -- error
+messages are the user interface.
+
+Concrete component kinds live in :mod:`repro.registry.topologies`,
+:mod:`repro.registry.routings` and :mod:`repro.registry.placements`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+class RegistryError(ValueError):
+    """A registry lookup or parameter resolution failed; the message
+    names the offending key path and lists the valid alternatives."""
+
+
+def _err(path: str, problem: str) -> RegistryError:
+    where = f"{path}: " if path else ""
+    return RegistryError(f"{where}{problem}")
+
+
+#: Sentinel for parameters without a default (rarely used: most
+#: component parameters take their defaults from a scale preset).
+REQUIRED = object()
+
+
+@dataclass(frozen=True)
+class Param:
+    """One typed parameter of a component.
+
+    ``kind`` is one of ``"int"``, ``"float"``, ``"str"``, ``"bool"`` or
+    ``"int_list"`` (a TOML/JSON array of integers, e.g. torus ``dims``).
+    """
+
+    name: str
+    kind: str
+    doc: str = ""
+    default: Any = REQUIRED
+    minimum: int | float | None = None
+    choices: tuple[Any, ...] | None = None
+
+    _KINDS = ("int", "float", "str", "bool", "int_list")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"param {self.name!r}: unknown kind {self.kind!r}")
+
+    @property
+    def required(self) -> bool:
+        return self.default is REQUIRED
+
+    def describe(self) -> str:
+        """Human-readable one-liner for help text and ``topologies`` output."""
+        out = f"{self.name}: {self.kind}"
+        if not self.required:
+            out += f" = {self.default!r}"
+        if self.doc:
+            out += f"  ({self.doc})"
+        return out
+
+    def validate(self, value: Any, path: str) -> Any:
+        """Coerce/validate one value; raises :class:`RegistryError`."""
+        where = f"{path}.{self.name}" if path else self.name
+        if self.kind == "int":
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise _err(where, f"expected an integer, got {value!r}")
+        elif self.kind == "float":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise _err(where, f"expected a number, got {value!r}")
+            value = float(value)
+        elif self.kind == "str":
+            if not isinstance(value, str):
+                raise _err(where, f"expected a string, got {value!r}")
+        elif self.kind == "bool":
+            if not isinstance(value, bool):
+                raise _err(where, f"expected a boolean, got {value!r}")
+        else:  # int_list
+            if not isinstance(value, (list, tuple)) or not value or any(
+                isinstance(v, bool) or not isinstance(v, int) for v in value
+            ):
+                raise _err(where, f"expected a non-empty array of integers, got {value!r}")
+            value = tuple(int(v) for v in value)
+        if self.minimum is not None:
+            low = min(value) if self.kind == "int_list" else value
+            if low < self.minimum:
+                raise _err(where, f"must be >= {self.minimum}, got {value!r}")
+        if self.choices is not None and value not in self.choices:
+            raise _err(where, f"{value!r} is not one of {list(self.choices)}")
+        return value
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Base class for registered components: name, summary, typed params."""
+
+    name: str
+    summary: str
+    params: tuple[Param, ...] = ()
+
+    def param(self, name: str) -> Param | None:
+        for p in self.params:
+            if p.name == name:
+                return p
+        return None
+
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    def validate_params(
+        self, data: Mapping[str, Any], path: str = "", kind: str = "component"
+    ) -> dict[str, Any]:
+        """Validate explicitly supplied parameters (no default filling).
+
+        Used where presets supply the baseline values and ``data`` only
+        carries overrides; :meth:`resolve_params` additionally fills in
+        defaults and enforces required parameters.
+        """
+        out: dict[str, Any] = {}
+        for key, value in data.items():
+            p = self.param(key)
+            if p is None:
+                expected = ", ".join(self.param_names()) or "(none)"
+                raise _err(
+                    f"{path}.{key}" if path else key,
+                    f"unknown parameter {key!r} for {kind} {self.name!r}; "
+                    f"expected one of: {expected}",
+                )
+            out[key] = p.validate(value, path)
+        return out
+
+    def resolve_params(
+        self, data: Mapping[str, Any], path: str = "", kind: str = "component"
+    ) -> dict[str, Any]:
+        """Validate ``data`` and fill defaults; required params must appear."""
+        out = self.validate_params(data, path, kind)
+        for p in self.params:
+            if p.name in out:
+                continue
+            if p.required:
+                raise _err(path, f"missing required parameter {p.name!r} "
+                                 f"for {kind} {self.name!r}")
+            out[p.name] = p.default
+        return out
+
+
+@dataclass
+class Registry:
+    """Ordered name -> spec mapping with alias support.
+
+    Iteration and :meth:`names` preserve registration order, which the
+    harness relies on for stable sweep/report ordering.
+    """
+
+    kind: str
+    _specs: dict[str, ComponentSpec] = field(default_factory=dict)
+    _aliases: dict[str, str] = field(default_factory=dict)
+
+    def register(self, spec: ComponentSpec, aliases: tuple[str, ...] = (),
+                 replace: bool = False) -> ComponentSpec:
+        key = spec.name.lower()
+        if not replace and (key in self._specs or key in self._aliases):
+            raise ValueError(
+                f"{self.kind} {spec.name!r} is already registered; "
+                "pass replace=True to overwrite"
+            )
+        self._specs[key] = spec
+        for alias in aliases:
+            self._aliases[alias.lower()] = key
+        return spec
+
+    def canonical(self, name: str) -> str:
+        key = name.lower()
+        return self._aliases.get(key, key)
+
+    def get(self, name: str, path: str = "") -> ComponentSpec:
+        if not isinstance(name, str):
+            raise _err(path, f"expected a {self.kind} name (string), got {name!r}")
+        key = self.canonical(name)
+        spec = self._specs.get(key)
+        if spec is None:
+            raise _err(path, f"unknown {self.kind} {name!r}; "
+                             f"available: {list(self._specs)}")
+        return spec
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._specs)
+
+    def aliases(self) -> dict[str, str]:
+        return dict(self._aliases)
+
+    def __contains__(self, name: str) -> bool:
+        return self.canonical(name) in self._specs
+
+    def __iter__(self):
+        return iter(self._specs.values())

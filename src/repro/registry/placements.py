@@ -1,0 +1,102 @@
+"""Placement registry: policies with declared topology requirements.
+
+The three paper policies map rank lists onto node sets, but two of them
+assume dragonfly structure: RR hands out *whole routers* (so every
+router must host nodes uniformly) and RG hands out *whole groups* (so
+the topology must have groups at all).  Each :class:`PlacementSpec`
+declares that requirement, and :func:`check_placement` turns a mismatch
+into the canonical capability error::
+
+    placement 'rg' is not available on topology 'torus' (requires
+    dragonfly-style group structure); choose from ['rr', 'rn']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.placement.policies import random_groups, random_nodes, random_routers
+from repro.registry.core import ComponentSpec, Registry, RegistryError, _err
+from repro.registry.topologies import Capabilities, capabilities_of
+
+#: Requirement keys a placement may declare.
+REQUIRES_GROUPS = "groups"
+REQUIRES_UNIFORM = "uniform-nodes"
+
+_REQUIREMENT_TEXT = {
+    REQUIRES_GROUPS: "dragonfly-style group structure",
+    REQUIRES_UNIFORM: "every router to host nodes (uniform node attachment)",
+}
+
+
+@dataclass(frozen=True)
+class PlacementSpec(ComponentSpec):
+    """One placement policy."""
+
+    func: Callable[..., list[list[int]]] | None = None
+    requires: str | None = None  # None | REQUIRES_GROUPS | REQUIRES_UNIFORM
+
+    def supports(self, caps: Capabilities) -> bool:
+        if self.requires == REQUIRES_GROUPS:
+            return caps.has_groups
+        if self.requires == REQUIRES_UNIFORM:
+            return caps.uniform_nodes
+        return True
+
+
+placement_registry = Registry("placement")
+
+
+def register_placement(spec: PlacementSpec, replace: bool = False) -> PlacementSpec:
+    placement_registry.register(spec, replace=replace)
+    return spec
+
+
+def available_placements(topo: Any) -> tuple[str, ...]:
+    """Placement names usable on ``topology`` (instance or registry name)."""
+    caps = _caps(topo)
+    return tuple(
+        s.name for s in placement_registry
+        if isinstance(s, PlacementSpec) and s.supports(caps)
+    )
+
+
+def _caps(topo: Any) -> Capabilities:
+    if isinstance(topo, str):
+        from repro.registry.topologies import TopologySpec, topology_registry
+
+        spec = topology_registry.get(topo)
+        assert isinstance(spec, TopologySpec)
+        return Capabilities(spec.name, spec.has_groups, spec.uniform_nodes)
+    return capabilities_of(topo)
+
+
+def check_placement(name: str, topo: Any, path: str = "") -> PlacementSpec:
+    """Resolve a placement name and verify the topology satisfies its
+    requirement; raises :class:`RegistryError` otherwise."""
+    caps = _caps(topo)
+    key = name.lower() if isinstance(name, str) else name
+    if key not in placement_registry:
+        raise _err(path, f"{name!r} is not one of {list(available_placements(topo))}")
+    spec = placement_registry.get(key, path=path)
+    assert isinstance(spec, PlacementSpec)
+    if not spec.supports(caps):
+        need = _REQUIREMENT_TEXT[spec.requires]
+        raise _err(path, f"placement {spec.name!r} is not available on topology "
+                         f"{caps.label!r} (requires {need}); "
+                         f"choose from {list(available_placements(topo))}")
+    return spec
+
+
+# -- built-in roster (paper panel order: rg, rr, rn) -------------------------
+
+register_placement(PlacementSpec(
+    "rg", "random groups: jobs own whole groups, confining their traffic",
+    func=random_groups, requires=REQUIRES_GROUPS))
+register_placement(PlacementSpec(
+    "rr", "random routers: jobs own whole routers, no router-level sharing",
+    func=random_routers, requires=REQUIRES_UNIFORM))
+register_placement(PlacementSpec(
+    "rn", "random nodes: uniform draw over the whole system",
+    func=random_nodes))

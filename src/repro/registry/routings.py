@@ -1,0 +1,169 @@
+"""Routing registry: per-topology routing capability and resolution.
+
+Routing policies are topology-specific (UGAL needs dragonfly group
+structure, D-mod-k needs a fat-tree's up/down tiers), so the registry
+is keyed by *(topology, routing name)*: each :class:`TopologySpec`
+lists the routing names that can run on it, and this module holds the
+concrete factory for each pair.  One routing name may map to different
+implementations on different fabrics (``min`` is dragonfly
+:class:`~repro.network.routing.MinimalRouting` but a diameter-2 direct
+route on a slim fly).
+
+``resolve_routing(name, topo)`` returns a factory with the
+``factory(topo, config, probe, stream_id)`` signature that
+:class:`~repro.network.fabric.NetworkFabric` accepts, or raises the
+canonical capability error::
+
+    routing 'adp' is not available on topology 'torus'; choose from ['dor']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.network.fattree import FatTreeNCARouting
+from repro.network.routing import AdaptiveRouting, MinimalRouting
+from repro.network.slimfly import SlimFlyRouting
+from repro.network.torus import TorusDORRouting
+from repro.registry.core import ComponentSpec, RegistryError, _err
+from repro.registry.topologies import (
+    TopologySpec,
+    spec_for_instance,
+    topology_label,
+    topology_registry,
+)
+
+#: Factory signature NetworkFabric consumes.
+RoutingFactory = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class RoutingSpec(ComponentSpec):
+    """One routing policy on one topology family."""
+
+    factory: RoutingFactory | None = None
+
+
+#: (topology name, routing name) -> spec.
+_ROUTINGS: dict[tuple[str, str], RoutingSpec] = {}
+
+
+def register_routing(topology: str, spec: RoutingSpec, replace: bool = False) -> RoutingSpec:
+    """Attach a routing policy to a registered topology.
+
+    The topology's ``routings`` tuple is its declared capability list;
+    a registered factory outside that list would be unreachable, so the
+    pair must agree.
+    """
+    topo_spec = topology_registry.get(topology)
+    assert isinstance(topo_spec, TopologySpec)
+    if spec.name not in topo_spec.routings and not replace:
+        raise ValueError(
+            f"routing {spec.name!r} is not declared in topology "
+            f"{topo_spec.name!r}'s capability list {topo_spec.routings}"
+        )
+    key = (topo_spec.name, spec.name.lower())
+    if key in _ROUTINGS and not replace:
+        raise ValueError(f"routing {spec.name!r} on {topo_spec.name!r} is already registered")
+    _ROUTINGS[key] = spec
+    return spec
+
+
+def available_routings(topology: str | Any) -> tuple[str, ...]:
+    """Routing names runnable on ``topology`` (name, alias or instance)."""
+    if isinstance(topology, str):
+        spec = topology_registry.get(topology)
+    else:
+        spec = spec_for_instance(topology)
+        if spec is None:
+            return ()
+    assert isinstance(spec, TopologySpec)
+    return spec.routings
+
+
+def all_routing_names() -> tuple[str, ...]:
+    """Every routing name on any topology, registration-ordered, unique."""
+    seen: dict[str, None] = {}
+    for _, name in _ROUTINGS:
+        seen.setdefault(name)
+    return tuple(seen)
+
+
+def _lookup(topo_spec: TopologySpec, name: str, path: str = "") -> RoutingSpec:
+    """(topology, routing) lookup with the canonical capability errors."""
+    key = name.lower() if isinstance(name, str) else name
+    hit = _ROUTINGS.get((topo_spec.name, key))
+    if hit is None:
+        avail = list(topo_spec.routings)
+        if any(r == key for _, r in _ROUTINGS):
+            raise _err(path, f"routing {name!r} is not available on topology "
+                             f"{topo_spec.name!r}; choose from {avail}")
+        raise _err(path, f"{name!r} is not one of {avail}")
+    return hit
+
+
+def routing_spec(topology: str, name: str) -> RoutingSpec:
+    """The spec of one routing on one topology (name or alias)."""
+    topo_spec = topology_registry.get(topology)
+    assert isinstance(topo_spec, TopologySpec)
+    return _lookup(topo_spec, name)
+
+
+def resolve_routing(name: str, topo: Any, path: str = "") -> RoutingFactory:
+    """Resolve a routing name against a live topology instance.
+
+    Unknown names and topology/routing capability mismatches raise
+    :class:`RegistryError` with the full choice list.
+    """
+    topo_spec = spec_for_instance(topo)
+    if topo_spec is None:
+        raise _err(path, f"cannot resolve routing {name!r}: topology "
+                         f"{topology_label(topo)!r} is not registered; pass a "
+                         "routing factory instead of a name")
+    hit = _lookup(topo_spec, name, path)
+    assert hit.factory is not None
+    return hit.factory
+
+
+# -- built-in roster ---------------------------------------------------------
+
+def _fattree_factory(mode: str) -> RoutingFactory:
+    def factory(topo, config, probe, stream_id=0):
+        return FatTreeNCARouting(topo, config, probe, stream_id, mode=mode)
+    return factory
+
+
+def _slimfly_factory(mode: str) -> RoutingFactory:
+    def factory(topo, config, probe, stream_id=0):
+        return SlimFlyRouting(topo, config, probe, stream_id, mode=mode)
+    return factory
+
+
+for _df in ("dragonfly1d", "dragonfly2d"):
+    register_routing(_df, RoutingSpec(
+        "min", "minimal path, random tie-break", factory=MinimalRouting))
+    register_routing(_df, RoutingSpec(
+        "adp", "UGAL-L adaptive: minimal unless a Valiant detour is less congested",
+        factory=AdaptiveRouting))
+
+register_routing("fattree", RoutingSpec(
+    "dmodk", "up to the nearest common ancestor, D-mod-k upward choice",
+    factory=_fattree_factory("dmodk")))
+register_routing("fattree", RoutingSpec(
+    "random", "NCA routing with uniform-random upward choice",
+    factory=_fattree_factory("random")))
+register_routing("fattree", RoutingSpec(
+    "adaptive", "NCA routing picking the shallowest upward queue",
+    factory=_fattree_factory("adaptive")))
+
+register_routing("torus", RoutingSpec(
+    "dor", "dimension-order routing, shortest-direction wrap",
+    factory=TorusDORRouting))
+
+register_routing("slimfly", RoutingSpec(
+    "min", "direct or one-intermediate (diameter-2) minimal route",
+    factory=_slimfly_factory("min")))
+register_routing("slimfly", RoutingSpec(
+    "adaptive", "UGAL-style choice between minimal and Valiant detour",
+    factory=_slimfly_factory("adaptive")))

@@ -24,6 +24,7 @@ from repro.scenario.runner import (
     JobReport,
     ScenarioResult,
     build_manager,
+    build_scenario_topology,
     render_scenario_report,
     run_scenario,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "ScenarioSpec",
     "TrafficEntry",
     "build_manager",
+    "build_scenario_topology",
     "discover_specs",
     "load_scenario",
     "parse_scenario",

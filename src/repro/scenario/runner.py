@@ -16,6 +16,7 @@ from typing import Any
 
 from repro.harness.configs import default_counter_window, make_topology
 from repro.harness.report import format_bytes, format_seconds, render_table
+from repro.registry import RegistryError, build_topology
 from repro.scenario.spec import JobEntry, ScenarioError, ScenarioSpec, TrafficEntry
 from repro.union.manager import Job, RunOutcome, WorkloadManager
 from repro.union.translator import translate
@@ -86,13 +87,27 @@ def _build_traffic(entry: TrafficEntry, seed: int) -> Job:
     )
 
 
+def build_scenario_topology(spec: ScenarioSpec):
+    """Instantiate the spec's topology (sugar or explicit registry form)."""
+    if spec.topology is None:
+        return make_topology(spec.network, spec.scale)
+    try:
+        return build_topology(spec.topology)
+    except RegistryError as exc:
+        raise ScenarioError(str(exc)) from None
+    except ValueError as exc:
+        # Structural constraints only the model itself can check
+        # (fat-tree k must be even, slim fly q must be a 4w+1 prime...).
+        raise ScenarioError(f"topology: {exc}") from None
+
+
 def build_manager(spec: ScenarioSpec) -> WorkloadManager:
     """Wire a :class:`WorkloadManager` exactly as the spec describes."""
-    topo = make_topology(spec.network, spec.scale)
+    topo = build_scenario_topology(spec)
     window = (
         spec.counter_window
         if spec.counter_window is not None
-        else default_counter_window(spec.scale)
+        else default_counter_window()
     )
     mgr = WorkloadManager(
         topo,
@@ -150,13 +165,16 @@ class ScenarioResult:
     events: int
     jobs: list[JobReport]
     link_summary: dict[str, float]
+    #: Canonical explicit ``[topology]`` table; ``None`` for legacy
+    #: dragonfly sugar specs (whose JSON form stays unchanged).
+    topology: dict[str, Any] | None = None
     #: The live outcome (fabric, counters) -- in-process callers only,
     #: excluded from the JSON form.
     outcome: RunOutcome | None = field(default=None, repr=False, compare=False)
 
     def to_json_dict(self) -> dict[str, Any]:
         # Not dataclasses.asdict: that would deep-copy the live outcome.
-        return {
+        out = {
             "scenario": self.scenario,
             "network": self.network,
             "scale": self.scale,
@@ -169,6 +187,9 @@ class ScenarioResult:
             "jobs": [asdict(j) for j in self.jobs],
             "link_summary": dict(self.link_summary),
         }
+        if self.topology is not None:
+            out["topology"] = dict(self.topology)
+        return out
 
     def job(self, name: str) -> JobReport:
         for j in self.jobs:
@@ -223,6 +244,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         events=outcome.fabric.engine.events_processed,
         jobs=reports,
         link_summary=outcome.link_load_summary(),
+        topology=spec.topology,
         outcome=outcome,
     )
 
@@ -250,12 +272,18 @@ def render_scenario_report(result: ScenarioResult) -> str:
             format_seconds(j.max_comm_time),
             j.messages,
         ))
+    if result.topology is None:
+        where = f"{result.network} {result.scale} dragonfly"
+    else:
+        extras = ", ".join(
+            f"{k}={v}" for k, v in result.topology.items() if k != "type"
+        )
+        where = result.topology["type"] + (f" ({extras})" if extras else "")
     table = render_table(
         ["job", "kind", "ranks", "arrival", "status",
          "avg msg lat", "max msg lat", "max comm time", "msgs"],
         rows,
-        title=(f"scenario {result.scenario!r} on {result.network} "
-               f"{result.scale} dragonfly "
+        title=(f"scenario {result.scenario!r} on {where} "
                f"({result.placement}-{result.routing}, seed {result.seed})"),
     )
     ls = result.link_summary

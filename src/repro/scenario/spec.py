@@ -1,8 +1,10 @@
 """Declarative scenario specs: parsing and validation.
 
 A *scenario* is one co-scheduled simulation described as data instead of
-a hand-written Python script: the topology, the fabric-wide routing and
-placement policies, the seed and horizon, a list of jobs -- each with an
+a hand-written Python script: the topology (any registered fabric model,
+parameterized through its ``[topology]`` table), the fabric-wide routing
+and placement policies (validated against that topology's registry
+capability lists), the seed and horizon, a list of jobs -- each with an
 optional arrival time and per-job routing/placement overrides -- and a
 list of background-traffic injectors that load the fabric underneath the
 measured applications.
@@ -26,14 +28,21 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
-from repro.harness.configs import NETWORKS, PLACEMENTS, ROUTINGS, default_horizon
+from repro.harness.configs import NETWORKS, default_horizon
+from repro.registry import (
+    SCALES,
+    RegistryError,
+    TopologySpec,
+    all_routing_names,
+    available_placements,
+    check_placement,
+    placement_registry,
+    topology_registry,
+)
 from repro.workloads.catalog import app_catalog
 
 #: Background-traffic patterns a ``[[traffic]]`` entry may name.
 TRAFFIC_PATTERNS = ("uniform", "hotspot")
-
-#: Scales a ``[topology]`` section may name.
-SCALES = ("mini", "paper")
 
 
 class ScenarioError(ValueError):
@@ -182,7 +191,16 @@ class TrafficEntry:
 
 @dataclass
 class ScenarioSpec:
-    """A fully validated scenario, ready for :func:`repro.scenario.runner.run_scenario`."""
+    """A fully validated scenario, ready for :func:`repro.scenario.runner.run_scenario`.
+
+    ``topology`` is the canonical parameterized table for explicit
+    ``[topology] type = "..."`` specs (sparse: the type, the scale
+    preset, and only the explicitly overridden parameters); ``None``
+    means the spec used the legacy ``network``/``scale`` dragonfly
+    sugar, which keeps parsing -- and round-tripping -- bit-for-bit as
+    before.  ``network`` holds the legacy alias (``"1d"``/``"2d"``) in
+    sugar form and the registry type name otherwise.
+    """
 
     name: str
     network: str = "1d"
@@ -195,12 +213,17 @@ class ScenarioSpec:
     jobs: list[JobEntry] = field(default_factory=list)
     traffic: list[TrafficEntry] = field(default_factory=list)
     base_dir: Path | None = None  # where relative job sources resolve
+    topology: dict[str, Any] | None = None  # explicit [topology] table
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-data form that round-trips through :func:`parse_scenario`."""
+        if self.topology is None:
+            topology: dict[str, Any] = {"network": self.network, "scale": self.scale}
+        else:
+            topology = dict(self.topology)
         out: dict[str, Any] = {
             "name": self.name,
-            "topology": {"network": self.network, "scale": self.scale},
+            "topology": topology,
             "routing": self.routing,
             "placement": self.placement,
             "seed": self.seed,
@@ -232,6 +255,82 @@ _TOP_KEYS = {
 
 _TOPOLOGY_KEYS = {"network": "1d|2d", "scale": "mini|paper"}
 
+
+def _parse_topology(data: Mapping) -> tuple[str, str, dict[str, Any] | None, TopologySpec]:
+    """Validate the ``[topology]`` table.
+
+    Two forms: the legacy dragonfly sugar ``{network = "1d", scale =
+    "mini"}`` (parsed exactly as it always was) and the explicit
+    registry form ``{type = "fattree", k = 8}`` -- any registered
+    topology name with an optional ``scale`` preset plus typed
+    parameter overrides.  Returns ``(network, scale, canonical,
+    topo_spec)`` where ``canonical`` is ``None`` for the sugar form.
+    """
+    raw = _require_mapping(data.get("topology", {}), "topology")
+    if "type" not in raw:
+        # Mention 'type' in unknown-key errors so a typo'd explicit form
+        # is steered towards the registry syntax, not away from it.
+        _check_keys(raw, {**_TOPOLOGY_KEYS, "type": "registry topology"}, "topology")
+        network = _get_str(raw, "network", "topology", default="1d", choices=NETWORKS)
+        scale = _get_str(raw, "scale", "topology", default="mini", choices=SCALES)
+        spec = topology_registry.get(network)
+        assert isinstance(spec, TopologySpec)
+        return network, scale, None, spec
+    if "network" in raw:
+        raise _err("topology", "set exactly one of 'network' (legacy dragonfly "
+                               "sugar) or 'type' (a registry topology)")
+    scale = _get_str(raw, "scale", "topology", default="mini", choices=SCALES)
+    try:
+        spec = topology_registry.get(raw["type"], path="topology.type")
+        assert isinstance(spec, TopologySpec)
+        explicit = {k: v for k, v in raw.items() if k not in ("type", "scale")}
+        explicit = spec.validate_params(explicit, "topology", kind="topology")
+    except RegistryError as exc:
+        raise ScenarioError(str(exc)) from None
+    canonical: dict[str, Any] = {"type": spec.name, "scale": scale}
+    canonical.update(
+        {k: list(v) if isinstance(v, tuple) else v for k, v in explicit.items()}
+    )
+    return spec.name, scale, canonical, spec
+
+
+def _get_routing(data: Mapping, key: str, path: str, topo_spec: TopologySpec,
+                 default: str | None = None) -> str | None:
+    """A routing name validated against the topology's capability list."""
+    value = data.get(key, default)
+    if value is None:
+        return None
+    where = f"{path}.{key}" if path else key
+    if not isinstance(value, str):
+        raise _err(where, f"expected a string, got {value!r}")
+    avail = list(topo_spec.routings)
+    if value in avail:
+        return value
+    if value in all_routing_names():
+        raise _err(where, f"routing {value!r} is not available on topology "
+                          f"{topo_spec.name!r}; choose from {avail}")
+    raise _err(where, f"{value!r} is not one of {avail}")
+
+
+def _get_placement(data: Mapping, key: str, path: str, topo_spec: TopologySpec,
+                   default: str | None = None) -> str | None:
+    """A placement name whose requirements the topology satisfies."""
+    value = data.get(key, default)
+    if value is None:
+        return None
+    where = f"{path}.{key}" if path else key
+    if not isinstance(value, str):
+        raise _err(where, f"expected a string, got {value!r}")
+    avail = list(available_placements(topo_spec.name))
+    if value in avail:
+        return value
+    if value in placement_registry.names():
+        try:
+            check_placement(value, topo_spec.name, path=where)
+        except RegistryError as exc:
+            raise ScenarioError(str(exc)) from None
+    raise _err(where, f"{value!r} is not one of {avail}")
+
 _JOB_KEYS = {
     "name": "job name",
     "app": "workload-catalog entry",
@@ -257,7 +356,7 @@ _TRAFFIC_KEYS = {
 }
 
 
-def _parse_job(data: Any, i: int, scale: str) -> JobEntry:
+def _parse_job(data: Any, i: int, scale: str, topo_spec: TopologySpec) -> JobEntry:
     path = f"jobs[{i}]"
     data = _require_mapping(data, path)
     _check_keys(data, _JOB_KEYS, path)
@@ -286,12 +385,12 @@ def _parse_job(data: Any, i: int, scale: str) -> JobEntry:
         nranks=nranks,
         params=params,
         arrival=_get_float(data, "arrival", path, default=0.0, minimum=0.0),
-        routing=_get_str(data, "routing", path, choices=ROUTINGS),
-        placement=_get_str(data, "placement", path, choices=PLACEMENTS),
+        routing=_get_routing(data, "routing", path, topo_spec),
+        placement=_get_placement(data, "placement", path, topo_spec),
     )
 
 
-def _parse_traffic(data: Any, i: int) -> TrafficEntry:
+def _parse_traffic(data: Any, i: int, topo_spec: TopologySpec) -> TrafficEntry:
     path = f"traffic[{i}]"
     data = _require_mapping(data, path)
     _check_keys(data, _TRAFFIC_KEYS, path)
@@ -314,8 +413,8 @@ def _parse_traffic(data: Any, i: int) -> TrafficEntry:
         iters=iters,
         hot_ranks=_get_int(data, "hot_ranks", path, default=1, minimum=1),
         arrival=_get_float(data, "arrival", path, default=0.0, minimum=0.0),
-        routing=_get_str(data, "routing", path, choices=ROUTINGS),
-        placement=_get_str(data, "placement", path, choices=PLACEMENTS),
+        routing=_get_routing(data, "routing", path, topo_spec),
+        placement=_get_placement(data, "placement", path, topo_spec),
     )
 
 
@@ -335,15 +434,12 @@ def parse_scenario(
     _check_keys(data, _TOP_KEYS, "")
     if base_dir is None:
         base_dir = _get_str(data, "base_dir", "")
-    topo = _require_mapping(data.get("topology", {}), "topology")
-    _check_keys(topo, _TOPOLOGY_KEYS, "topology")
-    network = _get_str(topo, "network", "topology", default="1d", choices=NETWORKS)
-    scale = _get_str(topo, "scale", "topology", default="mini", choices=SCALES)
+    network, scale, canonical, topo_spec = _parse_topology(data)
 
     jobs_raw = data.get("jobs", [])
     if not isinstance(jobs_raw, list):
         raise _err("jobs", f"expected an array of tables, got {type(jobs_raw).__name__}")
-    jobs = [_parse_job(j, i, scale) for i, j in enumerate(jobs_raw)]
+    jobs = [_parse_job(j, i, scale, topo_spec) for i, j in enumerate(jobs_raw)]
     if not jobs:
         raise _err("jobs", "a scenario needs at least one [[jobs]] entry")
 
@@ -351,7 +447,7 @@ def parse_scenario(
     if not isinstance(traffic_raw, list):
         raise _err("traffic",
                    f"expected an array of tables, got {type(traffic_raw).__name__}")
-    traffic = [_parse_traffic(t, i) for i, t in enumerate(traffic_raw)]
+    traffic = [_parse_traffic(t, i, topo_spec) for i, t in enumerate(traffic_raw)]
 
     seen: set[str] = set()
     for section, entries in (("jobs", jobs), ("traffic", traffic)):
@@ -362,12 +458,16 @@ def parse_scenario(
                            "names must be unique so reports are unambiguous")
             seen.add(entry.name)
 
+    # Fabric-wide defaults come from the topology's registry entry
+    # ("adp"/"rg" on dragonflies, exactly the historical defaults).
     spec = ScenarioSpec(
         name=_get_str(data, "name", "", default=name or "scenario"),
         network=network,
         scale=scale,
-        routing=_get_str(data, "routing", "", default="adp", choices=ROUTINGS),
-        placement=_get_str(data, "placement", "", default="rg", choices=PLACEMENTS),
+        routing=_get_routing(data, "routing", "", topo_spec,
+                             default=topo_spec.default_routing),
+        placement=_get_placement(data, "placement", "", topo_spec,
+                                 default=topo_spec.default_placement),
         seed=_get_int(data, "seed", "", default=1, minimum=0),  # RNG wants uint64
         horizon=_get_float(data, "horizon", "", default=default_horizon(scale),
                            minimum=0.0),
@@ -375,6 +475,7 @@ def parse_scenario(
         jobs=jobs,
         traffic=traffic,
         base_dir=Path(base_dir) if base_dir is not None else None,
+        topology=canonical,
     )
     if spec.horizon <= 0:
         raise _err("horizon", f"must be > 0, got {spec.horizon}")

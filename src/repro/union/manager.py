@@ -23,10 +23,16 @@ from repro.mpi.engine import JobResult, JobSpec, SimMPI
 from repro.network.config import NetworkConfig
 from repro.network.fabric import NetworkFabric
 from repro.network.topology import Topology
-from repro.placement.policies import PlacementError, make_placement
+from repro.placement.policies import PlacementError
+from repro.registry import check_placement, resolve_routing, spec_for_instance
 from repro.union.event_generator import SimUnionAPI, SkeletonShared
 from repro.union.registry import get_skeleton
 from repro.union.skeleton import Skeleton
+
+
+def _placement_name(placement) -> str:
+    """Name of a placement given as a string or a registry spec object."""
+    return placement if isinstance(placement, str) else placement.name
 
 
 @dataclass
@@ -52,9 +58,9 @@ class Job:
     skeleton: Skeleton | None = None
     program: Callable | None = None
     params: dict[str, Any] = field(default_factory=dict)
-    routing: str | None = None
+    routing: str | Callable | None = None  # name or routing factory
     arrival: float = 0.0
-    placement: str | None = None
+    placement: str | Any | None = None  # name or registry PlacementSpec
     background: bool = False
 
     def __post_init__(self) -> None:
@@ -126,15 +132,24 @@ class WorkloadManager:
     Parameters
     ----------
     topo:
-        Network topology instance.
+        Network topology instance -- any registered fabric model
+        (dragonfly 1D/2D, fat-tree, torus, slim fly) or a duck-typed
+        custom topology.
+    routing:
+        A routing name resolved against the topology through
+        :mod:`repro.registry` (``"min"``/``"adp"`` on dragonflies,
+        ``"dmodk"`` on fat-trees, ``"dor"`` on tori, ...), or a resolved
+        component: a ``factory(topo, config, probe, stream_id)``
+        callable.  Individual jobs may override it via
+        ``Job(routing=...)``.  A name that is not available on the
+        topology fails fast with the registry's capability error.
     config:
         Link-level parameters (defaults to the paper's bandwidths).
-    routing:
-        ``"min"`` or ``"adp"``; the fabric-wide default (the paper's
-        placement x routing sweep uses one policy per run).  Individual
-        jobs may override it via ``Job(routing=...)``.
     placement:
-        ``"rn"``, ``"rr"`` or ``"rg"``.
+        A placement name (``"rn"``, ``"rr"`` or ``"rg"``) or a registry
+        :class:`~repro.registry.PlacementSpec`; policies whose declared
+        requirements (group structure, uniform node attachment) the
+        topology cannot satisfy fail fast with a clear error.
     seed:
         Master seed for placement shuffles and routing tie-breaks.
     counter_window:
@@ -216,10 +231,11 @@ class WorkloadManager:
         """
         if not self.jobs:
             raise RuntimeError("no jobs to run")
+        self._validate_components()
         self.fabric = NetworkFabric(
             self.topo,
             self.config,
-            routing=self.routing,
+            routing=self._routing_component(self.routing),
             counter_window=self.counter_window,
         )
         self.mpi = SimMPI(self.fabric)
@@ -254,12 +270,55 @@ class WorkloadManager:
             nodes = self._job_nodes[i]
             assert nodes is not None
             routers = {self.topo.router_of_node(n) for n in nodes}
-            groups = {self.topo.group_of(r) for r in routers}
+            # Group-less fabrics (torus, fat-tree, slim fly) report an
+            # empty group set rather than faking a hierarchy.
+            group_of = getattr(self.topo, "group_of", None)
+            groups = {group_of(r) for r in routers} if group_of else set()
             apps.append(AppMetrics(
                 job.name, app_id, results[app_id], nodes, routers, groups,
                 arrival=job.arrival, background=job.background,
             ))
         return RunOutcome(self, apps, end, not_started)
+
+    def _routing_component(self, routing):
+        """Resolve a routing argument to what the fabric consumes.
+
+        Names are resolved against the topology through the registry
+        (raising the capability-mismatch error when the policy cannot
+        run there); factories/policies pass through untouched.  Raw
+        duck-typed topologies keep the historical string path (the
+        fabric's dragonfly ``make_routing``).
+        """
+        if not isinstance(routing, str) or spec_for_instance(self.topo) is None:
+            return routing
+        return resolve_routing(routing, self.topo)
+
+    def _validate_components(self) -> None:
+        """Fail fast on topology/routing/placement capability mismatches."""
+        if isinstance(self.routing, str):
+            self._routing_component(self.routing)
+        for job in self.jobs:
+            if isinstance(job.routing, str):
+                self._routing_component(job.routing)
+        dynamic = any(j.arrival > 0 or j.placement is not None for j in self.jobs)
+        if dynamic:
+            effective = {
+                _placement_name(j.placement or self.placement) for j in self.jobs
+            }
+        else:
+            effective = {_placement_name(self.placement)}
+        for name in sorted(effective):
+            check_placement(name, self.topo)
+
+    def _placement_fn(self, name: str):
+        """The policy callable behind a placement name.
+
+        Resolution goes through the registry (so placements added via
+        ``register_placement`` work here like everywhere else) and
+        re-checks the topology's capabilities, which also produces the
+        clear error for dynamic per-job overrides.
+        """
+        return check_placement(name, self.topo).func
 
     def _job_spec(self, i: int, job: Job, nodes: list[int]) -> JobSpec:
         program = self._skeleton_program(job) if job.skeleton is not None else job.program
@@ -274,13 +333,12 @@ class WorkloadManager:
             self._job_footprint[i] or set(self._job_nodes[i] or ())
         )
         if job.routing is not None:
-            self.fabric.set_app_routing(app_id, job.routing)
+            self.fabric.set_app_routing(app_id, self._routing_component(job.routing))
 
     def _setup_static(self) -> None:
         """Historical path: one placement draw covering every job."""
-        placements = make_placement(
-            self.placement, self.topo, [j.nranks for j in self.jobs], self.seed
-        )
+        fn = self._placement_fn(_placement_name(self.placement).lower())
+        placements = fn(self.topo, [j.nranks for j in self.jobs], self.seed)
         for i, (job, nodes) in enumerate(zip(self.jobs, placements)):
             app_id = self.mpi.add_job(self._job_spec(i, job, nodes))
             self._record_launch(i, job, app_id)
@@ -302,9 +360,9 @@ class WorkloadManager:
                 )
 
     def _place_one(self, i: int, job: Job) -> list[int]:
-        policy = (job.placement or self.placement).lower()
-        nodes = make_placement(
-            policy, self.topo, [job.nranks], self.seed + i, allowed_nodes=self._free
+        policy = _placement_name(job.placement or self.placement).lower()
+        nodes = self._placement_fn(policy)(
+            self.topo, [job.nranks], self.seed + i, allowed_nodes=self._free
         )[0]
         # Under RR/RG the job owns its whole routers/groups: reserve the
         # unused tail nodes too, or a later arrival would be co-located

@@ -1,0 +1,32 @@
+"""NetworkConfig per-class lookups (hot-path tuple form)."""
+
+import pytest
+
+from repro.network.config import LinkClass, NetworkConfig
+
+
+def test_bandwidth_and_latency_lookup_by_class():
+    cfg = NetworkConfig(terminal_bw=1.0, local_bw=2.0, global_bw=3.0,
+                        terminal_latency=0.1, local_latency=0.2,
+                        global_latency=0.3)
+    assert [cfg.bandwidth(c) for c in LinkClass] == [1.0, 2.0, 3.0]
+    assert [cfg.latency(c) for c in LinkClass] == [0.1, 0.2, 0.3]
+    # IntEnum values index the precomputed tuples directly.
+    assert cfg.bandwidth(LinkClass.GLOBAL) == cfg._bw_of_class[2]
+
+
+def test_defaults_preserved():
+    cfg = NetworkConfig()
+    assert cfg.bandwidth(LinkClass.TERMINAL) == cfg.terminal_bw
+    assert cfg.bandwidth(LinkClass.LOCAL) == cfg.local_bw
+    assert cfg.bandwidth(LinkClass.GLOBAL) == cfg.global_bw
+    assert cfg.latency(LinkClass.TERMINAL) == cfg.terminal_latency
+    assert cfg.latency(LinkClass.LOCAL) == cfg.local_latency
+    assert cfg.latency(LinkClass.GLOBAL) == cfg.global_latency
+
+
+def test_frozen_validation_still_applies():
+    with pytest.raises(ValueError, match="local_bw"):
+        NetworkConfig(local_bw=0)
+    with pytest.raises(ValueError, match="router_delay"):
+        NetworkConfig(router_delay=-1)

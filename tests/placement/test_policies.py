@@ -122,3 +122,25 @@ def test_policies_work_on_2d():
         placements = make_placement(name, topo, [12, 12], seed=1)
         flat = [n for p in placements for n in p]
         assert len(set(flat)) == 24
+
+
+def test_rr_rejects_non_uniform_node_attachment():
+    from repro.network.fattree import FatTreeTopology
+
+    topo = FatTreeTopology(k=4)  # only edge switches host nodes
+    with pytest.raises(PlacementError, match="uniform node attachment"):
+        make_placement("rr", topo, [4], seed=1)
+    # RN has no structural requirement and still works.
+    flat = [n for p in make_placement("rn", topo, [4, 4], seed=1) for n in p]
+    assert len(set(flat)) == 8
+
+
+def test_rg_rejects_group_less_fabrics():
+    from repro.network.torus import TorusTopology
+
+    topo = TorusTopology((4, 4), nodes_per_router=2)
+    with pytest.raises(PlacementError, match="group structure"):
+        make_placement("rg", topo, [4], seed=1)
+    # RR is fine on a torus: every router hosts nodes uniformly.
+    nodes = make_placement("rr", topo, [5], seed=1)[0]
+    assert len(nodes) == 5

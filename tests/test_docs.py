@@ -39,6 +39,18 @@ def test_scenario_snippets_validate(check_docs):
     assert check_docs.check_scenario_snippets() >= 3
 
 
+def test_registry_doc_names_every_component(check_docs):
+    assert check_docs.check_registry_doc() >= 10
+
+
+def test_registry_doc_drift_is_caught(check_docs, tmp_path):
+    text = (REPO / "docs" / "registry.md").read_text()
+    p = tmp_path / "registry.md"
+    p.write_text(text.replace("`torus`", "`donut`"))
+    with pytest.raises(AssertionError, match="torus"):
+        check_docs.check_registry_doc(p)
+
+
 def test_missing_subcommand_is_caught(check_docs, tmp_path):
     text = (REPO / "docs" / "cli.md").read_text()
     doctored = text.replace("## `union-sim scenario`", "## gone")
