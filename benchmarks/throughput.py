@@ -41,7 +41,7 @@ from repro.pdes.sequential import SequentialEngine
 DEFAULT_OUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_engine.json")
 
 
-def run_network_throughput() -> int:
+def run_network_throughput(telemetry=None) -> int:
     """Raw network-core throughput: a fabric-level permutation packet
     storm (no MPI layer).
 
@@ -50,8 +50,14 @@ def run_network_throughput() -> int:
     congest, adaptive routing probes queue depths per packet.  This is
     the event traffic the PDES substrate must sustain, isolated from
     rank-program (generator) overhead.
+
+    ``telemetry`` overrides the fabric's session -- the
+    telemetry-overhead pair below runs this identical storm with the
+    Section IV-D instruments on (the default, what this bench always
+    measured) and with every ``net.*`` family disabled.
     """
-    fabric = NetworkFabric(Dragonfly1D.mini(), NetworkConfig(seed=2), routing="adp")
+    fabric = NetworkFabric(Dragonfly1D.mini(), NetworkConfig(seed=2), routing="adp",
+                           telemetry=telemetry)
     n = fabric.topo.n_nodes
     for node in range(n):
         partner = (node + n // 2) % n
@@ -60,6 +66,21 @@ def run_network_throughput() -> int:
     fabric.engine.run(until=1.0)
     assert fabric.in_flight() == 0
     return fabric.engine.events_processed
+
+
+def run_network_storm_telemetry_off() -> int:
+    """The same permutation storm with telemetry fully disabled.
+
+    The pair (``network_throughput``, ``network_storm_telemetry_off``)
+    is the tracked instrumentation-overhead measurement: disabling a
+    family binds ``None`` on the LP hot paths, so this run skips the
+    per-packet app-counter and link-load dict work entirely.  The event
+    graph is identical (telemetry never schedules events), hence the
+    shared reference count.
+    """
+    from repro.telemetry import Telemetry
+
+    return run_network_throughput(telemetry=Telemetry(disable=("net.*",)))
 
 
 def run_mpi_workload_throughput() -> int:
@@ -91,6 +112,7 @@ def run_phold() -> int:
 
 BENCHES = {
     "network_throughput": run_network_throughput,
+    "network_storm_telemetry_off": run_network_storm_telemetry_off,
     "mpi_workload": run_mpi_workload_throughput,
     "phold_sequential": run_phold,
 }
@@ -98,8 +120,11 @@ BENCHES = {
 #: Committed event counts of the v0 seed model for the identical
 #: workloads, measured with this harness.  Denominator-stable unit for
 #: ``ref_events_per_sec``; re-pin if a bench workload ever changes.
+#: The telemetry-off storm commits the same events as the instrumented
+#: one (telemetry is event-free), so the pair shares one reference.
 REFERENCE_EVENTS = {
     "network_throughput": 117_846,
+    "network_storm_telemetry_off": 117_846,
     "mpi_workload": 132_317,
     "phold_sequential": 127_946,
 }

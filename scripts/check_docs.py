@@ -12,6 +12,10 @@ Three invariants keep the docs honest:
 3. ``docs/registry.md`` must name every registered component
    (topologies, routings, placements), so the roster tables cannot
    silently drift from :mod:`repro.registry`.
+4. ``docs/telemetry.md`` must name every registered telemetry sink and
+   instrument kind (from :data:`repro.telemetry.SINK_KINDS` /
+   :data:`repro.telemetry.INSTRUMENT_KINDS`) *and* their classes, so
+   the pipeline reference cannot drift from :mod:`repro.telemetry`.
 
 Run directly (``python scripts/check_docs.py``) or via pytest
 (``tests/test_docs.py`` wraps the same functions).
@@ -117,13 +121,34 @@ def check_registry_doc(path: Path = DOCS / "registry.md") -> int:
     return len(names)
 
 
+def check_telemetry_doc(path: Path = DOCS / "telemetry.md") -> int:
+    """docs/telemetry.md must name every sink and instrument kind.
+
+    Kind names and class names must appear backtick-quoted (as in the
+    taxonomy tables).  Returns the number of names checked.
+    """
+    from repro.telemetry import INSTRUMENT_KINDS, SINK_KINDS
+
+    text = path.read_text()
+    names = list(INSTRUMENT_KINDS) + [c.__name__ for c in INSTRUMENT_KINDS.values()]
+    names += list(SINK_KINDS) + [c.__name__ for c in SINK_KINDS.values()]
+    missing = [n for n in names if f"`{n}`" not in text]
+    assert not missing, (
+        f"{path} does not mention telemetry sink/instrument name(s) {missing}; "
+        "update the taxonomy tables (names must be backtick-quoted)"
+    )
+    return len(names)
+
+
 def main() -> int:
     check_cli_doc()
     n = check_scenario_snippets()
     m = check_registry_doc()
+    k = check_telemetry_doc()
     print(f"docs OK: cli.md covers all {len(registered_subcommands())} subcommands; "
           f"{n} scenarios.md snippets validate; "
-          f"registry.md names all {m} components")
+          f"registry.md names all {m} components; "
+          f"telemetry.md names all {k} sinks/instrument kinds")
     return 0
 
 

@@ -85,7 +85,29 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _check_metrics_path(path: str | None) -> str | None:
+    """Fail *before* simulating on an unwritable --metrics path."""
+    if path is None:
+        return None
+    from pathlib import Path
+
+    parent = Path(path).parent
+    if not parent.is_dir():
+        return f"--metrics: directory {parent} does not exist"
+    return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.telemetry import JsonlSink, Telemetry
+
+    if args.metrics_filter and not args.metrics:
+        # A filter with nowhere to export is a silent no-op; refuse it.
+        print("error: --metrics-filter requires --metrics FILE.jsonl",
+              file=sys.stderr)
+        return 2
+    if (problem := _check_metrics_path(args.metrics)) is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
     _resolve_policy_defaults(args)
     cfg = ExperimentConfig(
         network=args.network,
@@ -95,13 +117,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
     )
+    telemetry = Telemetry() if args.metrics else None
     try:
         # Capability mismatches (routing/placement the topology cannot
         # run) surface here with the registry's choose-from message.
-        res = run_experiment(cfg)
+        res = run_experiment(cfg, telemetry=telemetry)
     except RegistryError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if telemetry is not None:
+        try:
+            telemetry.export(JsonlSink(args.metrics), args.metrics_filter or None,
+                             meta={"network": cfg.network, "workload": cfg.workload,
+                                   "combo": cfg.combo, "seed": cfg.seed})
+        except OSError as exc:
+            print(f"error: --metrics: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.metrics}", file=sys.stderr)
     rows = []
     for name, a in res.apps.items():
         rows.append(
@@ -232,22 +264,49 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
     from repro.conceptual.errors import ConceptualError
     from repro.placement.policies import PlacementError
-    from repro.scenario import ScenarioError, load_scenario, render_scenario_report, run_scenario
+    from repro.scenario import (
+        MetricsEntry,
+        ScenarioError,
+        load_scenario,
+        render_scenario_report,
+        run_scenario,
+    )
 
     if args.horizon is not None and args.horizon <= 0:
         print(f"error: --horizon must be > 0, got {args.horizon:g}", file=sys.stderr)
+        return 2
+    if (problem := _check_metrics_path(args.metrics)) is not None:
+        print(f"error: {problem}", file=sys.stderr)
         return 2
     try:
         spec = load_scenario(args.spec)
         if args.horizon is not None:
             spec.horizon = args.horizon
+        if args.metrics or args.metrics_filter:
+            # Flags override the spec's [metrics] sink/filter but keep
+            # its opt-in instrument switches.
+            entry = (spec.metrics or MetricsEntry()).overridden(
+                jsonl=args.metrics, filter=args.metrics_filter,
+            )
+            if entry.jsonl is None and not entry.summary:
+                # A filter with nowhere to export is a silent no-op.
+                print("error: --metrics-filter needs a sink: pass --metrics "
+                      "FILE.jsonl or set [metrics] jsonl/summary in the spec",
+                      file=sys.stderr)
+                return 2
+            spec.metrics = entry
         # run_scenario may raise too: a missing or untranslatable job
-        # source file, or a t=0 job that does not fit the topology.
+        # source file, a t=0 job that does not fit the topology, or an
+        # unwritable [metrics] jsonl path (OSError) -- all after-the-
+        # fact errors the user should see cleanly.
         result = run_scenario(spec)
-    except (ScenarioError, PlacementError, ConceptualError, RegistryError) as exc:
+    except (ScenarioError, PlacementError, ConceptualError, RegistryError,
+            OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_scenario_report(result))
+    if args.metrics:
+        print(f"wrote {args.metrics}", file=sys.stderr)
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(result.to_json_dict(), fh, indent=2)
@@ -260,8 +319,20 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.scenario import ScenarioError, render_batch_summary, run_batch
 
+    if args.metrics_filter and not args.metrics:
+        # Without --metrics the filter only reaches specs that declare
+        # their own [metrics] sink; surface the likely mistake but keep
+        # going for the specs it can affect.
+        print("warning: --metrics-filter without --metrics DIR only affects "
+              "specs with their own [metrics] jsonl/summary sink",
+              file=sys.stderr)
     try:
-        batch = run_batch(args.directory, workers=args.jobs)
+        batch = run_batch(
+            args.directory,
+            workers=args.jobs,
+            metrics_dir=args.metrics,
+            metrics_filter=list(args.metrics_filter) if args.metrics_filter else None,
+        )
     except ScenarioError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -305,6 +376,20 @@ def _cmd_topologies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_metrics_flags(parser: argparse.ArgumentParser,
+                       metrics_help: str | None = None,
+                       metavar: str = "FILE.jsonl") -> None:
+    """The shared telemetry export flags (run/scenario/batch)."""
+    parser.add_argument(
+        "--metrics", default=None, metavar=metavar,
+        help=metrics_help or "write telemetry metric rows as JSONL "
+             "(see docs/telemetry.md for the row schema)")
+    parser.add_argument(
+        "--metrics-filter", action="append", default=None, metavar="GLOB",
+        help="only export metric keys matching this glob "
+             "(repeatable, e.g. 'mpi.job.*' or 'net.link.class.*')")
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="union-sim", description=__doc__)
     sub = p.add_subparsers(dest="cmd", required=True)
@@ -334,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="routing policy (default: the network's registry default)")
     r.add_argument("--scale", choices=["mini", "paper"], default="mini")
     r.add_argument("--seed", type=int, default=1)
+    _add_metrics_flags(r)
     r.set_defaults(fn=_cmd_run)
 
     s = sub.add_parser("sweep", help="full placement x routing sweep")
@@ -369,6 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the spec's simulation horizon (seconds)")
     c.add_argument("--json", default=None, metavar="FILE",
                    help="also write the full per-job metrics as JSON")
+    _add_metrics_flags(c)
     c.set_defaults(fn=_cmd_scenario)
 
     b = sub.add_parser("batch", help="run every scenario spec in a directory")
@@ -377,6 +464,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (1 = sequential)")
     b.add_argument("--json", default=None, metavar="FILE",
                    help="also write every scenario's metrics as JSON")
+    _add_metrics_flags(b, metrics_help=(
+        "write each scenario's telemetry rows to "
+        "DIR/<spec>.metrics.jsonl"), metavar="DIR")
     b.set_defaults(fn=_cmd_batch)
 
     o = sub.add_parser("topologies", help="print the fabric-model registry")

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.harness.configs import default_counter_window, default_horizon, make_topology
 from repro.harness.metrics import BoxStats, boxplot_stats
+from repro.telemetry import Telemetry
 from repro.union.manager import WorkloadManager
 from repro.workloads.catalog import app_catalog, build_baseline_job, build_jobs
 
@@ -85,11 +86,17 @@ def clear_cache() -> None:
     _CACHE.clear()
 
 
-def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
-    """Run (or fetch from cache) one sweep cell."""
-    hit = _CACHE.get(cfg)
-    if hit is not None:
-        return hit
+def run_experiment(cfg: ExperimentConfig, telemetry: Telemetry | None = None) -> ExperimentResult:
+    """Run (or fetch from cache) one sweep cell.
+
+    Passing a :class:`~repro.telemetry.Telemetry` session forces a
+    fresh simulation recorded into it (a memoized result carries no
+    live instruments to export), bypassing the cache read.
+    """
+    if telemetry is None:
+        hit = _CACHE.get(cfg)
+        if hit is not None:
+            return hit
     topo = make_topology(cfg.network, cfg.scale)
     window = default_counter_window()
     mgr = WorkloadManager(
@@ -98,6 +105,7 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
         placement=cfg.placement,
         seed=cfg.seed,
         counter_window=window,
+        telemetry=telemetry,
     )
     if cfg.workload.startswith("baseline:"):
         mgr.add_job(build_baseline_job(cfg.workload.split(":", 1)[1], cfg.scale))
@@ -140,5 +148,9 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
         counter_window=window,
         router_series=series,
     )
-    _CACHE[cfg] = result
+    if telemetry is None:
+        # A custom session may disable instrument families, zeroing the
+        # measured series/link summary -- memoizing that would poison
+        # later plain calls for the same cell.
+        _CACHE[cfg] = result
     return result

@@ -41,6 +41,12 @@ def slowdown(value: float, baseline: float) -> float:
     "Nx slowdown" phrasing (``63x slowdown`` = factor 64 here would be
     off-by-one; the paper's usage is factor-style, so we report
     ``value/baseline - 1``).
+
+    Degenerate baselines: a non-positive baseline with a positive value
+    is an infinite slowdown; with both non-positive there is nothing to
+    compare (0.0).  A positive baseline always takes the ratio path --
+    a zero-latency value against a real baseline is a full speedup
+    (-1.0), not "equal".
     """
     if baseline <= 0:
         return 0.0 if value <= 0 else float("inf")

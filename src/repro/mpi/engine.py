@@ -19,6 +19,16 @@ Metric definitions (Section IV-D):
 * *communication time* -- total wall-clock the rank spends blocked in
   MPI operations (waits, blocking send/recv, collectives), excluding
   Compute/Sleep delays.
+
+Per-job telemetry: the runtime shares the fabric's
+:class:`~repro.telemetry.Telemetry` session and publishes each job's
+metrics under ``mpi.job.<name>.*`` (see :func:`job_key`) -- lifecycle
+gauges (``launched_at``/``finished_at``) recorded live, the full
+per-job reduction (``avg_msg_latency``, ``max_comm_time``, ...)
+published once at the end of :meth:`SimMPI.run`, and an opt-in
+streaming message-latency histogram per job
+(``mpi.job.<name>.msg_latency``; enable the family key
+``mpi.job.msg_latency``) recorded on the delivery path.
 """
 
 from __future__ import annotations
@@ -42,8 +52,25 @@ from repro.mpi.types import (
 from repro.network.fabric import NetworkFabric
 from repro.pdes.event import Event, Priority
 from repro.pdes.lp import LP
+from repro.telemetry import Telemetry, metric_segment
 
 _BLOCKED = object()  # sentinel: rank suspended, stop advancing
+
+#: Family key gating the per-job message-latency histograms (they are
+#: opt-in: one bisect per delivered message is cheap but not free).
+LATENCY_HISTOGRAM_FAMILY = "mpi.job.msg_latency"
+
+
+def job_key(name: str, metric: str = "") -> str:
+    """The ``mpi.job.<name>`` telemetry key prefix for a job.
+
+    Dots and whitespace in the job name are folded to underscores
+    (:func:`repro.telemetry.metric_segment`) so the name occupies
+    exactly one key segment; the scheduler layers reject job rosters
+    whose names collide after folding.
+    """
+    safe = metric_segment(name)
+    return f"mpi.job.{safe}.{metric}" if metric else f"mpi.job.{safe}"
 
 
 class RankStats:
@@ -241,12 +268,22 @@ class SimMPI:
         results = mpi.results()
     """
 
-    def __init__(self, fabric: NetworkFabric) -> None:
+    def __init__(self, fabric: NetworkFabric, telemetry: Telemetry | None = None) -> None:
         from repro.mpi.process import RankCtx  # local import to avoid a cycle
 
         self._ctx_cls = RankCtx
         self.fabric = fabric
         self.engine = fabric.engine
+        #: Shared metric store; defaults to the fabric's session so
+        #: network and MPI metrics land in one place.
+        self.telemetry = telemetry if telemetry is not None else fabric.telemetry
+        # Per-app latency-histogram record hooks, populated per job at
+        # launch.  None when the family is off: the delivery hot path
+        # then pays one is-None check, nothing more.
+        self._lat_rec: dict[int, Callable[[float], None]] | None = (
+            {} if self.telemetry.enabled(LATENCY_HISTOGRAM_FAMILY, default=False)
+            else None
+        )
         self.jobs: list[_Job] = []
         self._driver = _DriverLP(self)
         self.engine.register(self._driver)
@@ -328,7 +365,45 @@ class SimMPI:
         if not self._started:
             self._started = True
             self.engine.schedule_at(0.0, self._driver.lp_id, "start", None, Priority.MPI)
-        return self.engine.run(until=until)
+        end = self.engine.run(until=until)
+        self.publish_job_metrics()
+        return end
+
+    def publish_job_metrics(self) -> None:
+        """Publish every job's reduced metrics into the telemetry store.
+
+        One gauge per value under ``mpi.job.<name>.*`` -- the same
+        reductions :class:`JobResult` exposes, so consumers (the
+        scenario runner, metric sinks) read them from the store instead
+        of re-deriving rows.  Idempotent; called automatically at the
+        end of :meth:`run`.
+        """
+        t = self.telemetry
+        for j in self.jobs:
+            r = self._result_of(j)
+            base = job_key(r.name)
+            lat = r.max_latencies_per_rank()
+            values = (
+                ("ranks", r.nranks, "ranks", "rank count"),
+                ("app_id", r.app_id, "", "app id on the fabric"),
+                ("finished", int(r.finished), "", "1 when every rank completed"),
+                ("msgs_recvd", sum(s.msgs_recvd for s in r.rank_stats),
+                 "messages", "messages received across ranks"),
+                ("msgs_sent", sum(s.msgs_sent for s in r.rank_stats),
+                 "messages", "messages sent across ranks"),
+                ("bytes_sent", r.total_bytes_sent(), "bytes",
+                 "payload bytes sent across ranks"),
+                ("avg_msg_latency", r.avg_latency(), "seconds",
+                 "mean latency over received messages"),
+                ("max_msg_latency", max(lat) if lat else 0.0, "seconds",
+                 "worst per-rank max message latency"),
+                ("max_comm_time", r.max_comm_time(), "seconds",
+                 "worst per-rank blocked-in-MPI time"),
+                ("mean_comm_time", r.mean_comm_time(), "seconds",
+                 "mean per-rank blocked-in-MPI time"),
+            )
+            for metric, value, unit, doc in values:
+                t.gauge(f"{base}.{metric}", unit=unit, doc=doc).set(value)
 
     def _start_all(self) -> None:
         for arrival, spec, on_launch in self._pending:
@@ -340,6 +415,19 @@ class SimMPI:
             self._start_job(job)
 
     def _start_job(self, job: "_Job") -> None:
+        base = job_key(job.spec.name)
+        self.telemetry.gauge(f"{base}.launched_at", unit="seconds",
+                             doc="simulated time the job's ranks started").set(self.engine.now)
+        if self._lat_rec is not None:
+            # replace=True: a job relaunched on a shared session (e.g. a
+            # manager re-run) gets a fresh histogram, matching how the
+            # fabric's instruments supersede -- never merges two runs.
+            hist = self.telemetry.histogram(
+                f"{base}.msg_latency", unit="seconds",
+                doc="per-message latency distribution", replace=True,
+            )
+            if hist.enabled:
+                self._lat_rec[job.app_id] = hist.record
         for rs in job.ranks:
             ctx = self._ctx_cls(self, rs)
             rs.gen = job.spec.program(ctx)
@@ -384,8 +472,13 @@ class SimMPI:
                 rs.finished = True
                 rs.stats.finished_at = self.engine.now
                 rs.job.done_ranks += 1
-                if rs.job.finished and self.job_end_callback is not None:
-                    self.job_end_callback(self._result_of(rs.job))
+                if rs.job.finished:
+                    self.telemetry.gauge(
+                        job_key(rs.job.spec.name, "finished_at"), unit="seconds",
+                        doc="simulated time the job's last rank finished",
+                    ).set(self.engine.now)
+                    if self.job_end_callback is not None:
+                        self.job_end_callback(self._result_of(rs.job))
                 return
             value = self._dispatch(rs, op)
             if value is _BLOCKED:
@@ -492,7 +585,12 @@ class SimMPI:
         job = self.jobs[app_id]
         rs = job.ranks[dst_rank]
         rs.stats.msgs_recvd += 1
-        rs.stats.latencies.append(time - posted_at)
+        latency = time - posted_at
+        rs.stats.latencies.append(latency)
+        if self._lat_rec is not None:
+            rec = self._lat_rec.get(app_id)
+            if rec is not None:
+                rec(latency)
         msg = Message(src_rank, tag, nbytes, posted_at, time)
         for i, req in enumerate(rs.posted_recvs):
             if (req.peer == ANY_SOURCE or req.peer == src_rank) and (

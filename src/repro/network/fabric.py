@@ -3,8 +3,20 @@
 The fabric is the message-level facade the MPI layer talks to: it
 assigns message ids, segments/injects via the source terminal, tracks
 reassembly, and invokes a delivery callback when the last byte of a
-message reaches the destination terminal.  It owns the two measurement
-instruments (per-app windowed router counters and link-load accounting).
+message reaches the destination terminal.
+
+Measurement goes through one :class:`~repro.telemetry.Telemetry`
+session (created here unless the caller shares its own): the classic
+Section IV-D instruments -- per-app windowed router counters
+(``net.router.app.bytes``) and link-load accounting
+(``net.link.bytes``) -- are registered as telemetry instruments, with
+``fabric.app_counter`` / ``fabric.link_loads`` kept as thin accessors
+so existing experiments read them exactly as before.  Fabric-level
+message totals are published as observable gauges (``net.fabric.*``),
+and an opt-in per-port queue-occupancy series (``net.router.queue``,
+off by default) samples FIFO depth at every packet arrival.  Disabled
+families cost strictly nothing: the LPs bind ``None`` and skip the
+record call entirely.
 
 Construction wires every Router/Terminal LP onto one PDES engine and
 resolves their per-port forwarding constants up front; from then on all
@@ -26,6 +38,7 @@ from repro.network.topology import Topology
 from repro.pdes.engine import Engine
 from repro.pdes.event import Priority
 from repro.pdes.sequential import SequentialEngine
+from repro.telemetry import Telemetry
 
 # Called as callback(msg_id, meta, completion_time)
 DeliveryCallback = Callable[[int, Any, float], None]
@@ -60,6 +73,12 @@ class NetworkFabric:
     counter_window:
         Aggregation window of the per-app router counters (the paper
         uses 0.5 ms; mini-scale experiments shrink it proportionally).
+    telemetry:
+        The :class:`~repro.telemetry.Telemetry` session to register the
+        fabric's instruments in.  A private all-defaults session is
+        created when omitted (the historical behaviour); pass a shared
+        one to co-locate network metrics with MPI/job metrics and to
+        enable/disable metric families.
     """
 
     def __init__(
@@ -69,12 +88,42 @@ class NetworkFabric:
         routing: str = "adp",
         engine: Engine | None = None,
         counter_window: float = 0.5e-3,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.topo = topo
         self.config = config or NetworkConfig()
         self.engine = engine or SequentialEngine()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        # The two Section IV-D instruments stay plain attributes (the
+        # seed API), but live in the telemetry session like any other
+        # instrument.  When a family is disabled the object still
+        # exists -- series()/summary() read as empty -- yet the LPs
+        # bind None below and never pay for the record call.
+        # ``replace=True`` throughout: a fresh fabric on a shared
+        # session supersedes a previous (finished) fabric's instruments
+        # instead of crashing, so managers can re-run.
         self.app_counter = WindowedAppCounter(counter_window)
         self.link_loads = LinkLoadAccounting(topo)
+        self.app_record = (
+            self.app_counter.record
+            if self.telemetry.register(self.app_counter, replace=True).enabled
+            else None
+        )
+        self.load_record = (
+            self.link_loads.record
+            if self.telemetry.register(self.link_loads, replace=True).enabled
+            else None
+        )
+        # Opt-in (off by default): per-port queue occupancy, sampled at
+        # each packet arrival, aggregated per window by max.
+        queue_series = self.telemetry.windowed(
+            "net.router.queue", window=counter_window, unit="packets",
+            doc="peak per-port FIFO depth per window, sampled at arrivals",
+            agg="max", template="net.router.{}.port.{}.queue", default=False,
+            replace=True,
+        )
+        self.queue_series = queue_series
+        self.queue_record = queue_series.record if queue_series.enabled else None
 
         self.routers: list[RouterLP] = []
         self.terminals: list[TerminalLP] = []
@@ -120,6 +169,17 @@ class NetworkFabric:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.bytes_sent = 0
+        # Message totals as observable gauges: evaluated at export, so
+        # publishing them costs nothing per message.  replace=True, or
+        # a second fabric on the session would keep reading the first
+        # fabric's (dead) closures.
+        t = self.telemetry
+        t.gauge("net.fabric.messages_sent", unit="messages", replace=True,
+                doc="messages injected", fn=lambda: self.messages_sent)
+        t.gauge("net.fabric.messages_delivered", unit="messages", replace=True,
+                doc="messages fully delivered", fn=lambda: self.messages_delivered)
+        t.gauge("net.fabric.bytes_sent", unit="bytes", replace=True,
+                doc="payload bytes injected", fn=lambda: self.bytes_sent)
 
     # -- LP id mapping ----------------------------------------------------
     def router_lp_id(self, router: int) -> int:

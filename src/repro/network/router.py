@@ -60,6 +60,7 @@ class RouterLP(LP):
         "_sched",
         "_app_record",
         "_load_record",
+        "_queue_record",
     )
 
     def __init__(self, rid: int, topo: Topology, config: NetworkConfig, fabric: "NetworkFabric") -> None:
@@ -81,8 +82,12 @@ class RouterLP(LP):
         # port; resolved by wire_ports() once all LPs are registered.
         self._ports: list[tuple[int, float, float, int, int]] = []
         self._sched = None
-        self._app_record = fabric.app_counter.record
-        self._load_record = fabric.link_loads.record
+        # Telemetry hooks; None when the family is disabled (the hot
+        # path then skips the call entirely -- a disabled family costs
+        # one is-None check per packet, nothing more).
+        self._app_record = fabric.app_record
+        self._load_record = fabric.load_record
+        self._queue_record = fabric.queue_record
 
     def wire_ports(self) -> None:
         """Resolve per-port forwarding constants (called by the fabric
@@ -121,7 +126,9 @@ class RouterLP(LP):
     def _on_arrival(self, pkt: Packet) -> None:
         now = self.engine.now
         size = pkt.size
-        self._app_record(self.rid, pkt.app_id, now, size)
+        rec = self._app_record
+        if rec is not None:
+            rec(self.rid, pkt.app_id, now, size)
         port = self._select_port(pkt)
         peer_lp, bw, extra, link_id, hop_inc = self._ports[port]
         start = self.busy_until[port]
@@ -138,7 +145,20 @@ class RouterLP(LP):
             start = now
         done = start + size / bw
         self.busy_until[port] = done
-        self._load_record(link_id, size)
+        rec = self._load_record
+        if rec is not None:
+            rec(link_id, size)
+        rec = self._queue_record
+        if rec is not None:
+            # Packets occupying the port right after this arrival: the
+            # FIFO backlog plus the one on the wire (busy_until > now
+            # always holds here -- this packet is at least serializing).
+            # Prune passed starts first; the idle-arrival path above
+            # does not, and stale entries would inflate the sample.
+            dq = self.pending_starts[port]
+            while dq and dq[0] <= now:
+                dq.popleft()
+            rec((self.rid, port), now, len(dq) + 1)
         self.packets_forwarded += 1
         pkt.hop += hop_inc
         self._sched(done + extra, peer_lp, "pkt", pkt, _NETWORK, self.lp_id)

@@ -6,31 +6,45 @@ Implements the two instruments described in Section IV-D:
   configurable time window (the paper uses 0.5 ms) -- drives Figure 8;
 * end-of-simulation per-link byte totals by link class -- drives
   Table VI.
+
+Both are :mod:`repro.telemetry` instruments: the fabric registers them
+in its :class:`~repro.telemetry.Telemetry` session under the family
+keys ``net.router.app.bytes`` and ``net.link.bytes``, and they expand
+to hierarchical metric rows (``net.router.12.app.0.bytes``,
+``net.link.37.bytes``) for the telemetry sinks.  Their bespoke
+``record`` signatures are kept verbatim -- they are the hot-path
+contract the router/terminal LPs bind to.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import Any, Iterator
 
 import numpy as np
 
 from repro.network.config import LinkClass
 from repro.network.topology import Topology
+from repro.telemetry.instruments import Instrument, WindowedSeries
 
 
-class WindowedAppCounter:
+class WindowedAppCounter(WindowedSeries):
     """Counts bytes received by each router, per application, per window.
 
     ``record`` is on the packet-arrival hot path; it does two dict
     lookups and an integer add.  Queries aggregate lazily.
+
+    A :class:`~repro.telemetry.WindowedSeries` under (router, app)
+    label tuples -- row expansion (``net.router.<r>.app.<a>.bytes``)
+    is inherited; ``record`` is overridden with the bespoke hot-path
+    signature the router LPs bind, plus the exact-boundary side
+    channel ``series`` needs for the closed-horizon fold.
     """
 
-    def __init__(self, window: float) -> None:
-        if window <= 0:
-            raise ValueError(f"window must be positive, got {window}")
-        self.window = window
-        # (router, app) -> {bin_index: bytes}
-        self._bins: dict[tuple[int, int], dict[int, int]] = defaultdict(dict)
+    def __init__(self, window: float, key: str = "net.router.app.bytes") -> None:
+        super().__init__(key, window, unit="bytes",
+                         doc="bytes received per router, per app, per window",
+                         template="net.router.{}.app.{}.bytes")
         # (router, app) -> {bin_index: bytes recorded at *exactly* the
         # bin's start time}.  Rare in practice (event times are
         # continuous), but it lets ``series`` fold precisely the bytes
@@ -38,7 +52,7 @@ class WindowedAppCounter:
         # the final bin.
         self._edge_bins: dict[tuple[int, int], dict[int, int]] = defaultdict(dict)
 
-    def record(self, router: int, app_id: int, time: float, nbytes: int) -> None:
+    def record(self, router: int, app_id: int, time: float, nbytes: int) -> None:  # type: ignore[override]
         b = int(time / self.window)
         bins = self._bins[(router, app_id)]
         try:
@@ -98,7 +112,7 @@ class WindowedAppCounter:
         )
 
 
-class LinkLoadAccounting:
+class LinkLoadAccounting(Instrument):
     """Accumulates bytes pushed over every directed link.
 
     Queried at end of simulation for the Table VI rows: total load per
@@ -115,7 +129,10 @@ class LinkLoadAccounting:
     (already scheduled) transmission starts after the cutoff.
     """
 
-    def __init__(self, topo: Topology) -> None:
+    kind = "counter"
+
+    def __init__(self, topo: Topology, key: str = "net.link.bytes") -> None:
+        super().__init__(key, unit="bytes", doc="byte total per directed link")
         self.topo = topo
         self._bytes: list[int] = [0] * topo.n_links
         self._class_index = np.asarray(topo.link_class_of, dtype=np.int8)
@@ -158,3 +175,24 @@ class LinkLoadAccounting:
             "local_per_link_bytes": self.class_mean_per_link(LinkClass.LOCAL),
             "global_fraction": self.global_fraction(),
         }
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Per-class totals first, then one row per *loaded* link.
+
+        Idle links are skipped to keep exports proportional to traffic,
+        not to system size (a paper-scale fabric has tens of thousands
+        of links); the class totals always appear, even when zero.
+        """
+        for lc in LinkClass:
+            row = self._base_row(f"net.link.class.{lc.name.lower()}.bytes")
+            row["value"] = self.class_total(lc)
+            row["links"] = self.class_link_count(lc)
+            yield row
+        class_names = {int(lc): lc.name.lower() for lc in LinkClass}
+        for link_id, n in enumerate(self._bytes):
+            if not n:
+                continue
+            row = self._base_row(f"net.link.{link_id}.bytes")
+            row["value"] = n
+            row["link_class"] = class_names[int(self._class_index[link_id])]
+            yield row

@@ -80,7 +80,8 @@ class TerminalLP(LP):
         self._router_lp = -1  # resolved by wire_ports()
         self._sched = None
         self._next_pkt_id = None
-        self._load_record = fabric.link_loads.record
+        # Telemetry hook; None when link accounting is disabled.
+        self._load_record = fabric.load_record
         # Interned-kind method table bound through ``self`` (one dict
         # lookup replaces the chain of string comparisons on the
         # per-packet hot path, and subclass overrides are honored).
@@ -141,7 +142,9 @@ class TerminalLP(LP):
         self.busy_until = done
         sched = self._sched
         sched(done + self._inject_latency, self._router_lp, "pkt", pkt, _NETWORK, self.lp_id)
-        self._load_record(self._uplink_id, size)
+        rec = self._load_record
+        if rec is not None:
+            rec(self._uplink_id, size)
         if is_tail:
             # Injection-complete notification must fire *at* `done`, not now.
             sched(done, self.lp_id, "inj_done", msg_id, _NETWORK, self.lp_id)

@@ -25,11 +25,13 @@ from repro.scenario.runner import (
     ScenarioResult,
     build_manager,
     build_scenario_topology,
+    build_telemetry,
     render_scenario_report,
     run_scenario,
 )
 from repro.scenario.spec import (
     JobEntry,
+    MetricsEntry,
     ScenarioError,
     ScenarioSpec,
     TrafficEntry,
@@ -41,12 +43,14 @@ __all__ = [
     "BatchResult",
     "JobEntry",
     "JobReport",
+    "MetricsEntry",
     "ScenarioError",
     "ScenarioResult",
     "ScenarioSpec",
     "TrafficEntry",
     "build_manager",
     "build_scenario_topology",
+    "build_telemetry",
     "discover_specs",
     "load_scenario",
     "parse_scenario",

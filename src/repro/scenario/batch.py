@@ -15,12 +15,13 @@ import json
 import multiprocessing
 import traceback
 from dataclasses import dataclass, field
+from functools import partial
 from pathlib import Path
 from typing import Any
 
 from repro.harness.report import format_seconds, render_table
 from repro.scenario.runner import run_scenario
-from repro.scenario.spec import ScenarioError, load_scenario
+from repro.scenario.spec import MetricsEntry, ScenarioError, load_scenario
 
 
 def discover_specs(directory: str | Path) -> list[Path]:
@@ -34,16 +35,34 @@ def discover_specs(directory: str | Path) -> list[Path]:
     )
 
 
-def run_spec_file(path: str | Path) -> dict[str, Any]:
+def run_spec_file(
+    path: str | Path,
+    metrics_dir: str | Path | None = None,
+    metrics_filter: list[str] | None = None,
+) -> dict[str, Any]:
     """Run one spec file; always returns a JSON-able dict.
 
     Shaped for :class:`multiprocessing.Pool` workers: errors become
     ``{"scenario", "path", "error"}`` records instead of exceptions, so
     one broken spec cannot take down a batch.
+
+    ``metrics_dir`` routes each scenario's telemetry rows to
+    ``<metrics_dir>/<spec filename>.metrics.jsonl`` (overriding the
+    spec's own ``[metrics] jsonl``); the full filename keeps ``a.toml``
+    and ``a.json`` in one directory from clobbering each other.
+    ``metrics_filter`` overrides the export globs.  The spec's opt-in
+    instrument flags are honored either way.
     """
     path = Path(path)
     try:
-        result = run_scenario(load_scenario(path)).to_json_dict()
+        spec = load_scenario(path)
+        if metrics_dir is not None or metrics_filter:
+            jsonl = (str(Path(metrics_dir) / f"{path.name}.metrics.jsonl")
+                     if metrics_dir is not None else None)
+            spec.metrics = (spec.metrics or MetricsEntry()).overridden(
+                jsonl=jsonl, filter=metrics_filter,
+            )
+        result = run_scenario(spec).to_json_dict()
         result["path"] = str(path)
         return result
     except Exception as exc:  # noqa: BLE001 - the batch must survive any spec
@@ -72,22 +91,51 @@ class BatchResult:
         Path(path).write_text(json.dumps(self.to_json_dict(), indent=2) + "\n")
 
 
-def run_batch(paths: list[Path] | str | Path, workers: int = 1) -> BatchResult:
+def run_batch(
+    paths: list[Path] | str | Path,
+    workers: int = 1,
+    metrics_dir: str | Path | None = None,
+    metrics_filter: list[str] | None = None,
+) -> BatchResult:
     """Run many scenario files; ``paths`` may also be a directory.
 
     ``workers > 1`` fans the specs out over a process pool; each worker
     simulates whole scenarios independently (results come back in input
-    order either way).
+    order either way).  ``metrics_dir``/``metrics_filter`` forward to
+    :func:`run_spec_file` (one telemetry JSONL per scenario).
     """
     if isinstance(paths, (str, Path)):
         paths = discover_specs(paths)
     if not paths:
         raise ScenarioError("no .toml/.json scenario files to run")
+    if metrics_dir is not None:
+        try:
+            Path(metrics_dir).mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            # exist_ok only tolerates an existing *directory*.
+            raise ScenarioError(
+                f"metrics directory {metrics_dir} collides with an existing "
+                f"file: {exc}"
+            ) from None
+        # Metrics files key on the spec *filename*; an explicit path
+        # list may carry same-named specs from different directories,
+        # which would silently overwrite (or race on) one JSONL.
+        by_name: dict[str, Path] = {}
+        for p in map(Path, paths):
+            other = by_name.setdefault(p.name, p)
+            if other != p:
+                raise ScenarioError(
+                    f"specs {other} and {p} would both write "
+                    f"{Path(metrics_dir) / (p.name + '.metrics.jsonl')}; "
+                    "rename one or batch them separately"
+                )
+    worker = partial(run_spec_file, metrics_dir=metrics_dir,
+                     metrics_filter=metrics_filter)
     if workers > 1 and len(paths) > 1:
         with multiprocessing.Pool(min(workers, len(paths))) as pool:
-            results = pool.map(run_spec_file, paths)
+            results = pool.map(worker, paths)
     else:
-        results = [run_spec_file(p) for p in paths]
+        results = [worker(p) for p in paths]
     return BatchResult(results)
 
 

@@ -3,9 +3,13 @@
 ``build_manager`` turns a validated :class:`ScenarioSpec` into a wired
 :class:`~repro.union.manager.WorkloadManager` (catalog apps, translated
 DSL sources, background-traffic injectors, arrival times, per-job
-overrides).  ``run_scenario`` executes it and reduces the outcome to
-plain-data :class:`ScenarioResult` rows that serialize to JSON --
-the same rows the CLI table and the batch runner consume.
+overrides) recording into one :class:`~repro.telemetry.Telemetry`
+session shaped by the spec's ``[metrics]`` table.  ``run_scenario``
+executes it and reduces the per-job rows of the plain-data
+:class:`ScenarioResult` **from the telemetry store** (the
+``mpi.job.<name>.*`` gauges the runtime and scheduler publish), then
+drives the spec's sinks: a JSONL metric-row stream and/or a summary
+dict embedded in the result document.
 """
 
 from __future__ import annotations
@@ -16,8 +20,10 @@ from typing import Any
 
 from repro.harness.configs import default_counter_window, make_topology
 from repro.harness.report import format_bytes, format_seconds, render_table
+from repro.mpi.engine import job_key
 from repro.registry import RegistryError, build_topology
 from repro.scenario.spec import JobEntry, ScenarioError, ScenarioSpec, TrafficEntry
+from repro.telemetry import RESULT_SCHEMA_VERSION, JsonlSink, SummarySink, Telemetry
 from repro.union.manager import Job, RunOutcome, WorkloadManager
 from repro.union.translator import translate
 from repro.workloads.catalog import app_catalog
@@ -101,6 +107,12 @@ def build_scenario_topology(spec: ScenarioSpec):
         raise ScenarioError(f"topology: {exc}") from None
 
 
+def build_telemetry(spec: ScenarioSpec) -> Telemetry:
+    """The run's telemetry session, shaped by the ``[metrics]`` table."""
+    enable = spec.metrics.enable_families() if spec.metrics is not None else ()
+    return Telemetry(enable=enable)
+
+
 def build_manager(spec: ScenarioSpec) -> WorkloadManager:
     """Wire a :class:`WorkloadManager` exactly as the spec describes."""
     topo = build_scenario_topology(spec)
@@ -115,6 +127,7 @@ def build_manager(spec: ScenarioSpec) -> WorkloadManager:
         placement=spec.placement,
         seed=spec.seed,
         counter_window=window,
+        telemetry=build_telemetry(spec),
     )
     for entry in spec.jobs:
         mgr.add_job(_build_job(entry, spec.scale, spec.base_dir))
@@ -168,13 +181,22 @@ class ScenarioResult:
     #: Canonical explicit ``[topology]`` table; ``None`` for legacy
     #: dragonfly sugar specs (whose JSON form stays unchanged).
     topology: dict[str, Any] | None = None
+    #: Telemetry summary (the ``[metrics] summary = true`` sink output);
+    #: ``None`` unless the spec asked for it.
+    metrics: dict[str, Any] | None = None
     #: The live outcome (fabric, counters) -- in-process callers only,
     #: excluded from the JSON form.
     outcome: RunOutcome | None = field(default=None, repr=False, compare=False)
 
+    @property
+    def telemetry(self) -> Telemetry | None:
+        """The run's live telemetry session (in-process callers only)."""
+        return self.outcome.manager.telemetry if self.outcome is not None else None
+
     def to_json_dict(self) -> dict[str, Any]:
         # Not dataclasses.asdict: that would deep-copy the live outcome.
         out = {
+            "schema_version": RESULT_SCHEMA_VERSION,
             "scenario": self.scenario,
             "network": self.network,
             "scale": self.scale,
@@ -189,6 +211,8 @@ class ScenarioResult:
         }
         if self.topology is not None:
             out["topology"] = dict(self.topology)
+        if self.metrics is not None:
+            out["metrics"] = dict(self.metrics)
         return out
 
     def job(self, name: str) -> JobReport:
@@ -198,40 +222,64 @@ class ScenarioResult:
         raise KeyError(f"no job named {name!r}; have {[j.name for j in self.jobs]}")
 
 
+def _job_report_from_store(t: Telemetry, job: Job, endless: bool,
+                           skip_reason: str) -> JobReport:
+    """One :class:`JobReport` row, read from the ``mpi.job.<name>.*``
+    gauges the runtime and scheduler published into the store."""
+    base = job_key(job.name)
+
+    def val(metric: str, default: float = 0.0) -> float:
+        inst = t.get(f"{base}.{metric}")
+        return inst.value if inst is not None else default
+
+    started = bool(val("started"))
+    return JobReport(
+        name=job.name,
+        nranks=int(val("ranks")) if started else job.nranks,
+        background=job.background,
+        arrival=job.arrival,
+        started=started,
+        finished=bool(val("finished")),
+        endless=endless,
+        avg_latency=val("avg_msg_latency"),
+        max_latency=val("max_msg_latency"),
+        max_comm_time=val("max_comm_time"),
+        messages=int(val("msgs_recvd")),
+        bytes_sent=int(val("bytes_sent")),
+        n_groups=int(val("n_groups")),
+        skip_reason=skip_reason,
+    )
+
+
 def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
-    """Run one scenario end to end and reduce it to a result."""
+    """Run one scenario end to end and reduce it to a result.
+
+    The per-job rows come from the telemetry store (one probe/sink
+    pipeline for every measurement); the spec's ``[metrics]`` sinks are
+    driven here -- a JSONL row stream to ``metrics.jsonl`` and/or the
+    embedded summary dict.
+    """
     mgr = build_manager(spec)
     outcome = mgr.run(until=spec.horizon)
-    reports: list[JobReport] = []
-    by_name = {a.name: a for a in outcome.apps}
+    t = mgr.telemetry
     skipped = dict(outcome.not_started)
-    for job in mgr.jobs:
-        endless = job.background and int(job.params.get("iters", 0)) == 0
-        a = by_name.get(job.name)
-        if a is None:
-            reports.append(JobReport(
-                name=job.name, nranks=job.nranks, background=job.background,
-                arrival=job.arrival, started=False, finished=False,
-                endless=endless, skip_reason=skipped.get(job.name, ""),
-            ))
-            continue
-        r = a.result
-        lat = r.max_latencies_per_rank()
-        reports.append(JobReport(
-            name=job.name,
-            nranks=r.nranks,
-            background=job.background,
-            arrival=job.arrival,
-            started=True,
-            finished=r.finished,
-            endless=endless,
-            avg_latency=r.avg_latency(),
-            max_latency=max(lat) if lat else 0.0,
-            max_comm_time=r.max_comm_time(),
-            messages=sum(s.msgs_recvd for s in r.rank_stats),
-            bytes_sent=r.total_bytes_sent(),
-            n_groups=len(a.groups),
-        ))
+    reports = [
+        _job_report_from_store(
+            t, job,
+            endless=job.background and int(job.params.get("iters", 0)) == 0,
+            skip_reason=skipped.get(job.name, ""),
+        )
+        for job in mgr.jobs
+    ]
+    metrics_summary = None
+    m = spec.metrics
+    if m is not None:
+        pattern = m.filter or None
+        meta = {"scenario": spec.name, "seed": spec.seed, "horizon": spec.horizon}
+        if m.jsonl:
+            t.export(JsonlSink(m.jsonl), pattern, meta=meta)
+        if m.summary:
+            metrics_summary = t.export(SummarySink(), pattern, meta=meta).summary
     return ScenarioResult(
         scenario=spec.name,
         network=spec.network,
@@ -245,6 +293,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         jobs=reports,
         link_summary=outcome.link_load_summary(),
         topology=spec.topology,
+        metrics=metrics_summary,
         outcome=outcome,
     )
 

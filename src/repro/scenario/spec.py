@@ -39,6 +39,7 @@ from repro.registry import (
     placement_registry,
     topology_registry,
 )
+from repro.telemetry import metric_segment
 from repro.workloads.catalog import app_catalog
 
 #: Background-traffic patterns a ``[[traffic]]`` entry may name.
@@ -96,6 +97,14 @@ def _get_int(data: Mapping, key: str, path: str, default: int | None = None,
     if minimum is not None and value < minimum:
         raise _err(f"{path}.{key}" if path else key,
                    f"must be >= {minimum}, got {value}")
+    return value
+
+
+def _get_bool(data: Mapping, key: str, path: str, default: bool = False) -> bool:
+    value = data.get(key, default)
+    if not isinstance(value, bool):
+        raise _err(f"{path}.{key}" if path else key,
+                   f"expected true/false, got {value!r}")
     return value
 
 
@@ -190,6 +199,56 @@ class TrafficEntry:
 
 
 @dataclass
+class MetricsEntry:
+    """The ``[metrics]`` table: telemetry configuration of a scenario.
+
+    Declares what the run exports (``jsonl`` sink path, ``filter``
+    globs over hierarchical metric keys, ``summary`` embedding into the
+    result JSON) and which opt-in instrument families to switch on --
+    per-port queue-occupancy time series and per-job message-latency
+    histograms, measurements that previously required writing Python.
+    """
+
+    jsonl: str | None = None  # metric-row JSONL path (resolved against cwd)
+    filter: list[str] = field(default_factory=list)  # export key globs ([] = all)
+    summary: bool = False  # embed a metrics summary in the result JSON
+    queue_occupancy: bool = False  # enable net.router.queue
+    latency_histograms: bool = False  # enable mpi.job.msg_latency
+
+    def enable_families(self) -> tuple[str, ...]:
+        """Telemetry family keys this table switches on."""
+        out = []
+        if self.queue_occupancy:
+            out.append("net.router.queue")
+        if self.latency_histograms:
+            out.append("mpi.job.msg_latency")
+        return tuple(out)
+
+    def overridden(self, jsonl: str | None = None,
+                   filter: list[str] | None = None) -> "MetricsEntry":
+        """A copy with the sink/filter overridden (CLI flags, batch);
+        the opt-in instrument switches always carry over."""
+        return MetricsEntry(
+            jsonl=jsonl if jsonl is not None else self.jsonl,
+            filter=list(filter) if filter else list(self.filter),
+            summary=self.summary,
+            queue_occupancy=self.queue_occupancy,
+            latency_histograms=self.latency_histograms,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        if self.jsonl is not None:
+            out["jsonl"] = self.jsonl
+        if self.filter:
+            out["filter"] = list(self.filter)
+        for flag in ("summary", "queue_occupancy", "latency_histograms"):
+            if getattr(self, flag):
+                out[flag] = True
+        return out
+
+
+@dataclass
 class ScenarioSpec:
     """A fully validated scenario, ready for :func:`repro.scenario.runner.run_scenario`.
 
@@ -214,6 +273,7 @@ class ScenarioSpec:
     traffic: list[TrafficEntry] = field(default_factory=list)
     base_dir: Path | None = None  # where relative job sources resolve
     topology: dict[str, Any] | None = None  # explicit [topology] table
+    metrics: MetricsEntry | None = None  # [metrics] telemetry table
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-data form that round-trips through :func:`parse_scenario`."""
@@ -234,6 +294,8 @@ class ScenarioSpec:
             out["counter_window"] = self.counter_window
         if self.traffic:
             out["traffic"] = [t.to_dict() for t in self.traffic]
+        if self.metrics is not None:
+            out["metrics"] = self.metrics.to_dict()
         if self.base_dir is not None:
             # Keep relative job sources resolvable after a round trip.
             out["base_dir"] = str(self.base_dir)
@@ -251,7 +313,37 @@ _TOP_KEYS = {
     "jobs": "[[jobs]] entries",
     "traffic": "[[traffic]] entries",
     "base_dir": "directory for relative job sources",
+    "metrics": "[metrics] telemetry table",
 }
+
+_METRICS_KEYS = {
+    "jsonl": "metric-row JSONL output path",
+    "filter": "export key glob(s)",
+    "summary": "embed a metrics summary in the result JSON",
+    "queue_occupancy": "per-port queue-depth series",
+    "latency_histograms": "per-job message-latency histograms",
+}
+
+
+def _parse_metrics(data: Mapping) -> MetricsEntry | None:
+    """Validate the optional ``[metrics]`` table."""
+    if "metrics" not in data:
+        return None
+    raw = _require_mapping(data["metrics"], "metrics")
+    _check_keys(raw, _METRICS_KEYS, "metrics")
+    filt = raw.get("filter", [])
+    if isinstance(filt, str):
+        filt = [filt]
+    if not isinstance(filt, list) or not all(isinstance(f, str) for f in filt):
+        raise _err("metrics.filter",
+                   f"expected a glob string or array of globs, got {filt!r}")
+    return MetricsEntry(
+        jsonl=_get_str(raw, "jsonl", "metrics"),
+        filter=list(filt),
+        summary=_get_bool(raw, "summary", "metrics"),
+        queue_occupancy=_get_bool(raw, "queue_occupancy", "metrics"),
+        latency_histograms=_get_bool(raw, "latency_histograms", "metrics"),
+    )
 
 _TOPOLOGY_KEYS = {"network": "1d|2d", "scale": "mini|paper"}
 
@@ -450,6 +542,7 @@ def parse_scenario(
     traffic = [_parse_traffic(t, i, topo_spec) for i, t in enumerate(traffic_raw)]
 
     seen: set[str] = set()
+    folded: dict[str, str] = {}
     for section, entries in (("jobs", jobs), ("traffic", traffic)):
         for i, entry in enumerate(entries):
             if entry.name in seen:
@@ -457,6 +550,16 @@ def parse_scenario(
                            f"duplicate job/traffic name {entry.name!r}; "
                            "names must be unique so reports are unambiguous")
             seen.add(entry.name)
+            # Distinct names may still fold onto one telemetry key
+            # segment ('a.b' vs 'a_b'); that would silently merge their
+            # mpi.job.* metrics, so reject it here with the key path.
+            key = metric_segment(entry.name)
+            other = folded.setdefault(key, entry.name)
+            if other != entry.name:
+                raise _err(f"{section}[{i}].name",
+                           f"name {entry.name!r} collides with {other!r} on "
+                           f"telemetry key segment {key!r} (dots/whitespace "
+                           "fold to underscores); rename one")
 
     # Fabric-wide defaults come from the topology's registry entry
     # ("adp"/"rg" on dragonflies, exactly the historical defaults).
@@ -476,6 +579,7 @@ def parse_scenario(
         traffic=traffic,
         base_dir=Path(base_dir) if base_dir is not None else None,
         topology=canonical,
+        metrics=_parse_metrics(data),
     )
     if spec.horizon <= 0:
         raise _err("horizon", f"must be > 0, got {spec.horizon}")

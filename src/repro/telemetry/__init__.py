@@ -1,0 +1,61 @@
+"""Unified telemetry: one probe/sink pipeline for every measurement.
+
+Public surface:
+
+* :class:`Telemetry` -- per-run session owning named instruments under
+  hierarchical dot keys, with glob-based family enable/disable;
+* instruments -- :class:`Counter`, :class:`Gauge`,
+  :class:`WindowedSeries`, :class:`Histogram` (and the shared
+  :data:`NULL` no-op for disabled families);
+* sinks -- :class:`MemorySink`, :class:`JsonlSink`, :class:`CsvSink`,
+  :class:`SummarySink`;
+* schema tags -- :data:`TELEMETRY_SCHEMA` (row streams),
+  :data:`RESULT_SCHEMA_VERSION` (scenario result documents).
+
+The taxonomy, key-naming conventions and sink formats are documented in
+``docs/telemetry.md``.
+"""
+
+from repro.telemetry.instruments import (
+    INSTRUMENT_KINDS,
+    LATENCY_EDGES,
+    NULL,
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    NullInstrument,
+    WindowedSeries,
+    metric_segment,
+)
+from repro.telemetry.schema import RESULT_SCHEMA_VERSION, TELEMETRY_SCHEMA
+from repro.telemetry.session import Telemetry, match_key
+from repro.telemetry.sinks import (
+    SINK_KINDS,
+    CsvSink,
+    JsonlSink,
+    MemorySink,
+    SummarySink,
+)
+
+__all__ = [
+    "Telemetry",
+    "Instrument",
+    "Counter",
+    "Gauge",
+    "WindowedSeries",
+    "Histogram",
+    "NullInstrument",
+    "NULL",
+    "LATENCY_EDGES",
+    "INSTRUMENT_KINDS",
+    "MemorySink",
+    "JsonlSink",
+    "CsvSink",
+    "SummarySink",
+    "SINK_KINDS",
+    "TELEMETRY_SCHEMA",
+    "RESULT_SCHEMA_VERSION",
+    "match_key",
+    "metric_segment",
+]

@@ -1,0 +1,314 @@
+"""Metric instruments: the objects measurements are recorded into.
+
+Four kinds, mirroring what the paper's figures actually consume:
+
+* :class:`Counter` -- a monotonically growing scalar (messages sent,
+  packets forwarded);
+* :class:`Gauge` -- a last-value scalar, optionally *observable* (backed
+  by a callback evaluated at export time, so publishing derived values
+  costs nothing on the hot path);
+* :class:`WindowedSeries` -- time-windowed accumulation under label
+  tuples (the Figure 8 per-router/per-app byte series, per-port queue
+  occupancy), aggregating by sum or max per window;
+* :class:`Histogram` -- a streaming bucketed distribution (per-job
+  message latencies) with count/sum/min/max tracked exactly.
+
+Every instrument expands to plain-data *rows* via :meth:`Instrument.rows`;
+a row is a JSON-able dict with fixed fields ``key``/``kind``/``unit``
+plus a kind-specific payload (see :mod:`repro.telemetry.schema`).
+Hot-path ``record``/``add`` methods are deliberately minimal: the
+windowed ``record`` does exactly the two dict operations the seed's
+``WindowedAppCounter.record`` did.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import defaultdict
+from math import inf
+from typing import Any, Callable, Iterable, Iterator
+
+
+def metric_segment(name: str) -> str:
+    """Fold a free-form name into one segment of a hierarchical key.
+
+    Dots and whitespace become underscores so the name cannot span key
+    segments.  The mapping is lossy -- callers that namespace metrics
+    by user-supplied names (e.g. ``mpi.job.<name>``) must reject names
+    that collide after folding, or their metrics would silently
+    overwrite each other.
+    """
+    return "".join("_" if c in ". \t" else c for c in name)
+
+
+class Instrument:
+    """Base instrument: a named metric under a hierarchical dot key.
+
+    ``key`` is the *family* key (``net.router.app.bytes``) used for
+    enable/disable decisions and registration; labeled instruments
+    expand per-label row keys from a ``template`` at export time.
+    """
+
+    kind = "abstract"
+
+    def __init__(self, key: str, unit: str = "", doc: str = "") -> None:
+        if not key or key != key.strip("."):
+            raise ValueError(f"instrument key must be a dot path, got {key!r}")
+        self.key = key
+        self.unit = unit
+        self.doc = doc
+
+    #: Real instruments record; :class:`NullInstrument` silently drops.
+    enabled = True
+
+    def _base_row(self, key: str | None = None) -> dict[str, Any]:
+        return {"key": key or self.key, "kind": self.kind, "unit": self.unit}
+
+    def rows(self) -> Iterator[dict[str, Any]]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class NullInstrument(Instrument):
+    """Shared do-nothing stand-in for a disabled metric family.
+
+    Every mutator is a no-op and it produces no rows, so callers may
+    hold one unconditionally -- but hot paths should instead check
+    ``.enabled`` once at wiring time and skip the call entirely.
+    """
+
+    kind = "null"
+    enabled = False
+
+    def add(self, *_a: Any, **_k: Any) -> None:
+        pass
+
+    def set(self, *_a: Any, **_k: Any) -> None:
+        pass
+
+    def record(self, *_a: Any, **_k: Any) -> None:
+        pass
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        return iter(())
+
+
+class Counter(Instrument):
+    """A monotonically increasing scalar."""
+
+    kind = "counter"
+
+    def __init__(self, key: str, unit: str = "", doc: str = "") -> None:
+        super().__init__(key, unit, doc)
+        self.value: int | float = 0
+
+    def add(self, n: int | float = 1) -> None:
+        self.value += n
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        row = self._base_row()
+        row["value"] = self.value
+        yield row
+
+
+class Gauge(Instrument):
+    """A last-value scalar; observable when built with ``fn``.
+
+    An observable gauge reads its value from ``fn()`` at export time --
+    the idiom for publishing values that already live somewhere (fabric
+    message totals, per-job reductions) without touching any hot path.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        key: str,
+        unit: str = "",
+        doc: str = "",
+        fn: Callable[[], int | float] | None = None,
+    ) -> None:
+        super().__init__(key, unit, doc)
+        self._fn = fn
+        self._value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        if self._fn is not None:
+            raise TypeError(f"gauge {self.key!r} is observable; it cannot be set")
+        self._value = value
+
+    @property
+    def value(self) -> int | float:
+        return self._fn() if self._fn is not None else self._value
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        row = self._base_row()
+        row["value"] = self.value
+        yield row
+
+
+class WindowedSeries(Instrument):
+    """Time-windowed accumulation under label tuples.
+
+    ``record(labels, time, value)`` folds ``value`` into the window bin
+    ``int(time / window)`` of the series selected by ``labels`` (any
+    hashable tuple).  Aggregation is ``"sum"`` (byte totals) or
+    ``"max"`` (peak queue depth per window).  The sum path costs
+    exactly two dict operations.
+
+    ``template`` maps a label tuple to the expanded row key, e.g.
+    ``"net.router.{}.port.{}.queue"``; it defaults to appending the
+    labels to the family key.
+    """
+
+    kind = "windowed"
+
+    def __init__(
+        self,
+        key: str,
+        window: float,
+        unit: str = "",
+        doc: str = "",
+        agg: str = "sum",
+        template: str | None = None,
+    ) -> None:
+        super().__init__(key, unit, doc)
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if agg not in ("sum", "max"):
+            raise ValueError(f"agg must be 'sum' or 'max', got {agg!r}")
+        self.window = window
+        self.agg = agg
+        self.template = template
+        self._bins: dict[Any, dict[int, float]] = defaultdict(dict)
+        if agg == "max":
+            self.record = self._record_max  # type: ignore[method-assign]
+
+    def record(self, labels: Any, time: float, value: float) -> None:
+        b = int(time / self.window)
+        bins = self._bins[labels]
+        try:
+            bins[b] += value
+        except KeyError:
+            bins[b] = value
+
+    def _record_max(self, labels: Any, time: float, value: float) -> None:
+        b = int(time / self.window)
+        bins = self._bins[labels]
+        if value > bins.get(b, -inf):
+            bins[b] = value
+
+    def labels_seen(self) -> list[Any]:
+        return sorted(self._bins)
+
+    def series_of(self, labels: Any) -> dict[int, float]:
+        """The sparse ``{bin: value}`` map of one labeled series."""
+        return dict(self._bins.get(labels, ()))
+
+    def row_key(self, labels: Any) -> str:
+        if self.template is not None:
+            return self.template.format(*labels) if isinstance(labels, tuple) \
+                else self.template.format(labels)
+        suffix = ".".join(str(l) for l in labels) if isinstance(labels, tuple) else str(labels)
+        return f"{self.key}.{suffix}"
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        for labels in self.labels_seen():
+            row = self._base_row(self.row_key(labels))
+            row["window"] = self.window
+            row["agg"] = self.agg
+            bins = self._bins[labels]
+            row["bins"] = {str(b): bins[b] for b in sorted(bins)}
+            yield row
+
+
+#: Default log-spaced bucket upper edges for latency histograms:
+#: 4 per decade from 100 ns to 1 s (values above overflow into +inf).
+LATENCY_EDGES: tuple[float, ...] = tuple(
+    round(10.0 ** (-7 + d / 4.0), 12) for d in range(0, 29)
+)
+
+
+class Histogram(Instrument):
+    """A streaming bucketed distribution with exact count/sum/min/max.
+
+    ``record`` is one :func:`bisect.bisect_left` (C speed) plus a few
+    scalar updates; buckets are fixed at construction (*inclusive*
+    upper edges, ascending -- a value exactly on an edge belongs to
+    that edge's bucket), values beyond the last edge land in an
+    overflow bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        key: str,
+        edges: Iterable[float] | None = None,
+        unit: str = "",
+        doc: str = "",
+    ) -> None:
+        super().__init__(key, unit, doc)
+        self.edges: list[float] = sorted(edges) if edges is not None else list(LATENCY_EDGES)
+        if not self.edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        self._counts = [0] * (len(self.edges) + 1)  # +1: overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = inf
+        self.max = -inf
+
+    def record(self, value: float) -> None:
+        self._counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper edge of the bucket holding
+        it, clamped to the exactly-tracked ``[min, max]`` range."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self._counts):
+            seen += c
+            if seen >= rank and c:
+                edge = self.edges[i] if i < len(self.edges) else self.max
+                return max(min(edge, self.max), self.min)
+        return self.max
+
+    def buckets(self) -> dict[str, int]:
+        """Sparse ``{upper_edge: count}`` map (overflow key ``"+inf"``)."""
+        out: dict[str, int] = {}
+        for i, c in enumerate(self._counts):
+            if c:
+                out[repr(self.edges[i]) if i < len(self.edges) else "+inf"] = c
+        return out
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        row = self._base_row()
+        row["count"] = self.count
+        row["sum"] = self.sum
+        row["min"] = self.min if self.count else 0.0
+        row["max"] = self.max if self.count else 0.0
+        row["mean"] = self.mean()
+        row["buckets"] = self.buckets()
+        yield row
+
+
+#: Registered instrument kinds (docs/telemetry.md must name them all;
+#: ``scripts/check_docs.py`` asserts it).
+INSTRUMENT_KINDS: dict[str, type[Instrument]] = {
+    cls.kind: cls for cls in (Counter, Gauge, WindowedSeries, Histogram)
+}
+
+#: Shared do-nothing instrument for disabled families.
+NULL = NullInstrument("null")

@@ -1,0 +1,36 @@
+"""Versioned schemas for everything the telemetry pipeline emits.
+
+Two independent version stamps:
+
+* :data:`TELEMETRY_SCHEMA` tags metric *row* streams (the JSONL/CSV
+  sinks put it in their header/first column) -- bump when the row shape
+  changes;
+* :data:`RESULT_SCHEMA_VERSION` tags the scenario result documents
+  (``ScenarioResult.to_json_dict()`` / ``union-sim scenario --json``) --
+  bump when that document's shape changes, so downstream consumers can
+  detect the format instead of sniffing keys.
+
+Row shape (``union-sim.telemetry/v1``) -- one JSON object per metric
+row, kind-specific payload next to three fixed fields:
+
+======== ======================================================
+field    meaning
+======== ======================================================
+key      hierarchical dot key (``net.router.12.app.0.bytes``)
+kind     instrument kind (see ``INSTRUMENT_KINDS``)
+unit     measurement unit (``bytes``, ``seconds``, ``packets``…)
+======== ======================================================
+
+plus per kind: ``value`` (counter/gauge), ``window``/``bins``
+(windowed; ``bins`` maps bin index -> aggregated value, sparse), and
+``count``/``sum``/``min``/``max``/``buckets`` (histogram; ``buckets``
+maps upper-edge -> count).
+"""
+
+from __future__ import annotations
+
+#: Version tag for metric row streams (JSONL header, CSV column).
+TELEMETRY_SCHEMA = "union-sim.telemetry/v1"
+
+#: Version of the scenario result document (``to_json_dict`` output).
+RESULT_SCHEMA_VERSION = 1

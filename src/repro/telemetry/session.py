@@ -1,0 +1,193 @@
+"""The :class:`Telemetry` session: one registry of instruments per run.
+
+A session owns every instrument of one simulation under hierarchical
+dot keys, decides which metric *families* are enabled, and exports
+expanded rows through pluggable sinks.  The whole system funnels its
+measurements through one of these: the fabric registers the router/link
+instruments, the MPI runtime its per-job metrics, and the scenario
+runner reduces its report from the same store.
+
+Enablement is decided **once, at instrument creation** -- never on the
+record path.  ``telemetry.counter(key, default=...)`` returns either a
+live instrument or the shared :data:`~repro.telemetry.instruments.NULL`
+no-op; hot paths check ``instrument.enabled`` at wiring time and skip
+the call entirely when the family is off, making a disabled family
+strictly zero-cost.
+
+Families are toggled by glob patterns (:mod:`fnmatch` syntax) matched
+against the family key::
+
+    Telemetry(enable=("net.router.queue",), disable=("net.link.*",))
+
+``disable`` wins over ``enable``; keys matching neither keep the
+creator's declared default (the seed instruments default on, expensive
+opt-ins like queue occupancy default off).
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.telemetry.instruments import (
+    NULL,
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    WindowedSeries,
+)
+from repro.telemetry.schema import TELEMETRY_SCHEMA
+
+Patterns = str | Iterable[str] | None
+
+
+def _as_patterns(patterns: Patterns) -> tuple[str, ...]:
+    if patterns is None:
+        return ()
+    if isinstance(patterns, str):
+        return (patterns,)
+    return tuple(patterns)
+
+
+def match_key(key: str, patterns: Patterns) -> bool:
+    """True when ``key`` matches any glob in ``patterns`` (``None`` = all)."""
+    pats = _as_patterns(patterns)
+    if not pats:
+        return True
+    return any(fnmatchcase(key, p) for p in pats)
+
+
+class Telemetry:
+    """One run's metric store: named instruments plus export plumbing."""
+
+    def __init__(self, enable: Patterns = (), disable: Patterns = ()) -> None:
+        self._enable = _as_patterns(enable)
+        self._disable = _as_patterns(disable)
+        self._instruments: dict[str, Instrument] = {}
+
+    # -- enablement --------------------------------------------------------
+    def enabled(self, key: str, default: bool = True) -> bool:
+        """Whether the family ``key`` records (disable > enable > default)."""
+        if self._disable and any(fnmatchcase(key, p) for p in self._disable):
+            return False
+        if self._enable and any(fnmatchcase(key, p) for p in self._enable):
+            return True
+        return default
+
+    # -- registration ------------------------------------------------------
+    def register(self, instrument: Instrument, default: bool = True,
+                 replace: bool = False) -> Instrument:
+        """Register a ready instrument under its family key.
+
+        Returns the instrument, or the shared no-op when its family is
+        disabled (the instrument is then *not* registered and produces
+        no rows).  Registering a second instrument under an existing
+        key is an error unless ``replace`` is set -- the idiom for a
+        new simulation superseding a finished one on a shared session
+        (a fresh fabric replaces the previous fabric's instruments).
+        """
+        if not self.enabled(instrument.key, default):
+            return NULL
+        existing = self._instruments.get(instrument.key)
+        if existing is not None:
+            if not replace:
+                raise ValueError(
+                    f"instrument {instrument.key!r} is already registered"
+                )
+            self._check_kind(existing, type(instrument).kind)
+        self._instruments[instrument.key] = instrument
+        return instrument
+
+    @staticmethod
+    def _check_kind(existing: Instrument, kind: str) -> None:
+        # Replacement must preserve the kind: superseding a series with
+        # a gauge (a mistyped key) would silently destroy recorded data.
+        if type(existing).kind != kind:
+            raise ValueError(
+                f"instrument {existing.key!r} already registered with kind "
+                f"{existing.kind!r}, not {kind!r}"
+            )
+
+    def _create(self, cls: type, key: str, default: bool, replace: bool,
+                kwargs: dict) -> Instrument:
+        existing = self._instruments.get(key)
+        if existing is not None:
+            self._check_kind(existing, cls.kind)
+            if not replace:
+                return existing
+        if not self.enabled(key, default):
+            return NULL
+        inst = cls(key, **kwargs)
+        self._instruments[key] = inst
+        return inst
+
+    def counter(self, key: str, unit: str = "", doc: str = "",
+                default: bool = True, replace: bool = False) -> Counter | Instrument:
+        return self._create(Counter, key, default, replace, dict(unit=unit, doc=doc))
+
+    def gauge(self, key: str, unit: str = "", doc: str = "",
+              fn: Callable[[], int | float] | None = None,
+              default: bool = True, replace: bool = False) -> Gauge | Instrument:
+        return self._create(Gauge, key, default, replace, dict(unit=unit, doc=doc, fn=fn))
+
+    def windowed(self, key: str, window: float, unit: str = "", doc: str = "",
+                 agg: str = "sum", template: str | None = None,
+                 default: bool = True, replace: bool = False) -> WindowedSeries | Instrument:
+        return self._create(
+            WindowedSeries, key, default, replace,
+            dict(window=window, unit=unit, doc=doc, agg=agg, template=template),
+        )
+
+    def histogram(self, key: str, edges: Iterable[float] | None = None,
+                  unit: str = "", doc: str = "",
+                  default: bool = True, replace: bool = False) -> Histogram | Instrument:
+        return self._create(Histogram, key, default, replace,
+                            dict(edges=edges, unit=unit, doc=doc))
+
+    # -- lookup ------------------------------------------------------------
+    def get(self, key: str) -> Instrument | None:
+        """The registered instrument at ``key`` (family keys only)."""
+        return self._instruments.get(key)
+
+    def instruments(self) -> list[Instrument]:
+        return list(self._instruments.values())
+
+    def keys(self) -> list[str]:
+        return list(self._instruments)
+
+    # -- export ------------------------------------------------------------
+    def rows(self, pattern: Patterns = None) -> Iterator[dict[str, Any]]:
+        """Expanded metric rows whose *row* key matches ``pattern``.
+
+        Instruments iterate in registration order; labeled instruments
+        expand their rows in sorted label order, so row streams are
+        deterministic for a deterministic simulation.
+        """
+        for inst in self._instruments.values():
+            for row in inst.rows():
+                if match_key(row["key"], pattern):
+                    yield row
+
+    def snapshot(self, pattern: Patterns = None) -> dict[str, dict[str, Any]]:
+        """``{row_key: payload}`` for every matching row (JSON-able)."""
+        out: dict[str, dict[str, Any]] = {}
+        for row in self.rows(pattern):
+            payload = dict(row)
+            out[payload.pop("key")] = payload
+        return out
+
+    def value(self, key: str, default: Any = None) -> Any:
+        """Shortcut: the ``value`` field of the single row at ``key``."""
+        for row in self.rows(key):
+            return row.get("value", default)
+        return default
+
+    def export(self, sink, pattern: Patterns = None,
+               meta: dict[str, Any] | None = None):
+        """Write every matching row through ``sink``; returns the sink."""
+        header = {"schema": TELEMETRY_SCHEMA}
+        if meta:
+            header.update(meta)
+        sink.write(self.rows(pattern), header)
+        return sink

@@ -1,0 +1,148 @@
+"""Pluggable telemetry sinks: where exported metric rows go.
+
+Every sink implements ``write(rows, header)`` where ``rows`` is an
+iterable of row dicts (see :mod:`repro.telemetry.schema`) and
+``header`` carries the schema tag plus caller metadata.  Four built-in
+sinks (``scripts/check_docs.py`` asserts docs/telemetry.md names each):
+
+* :class:`MemorySink` -- collects rows into a list (tests, in-process
+  consumers);
+* :class:`JsonlSink` -- one JSON object per line, header object first
+  (the ``--metrics <path.jsonl>`` CLI format);
+* :class:`CsvSink` -- flat five-column CSV (``key,kind,unit,value,
+  data``), scalar values in ``value``, structured payloads JSON-encoded
+  in ``data``;
+* :class:`SummarySink` -- reduces rows to one nested summary dict (the
+  ``metrics`` block scenario results embed).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Any, Iterable, TextIO
+
+_SCALAR_FIELDS = ("value",)
+_FIXED = ("key", "kind", "unit")
+
+
+class MemorySink:
+    """Hold every row in memory (``sink.rows`` after ``write``)."""
+
+    def __init__(self) -> None:
+        self.rows: list[dict[str, Any]] = []
+        self.header: dict[str, Any] = {}
+
+    def write(self, rows: Iterable[dict[str, Any]], header: dict[str, Any]) -> None:
+        self.header = dict(header)
+        self.rows.extend(rows)
+
+
+class _FileSink:
+    """Shared open/close handling for path-or-stream sinks."""
+
+    def __init__(self, target: str | os.PathLike | TextIO) -> None:
+        self._target = target
+
+    def _open(self):
+        if hasattr(self._target, "write"):
+            return self._target, False
+        return open(self._target, "w", encoding="utf-8"), True
+
+
+class JsonlSink(_FileSink):
+    """One JSON object per line: the header first, then every row."""
+
+    def write(self, rows: Iterable[dict[str, Any]], header: dict[str, Any]) -> None:
+        fh, owned = self._open()
+        try:
+            n = 0
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+            for row in rows:
+                fh.write(json.dumps(row) + "\n")
+                n += 1
+            self.rows_written = n
+        finally:
+            if owned:
+                fh.close()
+
+
+class CsvSink(_FileSink):
+    """Flat CSV: ``key,kind,unit,value,data``.
+
+    Scalar instruments (counter/gauge) fill ``value``; structured
+    payloads (windowed bins, histogram buckets and stats) are
+    JSON-encoded into ``data``.  The header dict is written as a
+    leading comment line (``# schema=... key=value ...``).
+    """
+
+    def write(self, rows: Iterable[dict[str, Any]], header: dict[str, Any]) -> None:
+        fh, owned = self._open()
+        try:
+            fh.write("# " + " ".join(f"{k}={v}" for k, v in sorted(header.items())) + "\n")
+            writer = csv.writer(fh)
+            writer.writerow(["key", "kind", "unit", "value", "data"])
+            n = 0
+            for row in rows:
+                extra = {k: v for k, v in row.items()
+                         if k not in _FIXED and k not in _SCALAR_FIELDS}
+                writer.writerow([
+                    row["key"], row["kind"], row["unit"],
+                    row.get("value", ""),
+                    json.dumps(extra) if extra else "",
+                ])
+                n += 1
+            self.rows_written = n
+        finally:
+            if owned:
+                fh.close()
+
+
+class SummarySink:
+    """Reduce rows to one JSON-able summary dict (``sink.summary``).
+
+    Shape::
+
+        {"schema": ..., "rows": N,
+         "metrics": {row_key: {kind, unit, ...payload}}}
+
+    Windowed rows are compacted to total/peak/bin-count instead of the
+    full sparse bins, keeping the summary small enough to embed in a
+    scenario result document.
+    """
+
+    def __init__(self) -> None:
+        self.summary: dict[str, Any] = {}
+
+    def write(self, rows: Iterable[dict[str, Any]], header: dict[str, Any]) -> None:
+        metrics: dict[str, Any] = {}
+        n = 0
+        for row in rows:
+            payload = {k: v for k, v in row.items() if k != "key"}
+            if row["kind"] == "windowed":
+                bins = payload.pop("bins", {})
+                values = list(bins.values())
+                if payload.get("agg") != "max":
+                    # Summing per-window *maxima* is meaningless, so a
+                    # max-aggregated series reports peak only.
+                    payload["total"] = sum(values)
+                payload["peak"] = max(values) if values else 0
+                payload["nonzero_bins"] = len(values)
+            elif row["kind"] == "histogram":
+                payload.pop("buckets", None)
+            metrics[row["key"]] = payload
+            n += 1
+        self.summary = dict(header)
+        self.summary["rows"] = n
+        self.summary["metrics"] = metrics
+
+
+#: Registered sink names (docs/telemetry.md must name them all;
+#: ``scripts/check_docs.py`` asserts it).
+SINK_KINDS: dict[str, type] = {
+    "memory": MemorySink,
+    "jsonl": JsonlSink,
+    "csv": CsvSink,
+    "summary": SummarySink,
+}

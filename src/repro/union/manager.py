@@ -19,12 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.mpi.engine import JobResult, JobSpec, SimMPI
+from repro.mpi.engine import JobResult, JobSpec, SimMPI, job_key
 from repro.network.config import NetworkConfig
 from repro.network.fabric import NetworkFabric
 from repro.network.topology import Topology
 from repro.placement.policies import PlacementError
 from repro.registry import check_placement, resolve_routing, spec_for_instance
+from repro.telemetry import Telemetry
 from repro.union.event_generator import SimUnionAPI, SkeletonShared
 from repro.union.registry import get_skeleton
 from repro.union.skeleton import Skeleton
@@ -160,6 +161,10 @@ class WorkloadManager:
         (Section VII extension).  ``None`` means no storage.
     storage_config:
         :class:`~repro.storage.config.StorageConfig` device parameters.
+    telemetry:
+        The :class:`~repro.telemetry.Telemetry` session every layer of
+        this run records into (fabric instruments, per-job MPI metrics).
+        A fresh all-defaults session is created when omitted.
     """
 
     def __init__(
@@ -172,6 +177,7 @@ class WorkloadManager:
         counter_window: float = 0.5e-3,
         storage_nodes: list[int] | None = None,
         storage_config=None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.topo = topo
         self.config = config or NetworkConfig(seed=seed)
@@ -181,6 +187,7 @@ class WorkloadManager:
         self.counter_window = counter_window
         self.storage_nodes = list(storage_nodes) if storage_nodes else None
         self.storage_config = storage_config
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.jobs: list[Job] = []
         self.fabric: NetworkFabric | None = None
         self.mpi: SimMPI | None = None
@@ -237,6 +244,7 @@ class WorkloadManager:
             self.config,
             routing=self._routing_component(self.routing),
             counter_window=self.counter_window,
+            telemetry=self.telemetry,
         )
         self.mpi = SimMPI(self.fabric)
         if self.storage_nodes:
@@ -266,6 +274,7 @@ class WorkloadManager:
                     f"simulation (t={end:g}s)"
                 )
                 not_started.append((job.name, reason))
+                self._publish_job_placement(job, started=False)
                 continue
             nodes = self._job_nodes[i]
             assert nodes is not None
@@ -278,7 +287,40 @@ class WorkloadManager:
                 job.name, app_id, results[app_id], nodes, routers, groups,
                 arrival=job.arrival, background=job.background,
             ))
+            self._publish_job_placement(job, started=True, nodes=nodes,
+                                        routers=routers, groups=groups)
         return RunOutcome(self, apps, end, not_started)
+
+    def _publish_job_placement(
+        self,
+        job: Job,
+        started: bool,
+        nodes: list[int] | None = None,
+        routers: set[int] | None = None,
+        groups: set[int] | None = None,
+    ) -> None:
+        """Publish scheduler-side job metrics (``mpi.job.<name>.*``).
+
+        Complements :meth:`SimMPI.publish_job_metrics` with what only
+        the scheduler knows: whether the job started at all, its
+        arrival time, its placement footprint, and whether it is a
+        background injector.
+        """
+        t = self.telemetry
+        base = job_key(job.name)
+        values = (
+            ("started", int(started), "", "1 when the job's ranks launched"),
+            ("arrival", job.arrival, "seconds", "requested arrival time"),
+            ("background", int(job.background), "",
+             "1 for background-traffic injectors"),
+            ("n_nodes", len(nodes or ()), "nodes", "nodes the ranks occupy"),
+            ("n_routers", len(routers or ()), "routers",
+             "distinct routers under the placement"),
+            ("n_groups", len(groups or ()), "groups",
+             "distinct dragonfly groups under the placement"),
+        )
+        for metric, value, unit, doc in values:
+            t.gauge(f"{base}.{metric}", unit=unit, doc=doc).set(value)
 
     def _routing_component(self, routing):
         """Resolve a routing argument to what the fabric consumes.
@@ -295,6 +337,18 @@ class WorkloadManager:
 
     def _validate_components(self) -> None:
         """Fail fast on topology/routing/placement capability mismatches."""
+        # Job names must stay distinct after metric-key folding, or two
+        # jobs would publish into one mpi.job.<name>.* namespace and
+        # silently overwrite each other's telemetry.
+        seen: dict[str, str] = {}
+        for job in self.jobs:
+            key = job_key(job.name)
+            other = seen.setdefault(key, job.name)
+            if other != job.name:
+                raise ValueError(
+                    f"job names {other!r} and {job.name!r} collide on telemetry "
+                    f"key {key!r} (dots/whitespace fold to underscores); rename one"
+                )
         if isinstance(self.routing, str):
             self._routing_component(self.routing)
         for job in self.jobs:

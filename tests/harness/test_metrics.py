@@ -52,3 +52,26 @@ def test_slowdown():
     assert slowdown(0.5, 1.0) == pytest.approx(-0.5)
     assert slowdown(1.0, 0.0) == float("inf")
     assert slowdown(0.0, 0.0) == 0.0
+
+
+def test_slowdown_zero_value_against_positive_baseline_is_full_speedup():
+    # A zero-latency job against a real baseline must report -1.0
+    # ("fully sped up"), never 0.0 ("equal"); the non-positive guard
+    # applies to the *baseline* only.
+    assert slowdown(0.0, 1.0) == -1.0
+    assert slowdown(0.0, 1e-300) == -1.0
+    assert slowdown(-0.5, 1.0) == pytest.approx(-1.5)
+
+
+def test_slowdown_degenerate_baselines():
+    inf = float("inf")
+    # Nothing measurable on either side -> no slowdown.
+    assert slowdown(0.0, 0.0) == 0.0
+    assert slowdown(-1.0, 0.0) == 0.0
+    assert slowdown(-1.0, -2.0) == 0.0
+    # Any positive value against a non-positive baseline is infinite.
+    assert slowdown(1e-12, 0.0) == inf
+    assert slowdown(5.0, -1.0) == inf
+    # Infinities propagate through the ratio path.
+    assert slowdown(inf, 1.0) == inf
+    assert slowdown(inf, 0.0) == inf

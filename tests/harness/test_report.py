@@ -39,6 +39,50 @@ def test_render_series_downsamples():
     assert len(bar) <= 41
 
 
+def test_render_series_downsampling_keeps_peaks_visible():
+    # One huge spike in a long, otherwise-flat series: bucket-max
+    # downsampling must keep the spike as the reported peak and render
+    # exactly one full-intensity cell for it.
+    s = np.ones(1000)
+    s[637] = 4096.0
+    out = render_series(s, width=50, label="spiky")
+    assert "peak=4.00 KB" in out
+    bar = out.split("|")[1]
+    assert bar.count("@") == 1  # the spike's bucket, at max intensity
+
+
+def test_render_series_all_zero_is_blank_bar():
+    out = render_series(np.zeros(30), width=60, label="z")
+    bar = out.split("|")[1]
+    assert bar == " " * 30  # no downsampling, one blank per sample
+    assert "peak=0 B" in out
+
+
+def test_render_series_short_series_is_not_padded():
+    # Fewer samples than width: one cell per sample, no stretching.
+    out = render_series(np.array([1.0, 2.0, 3.0]), width=60)
+    assert len(out.split("|")[1]) == 3
+
+
+def test_render_table_pads_every_column_to_its_widest_cell():
+    out = render_table(["a", "b"], [["xxxxxx", 1], ["y", 22222222]])
+    lines = out.splitlines()
+    # Header, separator and both rows all share one width.
+    assert len({len(l) for l in lines}) == 1
+    # Column widths come from the widest cell, not the header.
+    header = lines[0]
+    assert header.startswith("a      ")  # 'a' padded to len("xxxxxx")
+    sep = lines[1]
+    assert sep == "-" * 6 + "-+-" + "-" * 8
+
+
+def test_render_table_no_rows_still_renders_header():
+    out = render_table(["col1", "col2"], [])
+    lines = out.splitlines()
+    assert lines[0] == "col1 | col2"
+    assert len(lines) == 2  # header + separator, no row lines
+
+
 def test_format_bytes():
     assert format_bytes(0) == "0 B"
     assert format_bytes(512) == "512 B"

@@ -1,0 +1,152 @@
+"""Instrument behaviour: counters, gauges, windowed series, histograms."""
+
+import math
+
+import pytest
+
+from repro.telemetry import (
+    LATENCY_EDGES,
+    NULL,
+    Counter,
+    Gauge,
+    Histogram,
+    WindowedSeries,
+)
+
+
+def test_counter_accumulates():
+    c = Counter("a.b", unit="bytes")
+    c.add()
+    c.add(41)
+    assert c.value == 42
+    (row,) = list(c.rows())
+    assert row == {"key": "a.b", "kind": "counter", "unit": "bytes", "value": 42}
+
+
+def test_gauge_set_and_row():
+    g = Gauge("x.y")
+    assert g.value == 0
+    g.set(3.5)
+    assert g.value == 3.5
+    (row,) = list(g.rows())
+    assert row["value"] == 3.5 and row["kind"] == "gauge"
+
+
+def test_observable_gauge_reads_callback_at_export():
+    state = {"v": 1}
+    g = Gauge("obs", fn=lambda: state["v"])
+    assert g.value == 1
+    state["v"] = 7
+    assert list(g.rows())[0]["value"] == 7
+    with pytest.raises(TypeError, match="observable"):
+        g.set(5)
+
+
+def test_bad_keys_rejected():
+    for bad in ("", ".x", "x.", "."):
+        with pytest.raises(ValueError, match="dot path"):
+            Counter(bad)
+
+
+def test_windowed_sum_bins():
+    w = WindowedSeries("s", window=1.0)
+    w.record(("a",), 0.5, 10)
+    w.record(("a",), 0.9, 5)
+    w.record(("a",), 2.5, 7)
+    w.record(("b",), 0.1, 1)
+    assert w.series_of(("a",)) == {0: 15, 2: 7}
+    assert w.series_of(("b",)) == {0: 1}
+    assert w.series_of(("zzz",)) == {}
+    assert w.labels_seen() == [("a",), ("b",)]
+
+
+def test_windowed_max_aggregation():
+    w = WindowedSeries("q", window=1.0, agg="max")
+    w.record((0, 1), 0.2, 3)
+    w.record((0, 1), 0.7, 9)
+    w.record((0, 1), 0.9, 4)
+    assert w.series_of((0, 1)) == {0: 9}
+
+
+def test_windowed_template_and_default_row_keys():
+    w = WindowedSeries("net.router.queue", window=0.5,
+                       template="net.router.{}.port.{}.queue")
+    w.record((3, 7), 0.1, 2)
+    (row,) = list(w.rows())
+    assert row["key"] == "net.router.3.port.7.queue"
+    assert row["window"] == 0.5 and row["agg"] == "sum"
+    assert row["bins"] == {"0": 2}
+    # Without a template the labels append to the family key.
+    v = WindowedSeries("fam", window=1.0)
+    v.record((1, 2), 0.0, 1)
+    assert list(v.rows())[0]["key"] == "fam.1.2"
+
+
+def test_windowed_rejects_bad_args():
+    with pytest.raises(ValueError, match="window"):
+        WindowedSeries("w", window=0.0)
+    with pytest.raises(ValueError, match="agg"):
+        WindowedSeries("w", window=1.0, agg="median")
+
+
+def test_histogram_streaming_stats():
+    h = Histogram("lat", edges=[1.0, 10.0, 100.0])
+    for v in (0.5, 2.0, 3.0, 50.0, 1e6):
+        h.record(v)
+    assert h.count == 5
+    assert h.sum == pytest.approx(0.5 + 2.0 + 3.0 + 50.0 + 1e6)
+    assert h.min == 0.5 and h.max == 1e6
+    assert h.mean() == pytest.approx(h.sum / 5)
+    assert h.buckets() == {"1.0": 1, "10.0": 2, "100.0": 1, "+inf": 1}
+
+
+def test_histogram_boundary_goes_to_lower_bucket():
+    # bisect_right: a value exactly at an upper edge belongs to that
+    # edge's bucket (edges are inclusive upper bounds).
+    h = Histogram("b", edges=[1.0, 2.0])
+    h.record(1.0)
+    assert h.buckets() == {"1.0": 1}
+
+
+def test_histogram_quantile_approximation():
+    h = Histogram("q", edges=[1.0, 2.0, 4.0, 8.0])
+    for v in (0.5, 1.5, 3.0, 6.0):
+        h.record(v)
+    assert h.quantile(0.0) == 0.5 or h.quantile(0.0) == 1.0  # lowest bucket edge
+    assert h.quantile(0.5) in (1.0, 2.0)
+    assert h.quantile(1.0) == pytest.approx(6.0)  # overflow-free max
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_histogram_empty_rows_are_finite():
+    h = Histogram("e")
+    (row,) = list(h.rows())
+    assert row["count"] == 0 and row["min"] == 0.0 and row["max"] == 0.0
+    assert row["mean"] == 0.0 and row["buckets"] == {}
+    assert h.quantile(0.5) == 0.0
+
+
+def test_default_latency_edges_cover_simulation_range():
+    assert LATENCY_EDGES[0] == pytest.approx(1e-7)
+    assert LATENCY_EDGES[-1] == pytest.approx(1.0)
+    assert all(a < b for a, b in zip(LATENCY_EDGES, LATENCY_EDGES[1:]))
+
+
+def test_null_instrument_swallows_everything():
+    assert NULL.enabled is False
+    NULL.add(5)
+    NULL.set(1)
+    NULL.record(("x",), 0.0, 1)
+    assert list(NULL.rows()) == []
+
+
+def test_histogram_requires_edges():
+    with pytest.raises(ValueError, match="at least one"):
+        Histogram("h", edges=[])
+
+
+def test_histogram_nan_like_inputs_do_not_corrupt_counts():
+    h = Histogram("h", edges=[1.0])
+    h.record(math.inf)
+    assert h.count == 1 and h.buckets() == {"+inf": 1}

@@ -1,0 +1,119 @@
+"""Telemetry session semantics: enablement, registration, export."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL,
+    TELEMETRY_SCHEMA,
+    Counter,
+    MemorySink,
+    Telemetry,
+    match_key,
+)
+
+
+def test_default_everything_enabled():
+    t = Telemetry()
+    assert t.enabled("any.key")
+    assert not t.enabled("opt.in", default=False)
+
+
+def test_disable_wins_over_enable():
+    t = Telemetry(enable=("net.*",), disable=("net.router.*",))
+    assert t.enabled("net.link.bytes")
+    assert not t.enabled("net.router.app.bytes")
+    # enable patterns flip default-off families on
+    t2 = Telemetry(enable=("mpi.job.msg_latency",))
+    assert t2.enabled("mpi.job.msg_latency", default=False)
+    assert not t2.enabled("net.router.queue", default=False)
+
+
+def test_disabled_family_yields_shared_noop():
+    t = Telemetry(disable=("net.*",))
+    c = t.counter("net.fabric.messages_sent")
+    assert c is NULL and not c.enabled
+    assert t.get("net.fabric.messages_sent") is None
+    assert t.keys() == []
+
+
+def test_create_returns_existing_and_rejects_kind_mismatch():
+    t = Telemetry()
+    c1 = t.counter("a.b")
+    c2 = t.counter("a.b")
+    assert c1 is c2
+    with pytest.raises(ValueError, match="kind"):
+        t.gauge("a.b")
+
+
+def test_register_duplicate_is_an_error():
+    t = Telemetry()
+    t.register(Counter("dup"))
+    with pytest.raises(ValueError, match="already registered"):
+        t.register(Counter("dup"))
+
+
+def test_register_replace_supersedes():
+    t = Telemetry()
+    old = t.register(Counter("k"))
+    old.add(5)
+    new = t.register(Counter("k"), replace=True)
+    assert t.get("k") is new and new.value == 0
+    # The create helpers honor replace too (fresh instrument, not the
+    # cached one).
+    g1 = t.gauge("g", fn=lambda: 1)
+    g2 = t.gauge("g", fn=lambda: 2, replace=True)
+    assert g1 is not g2 and t.get("g").value == 2
+
+
+def test_replace_still_enforces_kind_compatibility():
+    t = Telemetry()
+    t.windowed("w", window=1.0).record(("a",), 0.5, 1)
+    # Superseding with a different kind would silently destroy the
+    # recorded series -- refused on both the register and create paths.
+    with pytest.raises(ValueError, match="kind"):
+        t.register(Counter("w"), replace=True)
+    with pytest.raises(ValueError, match="kind"):
+        t.gauge("w", replace=True)
+    assert t.get("w").series_of(("a",)) == {0: 1}
+
+
+def test_register_disabled_returns_noop_unregistered():
+    t = Telemetry(disable=("x.*",))
+    inst = Counter("x.y")
+    assert t.register(inst) is NULL
+    assert t.get("x.y") is None
+
+
+def test_rows_filter_by_glob():
+    t = Telemetry()
+    t.counter("a.one").add(1)
+    t.counter("a.two").add(2)
+    t.counter("b.one").add(3)
+    assert {r["key"] for r in t.rows()} == {"a.one", "a.two", "b.one"}
+    assert {r["key"] for r in t.rows("a.*")} == {"a.one", "a.two"}
+    assert {r["key"] for r in t.rows(["a.one", "b.*"])} == {"a.one", "b.one"}
+    assert list(t.rows("zzz")) == []
+
+
+def test_snapshot_and_value():
+    t = Telemetry()
+    t.counter("k.a", unit="bytes").add(10)
+    snap = t.snapshot()
+    assert snap == {"k.a": {"kind": "counter", "unit": "bytes", "value": 10}}
+    assert t.value("k.a") == 10
+    assert t.value("missing", default=-1) == -1
+
+
+def test_export_writes_header_and_rows():
+    t = Telemetry()
+    t.counter("m.n").add(5)
+    sink = t.export(MemorySink(), meta={"run": "r1"})
+    assert sink.header == {"schema": TELEMETRY_SCHEMA, "run": "r1"}
+    assert sink.rows == [{"key": "m.n", "kind": "counter", "unit": "", "value": 5}]
+
+
+def test_match_key_helper():
+    assert match_key("a.b.c", None)
+    assert match_key("a.b.c", "a.*")
+    assert match_key("a.b.c", ["x", "*.c"])
+    assert not match_key("a.b.c", "b.*")

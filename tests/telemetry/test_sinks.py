@@ -1,0 +1,98 @@
+"""Sink formats: JSONL, CSV, summary reduction."""
+
+import csv
+import io
+import json
+
+from repro.telemetry import (
+    TELEMETRY_SCHEMA,
+    CsvSink,
+    JsonlSink,
+    MemorySink,
+    SummarySink,
+    Telemetry,
+)
+
+
+def make_session() -> Telemetry:
+    t = Telemetry()
+    t.counter("c.bytes", unit="bytes").add(100)
+    t.gauge("g.val").set(2.5)
+    w = t.windowed("w.series", window=1.0)
+    w.record(("r",), 0.5, 10)
+    w.record(("r",), 2.5, 30)
+    h = t.histogram("h.lat", edges=[1.0, 10.0], unit="seconds")
+    h.record(0.5)
+    h.record(5.0)
+    return t
+
+
+def test_jsonl_sink_file_and_stream(tmp_path):
+    t = make_session()
+    path = tmp_path / "m.jsonl"
+    sink = t.export(JsonlSink(path), meta={"scenario": "s"})
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    assert header["schema"] == TELEMETRY_SCHEMA and header["scenario"] == "s"
+    rows = [json.loads(l) for l in lines[1:]]
+    assert [r["key"] for r in rows] == ["c.bytes", "g.val", "w.series.r", "h.lat"]
+    assert sink.rows_written == 4
+    # Streams work too (no close).
+    buf = io.StringIO()
+    t.export(JsonlSink(buf))
+    assert len(buf.getvalue().splitlines()) == 5
+
+
+def test_jsonl_rows_parse_to_schema_payloads(tmp_path):
+    path = tmp_path / "m.jsonl"
+    make_session().export(JsonlSink(path))
+    rows = {r["key"]: r for r in map(json.loads, path.read_text().splitlines()[1:])}
+    assert rows["w.series.r"]["bins"] == {"0": 10, "2": 30}
+    assert rows["h.lat"]["count"] == 2
+    assert rows["h.lat"]["buckets"] == {"1.0": 1, "10.0": 1}
+
+
+def test_csv_sink_five_columns(tmp_path):
+    path = tmp_path / "m.csv"
+    make_session().export(CsvSink(path))
+    lines = path.read_text().splitlines()
+    assert lines[0].startswith("# ") and TELEMETRY_SCHEMA in lines[0]
+    rows = list(csv.reader(lines[1:]))
+    assert rows[0] == ["key", "kind", "unit", "value", "data"]
+    by_key = {r[0]: r for r in rows[1:]}
+    assert by_key["c.bytes"][3] == "100" and by_key["c.bytes"][4] == ""
+    data = json.loads(by_key["w.series.r"][4])
+    assert data["bins"] == {"0": 10, "2": 30}
+    assert by_key["w.series.r"][3] == ""  # windowed has no scalar value
+
+
+def test_summary_sink_compacts_structured_rows():
+    t = make_session()
+    summary = t.export(SummarySink(), meta={"seed": 3}).summary
+    assert summary["schema"] == TELEMETRY_SCHEMA
+    assert summary["seed"] == 3
+    assert summary["rows"] == 4
+    m = summary["metrics"]
+    assert m["c.bytes"]["value"] == 100
+    assert m["w.series.r"] == {
+        "kind": "windowed", "unit": "", "window": 1.0, "agg": "sum",
+        "total": 40, "peak": 30, "nonzero_bins": 2,
+    }
+    assert "buckets" not in m["h.lat"] and m["h.lat"]["count"] == 2
+
+
+def test_summary_sink_max_agg_has_no_total():
+    # Summing per-window peaks is meaningless; only "peak" survives.
+    t = Telemetry()
+    w = t.windowed("q.depth", window=1.0, agg="max")
+    w.record((0,), 0.5, 3)
+    w.record((0,), 1.5, 7)
+    payload = t.export(SummarySink()).summary["metrics"]["q.depth.0"]
+    assert "total" not in payload
+    assert payload["peak"] == 7 and payload["nonzero_bins"] == 2
+
+
+def test_memory_sink_filtered_export():
+    t = make_session()
+    sink = t.export(MemorySink(), pattern="h.*")
+    assert [r["key"] for r in sink.rows] == ["h.lat"]

@@ -120,6 +120,78 @@ def test_scenario(capsys, scenario_file, tmp_path):
     import json
     data = json.loads(out_json.read_text())
     assert {j["name"] for j in data["jobs"]} == {"nn", "late", "bg"}
+    # Downstream consumers detect the document format by this stamp.
+    from repro.telemetry import RESULT_SCHEMA_VERSION
+    assert data["schema_version"] == RESULT_SCHEMA_VERSION == 1
+
+
+def test_scenario_metrics_flags(capsys, scenario_file, tmp_path):
+    import json
+    out = tmp_path / "m.jsonl"
+    assert main(["scenario", str(scenario_file),
+                 "--metrics", str(out), "--metrics-filter", "mpi.job.*",
+                 "--metrics-filter", "net.fabric.*"]) == 0
+    lines = out.read_text().splitlines()
+    header = json.loads(lines[0])
+    assert header["schema"] == "union-sim.telemetry/v1"
+    assert header["scenario"] == "cli-demo"
+    keys = [json.loads(l)["key"] for l in lines[1:]]
+    assert any(k.startswith("mpi.job.nn.") for k in keys)
+    assert "net.fabric.messages_sent" in keys
+    assert all(k.startswith(("mpi.job.", "net.fabric.")) for k in keys)
+    assert f"wrote {out}" in capsys.readouterr().err
+
+
+def test_run_metrics_flags(capsys, tmp_path):
+    import json
+    out = tmp_path / "run.jsonl"
+    assert main(["run", "--workload", "baseline:nn", "--placement", "rn",
+                 "--routing", "min", "--metrics", str(out),
+                 "--metrics-filter", "mpi.job.*"]) == 0
+    lines = out.read_text().splitlines()
+    assert json.loads(lines[0])["workload"] == "baseline:nn"
+    keys = [json.loads(l)["key"] for l in lines[1:]]
+    assert keys and all(k.startswith("mpi.job.nn.") for k in keys)
+
+
+def test_batch_metrics_dir_flag(capsys, scenario_file, tmp_path):
+    mdir = tmp_path / "metrics-out"
+    assert main(["batch", str(tmp_path), "--metrics", str(mdir)]) == 0
+    assert sorted(p.name for p in mdir.iterdir()) == ["demo.toml.metrics.jsonl"]
+
+
+def test_run_metrics_filter_without_metrics_is_an_error(capsys):
+    assert main(["run", "--workload", "baseline:nn",
+                 "--metrics-filter", "mpi.job.*"]) == 2
+    assert "requires --metrics" in capsys.readouterr().err
+
+
+def test_metrics_path_in_missing_directory_fails_before_simulating(
+        capsys, scenario_file, tmp_path):
+    bad = str(tmp_path / "no-such-dir" / "out.jsonl")
+    assert main(["run", "--workload", "baseline:nn", "--metrics", bad]) == 2
+    assert "does not exist" in capsys.readouterr().err
+    assert main(["scenario", str(scenario_file), "--metrics", bad]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_scenario_metrics_filter_without_any_sink_is_an_error(capsys, scenario_file):
+    assert main(["scenario", str(scenario_file),
+                 "--metrics-filter", "mpi.job.*"]) == 2
+    assert "needs a sink" in capsys.readouterr().err
+
+
+def test_batch_metrics_filter_without_metrics_warns(capsys, scenario_file, tmp_path):
+    assert main(["batch", str(tmp_path), "--metrics-filter", "mpi.job.*"]) == 0
+    assert "only affects specs" in capsys.readouterr().err
+
+
+def test_batch_metrics_dir_colliding_with_file_is_a_clean_error(
+        capsys, scenario_file, tmp_path):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory\n")
+    assert main(["batch", str(tmp_path), "--metrics", str(blocker)]) == 2
+    assert "collides with an existing file" in capsys.readouterr().err
 
 
 def test_scenario_horizon_override(capsys, scenario_file):

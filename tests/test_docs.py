@@ -43,6 +43,18 @@ def test_registry_doc_names_every_component(check_docs):
     assert check_docs.check_registry_doc() >= 10
 
 
+def test_telemetry_doc_names_every_sink_and_kind(check_docs):
+    assert check_docs.check_telemetry_doc() >= 16
+
+
+def test_telemetry_doc_drift_is_caught(check_docs, tmp_path):
+    text = (REPO / "docs" / "telemetry.md").read_text()
+    p = tmp_path / "telemetry.md"
+    p.write_text(text.replace("`histogram`", "`spectrogram`"))
+    with pytest.raises(AssertionError, match="histogram"):
+        check_docs.check_telemetry_doc(p)
+
+
 def test_registry_doc_drift_is_caught(check_docs, tmp_path):
     text = (REPO / "docs" / "registry.md").read_text()
     p = tmp_path / "registry.md"
