@@ -41,7 +41,7 @@ from repro.pdes.sequential import SequentialEngine
 DEFAULT_OUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_engine.json")
 
 
-def run_network_throughput(telemetry=None) -> int:
+def run_network_throughput(telemetry=None, engine=None) -> int:
     """Raw network-core throughput: a fabric-level permutation packet
     storm (no MPI layer).
 
@@ -54,10 +54,11 @@ def run_network_throughput(telemetry=None) -> int:
     ``telemetry`` overrides the fabric's session -- the
     telemetry-overhead pair below runs this identical storm with the
     Section IV-D instruments on (the default, what this bench always
-    measured) and with every ``net.*`` family disabled.
+    measured) and with every ``net.*`` family disabled.  ``engine``
+    swaps the PDES engine (the conservative pair below).
     """
     fabric = NetworkFabric(Dragonfly1D.mini(), NetworkConfig(seed=2), routing="adp",
-                           telemetry=telemetry)
+                           telemetry=telemetry, engine=engine)
     n = fabric.topo.n_nodes
     for node in range(n):
         partner = (node + n // 2) % n
@@ -100,33 +101,68 @@ def run_mpi_workload_throughput() -> int:
     return fabric.engine.events_processed
 
 
-def run_phold() -> int:
+def run_network_storm_conservative() -> int:
+    """The same permutation storm on the partitioned conservative engine.
+
+    Topology-aware partitioning (3 partitions = 3 groups each on the
+    mini dragonfly, lookahead = global latency + router delay): the pair
+    (``network_throughput``, ``network_storm_conservative``) is the
+    tracked sequential-vs-partitioned comparison.  The committed event
+    set is identical by construction (the engine commits each YAWNS
+    window in the deterministic merge order), so the pair shares the
+    reference count; the delta is the pure cost of window bookkeeping
+    and per-event partition tracking -- the emulation overhead a real
+    parallel run would spend instead on synchronization.
+    """
+    from repro.parallel import conservative_engine
+
+    engine = conservative_engine(Dragonfly1D.mini(), NetworkConfig(seed=2),
+                                 partitions=3)
+    return run_network_throughput(engine=engine)
+
+
+def run_phold(engine=None) -> int:
     """Pure engine overhead: 64-LP PHOLD on the sequential scheduler."""
     from tests.pdes.phold import build_phold
 
-    eng = SequentialEngine()
+    eng = engine if engine is not None else SequentialEngine()
     build_phold(eng, n_lps=64, seed=7, initial=4)
     eng.run(until=500.0)
     return eng.events_processed
 
 
+def run_phold_conservative() -> int:
+    """64-LP PHOLD on the conservative engine (8 partitions, lookahead =
+    the model's minimum delay) -- the pure-engine half of the
+    sequential-vs-partitioned pair."""
+    from repro.pdes.conservative import ConservativeEngine
+
+    return run_phold(ConservativeEngine(lookahead=0.5, n_partitions=8))
+
+
 BENCHES = {
     "network_throughput": run_network_throughput,
     "network_storm_telemetry_off": run_network_storm_telemetry_off,
+    "network_storm_conservative": run_network_storm_conservative,
     "mpi_workload": run_mpi_workload_throughput,
     "phold_sequential": run_phold,
+    "phold_conservative": run_phold_conservative,
 }
 
 #: Committed event counts of the v0 seed model for the identical
 #: workloads, measured with this harness.  Denominator-stable unit for
 #: ``ref_events_per_sec``; re-pin if a bench workload ever changes.
-#: The telemetry-off storm commits the same events as the instrumented
-#: one (telemetry is event-free), so the pair shares one reference.
+#: The telemetry-off and conservative storms commit the same events as
+#: the instrumented sequential one (telemetry is event-free, and the
+#: conservative engine commits the identical event sequence), so all
+#: three share one reference; likewise the PHOLD pair.
 REFERENCE_EVENTS = {
     "network_throughput": 117_846,
     "network_storm_telemetry_off": 117_846,
+    "network_storm_conservative": 117_846,
     "mpi_workload": 132_317,
     "phold_sequential": 127_946,
+    "phold_conservative": 127_946,
 }
 
 

@@ -16,6 +16,9 @@ Three invariants keep the docs honest:
    instrument kind (from :data:`repro.telemetry.SINK_KINDS` /
    :data:`repro.telemetry.INSTRUMENT_KINDS`) *and* their classes, so
    the pipeline reference cannot drift from :mod:`repro.telemetry`.
+5. ``docs/engines.md`` must name every registered execution engine and
+   every parameter it declares, so the engine reference cannot drift
+   from :mod:`repro.registry.engines`.
 
 Run directly (``python scripts/check_docs.py``) or via pytest
 (``tests/test_docs.py`` wraps the same functions).
@@ -140,15 +143,38 @@ def check_telemetry_doc(path: Path = DOCS / "telemetry.md") -> int:
     return len(names)
 
 
+def check_engines_doc(path: Path = DOCS / "engines.md") -> int:
+    """docs/engines.md must name every registered engine and its params.
+
+    Names must appear backtick-quoted (as in the roster and parameter
+    listings).  Returns the number of names checked.
+    """
+    from repro.registry import engine_registry
+
+    text = path.read_text()
+    names: list[str] = []
+    for spec in engine_registry:
+        names.append(spec.name)
+        names.extend(p.name for p in spec.params)
+    missing = [n for n in names if f"`{n}`" not in text]
+    assert not missing, (
+        f"{path} does not mention registered engine(s)/parameter(s) {missing}; "
+        "update the engine reference (names must be backtick-quoted)"
+    )
+    return len(names)
+
+
 def main() -> int:
     check_cli_doc()
     n = check_scenario_snippets()
     m = check_registry_doc()
     k = check_telemetry_doc()
+    e = check_engines_doc()
     print(f"docs OK: cli.md covers all {len(registered_subcommands())} subcommands; "
           f"{n} scenarios.md snippets validate; "
           f"registry.md names all {m} components; "
-          f"telemetry.md names all {k} sinks/instrument kinds")
+          f"telemetry.md names all {k} sinks/instrument kinds; "
+          f"engines.md names all {e} engines/parameters")
     return 0
 
 

@@ -11,6 +11,7 @@ Subcommands
 ``sweep``      -- run the full Figure 7/9 sweep and print summaries
 ``systems``    -- print the Table II system configurations
 ``topologies`` -- print the full fabric-model roster
+``engines``    -- print the execution-engine roster
 
 The subcommand reference with example output lives in ``docs/cli.md``;
 the scenario spec format in ``docs/scenarios.md``.
@@ -28,6 +29,7 @@ from repro.harness.sweeps import latency_sweep, panel_stats
 from repro.registry import (
     RegistryError,
     all_routing_names,
+    engine_registry,
     placement_registry,
     topology_registry,
 )
@@ -97,6 +99,32 @@ def _check_metrics_path(path: str | None) -> str | None:
     return None
 
 
+def _engine_override(args: argparse.Namespace) -> dict | None:
+    """The ``[engine]``-style table the --engine/--partitions flags ask for.
+
+    ``--partitions`` alone implies the conservative engine (partitions
+    are meaningless on the sequential one).
+    """
+    if args.engine is None and args.partitions is None:
+        return None
+    table: dict = {"type": args.engine or "conservative"}
+    if args.partitions is not None:
+        table["partitions"] = args.partitions
+    return table
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared execution-engine flags (run/scenario/batch)."""
+    parser.add_argument(
+        "--engine", choices=list(engine_registry.names()), default=None,
+        help="execution engine ('union-sim engines' lists them; "
+             "default: the spec's [engine] table, else sequential)")
+    parser.add_argument(
+        "--partitions", type=int, default=None, metavar="N",
+        help="LP partitions for the conservative engine "
+             "(implies --engine conservative)")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.telemetry import JsonlSink, Telemetry
 
@@ -109,6 +137,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: {problem}", file=sys.stderr)
         return 2
     _resolve_policy_defaults(args)
+    engine_table = _engine_override(args)
     cfg = ExperimentConfig(
         network=args.network,
         workload=args.workload,
@@ -116,6 +145,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         routing=args.routing,
         scale=args.scale,
         seed=args.seed,
+        engine=engine_table["type"] if engine_table else None,
+        partitions=args.partitions,
     )
     telemetry = Telemetry() if args.metrics else None
     try:
@@ -163,7 +194,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    sweep = latency_sweep(scale=args.scale, seed=args.seed)
+    sweep = latency_sweep(scale=args.scale, seed=args.seed, jobs=args.jobs)
     for app in PANEL_APPS:
         rows = []
         for network in NETWORKS:
@@ -268,6 +299,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         MetricsEntry,
         ScenarioError,
         load_scenario,
+        parse_engine_table,
         render_scenario_report,
         run_scenario,
     )
@@ -282,6 +314,9 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         spec = load_scenario(args.spec)
         if args.horizon is not None:
             spec.horizon = args.horizon
+        if (engine := _engine_override(args)) is not None:
+            # Flags replace the spec's [engine] table wholesale.
+            spec.engine = parse_engine_table(engine)
         if args.metrics or args.metrics_filter:
             # Flags override the spec's [metrics] sink/filter but keep
             # its opt-in instrument switches.
@@ -332,6 +367,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             workers=args.jobs,
             metrics_dir=args.metrics,
             metrics_filter=list(args.metrics_filter) if args.metrics_filter else None,
+            engine=_engine_override(args),
         )
     except ScenarioError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -373,6 +409,36 @@ def _cmd_topologies(args: argparse.Namespace) -> int:
         pairs = ", ".join(f"{a} -> {n}" for a, n in aliases.items())
         print(f"\nAliases: {pairs}.")
     print("Dragonfly scales: use 'union-sim systems --scale paper' for Table II.")
+    return 0
+
+
+def _cmd_engines(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in engine_registry:
+        rows.append((
+            spec.name,
+            "yes" if getattr(spec, "partitioned", False) else "no",
+            ", ".join(p.name for p in spec.params) or "-",
+            spec.summary,
+        ))
+    print(render_table(
+        ["name", "partitioned", "params", "summary"],
+        rows,
+        title="Execution-engine registry",
+    ))
+    print("\nDeclared parameters (set them in a scenario [engine] table "
+          "or via --engine/--partitions):")
+    for spec in engine_registry:
+        if not spec.params:
+            continue
+        print(f"\n  {spec.name}")
+        for p in spec.params:
+            print(f"    {p.describe()}")
+    aliases = engine_registry.aliases()
+    if aliases:
+        pairs = ", ".join(f"{a} -> {n}" for a, n in aliases.items())
+        print(f"\nAliases: {pairs}.")
+    print("Engine model and lookahead contract: docs/engines.md.")
     return 0
 
 
@@ -419,12 +485,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="routing policy (default: the network's registry default)")
     r.add_argument("--scale", choices=["mini", "paper"], default="mini")
     r.add_argument("--seed", type=int, default=1)
+    _add_engine_flags(r)
     _add_metrics_flags(r)
     r.set_defaults(fn=_cmd_run)
 
     s = sub.add_parser("sweep", help="full placement x routing sweep")
     s.add_argument("--scale", choices=["mini"], default="mini")
     s.add_argument("--seed", type=int, default=1)
+    s.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the sweep cells (1 = in-process)")
     s.set_defaults(fn=_cmd_sweep)
 
     y = sub.add_parser("systems", help="print Table II configurations")
@@ -455,6 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the spec's simulation horizon (seconds)")
     c.add_argument("--json", default=None, metavar="FILE",
                    help="also write the full per-job metrics as JSON")
+    _add_engine_flags(c)
     _add_metrics_flags(c)
     c.set_defaults(fn=_cmd_scenario)
 
@@ -464,6 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (1 = sequential)")
     b.add_argument("--json", default=None, metavar="FILE",
                    help="also write every scenario's metrics as JSON")
+    _add_engine_flags(b)
     _add_metrics_flags(b, metrics_help=(
         "write each scenario's telemetry rows to "
         "DIR/<spec>.metrics.jsonl"), metavar="DIR")
@@ -473,6 +544,9 @@ def build_parser() -> argparse.ArgumentParser:
     o.add_argument("--scale", choices=["mini", "paper"], default="mini",
                    help="which preset to instantiate for the size columns")
     o.set_defaults(fn=_cmd_topologies)
+
+    e = sub.add_parser("engines", help="print the execution-engine registry")
+    e.set_defaults(fn=_cmd_engines)
     return p
 
 

@@ -26,6 +26,9 @@ class ExperimentConfig:
 
     ``workload`` is a Table III name (``workload1``..``workload3``) or
     ``baseline:<app>`` for a single application running alone.
+    ``engine`` names a registered execution engine (``None`` keeps the
+    sequential default); ``partitions`` parameterizes a partitioned
+    engine and is part of the cache key like every other field.
     """
 
     network: str = "1d"  # any registry topology name or alias ("1d", "2d", "fattree", "torus", "slimfly")
@@ -35,6 +38,17 @@ class ExperimentConfig:
     scale: str = "mini"
     seed: int = 1
     horizon: float | None = None
+    engine: str | None = None
+    partitions: int | None = None
+
+    def engine_table(self) -> dict | None:
+        """The ``[engine]``-style table this cell's manager consumes."""
+        if self.engine is None:
+            return None
+        table: dict = {"type": self.engine}
+        if self.partitions is not None:
+            table["partitions"] = self.partitions
+        return table
 
     @property
     def combo(self) -> str:
@@ -86,6 +100,17 @@ def clear_cache() -> None:
     _CACHE.clear()
 
 
+def prime_cache(cfg: ExperimentConfig, result: ExperimentResult) -> None:
+    """Seed the memo cache with an externally computed result.
+
+    Used by the sweep fan-out: worker processes each run
+    :func:`run_experiment` with their own (empty) cache, and the parent
+    primes its cache with the returned results so every later in-process
+    lookup -- ``panel_stats``, the figure builders -- hits.
+    """
+    _CACHE.setdefault(cfg, result)
+
+
 def run_experiment(cfg: ExperimentConfig, telemetry: Telemetry | None = None) -> ExperimentResult:
     """Run (or fetch from cache) one sweep cell.
 
@@ -106,6 +131,7 @@ def run_experiment(cfg: ExperimentConfig, telemetry: Telemetry | None = None) ->
         seed=cfg.seed,
         counter_window=window,
         telemetry=telemetry,
+        engine=cfg.engine_table(),
     )
     if cfg.workload.startswith("baseline:"):
         mgr.add_job(build_baseline_job(cfg.workload.split(":", 1)[1], cfg.scale))

@@ -25,22 +25,32 @@ def latency_sweep(
     apps: tuple[str, ...] | None = None,
     scale: str = "mini",
     seed: int = 1,
+    jobs: int = 1,
 ) -> dict[tuple[str, str, str], ExperimentResult]:
     """Run the full placement x routing x workload sweep.
 
     Returns ``{(network, combo, workload): ExperimentResult}`` where
     ``workload`` includes ``baseline:<app>`` entries for every panel
     application, exactly the data Figures 7 and 9 plot.
+
+    ``jobs > 1`` fans the not-yet-cached cells out over a process pool
+    (sweep cells are independent simulations, same fan-out as
+    ``union-sim batch``); results are primed into the in-process memo
+    cache, so a parallel sweep and a sequential one leave the caller in
+    the identical state.
     """
+    from repro.harness.experiment import _CACHE, prime_cache
+    from repro.scenario.batch import pool_map
+
     apps = apps if apps is not None else tuple(PANEL_APPS)
     wl: list[str] = [f"baseline:{a}" for a in apps]
     wl += list(workloads if workloads is not None else tuple(WORKLOADS))
-    out: dict[tuple[str, str, str], ExperimentResult] = {}
+    cells: dict[tuple[str, str, str], ExperimentConfig] = {}
     for network in networks:
         for combo in combos:
             placement, routing = combo.split("-")
             for w in wl:
-                cfg = ExperimentConfig(
+                cells[(network, combo, w)] = ExperimentConfig(
                     network=network,
                     workload=w,
                     placement=placement,
@@ -48,8 +58,11 @@ def latency_sweep(
                     scale=scale,
                     seed=seed,
                 )
-                out[(network, combo, w)] = run_experiment(cfg)
-    return out
+    if jobs > 1:
+        pending = [cfg for cfg in cells.values() if cfg not in _CACHE]
+        for cfg, res in zip(pending, pool_map(run_experiment, pending, jobs)):
+            prime_cache(cfg, res)
+    return {key: run_experiment(cfg) for key, cfg in cells.items()}
 
 
 def panel_stats(

@@ -118,6 +118,7 @@ class _RankState:
         "job",
         "rank",
         "node",
+        "driver_lp",
         "gen",
         "stats",
         "posted_recvs",
@@ -134,6 +135,9 @@ class _RankState:
         self.job = job
         self.rank = rank
         self.node = node
+        #: LP id of the driver serving this rank's partition (resolved
+        #: at job start, so wakeups stay partition-local).
+        self.driver_lp = -1
         self.gen: Generator | None = None
         self.stats = RankStats()
         self.posted_recvs: list[Request] = []
@@ -237,7 +241,15 @@ class JobResult:
 
 
 class _DriverLP(LP):
-    """Anchor LP for MPI engine events (start, job launches, compute wakeups)."""
+    """Driver LP for MPI engine events (start, launches, rank starts,
+    compute wakeups).
+
+    On an unpartitioned engine there is exactly one; a partitioned
+    engine gets one driver *per partition*, each registered into its
+    partition, so a rank's control events (its start, its compute
+    wakeups) are handled in the same partition as the rank's terminal
+    and never cross a partition boundary with sub-lookahead delay.
+    """
 
     __slots__ = ("mpi",)
 
@@ -250,6 +262,8 @@ class _DriverLP(LP):
             self.mpi._start_all()
         elif event.kind == "wake":
             self.mpi._on_wake(event.data)
+        elif event.kind == "rank_start":
+            self.mpi._begin_rank(event.data)
         elif event.kind == "launch":
             self.mpi._launch_submission(event.data)
         else:  # pragma: no cover - defensive
@@ -285,8 +299,16 @@ class SimMPI:
             else None
         )
         self.jobs: list[_Job] = []
-        self._driver = _DriverLP(self)
-        self.engine.register(self._driver)
+        # One driver per engine partition (a single driver on the
+        # sequential/optimistic engines), each pinned to its partition.
+        # drivers[0] doubles as the control anchor for the start event
+        # and pending-submission launches.
+        self._drivers: list[_DriverLP] = []
+        for p in range(self.engine.n_partitions):
+            d = _DriverLP(self)
+            self.engine.register(d, partition=p)
+            self._drivers.append(d)
+        self._driver = self._drivers[0]
         fabric.set_delivery_callback(self._on_delivery)
         fabric.set_injection_callback(self._on_injected)
         self._started = False
@@ -414,6 +436,13 @@ class SimMPI:
         for job in self.jobs:
             self._start_job(job)
 
+    def _driver_lp_for_node(self, node: int) -> int:
+        """The driver LP serving ``node``'s partition."""
+        drivers = self._drivers
+        if len(drivers) == 1:
+            return drivers[0].lp_id
+        return drivers[self.engine.partition_of(self.fabric.terminal_lp_id(node))].lp_id
+
     def _start_job(self, job: "_Job") -> None:
         base = job_key(job.spec.name)
         self.telemetry.gauge(f"{base}.launched_at", unit="seconds",
@@ -428,10 +457,23 @@ class SimMPI:
             )
             if hist.enabled:
                 self._lat_rec[job.app_id] = hist.record
+        # Fan the launch out as one rank_start event per rank, addressed
+        # to the rank's partition driver, via the contract-safe control
+        # path (this handler may be executing in a different partition
+        # than the ranks it launches).  Scheduled in rank order at the
+        # launch instant, the events commit in rank order on every
+        # engine, so rank generators advance -- and draw from shared
+        # routing/workload RNG streams -- in the same order everywhere.
+        now = self.engine.now
+        sched = self.engine.schedule_control
         for rs in job.ranks:
-            ctx = self._ctx_cls(self, rs)
-            rs.gen = job.spec.program(ctx)
-            self._advance(rs, None)
+            rs.driver_lp = self._driver_lp_for_node(rs.node)
+            sched(now, rs.driver_lp, "rank_start", rs, Priority.MPI)
+
+    def _begin_rank(self, rs: _RankState) -> None:
+        ctx = self._ctx_cls(self, rs)
+        rs.gen = rs.job.spec.program(ctx)
+        self._advance(rs, None)
 
     def _launch_submission(self, item) -> None:
         spec, on_launch = item
@@ -554,7 +596,7 @@ class SimMPI:
 
     def _op_compute(self, rs: _RankState, op: Compute) -> Any:
         rs.stats.compute_time += op.seconds
-        self.engine.schedule(op.seconds, self._driver.lp_id, "wake", rs, Priority.WAKEUP)
+        self.engine.schedule(op.seconds, rs.driver_lp, "wake", rs, Priority.WAKEUP)
         rs.blocked = False  # not comm-blocked; just descheduled
         return _BLOCKED
 

@@ -180,6 +180,11 @@ class NetworkFabric:
                 doc="messages fully delivered", fn=lambda: self.messages_delivered)
         t.gauge("net.fabric.bytes_sent", unit="bytes", replace=True,
                 doc="payload bytes injected", fn=lambda: self.bytes_sent)
+        # Partitioned engines publish their window/partition stats as
+        # pdes.conservative.* observable gauges; no-op for the others.
+        from repro.parallel.runtime import bind_engine_telemetry
+
+        bind_engine_telemetry(self.engine, t)
 
     # -- LP id mapping ----------------------------------------------------
     def router_lp_id(self, router: int) -> int:

@@ -1,0 +1,127 @@
+"""Build partitioned conservative engines and expose their runtime stats.
+
+:func:`conservative_engine` is the one entry point the registry, the
+workload manager and the benchmarks share: topology in, ready-to-run
+:class:`~repro.pdes.conservative.ConservativeEngine` out, with the
+partition plan attached (``engine.plan``) and the lookahead derived
+from the minimum cross-partition link latency unless the caller pins a
+tighter one explicitly.  An explicit lookahead *wider* than the
+topology supports is refused up front -- it would let the engine commit
+windows the real link latencies cannot justify.
+
+:func:`bind_engine_telemetry` publishes the engine's execution stats as
+observable gauges under ``pdes.conservative.*`` (window count, window
+width, per-partition committed events); evaluated at export time, they
+cost nothing during simulation.  It is a no-op for unpartitioned
+engines, so the fabric calls it unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.network.config import NetworkConfig
+from repro.parallel.partition import (
+    PartitionError,
+    PartitionPlan,
+    min_cross_partition_latency,
+    plan_partitions,
+)
+from repro.pdes.conservative import ConservativeEngine
+
+
+def conservative_engine(
+    topo: Any,
+    config: NetworkConfig | None = None,
+    partitions: int = 4,
+    lookahead: float | None = None,
+) -> ConservativeEngine:
+    """A :class:`ConservativeEngine` partitioned for ``topo``.
+
+    Parameters
+    ----------
+    topo:
+        The fabric the engine will execute (any registered or duck-typed
+        topology); partitioning is topology-aware, see
+        :func:`~repro.parallel.partition.plan_partitions`.
+    config:
+        Link parameters the lookahead derives from (defaults to the
+        paper's :class:`NetworkConfig` values -- pass the same config
+        the fabric uses).
+    partitions:
+        Number of partitions.
+    lookahead:
+        Explicit lookahead override (seconds).  Must be positive and at
+        most the minimum cross-partition link latency of the plan;
+        ``None`` (the default) uses that minimum directly.
+    """
+    config = config or NetworkConfig()
+    plan = plan_partitions(topo, partitions)
+    auto = min_cross_partition_latency(topo, config, plan)
+    if auto is None:
+        # Single partition: no link crosses, any positive lookahead is
+        # safe.  Use the tightest link delay so window stats stay
+        # meaningful rather than degenerating to one infinite window.
+        auto = min(
+            config.latency(c) + config.router_delay
+            for c in {p.link_class for ports in topo.router_ports for p in ports}
+        )
+    if lookahead is not None:
+        if lookahead <= 0:
+            raise PartitionError(
+                f"lookahead must be positive, got {lookahead:g}"
+            )
+        if lookahead > auto:
+            raise PartitionError(
+                f"explicit lookahead {lookahead:g}s exceeds the minimum "
+                f"cross-partition link latency {auto:g}s of this "
+                f"{plan.scheme}-partitioned plan ({partitions} partitions); "
+                "events crossing partitions would violate the YAWNS "
+                f"contract -- use a lookahead <= {auto:g}"
+            )
+    engine = ConservativeEngine(
+        lookahead=lookahead if lookahead is not None else auto,
+        n_partitions=partitions,
+        partition_fn=plan,
+    )
+    engine.plan = plan
+    return engine
+
+
+def bind_engine_telemetry(engine: Any, telemetry: Any) -> None:
+    """Publish a partitioned engine's stats as ``pdes.conservative.*``.
+
+    Observable gauges (closures over the live engine), registered with
+    ``replace=True`` so a fresh engine on a shared telemetry session
+    supersedes a finished one, like every other fabric instrument.
+    No-op unless ``engine`` is a :class:`ConservativeEngine`.
+    """
+    if not isinstance(engine, ConservativeEngine):
+        return
+    t = telemetry
+    t.gauge("pdes.conservative.partitions", unit="partitions", replace=True,
+            doc="LP partitions the engine executes over",
+            fn=lambda: engine.n_partitions)
+    t.gauge("pdes.conservative.window_width", unit="seconds", replace=True,
+            doc="YAWNS window width (the lookahead)",
+            fn=lambda: engine.lookahead)
+    t.gauge("pdes.conservative.windows", unit="windows", replace=True,
+            doc="lookahead windows executed",
+            fn=lambda: engine.windows_executed)
+    t.gauge("pdes.conservative.max_window_events", unit="events", replace=True,
+            doc="events committed in the widest window",
+            fn=lambda: engine.max_window_events)
+    for p in range(engine.n_partitions):
+        t.gauge(f"pdes.conservative.partition.{p}.committed", unit="events",
+                replace=True, doc=f"events committed by partition {p}",
+                fn=lambda p=p: engine.committed_by_partition[p])
+
+
+__all__ = [
+    "PartitionError",
+    "PartitionPlan",
+    "bind_engine_telemetry",
+    "conservative_engine",
+    "min_cross_partition_latency",
+    "plan_partitions",
+]

@@ -18,6 +18,12 @@ class Engine:
     sequential, conservative and optimistic schedulers.
     """
 
+    #: Number of partitions the engine executes over.  1 for the
+    #: sequential and optimistic engines; the conservative engine
+    #: overrides it.  Model layers (e.g. the MPI runtime) consult this
+    #: to co-locate their control LPs with the partitions they serve.
+    n_partitions: int = 1
+
     def __init__(self) -> None:
         self.lps: list[LP] = []
         self.now: float = 0.0
@@ -26,8 +32,14 @@ class Engine:
         self._end_hooks: list[Callable[[], None]] = []
 
     # -- topology of the model -------------------------------------------
-    def register(self, lp: LP) -> int:
-        """Register one LP and return its id."""
+    def register(self, lp: LP, partition: int | None = None) -> int:
+        """Register one LP and return its id.
+
+        ``partition`` pins the LP to one execution partition on engines
+        that partition their LPs (the conservative engine); unpartitioned
+        engines accept and ignore it, so model code can always pass the
+        hint.
+        """
         lp_id = len(self.lps)
         lp.bind(self, lp_id)
         self.lps.append(lp)
@@ -35,6 +47,10 @@ class Engine:
 
     def register_all(self, lps: Iterable[LP]) -> list[int]:
         return [self.register(lp) for lp in lps]
+
+    def partition_of(self, lp_id: int) -> int:
+        """The partition executing ``lp_id`` (always 0 when unpartitioned)."""
+        return 0
 
     # -- scheduling --------------------------------------------------------
     def schedule(
@@ -100,6 +116,27 @@ class Engine:
         self._seq += 1
         self._push(ev)
         return ev
+
+    def schedule_control(
+        self,
+        time: float,
+        dst: int,
+        kind: str,
+        data: Any = None,
+        priority: int = Priority.MPI,
+        src: int = -1,
+    ) -> Event:
+        """Control-plane variant of :meth:`schedule_at`.
+
+        For scheduler/driver actions that are *not* model messages --
+        e.g. fanning a job launch out to per-partition driver LPs at the
+        launch instant.  In a parallel PDES these travel out-of-band (a
+        ROSS-style scheduler distributes launches at a synchronization
+        point), so partitioned engines exempt this path from the
+        cross-partition lookahead contract; on unpartitioned engines it
+        is exactly :meth:`schedule_at`.
+        """
+        return self.schedule_at(time, dst, kind, data, priority, src)
 
     # -- hooks -------------------------------------------------------------
     def add_end_hook(self, fn: Callable[[], None]) -> None:

@@ -69,8 +69,8 @@ class TimeWarpEngine(Engine):
         self.events_executed: int = 0  # including later-rolled-back work
 
     # -- engine plumbing -----------------------------------------------------
-    def register(self, lp) -> int:  # type: ignore[override]
-        lp_id = super().register(lp)
+    def register(self, lp, partition: int | None = None) -> int:
+        lp_id = super().register(lp, partition)
         self._rt.append(_LpRuntime())
         return lp_id
 

@@ -13,9 +13,17 @@ it reachable from every surface at once (``docs/registry.md``).
 * :mod:`repro.registry.topologies` -- fabric models with scale presets
 * :mod:`repro.registry.routings`   -- per-topology routing capability
 * :mod:`repro.registry.placements` -- policies with declared requirements
+* :mod:`repro.registry.engines`    -- PDES execution engines
 """
 
 from repro.registry.core import ComponentSpec, Param, Registry, RegistryError
+from repro.registry.engines import (
+    EngineSpec,
+    available_engines,
+    build_engine,
+    engine_registry,
+    register_engine,
+)
 from repro.registry.placements import (
     PlacementSpec,
     available_placements,
@@ -47,6 +55,7 @@ from repro.registry.topologies import (
 __all__ = [
     "Capabilities",
     "ComponentSpec",
+    "EngineSpec",
     "Param",
     "PlacementSpec",
     "Registry",
@@ -55,9 +64,13 @@ __all__ = [
     "SCALES",
     "TopologySpec",
     "all_routing_names",
+    "available_engines",
     "available_placements",
     "available_routings",
+    "build_engine",
     "build_topology",
+    "engine_registry",
+    "register_engine",
     "capabilities_of",
     "check_placement",
     "placement_registry",

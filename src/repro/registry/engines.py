@@ -1,0 +1,129 @@
+"""Engine registry: PDES execution engines as named, parameterized specs.
+
+The paper runs its simulations on CODES/ROSS in conservative (YAWNS)
+mode; this registry makes the execution engine a pluggable component
+like topologies and routings, so a scenario's ``[engine]`` table, the
+CLI's ``--engine``/``--partitions`` flags and
+:class:`~repro.union.manager.WorkloadManager`'s ``engine`` parameter
+all resolve through one roster:
+
+``sequential``
+    The single-queue deterministic scheduler (the default).
+``conservative``
+    Partitioned YAWNS execution: LPs are split topology-aware (whole
+    dragonfly groups / fat-tree pods / torus slabs per partition) and
+    the lookahead derives from the minimum cross-partition link latency
+    unless ``lookahead`` pins a tighter value explicitly.  Commits the
+    identical event sequence as ``sequential`` (see ``docs/engines.md``).
+
+Engine factories need the live topology (and link config) to build
+their partition plan, so :func:`build_engine` takes both -- unlike
+topology specs, an engine table cannot be instantiated standalone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.network.config import NetworkConfig
+from repro.pdes.engine import Engine
+from repro.pdes.sequential import SequentialEngine
+from repro.registry.core import ComponentSpec, Param, Registry, _err
+
+
+@dataclass(frozen=True)
+class EngineSpec(ComponentSpec):
+    """One registered PDES engine.
+
+    ``factory(topo, config, **params) -> Engine`` builds a fresh engine
+    for one simulation; engines hold per-run LP state, so they are never
+    shared between runs.
+    """
+
+    factory: Callable[..., Engine] | None = None
+    partitioned: bool = False
+
+    def build(self, topo: Any, config: NetworkConfig | None,
+              params: Mapping[str, Any]) -> Engine:
+        assert self.factory is not None
+        return self.factory(topo, config, **params)
+
+
+engine_registry = Registry("engine")
+
+
+def register_engine(spec: EngineSpec, aliases: tuple[str, ...] = (),
+                    replace: bool = False) -> EngineSpec:
+    """Add an execution engine to the roster (``docs/engines.md``)."""
+    if spec.factory is None:
+        raise ValueError(f"engine {spec.name!r} needs a factory")
+    engine_registry.register(spec, aliases=aliases, replace=replace)
+    return spec
+
+
+def build_engine(table: Mapping[str, Any], topo: Any,
+                 config: NetworkConfig | None = None,
+                 path: str = "engine") -> Engine:
+    """Instantiate an engine from a canonical ``{"type": ..., ...}`` table.
+
+    ``topo``/``config`` are the fabric the engine will execute;
+    partitioned engines derive their plan and lookahead from them.
+    Structural mismatches (more partitions than dragonfly groups, an
+    explicit lookahead the link latencies cannot justify) surface as
+    :class:`~repro.registry.core.RegistryError` with the key path.
+    """
+    from repro.parallel import PartitionError
+
+    table = dict(table)
+    name = table.pop("type", None)
+    if name is None:
+        raise _err(path, "missing 'type' key naming the engine")
+    spec = engine_registry.get(name, path=f"{path}.type")
+    assert isinstance(spec, EngineSpec)
+    params = spec.resolve_params(table, path, kind="engine")
+    try:
+        return spec.build(topo, config, params)
+    except PartitionError as exc:
+        raise _err(path, str(exc)) from None
+
+
+def available_engines() -> tuple[str, ...]:
+    return engine_registry.names()
+
+
+# -- built-in roster ---------------------------------------------------------
+
+def _sequential_factory(topo: Any, config: NetworkConfig | None) -> Engine:
+    return SequentialEngine()
+
+
+def _conservative_factory(topo: Any, config: NetworkConfig | None,
+                          partitions: int, lookahead: float | None) -> Engine:
+    from repro.parallel import conservative_engine
+
+    return conservative_engine(topo, config, partitions=partitions,
+                               lookahead=lookahead)
+
+
+register_engine(EngineSpec(
+    name="sequential",
+    summary="deterministic single-queue event scheduler (the default)",
+    factory=_sequential_factory,
+), aliases=("seq",))
+
+register_engine(EngineSpec(
+    name="conservative",
+    summary="partitioned YAWNS execution, lookahead from the minimum "
+            "cross-partition link latency",
+    params=(
+        Param("partitions", "int", "LP partitions (grouped topology-aware)",
+              default=4, minimum=1),
+        Param("lookahead", "float",
+              "explicit lookahead override in seconds (default: derived "
+              "from the partition plan's cross-partition links)",
+              default=None),
+    ),
+    factory=_conservative_factory,
+    partitioned=True,
+), aliases=("yawns",))

@@ -16,6 +16,7 @@ See ``docs/scenarios.md`` for the spec-format reference.
 from repro.scenario.batch import (
     BatchResult,
     discover_specs,
+    pool_map,
     render_batch_summary,
     run_batch,
     run_spec_file,
@@ -36,6 +37,7 @@ from repro.scenario.spec import (
     ScenarioSpec,
     TrafficEntry,
     load_scenario,
+    parse_engine_table,
     parse_scenario,
 )
 
@@ -53,7 +55,9 @@ __all__ = [
     "build_telemetry",
     "discover_specs",
     "load_scenario",
+    "parse_engine_table",
     "parse_scenario",
+    "pool_map",
     "render_batch_summary",
     "render_scenario_report",
     "run_batch",

@@ -21,7 +21,29 @@ from typing import Any
 
 from repro.harness.report import format_seconds, render_table
 from repro.scenario.runner import run_scenario
-from repro.scenario.spec import MetricsEntry, ScenarioError, load_scenario
+from repro.scenario.spec import (
+    MetricsEntry,
+    ScenarioError,
+    load_scenario,
+    parse_engine_table,
+)
+
+
+def pool_map(fn, items, workers: int = 1) -> list:
+    """Map ``fn`` over ``items``, optionally across a process pool.
+
+    The shared fan-out helper of the batch runner and the harness
+    sweeps: simulations are independent, so they parallelize
+    embarrassingly; results always come back in input order, and
+    ``workers <= 1`` (or a single item) stays in-process so callers get
+    identical behavior with no pool overhead.  ``fn`` and the items
+    must be picklable when ``workers > 1``.
+    """
+    items = list(items)
+    if workers > 1 and len(items) > 1:
+        with multiprocessing.Pool(min(workers, len(items))) as pool:
+            return pool.map(fn, items)
+    return [fn(i) for i in items]
 
 
 def discover_specs(directory: str | Path) -> list[Path]:
@@ -39,6 +61,7 @@ def run_spec_file(
     path: str | Path,
     metrics_dir: str | Path | None = None,
     metrics_filter: list[str] | None = None,
+    engine: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Run one spec file; always returns a JSON-able dict.
 
@@ -51,7 +74,10 @@ def run_spec_file(
     spec's own ``[metrics] jsonl``); the full filename keeps ``a.toml``
     and ``a.json`` in one directory from clobbering each other.
     ``metrics_filter`` overrides the export globs.  The spec's opt-in
-    instrument flags are honored either way.
+    instrument flags are honored either way.  ``engine`` replaces every
+    spec's ``[engine]`` table (the ``--engine`` batch override); it is
+    validated like a parsed table, so a bad name fails per spec with
+    the registry's message.
     """
     path = Path(path)
     try:
@@ -62,6 +88,8 @@ def run_spec_file(
             spec.metrics = (spec.metrics or MetricsEntry()).overridden(
                 jsonl=jsonl, filter=metrics_filter,
             )
+        if engine is not None:
+            spec.engine = parse_engine_table(engine)
         result = run_scenario(spec).to_json_dict()
         result["path"] = str(path)
         return result
@@ -96,13 +124,15 @@ def run_batch(
     workers: int = 1,
     metrics_dir: str | Path | None = None,
     metrics_filter: list[str] | None = None,
+    engine: dict[str, Any] | None = None,
 ) -> BatchResult:
     """Run many scenario files; ``paths`` may also be a directory.
 
     ``workers > 1`` fans the specs out over a process pool; each worker
     simulates whole scenarios independently (results come back in input
-    order either way).  ``metrics_dir``/``metrics_filter`` forward to
-    :func:`run_spec_file` (one telemetry JSONL per scenario).
+    order either way).  ``metrics_dir``/``metrics_filter``/``engine``
+    forward to :func:`run_spec_file` (one telemetry JSONL per scenario;
+    one execution-engine override for every spec).
     """
     if isinstance(paths, (str, Path)):
         paths = discover_specs(paths)
@@ -130,13 +160,8 @@ def run_batch(
                     "rename one or batch them separately"
                 )
     worker = partial(run_spec_file, metrics_dir=metrics_dir,
-                     metrics_filter=metrics_filter)
-    if workers > 1 and len(paths) > 1:
-        with multiprocessing.Pool(min(workers, len(paths))) as pool:
-            results = pool.map(worker, paths)
-    else:
-        results = [worker(p) for p in paths]
-    return BatchResult(results)
+                     metrics_filter=metrics_filter, engine=engine)
+    return BatchResult(pool_map(worker, paths, workers))
 
 
 def render_batch_summary(batch: BatchResult) -> str:

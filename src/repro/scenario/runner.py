@@ -128,6 +128,7 @@ def build_manager(spec: ScenarioSpec) -> WorkloadManager:
         seed=spec.seed,
         counter_window=window,
         telemetry=build_telemetry(spec),
+        engine=dict(spec.engine) if spec.engine is not None else None,
     )
     for entry in spec.jobs:
         mgr.add_job(_build_job(entry, spec.scale, spec.base_dir))
@@ -181,6 +182,10 @@ class ScenarioResult:
     #: Canonical explicit ``[topology]`` table; ``None`` for legacy
     #: dragonfly sugar specs (whose JSON form stays unchanged).
     topology: dict[str, Any] | None = None
+    #: The spec's ``[engine]`` table plus the resolved execution stats
+    #: (partitions, lookahead, windows); ``None`` for the sequential
+    #: default, keeping those runs' JSON form unchanged.
+    engine: dict[str, Any] | None = None
     #: Telemetry summary (the ``[metrics] summary = true`` sink output);
     #: ``None`` unless the spec asked for it.
     metrics: dict[str, Any] | None = None
@@ -211,6 +216,8 @@ class ScenarioResult:
         }
         if self.topology is not None:
             out["topology"] = dict(self.topology)
+        if self.engine is not None:
+            out["engine"] = dict(self.engine)
         if self.metrics is not None:
             out["metrics"] = dict(self.metrics)
         return out
@@ -271,6 +278,20 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         )
         for job in mgr.jobs
     ]
+    engine_info = None
+    if spec.engine is not None:
+        # The spec's table plus what the run resolved: the partitioned
+        # engine reports its derived lookahead, plan scheme and window
+        # count (sequential runs add only the engine name).
+        engine_info = dict(spec.engine)
+        eng = outcome.fabric.engine
+        if hasattr(eng, "windows_executed"):
+            engine_info["partitions"] = eng.n_partitions
+            engine_info["lookahead"] = eng.lookahead
+            engine_info["windows"] = eng.windows_executed
+            plan = getattr(eng, "plan", None)
+            if plan is not None:
+                engine_info["scheme"] = plan.scheme
     metrics_summary = None
     m = spec.metrics
     if m is not None:
@@ -293,6 +314,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         jobs=reports,
         link_summary=outcome.link_load_summary(),
         topology=spec.topology,
+        engine=engine_info,
         metrics=metrics_summary,
         outcome=outcome,
     )
@@ -348,4 +370,12 @@ def render_scenario_report(result: ScenarioResult) -> str:
         f"local={format_bytes(ls['local_total_bytes'])} "
         f"(global fraction {ls['global_fraction']:.1%})"
     )
+    e = result.engine
+    if e is not None:
+        line = f"engine: {e['type']}"
+        if "windows" in e:
+            line += (f", {e['partitions']} partitions "
+                     f"({e.get('scheme', '?')}-partitioned), lookahead "
+                     f"{format_seconds(e['lookahead'])}, {e['windows']} windows")
+        lines.append(line)
     return "\n".join(lines)

@@ -31,11 +31,13 @@ from typing import Any, Mapping
 from repro.harness.configs import NETWORKS, default_horizon
 from repro.registry import (
     SCALES,
+    EngineSpec,
     RegistryError,
     TopologySpec,
     all_routing_names,
     available_placements,
     check_placement,
+    engine_registry,
     placement_registry,
     topology_registry,
 )
@@ -274,6 +276,10 @@ class ScenarioSpec:
     base_dir: Path | None = None  # where relative job sources resolve
     topology: dict[str, Any] | None = None  # explicit [topology] table
     metrics: MetricsEntry | None = None  # [metrics] telemetry table
+    #: Canonical ``[engine]`` table (``{"type": "conservative",
+    #: "partitions": 8}``); ``None`` keeps the sequential default and
+    #: the historical JSON form.
+    engine: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-data form that round-trips through :func:`parse_scenario`."""
@@ -296,6 +302,8 @@ class ScenarioSpec:
             out["traffic"] = [t.to_dict() for t in self.traffic]
         if self.metrics is not None:
             out["metrics"] = self.metrics.to_dict()
+        if self.engine is not None:
+            out["engine"] = dict(self.engine)
         if self.base_dir is not None:
             # Keep relative job sources resolvable after a round trip.
             out["base_dir"] = str(self.base_dir)
@@ -314,6 +322,7 @@ _TOP_KEYS = {
     "traffic": "[[traffic]] entries",
     "base_dir": "directory for relative job sources",
     "metrics": "[metrics] telemetry table",
+    "engine": "[engine] execution-engine table",
 }
 
 _METRICS_KEYS = {
@@ -344,6 +353,31 @@ def _parse_metrics(data: Mapping) -> MetricsEntry | None:
         queue_occupancy=_get_bool(raw, "queue_occupancy", "metrics"),
         latency_histograms=_get_bool(raw, "latency_histograms", "metrics"),
     )
+
+def parse_engine_table(raw: Mapping) -> dict[str, Any]:
+    """Validate one ``[engine]`` table against the engine registry.
+
+    Returns the canonical sparse table (engine name plus only the
+    explicitly given parameters, typed-validated); cross-checks that
+    need the live topology (partition counts vs. group structure, the
+    lookahead ceiling) happen when the run builds its engine.  Also the
+    validator behind the CLI/batch ``--engine`` overrides.
+    """
+    raw = _require_mapping(raw, "engine")
+    name = raw.get("type")
+    if name is None:
+        raise _err("engine.type",
+                   f"missing engine name; available: "
+                   f"{list(engine_registry.names())}")
+    try:
+        spec = engine_registry.get(name, path="engine.type")
+        assert isinstance(spec, EngineSpec)
+        params = {k: v for k, v in raw.items() if k != "type"}
+        params = spec.validate_params(params, "engine", kind="engine")
+    except RegistryError as exc:
+        raise ScenarioError(str(exc)) from None
+    return {"type": spec.name, **params}
+
 
 _TOPOLOGY_KEYS = {"network": "1d|2d", "scale": "mini|paper"}
 
@@ -580,6 +614,7 @@ def parse_scenario(
         base_dir=Path(base_dir) if base_dir is not None else None,
         topology=canonical,
         metrics=_parse_metrics(data),
+        engine=parse_engine_table(data["engine"]) if "engine" in data else None,
     )
     if spec.horizon <= 0:
         raise _err("horizon", f"must be > 0, got {spec.horizon}")

@@ -119,7 +119,13 @@ class StorageSystem:
         self.servers: list[StorageServer] = []
         for i, node in enumerate(server_nodes):
             srv = StorageServer(i, node, self.config)
-            mpi.engine.register(srv)
+            # Pin the server into its node's partition: request arrival,
+            # device completion and the response injection all exchange
+            # sub-lookahead events with the node's terminal.
+            mpi.engine.register(
+                srv,
+                partition=mpi.engine.partition_of(mpi.fabric.terminal_lp_id(node)),
+            )
             self.servers.append(srv)
         self._stats: dict[int, IOStats] = {}
         mpi.register_op_handler(IOWrite, self._handle_op)

@@ -23,8 +23,14 @@ from repro.mpi.engine import JobResult, JobSpec, SimMPI, job_key
 from repro.network.config import NetworkConfig
 from repro.network.fabric import NetworkFabric
 from repro.network.topology import Topology
+from repro.pdes.engine import Engine
 from repro.placement.policies import PlacementError
-from repro.registry import check_placement, resolve_routing, spec_for_instance
+from repro.registry import (
+    build_engine,
+    check_placement,
+    resolve_routing,
+    spec_for_instance,
+)
 from repro.telemetry import Telemetry
 from repro.union.event_generator import SimUnionAPI, SkeletonShared
 from repro.union.registry import get_skeleton
@@ -165,6 +171,16 @@ class WorkloadManager:
         The :class:`~repro.telemetry.Telemetry` session every layer of
         this run records into (fabric instruments, per-job MPI metrics).
         A fresh all-defaults session is created when omitted.
+    engine:
+        The PDES engine executing the run: an engine name
+        (``"sequential"``/``"conservative"``), a parameter table like a
+        scenario's ``[engine]`` section (``{"type": "conservative",
+        "partitions": 8}``), a ready :class:`~repro.pdes.engine.Engine`
+        instance, or ``None`` for the sequential default.  Names/tables
+        resolve through :mod:`repro.registry` against this manager's
+        topology and link config, fresh per :meth:`run` (engines hold
+        per-run LP state); a ready instance is single-use for the same
+        reason.
     """
 
     def __init__(
@@ -178,11 +194,13 @@ class WorkloadManager:
         storage_nodes: list[int] | None = None,
         storage_config=None,
         telemetry: Telemetry | None = None,
+        engine: str | dict | Engine | None = None,
     ) -> None:
         self.topo = topo
         self.config = config or NetworkConfig(seed=seed)
         self.routing = routing
         self.placement = placement
+        self.engine = engine
         self.seed = seed
         self.counter_window = counter_window
         self.storage_nodes = list(storage_nodes) if storage_nodes else None
@@ -243,6 +261,7 @@ class WorkloadManager:
             self.topo,
             self.config,
             routing=self._routing_component(self.routing),
+            engine=self._engine_component(),
             counter_window=self.counter_window,
             telemetry=self.telemetry,
         )
@@ -321,6 +340,22 @@ class WorkloadManager:
         )
         for metric, value, unit, doc in values:
             t.gauge(f"{base}.{metric}", unit=unit, doc=doc).set(value)
+
+    def _engine_component(self) -> Engine | None:
+        """Resolve the ``engine`` argument to what the fabric consumes.
+
+        Names and tables build a *fresh* engine through the registry
+        (validated against this manager's topology and link config, so a
+        bad partition count fails with the registry's clear error before
+        any LP exists); ready instances pass through; ``None`` lets the
+        fabric default to a sequential engine.
+        """
+        e = self.engine
+        if e is None or isinstance(e, Engine):
+            return e
+        if isinstance(e, str):
+            e = {"type": e}
+        return build_engine(e, self.topo, self.config)
 
     def _routing_component(self, routing):
         """Resolve a routing argument to what the fabric consumes.

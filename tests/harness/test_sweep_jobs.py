@@ -1,0 +1,48 @@
+"""Sweep process fan-out: ``latency_sweep(jobs=N)`` equals the sequential run."""
+
+import numpy as np
+
+from repro.harness.experiment import ExperimentConfig, _CACHE, clear_cache
+from repro.harness.sweeps import latency_sweep
+
+_SLICE = dict(
+    networks=("1d",),
+    combos=("rg-adp",),
+    workloads=("workload1",),
+    apps=("nn",),
+    scale="mini",
+    seed=3,
+)
+
+
+def _results_equal(a, b) -> bool:
+    if (a.config, a.apps, a.end_time, a.events, a.link_summary,
+            a.counter_window) != (b.config, b.apps, b.end_time, b.events,
+                                  b.link_summary, b.counter_window):
+        return False
+    if a.router_series.keys() != b.router_series.keys():
+        return False
+    return all(
+        np.array_equal(a.router_series[k], b.router_series[k])
+        for k in a.router_series
+    )
+
+
+def test_parallel_sweep_equals_sequential():
+    clear_cache()
+    seq = latency_sweep(**_SLICE, jobs=1)
+    clear_cache()
+    par = latency_sweep(**_SLICE, jobs=2)
+    assert seq.keys() == par.keys()
+    for key in seq:
+        assert _results_equal(seq[key], par[key]), key
+    clear_cache()
+
+
+def test_parallel_sweep_primes_the_memo_cache():
+    clear_cache()
+    latency_sweep(**_SLICE, jobs=2)
+    cfg = ExperimentConfig(network="1d", workload="workload1", placement="rg",
+                           routing="adp", scale="mini", seed=3)
+    assert cfg in _CACHE
+    clear_cache()

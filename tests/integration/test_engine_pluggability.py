@@ -1,11 +1,13 @@
 """The network model runs unchanged on a different PDES engine.
 
-DESIGN.md's engine claim: the scheduler is a speed feature, not a
-semantics feature.  Running the same workload configuration on the
-sequential engine and on the conservative engine (single partition — a
-partitioned run would need lookahead-respecting LP placement, which the
-network model's zero-delay NIC self-events do not guarantee) must
-produce identical metrics, event for event.
+The engine claim: the scheduler is a speed feature, not a semantics
+feature.  Running the same workload configuration on the sequential
+engine and on the conservative engine must produce identical metrics,
+event for event.  A *naive* partitioning (the engine's default
+``lp_id % n``) scatters terminals away from their routers and must be
+*detected* via the lookahead contract, not silently misordered;
+topology-aware partitioned runs (which pass) live in
+``tests/parallel/test_conservative_stack.py``.
 """
 
 import pytest

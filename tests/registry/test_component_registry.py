@@ -247,3 +247,58 @@ def test_registered_custom_placement_reaches_the_manager():
         assert result.job("late").started
     finally:
         placement_registry._specs.pop("pack", None)
+
+
+# -- engine registry ---------------------------------------------------------
+
+def test_engine_registry_roster():
+    from repro.registry import available_engines, engine_registry
+
+    assert available_engines() == ("sequential", "conservative")
+    assert engine_registry.canonical("seq") == "sequential"
+    assert engine_registry.canonical("yawns") == "conservative"
+    spec = engine_registry.get("conservative")
+    assert spec.partitioned
+    assert spec.param_names() == ("partitions", "lookahead")
+
+
+def test_build_engine_dispatches_and_validates():
+    from repro.pdes.conservative import ConservativeEngine
+    from repro.pdes.sequential import SequentialEngine
+    from repro.registry import RegistryError, build_engine
+
+    topo = Dragonfly1D.mini()
+    assert isinstance(build_engine({"type": "sequential"}, topo), SequentialEngine)
+    eng = build_engine({"type": "conservative", "partitions": 3}, topo)
+    assert isinstance(eng, ConservativeEngine)
+    assert eng.n_partitions == 3
+    with pytest.raises(RegistryError, match="unknown engine"):
+        build_engine({"type": "warp"}, topo)
+    with pytest.raises(RegistryError, match="missing 'type'"):
+        build_engine({"partitions": 2}, topo)
+    with pytest.raises(RegistryError, match="must be >= 1"):
+        build_engine({"type": "conservative", "partitions": 0}, topo)
+    # Structural mismatches carry the registry key path.
+    with pytest.raises(RegistryError, match="engine: cannot split"):
+        build_engine({"type": "conservative", "partitions": 12}, topo)
+
+
+def test_register_custom_engine_reaches_cli_and_scenarios():
+    from repro.pdes.sequential import SequentialEngine
+    from repro.registry import EngineSpec, engine_registry, register_engine
+    from repro.scenario import parse_scenario
+
+    register_engine(EngineSpec(
+        name="turbo",
+        summary="test engine",
+        factory=lambda topo, config: SequentialEngine(),
+    ))
+    try:
+        data = {"jobs": [{"app": "nn"}], "engine": {"type": "turbo"}}
+        assert parse_scenario(data).engine == {"type": "turbo"}
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run", "--engine", "turbo"])
+        assert args.engine == "turbo"
+    finally:
+        engine_registry._specs.pop("turbo", None)

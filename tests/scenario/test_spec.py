@@ -160,3 +160,57 @@ def test_load_errors(tmp_path):
     p.write_text("[[jobs]]\nbanana = 1\n")
     with pytest.raises(ScenarioError, match=r"bad\.toml.*banana"):
         load_scenario(p)
+
+
+# -- [engine] table ----------------------------------------------------------
+
+def test_engine_table_parses_and_round_trips():
+    data = dict(GOOD)
+    data["engine"] = {"type": "conservative", "partitions": 3}
+    spec = parse_scenario(data)
+    assert spec.engine == {"type": "conservative", "partitions": 3}
+    again = parse_scenario(spec.to_dict())
+    assert again.to_dict() == spec.to_dict()
+    assert again.engine == spec.engine
+
+
+def test_engine_table_canonicalizes_aliases_and_keeps_sparse():
+    data = dict(GOOD)
+    data["engine"] = {"type": "yawns"}
+    spec = parse_scenario(data)
+    # Canonical name, and only the explicitly given parameters (the
+    # registry default for partitions fills in at build time).
+    assert spec.engine == {"type": "conservative"}
+
+
+def test_omitted_engine_table_stays_none():
+    spec = parse_scenario(GOOD)
+    assert spec.engine is None
+    assert "engine" not in spec.to_dict()
+
+
+@pytest.mark.parametrize("table, match", [
+    ({"partitions": 2}, "engine.type"),
+    ({"type": "warp9"}, "unknown engine"),
+    ({"type": "conservative", "partitions": 0}, "must be >= 1"),
+    ({"type": "conservative", "partitions": "many"}, "expected an integer"),
+    ({"type": "conservative", "lookahead": "tight"}, "expected a number"),
+    ({"type": "sequential", "partitions": 2}, "unknown parameter"),
+    ({"type": "conservative", "window": 5}, "unknown parameter"),
+])
+def test_engine_table_validation_errors(table, match):
+    data = dict(GOOD)
+    data["engine"] = table
+    with pytest.raises(ScenarioError, match=match):
+        parse_scenario(data)
+
+
+def test_engine_lookahead_ceiling_is_checked_at_build_time():
+    from repro.registry import RegistryError
+    from repro.scenario import run_scenario
+
+    data = dict(GOOD)
+    data["engine"] = {"type": "conservative", "partitions": 3, "lookahead": 1.0}
+    spec = parse_scenario(data)  # parses: the ceiling needs the topology
+    with pytest.raises(RegistryError, match="exceeds the minimum cross-partition"):
+        run_scenario(spec)

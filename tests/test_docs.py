@@ -47,6 +47,19 @@ def test_telemetry_doc_names_every_sink_and_kind(check_docs):
     assert check_docs.check_telemetry_doc() >= 16
 
 
+def test_engines_doc_names_every_engine_and_param(check_docs):
+    # sequential + conservative with partitions/lookahead at minimum.
+    assert check_docs.check_engines_doc() >= 4
+
+
+def test_engines_doc_drift_is_caught(check_docs, tmp_path):
+    text = (REPO / "docs" / "engines.md").read_text()
+    p = tmp_path / "engines.md"
+    p.write_text(text.replace("`conservative`", "`cautious`"))
+    with pytest.raises(AssertionError, match="conservative"):
+        check_docs.check_engines_doc(p)
+
+
 def test_telemetry_doc_drift_is_caught(check_docs, tmp_path):
     text = (REPO / "docs" / "telemetry.md").read_text()
     p = tmp_path / "telemetry.md"
