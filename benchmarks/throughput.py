@@ -84,6 +84,30 @@ def run_network_storm_telemetry_off() -> int:
     return run_network_throughput(telemetry=Telemetry(disable=("net.*",)))
 
 
+def run_network_storm_stepwise(windows: int = 20) -> int:
+    """The same permutation storm advanced via ``engine.step()`` per
+    window instead of one monolithic ``run()``.
+
+    The pair (``network_throughput``, ``network_storm_stepwise``) is the
+    tracked session-lifecycle overhead measurement: a stepwise driver
+    (``SimulationSession.step`` / ``repro.env``) re-enters the scheduler
+    loop once per window and snapshots nothing here, so the delta is the
+    pure cost of chopping one run into ``windows`` horizon slices.  The
+    committed event set is identical by construction, hence the shared
+    reference count.
+    """
+    fabric = NetworkFabric(Dragonfly1D.mini(), NetworkConfig(seed=2), routing="adp")
+    n = fabric.topo.n_nodes
+    for node in range(n):
+        partner = (node + n // 2) % n
+        for k in range(4):
+            fabric.send_message(node % 4, node, partner, 1 << 16)
+    for w in range(1, windows + 1):
+        fabric.engine.step(until=w / windows)
+    assert fabric.in_flight() == 0
+    return fabric.engine.events_processed
+
+
 def run_mpi_workload_throughput() -> int:
     """End-to-end reference run: events committed by a 32-rank,
     3-iteration 512 KiB allreduce under adaptive routing (MPI layer
@@ -144,6 +168,7 @@ BENCHES = {
     "network_throughput": run_network_throughput,
     "network_storm_telemetry_off": run_network_storm_telemetry_off,
     "network_storm_conservative": run_network_storm_conservative,
+    "network_storm_stepwise": run_network_storm_stepwise,
     "mpi_workload": run_mpi_workload_throughput,
     "phold_sequential": run_phold,
     "phold_conservative": run_phold_conservative,
@@ -152,14 +177,16 @@ BENCHES = {
 #: Committed event counts of the v0 seed model for the identical
 #: workloads, measured with this harness.  Denominator-stable unit for
 #: ``ref_events_per_sec``; re-pin if a bench workload ever changes.
-#: The telemetry-off and conservative storms commit the same events as
-#: the instrumented sequential one (telemetry is event-free, and the
-#: conservative engine commits the identical event sequence), so all
-#: three share one reference; likewise the PHOLD pair.
+#: The telemetry-off, conservative and stepwise storms commit the same
+#: events as the instrumented sequential one (telemetry is event-free,
+#: the conservative engine commits the identical event sequence, and
+#: stepping only slices the horizon), so all four share one reference;
+#: likewise the PHOLD pair.
 REFERENCE_EVENTS = {
     "network_throughput": 117_846,
     "network_storm_telemetry_off": 117_846,
     "network_storm_conservative": 117_846,
+    "network_storm_stepwise": 117_846,
     "mpi_workload": 132_317,
     "phold_sequential": 127_946,
     "phold_conservative": 127_946,

@@ -19,6 +19,11 @@ Three invariants keep the docs honest:
 5. ``docs/engines.md`` must name every registered execution engine and
    every parameter it declares, so the engine reference cannot drift
    from :mod:`repro.registry.engines`.
+6. ``docs/env.md`` must name every registered control policy (with its
+   declared parameters) and every field of the session
+   :class:`~repro.union.session.Observation` snapshot, so the control
+   surface reference cannot drift from :mod:`repro.registry.policies`
+   or the observation schema.
 
 Run directly (``python scripts/check_docs.py``) or via pytest
 (``tests/test_docs.py`` wraps the same functions).
@@ -164,17 +169,45 @@ def check_engines_doc(path: Path = DOCS / "engines.md") -> int:
     return len(names)
 
 
+def check_env_doc(path: Path = DOCS / "env.md") -> int:
+    """docs/env.md must name every policy and every Observation field.
+
+    Policy names, their declared parameters, and the fields of the
+    session's ``Observation`` snapshot must appear backtick-quoted.
+    Returns the number of names checked.
+    """
+    import dataclasses
+
+    from repro.registry import policy_registry
+    from repro.union.session import Observation
+
+    text = path.read_text()
+    names: list[str] = []
+    for spec in policy_registry:
+        names.append(spec.name)
+        names.extend(p.name for p in spec.params)
+    names.extend(f.name for f in dataclasses.fields(Observation))
+    missing = [n for n in names if f"`{n}`" not in text]
+    assert not missing, (
+        f"{path} does not mention policy/observation name(s) {missing}; "
+        "update the rosters (names must be backtick-quoted)"
+    )
+    return len(names)
+
+
 def main() -> int:
     check_cli_doc()
     n = check_scenario_snippets()
     m = check_registry_doc()
     k = check_telemetry_doc()
     e = check_engines_doc()
+    v = check_env_doc()
     print(f"docs OK: cli.md covers all {len(registered_subcommands())} subcommands; "
           f"{n} scenarios.md snippets validate; "
           f"registry.md names all {m} components; "
           f"telemetry.md names all {k} sinks/instrument kinds; "
-          f"engines.md names all {e} engines/parameters")
+          f"engines.md names all {e} engines/parameters; "
+          f"env.md names all {v} policies/observation fields")
     return 0
 
 

@@ -8,6 +8,7 @@ Subcommands
 ``simulate``   -- translate a coNCePTuaL file and simulate it in situ
 ``scenario``   -- run a declarative TOML/JSON scenario spec
 ``batch``      -- run every scenario spec in a directory, one summary
+``env``        -- roll a scenario as a gym-style episode (or list policies)
 ``sweep``      -- run the full Figure 7/9 sweep and print summaries
 ``systems``    -- print the Table II system configurations
 ``topologies`` -- print the full fabric-model roster
@@ -379,6 +380,106 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if not batch.failures else 1
 
 
+def _cmd_env(args: argparse.Namespace) -> int:
+    import json
+    import math
+
+    from repro.conceptual.errors import ConceptualError
+    from repro.placement.policies import PlacementError
+    from repro.registry import policy_registry
+    from repro.scenario import ScenarioError, load_scenario
+
+    if args.spec is None:
+        # Roster mode: the policy registry plus the action alphabet.
+        from repro.env import SimulationEnv
+
+        rows = []
+        for spec in policy_registry:
+            rows.append((
+                spec.name,
+                ", ".join(spec.hooks) or "-",
+                ", ".join(p.name for p in spec.params) or "-",
+                spec.summary,
+            ))
+        print(render_table(
+            ["name", "hooks", "params", "summary"],
+            rows,
+            title="Control-policy registry",
+        ))
+        print("\nDeclared parameters (set them in a scenario [env] table "
+              "or via --policy):")
+        for spec in policy_registry:
+            if not spec.params:
+                continue
+            print(f"\n  {spec.name}")
+            for p in spec.params:
+                print(f"    {p.describe()}")
+        aliases = policy_registry.aliases()
+        if aliases:
+            pairs = ", ".join(f"{a} -> {n}" for a, n in aliases.items())
+            print(f"\nAliases: {pairs}.")
+        print(f"Episode actions: {', '.join(SimulationEnv.ACTIONS)}.")
+        print("Observation/action schema and episode runner: docs/env.md.")
+        return 0
+
+    from repro.env import run_episode
+
+    if args.window is not None and args.window <= 0:
+        print(f"error: --window must be > 0, got {args.window:g}",
+              file=sys.stderr)
+        return 2
+    steps: list[tuple] = []
+
+    def on_step(i, obs, reward, info):
+        steps.append((
+            i + 1,
+            format_seconds(obs.clock),
+            info["action"],
+            info["policy"],
+            f"{obs.jobs_started}/{obs.jobs_total}",
+            obs.jobs_finished,
+            obs.free_nodes,
+            f"{reward:+.3e}",
+        ))
+
+    try:
+        spec = load_scenario(args.spec)
+        ep = run_episode(
+            spec,
+            policy=args.policy,
+            seed=args.seed,
+            window=args.window,
+            actions=list(args.action) if args.action else None,
+            on_step=on_step,
+        )
+    except (ScenarioError, PlacementError, ConceptualError, RegistryError,
+            ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_table(
+        ["step", "t", "action", "policy", "started", "done", "free", "reward"],
+        steps,
+        title=(f"episode: {ep.scenario!r}, policy {ep.policy['type']!r}, "
+               f"seed {ep.seed}, window {format_seconds(ep.window)}"),
+    ))
+    print(
+        f"return {ep.total_reward:+.3e} ({ep.reward_kind}) over {ep.steps} "
+        f"steps; end time {format_seconds(ep.end_time)}, {ep.events} events"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(ep.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if not math.isfinite(ep.total_reward):
+        # The reward contract: every episode return is finite.
+        print(f"error: non-finite episode return {ep.total_reward!r}",
+              file=sys.stderr)
+        return 3
+    apps = [j for j in ep.result["jobs"] if not j["background"]]
+    return 0 if all(j["finished"] or j["skip_reason"] for j in apps) else 1
+
+
 def _cmd_topologies(args: argparse.Namespace) -> int:
     from repro.registry import available_placements
 
@@ -539,6 +640,28 @@ def build_parser() -> argparse.ArgumentParser:
         "write each scenario's telemetry rows to "
         "DIR/<spec>.metrics.jsonl"), metavar="DIR")
     b.set_defaults(fn=_cmd_batch)
+
+    n = sub.add_parser(
+        "env", help="roll a scenario as a gym-style episode (no spec: "
+                    "print the control-policy roster)")
+    n.add_argument("spec", nargs="?", default=None,
+                   help="path to a .toml or .json scenario file "
+                        "(omit to list the registered control policies)")
+    n.add_argument("--policy", default=None,
+                   help="control policy driving the session's decision hooks "
+                        "(default: the spec's [env] table, else scripted)")
+    n.add_argument("--seed", type=int, default=None,
+                   help="override the spec's seed for this episode")
+    n.add_argument("--window", type=float, default=None, metavar="SECONDS",
+                   help="simulated seconds per env step "
+                        "(default: the spec's [env] table, else horizon/8)")
+    n.add_argument("--action", action="append", default=None,
+                   metavar="LABEL",
+                   help="script the next step's action (repeatable: keep, "
+                        "scripted, load-aware, defer); later steps use 'keep'")
+    n.add_argument("--json", default=None, metavar="FILE",
+                   help="also write the episode record and result as JSON")
+    n.set_defaults(fn=_cmd_env)
 
     o = sub.add_parser("topologies", help="print the fabric-model registry")
     o.add_argument("--scale", choices=["mini", "paper"], default="mini",

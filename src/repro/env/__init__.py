@@ -1,0 +1,29 @@
+"""``repro.env``: the gym-style control surface over simulation sessions.
+
+Built on the stepwise :class:`~repro.union.session.SimulationSession`
+lifecycle: an episode is one simulated scenario advanced in decision
+windows, observed through versioned telemetry snapshots and steered by
+control policies from the ``policy`` registry family.
+
+* :mod:`repro.env.spaces`      -- dependency-free observation/action spaces
+* :mod:`repro.env.environment` -- :class:`SimulationEnv` (reset/step/result)
+* :mod:`repro.env.episodes`    -- episode rollouts + seed-batch runner
+
+See ``docs/env.md`` for the observation/action schema and the policy
+roster; ``union-sim env`` is the CLI entry point.
+"""
+
+from repro.env.environment import SimulationEnv, coerce_spec
+from repro.env.episodes import EpisodeResult, run_episode, run_episodes
+from repro.env.spaces import BoxSpace, DiscreteSpace, observation_names
+
+__all__ = [
+    "BoxSpace",
+    "DiscreteSpace",
+    "EpisodeResult",
+    "SimulationEnv",
+    "coerce_spec",
+    "observation_names",
+    "run_episode",
+    "run_episodes",
+]

@@ -1,0 +1,120 @@
+"""Episode rollouts: one env episode, or a seed-batch of them.
+
+:func:`run_episode` drives a :class:`~repro.env.environment.SimulationEnv`
+from ``reset`` to ``done`` under a scripted action sequence (default:
+all-``keep``) and reduces it to a plain-data :class:`EpisodeResult`.
+:func:`run_episodes` fans a list of seeds over the scenario's
+:func:`~repro.scenario.batch.pool_map` helper -- episodes are
+independent simulations, so they parallelize embarrassingly, exactly
+like batch scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.env.environment import SimulationEnv, coerce_spec
+from repro.scenario.batch import pool_map
+from repro.scenario.spec import ScenarioSpec, parse_scenario
+
+
+@dataclass
+class EpisodeResult:
+    """One finished episode, as plain (picklable, JSON-able) data."""
+
+    scenario: str
+    policy: dict[str, Any]
+    seed: int
+    window: float
+    reward_kind: str
+    steps: int
+    total_reward: float
+    end_time: float
+    events: int
+    #: The full scenario-result document (per-job rows, link summary,
+    #: the ``env`` episode record).
+    result: dict[str, Any] = field(repr=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "policy": dict(self.policy),
+            "seed": self.seed,
+            "window": self.window,
+            "reward_kind": self.reward_kind,
+            "steps": self.steps,
+            "total_reward": self.total_reward,
+            "end_time": self.end_time,
+            "events": self.events,
+            "result": dict(self.result),
+        }
+
+
+def run_episode(
+    spec: "ScenarioSpec | Mapping | str | Path",
+    policy: "str | Mapping | None" = None,
+    seed: int | None = None,
+    window: float | None = None,
+    actions: Sequence[Any] | None = None,
+    on_step=None,
+) -> EpisodeResult:
+    """Roll one episode to completion and reduce it.
+
+    ``actions`` scripts the first ``len(actions)`` steps (labels or
+    indices); once exhausted, the episode continues with ``keep``.
+    ``on_step(step_index, observation, reward, info)`` is called after
+    every step (the CLI's progress table hook).
+    """
+    env = SimulationEnv(spec, policy=policy, window=window)
+    env.reset(seed=seed)
+    queue = list(actions or [])
+    done = False
+    i = 0
+    while not done:
+        action = queue.pop(0) if queue else None
+        obs, reward, done, info = env.step(action)
+        if on_step is not None:
+            on_step(i, obs, reward, info)
+        i += 1
+    res = env.result()
+    assert res.env is not None
+    return EpisodeResult(
+        scenario=res.scenario,
+        policy=dict(env.policy_table),
+        seed=res.seed,
+        window=env.window,
+        reward_kind=env.reward_kind,
+        steps=res.env["steps"],
+        total_reward=res.env["total_reward"],
+        end_time=res.end_time,
+        events=res.events,
+        result=res.to_json_dict(),
+    )
+
+
+def _episode_worker(item: tuple) -> EpisodeResult:
+    """Pool worker: rebuild the spec from its plain-dict form (specs
+    carry non-picklable state like live topologies only lazily, but the
+    dict form is the robust cross-process currency)."""
+    data, policy, seed, window = item
+    return run_episode(parse_scenario(data), policy=policy, seed=seed,
+                       window=window)
+
+
+def run_episodes(
+    spec: "ScenarioSpec | Mapping | str | Path",
+    seeds: Sequence[int],
+    policy: "str | Mapping | None" = None,
+    window: float | None = None,
+    workers: int = 1,
+) -> list[EpisodeResult]:
+    """Roll one episode per seed, optionally across a process pool.
+
+    Results come back in seed order regardless of ``workers``.
+    """
+    parsed = coerce_spec(spec)
+    data = parsed.to_dict()
+    items = [(data, policy, seed, window) for seed in seeds]
+    return pool_map(_episode_worker, items, workers)

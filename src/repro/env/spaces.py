@@ -1,0 +1,96 @@
+"""Lightweight observation/action space descriptions.
+
+Deliberately dependency-free stand-ins for the Gymnasium space classes
+(the container must not grow new dependencies): just enough structure
+for a controller to know what comes out of
+:meth:`~repro.env.environment.SimulationEnv.reset`/``step`` and what
+goes in -- a labelled discrete action set and a fixed-length numeric
+observation vector.  The field-by-field meaning of the observation is
+:class:`repro.union.session.Observation` (see ``docs/env.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class DiscreteSpace:
+    """``n`` labelled choices; actions are indices or their labels."""
+
+    labels: tuple[str, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.labels)
+
+    def contains(self, action: Any) -> bool:
+        if isinstance(action, str):
+            return action in self.labels
+        return isinstance(action, int) and not isinstance(action, bool) \
+            and 0 <= action < self.n
+
+    def index(self, action: Any) -> int:
+        """Normalize a label or index to an index; raises on unknowns."""
+        if isinstance(action, str):
+            if action not in self.labels:
+                raise ValueError(
+                    f"unknown action {action!r}; choose from {list(self.labels)}"
+                )
+            return self.labels.index(action)
+        if not self.contains(action):
+            raise ValueError(
+                f"action index {action!r} outside [0, {self.n}); "
+                f"labels: {list(self.labels)}"
+            )
+        return int(action)
+
+    def sample(self, rng) -> int:
+        """A uniform action index drawn from ``rng`` (``random.Random``
+        or ``numpy`` generator -- anything with ``randrange``/``integers``)."""
+        if hasattr(rng, "randrange"):
+            return rng.randrange(self.n)
+        return int(rng.integers(self.n))
+
+    def __repr__(self) -> str:
+        return f"DiscreteSpace({self.n}: {', '.join(self.labels)})"
+
+
+@dataclass(frozen=True)
+class BoxSpace:
+    """A fixed-length vector of floats (``Observation.to_vector()``).
+
+    ``names`` labels each component; bounds are informational
+    (observations are unnormalized simulation quantities, all >= 0).
+    """
+
+    names: tuple[str, ...] = field(default=())
+
+    @property
+    def shape(self) -> tuple[int]:
+        return (len(self.names),)
+
+    def contains(self, vector: Any) -> bool:
+        try:
+            return len(vector) == len(self.names) and all(
+                isinstance(float(x), float) for x in vector
+            )
+        except (TypeError, ValueError):
+            return False
+
+    def __repr__(self) -> str:
+        return f"BoxSpace(shape={self.shape})"
+
+
+def observation_names(n_routers: int) -> tuple[str, ...]:
+    """Component labels of the observation vector for an ``n_routers``
+    fabric -- the scalar :class:`~repro.union.session.Observation`
+    fields in ``to_vector()`` order, then per-router load and queue."""
+    scalars = ("clock", "events", "jobs_total", "jobs_started",
+               "jobs_finished", "pending", "free_nodes", "in_flight")
+    return (
+        scalars
+        + tuple(f"router_load.{r}" for r in range(n_routers))
+        + tuple(f"router_queue.{r}" for r in range(n_routers))
+    )

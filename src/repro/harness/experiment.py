@@ -139,7 +139,13 @@ def run_experiment(cfg: ExperimentConfig, telemetry: Telemetry | None = None) ->
         for job in build_jobs(cfg.workload, cfg.scale):
             mgr.add_job(job)
     horizon = cfg.resolved_horizon()
-    outcome = mgr.run(until=horizon)
+    # Explicit session lifecycle (build / step / finalize) -- the same
+    # path mgr.run() wraps, spelled out where the harness is the
+    # canonical in-repo example of driving a run.
+    session = mgr.session()
+    session.build()
+    session.step(until=horizon)
+    outcome = session.finalize()
 
     catalog = app_catalog(cfg.scale)
     apps: dict[str, AppStats] = {}

@@ -380,13 +380,36 @@ class SimMPI:
         self._pending.append((arrival, spec, on_launch))
 
     # -- execution ----------------------------------------------------------------
-    def run(self, until: float = float("inf")) -> float:
-        """Run the co-scheduled jobs until the horizon (or until drained)."""
+    def start(self) -> None:
+        """Arm the runtime: schedule the t=0 bootstrap event.
+
+        Idempotent; after the first call the job roster is frozen
+        (:meth:`add_job`/:meth:`submit_job` raise).  Splitting this out
+        of :meth:`run` is what makes the stepwise session lifecycle
+        possible: ``start()`` once, then :meth:`step` in windows.
+        """
         if not self.jobs and not self._pending:
             raise RuntimeError("no jobs added")
         if not self._started:
             self._started = True
             self.engine.schedule_at(0.0, self._driver.lp_id, "start", None, Priority.MPI)
+
+    def step(self, until: float = float("inf")) -> float:
+        """Advance the started simulation to ``until`` (absolute time).
+
+        Unlike :meth:`run` this performs *no* end-of-run metric
+        publication, so a caller may interleave steps with observation
+        and control decisions; call :meth:`publish_job_metrics` (or let
+        the session's ``finalize()`` do it) when the run is over.
+        Stepping commits the identical event sequence as one monolithic
+        ``run`` over the same horizon.
+        """
+        self.start()
+        return self.engine.step(until=until)
+
+    def run(self, until: float = float("inf")) -> float:
+        """Run the co-scheduled jobs until the horizon (or until drained)."""
+        self.start()
         end = self.engine.run(until=until)
         self.publish_job_metrics()
         return end

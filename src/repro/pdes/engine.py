@@ -155,3 +155,21 @@ class Engine:
         """Execute events until the queue drains, ``until`` is passed, or
         ``max_events`` have been committed.  Returns the final time."""
         raise NotImplementedError
+
+    def step(self, until: float) -> float:
+        """Advance the committed simulation to ``until`` and return the
+        reached time.
+
+        Engines are *resumable*: a sequence ``step(t1); step(t2)``
+        commits the identical event sequence as one ``run(t2)`` (the
+        stepping-parity contract, golden-tested for the sequential and
+        conservative engines).  This is the building block of the
+        session lifecycle (:class:`repro.union.session.SimulationSession`)
+        -- advance a window, observe, decide, advance again.  ``until``
+        is an absolute time and must not move backwards.
+        """
+        if until < self.now:
+            raise ValueError(
+                f"cannot step backwards: until={until} < now={self.now}"
+            )
+        return self.run(until=until)

@@ -14,6 +14,7 @@ it reachable from every surface at once (``docs/registry.md``).
 * :mod:`repro.registry.routings`   -- per-topology routing capability
 * :mod:`repro.registry.placements` -- policies with declared requirements
 * :mod:`repro.registry.engines`    -- PDES execution engines
+* :mod:`repro.registry.policies`   -- session control policies
 """
 
 from repro.registry.core import ComponentSpec, Param, Registry, RegistryError
@@ -23,6 +24,13 @@ from repro.registry.engines import (
     build_engine,
     engine_registry,
     register_engine,
+)
+from repro.registry.policies import (
+    PolicySpec,
+    available_policies,
+    build_policy,
+    policy_registry,
+    register_policy,
 )
 from repro.registry.placements import (
     PlacementSpec,
@@ -58,6 +66,7 @@ __all__ = [
     "EngineSpec",
     "Param",
     "PlacementSpec",
+    "PolicySpec",
     "Registry",
     "RegistryError",
     "RoutingSpec",
@@ -66,11 +75,15 @@ __all__ = [
     "all_routing_names",
     "available_engines",
     "available_placements",
+    "available_policies",
     "available_routings",
     "build_engine",
+    "build_policy",
     "build_topology",
     "engine_registry",
+    "policy_registry",
     "register_engine",
+    "register_policy",
     "capabilities_of",
     "check_placement",
     "placement_registry",

@@ -27,10 +27,12 @@ from repro.scenario.runner import (
     build_manager,
     build_scenario_topology,
     build_telemetry,
+    reduce_scenario_result,
     render_scenario_report,
     run_scenario,
 )
 from repro.scenario.spec import (
+    EnvEntry,
     JobEntry,
     MetricsEntry,
     ScenarioError,
@@ -38,11 +40,13 @@ from repro.scenario.spec import (
     TrafficEntry,
     load_scenario,
     parse_engine_table,
+    parse_policy_table,
     parse_scenario,
 )
 
 __all__ = [
     "BatchResult",
+    "EnvEntry",
     "JobEntry",
     "JobReport",
     "MetricsEntry",
@@ -56,8 +60,10 @@ __all__ = [
     "discover_specs",
     "load_scenario",
     "parse_engine_table",
+    "parse_policy_table",
     "parse_scenario",
     "pool_map",
+    "reduce_scenario_result",
     "render_batch_summary",
     "render_scenario_report",
     "run_batch",

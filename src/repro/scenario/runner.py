@@ -189,6 +189,10 @@ class ScenarioResult:
     #: Telemetry summary (the ``[metrics] summary = true`` sink output);
     #: ``None`` unless the spec asked for it.
     metrics: dict[str, Any] | None = None
+    #: Episode record when the run went through ``repro.env`` (policy,
+    #: steps, rewards); ``None`` for plain scenario runs, keeping their
+    #: JSON form unchanged.
+    env: dict[str, Any] | None = None
     #: The live outcome (fabric, counters) -- in-process callers only,
     #: excluded from the JSON form.
     outcome: RunOutcome | None = field(default=None, repr=False, compare=False)
@@ -220,6 +224,8 @@ class ScenarioResult:
             out["engine"] = dict(self.engine)
         if self.metrics is not None:
             out["metrics"] = dict(self.metrics)
+        if self.env is not None:
+            out["env"] = dict(self.env)
         return out
 
     def job(self, name: str) -> JobReport:
@@ -268,6 +274,19 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     """
     mgr = build_manager(spec)
     outcome = mgr.run(until=spec.horizon)
+    return reduce_scenario_result(spec, outcome)
+
+
+def reduce_scenario_result(spec: ScenarioSpec, outcome: RunOutcome) -> ScenarioResult:
+    """Reduce a finalized :class:`RunOutcome` to a :class:`ScenarioResult`.
+
+    Shared tail of every run path -- the monolithic :func:`run_scenario`
+    and a stepwise :class:`repro.env.SimulationEnv` episode both end
+    here, which is what keeps their result JSON bit-identical (modulo
+    the env's own ``env`` record).  Drives the spec's ``[metrics]``
+    sinks as a side effect.
+    """
+    mgr = outcome.manager
     t = mgr.telemetry
     skipped = dict(outcome.not_started)
     reports = [

@@ -32,6 +32,7 @@ from repro.harness.configs import NETWORKS, default_horizon
 from repro.registry import (
     SCALES,
     EngineSpec,
+    PolicySpec,
     RegistryError,
     TopologySpec,
     all_routing_names,
@@ -39,6 +40,7 @@ from repro.registry import (
     check_placement,
     engine_registry,
     placement_registry,
+    policy_registry,
     topology_registry,
 )
 from repro.telemetry import metric_segment
@@ -46,6 +48,9 @@ from repro.workloads.catalog import app_catalog
 
 #: Background-traffic patterns a ``[[traffic]]`` entry may name.
 TRAFFIC_PATTERNS = ("uniform", "hotspot")
+
+#: Reward signals an ``[env]`` table may name.
+ENV_REWARDS = ("avg_latency", "comm_time")
 
 
 class ScenarioError(ValueError):
@@ -251,6 +256,38 @@ class MetricsEntry:
 
 
 @dataclass
+class EnvEntry:
+    """The ``[env]`` table: control-surface configuration of a scenario.
+
+    Makes the scenario runnable as a :class:`repro.env.SimulationEnv`
+    episode (``union-sim env <spec>``): which control policy drives the
+    session's decision hooks, how long one decision window is, and which
+    reward signal scores the episode.
+    """
+
+    #: Canonical policy table (``{"type": "load-aware"}``); resolved
+    #: through the ``policy`` registry family.
+    policy: dict[str, Any] = field(default_factory=lambda: {"type": "scripted"})
+    #: Seconds of simulated time per ``env.step()``; ``None`` defaults
+    #: to an eighth of the horizon.
+    window: float | None = None
+    #: Reward signal: negative delta of the running mean message latency
+    #: over measured jobs (``avg_latency``) or of the worst per-job
+    #: communication time (``comm_time``).
+    reward: str = "avg_latency"
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        if self.policy != {"type": "scripted"}:
+            out["policy"] = dict(self.policy)
+        if self.window is not None:
+            out["window"] = self.window
+        if self.reward != "avg_latency":
+            out["reward"] = self.reward
+        return out
+
+
+@dataclass
 class ScenarioSpec:
     """A fully validated scenario, ready for :func:`repro.scenario.runner.run_scenario`.
 
@@ -280,6 +317,9 @@ class ScenarioSpec:
     #: "partitions": 8}``); ``None`` keeps the sequential default and
     #: the historical JSON form.
     engine: dict[str, Any] | None = None
+    #: The ``[env]`` control-surface table; ``None`` for plain
+    #: scenarios (they still run as env episodes with the defaults).
+    env: EnvEntry | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-data form that round-trips through :func:`parse_scenario`."""
@@ -304,6 +344,8 @@ class ScenarioSpec:
             out["metrics"] = self.metrics.to_dict()
         if self.engine is not None:
             out["engine"] = dict(self.engine)
+        if self.env is not None:
+            out["env"] = self.env.to_dict()
         if self.base_dir is not None:
             # Keep relative job sources resolvable after a round trip.
             out["base_dir"] = str(self.base_dir)
@@ -323,6 +365,7 @@ _TOP_KEYS = {
     "base_dir": "directory for relative job sources",
     "metrics": "[metrics] telemetry table",
     "engine": "[engine] execution-engine table",
+    "env": "[env] control-surface table",
 }
 
 _METRICS_KEYS = {
@@ -353,6 +396,57 @@ def _parse_metrics(data: Mapping) -> MetricsEntry | None:
         queue_occupancy=_get_bool(raw, "queue_occupancy", "metrics"),
         latency_histograms=_get_bool(raw, "latency_histograms", "metrics"),
     )
+
+_ENV_KEYS = {
+    "policy": "control policy (name or {type = ...} table)",
+    "window": "seconds per env step",
+    "reward": "reward signal (avg_latency|comm_time)",
+}
+
+
+def parse_policy_table(raw: Any, path: str = "policy") -> dict[str, Any]:
+    """Validate a policy name or table against the policy registry.
+
+    Returns the canonical sparse table (``{"type": name, ...params}``),
+    mirroring :func:`parse_engine_table` for the ``policy`` family; also
+    the validator behind ``union-sim env --policy``.
+    """
+    if isinstance(raw, str):
+        raw = {"type": raw}
+    raw = _require_mapping(raw, path)
+    name = raw.get("type")
+    if name is None:
+        raise _err(f"{path}.type",
+                   f"missing policy name; available: "
+                   f"{list(policy_registry.names())}")
+    try:
+        spec = policy_registry.get(name, path=f"{path}.type")
+        assert isinstance(spec, PolicySpec)
+        params = {k: v for k, v in raw.items() if k != "type"}
+        params = spec.validate_params(params, path, kind="policy")
+    except RegistryError as exc:
+        raise ScenarioError(str(exc)) from None
+    return {"type": spec.name, **params}
+
+
+def _parse_env(data: Mapping) -> EnvEntry | None:
+    """Validate the optional ``[env]`` control-surface table."""
+    if "env" not in data:
+        return None
+    raw = _require_mapping(data["env"], "env")
+    _check_keys(raw, _ENV_KEYS, "env")
+    policy = raw.get("policy", "scripted")
+    window = _get_float(raw, "window", "env", minimum=0.0)
+    if window == 0.0:
+        raise _err("env.window", "must be > 0 (seconds of simulated time "
+                                 "per env step)")
+    return EnvEntry(
+        policy=parse_policy_table(policy, path="env.policy"),
+        window=window,
+        reward=_get_str(raw, "reward", "env", default="avg_latency",
+                        choices=ENV_REWARDS),
+    )
+
 
 def parse_engine_table(raw: Mapping) -> dict[str, Any]:
     """Validate one ``[engine]`` table against the engine registry.
@@ -615,9 +709,15 @@ def parse_scenario(
         topology=canonical,
         metrics=_parse_metrics(data),
         engine=parse_engine_table(data["engine"]) if "engine" in data else None,
+        env=_parse_env(data),
     )
     if spec.horizon <= 0:
         raise _err("horizon", f"must be > 0, got {spec.horizon}")
+    if spec.env is not None and spec.env.window is not None \
+            and spec.env.window > spec.horizon:
+        raise _err("env.window",
+                   f"one step window ({spec.env.window:g}s) exceeds the "
+                   f"horizon ({spec.horizon:g}s)")
     return spec
 
 

@@ -28,7 +28,11 @@ from repro.telemetry.instruments import (
     WindowedSeries,
     metric_segment,
 )
-from repro.telemetry.schema import RESULT_SCHEMA_VERSION, TELEMETRY_SCHEMA
+from repro.telemetry.schema import (
+    OBSERVATION_SCHEMA,
+    RESULT_SCHEMA_VERSION,
+    TELEMETRY_SCHEMA,
+)
 from repro.telemetry.session import Telemetry, match_key
 from repro.telemetry.sinks import (
     SINK_KINDS,
@@ -56,6 +60,7 @@ __all__ = [
     "SINK_KINDS",
     "TELEMETRY_SCHEMA",
     "RESULT_SCHEMA_VERSION",
+    "OBSERVATION_SCHEMA",
     "match_key",
     "metric_segment",
 ]

@@ -1,6 +1,6 @@
 """Versioned schemas for everything the telemetry pipeline emits.
 
-Two independent version stamps:
+Three independent version stamps:
 
 * :data:`TELEMETRY_SCHEMA` tags metric *row* streams (the JSONL/CSV
   sinks put it in their header/first column) -- bump when the row shape
@@ -8,7 +8,10 @@ Two independent version stamps:
 * :data:`RESULT_SCHEMA_VERSION` tags the scenario result documents
   (``ScenarioResult.to_json_dict()`` / ``union-sim scenario --json``) --
   bump when that document's shape changes, so downstream consumers can
-  detect the format instead of sniffing keys.
+  detect the format instead of sniffing keys;
+* :data:`OBSERVATION_SCHEMA` tags the live session snapshots
+  (``SimulationSession.observe()`` / the ``repro.env`` observations) --
+  bump when the observation field set changes.
 
 Row shape (``union-sim.telemetry/v1``) -- one JSON object per metric
 row, kind-specific payload next to three fixed fields:
@@ -34,3 +37,10 @@ TELEMETRY_SCHEMA = "union-sim.telemetry/v1"
 
 #: Version of the scenario result document (``to_json_dict`` output).
 RESULT_SCHEMA_VERSION = 1
+
+#: Version tag for the live state snapshots a
+#: :class:`repro.union.session.SimulationSession` assembles from this
+#: store (``Observation.to_dict()["schema"]``) -- bump when the
+#: observation's field set changes, so controllers trained against one
+#: shape can detect another.
+OBSERVATION_SCHEMA = "union-sim.observation/v1"

@@ -12,6 +12,17 @@ time (it is then placed at that simulated instant against the residual
 free-node set, reusing nodes of finished jobs), a per-job ``placement``
 policy override, and a ``background`` flag marking traffic injectors.
 Declarative access to all of this lives in :mod:`repro.scenario`.
+
+Execution is delegated to the session lifecycle
+(:class:`~repro.union.session.SimulationSession`): :meth:`WorkloadManager.run`
+is ``session().build() -> step(horizon) -> finalize()`` in one call,
+while :meth:`WorkloadManager.session` hands out the stepwise form --
+advance in windows, ``observe()`` the live state, let a control policy
+intervene at the placement/admission/routing decision points.  Managers
+are **single-use** (the engine underneath holds per-run LP state): a
+second ``run()``/``session()`` raises, and :meth:`reset` explicitly
+clears the spent state for deliberate re-runs on a shared telemetry
+session.
 """
 
 from __future__ import annotations
@@ -19,12 +30,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.mpi.engine import JobResult, JobSpec, SimMPI, job_key
+from repro.mpi.engine import JobResult, SimMPI, job_key
 from repro.network.config import NetworkConfig
 from repro.network.fabric import NetworkFabric
 from repro.network.topology import Topology
 from repro.pdes.engine import Engine
-from repro.placement.policies import PlacementError
 from repro.registry import (
     build_engine,
     check_placement,
@@ -34,6 +44,7 @@ from repro.registry import (
 from repro.telemetry import Telemetry
 from repro.union.event_generator import SimUnionAPI, SkeletonShared
 from repro.union.registry import get_skeleton
+from repro.union.session import SimulationSession
 from repro.union.skeleton import Skeleton
 
 
@@ -97,8 +108,9 @@ class RunOutcome:
     """Everything measured in one co-scheduled simulation.
 
     ``not_started`` lists ``(job_name, reason)`` for jobs whose arrival
-    never happened inside the horizon or whose placement did not fit the
-    free-node set at arrival time.
+    never happened inside the horizon, whose placement did not fit the
+    free-node set at arrival time, or whose launch the session's
+    control policy deferred.
     """
 
     def __init__(
@@ -131,6 +143,14 @@ class RunOutcome:
     def link_load_summary(self) -> dict[str, float]:
         """Table VI row."""
         return self.fabric.link_loads.summary()
+
+    def __repr__(self) -> str:
+        finished = sum(1 for a in self.apps if a.result.finished)
+        out = (f"<RunOutcome t={self.end_time:g}s: {len(self.apps)} jobs "
+               f"started, {finished} finished")
+        if self.not_started:
+            out += f", {len(self.not_started)} not started"
+        return out + ">"
 
 
 class WorkloadManager:
@@ -210,6 +230,7 @@ class WorkloadManager:
         self.fabric: NetworkFabric | None = None
         self.mpi: SimMPI | None = None
         self.storage = None
+        self._session: SimulationSession | None = None
 
     # -- job assembly ------------------------------------------------------
     def add_job(self, job: Job) -> "WorkloadManager":
@@ -242,6 +263,48 @@ class WorkloadManager:
 
         return program
 
+    def session(self, policy=None) -> SimulationSession:
+        """Open this manager's (single) session lifecycle.
+
+        ``policy`` resolves through the ``policy`` registry family (a
+        name like ``"load-aware"``, a ``{"type": ...}`` table, a ready
+        :class:`~repro.union.policy.ControlPolicy`, or ``None`` for the
+        scripted baseline).  A manager runs exactly once -- the engine
+        underneath holds per-run LP state -- so a second call raises;
+        create a fresh manager or call :meth:`reset` to run again.
+        """
+        if self._session is not None:
+            raise RuntimeError(
+                "this WorkloadManager already has a session (managers are "
+                "single-use: the engine underneath holds per-run LP state); "
+                "create a fresh WorkloadManager or call reset() to run again"
+            )
+        self._session = SimulationSession(self, policy)
+        return self._session
+
+    def reset(self) -> "WorkloadManager":
+        """Clear the spent run state so this manager can run again.
+
+        The telemetry session, job roster and configuration survive --
+        the next run's instruments supersede the finished run's on the
+        shared session (``register(replace=True)``), which is the
+        supported re-run idiom.  A manager built on a *ready*
+        :class:`~repro.pdes.engine.Engine` instance cannot be reset
+        (the instance holds spent LP state); pass an engine name/table
+        instead, which rebuilds fresh per run.
+        """
+        if isinstance(self.engine, Engine):
+            raise RuntimeError(
+                "cannot reset(): this manager was built on a ready Engine "
+                "instance, which holds spent per-run LP state; pass an "
+                "engine name or table (rebuilt fresh per run) instead"
+            )
+        self._session = None
+        self.fabric = None
+        self.mpi = None
+        self.storage = None
+        return self
+
     def run(self, until: float = float("inf")) -> RunOutcome:
         """Place jobs, run the co-scheduled simulation, collect metrics.
 
@@ -253,62 +316,11 @@ class WorkloadManager:
         time, arriving jobs are placed at their arrival instants against
         the residual free-node set, and nodes of finished jobs return to
         the pool.
-        """
-        if not self.jobs:
-            raise RuntimeError("no jobs to run")
-        self._validate_components()
-        self.fabric = NetworkFabric(
-            self.topo,
-            self.config,
-            routing=self._routing_component(self.routing),
-            engine=self._engine_component(),
-            counter_window=self.counter_window,
-            telemetry=self.telemetry,
-        )
-        self.mpi = SimMPI(self.fabric)
-        if self.storage_nodes:
-            from repro.storage.system import StorageSystem
 
-            self.storage = StorageSystem(self.mpi, self.storage_nodes, self.storage_config)
-        n = len(self.jobs)
-        self._job_nodes: list[list[int] | None] = [None] * n
-        self._job_footprint: list[set[int] | None] = [None] * n
-        self._job_app: list[int | None] = [None] * n
-        self._job_skip: list[str | None] = [None] * n
-        self._nodes_by_app: dict[int, set[int]] = {}
-        dynamic = any(j.arrival > 0 or j.placement is not None for j in self.jobs)
-        if dynamic:
-            self._setup_dynamic()
-        else:
-            self._setup_static()
-        end = self.mpi.run(until=until)
-        apps = []
-        not_started: list[tuple[str, str]] = []
-        results = self.mpi.results()
-        for i, job in enumerate(self.jobs):
-            app_id = self._job_app[i]
-            if app_id is None:
-                reason = self._job_skip[i] or (
-                    f"arrival t={job.arrival:g}s is beyond the end of the "
-                    f"simulation (t={end:g}s)"
-                )
-                not_started.append((job.name, reason))
-                self._publish_job_placement(job, started=False)
-                continue
-            nodes = self._job_nodes[i]
-            assert nodes is not None
-            routers = {self.topo.router_of_node(n) for n in nodes}
-            # Group-less fabrics (torus, fat-tree, slim fly) report an
-            # empty group set rather than faking a hierarchy.
-            group_of = getattr(self.topo, "group_of", None)
-            groups = {group_of(r) for r in routers} if group_of else set()
-            apps.append(AppMetrics(
-                job.name, app_id, results[app_id], nodes, routers, groups,
-                arrival=job.arrival, background=job.background,
-            ))
-            self._publish_job_placement(job, started=True, nodes=nodes,
-                                        routers=routers, groups=groups)
-        return RunOutcome(self, apps, end, not_started)
+        One-shot form of the session lifecycle: equivalent to
+        ``session().build()``, ``step(until)``, ``finalize()``.
+        """
+        return self.session().run(until=until)
 
     def _publish_job_placement(
         self,
@@ -408,79 +420,3 @@ class WorkloadManager:
         clear error for dynamic per-job overrides.
         """
         return check_placement(name, self.topo).func
-
-    def _job_spec(self, i: int, job: Job, nodes: list[int]) -> JobSpec:
-        program = self._skeleton_program(job) if job.skeleton is not None else job.program
-        self._job_nodes[i] = nodes
-        return JobSpec(job.name, job.nranks, program, nodes, dict(job.params))
-
-    def _record_launch(self, i: int, job: Job, app_id: int) -> None:
-        self._job_app[i] = app_id
-        # The footprint (whole routers/groups under RR/RG) is what the
-        # job occupies and what returns to the pool when it finishes.
-        self._nodes_by_app[app_id] = (
-            self._job_footprint[i] or set(self._job_nodes[i] or ())
-        )
-        if job.routing is not None:
-            self.fabric.set_app_routing(app_id, self._routing_component(job.routing))
-
-    def _setup_static(self) -> None:
-        """Historical path: one placement draw covering every job."""
-        fn = self._placement_fn(_placement_name(self.placement).lower())
-        placements = fn(self.topo, [j.nranks for j in self.jobs], self.seed)
-        for i, (job, nodes) in enumerate(zip(self.jobs, placements)):
-            app_id = self.mpi.add_job(self._job_spec(i, job, nodes))
-            self._record_launch(i, job, app_id)
-
-    def _setup_dynamic(self) -> None:
-        """Arrival-aware path: place per job against the free-node set."""
-        self._free: set[int] = set(range(self.topo.n_nodes))
-        self.mpi.job_end_callback = self._on_job_end
-        for i, job in enumerate(self.jobs):
-            if job.arrival <= 0:
-                nodes = self._place_one(i, job)  # t=0 jobs must fit: raises
-                app_id = self.mpi.add_job(self._job_spec(i, job, nodes))
-                self._record_launch(i, job, app_id)
-            else:
-                self.mpi.submit_job(
-                    self._arrival_factory(i, job),
-                    arrival=job.arrival,
-                    on_launch=lambda app_id, i=i, job=job: self._record_launch(i, job, app_id),
-                )
-
-    def _place_one(self, i: int, job: Job) -> list[int]:
-        policy = _placement_name(job.placement or self.placement).lower()
-        nodes = self._placement_fn(policy)(
-            self.topo, [job.nranks], self.seed + i, allowed_nodes=self._free
-        )[0]
-        # Under RR/RG the job owns its whole routers/groups: reserve the
-        # unused tail nodes too, or a later arrival would be co-located
-        # inside the "isolated" router/group.
-        footprint = set(nodes)
-        if policy == "rr":
-            for node in nodes:
-                footprint.update(self.topo.nodes_of_router(self.topo.router_of_node(node)))
-        elif policy == "rg":
-            for node in nodes:
-                group = self.topo.group_of(self.topo.router_of_node(node))
-                footprint.update(self.topo.nodes_of_group(group))
-        self._free.difference_update(footprint)
-        self._job_footprint[i] = footprint
-        return nodes
-
-    def _arrival_factory(self, i: int, job: Job) -> Callable:
-        def factory() -> JobSpec | None:
-            try:
-                nodes = self._place_one(i, job)
-            except PlacementError as exc:
-                self._job_skip[i] = (
-                    f"placement failed at arrival t={job.arrival:g}s: {exc}"
-                )
-                return None
-            return self._job_spec(i, job, nodes)
-
-        return factory
-
-    def _on_job_end(self, result: JobResult) -> None:
-        """Return a finished job's nodes to the free pool."""
-        self._free.update(self._nodes_by_app.get(result.app_id, ()))

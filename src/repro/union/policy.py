@@ -1,0 +1,184 @@
+"""Control policies: pluggable decision hooks on the session lifecycle.
+
+Every decision the workload manager used to bake in before ``run()`` --
+where an arriving job's ranks land, whether it launches at all, which
+routing its traffic uses -- is now a *hook* on a
+:class:`ControlPolicy`, invoked by the
+:class:`~repro.union.session.SimulationSession` at the simulated
+instant the decision is due.  A hook that declines (returns ``None`` /
+``True``) falls through to the scripted behaviour, so the default
+:class:`ScriptedPolicy` is bit-identical to the historical run path:
+the existing ``rn``/``rr``/``rg`` placement draws *are* its scripted
+baselines.
+
+Policies resolve by name through the ``policy`` registry family
+(:mod:`repro.registry.policies`) -- ``"scripted"``, ``"load-aware"``,
+``"admission"`` -- exactly like topologies, routings and engines; the
+``repro.env`` control surface and the scenario ``[env]`` table build on
+the same roster.
+
+Hook contract (all optional; the base class declines everything):
+
+``admit(AdmissionRequest) -> bool``
+    ``False`` defers the launch: the job lands in ``not_started`` with
+    a reason naming the policy.  Called before any placement draw.
+``place(PlacementRequest) -> list[int] | None``
+    Explicit node ids for the job's ranks (must be free, one per rank);
+    ``None`` falls through to the scripted placement draw.
+``route(RoutingRequest) -> str | None``
+    A routing name overriding the job's configured routing; ``None``
+    keeps it.
+
+A policy that may intervene in placement/admission forces the session
+onto the *dynamic* (arrival-aware) placement path even for all-t=0
+workloads; scripted policies declare ``scripted = True`` and keep the
+historical static path, preserving placement draws bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.union.session import SimulationSession
+
+
+@dataclass(frozen=True)
+class AdmissionRequest:
+    """Should this job launch now?  (``admit`` hook input.)"""
+
+    job: str
+    nranks: int
+    arrival: float  # requested arrival time (0 for t=0 jobs)
+    now: float  # current simulated time
+    free_nodes: frozenset[int]
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """Where should this job's ranks land?  (``place`` hook input.)"""
+
+    job: str
+    nranks: int
+    policy: str  # placement name the scripted draw would use
+    arrival: float
+    now: float
+    free_nodes: frozenset[int]
+
+
+@dataclass(frozen=True)
+class RoutingRequest:
+    """Which routing should this job's traffic use?  (``route`` hook input.)"""
+
+    job: str
+    app_id: int
+    routing: str | None  # the job's configured routing override, if any
+
+
+class ControlPolicy:
+    """Base policy: every hook declines, yielding the scripted run.
+
+    Subclasses override any subset of :meth:`admit` / :meth:`place` /
+    :meth:`route`.  The session calls :meth:`bind` once at ``build()``;
+    hooks may then read the live state through
+    ``self.session.observe()`` (link loads, per-router queue depths,
+    job lifecycle) -- that is the whole point of the step/observe
+    refactor.
+    """
+
+    #: Registry name (set on instances built through the registry).
+    name = "policy"
+    #: ``True`` for policies that never intervene in admission or
+    #: placement: the session then keeps the historical *static*
+    #: placement path for all-t=0 workloads, so draws stay bit-identical
+    #: to the pre-session manager.
+    scripted = False
+
+    def __init__(self) -> None:
+        self.session: "SimulationSession | None" = None
+
+    def bind(self, session: "SimulationSession") -> None:
+        self.session = session
+
+    # -- decision hooks ----------------------------------------------------
+    def admit(self, req: AdmissionRequest) -> bool:
+        return True
+
+    def place(self, req: PlacementRequest) -> list[int] | None:
+        return None
+
+    def route(self, req: RoutingRequest) -> str | None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ScriptedPolicy(ControlPolicy):
+    """The baseline: replay the configured placement/routing verbatim.
+
+    Wraps the existing registry placements (``rn``/``rr``/``rg``/...)
+    as scripted draws -- with this policy (or no policy at all) a
+    session commits the identical placement, event sequence and metrics
+    as the monolithic ``WorkloadManager.run()`` always did.
+    """
+
+    name = "scripted"
+    scripted = True
+
+
+class LoadAwarePolicy(ControlPolicy):
+    """Place arrivals on the routers with the least observed traffic.
+
+    At each placement decision the policy reads the session's
+    observation (cumulative outgoing bytes per router, assembled from
+    the fabric's link-load accounting) and fills the job's ranks from
+    the free nodes of the least-loaded routers, ties broken by router
+    id.  Against a hotspot background this measurably steers arriving
+    jobs away from the hot routers -- the pinned behavioural test of
+    the policy family.  Falls back to the scripted draw when fewer
+    free nodes than ranks exist (the scripted path then reports the
+    placement failure).
+    """
+
+    name = "load-aware"
+
+    def place(self, req: PlacementRequest) -> list[int] | None:
+        assert self.session is not None, "policy used before bind()"
+        if len(req.free_nodes) < req.nranks:
+            return None
+        obs = self.session.observe()
+        topo = self.session.manager.topo
+        by_router: dict[int, list[int]] = {}
+        for node in req.free_nodes:
+            by_router.setdefault(topo.router_of_node(node), []).append(node)
+        load = obs.router_load
+        order = sorted(by_router, key=lambda r: (load[r], r))
+        nodes: list[int] = []
+        for r in order:
+            for node in sorted(by_router[r]):
+                nodes.append(node)
+                if len(nodes) == req.nranks:
+                    return nodes
+        return None  # pragma: no cover - guarded by the free-node check
+
+
+class AdmissionPolicy(ControlPolicy):
+    """Defer arrivals when the machine is too full.
+
+    Declines a launch whenever fewer than ``min_free`` nodes are free
+    at the decision instant (after reserving the job's own ranks) --
+    the simplest useful admission controller, and the built-in
+    exerciser of the ``admit`` hook.  ``min_free = 0`` admits
+    everything.
+    """
+
+    name = "admission"
+
+    def __init__(self, min_free: int = 0) -> None:
+        super().__init__()
+        self.min_free = min_free
+
+    def admit(self, req: AdmissionRequest) -> bool:
+        return len(req.free_nodes) - req.nranks >= self.min_free

@@ -1,0 +1,45 @@
+"""Observation/action space descriptions (no gym dependency)."""
+
+import random
+
+import pytest
+
+from repro.env import BoxSpace, DiscreteSpace, observation_names
+
+
+def test_discrete_space_contains_and_index():
+    s = DiscreteSpace(("keep", "scripted", "defer"))
+    assert s.n == 3
+    assert s.contains("defer") and s.contains(2)
+    assert not s.contains("nope") and not s.contains(3)
+    assert not s.contains(True)  # bools are not action indices
+    assert s.index("scripted") == 1
+    assert s.index(0) == 0
+    with pytest.raises(ValueError, match="unknown action"):
+        s.index("nope")
+    with pytest.raises(ValueError, match="outside"):
+        s.index(7)
+
+
+def test_discrete_space_sample_uniform():
+    s = DiscreteSpace(("a", "b"))
+    rng = random.Random(0)
+    draws = {s.sample(rng) for _ in range(50)}
+    assert draws == {0, 1}
+
+
+def test_box_space_shape_and_contains():
+    names = observation_names(n_routers=3)
+    s = BoxSpace(names)
+    assert s.shape == (8 + 2 * 3,)
+    assert s.contains([0.0] * 14)
+    assert not s.contains([0.0] * 13)
+    assert not s.contains("nope")
+
+
+def test_observation_names_order():
+    names = observation_names(n_routers=2)
+    assert names[:8] == ("clock", "events", "jobs_total", "jobs_started",
+                         "jobs_finished", "pending", "free_nodes", "in_flight")
+    assert names[8:] == ("router_load.0", "router_load.1",
+                         "router_queue.0", "router_queue.1")

@@ -214,3 +214,50 @@ def test_engine_lookahead_ceiling_is_checked_at_build_time():
     spec = parse_scenario(data)  # parses: the ceiling needs the topology
     with pytest.raises(RegistryError, match="exceeds the minimum cross-partition"):
         run_scenario(spec)
+
+
+def test_env_table_parses_and_round_trips():
+    data = dict(GOOD)
+    data["env"] = {"policy": {"type": "admission", "min_free": 4},
+                   "window": 0.002, "reward": "comm_time"}
+    spec = parse_scenario(data)
+    assert spec.env is not None
+    assert spec.env.policy == {"type": "admission", "min_free": 4}
+    assert spec.env.window == pytest.approx(0.002)
+    assert spec.env.reward == "comm_time"
+    again = parse_scenario(spec.to_dict())
+    assert again.env == spec.env
+
+
+def test_env_table_defaults_and_alias_canonicalization():
+    data = dict(GOOD)
+    data["env"] = {"policy": "la"}  # alias -> canonical name
+    spec = parse_scenario(data)
+    assert spec.env.policy == {"type": "load-aware"}
+    assert spec.env.window is None
+    assert spec.env.reward == "avg_latency"
+    # Sparse round trip: only the non-default key survives.
+    assert spec.to_dict()["env"] == {"policy": {"type": "load-aware"}}
+
+
+def test_omitted_env_table_stays_none():
+    spec = parse_scenario(GOOD)
+    assert spec.env is None
+    assert "env" not in spec.to_dict()
+
+
+@pytest.mark.parametrize("table, match", [
+    ({"policy": "warp9"}, "unknown policy"),
+    ({"policy": {"min_free": 1}}, "env.policy.type"),
+    ({"policy": {"type": "admission", "bogus": 1}}, "unknown parameter"),
+    ({"policy": {"type": "admission", "min_free": -1}}, "must be >= 1|>= 0"),
+    ({"reward": "profit"}, "not one of"),
+    ({"window": 0}, "must be > 0"),
+    ({"window": 1.0}, "exceeds the horizon"),
+    ({"cadence": 3}, "unknown key"),
+])
+def test_env_table_validation_errors(table, match):
+    data = dict(GOOD)
+    data["env"] = table
+    with pytest.raises(ScenarioError, match=match):
+        parse_scenario(data)

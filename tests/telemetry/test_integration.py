@@ -151,7 +151,9 @@ def test_manager_rerun_replaces_instruments_instead_of_crashing():
                     params={"iters": 1, "msg_bytes": 256, "interval_s": 1e-4, "seed": 2}))
     mgr.run(until=1.0)
     first_counter = mgr.fabric.app_counter
-    mgr.run(until=1.0)  # second run on the same session must not raise
+    # Managers are single-use; reset() is the supported re-run idiom and
+    # keeps the shared telemetry session.
+    mgr.reset().run(until=1.0)
     t = mgr.telemetry
     assert t.get("net.router.app.bytes") is mgr.fabric.app_counter
     assert t.get("net.router.app.bytes") is not first_counter
@@ -168,7 +170,7 @@ def test_manager_rerun_resets_latency_histograms():
     mgr.run(until=1.0)
     first = t.get(job_key("ur", "msg_latency")).count
     assert first > 0
-    mgr.run(until=1.0)
+    mgr.reset().run(until=1.0)
     # A relaunch gets a fresh histogram, not run 1's merged into run 2.
     assert t.get(job_key("ur", "msg_latency")).count == first
 

@@ -326,3 +326,46 @@ def test_sweep_accepts_jobs_flag():
 
     args = build_parser().parse_args(["sweep", "--jobs", "3"])
     assert args.jobs == 3
+
+
+def test_env_roster(capsys):
+    assert main(["env"]) == 0
+    out = capsys.readouterr().out
+    assert "Control-policy registry" in out
+    for name in ("scripted", "load-aware", "admission", "min_free"):
+        assert name in out
+    assert "keep, scripted, load-aware, defer" in out
+    assert "docs/env.md" in out
+
+
+def test_env_episode(capsys, scenario_file, tmp_path):
+    import json
+    import math
+    out_json = tmp_path / "ep.json"
+    assert main(["env", str(scenario_file), "--json", str(out_json)]) == 0
+    out = capsys.readouterr().out
+    assert "episode: 'cli-demo'" in out
+    assert "policy 'scripted'" in out
+    assert "return " in out and "avg_latency" in out
+    data = json.loads(out_json.read_text())
+    assert math.isfinite(data["total_reward"])
+    assert data["result"]["env"]["steps"] == data["steps"]
+
+
+def test_env_episode_policy_and_actions(capsys, scenario_file):
+    assert main(["env", str(scenario_file), "--policy", "load-aware",
+                 "--seed", "3", "--window", "0.0005",
+                 "--action", "defer"]) in (0, 1)
+    out = capsys.readouterr().out
+    assert "policy 'load-aware'" in out
+    assert "seed 3" in out
+    assert "defer" in out
+
+
+def test_env_bad_arguments(capsys, scenario_file):
+    assert main(["env", str(scenario_file), "--policy", "warp9"]) == 2
+    assert "unknown policy" in capsys.readouterr().err
+    assert main(["env", str(scenario_file), "--window", "-1"]) == 2
+    assert "--window must be > 0" in capsys.readouterr().err
+    assert main(["env", str(scenario_file), "--action", "bogus"]) == 2
+    assert "unknown action" in capsys.readouterr().err

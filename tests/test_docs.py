@@ -52,6 +52,27 @@ def test_engines_doc_names_every_engine_and_param(check_docs):
     assert check_docs.check_engines_doc() >= 4
 
 
+def test_env_doc_names_every_policy_and_observation_field(check_docs):
+    # 3 policies + min_free + 15 Observation fields at minimum.
+    assert check_docs.check_env_doc() >= 19
+
+
+def test_env_doc_drift_is_caught(check_docs, tmp_path):
+    text = (REPO / "docs" / "env.md").read_text()
+    p = tmp_path / "env.md"
+    p.write_text(text.replace("`load-aware`", "`load-blind`"))
+    with pytest.raises(AssertionError, match="load-aware"):
+        check_docs.check_env_doc(p)
+
+
+def test_env_doc_missing_observation_field_is_caught(check_docs, tmp_path):
+    text = (REPO / "docs" / "env.md").read_text()
+    p = tmp_path / "env.md"
+    p.write_text(text.replace("`router_queue`", "`router_fifo`"))
+    with pytest.raises(AssertionError, match="router_queue"):
+        check_docs.check_env_doc(p)
+
+
 def test_engines_doc_drift_is_caught(check_docs, tmp_path):
     text = (REPO / "docs" / "engines.md").read_text()
     p = tmp_path / "engines.md"

@@ -1,0 +1,259 @@
+"""SimulationSession: the build/step/observe/finalize lifecycle.
+
+Covers the stepwise contract (mid-horizon steps commit the identical
+event sequence as one monolithic run, on both engines), the versioned
+observation snapshots, and the single-use guards on managers and
+sessions.
+"""
+
+import json
+
+import pytest
+
+from repro.network.dragonfly import Dragonfly1D
+from repro.pdes.sequential import SequentialEngine
+from repro.scenario import (
+    build_manager,
+    parse_scenario,
+    reduce_scenario_result,
+    run_scenario,
+)
+from repro.telemetry import OBSERVATION_SCHEMA
+from repro.union.manager import Job, WorkloadManager
+from repro.union.registry import clear_registry, register_source
+from repro.workloads.nearest_neighbor import nearest_neighbor
+from repro.workloads.uniform_random import uniform_random
+
+SYNC_SRC = (
+    "for 5 repetitions { all tasks compute for 100 microseconds then "
+    "all tasks reduce a 4 kilobyte value to all tasks }"
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    clear_registry()
+    yield
+    clear_registry()
+
+
+def _manager(seed=3, **kwargs) -> WorkloadManager:
+    mgr = WorkloadManager(Dragonfly1D.mini(), routing="adp", placement="rr",
+                          seed=seed, **kwargs)
+    mgr.add_program_job(
+        "nn", 8, nearest_neighbor,
+        {"dims": (2, 2, 2), "iters": 3, "msg_bytes": 8192})
+    mgr.add_job(Job("ur", 8, program=uniform_random,
+                    params={"iters": 5, "msg_bytes": 4096, "interval_s": 1e-5},
+                    arrival=0.0005))
+    return mgr
+
+
+def _outcome_fingerprint(outcome):
+    out = {"end": outcome.end_time,
+           "events": outcome.fabric.engine.events_processed,
+           "links": outcome.link_load_summary()}
+    for a in outcome.apps:
+        out[a.name] = (
+            sorted(a.nodes),
+            a.result.avg_latency(),
+            sorted(a.result.all_latencies()),
+            a.result.event_counts(),
+        )
+    return out
+
+
+def test_session_run_matches_manager_run():
+    ref = _outcome_fingerprint(_manager().run(until=0.1))
+    session = _manager().session()
+    outcome = session.run(until=0.1)
+    assert _outcome_fingerprint(outcome) == ref
+
+
+def test_lifecycle_explicit_steps_match_monolithic_run():
+    ref = _outcome_fingerprint(_manager().run(until=0.1))
+    session = _manager().session().build()
+    for t in (0.0003, 0.001, 0.02, 0.1):
+        reached = session.step(until=t)
+        assert reached == pytest.approx(t)
+    assert _outcome_fingerprint(session.finalize()) == ref
+
+
+@pytest.mark.parametrize("engine", [None, {"type": "conservative", "partitions": 3}])
+def test_mid_horizon_stepping_parity(engine):
+    """step(t1); step(horizon) commits the identical event sequence as
+    one run(horizon) -- on the sequential and conservative engines."""
+    kwargs = {"engine": dict(engine)} if engine else {}
+    ref = _outcome_fingerprint(_manager(**kwargs).run(until=0.05))
+    session = _manager(**kwargs).session().build()
+    session.step(until=0.0007)
+    session.step(until=0.05)
+    assert _outcome_fingerprint(session.finalize()) == ref
+
+
+@pytest.mark.parametrize("engine_table", [None, {"type": "conservative", "partitions": 3}])
+def test_stepwise_scenario_json_parity(engine_table):
+    """A windowed session reduces to scenario JSON bit-identical to the
+    monolithic run_scenario, across both engines."""
+    base = {
+        "name": "stepwise",
+        "topology": {"network": "1d", "scale": "mini"},
+        "seed": 7,
+        "horizon": 0.004,
+        "jobs": [
+            {"app": "milc", "nranks": 16},
+            {"app": "alexnet", "nranks": 16, "arrival": 0.001},
+        ],
+        "traffic": [
+            {"pattern": "uniform", "nranks": 8, "msg_bytes": 4096,
+             "interval_s": 1e-4},
+        ],
+    }
+    if engine_table:
+        base["engine"] = dict(engine_table)
+    ref = run_scenario(parse_scenario(dict(base))).to_json_dict()
+    spec = parse_scenario(dict(base))
+    session = build_manager(spec).session().build()
+    n_windows = 8
+    for k in range(1, n_windows + 1):
+        session.step(until=spec.horizon * k / n_windows)
+    got = reduce_scenario_result(spec, session.finalize()).to_json_dict()
+    if engine_table:
+        # 'windows' is an execution statistic, not simulation state:
+        # every step() boundary closes a partial YAWNS window, so the
+        # stepwise count is >= the monolithic one.  Everything the
+        # simulation *committed* must still be bit-identical.
+        assert got["engine"].pop("windows") >= ref["engine"].pop("windows")
+    assert json.dumps(got, sort_keys=True) == json.dumps(ref, sort_keys=True)
+
+
+def test_observation_snapshot_contents():
+    session = _manager().session().build()
+    obs0 = session.observe()
+    assert obs0.schema == OBSERVATION_SCHEMA
+    assert obs0.version == 1
+    assert obs0.clock == 0.0
+    assert obs0.jobs_total == 2
+    assert obs0.jobs_started == 1  # 'ur' arrives at t=0.0005
+    assert obs0.pending == ("ur",)
+    assert obs0.job_states == {"nn": "running", "ur": "pending"}
+    topo = session.manager.topo
+    assert len(obs0.router_load) == topo.n_routers
+    assert len(obs0.router_queue) == topo.n_routers
+    assert sum(obs0.router_load) == 0.0  # nothing simulated yet
+    # 'rr' placement reserves whole routers for nn's 8 ranks.
+    assert obs0.free_nodes < topo.n_nodes
+
+    session.step(until=0.01)
+    obs1 = session.observe()
+    assert obs1.version == 2
+    assert obs1.clock == pytest.approx(0.01)
+    assert obs1.events > 0
+    assert obs1.jobs_started == 2
+    assert sum(obs1.router_load) > 0
+    assert obs1.link_summary["global_total_bytes"] >= 0
+    assert obs1.n_instruments > 0
+
+    vec = obs1.to_vector()
+    assert len(vec) == 8 + 2 * topo.n_routers
+    assert all(isinstance(x, float) for x in vec)
+    d = obs1.to_dict()
+    assert json.dumps(d)  # JSON-able
+    assert d["pending"] == []
+    session.finalize()
+
+
+def test_observation_and_outcome_reprs():
+    session = _manager().session().build()
+    session.step(until=0.1)
+    obs = session.observe()
+    text = repr(obs)
+    assert text.startswith("<Observation v")
+    assert "2/2 jobs started" in text
+    assert "2 finished" in text
+    assert "instruments>" in text
+    outcome = session.finalize()
+    out = repr(outcome)
+    assert out.startswith("<RunOutcome t=")
+    assert "2 jobs started, 2 finished" in out
+
+
+def test_outcome_repr_counts_not_started():
+    mgr = WorkloadManager(Dragonfly1D.mini(), seed=1)
+    mgr.add_program_job("nn", 8, nearest_neighbor,
+                        {"dims": (2, 2, 2), "iters": 2, "msg_bytes": 1024})
+    mgr.add_job(Job("late", 8, program=uniform_random,
+                    params={"iters": 1}, arrival=99.0))
+    out = repr(mgr.run(until=0.1))
+    assert "1 jobs started" in out and "1 not started" in out
+
+
+def test_manager_is_single_use():
+    mgr = _manager()
+    mgr.run(until=0.01)
+    with pytest.raises(RuntimeError, match=r"single-use.*reset\(\)"):
+        mgr.run(until=0.01)
+    with pytest.raises(RuntimeError, match=r"single-use.*reset\(\)"):
+        mgr.session()
+
+
+def test_manager_reset_allows_identical_rerun():
+    mgr = _manager()
+    first = _outcome_fingerprint(mgr.run(until=0.05))
+    second = _outcome_fingerprint(mgr.reset().run(until=0.05))
+    assert second == first
+
+
+def test_reset_refuses_ready_engine_instance():
+    mgr = WorkloadManager(Dragonfly1D.mini(), engine=SequentialEngine())
+    mgr.add_program_job("nn", 8, nearest_neighbor,
+                        {"dims": (2, 2, 2), "iters": 2, "msg_bytes": 1024})
+    mgr.run(until=0.05)
+    with pytest.raises(RuntimeError, match="cannot reset"):
+        mgr.reset()
+
+
+def test_session_build_is_single_use():
+    session = _manager().session()
+    session.build()
+    with pytest.raises(RuntimeError, match="already built"):
+        session.build()
+
+
+def test_step_and_observe_require_build():
+    session = _manager().session()
+    with pytest.raises(RuntimeError, match=r"cannot step before build\(\)"):
+        session.step(until=1.0)
+    with pytest.raises(RuntimeError, match=r"cannot observe before build\(\)"):
+        session.observe()
+    with pytest.raises(RuntimeError, match=r"cannot finalize before build\(\)"):
+        session.finalize()
+
+
+def test_step_after_finalize_raises():
+    session = _manager().session().build()
+    session.step(until=0.01)
+    session.finalize()
+    with pytest.raises(RuntimeError, match="finalized"):
+        session.step(until=0.02)
+    # finalize stays idempotent.
+    assert session.finalize() is session.finalize()
+
+
+def test_step_backwards_raises():
+    session = _manager().session().build()
+    session.step(until=0.01)
+    with pytest.raises(ValueError, match="cannot step backwards"):
+        session.step(until=0.001)
+
+
+def test_sessions_share_telemetry_supersession_on_reset():
+    """reset() + rerun re-registers instruments into the same telemetry
+    session (replace=True supersession) instead of crashing."""
+    mgr = _manager()
+    mgr.run(until=0.01)
+    t = mgr.telemetry
+    n = len(t.instruments())
+    mgr.reset().run(until=0.01)
+    assert mgr.telemetry is t
+    assert len(t.instruments()) == n
