@@ -10,8 +10,8 @@ Three invariants keep the docs honest:
    parse *and* validate through :func:`repro.scenario.parse_scenario` --
    the format reference cannot show a spec the parser would reject.
 3. ``docs/registry.md`` must name every registered component
-   (topologies, routings, placements), so the roster tables cannot
-   silently drift from :mod:`repro.registry`.
+   (topologies, routings, placements, scenario generators), so the
+   roster tables cannot silently drift from :mod:`repro.registry`.
 4. ``docs/telemetry.md`` must name every registered telemetry sink and
    instrument kind (from :data:`repro.telemetry.SINK_KINDS` /
    :data:`repro.telemetry.INSTRUMENT_KINDS`) *and* their classes, so
@@ -24,6 +24,10 @@ Three invariants keep the docs honest:
    :class:`~repro.union.session.Observation` snapshot, so the control
    surface reference cannot drift from :mod:`repro.registry.policies`
    or the observation schema.
+7. ``docs/faults.md`` must name every fault kind
+   (:data:`repro.scenario.FAULT_KINDS`), every scenario generator and
+   every fuzz invariant (:data:`repro.fuzz.INVARIANTS`), so the
+   fault/fuzz reference cannot drift from the code.
 
 Run directly (``python scripts/check_docs.py``) or via pytest
 (``tests/test_docs.py`` wraps the same functions).
@@ -113,13 +117,19 @@ def check_registry_doc(path: Path = DOCS / "registry.md") -> int:
     Names must appear backtick-quoted (as in the roster tables).
     Returns the number of component names checked.
     """
-    from repro.registry import all_routing_names, placement_registry, topology_registry
+    from repro.registry import (
+        all_routing_names,
+        available_generators,
+        placement_registry,
+        topology_registry,
+    )
 
     text = path.read_text()
     names = (
         list(topology_registry.names())
         + list(all_routing_names())
         + list(placement_registry.names())
+        + list(available_generators())
     )
     missing = [n for n in names if f"`{n}`" not in text]
     assert not missing, (
@@ -195,6 +205,27 @@ def check_env_doc(path: Path = DOCS / "env.md") -> int:
     return len(names)
 
 
+def check_faults_doc(path: Path = DOCS / "faults.md") -> int:
+    """docs/faults.md must name every fault kind, generator, invariant.
+
+    Names must appear backtick-quoted (as in the kind/generator/
+    invariant tables).  Returns the number of names checked.
+    """
+    from repro.fuzz import INVARIANTS
+    from repro.registry import available_generators
+    from repro.scenario import FAULT_KINDS
+
+    text = path.read_text()
+    names = list(FAULT_KINDS) + list(available_generators()) + list(INVARIANTS)
+    missing = [n for n in names if f"`{n}`" not in text]
+    assert not missing, (
+        f"{path} does not mention fault kind/generator/invariant name(s) "
+        f"{missing}; update the reference tables (names must be "
+        "backtick-quoted)"
+    )
+    return len(names)
+
+
 def main() -> int:
     check_cli_doc()
     n = check_scenario_snippets()
@@ -202,12 +233,14 @@ def main() -> int:
     k = check_telemetry_doc()
     e = check_engines_doc()
     v = check_env_doc()
+    f = check_faults_doc()
     print(f"docs OK: cli.md covers all {len(registered_subcommands())} subcommands; "
           f"{n} scenarios.md snippets validate; "
           f"registry.md names all {m} components; "
           f"telemetry.md names all {k} sinks/instrument kinds; "
           f"engines.md names all {e} engines/parameters; "
-          f"env.md names all {v} policies/observation fields")
+          f"env.md names all {v} policies/observation fields; "
+          f"faults.md names all {f} fault kinds/generators/invariants")
     return 0
 
 

@@ -9,6 +9,7 @@ Subcommands
 ``scenario``   -- run a declarative TOML/JSON scenario spec
 ``batch``      -- run every scenario spec in a directory, one summary
 ``env``        -- roll a scenario as a gym-style episode (or list policies)
+``fuzz``       -- property-check generated scenarios over a seed sweep
 ``sweep``      -- run the full Figure 7/9 sweep and print summaries
 ``systems``    -- print the Table II system configurations
 ``topologies`` -- print the full fabric-model roster
@@ -380,6 +381,36 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if not batch.failures else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fuzz import fuzz_seeds, render_fuzz_report
+    from repro.registry import RegistryError, generator_registry
+    from repro.scenario import ScenarioError
+
+    try:
+        generator_registry.get(args.generator, path="generator")
+        report = fuzz_seeds(
+            args.generator,
+            seeds=args.seeds,
+            base_seed=args.base_seed,
+            jobs=args.jobs,
+            parity_stride=args.parity_stride,
+            repro_dir=args.repro_dir,
+            shrink=not args.no_shrink,
+        )
+    except (RegistryError, ScenarioError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_fuzz_report(report))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_json_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
+
+
 def _cmd_env(args: argparse.Namespace) -> int:
     import json
     import math
@@ -662,6 +693,34 @@ def build_parser() -> argparse.ArgumentParser:
     n.add_argument("--json", default=None, metavar="FILE",
                    help="also write the episode record and result as JSON")
     n.set_defaults(fn=_cmd_env)
+
+    f = sub.add_parser(
+        "fuzz",
+        help="property-check generated scenarios over a seed sweep",
+        description="Generate scenarios from a registered generator over "
+                    "a contiguous seed range, run each one, and check the "
+                    "invariant roster (conservation, no stuck jobs, "
+                    "determinism, engine parity, monotone clocks); failing "
+                    "cases are shrunk to a minimal TOML repro.")
+    f.add_argument("--seeds", type=int, default=50, metavar="N",
+                   help="seeds to sweep (default 50)")
+    f.add_argument("--base-seed", type=int, default=0, metavar="S",
+                   help="first seed of the sweep (default 0)")
+    f.add_argument("--jobs", type=int, default=1, metavar="M",
+                   help="worker processes for the sweep (default 1)")
+    f.add_argument("--generator", default="random-mix",
+                   help="scenario generator to fuzz (default random-mix; "
+                        "see docs/scenarios.md for the roster)")
+    f.add_argument("--parity-stride", type=int, default=5, metavar="K",
+                   help="run the engine-parity invariant on every K-th "
+                        "case (0 disables it; default 5)")
+    f.add_argument("--repro-dir", default="fuzz-repros", metavar="DIR",
+                   help="directory for shrunken failing-case TOML repros")
+    f.add_argument("--no-shrink", action="store_true",
+                   help="report failures without shrinking them")
+    f.add_argument("--json", default=None, metavar="FILE",
+                   help="also write the sweep report as JSON")
+    f.set_defaults(fn=_cmd_fuzz)
 
     o = sub.add_parser("topologies", help="print the fabric-model registry")
     o.add_argument("--scale", choices=["mini", "paper"], default="mini",

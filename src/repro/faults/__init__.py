@@ -1,0 +1,30 @@
+"""Fault injection: scheduled fabric/storage degradation as events.
+
+Faults are declared in a scenario's ``[[faults]]`` table (parsed and
+validated by :mod:`repro.scenario.spec`) and lowered onto the engine
+control plane here: the :class:`FaultPlane` registers one controller LP
+and schedules a ``fault_on``/``fault_off`` control event per entry, so
+fault transitions commit in the same deterministic event order on every
+engine -- a faulted run is still bit-identical between the sequential
+and the conservative engine, and between two runs of the same spec.
+
+Four fault kinds (``docs/faults.md``):
+
+``link-degrade``
+    Scale one link's bandwidth by ``factor`` in both directions; any
+    routing may keep using it (slower).
+``link-down``
+    Take one link out: adaptive routings steer around it (the scenario
+    parser rejects deterministic routings up front).
+``router-down``
+    Take one router out of transit: paths avoid it, and its attached
+    nodes are masked from new job placements while it is down.
+``storage-slow``
+    Multiply every storage server's service time by ``factor``.
+
+Telemetry lives under ``net.fault.*``.
+"""
+
+from repro.faults.plane import FaultPlane
+
+__all__ = ["FaultPlane"]

@@ -1,0 +1,304 @@
+"""FaultPlane: schedule, apply and revert fabric/storage faults.
+
+The plane owns the *mechanics* of fault injection; the *declaration*
+lives in the scenario spec (``[[faults]]`` entries, already validated
+for shape and routing capability by :mod:`repro.scenario.spec`).  One
+controller LP is registered on the run's engine and every entry becomes
+a pair of control events (``schedule_control`` at ``start`` and
+``start + duration``) -- the control plane is exempt from the
+partitioned engines' cross-partition lookahead contract, and events
+commit in the deterministic global merge order, so a faulted run stays
+bit-identical across engines and across repeated runs.
+
+Application per kind:
+
+* ``link-degrade`` rewrites the affected :class:`RouterLP` port tuples
+  (both directions) with the scaled bandwidth and restores the saved
+  originals at ``fault_off`` -- zero cost on the forwarding hot path.
+* ``link-down`` / ``router-down`` publish the dead element into
+  ``dead_links`` / ``failed_routers``; the fabric's routing policies
+  are wrapped in :class:`~repro.network.routing.FaultAwareRouting`,
+  which re-draws candidate paths until one avoids every dead element
+  (counting ``net.fault.avoided`` / ``net.fault.unavoidable``).
+  Packets already in flight complete their journey: delivery stays
+  guaranteed, which is what keeps the byte-conservation invariant
+  checkable under faults.
+* ``router-down`` additionally masks the router's attached nodes out of
+  the session's free pool, so arrivals cannot be placed on a dead
+  router mid-outage (a placement that no longer fits is reported
+  ``not_started`` with the fault named in the reason).
+* ``storage-slow`` swaps every :class:`StorageServer`'s config for a
+  copy with ``factor``-scaled service time, and swaps the originals
+  back at ``fault_off``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.pdes.event import Event, Priority
+from repro.pdes.lp import LP
+from repro.telemetry import metric_segment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.fabric import NetworkFabric
+    from repro.union.session import SimulationSession
+
+#: Fault kinds that remove an element (mirrors
+#: :data:`repro.scenario.spec.DOWN_FAULT_KINDS` without the import --
+#: the plane only duck-types its entries).
+_DOWN_KINDS = ("link-down", "router-down")
+
+#: Candidate re-draws before a dead element is declared unavoidable.
+_AVOID_TRIES = 8
+
+
+class _FaultLP(LP):
+    """Controller LP: receives the fault on/off control events."""
+
+    __slots__ = ("plane",)
+
+    def __init__(self, plane: "FaultPlane") -> None:
+        super().__init__()
+        self.plane = plane
+
+    def handle(self, event: Event) -> None:
+        if event.kind == "fault_on":
+            self.plane._apply(event.data)
+        elif event.kind == "fault_off":
+            self.plane._revert(event.data)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"fault plane got unknown event kind {event.kind!r}")
+
+
+class FaultPlane:
+    """Lower a scenario's fault entries onto one run's control plane.
+
+    ``entries`` are :class:`~repro.scenario.spec.FaultEntry`-shaped
+    objects (``name``/``kind``/``start``/``duration``/``router``/
+    ``router_b``/``factor``); the plane range-checks them against the
+    live topology, which the parser could not.  ``session`` enables the
+    placement-masking side of ``router-down``; ``storage`` (a
+    :class:`~repro.storage.system.StorageSystem`) is required for
+    ``storage-slow`` entries.
+    """
+
+    def __init__(
+        self,
+        entries: Sequence[Any],
+        fabric: "NetworkFabric",
+        storage: Any = None,
+        session: "SimulationSession | None" = None,
+    ) -> None:
+        self.entries = list(entries)
+        self.fabric = fabric
+        self.storage = storage
+        self.session = session
+        self._validate(fabric.topo)
+        #: Currently active faults, by name.
+        self.active: dict[str, Any] = {}
+        #: Routers out of transit service right now.
+        self.failed_routers: set[int] = set()
+        #: Directed router pairs whose link is out right now.
+        self.dead_links: set[tuple[int, int]] = set()
+        #: fault_on/fault_off events committed.
+        self.transitions = 0
+        #: Path selections re-drawn around a dead element / stuck with one.
+        self.avoided = 0
+        self.unavoidable = 0
+        # Saved state for reverts, keyed by fault name.
+        self._saved_ports: dict[str, list[tuple[int, int, tuple]]] = {}
+        self._saved_configs: dict[str, list[tuple[Any, Any]]] = {}
+        self._masked: dict[str, set[int]] = {}
+        self._lp: _FaultLP | None = None
+        t = fabric.telemetry
+        t.gauge("net.fault.active", unit="faults", replace=True,
+                doc="faults currently applied", fn=lambda: len(self.active))
+        t.gauge("net.fault.transitions", unit="events", replace=True,
+                doc="fault on/off control events committed",
+                fn=lambda: self.transitions)
+        t.gauge("net.fault.avoided", unit="paths", replace=True,
+                doc="path selections re-drawn around a dead element",
+                fn=lambda: self.avoided)
+        t.gauge("net.fault.unavoidable", unit="paths", replace=True,
+                doc="path selections that could not avoid a dead element",
+                fn=lambda: self.unavoidable)
+        self._gauges = {
+            e.name: t.gauge(f"net.fault.{metric_segment(e.name)}.active",
+                            replace=True,
+                            doc=f"1 while fault {e.name!r} ({e.kind}) is applied")
+            for e in self.entries
+        }
+
+    def _validate(self, topo) -> None:
+        for e in self.entries:
+            where = f"fault {e.name!r} ({e.kind})"
+            if e.kind in ("link-degrade", "link-down"):
+                for r in (e.router, e.router_b):
+                    if not 0 <= r < topo.n_routers:
+                        raise ValueError(
+                            f"{where}: router {r} out of range "
+                            f"[0, {topo.n_routers}) on this topology")
+                if e.router_b not in topo.ports_to_router[e.router]:
+                    raise ValueError(
+                        f"{where}: routers {e.router} and {e.router_b} are "
+                        "not directly linked on this topology")
+            elif e.kind == "router-down":
+                if not 0 <= e.router < topo.n_routers:
+                    raise ValueError(
+                        f"{where}: router {e.router} out of range "
+                        f"[0, {topo.n_routers}) on this topology")
+            elif e.kind == "storage-slow":
+                if self.storage is None:
+                    raise ValueError(
+                        f"{where}: the run has no storage servers to slow "
+                        "down (configure storage_nodes / [storage])")
+            else:
+                raise ValueError(f"{where}: unknown fault kind")
+
+    # -- install -----------------------------------------------------------
+    @property
+    def needs_avoidance(self) -> bool:
+        """Whether any entry requires routing around a dead element."""
+        return any(e.kind in _DOWN_KINDS for e in self.entries)
+
+    def install(self) -> None:
+        """Register the controller LP and schedule every transition.
+
+        Fault state changes carry CONTROL priority, so at their exact
+        timestamp they commit before any model traffic.
+        """
+        engine = self.fabric.engine
+        self._lp = _FaultLP(self)
+        engine.register(self._lp, partition=0)
+        for e in self.entries:
+            engine.schedule_control(e.start, self._lp.lp_id, "fault_on", e,
+                                    priority=Priority.CONTROL)
+            engine.schedule_control(e.start + e.duration, self._lp.lp_id,
+                                    "fault_off", e, priority=Priority.CONTROL)
+        if self.needs_avoidance:
+            self.fabric.attach_fault_plane(self)
+
+    # -- routing-facing state ---------------------------------------------
+    def blocked(self, path: Sequence[int]) -> bool:
+        """Whether ``path`` crosses a dead link or a failed transit router.
+
+        Endpoint routers are exempt: a packet sourced at (or destined
+        to) a failed router's own terminal has nowhere else to go.
+        """
+        fr = self.failed_routers
+        if fr and len(path) > 2:
+            for r in path[1:-1]:
+                if r in fr:
+                    return True
+        dl = self.dead_links
+        if dl:
+            prev = path[0]
+            for nxt in path[1:]:
+                if (prev, nxt) in dl:
+                    return True
+                prev = nxt
+        return False
+
+    def describe_active(self) -> str:
+        """Names of the currently active faults, for skip reasons."""
+        if not self.active:
+            return ""
+        return ", ".join(sorted(self.active))
+
+    # -- transitions -------------------------------------------------------
+    def _apply(self, e: Any) -> None:
+        self.transitions += 1
+        self.active[e.name] = e
+        self._gauges[e.name].set(1)
+        if e.kind == "link-degrade":
+            self._scale_link(e)
+        elif e.kind == "link-down":
+            self.dead_links.add((e.router, e.router_b))
+            self.dead_links.add((e.router_b, e.router))
+        elif e.kind == "router-down":
+            self.failed_routers.add(e.router)
+            self._mask_router(e)
+        else:  # storage-slow
+            self._slow_storage(e)
+
+    def _revert(self, e: Any) -> None:
+        self.transitions += 1
+        self.active.pop(e.name, None)
+        self._gauges[e.name].set(0)
+        if e.kind == "link-degrade":
+            for rid, port, original in self._saved_ports.pop(e.name, ()):
+                self.fabric.routers[rid].restore_port(port, original)
+        elif e.kind == "link-down":
+            self.dead_links.discard((e.router, e.router_b))
+            self.dead_links.discard((e.router_b, e.router))
+        elif e.kind == "router-down":
+            self.failed_routers.discard(e.router)
+            self._unmask_router(e)
+        else:  # storage-slow
+            for server, original in self._saved_configs.pop(e.name, ()):
+                server.config = original
+
+    def _scale_link(self, e: Any) -> None:
+        saved = self._saved_ports[e.name] = []
+        for a, b in ((e.router, e.router_b), (e.router_b, e.router)):
+            router = self.fabric.routers[a]
+            for port in self.fabric.topo.ports_to_router[a][b]:
+                saved.append((a, port,
+                              router.scale_port_bandwidth(port, e.factor)))
+
+    def _slow_storage(self, e: Any) -> None:
+        saved = self._saved_configs[e.name] = []
+        for server in self.storage.servers:
+            original = server.config
+            server.config = replace(
+                original,
+                write_bw=original.write_bw / e.factor,
+                read_bw=original.read_bw / e.factor,
+                access_latency=original.access_latency * e.factor,
+            )
+            saved.append((server, original))
+
+    # -- placement masking (router-down) -----------------------------------
+    def _mask_router(self, e: Any) -> None:
+        if self.session is None:
+            return
+        nodes = set(self.fabric.topo.nodes_of_router(e.router))
+        self._masked[e.name] = self.session.fault_mask_nodes(nodes)
+
+    def _unmask_router(self, e: Any) -> None:
+        if self.session is None:
+            return
+        nodes = self._masked.pop(e.name, set())
+        # A node may sit under *another* still-failed router (overlapping
+        # outages): keep it masked under that fault instead of freeing it.
+        free, _ = self._split_by_failed(nodes)
+        self.session.fault_unmask_nodes(free)
+
+    def absorb_freed(self, nodes: Iterable[int]) -> set[int]:
+        """Filter nodes a finished job returns to the free pool.
+
+        Nodes attached to a currently-failed router are captured into
+        that fault's masked set (released at its ``fault_off``); the
+        rest pass through.
+        """
+        free, _ = self._split_by_failed(set(nodes))
+        return free
+
+    def _split_by_failed(self, nodes: set[int]) -> tuple[set[int], set[int]]:
+        """Partition ``nodes``; failed-router nodes are re-masked under
+        the covering active ``router-down`` fault."""
+        if not self.failed_routers:
+            return nodes, set()
+        topo = self.fabric.topo
+        still_down = {n for n in nodes
+                      if topo.router_of_node(n) in self.failed_routers}
+        if still_down:
+            for fault in self.active.values():
+                if fault.kind == "router-down":
+                    captured = {n for n in still_down
+                                if topo.router_of_node(n) == fault.router}
+                    if captured:
+                        self._masked.setdefault(fault.name, set()).update(captured)
+        return nodes - still_down, still_down

@@ -1,0 +1,29 @@
+"""Property-based fuzzing of the simulator (``union-sim fuzz``).
+
+Sweeps generated scenarios (:mod:`repro.generate`) over a seed range
+and checks every run against the named invariant roster -- byte
+conservation, no stuck jobs, determinism, engine parity, monotone
+clocks (:mod:`repro.fuzz.invariants`).  Failing cases are shrunk to a
+minimal TOML reproduction (:mod:`repro.fuzz.harness`).
+"""
+
+from repro.fuzz.harness import (
+    FuzzCase,
+    FuzzReport,
+    check_mapping,
+    fuzz_seeds,
+    render_fuzz_report,
+    shrink_mapping,
+)
+from repro.fuzz.invariants import INVARIANTS, FuzzContext
+
+__all__ = [
+    "FuzzCase",
+    "FuzzContext",
+    "FuzzReport",
+    "INVARIANTS",
+    "check_mapping",
+    "fuzz_seeds",
+    "render_fuzz_report",
+    "shrink_mapping",
+]

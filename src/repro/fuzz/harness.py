@@ -1,0 +1,231 @@
+"""Seed-sweep fuzzing: generate, run, check, shrink.
+
+:func:`fuzz_seeds` drives one generator over a contiguous seed range,
+checks every :data:`~repro.fuzz.invariants.INVARIANTS` property on each
+generated scenario (fanning cases across a process pool via the batch
+runner's :func:`~repro.scenario.batch.pool_map`), and greedily shrinks
+every failing case to a minimal TOML reproduction on disk -- the
+artifact a human (or CI) picks up to debug.
+
+Shrinking is classic delta-debugging greed: repeatedly try dropping one
+traffic entry, one fault, one job (never the last) or halving the
+horizon, keeping any candidate that still fails some invariant.
+Candidates that no longer *parse* are rejected -- an invalid spec is
+not a smaller reproduction, it is a different bug.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.generate import generate_mapping
+from repro.scenario import ScenarioError, dump_toml, pool_map
+from repro.fuzz.invariants import INVARIANTS, FuzzContext
+
+#: Floor below which the shrinker stops halving the horizon.
+_MIN_HORIZON = 1e-4
+
+
+@dataclass
+class FuzzCase:
+    """Outcome of one fuzzed seed."""
+
+    seed: int
+    name: str
+    violations: list[str]
+    parity_checked: bool
+    #: The generated scenario mapping (kept for shrinking/repros).
+    mapping: dict[str, Any] = field(repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class FuzzReport:
+    """One ``fuzz_seeds`` sweep, as plain data."""
+
+    generator: str
+    base_seed: int
+    seeds: int
+    cases: list[FuzzCase]
+    #: Failing seed -> path of the shrunken TOML repro (when written).
+    repros: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def failures(self) -> list[FuzzCase]:
+        return [c for c in self.cases if not c.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "generator": self.generator,
+            "base_seed": self.base_seed,
+            "seeds": self.seeds,
+            "failures": len(self.failures),
+            "invariants": list(INVARIANTS),
+            "cases": [
+                {"seed": c.seed, "name": c.name, "ok": c.ok,
+                 "parity_checked": c.parity_checked,
+                 "violations": list(c.violations)}
+                for c in self.cases
+            ],
+            "repros": {str(s): p for s, p in self.repros.items()},
+        }
+
+
+def check_mapping(mapping: Mapping[str, Any], parity: bool = False,
+                  invariants: "Mapping[str, Callable] | None" = None) -> list[str]:
+    """Every invariant violation one scenario mapping exhibits.
+
+    A check that *raises* is itself recorded as a violation -- a
+    crashing simulation is precisely what fuzzing exists to catch --
+    except for :class:`ScenarioError`, which propagates: the mapping
+    never made it into a simulation.
+    """
+    ctx = FuzzContext(mapping, parity=parity)
+    violations = []
+    for name, check in (invariants or INVARIANTS).items():
+        try:
+            violations.extend(f"{name}: {v}" for v in check(ctx))
+        except ScenarioError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - the point of fuzzing
+            violations.append(f"{name}: raised {type(exc).__name__}: {exc}")
+    return violations
+
+
+def _fuzz_case(args: tuple) -> dict[str, Any]:
+    """Pool worker: generate one seed's scenario and check it."""
+    generator, seed, parity = args
+    mapping = generate_mapping(generator, seed)
+    return {
+        "seed": seed,
+        "name": mapping.get("name", f"fuzz-{seed}"),
+        "parity": parity,
+        "mapping": mapping,
+        "violations": check_mapping(mapping, parity=parity),
+    }
+
+
+# -- shrinking ---------------------------------------------------------------
+
+def _shrink_candidates(mapping: dict[str, Any]):
+    """Smaller mappings to try, most-aggressive-first."""
+    for key in ("traffic", "faults", "jobs"):
+        entries = mapping.get(key, [])
+        floor = 1 if key == "jobs" else 0
+        for i in range(len(entries)):
+            if len(entries) <= floor:
+                break
+            cand = copy.deepcopy(mapping)
+            del cand[key][i]
+            if key in ("traffic", "faults") and not cand[key]:
+                del cand[key]
+                if key == "faults":
+                    cand.pop("storage", None)
+            yield cand
+    horizon = mapping.get("horizon")
+    if isinstance(horizon, float) and horizon / 2 >= _MIN_HORIZON:
+        cand = copy.deepcopy(mapping)
+        cand["horizon"] = horizon / 2
+        yield cand
+
+
+def _still_fails(mapping: dict[str, Any], parity: bool,
+                 invariants: "Mapping[str, Callable] | None") -> bool:
+    try:
+        return bool(check_mapping(mapping, parity=parity,
+                                  invariants=invariants))
+    except ScenarioError:
+        # Shrinking made the spec invalid: reject the candidate.
+        return False
+
+
+def shrink_mapping(mapping: Mapping[str, Any], parity: bool = False,
+                   max_steps: int = 200,
+                   invariants: "Mapping[str, Callable] | None" = None) -> dict[str, Any]:
+    """Greedily reduce a failing mapping while it keeps failing.
+
+    ``invariants`` restricts the per-candidate re-check (normally to the
+    invariants that failed originally -- re-proving the passing ones on
+    every candidate would multiply the shrink cost for nothing).
+    """
+    current = copy.deepcopy(dict(mapping))
+    for _ in range(max_steps):
+        for cand in _shrink_candidates(current):
+            if _still_fails(cand, parity, invariants):
+                current = cand
+                break
+        else:
+            return current
+    return current
+
+
+# -- the sweep ---------------------------------------------------------------
+
+def fuzz_seeds(
+    generator: "str | Mapping[str, Any]" = "random-mix",
+    seeds: int = 50,
+    base_seed: int = 0,
+    jobs: int = 1,
+    parity_stride: int = 5,
+    repro_dir: "str | Path | None" = None,
+    shrink: bool = True,
+) -> FuzzReport:
+    """Fuzz ``seeds`` consecutive seeds of one generator.
+
+    Every ``parity_stride``-th case additionally runs the (2x-cost)
+    engine-parity invariant.  Failing cases are shrunk to minimal
+    mappings; when ``repro_dir`` is given each shrunken repro is
+    written there as ``repro-<name>.toml`` for offline replay via
+    ``union-sim scenario``.
+    """
+    gen_name = generator if isinstance(generator, str) else \
+        str(generator.get("type", "generator"))
+    work = [(generator, base_seed + i, parity_stride > 0 and i % parity_stride == 0)
+            for i in range(seeds)]
+    raw = pool_map(_fuzz_case, work, workers=jobs)
+    cases = [FuzzCase(seed=r["seed"], name=r["name"], violations=r["violations"],
+                      parity_checked=r["parity"], mapping=r["mapping"])
+             for r in raw]
+    report = FuzzReport(generator=gen_name, base_seed=base_seed,
+                        seeds=seeds, cases=cases)
+    if shrink:
+        for case in report.failures:
+            failed = {v.split(":", 1)[0] for v in case.violations}
+            subset = {k: f for k, f in INVARIANTS.items() if k in failed}
+            small = shrink_mapping(case.mapping, parity=case.parity_checked,
+                                   invariants=subset or None)
+            case.mapping = small
+            if repro_dir is not None:
+                out = Path(repro_dir)
+                out.mkdir(parents=True, exist_ok=True)
+                path = out / f"repro-{case.name}.toml"
+                path.write_text(dump_toml(small))
+                report.repros[case.seed] = str(path)
+    return report
+
+
+def render_fuzz_report(report: FuzzReport) -> str:
+    """Human-readable sweep summary for the CLI."""
+    lines = [
+        f"fuzz: generator={report.generator} seeds={report.seeds} "
+        f"(base {report.base_seed}), invariants: {', '.join(INVARIANTS)}",
+    ]
+    parity_n = sum(1 for c in report.cases if c.parity_checked)
+    lines.append(f"  {len(report.cases) - len(report.failures)}/{len(report.cases)} "
+                 f"cases clean ({parity_n} with engine parity)")
+    for case in report.failures:
+        lines.append(f"  FAIL seed {case.seed} ({case.name}):")
+        lines.extend(f"    - {v}" for v in case.violations)
+        if case.seed in report.repros:
+            lines.append(f"    shrunken repro: {report.repros[case.seed]}")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Generative scenarios: seed -> valid, runnable :class:`ScenarioSpec`.
+
+The factories live in :mod:`repro.generate.builtin`; the roster is the
+``generator`` registry family (:mod:`repro.registry.generators`).
+:func:`generate_scenario` is the validating entry point -- every
+generated mapping goes through the *real* scenario parser, so a
+generator bug surfaces as a loud :class:`ScenarioError` instead of a
+silently-wrong simulation, and every emitted spec round-trips through
+:func:`repro.scenario.to_toml` bit-identically (property-tested in
+``tests/scenario/test_generated_roundtrip.py``).
+"""
+
+from repro.generate.api import generate_mapping, generate_scenario
+
+__all__ = ["generate_mapping", "generate_scenario"]

@@ -1,0 +1,28 @@
+"""Validating entry points over the generator registry."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.registry.generators import build_generator
+from repro.scenario import ScenarioSpec, parse_scenario
+
+
+def generate_mapping(generator: "str | Mapping[str, Any]", seed: int) -> dict:
+    """The raw scenario mapping one generator emits for ``seed``.
+
+    The mapping is the plain TOML shape (tables and scalars only); use
+    :func:`generate_scenario` when you want it validated and parsed.
+    """
+    return build_generator(generator, seed)
+
+
+def generate_scenario(generator: "str | Mapping[str, Any]", seed: int) -> ScenarioSpec:
+    """Generate and validate one scenario.
+
+    Runs the emitted mapping through :func:`repro.scenario.parse_scenario`
+    -- the same code path TOML files take -- so the returned spec is
+    exactly what loading the serialized form would produce.
+    """
+    data = generate_mapping(generator, seed)
+    return parse_scenario(data, name=data.get("name", f"generated-{seed}"))

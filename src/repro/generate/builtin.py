@@ -1,0 +1,181 @@
+"""Built-in scenario generators (the ``generator`` registry roster).
+
+Every factory maps ``(seed, **params) -> dict`` deterministically: the
+same seed always emits the same mapping, bit for bit -- the fuzz
+harness's determinism and shrinking guarantees build on that.  All
+randomness flows through one :class:`~repro.pdes.rng.SplitMix` stream
+seeded from the scenario seed; no wall-clock, no global state.
+
+Generated scenarios target the default mini dragonfly fabric (144
+nodes, 72 routers in 9 all-to-all groups) with ``adp`` routing, so
+down-kind fault entries always pass the routing capability check and
+any same-group router pair is a valid link.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.pdes.rng import SplitMix
+from repro.workloads.catalog import app_catalog
+
+#: Mini dragonfly1d group shape (the generators' fixed target fabric).
+_N_GROUPS = 9
+_ROUTERS_PER_GROUP = 8
+
+#: Catalog apps with a finite iteration count (``ur`` runs endlessly and
+#: would dominate every mix, so background load is modeled with
+#: [[traffic]] injectors instead).
+_FINITE_APPS = ("alexnet", "nn", "milc", "lammps", "cosmoflow", "nekbone")
+
+_MSG_SIZES = (1024, 4096, 8192, 16384, 65536)
+
+#: Fault kinds the random-mix generator sprinkles (mirrors
+#: :data:`repro.scenario.spec.FAULT_KINDS`).
+_FAULT_KINDS = ("link-degrade", "link-down", "router-down", "storage-slow")
+
+
+def _same_group_link(rng: SplitMix) -> tuple[int, int]:
+    """A random distinct same-group router pair (always linked: groups
+    are all-to-all in dragonfly1d)."""
+    g = rng.randint(_N_GROUPS)
+    a = rng.randint(_ROUTERS_PER_GROUP)
+    b = (a + 1 + rng.randint(_ROUTERS_PER_GROUP - 1)) % _ROUTERS_PER_GROUP
+    return g * _ROUTERS_PER_GROUP + a, g * _ROUTERS_PER_GROUP + b
+
+
+def _draw_jobs(rng: SplitMix, n: int, horizon: float) -> list[dict]:
+    """``n`` catalog jobs; job 0 arrives at t=0, the rest stagger in."""
+    catalog = app_catalog("mini")
+    out: list[dict] = []
+    arrival = 0.0
+    for i in range(n):
+        app = _FINITE_APPS[rng.randint(len(_FINITE_APPS))]
+        entry: dict = {"app": app, "name": f"{app}{i}"}
+        if arrival > 0.0:
+            entry["arrival"] = arrival
+        assert catalog[app].nranks >= 1
+        out.append(entry)
+        arrival += 0.0002 + rng.random() * horizon / 8
+    return out
+
+
+def _uniform_injector(rng: SplitMix, i: int, horizon: float) -> dict:
+    return {
+        "name": f"bg{i}",
+        "pattern": "uniform",
+        "nranks": (4, 8, 16)[rng.randint(3)],
+        "iters": 20 + rng.randint(80),
+        "interval_s": 2e-5 * (1.0 + rng.random()),
+        "msg_bytes": _MSG_SIZES[rng.randint(4)],
+        "arrival": rng.random() * horizon / 4,
+    }
+
+
+def random_mix(seed: int, *, jobs: int = 3, traffic: int = 1,
+               faults: int = 0, horizon: float = 0.006) -> dict:
+    """Random catalog job mix + background injectors + optional faults."""
+    rng = SplitMix(seed, 0x6D69)  # "mi"
+    data: dict = {
+        "name": f"random-mix-{seed}",
+        "seed": seed,
+        "horizon": horizon,
+        "routing": "adp",
+        "jobs": _draw_jobs(rng, jobs, horizon),
+    }
+    if traffic:
+        data["traffic"] = [_uniform_injector(rng, i, horizon)
+                           for i in range(traffic)]
+    if faults:
+        entries = []
+        needs_storage = False
+        for _ in range(faults):
+            kind = _FAULT_KINDS[rng.randint(len(_FAULT_KINDS))]
+            start = rng.random() * horizon / 2
+            entry: dict = {
+                "kind": kind,
+                "start": start,
+                "duration": horizon / 10 + rng.random() * horizon / 4,
+            }
+            if kind in ("link-degrade", "link-down"):
+                entry["router"], entry["router_b"] = _same_group_link(rng)
+            elif kind == "router-down":
+                entry["router"] = rng.randint(_N_GROUPS * _ROUTERS_PER_GROUP)
+            if kind == "link-degrade":
+                entry["factor"] = 0.05 + 0.3 * rng.random()
+            elif kind == "storage-slow":
+                entry["factor"] = 2.0 + 8.0 * rng.random()
+                needs_storage = True
+            entries.append(entry)
+        data["faults"] = entries
+        if needs_storage:
+            data["storage"] = {"servers": 1 + rng.randint(2)}
+    return data
+
+
+def diurnal(seed: int, *, arrivals: int = 2000, period: float = 0.02,
+            horizon: float = 0.05) -> dict:
+    """One anchor job under a diurnal burst-arrival process.
+
+    Arrival times follow an inhomogeneous Poisson profile
+    ``rate(t) = 0.15 + 0.85 * sin^2(pi t / period)`` via rejection
+    sampling -- exactly ``arrivals`` entries, denser near the diurnal
+    peaks.  With the default parameters this is a thousands-of-arrivals
+    spec meant for parse/round-trip property tests, not for running.
+    """
+    rng = SplitMix(seed, 0x6469)  # "di"
+    entries = []
+    for i in range(arrivals):
+        while True:
+            t = rng.random() * horizon
+            if rng.random() < 0.15 + 0.85 * math.sin(math.pi * t / period) ** 2:
+                break
+        entries.append({
+            "name": f"burst{i}",
+            "pattern": "uniform",
+            "nranks": 4,
+            "iters": 2 + rng.randint(6),
+            "interval_s": 1e-5,
+            "msg_bytes": 4096,
+            "arrival": t,
+        })
+    return {
+        "name": f"diurnal-{seed}",
+        "seed": seed,
+        "horizon": horizon,
+        "routing": "adp",
+        "jobs": [{"app": "nn", "name": "anchor"}],
+        "traffic": entries,
+    }
+
+
+def hotspot_blend(seed: int, *, injectors: int = 3, jobs: int = 2,
+                  horizon: float = 0.006) -> dict:
+    """Hotspot + uniform injector blend alongside catalog jobs.
+
+    Injector 0 is always uniform background; the rest are hotspot
+    injectors with randomized hot-rank counts, the traffic shape the
+    paper's interference study leans on hardest.
+    """
+    rng = SplitMix(seed, 0x6873)  # "hs"
+    entries = [_uniform_injector(rng, 0, horizon)]
+    for i in range(1, injectors):
+        nranks = (8, 16)[rng.randint(2)]
+        entries.append({
+            "name": f"hot{i}",
+            "pattern": "hotspot",
+            "nranks": nranks,
+            "iters": 30 + rng.randint(100),
+            "interval_s": 2e-5 * (1.0 + rng.random()),
+            "msg_bytes": _MSG_SIZES[1 + rng.randint(4)],
+            "hot_ranks": 1 + rng.randint(3),
+            "arrival": rng.random() * horizon / 4,
+        })
+    return {
+        "name": f"hotspot-blend-{seed}",
+        "seed": seed,
+        "horizon": horizon,
+        "routing": "adp",
+        "jobs": _draw_jobs(rng, jobs, horizon),
+        "traffic": entries,
+    }

@@ -31,7 +31,7 @@ from typing import Any, Callable
 
 from repro.network.config import NetworkConfig
 from repro.network.router import RouterLP
-from repro.network.routing import make_routing
+from repro.network.routing import FaultAwareRouting, make_routing
 from repro.network.stats import LinkLoadAccounting, WindowedAppCounter
 from repro.network.terminal import TerminalLP
 from repro.network.topology import Topology
@@ -157,6 +157,9 @@ class NetworkFabric:
         # Per-application routing overrides ("routing police" per job, as
         # the paper's concurrent-workload support allows).
         self._app_routing: dict[int, Any] = {}
+        #: Fault plane steering paths around dead elements; ``None``
+        #: (the default) leaves every policy unwrapped.
+        self.fault_plane = None
 
         self._msgs: dict[int, _MsgState] = {}
         self._next_msg_id = 0
@@ -198,6 +201,24 @@ class NetworkFabric:
         self._next_pkt_id += 1
         return pid
 
+    # -- fault injection --------------------------------------------------------
+    def attach_fault_plane(self, plane) -> None:
+        """Steer this fabric's path selection around ``plane``'s dead
+        elements (:class:`repro.faults.FaultPlane` with down-kind
+        faults).
+
+        Wraps the fabric-wide policy and every existing and future
+        per-app override in :class:`FaultAwareRouting`.  Fabrics without
+        a plane attached are untouched -- same objects, same RNG draw
+        sequence.
+        """
+        self.fault_plane = plane
+        self.routing = FaultAwareRouting(self.routing, plane)
+        self._app_routing = {
+            app_id: FaultAwareRouting(policy, plane)
+            for app_id, policy in self._app_routing.items()
+        }
+
     # -- per-application routing -----------------------------------------------
     def set_app_routing(self, app_id: int, routing) -> None:
         """Override the routing policy for one application's traffic.
@@ -212,6 +233,8 @@ class NetworkFabric:
             policy = routing(self.topo, self.config, self._probe, stream_id=stream_id)
         else:
             policy = make_routing(routing, self.topo, self.config, self._probe, stream_id=stream_id)
+        if self.fault_plane is not None:
+            policy = FaultAwareRouting(policy, self.fault_plane)
         self._app_routing[app_id] = policy
 
     def routing_for(self, app_id: int):

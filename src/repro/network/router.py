@@ -107,6 +107,25 @@ class RouterLP(LP):
             self._ports.append((peer, bw, extra, p.link_id, hop_inc))
         self._sched = self.engine.schedule_fast
 
+    # -- fault hooks (used by repro.faults) ---------------------------------
+    def scale_port_bandwidth(self, port: int, factor: float) -> tuple:
+        """Scale one output port's link bandwidth; returns the previous
+        port state for :meth:`restore_port`.
+
+        The per-port forwarding constants are read per arrival, so a
+        rewrite takes effect for every packet that starts serializing
+        after it -- packets already on the wire keep their departure
+        times, exactly as a mid-flight physical degradation would.
+        """
+        state = self._ports[port]
+        peer, bw, extra, link_id, hop_inc = state
+        self._ports[port] = (peer, bw * factor, extra, link_id, hop_inc)
+        return state
+
+    def restore_port(self, port: int, state: tuple) -> None:
+        """Restore a port state saved by :meth:`scale_port_bandwidth`."""
+        self._ports[port] = state
+
     # -- queue sensing (used by adaptive routing) ---------------------------
     def queue_depth(self, port: int) -> int:
         """Packets occupying the port: waiting in the FIFO or on the wire."""

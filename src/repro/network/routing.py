@@ -173,6 +173,103 @@ class AdaptiveRouting(RoutingPolicy):
         return min_path, False
 
 
+class FaultAwareRouting:
+    """Wrap any routing policy to steer around dead fabric elements.
+
+    ``plane`` is duck-typed (:class:`repro.faults.FaultPlane`): it
+    exposes ``blocked(path)`` plus the ``avoided``/``unavoidable``
+    counters.  When the inner policy's choice crosses a dead link or a
+    failed transit router, the selection is re-drawn -- path choice is
+    randomized (tie-breaks) and congestion-sensitive on every policy
+    this wrapper is installed for, so repeated draws yield alternative
+    candidates.  When the candidate set itself has no live member (an
+    intra-group pair whose only minimal path is the dead link), the
+    wrapper splices a one-router detour around each dead element using
+    the topology's adjacency -- routers forward along any adjacent
+    sequence, so the repaired path is always deliverable.  Only after
+    both fail is the original choice sent anyway (counted
+    ``unavoidable``): delivery stays guaranteed, which keeps byte
+    conservation checkable under faults.
+
+    The fabric installs this wrapper only when a fault plane with
+    down-kind faults is attached; fault-free runs keep the unwrapped
+    policy and its exact RNG draw sequence.
+    """
+
+    __slots__ = ("_inner", "_plane", "_tries", "name")
+
+    def __init__(self, inner, plane, tries: int = 8) -> None:
+        self._inner = inner
+        self._plane = plane
+        self._tries = tries
+        self.name = inner.name
+
+    def select_path(self, src_router: int, dst_router: int) -> tuple[list[int], bool]:
+        path, nonmin = self._inner.select_path(src_router, dst_router)
+        plane = self._plane
+        if not plane.blocked(path):
+            return path, nonmin
+        for _ in range(self._tries):
+            cand, nm = self._inner.select_path(src_router, dst_router)
+            if not plane.blocked(cand):
+                plane.avoided += 1
+                return cand, nm
+        repaired = self._repair(path)
+        if repaired is not None:
+            plane.avoided += 1
+            return repaired, True
+        plane.unavoidable += 1
+        return path, nonmin
+
+    def _repair(self, path: list[int]) -> list[int] | None:
+        """Splice live detours around each dead element of ``path``.
+
+        A dead link ``u -> v`` becomes ``u -> w -> v`` through a live
+        neighbour ``w`` of both; a failed transit router is bypassed by
+        bridging its predecessor to its successor (directly when they
+        are adjacent).  Returns ``None`` when no live detour exists.
+        """
+        plane = self._plane
+        adj = self._inner.topo.ports_to_router
+        dead, failed = plane.dead_links, plane.failed_routers
+        out = [path[0]]
+        i, n = 0, len(path)
+        while i < n - 1:
+            u, v = out[-1], path[i + 1]
+            if v in failed and i + 1 < n - 1:
+                # Bypass the failed transit router entirely.
+                t = path[i + 2]
+                if t in adj[u] and (u, t) not in dead:
+                    out.append(t)
+                else:
+                    w = self._bridge(u, t, adj, dead, failed)
+                    if w is None:
+                        return None
+                    out.extend((w, t))
+                i += 2
+                continue
+            if (u, v) in dead:
+                w = self._bridge(u, v, adj, dead, failed)
+                if w is None:
+                    return None
+                out.extend((w, v))
+            else:
+                out.append(v)
+            i += 1
+        return out if not plane.blocked(out) else None
+
+    def _bridge(self, u: int, t: int, adj, dead, failed) -> int | None:
+        """A live router adjacent to both ``u`` and ``t``, or ``None``."""
+        for w in adj[u]:
+            if w == t or w in failed:
+                continue
+            if (u, w) in dead or (w, t) in dead:
+                continue
+            if t in adj[w]:
+                return w
+        return None
+
+
 _POLICIES = {"min": MinimalRouting, "adp": AdaptiveRouting}
 
 

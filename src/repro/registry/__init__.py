@@ -15,9 +15,17 @@ it reachable from every surface at once (``docs/registry.md``).
 * :mod:`repro.registry.placements` -- policies with declared requirements
 * :mod:`repro.registry.engines`    -- PDES execution engines
 * :mod:`repro.registry.policies`   -- session control policies
+* :mod:`repro.registry.generators` -- generative scenario factories
 """
 
 from repro.registry.core import ComponentSpec, Param, Registry, RegistryError
+from repro.registry.generators import (
+    GeneratorSpec,
+    available_generators,
+    build_generator,
+    generator_registry,
+    register_generator,
+)
 from repro.registry.engines import (
     EngineSpec,
     available_engines,
@@ -64,6 +72,7 @@ __all__ = [
     "Capabilities",
     "ComponentSpec",
     "EngineSpec",
+    "GeneratorSpec",
     "Param",
     "PlacementSpec",
     "PolicySpec",
@@ -74,15 +83,19 @@ __all__ = [
     "TopologySpec",
     "all_routing_names",
     "available_engines",
+    "available_generators",
     "available_placements",
     "available_policies",
     "available_routings",
     "build_engine",
+    "build_generator",
     "build_policy",
     "build_topology",
     "engine_registry",
+    "generator_registry",
     "policy_registry",
     "register_engine",
+    "register_generator",
     "register_policy",
     "capabilities_of",
     "check_placement",

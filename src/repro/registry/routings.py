@@ -43,6 +43,15 @@ class RoutingSpec(ComponentSpec):
     """One routing policy on one topology family."""
 
     factory: RoutingFactory | None = None
+    #: Whether the policy can steer around a failed link/router: its
+    #: path selection is congestion- or randomness-driven, so re-drawing
+    #: yields alternative candidates.  Fault injection (``[[faults]]``
+    #: with a ``link-down``/``router-down`` kind) requires every
+    #: effective routing to be adaptive; deterministic single-path
+    #: policies (``min``, ``dor``, ``dmodk``) would hit the dead element
+    #: forever, so the scenario parser rejects that combination up
+    #: front.
+    adaptive: bool = False
 
 
 #: (topology name, routing name) -> spec.
@@ -145,7 +154,7 @@ for _df in ("dragonfly1d", "dragonfly2d"):
         "min", "minimal path, random tie-break", factory=MinimalRouting))
     register_routing(_df, RoutingSpec(
         "adp", "UGAL-L adaptive: minimal unless a Valiant detour is less congested",
-        factory=AdaptiveRouting))
+        factory=AdaptiveRouting, adaptive=True))
 
 register_routing("fattree", RoutingSpec(
     "dmodk", "up to the nearest common ancestor, D-mod-k upward choice",
@@ -155,7 +164,7 @@ register_routing("fattree", RoutingSpec(
     factory=_fattree_factory("random")))
 register_routing("fattree", RoutingSpec(
     "adaptive", "NCA routing picking the shallowest upward queue",
-    factory=_fattree_factory("adaptive")))
+    factory=_fattree_factory("adaptive"), adaptive=True))
 
 register_routing("torus", RoutingSpec(
     "dor", "dimension-order routing, shortest-direction wrap",
@@ -166,4 +175,4 @@ register_routing("slimfly", RoutingSpec(
     factory=_slimfly_factory("min")))
 register_routing("slimfly", RoutingSpec(
     "adaptive", "UGAL-style choice between minimal and Valiant detour",
-    factory=_slimfly_factory("adaptive")))
+    factory=_slimfly_factory("adaptive"), adaptive=True))

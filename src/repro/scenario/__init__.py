@@ -7,6 +7,7 @@ with an optional mid-simulation arrival time and per-job overrides --
 and background-traffic injectors loading the fabric underneath them.
 
 * :mod:`repro.scenario.spec`   -- parsing + validation (:func:`load_scenario`)
+* :mod:`repro.scenario.emit`   -- deterministic TOML emission (:func:`to_toml`)
 * :mod:`repro.scenario.runner` -- one scenario -> metrics (:func:`run_scenario`)
 * :mod:`repro.scenario.batch`  -- a directory of scenarios -> one report
 
@@ -31,12 +32,17 @@ from repro.scenario.runner import (
     render_scenario_report,
     run_scenario,
 )
+from repro.scenario.emit import dump_toml, to_toml
 from repro.scenario.spec import (
+    DOWN_FAULT_KINDS,
+    FAULT_KINDS,
     EnvEntry,
+    FaultEntry,
     JobEntry,
     MetricsEntry,
     ScenarioError,
     ScenarioSpec,
+    StorageEntry,
     TrafficEntry,
     load_scenario,
     parse_engine_table,
@@ -46,18 +52,23 @@ from repro.scenario.spec import (
 
 __all__ = [
     "BatchResult",
+    "DOWN_FAULT_KINDS",
     "EnvEntry",
+    "FAULT_KINDS",
+    "FaultEntry",
     "JobEntry",
     "JobReport",
     "MetricsEntry",
     "ScenarioError",
     "ScenarioResult",
     "ScenarioSpec",
+    "StorageEntry",
     "TrafficEntry",
     "build_manager",
     "build_scenario_topology",
     "build_telemetry",
     "discover_specs",
+    "dump_toml",
     "load_scenario",
     "parse_engine_table",
     "parse_policy_table",
@@ -68,4 +79,5 @@ __all__ = [
     "render_scenario_report",
     "run_batch",
     "run_spec_file",
+    "to_toml",
 ]

@@ -1,0 +1,84 @@
+"""Deterministic TOML emission of scenario specs.
+
+``to_toml(spec)`` is the inverse of :func:`repro.scenario.load_scenario`
+for TOML files: the emitted text parses back (stdlib :mod:`tomllib`)
+into a spec equal to the input, and re-emitting that spec reproduces
+the text byte for byte.  That bit-stable round trip is what the
+scenario generators (:mod:`repro.generate`) and the fuzz harness's
+shrunken-repro writer (:mod:`repro.fuzz`) are built on -- a generated
+spec is only *valid* if its serialized form survives the real parser.
+
+The emitter covers exactly the value shapes :meth:`ScenarioSpec.to_dict`
+produces: scalars, lists of scalars (inline arrays), nested mappings
+(inline tables inside entries, ``[table]`` sections at the top level)
+and lists of mappings (``[[section]]`` arrays of tables).  Strings are
+JSON-escaped -- a JSON string literal is also a valid TOML basic
+string -- and floats use ``repr``, which ``tomllib`` round-trips
+exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Mapping
+
+from repro.scenario.spec import ScenarioSpec
+
+_BARE_KEY = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+def _key(key: str) -> str:
+    return key if _BARE_KEY.match(key) else json.dumps(key)
+
+
+def _scalar(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return repr(value)
+    if isinstance(value, float):
+        # repr() emits a '.' or an exponent for every float, so the
+        # token is a TOML float and tomllib reads the identical value.
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_scalar(v) for v in value) + "]"
+    if isinstance(value, Mapping):
+        items = ", ".join(f"{_key(k)} = {_scalar(v)}" for k, v in value.items())
+        return "{" + items + "}"
+    raise TypeError(f"cannot emit {type(value).__name__} value {value!r} as TOML")
+
+
+def _table_lines(name: str, table: Mapping, header: str) -> list[str]:
+    lines = [header.format(name)]
+    for k, v in table.items():
+        lines.append(f"{_key(k)} = {_scalar(v)}")
+    return lines
+
+
+def dump_toml(data: Mapping) -> str:
+    """Serialize one plain scenario mapping to TOML text.
+
+    Top-level scalars come first (TOML forbids them after a table
+    header), then ``[table]`` sections, then ``[[array]]`` sections --
+    each group in the mapping's own (deterministic) insertion order.
+    """
+    scalars: list[str] = []
+    tables: list[str] = []
+    for key, value in data.items():
+        if isinstance(value, Mapping):
+            tables.extend(["", *_table_lines(key, value, "[{}]")])
+        elif isinstance(value, list) and value \
+                and all(isinstance(v, Mapping) for v in value):
+            for entry in value:
+                tables.extend(["", *_table_lines(key, entry, "[[{}]]")])
+        else:
+            scalars.append(f"{_key(key)} = {_scalar(value)}")
+    return "\n".join(scalars + tables) + "\n"
+
+
+def to_toml(spec: ScenarioSpec) -> str:
+    """The spec as TOML text that loads back equal and re-emits identical."""
+    return dump_toml(spec.to_dict())

@@ -121,14 +121,26 @@ def build_manager(spec: ScenarioSpec) -> WorkloadManager:
         if spec.counter_window is not None
         else default_counter_window()
     )
+    storage_nodes = None
+    if spec.storage is not None:
+        if spec.storage.servers > topo.n_nodes:
+            raise ScenarioError(
+                f"storage.servers: {spec.storage.servers} servers do not fit "
+                f"the topology's {topo.n_nodes} nodes"
+            )
+        # The last N terminal nodes host the servers, exactly as
+        # ``union-sim simulate --storage-servers`` attaches them.
+        storage_nodes = [topo.n_nodes - 1 - i for i in range(spec.storage.servers)]
     mgr = WorkloadManager(
         topo,
         routing=spec.routing,
         placement=spec.placement,
         seed=spec.seed,
         counter_window=window,
+        storage_nodes=storage_nodes,
         telemetry=build_telemetry(spec),
         engine=dict(spec.engine) if spec.engine is not None else None,
+        faults=spec.faults,
     )
     for entry in spec.jobs:
         mgr.add_job(_build_job(entry, spec.scale, spec.base_dir))
@@ -193,6 +205,10 @@ class ScenarioResult:
     #: steps, rewards); ``None`` for plain scenario runs, keeping their
     #: JSON form unchanged.
     env: dict[str, Any] | None = None
+    #: Fault record: the spec's ``[[faults]]`` entries plus the plane's
+    #: transition/avoidance counters; ``None`` for fault-free runs,
+    #: keeping their JSON form unchanged.
+    faults: dict[str, Any] | None = None
     #: The live outcome (fabric, counters) -- in-process callers only,
     #: excluded from the JSON form.
     outcome: RunOutcome | None = field(default=None, repr=False, compare=False)
@@ -226,6 +242,8 @@ class ScenarioResult:
             out["metrics"] = dict(self.metrics)
         if self.env is not None:
             out["env"] = dict(self.env)
+        if self.faults is not None:
+            out["faults"] = dict(self.faults)
         return out
 
     def job(self, name: str) -> JobReport:
@@ -311,6 +329,18 @@ def reduce_scenario_result(spec: ScenarioSpec, outcome: RunOutcome) -> ScenarioR
             plan = getattr(eng, "plan", None)
             if plan is not None:
                 engine_info["scheme"] = plan.scheme
+    faults_info = None
+    if spec.faults:
+        def fault_val(metric: str) -> int:
+            inst = t.get(f"net.fault.{metric}")
+            return int(inst.value) if inst is not None else 0
+
+        faults_info = {
+            "entries": [f.to_dict() for f in spec.faults],
+            "transitions": fault_val("transitions"),
+            "avoided_paths": fault_val("avoided"),
+            "unavoidable_paths": fault_val("unavoidable"),
+        }
     metrics_summary = None
     m = spec.metrics
     if m is not None:
@@ -335,6 +365,7 @@ def reduce_scenario_result(spec: ScenarioSpec, outcome: RunOutcome) -> ScenarioR
         topology=spec.topology,
         engine=engine_info,
         metrics=metrics_summary,
+        faults=faults_info,
         outcome=outcome,
     )
 
@@ -397,4 +428,12 @@ def render_scenario_report(result: ScenarioResult) -> str:
                      f"({e.get('scheme', '?')}-partitioned), lookahead "
                      f"{format_seconds(e['lookahead'])}, {e['windows']} windows")
         lines.append(line)
+    f = result.faults
+    if f is not None:
+        kinds = ", ".join(f"{x['name']} ({x['kind']})" for x in f["entries"])
+        lines.append(
+            f"faults: {kinds}; {f['transitions']} transitions, "
+            f"{f['avoided_paths']} paths re-routed, "
+            f"{f['unavoidable_paths']} unavoidable"
+        )
     return "\n".join(lines)

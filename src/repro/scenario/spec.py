@@ -41,6 +41,7 @@ from repro.registry import (
     engine_registry,
     placement_registry,
     policy_registry,
+    routing_spec,
     topology_registry,
 )
 from repro.telemetry import metric_segment
@@ -51,6 +52,13 @@ TRAFFIC_PATTERNS = ("uniform", "hotspot")
 
 #: Reward signals an ``[env]`` table may name.
 ENV_REWARDS = ("avg_latency", "comm_time")
+
+#: Fault kinds a ``[[faults]]`` entry may name (``docs/faults.md``).
+FAULT_KINDS = ("link-degrade", "link-down", "router-down", "storage-slow")
+
+#: Fault kinds that take an element out entirely, so every effective
+#: routing must be capable of steering around it (``RoutingSpec.adaptive``).
+DOWN_FAULT_KINDS = ("link-down", "router-down")
 
 
 class ScenarioError(ValueError):
@@ -206,6 +214,61 @@ class TrafficEntry:
 
 
 @dataclass
+class FaultEntry:
+    """One scheduled fabric/storage fault (a ``[[faults]]`` entry).
+
+    Faults are first-class scenario events: each is lowered onto the
+    engine control plane at build time (``schedule_control`` at
+    ``start`` and ``start + duration``) and applied/reverted by the
+    fault plane (:mod:`repro.faults`).  ``router``/``router_b`` are
+    router indices into the built topology -- range-checked when the
+    scenario is built, since the parser has no instance.  ``factor``
+    scales the affected link bandwidth (``link-degrade``, must be in
+    (0, 1)) or the storage service time (``storage-slow``, must be
+    > 1).
+    """
+
+    name: str
+    kind: str
+    start: float
+    duration: float
+    router: int | None = None
+    router_b: int | None = None
+    factor: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "start": self.start,
+            "duration": self.duration,
+        }
+        if self.router is not None:
+            out["router"] = self.router
+        if self.router_b is not None:
+            out["router_b"] = self.router_b
+        if self.factor is not None:
+            out["factor"] = self.factor
+        return out
+
+
+@dataclass
+class StorageEntry:
+    """The ``[storage]`` table: burst-buffer servers on the fabric.
+
+    ``servers = N`` attaches a storage server to each of the last ``N``
+    terminal nodes (exactly what ``union-sim simulate
+    --storage-servers`` does).  Needed by ``storage-slow`` faults,
+    which have nothing to slow down otherwise.
+    """
+
+    servers: int = 1
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"servers": self.servers}
+
+
+@dataclass
 class MetricsEntry:
     """The ``[metrics]`` table: telemetry configuration of a scenario.
 
@@ -320,6 +383,10 @@ class ScenarioSpec:
     #: The ``[env]`` control-surface table; ``None`` for plain
     #: scenarios (they still run as env episodes with the defaults).
     env: EnvEntry | None = None
+    #: Scheduled fabric/storage faults (``[[faults]]`` entries).
+    faults: list[FaultEntry] = field(default_factory=list)
+    #: The ``[storage]`` table; ``None`` runs without storage servers.
+    storage: StorageEntry | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-data form that round-trips through :func:`parse_scenario`."""
@@ -346,6 +413,10 @@ class ScenarioSpec:
             out["engine"] = dict(self.engine)
         if self.env is not None:
             out["env"] = self.env.to_dict()
+        if self.faults:
+            out["faults"] = [f.to_dict() for f in self.faults]
+        if self.storage is not None:
+            out["storage"] = self.storage.to_dict()
         if self.base_dir is not None:
             # Keep relative job sources resolvable after a round trip.
             out["base_dir"] = str(self.base_dir)
@@ -366,6 +437,8 @@ _TOP_KEYS = {
     "metrics": "[metrics] telemetry table",
     "engine": "[engine] execution-engine table",
     "env": "[env] control-surface table",
+    "faults": "[[faults]] entries",
+    "storage": "[storage] burst-buffer table",
 }
 
 _METRICS_KEYS = {
@@ -638,6 +711,128 @@ def _parse_traffic(data: Any, i: int, topo_spec: TopologySpec) -> TrafficEntry:
     )
 
 
+_FAULT_KEYS = {
+    "name": "fault name",
+    "kind": "|".join(FAULT_KINDS),
+    "start": "onset time (s)",
+    "duration": "how long the fault lasts (s)",
+    "router": "router index (link-*: one end; router-down: the router)",
+    "router_b": "other end of the link (link-* kinds)",
+    "factor": "bandwidth multiplier (link-degrade) or service-time "
+              "multiplier (storage-slow)",
+}
+
+_STORAGE_KEYS = {
+    "servers": "storage servers on the last N terminal nodes",
+}
+
+
+def _parse_fault(data: Any, i: int) -> FaultEntry:
+    path = f"faults[{i}]"
+    data = _require_mapping(data, path)
+    _check_keys(data, _FAULT_KEYS, path)
+    kind = _get_str(data, "kind", path, choices=FAULT_KINDS)
+    if kind is None:
+        raise _err(f"{path}.kind", f"required; one of {list(FAULT_KINDS)}")
+    start = _get_float(data, "start", path, minimum=0.0)
+    if start is None:
+        raise _err(f"{path}.start", "required (fault onset time in seconds)")
+    duration = _get_float(data, "duration", path, minimum=0.0)
+    if duration is None or duration == 0.0:
+        raise _err(f"{path}.duration", "required and must be > 0 (seconds)")
+    router = _get_int(data, "router", path, minimum=0)
+    router_b = _get_int(data, "router_b", path, minimum=0)
+    factor = _get_float(data, "factor", path, minimum=0.0)
+
+    if kind in ("link-degrade", "link-down"):
+        if router is None or router_b is None:
+            raise _err(path, f"{kind!r} needs both 'router' and 'router_b' "
+                             "(the two ends of the link)")
+        if router == router_b:
+            raise _err(f"{path}.router_b",
+                       f"link endpoints must differ, got {router} twice")
+    elif kind == "router-down":
+        if router is None:
+            raise _err(path, "'router-down' needs 'router' (the failed router)")
+        if router_b is not None:
+            raise _err(f"{path}.router_b",
+                       "'router-down' takes a single 'router', not a link")
+    else:  # storage-slow
+        if router is not None or router_b is not None:
+            raise _err(path, "'storage-slow' targets storage servers, not "
+                             "routers; drop 'router'/'router_b'")
+
+    if kind == "link-degrade":
+        if factor is None:
+            factor = 0.1
+        if not 0.0 < factor < 1.0:
+            raise _err(f"{path}.factor",
+                       f"link-degrade factor must be in (0, 1) -- the "
+                       f"remaining bandwidth fraction -- got {factor:g}")
+    elif kind == "storage-slow":
+        if factor is None:
+            factor = 10.0
+        if factor <= 1.0:
+            raise _err(f"{path}.factor",
+                       f"storage-slow factor must be > 1 -- the service-time "
+                       f"multiplier -- got {factor:g}")
+    elif factor is not None:
+        raise _err(f"{path}.factor",
+                   f"{kind!r} takes no 'factor' (the element is fully down)")
+
+    default_name = f"{kind}-{i}"
+    return FaultEntry(
+        name=_get_str(data, "name", path, default=default_name),
+        kind=kind,
+        start=start,
+        duration=duration,
+        router=router,
+        router_b=router_b,
+        factor=factor,
+    )
+
+
+def _parse_storage(data: Mapping) -> StorageEntry | None:
+    """Validate the optional ``[storage]`` table."""
+    if "storage" not in data:
+        return None
+    raw = _require_mapping(data["storage"], "storage")
+    _check_keys(raw, _STORAGE_KEYS, "storage")
+    servers = _get_int(raw, "servers", "storage", default=1, minimum=1)
+    return StorageEntry(servers=servers)
+
+
+def _check_fault_capabilities(
+    faults: list[FaultEntry],
+    spec: ScenarioSpec,
+    topo_spec: TopologySpec,
+) -> None:
+    """Down-kind faults require every effective routing to be adaptive.
+
+    A failed link or router under a deterministic single-path policy
+    (``min``, ``dor``, ``dmodk``) would be hit forever; the capability
+    flag lives on the registry entry, so the rejection happens at parse
+    time with the fault and the routing both named.
+    """
+    down = [f for f in faults if f.kind in DOWN_FAULT_KINDS]
+    if not down:
+        return
+    effective: list[tuple[str, str]] = [("routing", spec.routing)]
+    effective += [(f"jobs[{i}].routing", j.routing)
+                  for i, j in enumerate(spec.jobs) if j.routing is not None]
+    effective += [(f"traffic[{i}].routing", t.routing)
+                  for i, t in enumerate(spec.traffic) if t.routing is not None]
+    adaptive = [r for r in topo_spec.routings
+                if routing_spec(topo_spec.name, r).adaptive]
+    for where, rname in effective:
+        if not routing_spec(topo_spec.name, rname).adaptive:
+            raise _err(where,
+                       f"fault {down[0].name!r} ({down[0].kind}) needs an "
+                       f"adaptive routing to steer around the failed element, "
+                       f"but {rname!r} is deterministic; choose from "
+                       f"{adaptive or ['<none on ' + topo_spec.name + '>']}")
+
+
 def parse_scenario(
     data: Mapping,
     name: str | None = None,
@@ -668,6 +863,22 @@ def parse_scenario(
         raise _err("traffic",
                    f"expected an array of tables, got {type(traffic_raw).__name__}")
     traffic = [_parse_traffic(t, i, topo_spec) for i, t in enumerate(traffic_raw)]
+
+    faults_raw = data.get("faults", [])
+    if not isinstance(faults_raw, list):
+        raise _err("faults",
+                   f"expected an array of tables, got {type(faults_raw).__name__}")
+    faults = [_parse_fault(f, i) for i, f in enumerate(faults_raw)]
+    fault_folded: dict[str, str] = {}
+    for i, entry in enumerate(faults):
+        # Fault names become net.fault.<segment> telemetry keys, so the
+        # same fold-collision rule as job names applies among faults.
+        key = metric_segment(entry.name)
+        other = fault_folded.setdefault(key, entry.name)
+        if other != entry.name:
+            raise _err(f"faults[{i}].name",
+                       f"name {entry.name!r} collides with {other!r} on "
+                       f"telemetry key segment {key!r}; rename one")
 
     seen: set[str] = set()
     folded: dict[str, str] = {}
@@ -710,9 +921,19 @@ def parse_scenario(
         metrics=_parse_metrics(data),
         engine=parse_engine_table(data["engine"]) if "engine" in data else None,
         env=_parse_env(data),
+        faults=faults,
+        storage=_parse_storage(data),
     )
     if spec.horizon <= 0:
         raise _err("horizon", f"must be > 0, got {spec.horizon}")
+    if spec.storage is None:
+        slow = next((f for f in spec.faults if f.kind == "storage-slow"), None)
+        if slow is not None:
+            raise _err("storage",
+                       f"fault {slow.name!r} is 'storage-slow' but the "
+                       "scenario has no [storage] table; add one "
+                       "(e.g. servers = 2) so there are servers to slow down")
+    _check_fault_capabilities(spec.faults, spec, topo_spec)
     if spec.env is not None and spec.env.window is not None \
             and spec.env.window > spec.horizon:
         raise _err("env.window",

@@ -187,6 +187,12 @@ class WorkloadManager:
         (Section VII extension).  ``None`` means no storage.
     storage_config:
         :class:`~repro.storage.config.StorageConfig` device parameters.
+    faults:
+        Scheduled fabric/storage faults
+        (:class:`~repro.scenario.spec.FaultEntry`-shaped entries); the
+        session lowers them onto the engine control plane through a
+        :class:`~repro.faults.FaultPlane` at build time.  ``None``/empty
+        leaves the run fault-free and bit-identical to before.
     telemetry:
         The :class:`~repro.telemetry.Telemetry` session every layer of
         this run records into (fabric instruments, per-job MPI metrics).
@@ -215,6 +221,7 @@ class WorkloadManager:
         storage_config=None,
         telemetry: Telemetry | None = None,
         engine: str | dict | Engine | None = None,
+        faults: list | None = None,
     ) -> None:
         self.topo = topo
         self.config = config or NetworkConfig(seed=seed)
@@ -225,6 +232,7 @@ class WorkloadManager:
         self.counter_window = counter_window
         self.storage_nodes = list(storage_nodes) if storage_nodes else None
         self.storage_config = storage_config
+        self.faults = list(faults) if faults else []
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.jobs: list[Job] = []
         self.fabric: NetworkFabric | None = None

@@ -165,6 +165,7 @@ class SimulationSession:
         self.fabric: NetworkFabric | None = None
         self.mpi: SimMPI | None = None
         self.storage = None
+        self.fault_plane = None
         self._built = False
         self._outcome: "RunOutcome | None" = None
         self._obs_version = 0
@@ -215,6 +216,12 @@ class SimulationSession:
         self._job_skip: list[str | None] = [None] * n
         self._nodes_by_app: dict[int, set[int]] = {}
         self._free = set(range(mgr.topo.n_nodes))
+        if mgr.faults:
+            from repro.faults import FaultPlane
+
+            self.fault_plane = FaultPlane(mgr.faults, self.fabric,
+                                          storage=self.storage, session=self)
+            self.fault_plane.install()
         # A policy that may intervene in admission/placement needs the
         # per-job dynamic path even for all-t=0 workloads; the scripted
         # baseline keeps the historical static draw bit for bit.
@@ -493,14 +500,37 @@ class SimulationSession:
             try:
                 self._place_one(i, job)
             except PlacementError as exc:
-                self._job_skip[i] = (
-                    f"placement failed at arrival t={job.arrival:g}s: {exc}"
-                )
+                reason = f"placement failed at arrival t={job.arrival:g}s: {exc}"
+                if self.fault_plane is not None:
+                    active = self.fault_plane.describe_active()
+                    if active:
+                        reason += f" (active fault(s): {active})"
+                self._job_skip[i] = reason
                 return None
             return self._job_spec(i, job)
 
         return factory
 
     def _on_job_end(self, result: "JobResult") -> None:
-        """Return a finished job's nodes to the free pool."""
-        self._free.update(self._nodes_by_app.get(result.app_id, ()))
+        """Return a finished job's nodes to the free pool.
+
+        Under an active ``router-down`` fault, nodes attached to the
+        failed router stay masked (the fault plane captures them and
+        releases them at its ``fault_off``)."""
+        freed = self._nodes_by_app.get(result.app_id, ())
+        if self.fault_plane is not None:
+            freed = self.fault_plane.absorb_freed(freed)
+        self._free.update(freed)
+
+    # -- fault-plane hooks (placement masking under router-down) -----------
+    def fault_mask_nodes(self, nodes: set[int]) -> set[int]:
+        """Withhold ``nodes`` from placement; returns the ones actually
+        taken (nodes occupied by running jobs are untouched -- their
+        jobs run to completion; :meth:`_on_job_end` re-masks them)."""
+        taken = nodes & self._free
+        self._free -= taken
+        return taken
+
+    def fault_unmask_nodes(self, nodes: set[int]) -> None:
+        """Return previously masked nodes to the free pool."""
+        self._free |= nodes

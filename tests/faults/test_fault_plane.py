@@ -1,0 +1,125 @@
+"""FaultPlane mechanics: validation, apply/revert, path repair."""
+
+import pytest
+
+from repro.faults import FaultPlane
+from repro.scenario import FaultEntry, parse_scenario
+from repro.scenario.runner import run_scenario
+
+
+def _outcome(storage=False):
+    data = {
+        "seed": 5,
+        "horizon": 0.001,
+        "routing": "adp",
+        "jobs": [{"app": "nn", "params": {"iters": 1}}],
+    }
+    if storage:
+        data["storage"] = {"servers": 2}
+    return run_scenario(parse_scenario(data, name="t")).outcome
+
+
+def _entry(**overrides):
+    base = dict(name="f0", kind="link-degrade", start=0.0, duration=1.0,
+                router=0, router_b=1, factor=0.5)
+    base.update(overrides)
+    return FaultEntry(**base)
+
+
+@pytest.mark.parametrize("entry, match", [
+    (_entry(router=999), "out of range"),
+    (_entry(kind="router-down", router=-1, router_b=None, factor=None),
+     "out of range"),
+    (_entry(kind="storage-slow", router=None, router_b=None, factor=2.0),
+     "no storage"),
+])
+def test_plane_validates_against_the_live_topology(entry, match):
+    out = _outcome()
+    with pytest.raises(ValueError, match=match):
+        FaultPlane([entry], out.fabric)
+
+
+def test_plane_rejects_unlinked_router_pairs():
+    out = _outcome()
+    topo = out.fabric.topo
+    stranger = next(b for b in range(topo.n_routers)
+                    if b != 0 and b not in topo.ports_to_router[0])
+    with pytest.raises(ValueError, match="not directly linked"):
+        FaultPlane([_entry(router_b=stranger)], out.fabric)
+
+
+def test_link_degrade_scales_and_restores_port_bandwidth():
+    out = _outcome()
+    e = _entry(factor=0.25)
+    plane = FaultPlane([e], out.fabric)
+    topo = out.fabric.topo
+    port = topo.ports_to_router[0][1][0]
+    before = out.fabric.routers[0]._ports[port]
+    plane._apply(e)
+    assert out.fabric.routers[0]._ports[port][1] == pytest.approx(before[1] * 0.25)
+    assert plane.active == {"f0": e}
+    plane._revert(e)
+    assert out.fabric.routers[0]._ports[port] == before
+    assert not plane.active
+
+
+def test_storage_slow_swaps_and_restores_server_configs():
+    out = _outcome(storage=True)
+    storage = out.manager.storage
+    e = _entry(kind="storage-slow", router=None, router_b=None, factor=4.0)
+    plane = FaultPlane([e], out.fabric, storage=storage)
+    originals = [s.config for s in storage.servers]
+    plane._apply(e)
+    for server, orig in zip(storage.servers, originals):
+        assert server.config.write_bw == pytest.approx(orig.write_bw / 4.0)
+        assert server.config.read_bw == pytest.approx(orig.read_bw / 4.0)
+        assert server.config.access_latency == pytest.approx(orig.access_latency * 4.0)
+    plane._revert(e)
+    assert [s.config for s in storage.servers] == originals
+
+
+def test_blocked_exempts_endpoint_routers():
+    out = _outcome()
+    e = _entry(kind="router-down", router=3, router_b=None, factor=None)
+    plane = FaultPlane([e], out.fabric)
+    plane._apply(e)
+    assert plane.blocked([1, 3, 5])          # transit through the outage
+    assert not plane.blocked([3, 5])         # sourced at the dead router
+    assert not plane.blocked([5, 3])         # destined to it
+    e2 = _entry(name="f1", kind="link-down", factor=None)
+    plane2 = FaultPlane([e2], out.fabric)
+    plane2._apply(e2)
+    assert plane2.blocked([0, 1, 2])
+    assert plane2.blocked([1, 0])            # both directions die together
+    assert not plane2.blocked([0, 2, 1])
+
+
+def test_fault_aware_wrapper_repairs_the_only_minimal_path():
+    from repro.network.routing import FaultAwareRouting
+
+    out = _outcome()
+    e = _entry(kind="link-down", factor=None)
+    plane = FaultPlane([e], out.fabric)
+    plane._apply(e)
+    wrapped = FaultAwareRouting(out.fabric.routing, plane)
+    path, nonmin = wrapped.select_path(0, 1)
+    assert plane.blocked([0, 1])
+    assert not plane.blocked(path)
+    assert len(path) == 3 and path[0] == 0 and path[-1] == 1
+    assert nonmin
+    assert plane.avoided == 1 and plane.unavoidable == 0
+
+
+def test_telemetry_gauges_track_fault_state():
+    out = _outcome()
+    e = _entry()
+    plane = FaultPlane([e], out.fabric)
+    t = out.manager.telemetry
+    assert t.get("net.fault.active").value == 0
+    plane._apply(e)
+    assert t.get("net.fault.active").value == 1
+    assert t.get("net.fault.f0.active").value == 1
+    assert t.get("net.fault.transitions").value == 1
+    plane._revert(e)
+    assert t.get("net.fault.active").value == 0
+    assert t.get("net.fault.f0.active").value == 0

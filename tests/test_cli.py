@@ -369,3 +369,23 @@ def test_env_bad_arguments(capsys, scenario_file):
     assert "--window must be > 0" in capsys.readouterr().err
     assert main(["env", str(scenario_file), "--action", "bogus"]) == 2
     assert "unknown action" in capsys.readouterr().err
+
+
+def test_fuzz_smoke(capsys, tmp_path):
+    out_json = tmp_path / "fuzz.json"
+    assert main(["fuzz", "--seeds", "2", "--parity-stride", "0",
+                 "--repro-dir", str(tmp_path / "repros"),
+                 "--json", str(out_json)]) == 0
+    out = capsys.readouterr().out
+    assert "2/2 cases clean" in out
+    assert "conservation" in out and "determinism" in out
+    import json
+    data = json.loads(out_json.read_text())
+    assert data["failures"] == 0
+    assert data["invariants"] == ["conservation", "no_stuck_jobs",
+                                  "determinism", "parity", "monotone_clocks"]
+
+
+def test_fuzz_unknown_generator_is_a_clean_error(capsys):
+    assert main(["fuzz", "--generator", "chaos", "--seeds", "1"]) == 2
+    assert "unknown generator" in capsys.readouterr().err

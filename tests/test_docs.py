@@ -57,6 +57,35 @@ def test_env_doc_names_every_policy_and_observation_field(check_docs):
     assert check_docs.check_env_doc() >= 19
 
 
+def test_faults_doc_names_every_kind_generator_invariant(check_docs):
+    # 4 fault kinds + 3 generators + 5 fuzz invariants at minimum.
+    assert check_docs.check_faults_doc() >= 12
+
+
+def test_faults_doc_drift_is_caught(check_docs, tmp_path):
+    text = (REPO / "docs" / "faults.md").read_text()
+    p = tmp_path / "faults.md"
+    p.write_text(text.replace("`router-down`", "`router-gone`"))
+    with pytest.raises(AssertionError, match="router-down"):
+        check_docs.check_faults_doc(p)
+
+
+def test_faults_doc_missing_invariant_is_caught(check_docs, tmp_path):
+    text = (REPO / "docs" / "faults.md").read_text()
+    p = tmp_path / "faults.md"
+    p.write_text(text.replace("`no_stuck_jobs`", "`no_stuck_job`"))
+    with pytest.raises(AssertionError, match="no_stuck_jobs"):
+        check_docs.check_faults_doc(p)
+
+
+def test_registry_doc_missing_generator_is_caught(check_docs, tmp_path):
+    text = (REPO / "docs" / "registry.md").read_text()
+    p = tmp_path / "registry.md"
+    p.write_text(text.replace("`diurnal`", "`nocturnal`"))
+    with pytest.raises(AssertionError, match="diurnal"):
+        check_docs.check_registry_doc(p)
+
+
 def test_env_doc_drift_is_caught(check_docs, tmp_path):
     text = (REPO / "docs" / "env.md").read_text()
     p = tmp_path / "env.md"

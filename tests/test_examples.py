@@ -104,6 +104,42 @@ def test_whatif_topologies(capsys):
     assert "fat-tree" in out
 
 
+def test_faulty_fabric_scenario_rerouted_and_slower():
+    from repro.scenario import load_scenario
+    from repro.scenario.runner import run_scenario
+
+    spec = load_scenario(EXAMPLES / "scenarios" / "faulty_fabric.toml")
+    assert [f.kind for f in spec.faults] == ["link-down", "link-degrade"]
+    result = run_scenario(spec)
+    assert result.faults["transitions"] == 4
+    assert result.faults["avoided_paths"] > 0
+    assert result.faults["unavoidable_paths"] == 0
+    # The faults target the job's own group, so the loaded latency must
+    # strictly exceed the fault-free baseline under the same placement.
+    baseline_spec = load_scenario(EXAMPLES / "scenarios" / "faulty_fabric.toml")
+    baseline_spec.faults.clear()
+    baseline = run_scenario(baseline_spec)
+    assert (result.outcome.app("nn0").nodes == baseline.outcome.app("nn0").nodes)
+    assert result.job("nn0").avg_latency > baseline.job("nn0").avg_latency
+
+
+def test_day_in_the_life_scenario_is_pinned_to_its_generator():
+    from repro.generate import generate_mapping
+    from repro.scenario import dump_toml, load_scenario
+    from repro.scenario.runner import run_scenario
+
+    path = EXAMPLES / "scenarios" / "day_in_the_life.toml"
+    body = dump_toml(generate_mapping(
+        {"type": "diurnal", "arrivals": 120, "period": 0.015, "horizon": 0.03},
+        42))
+    assert path.read_text().endswith(body), \
+        "day_in_the_life.toml drifted from its generator; regenerate it"
+    spec = load_scenario(path)
+    assert len(spec.traffic) == 120
+    result = run_scenario(spec)
+    assert result.job("anchor").finished
+
+
 def test_placement_study_single_combo(capsys, monkeypatch):
     mod = load_example("placement_study")
     monkeypatch.setattr(mod, "COMBOS", ("rg-adp",))
