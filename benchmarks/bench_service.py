@@ -1,0 +1,132 @@
+"""Service-layer latency/throughput measurement (the ``pr8-service`` entry).
+
+Measures the ``repro.service`` submit path against a real
+:class:`~repro.service.server.SimulationServer` (spawned worker pool,
+persistent content-addressed cache), and appends/replaces a
+``pr8-service`` entry in ``BENCH_engine.json``:
+
+* ``service_cold_submit`` -- submit -> done wall latency of one storm
+  scenario on a cold cache (pool dispatch + spawn-worker run + journal);
+* ``service_cache_hit`` -- the identical spec resubmitted: answered at
+  submit time from the content-addressed cache without touching a
+  worker (the tracked cold-vs-hit pair);
+* ``service_queue_4w`` -- queue throughput: distinct-seed storm specs
+  drained by a 4-worker pool, reported as jobs/second.
+
+The storm spec is the scenario-layer cousin of the ``throughput.py``
+permutation storm: one uniform-random traffic app saturating the mini
+dragonfly for the whole horizon.  Run directly::
+
+    PYTHONPATH=src:. python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from datetime import date
+from pathlib import Path
+
+from repro.service import SimulationServer
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "BENCH_engine.json")
+
+#: Uniform-random storm on the mini dragonfly (~1s wall per run).
+STORM = {
+    "name": "bench-storm",
+    "seed": 100,
+    "horizon": 0.3,
+    "jobs": [{"app": "ur", "name": "ur0"}],
+}
+
+
+def _storm(seed: int) -> dict:
+    spec = json.loads(json.dumps(STORM))
+    spec["seed"] = seed
+    spec["name"] = f"bench-storm-{seed}"
+    return spec
+
+
+def measure(queue_jobs: int = 12) -> dict:
+    out: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        root = Path(tmp)
+
+        with SimulationServer(root / "latency", workers=1) as server:
+            t0 = time.perf_counter()
+            record = server.submit(_storm(100))
+            server.wait(record.job_id, timeout=300.0)
+            cold = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            hit = server.submit(_storm(100))
+            warm = time.perf_counter() - t0
+            assert hit.cached, "resubmit must be a cache hit"
+        out["service_cold_submit"] = {
+            "jobs": 1, "seconds": round(cold, 6),
+            "jobs_per_sec": round(1.0 / cold, 2),
+        }
+        out["service_cache_hit"] = {
+            "jobs": 1, "seconds": round(warm, 6),
+            "jobs_per_sec": round(1.0 / warm, 2),
+            "speedup_vs_cold": round(cold / warm, 1),
+        }
+
+        with SimulationServer(root / "queue", workers=4) as server:
+            t0 = time.perf_counter()
+            records = [server.submit(_storm(200 + i))
+                       for i in range(queue_jobs)]
+            for record in records:
+                server.wait(record.job_id, timeout=600.0)
+            span = time.perf_counter() - t0
+        out["service_queue_4w"] = {
+            "jobs": queue_jobs, "seconds": round(span, 6),
+            "jobs_per_sec": round(queue_jobs / span, 2),
+        }
+    return out
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--label", default="pr8-service",
+                    help="entry label (default: pr8-service)")
+    ap.add_argument("--out", default=DEFAULT_OUT,
+                    help="JSON trajectory file to append to")
+    ap.add_argument("--queue-jobs", type=int, default=12,
+                    help="storm jobs for the 4-worker throughput figure")
+    args = ap.parse_args()
+
+    entry = {
+        "label": args.label,
+        "date": date.today().isoformat(),
+        "python": platform.python_version(),
+        "benches": measure(args.queue_jobs),
+    }
+
+    path = os.path.abspath(args.out)
+    doc = {"bench": "engine-throughput", "entries": []}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    labels = [e["label"] for e in doc["entries"]]
+    if entry["label"] in labels:
+        doc["entries"][labels.index(entry["label"])] = entry
+    else:
+        doc["entries"].append(entry)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+    for name, r in entry["benches"].items():
+        extra = (f"  ({r['speedup_vs_cold']}x vs cold)"
+                 if "speedup_vs_cold" in r else "")
+        print(f"{name:22s} {r['jobs']:>3d} jobs  {r['seconds']:.3f}s  "
+              f"{r['jobs_per_sec']:>8.2f} jobs/s{extra}")
+
+
+if __name__ == "__main__":
+    main()

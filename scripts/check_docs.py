@@ -28,6 +28,10 @@ Three invariants keep the docs honest:
    (:data:`repro.scenario.FAULT_KINDS`), every scenario generator and
    every fuzz invariant (:data:`repro.fuzz.INVARIANTS`), so the
    fault/fuzz reference cannot drift from the code.
+8. ``docs/service.md`` must name every job lifecycle state, every
+   checkpoint-file key (and the exact format tag), the cache entry's
+   file names and the cache telemetry counters, so the service
+   reference cannot drift from :mod:`repro.service`.
 
 Run directly (``python scripts/check_docs.py``) or via pytest
 (``tests/test_docs.py`` wraps the same functions).
@@ -226,6 +230,30 @@ def check_faults_doc(path: Path = DOCS / "faults.md") -> int:
     return len(names)
 
 
+def check_service_doc(path: Path = DOCS / "service.md") -> int:
+    """docs/service.md must name the service's durable surface.
+
+    Every job lifecycle state, every checkpoint-file key plus the exact
+    format tag, the cache entry's three file names and the cache
+    telemetry counters must appear backtick-quoted.  Returns the number
+    of names checked.
+    """
+    from repro.service import CHECKPOINT_FORMAT, JobState
+    from repro.service.checkpoint import CHECKPOINT_KEYS
+
+    text = path.read_text()
+    names = [state.value for state in JobState]
+    names += list(CHECKPOINT_KEYS) + [CHECKPOINT_FORMAT]
+    names += ["spec.toml", "result.json", "telemetry.jsonl",
+              "cache.hit", "cache.miss"]
+    missing = [n for n in names if f"`{n}`" not in text]
+    assert not missing, (
+        f"{path} does not mention service state/key/file name(s) {missing}; "
+        "update the service reference (names must be backtick-quoted)"
+    )
+    return len(names)
+
+
 def main() -> int:
     check_cli_doc()
     n = check_scenario_snippets()
@@ -234,13 +262,15 @@ def main() -> int:
     e = check_engines_doc()
     v = check_env_doc()
     f = check_faults_doc()
+    s = check_service_doc()
     print(f"docs OK: cli.md covers all {len(registered_subcommands())} subcommands; "
           f"{n} scenarios.md snippets validate; "
           f"registry.md names all {m} components; "
           f"telemetry.md names all {k} sinks/instrument kinds; "
           f"engines.md names all {e} engines/parameters; "
           f"env.md names all {v} policies/observation fields; "
-          f"faults.md names all {f} fault kinds/generators/invariants")
+          f"faults.md names all {f} fault kinds/generators/invariants; "
+          f"service.md names all {s} states/checkpoint keys/cache files")
     return 0
 
 

@@ -10,6 +10,9 @@ Subcommands
 ``batch``      -- run every scenario spec in a directory, one summary
 ``env``        -- roll a scenario as a gym-style episode (or list policies)
 ``fuzz``       -- property-check generated scenarios over a seed sweep
+``serve``      -- run the persistent simulation service (queue + cache)
+``submit``     -- send one scenario spec to a running service
+``jobs``       -- list/inspect/cancel jobs on a running service
 ``sweep``      -- run the full Figure 7/9 sweep and print summaries
 ``systems``    -- print the Table II system configurations
 ``topologies`` -- print the full fabric-model roster
@@ -574,6 +577,128 @@ def _cmd_engines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import SimulationServer
+    from repro.service.http import ServiceHTTPServer
+
+    if args.checkpoint_interval is not None and args.checkpoint_interval <= 0:
+        print(f"error: --checkpoint-interval must be > 0, got "
+              f"{args.checkpoint_interval:g}", file=sys.stderr)
+        return 2
+    try:
+        server = SimulationServer(
+            args.state,
+            workers=args.workers,
+            cache_dir=args.cache,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with server:
+        try:
+            http = ServiceHTTPServer(server, host=args.host, port=args.port)
+        except OSError as exc:
+            print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"union-sim service on {http.url}", file=sys.stderr)
+        print(f"  state {server.state_dir}  cache {server.cache.root}  "
+              f"workers {server.n_workers}", file=sys.stderr)
+        try:
+            http.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down (queued jobs stay journaled and are "
+                  "recovered on the next serve)", file=sys.stderr)
+        finally:
+            http.stop()
+    return 0
+
+
+_TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenario import ScenarioError, load_scenario
+    from repro.service import ServiceError
+    from repro.service.client import ServiceClient
+
+    try:
+        spec = load_scenario(args.spec)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    client = ServiceClient(args.server)
+    try:
+        record = client.submit(spec.to_dict())
+        if (args.wait or args.json) and record["state"] not in _TERMINAL_STATES:
+            record = client.wait(record["job_id"], timeout=args.timeout)
+        if args.json and record["state"] == "done":
+            with open(args.json, "w") as fh:
+                json.dump(client.result(record["job_id"]), fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    line = (f"job {record['job_id']} ({record['scenario']}): "
+            f"{record['state']}")
+    if record.get("cached"):
+        line += " (cache hit)"
+    if record.get("error"):
+        line += f" -- {record['error']}"
+    print(line)
+    return 0 if record["state"] not in ("failed", "cancelled") else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceError
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.server)
+    try:
+        if args.job_id is None:
+            if args.cancel or args.result:
+                print("error: --cancel/--result need a JOB id",
+                      file=sys.stderr)
+                return 2
+            records = client.jobs()
+            stats = client.stats()
+            rows = [(r["job_id"], r["scenario"], r["state"],
+                     "yes" if r.get("cached") else "no",
+                     r.get("attempts", 0), r.get("error") or "-")
+                    for r in records]
+            print(render_table(
+                ["job", "scenario", "state", "cached", "attempts", "note"],
+                rows,
+                title=f"jobs on {client.url}",
+            ))
+            cache = stats["cache"]
+            line = (f"cache: {cache['entries']} entries, "
+                    f"{cache['hits']} hits / {cache['misses']} misses")
+            if (workers := stats.get("workers")) is not None:
+                line += (f"; workers: {workers['alive']}/"
+                         f"{workers['configured']} alive, "
+                         f"{workers['busy']} busy")
+            print(line)
+            return 0
+        if args.result:
+            print(json.dumps(client.result(args.job_id), indent=2,
+                             sort_keys=True))
+            return 0
+        record = (client.cancel(args.job_id) if args.cancel
+                  else client.status(args.job_id))
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
 def _add_metrics_flags(parser: argparse.ArgumentParser,
                        metrics_help: str | None = None,
                        metavar: str = "FILE.jsonl") -> None:
@@ -721,6 +846,68 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--json", default=None, metavar="FILE",
                    help="also write the sweep report as JSON")
     f.set_defaults(fn=_cmd_fuzz)
+
+    from repro.service.client import DEFAULT_SERVER
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the persistent simulation service",
+        description="Bind the HTTP job API in front of a persistent worker "
+                    "pool with a durable job journal, a content-addressed "
+                    "result cache and checkpoint/resume crash recovery "
+                    "(docs/service.md).")
+    sv.add_argument("--state", default="service-state", metavar="DIR",
+                    help="service state directory: job journal, checkpoint "
+                         "cursors and (by default) the result cache")
+    sv.add_argument("--workers", type=int, default=2, metavar="N",
+                    help="persistent worker processes (default 2)")
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="address to bind (default 127.0.0.1)")
+    sv.add_argument("--port", type=int, default=7321,
+                    help="port to bind (default 7321)")
+    sv.add_argument("--cache", default=None, metavar="DIR",
+                    help="result-cache directory (default: STATE/cache; "
+                         "share one across services to share results)")
+    sv.add_argument("--checkpoint-interval", type=float, default=None,
+                    metavar="SECONDS",
+                    help="write a checkpoint cursor every SECONDS of "
+                         "simulated time (default: only at the horizon)")
+    sv.set_defaults(fn=_cmd_serve)
+
+    u = sub.add_parser(
+        "submit",
+        help="send one scenario spec to a running service",
+        description="Validate a TOML/JSON scenario locally, submit it to a "
+                    "`union-sim serve` endpoint, and print its job record.")
+    u.add_argument("spec", help="path to a .toml or .json scenario file")
+    u.add_argument("--server", default=DEFAULT_SERVER, metavar="URL",
+                   help=f"service endpoint (default {DEFAULT_SERVER})")
+    u.add_argument("--wait", action="store_true",
+                   help="block until the job reaches a terminal state")
+    u.add_argument("--timeout", type=float, default=120.0, metavar="SECONDS",
+                   help="give up waiting after SECONDS (default 120)")
+    u.add_argument("--json", default=None, metavar="FILE",
+                   help="write the finished job's result document as JSON "
+                        "(implies --wait)")
+    u.set_defaults(fn=_cmd_submit)
+
+    j = sub.add_parser(
+        "jobs",
+        help="list/inspect/cancel jobs on a running service",
+        description="With no JOB id: one table of every journaled job plus "
+                    "cache/worker counters.  With a JOB id: that job's "
+                    "record as JSON (--result fetches its result document, "
+                    "--cancel cancels it).")
+    j.add_argument("job_id", nargs="?", default=None, metavar="JOB",
+                   help="job id (e.g. job-000001); omit to list every job")
+    j.add_argument("--server", default=DEFAULT_SERVER, metavar="URL",
+                   help=f"service endpoint (default {DEFAULT_SERVER})")
+    j.add_argument("--cancel", action="store_true",
+                   help="cancel the job (queued: dropped at pick-up; "
+                        "running: its worker is killed)")
+    j.add_argument("--result", action="store_true",
+                   help="print the finished job's result document as JSON")
+    j.set_defaults(fn=_cmd_jobs)
 
     o = sub.add_parser("topologies", help="print the fabric-model registry")
     o.add_argument("--scale", choices=["mini", "paper"], default="mini",

@@ -115,6 +115,20 @@ def _fuzz_case(args: tuple) -> dict[str, Any]:
     }
 
 
+def _crashed_case(args: tuple) -> dict[str, Any]:
+    """A seed whose worker process died is a *failing* case, not a
+    hole in the sweep (the crash is precisely what fuzzing hunts)."""
+    generator, seed, parity = args
+    return {
+        "seed": seed,
+        "name": f"fuzz-{seed}",
+        "parity": parity,
+        "mapping": {},
+        "violations": ["worker process died while checking this seed "
+                       "(killed or out of memory)"],
+    }
+
+
 # -- shrinking ---------------------------------------------------------------
 
 def _shrink_candidates(mapping: dict[str, Any]):
@@ -192,7 +206,7 @@ def fuzz_seeds(
         str(generator.get("type", "generator"))
     work = [(generator, base_seed + i, parity_stride > 0 and i % parity_stride == 0)
             for i in range(seeds)]
-    raw = pool_map(_fuzz_case, work, workers=jobs)
+    raw = pool_map(_fuzz_case, work, workers=jobs, on_crash=_crashed_case)
     cases = [FuzzCase(seed=r["seed"], name=r["name"], violations=r["violations"],
                       parity_checked=r["parity"], mapping=r["mapping"])
              for r in raw]

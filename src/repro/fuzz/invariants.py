@@ -25,6 +25,12 @@ touching the harness.
     result exactly, modulo the ``engine`` stanza.  Checked on sampled
     cases only (it doubles the cost); :attr:`FuzzContext.parity` gates
     it.
+``checkpoint_resume``
+    Checkpointing mid-horizon, abandoning the session (the fuzz
+    stand-in for a killed worker) and resuming from the cursor yields
+    result JSON bit-identical to the straight-through run -- the
+    property :mod:`repro.service` stakes its durability story on.
+    Sampled with the parity cases (it re-runs the scenario ~1.5x).
 ``monotone_clocks``
     All reported times are finite and non-negative, the run clock never
     exceeds the horizon, and per-job max latency dominates the average.
@@ -127,6 +133,37 @@ def check_parity(ctx: FuzzContext) -> list[str]:
     return []
 
 
+def check_checkpoint_resume(ctx: FuzzContext) -> list[str]:
+    if not ctx.parity:
+        return []
+    import tempfile
+    from pathlib import Path
+
+    from repro.service.checkpoint import (
+        resume_from_checkpoint,
+        run_checkpointed,
+    )
+
+    baseline = json.dumps(ctx.run().to_json_dict(), sort_keys=True)
+    data = copy.deepcopy(ctx.mapping)
+    name = data.get("name", "fuzz-case")
+    spec = parse_scenario(data, name=name)
+    with tempfile.TemporaryDirectory() as td:
+        path = Path(td) / "cursor.json"
+        # Checkpoint at mid-horizon, abandon, resume -- the killed-
+        # worker lifecycle without the nondeterministic SIGKILL timing.
+        aborted = run_checkpointed(spec, path, interval=spec.horizon / 2,
+                                   stop_after=1)
+        if aborted is not None or not path.is_file():
+            return ["run_checkpointed(stop_after=1) failed to leave a "
+                    "mid-horizon checkpoint cursor"]
+        resumed = resume_from_checkpoint(path)
+    if json.dumps(resumed.to_json_dict(), sort_keys=True) != baseline:
+        return ["checkpoint/resume produced result JSON different from "
+                "the straight-through run"]
+    return []
+
+
 def check_monotone_clocks(ctx: FuzzContext) -> list[str]:
     r = ctx.run()
     out = []
@@ -153,5 +190,6 @@ INVARIANTS: dict[str, Callable[[FuzzContext], list[str]]] = {
     "no_stuck_jobs": check_no_stuck_jobs,
     "determinism": check_determinism,
     "parity": check_parity,
+    "checkpoint_resume": check_checkpoint_resume,
     "monotone_clocks": check_monotone_clocks,
 }

@@ -72,9 +72,34 @@ def _uniform_injector(rng: SplitMix, i: int, horizon: float) -> dict:
     }
 
 
+#: Non-dragonfly fabrics ``random-mix`` can target.  Each entry:
+#: (mini-preset ``[topology]`` table, fabric-valid routing, placement).
+#: Fat-tree rejects the group-aware rg/rr placements (jobs scatter with
+#: rn); the torus registers only deterministic ``dor`` routing, so
+#: neither fabric can satisfy the down-fault capability check -- fault
+#: draws on them coerce to ``storage-slow`` (see below).
+_FABRICS: dict[str, tuple[dict, str, str]] = {
+    "fattree": ({"type": "fattree"}, "adaptive", "rn"),
+    "torus": ({"type": "torus"}, "dor", "rr"),
+}
+
+
 def random_mix(seed: int, *, jobs: int = 3, traffic: int = 1,
-               faults: int = 0, horizon: float = 0.006) -> dict:
-    """Random catalog job mix + background injectors + optional faults."""
+               faults: int = 0, horizon: float = 0.006,
+               fabric: str = "dragonfly") -> dict:
+    """Random catalog job mix + background injectors + optional faults.
+
+    ``fabric`` retargets the mix at a non-dragonfly topology
+    (``"fattree"`` / ``"torus"``, mini presets) by emitting an explicit
+    ``[topology]`` table with fabric-valid routing/placement; the
+    default ``"dragonfly"`` output is byte-identical to what this
+    generator always emitted (no topology table, ``adp`` routing), so
+    existing golden seeds keep their meaning.
+    """
+    if fabric != "dragonfly" and fabric not in _FABRICS:
+        raise ValueError(
+            f"unknown fabric {fabric!r}; expected 'dragonfly' or one of "
+            f"{sorted(_FABRICS)}")
     rng = SplitMix(seed, 0x6D69)  # "mi"
     data: dict = {
         "name": f"random-mix-{seed}",
@@ -83,6 +108,12 @@ def random_mix(seed: int, *, jobs: int = 3, traffic: int = 1,
         "routing": "adp",
         "jobs": _draw_jobs(rng, jobs, horizon),
     }
+    if fabric != "dragonfly":
+        topology, routing, placement = _FABRICS[fabric]
+        data["name"] = f"random-mix-{fabric}-{seed}"
+        data["routing"] = routing
+        data["placement"] = placement
+        data["topology"] = dict(topology)
     if traffic:
         data["traffic"] = [_uniform_injector(rng, i, horizon)
                            for i in range(traffic)]
@@ -90,7 +121,11 @@ def random_mix(seed: int, *, jobs: int = 3, traffic: int = 1,
         entries = []
         needs_storage = False
         for _ in range(faults):
-            kind = _FAULT_KINDS[rng.randint(len(_FAULT_KINDS))]
+            # Down-kind faults need adaptive re-route *and* dragonfly
+            # router/link numbering; on other fabrics every draw is a
+            # storage-slow fault (fabric-agnostic by construction).
+            kind = (_FAULT_KINDS[rng.randint(len(_FAULT_KINDS))]
+                    if fabric == "dragonfly" else "storage-slow")
             start = rng.random() * horizon / 2
             entry: dict = {
                 "kind": kind,

@@ -120,6 +120,9 @@ register_generator(GeneratorSpec(
               default=0, minimum=0),
         Param("horizon", "float", "simulation horizon (s)",
               default=0.006, minimum=0),
+        Param("fabric", "str", "target topology family",
+              default="dragonfly",
+              choices=("dragonfly", "fattree", "torus")),
     ),
     factory=_random_mix,
 ), aliases=("mix",))

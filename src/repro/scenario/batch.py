@@ -12,12 +12,13 @@ successes instead of aborting the rest of the batch.
 from __future__ import annotations
 
 import json
-import multiprocessing
 import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.harness.report import format_seconds, render_table
 from repro.scenario.runner import run_scenario
@@ -29,21 +30,59 @@ from repro.scenario.spec import (
 )
 
 
-def pool_map(fn, items, workers: int = 1) -> list:
+def pool_map(fn, items, workers: int = 1,
+             on_crash: "Callable[[Any], Any] | None" = None) -> list:
     """Map ``fn`` over ``items``, optionally across a process pool.
 
-    The shared fan-out helper of the batch runner and the harness
-    sweeps: simulations are independent, so they parallelize
-    embarrassingly; results always come back in input order, and
-    ``workers <= 1`` (or a single item) stays in-process so callers get
-    identical behavior with no pool overhead.  ``fn`` and the items
-    must be picklable when ``workers > 1``.
+    The shared fan-out helper of the batch runner, the harness sweeps,
+    and the fuzz harness: simulations are independent, so they
+    parallelize embarrassingly; results always come back in input
+    order, and ``workers <= 1`` (or a single item) stays in-process so
+    callers get identical behavior with no pool overhead.  ``fn`` and
+    the items must be picklable when ``workers > 1``.
+
+    A worker process that *dies* mid-item (SIGKILL, OOM) must not hang
+    or sink the batch: every item whose future the broken pool
+    poisoned is retried alone in a fresh single-worker pool, so
+    innocent bystanders still produce results; an item that kills its
+    worker again is mapped through ``on_crash(item)`` -- the hook
+    batch-style callers use to produce per-item error entries.  With
+    no hook, the :class:`BrokenProcessPool` propagates.
     """
     items = list(items)
     if workers > 1 and len(items) > 1:
-        with multiprocessing.Pool(min(workers, len(items))) as pool:
-            return pool.map(fn, items)
+        return _pool_map_processes(fn, items, min(workers, len(items)),
+                                   on_crash)
     return [fn(i) for i in items]
+
+
+def _pool_map_processes(fn, items: list, workers: int, on_crash) -> list:
+    results: dict[int, Any] = {}
+    retry: list[int] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        for i, fut in enumerate(futures):
+            try:
+                results[i] = fut.result()
+            except BrokenProcessPool:
+                # One dead worker poisons every pending future; which
+                # item actually killed it is unknowable from here.
+                retry.append(i)
+    for i in retry:
+        # Isolate each suspect: a fresh single-worker pool per item
+        # convicts exactly the item that crashes it.
+        try:
+            with ProcessPoolExecutor(max_workers=1) as solo:
+                results[i] = solo.submit(fn, items[i]).result()
+        except BrokenProcessPool:
+            if on_crash is None:
+                raise BrokenProcessPool(
+                    f"worker process died while mapping item {i} "
+                    f"({items[i]!r}); pass on_crash= to turn crashes "
+                    "into per-item results"
+                )
+            results[i] = on_crash(items[i])
+    return [results[i] for i in range(len(items))]
 
 
 def discover_specs(directory: str | Path) -> list[Path]:
@@ -161,7 +200,21 @@ def run_batch(
                 )
     worker = partial(run_spec_file, metrics_dir=metrics_dir,
                      metrics_filter=metrics_filter, engine=engine)
-    return BatchResult(pool_map(worker, paths, workers))
+    return BatchResult(pool_map(worker, paths, workers,
+                                on_crash=_crashed_spec_entry))
+
+
+def _crashed_spec_entry(path: Path) -> dict[str, Any]:
+    """The per-item error record for a spec that killed its worker --
+    same shape as :func:`run_spec_file`'s exception records, so crash
+    and crash-free failures render identically in the summary."""
+    path = Path(path)
+    return {
+        "scenario": path.stem,
+        "path": str(path),
+        "error": "WorkerCrashed: the worker process running this spec "
+                 "died (killed or out of memory)",
+    }
 
 
 def render_batch_summary(batch: BatchResult) -> str:

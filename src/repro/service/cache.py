@@ -1,0 +1,214 @@
+"""Content-addressed result cache: canonical spec TOML -> stored run.
+
+The per-process memo cache in :mod:`repro.harness.experiment` keyed on a
+frozen dataclass; this is that idea generalized and made persistent.
+The key is :func:`spec_digest` -- the SHA-256 of the spec's canonical
+TOML emission (:func:`repro.scenario.dump_toml` over
+:meth:`ScenarioSpec.to_dict`), the same bit-stable text the generators
+round-trip on -- so two clients submitting semantically identical specs
+share one simulation, across processes and across server restarts.
+
+Two families of keys are *excluded* from the digest because they route
+output without changing it:
+
+* ``metrics.jsonl`` / ``metrics.filter`` -- pure sink routing.  The
+  cache stores the run's **unfiltered** telemetry row stream, and
+  :meth:`CacheEntry.replay` drives any later caller's sinks (their own
+  path, their own filter globs) from the stored rows -- a cache hit
+  produces the same JSONL a fresh run would have.  The opt-in
+  instrument switches (``summary``, ``queue_occupancy``,
+  ``latency_histograms``) *stay* in the digest: they change which rows
+  exist.
+* ``base_dir`` -- a local filesystem detail, excluded unless some job
+  loads a relative DSL ``source`` (then it genuinely selects the
+  sources and is kept).
+
+Store layout (one directory per object, written atomically via a temp
+dir + ``os.replace`` so a killed worker never leaves a half-entry)::
+
+    <root>/objects/<digest[:2]>/<digest>/
+        spec.toml         # the canonical spec text that was hashed
+        result.json       # ScenarioResult.to_json_dict()
+        telemetry.jsonl   # header line + every unfiltered metric row
+
+Hit/miss counts are kept per handle and, when the cache is built with a
+:class:`~repro.telemetry.Telemetry` session, published as ``cache.hit``
+/ ``cache.miss`` counters.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.scenario import ScenarioSpec, dump_toml
+from repro.telemetry import Telemetry, match_key
+
+#: Keys of the ``[metrics]`` table that route output without changing
+#: the simulation (excluded from the digest).
+_ROUTING_METRICS_KEYS = ("jsonl", "filter")
+
+
+def cache_mapping(spec: "ScenarioSpec | Mapping[str, Any]") -> dict[str, Any]:
+    """The canonical mapping the digest hashes: semantics only.
+
+    Drops the sink-routing ``metrics`` keys and (when no job reads a
+    relative ``source`` file) the local ``base_dir``.
+    """
+    data = copy.deepcopy(
+        spec.to_dict() if isinstance(spec, ScenarioSpec) else dict(spec)
+    )
+    metrics = data.get("metrics")
+    if isinstance(metrics, Mapping):
+        metrics = {k: v for k, v in metrics.items()
+                   if k not in _ROUTING_METRICS_KEYS}
+        if metrics:
+            data["metrics"] = metrics
+        else:
+            data.pop("metrics")
+    if not any("source" in j for j in data.get("jobs", ())):
+        data.pop("base_dir", None)
+    return data
+
+
+def spec_digest(spec: "ScenarioSpec | Mapping[str, Any]") -> str:
+    """SHA-256 hex digest of the spec's canonical TOML emission."""
+    return hashlib.sha256(
+        dump_toml(cache_mapping(spec)).encode("utf-8")
+    ).hexdigest()
+
+
+class CacheEntry:
+    """One stored run: the spec text, its result JSON, its row stream."""
+
+    def __init__(self, digest: str, path: Path) -> None:
+        self.digest = digest
+        self.path = path
+
+    def spec_toml(self) -> str:
+        return (self.path / "spec.toml").read_text()
+
+    def result(self) -> dict[str, Any]:
+        """The stored ``ScenarioResult.to_json_dict()`` document."""
+        return json.loads((self.path / "result.json").read_text())
+
+    def telemetry(self) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+        """``(header, rows)`` of the stored unfiltered row stream."""
+        lines = (self.path / "telemetry.jsonl").read_text().splitlines()
+        header = json.loads(lines[0]) if lines else {}
+        return header, [json.loads(line) for line in lines[1:]]
+
+    def replay(self, sink, pattern=None, meta: dict[str, Any] | None = None):
+        """Drive ``sink`` from the stored rows, exactly like a live
+        :meth:`Telemetry.export` would have -- the cache-hit answer to
+        "but I asked for a JSONL stream".  ``pattern`` filters row keys
+        with the same globs; ``meta`` overrides header fields (the
+        caller's scenario/seed are already in the stored header, but an
+        override keeps replay symmetrical with export).  Returns the
+        sink.
+        """
+        header, rows = self.telemetry()
+        if meta:
+            header.update(meta)
+        sink.write((r for r in rows if match_key(r["key"], pattern)), header)
+        return sink
+
+
+class ResultCache:
+    """Persistent content-addressed store of finished scenario runs."""
+
+    def __init__(self, root: "str | os.PathLike",
+                 telemetry: Telemetry | None = None) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self._hit_counter = self._miss_counter = None
+        if telemetry is not None:
+            self._hit_counter = telemetry.counter(
+                "cache.hit", doc="service result-cache hits")
+            self._miss_counter = telemetry.counter(
+                "cache.miss", doc="service result-cache misses")
+
+    def _object_dir(self, digest: str) -> Path:
+        return self.root / "objects" / digest[:2] / digest
+
+    def get(self, digest: str) -> CacheEntry | None:
+        """The stored entry for ``digest``, counting the hit or miss."""
+        path = self._object_dir(digest)
+        if (path / "result.json").is_file():
+            self.hits += 1
+            if self._hit_counter is not None:
+                self._hit_counter.add(1)
+            return CacheEntry(digest, path)
+        self.misses += 1
+        if self._miss_counter is not None:
+            self._miss_counter.add(1)
+        return None
+
+    def contains(self, digest: str) -> bool:
+        """Peek without counting (the server's submit-time probe counts
+        via :meth:`get`; this is for stats/tests)."""
+        return (self._object_dir(digest) / "result.json").is_file()
+
+    def put(
+        self,
+        digest: str,
+        spec_toml: str,
+        result: Mapping[str, Any],
+        rows: Iterable[Mapping[str, Any]],
+        header: Mapping[str, Any],
+    ) -> CacheEntry:
+        """Store one finished run atomically (idempotent per digest).
+
+        The entry is assembled in a temp dir beside ``objects/`` and
+        moved into place with ``os.replace``-semantics; concurrent
+        writers of the same digest race harmlessly (same content).
+        """
+        final = self._object_dir(digest)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = Path(tempfile.mkdtemp(dir=self.root, prefix=f".{digest[:8]}-"))
+        try:
+            (tmp / "spec.toml").write_text(spec_toml)
+            (tmp / "result.json").write_text(
+                json.dumps(dict(result), indent=2, sort_keys=True) + "\n")
+            with open(tmp / "telemetry.jsonl", "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(dict(header), sort_keys=True) + "\n")
+                for row in rows:
+                    fh.write(json.dumps(row) + "\n")
+            try:
+                os.rename(tmp, final)
+            except OSError:
+                # Lost the race (or a stale entry exists): keep the
+                # existing object, discard ours.
+                if not (final / "result.json").is_file():
+                    raise
+                for f in tmp.iterdir():
+                    f.unlink()
+                tmp.rmdir()
+        except Exception:
+            if tmp.is_dir():
+                for f in tmp.iterdir():
+                    f.unlink()
+                tmp.rmdir()
+            raise
+        return CacheEntry(digest, final)
+
+    def entries(self) -> list[str]:
+        """Every stored digest (sorted; complete entries only)."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return []
+        return sorted(
+            d.name
+            for shard in objects.iterdir() if shard.is_dir()
+            for d in shard.iterdir() if (d / "result.json").is_file()
+        )
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self.entries())}

@@ -1,0 +1,211 @@
+"""Checkpoint/resume for in-flight scenario runs.
+
+A live session is not picklable -- rank programs are generator
+coroutines, arrival factories are closures, observable gauges hold
+lambdas -- so this module does **not** snapshot engine state.  It
+exploits two properties the test suite already pins:
+
+* the engines' *stepping-parity* contract (``step(t1); step(t2)``
+  commits the identical event sequence as one ``step(t2)``), and
+* the *determinism* fuzz invariant (the identical spec always produces
+  the identical run).
+
+A checkpoint is therefore a **replay cursor**: the full spec mapping
+plus the index of the last committed step boundary.  Resuming rebuilds
+the session from the spec, replays the same boundaries up to the
+cursor, verifies the engine's committed-event count matches the one
+recorded at checkpoint time (the determinism guard -- a divergent
+replay fails loudly instead of producing silently different results),
+and steps on to the horizon.  By stepping-parity the finished run is
+bit-identical to an uninterrupted one; ``checkpoint_resume`` in
+:mod:`repro.fuzz.invariants` fuzzes exactly that claim.
+
+Checkpoint files are JSON with a versioned ``format`` tag
+(:data:`CHECKPOINT_FORMAT`); see ``docs/service.md`` for the format and
+its compatibility policy (unknown versions are rejected, never
+guessed).  Writes are atomic (temp file + ``os.replace``) so a worker
+killed mid-write leaves the previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.scenario import ScenarioSpec, parse_scenario, to_toml
+from repro.scenario.runner import (
+    ScenarioResult,
+    build_manager,
+    reduce_scenario_result,
+)
+
+#: Versioned checkpoint format tag.  Bump on any incompatible change to
+#: the file's keys or replay semantics; loaders reject unknown tags.
+CHECKPOINT_FORMAT = "union-sim/checkpoint/v1"
+
+#: Keys every v1 checkpoint file carries (``docs/service.md`` documents
+#: each one; ``scripts/check_docs.py`` enforces that).
+CHECKPOINT_KEYS = ("format", "spec", "horizon", "interval",
+                   "committed_index", "committed_time", "events")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file that cannot be trusted (bad format, spec
+    mismatch, or a replay that diverged from the recorded run)."""
+
+
+def checkpoint_boundaries(horizon: float, interval: float | None) -> list[float]:
+    """The absolute step boundaries one checkpointed run commits.
+
+    Multiples of ``interval`` strictly inside the horizon, then the
+    horizon itself -- so the boundary list always ends exactly at the
+    horizon and a disabled/oversized interval degrades to a single
+    monolithic step.  Both the fresh run and every resume derive their
+    schedule from this one function; that shared schedule is what makes
+    replay exact.
+    """
+    if interval is None or interval <= 0.0 or interval >= horizon:
+        return [horizon]
+    out: list[float] = []
+    k = 1
+    while k * interval < horizon:
+        out.append(k * interval)
+        k += 1
+    out.append(horizon)
+    return out
+
+
+def _write_checkpoint(path: Path, payload: dict[str, Any]) -> None:
+    assert set(payload) == set(CHECKPOINT_KEYS)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+    except Exception:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def load_checkpoint(path: "str | os.PathLike") -> dict[str, Any]:
+    """Read and format-check one checkpoint file."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from None
+    fmt = data.get("format")
+    if fmt != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"checkpoint {path} has format {fmt!r}; this build reads "
+            f"{CHECKPOINT_FORMAT!r} only (checkpoints are replay cursors, "
+            "not migratable state -- re-run the job)"
+        )
+    return data
+
+
+def run_checkpointed(
+    spec: ScenarioSpec,
+    checkpoint_path: "str | os.PathLike | None" = None,
+    interval: float | None = None,
+    stop_after: int | None = None,
+) -> ScenarioResult | None:
+    """Run one scenario in checkpointed steps.
+
+    Steps the session through :func:`checkpoint_boundaries`, writing
+    the replay cursor to ``checkpoint_path`` after each committed
+    boundary; the file is removed once the run finalizes (a finished
+    job needs no resume).  By stepping-parity the result is
+    bit-identical to :func:`~repro.scenario.runner.run_scenario`.
+
+    ``stop_after=k`` abandons the run right after the ``k``-th
+    checkpoint is written and returns ``None`` -- the deterministic
+    stand-in for a worker killed mid-run, used by the fuzz invariant
+    and the tests (the service's real SIGKILL path lands in the same
+    on-disk state).
+    """
+    boundaries = checkpoint_boundaries(spec.horizon, interval)
+    path = Path(checkpoint_path) if checkpoint_path is not None else None
+    session = build_manager(spec).session()
+    session.build()
+    for i, until in enumerate(boundaries):
+        session.step(until=until)
+        at_horizon = i == len(boundaries) - 1
+        if path is not None and not at_horizon:
+            _write_checkpoint(path, {
+                "format": CHECKPOINT_FORMAT,
+                "spec": spec.to_dict(),
+                "horizon": spec.horizon,
+                "interval": interval,
+                "committed_index": i,
+                "committed_time": until,
+                "events": session.engine.events_processed,
+            })
+            if stop_after is not None and i + 1 >= stop_after:
+                return None
+    result = reduce_scenario_result(spec, session.finalize())
+    if path is not None and path.exists():
+        path.unlink()
+    return result
+
+
+def resume_from_checkpoint(path: "str | os.PathLike") -> ScenarioResult:
+    """Finish the run a checkpoint describes, bit-identically.
+
+    Rebuilds the session from the stored spec, replays the recorded
+    step boundaries up to the cursor, verifies the committed-event
+    count against the checkpoint (raising :class:`CheckpointError` on
+    divergence -- a changed catalog, seed handling or engine would make
+    "resume" silently mean "different run"), then keeps checkpointing
+    through the remaining boundaries and finalizes.
+    """
+    path = Path(path)
+    data = load_checkpoint(path)
+    mapping = data["spec"]
+    spec = parse_scenario(mapping, name=mapping.get("name", "resumed"))
+    boundaries = checkpoint_boundaries(data["horizon"], data["interval"])
+    cursor = int(data["committed_index"])
+    if not 0 <= cursor < len(boundaries) - 1 or \
+            boundaries[cursor] != data["committed_time"]:
+        raise CheckpointError(
+            f"checkpoint {path} cursor (index {cursor} at "
+            f"t={data['committed_time']!r}) does not lie on the boundary "
+            f"schedule of horizon={data['horizon']!r} "
+            f"interval={data['interval']!r}"
+        )
+    session = build_manager(spec).session()
+    session.build()
+    for until in boundaries[:cursor + 1]:
+        session.step(until=until)
+    replayed = session.engine.events_processed
+    if replayed != data["events"]:
+        raise CheckpointError(
+            f"replay diverged: {replayed} events committed at "
+            f"t={data['committed_time']!r} but the checkpoint recorded "
+            f"{data['events']} -- the code or environment changed since "
+            "the checkpoint was written; re-run the job from scratch"
+        )
+    for i, until in enumerate(boundaries[cursor + 1:], start=cursor + 1):
+        if i < len(boundaries) - 1:
+            # Keep the cursor fresh: a resume can itself be killed.
+            session.step(until=until)
+            _write_checkpoint(path, {**data, "committed_index": i,
+                                     "committed_time": until,
+                                     "events": session.engine.events_processed})
+        else:
+            session.step(until=until)
+    result = reduce_scenario_result(spec, session.finalize())
+    if path.exists():
+        path.unlink()
+    return result
+
+
+def checkpoint_spec_toml(data: dict[str, Any]) -> str:
+    """The stored spec as canonical TOML (debugging/repro convenience)."""
+    mapping = data["spec"]
+    return to_toml(parse_scenario(mapping, name=mapping.get("name", "resumed")))

@@ -1,0 +1,95 @@
+"""The urllib client for a running ``union-sim serve`` endpoint.
+
+:class:`ServiceClient` mirrors the :class:`~repro.service.api.SubmitAPI`
+surface one-for-one over HTTP (submit/status/result/telemetry/cancel/
+jobs/stats/wait), returning the same plain dicts the server journals --
+the CLI (``union-sim submit`` / ``union-sim jobs``) and the smoke tests
+are both thin layers over this class.  Stdlib only (urllib), no
+sessions, no dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+from repro.service.api import ServiceError
+
+#: Default endpoint ``union-sim serve`` binds and the clients assume.
+DEFAULT_SERVER = "http://127.0.0.1:7321"
+
+
+class ServiceClient:
+    """Talk to one ``union-sim serve`` endpoint."""
+
+    def __init__(self, url: str = DEFAULT_SERVER, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: Mapping[str, Any] | None = None) -> Any:
+        req = urllib.request.Request(self.url + path, method=method)
+        data = None
+        if body is not None:
+            data = json.dumps(dict(body)).encode("utf-8")
+            req.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(req, data=data,
+                                        timeout=self.timeout) as resp:
+                raw = resp.read().decode("utf-8")
+                ctype = resp.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8"))["error"]
+            except Exception:  # noqa: BLE001 - error body is best-effort
+                message = str(exc)
+            raise ServiceError(f"{method} {path}: {message}") from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason} "
+                "(is `union-sim serve` running?)") from None
+        if ctype.startswith("application/jsonl"):
+            return raw
+        return json.loads(raw)
+
+    # -- the mirrored surface ---------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def submit(self, spec: Mapping[str, Any]) -> dict[str, Any]:
+        """Submit one scenario mapping; returns its job record dict."""
+        return self._request("POST", "/jobs", body={"spec": dict(spec)})
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def telemetry_jsonl(self, job_id: str) -> str:
+        return self._request("GET", f"/jobs/{job_id}/telemetry")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.1) -> dict[str, Any]:
+        """Block until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record['state']} after {timeout:g}s")
+            time.sleep(poll)

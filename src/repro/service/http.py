@@ -1,0 +1,150 @@
+"""The stdlib HTTP transport over :class:`~repro.service.api.SubmitAPI`.
+
+``union-sim serve`` binds a :class:`ServiceHTTPServer` (a threading
+:class:`http.server.ThreadingHTTPServer`) in front of a
+:class:`~repro.service.server.SimulationServer`.  The surface is a
+small JSON API -- every response body is a JSON document; errors are
+``{"error": ...}`` with a 4xx status:
+
+===========  ==============================  =================================
+method       path                            body / response
+===========  ==============================  =================================
+``GET``      ``/healthz``                    ``{"ok": true}``
+``GET``      ``/stats``                      job/cache/worker counters
+``GET``      ``/jobs``                       ``{"jobs": [record, ...]}``
+``GET``      ``/jobs/<id>``                  one job record
+``GET``      ``/jobs/<id>/result``           the result JSON document
+``GET``      ``/jobs/<id>/telemetry``        stored row stream (JSONL text)
+``POST``     ``/jobs``                       ``{"spec": {...}}`` -> record
+``POST``     ``/jobs/<id>/cancel``           record after cancellation
+===========  ==============================  =================================
+
+The transport layer contains **no service logic**: it parses paths,
+decodes JSON, and forwards to the shared API object -- exactly what the
+in-process callers use, so HTTP and library behavior cannot diverge.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.scenario import ScenarioError
+from repro.service.api import ServiceError, SubmitAPI
+
+
+def _make_handler(api: SubmitAPI):
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "union-sim-serve/1"
+
+        # -- plumbing ------------------------------------------------------
+        def log_message(self, fmt, *args):  # noqa: D102 - silence stderr
+            pass
+
+        def _send(self, status: int, payload: Any,
+                  content_type: str = "application/json") -> None:
+            body = (payload if isinstance(payload, (bytes, str))
+                    else json.dumps(payload, sort_keys=True) + "\n")
+            if isinstance(body, str):
+                body = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _dispatch(self, method: str) -> None:
+            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            try:
+                self._route(method, parts)
+            except ServiceError as exc:
+                self._send(404, {"error": str(exc)})
+            except ScenarioError as exc:
+                self._send(400, {"error": str(exc)})
+            except Exception as exc:  # noqa: BLE001 - surface, don't crash
+                self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+        def _body_json(self) -> Any:
+            length = int(self.headers.get("Content-Length", 0))
+            raw = self.rfile.read(length) if length else b""
+            try:
+                return json.loads(raw) if raw else {}
+            except json.JSONDecodeError as exc:
+                raise ScenarioError(f"request body is not JSON: {exc}") \
+                    from None
+
+        # -- routes --------------------------------------------------------
+        def _route(self, method: str, parts: list[str]) -> None:
+            if method == "GET" and parts == ["healthz"]:
+                self._send(200, {"ok": True})
+            elif method == "GET" and parts == ["stats"]:
+                self._send(200, api.stats())
+            elif method == "GET" and parts == ["jobs"]:
+                self._send(200, {"jobs": [r.to_dict() for r in api.jobs()]})
+            elif method == "GET" and len(parts) == 2 and parts[0] == "jobs":
+                self._send(200, api.status(parts[1]).to_dict())
+            elif method == "GET" and len(parts) == 3 and parts[0] == "jobs" \
+                    and parts[2] == "result":
+                self._send(200, api.result(parts[1]))
+            elif method == "GET" and len(parts) == 3 and parts[0] == "jobs" \
+                    and parts[2] == "telemetry":
+                self._send(200, api.telemetry_jsonl(parts[1]),
+                           content_type="application/jsonl")
+            elif method == "POST" and parts == ["jobs"]:
+                body = self._body_json()
+                spec = body.get("spec") if isinstance(body, dict) else None
+                if not isinstance(spec, dict):
+                    raise ScenarioError(
+                        'POST /jobs body must be {"spec": {...scenario...}}')
+                self._send(200, api.submit(spec).to_dict())
+            elif method == "POST" and len(parts) == 3 and parts[0] == "jobs" \
+                    and parts[2] == "cancel":
+                self._send(200, api.cancel(parts[1]).to_dict())
+            else:
+                self._send(404, {"error": f"no route {method} /{'/'.join(parts)}"})
+
+        def do_GET(self):  # noqa: N802 - http.server API
+            self._dispatch("GET")
+
+        def do_POST(self):  # noqa: N802 - http.server API
+            self._dispatch("POST")
+
+    return Handler
+
+
+class ServiceHTTPServer:
+    """A threading HTTP front end bound to one API object."""
+
+    def __init__(self, api: SubmitAPI, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.api = api
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(api))
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceHTTPServer":
+        """Serve in a background thread (tests, embedded use)."""
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="service-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``union-sim serve`` path)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)

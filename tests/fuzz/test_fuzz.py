@@ -17,10 +17,10 @@ from repro.generate import generate_mapping
 from repro.scenario import ScenarioError, parse_scenario
 
 
-def test_invariant_roster_is_the_documented_five():
+def test_invariant_roster_is_the_documented_six():
     assert list(INVARIANTS) == [
         "conservation", "no_stuck_jobs", "determinism", "parity",
-        "monotone_clocks",
+        "checkpoint_resume", "monotone_clocks",
     ]
 
 
@@ -108,3 +108,39 @@ def test_fuzz_context_memoizes_baseline_runs():
 def test_invariants_hold_on_a_faulted_generated_scenario():
     mapping = generate_mapping({"type": "random-mix", "faults": 3}, 7)
     assert check_mapping(mapping, parity=True) == []
+
+
+def test_checkpoint_resume_invariant_is_gated_on_parity_sampling():
+    from repro.fuzz.invariants import check_checkpoint_resume
+
+    mapping = generate_mapping("random-mix", 4)
+    assert check_checkpoint_resume(FuzzContext(mapping, parity=False)) == []
+    assert check_checkpoint_resume(FuzzContext(mapping, parity=True)) == []
+
+
+def test_checkpoint_resume_invariant_catches_a_divergent_resume(monkeypatch):
+    import repro.fuzz.invariants as inv
+
+    from repro.service.checkpoint import resume_from_checkpoint
+
+    mapping = generate_mapping("random-mix", 4)
+
+    def planted(path):
+        result = resume_from_checkpoint(path)
+        result.end_time = result.end_time + 1.0  # corrupt the resume
+        return result
+
+    monkeypatch.setattr("repro.service.checkpoint.resume_from_checkpoint",
+                        planted)
+    violations = inv.check_checkpoint_resume(FuzzContext(mapping, parity=True))
+    assert violations == ["checkpoint/resume produced result JSON different "
+                          "from the straight-through run"]
+
+
+def test_crashed_worker_becomes_a_failing_case():
+    from repro.fuzz.harness import _crashed_case
+
+    case = _crashed_case(("random-mix", 9, False))
+    assert case["seed"] == 9
+    assert case["mapping"] == {}
+    assert any("worker process died" in v for v in case["violations"])

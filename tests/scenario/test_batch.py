@@ -100,3 +100,48 @@ def test_write_json_report(spec_dir, tmp_path):
 def test_empty_directory_is_an_error(tmp_path):
     with pytest.raises(ScenarioError, match="no .toml/.json"):
         run_batch(tmp_path)
+
+
+# -- pool_map worker-crash semantics -----------------------------------------
+
+def _double_or_die(n):
+    """Pool worker for the crash tests: negative items kill the process."""
+    if n < 0:
+        import os
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+    return n * 2
+
+
+def test_pool_map_turns_a_dead_worker_into_a_per_item_result():
+    from repro.scenario import pool_map
+
+    out = pool_map(_double_or_die, [1, -1, 2, 3], workers=2,
+                   on_crash=lambda item: {"crashed": item})
+    # Innocent bystanders whose futures the broken pool poisoned are
+    # retried and succeed; only the killer maps through on_crash --
+    # and results stay in input order.
+    assert out == [2, {"crashed": -1}, 4, 6]
+
+
+def test_pool_map_without_on_crash_raises_broken_pool():
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.scenario import pool_map
+
+    with pytest.raises(BrokenProcessPool, match="pass on_crash="):
+        pool_map(_double_or_die, [1, -1, 2], workers=2)
+
+
+def test_pool_map_single_worker_stays_in_process():
+    from repro.scenario import pool_map
+
+    calls = []
+
+    def tracked(n):
+        calls.append(n)
+        return n
+
+    assert pool_map(tracked, [1, 2, 3], workers=1) == [1, 2, 3]
+    assert calls == [1, 2, 3]  # in-process: closures are fine

@@ -19,6 +19,8 @@ def test_roster_matches_the_registry():
 @pytest.mark.parametrize("generator", [
     "random-mix",
     {"type": "random-mix", "jobs": 5, "traffic": 2, "faults": 3},
+    {"type": "random-mix", "fabric": "fattree", "faults": 2},
+    {"type": "random-mix", "fabric": "torus", "faults": 2},
     {"type": "diurnal", "arrivals": 40},
     "hotspot-blend",
     {"type": "hotspot-blend", "injectors": 5},
@@ -72,6 +74,33 @@ def test_sprinkled_faults_are_always_valid_for_the_topology():
     assert seen_faults == 36
 
 
+def test_fabric_param_emits_explicit_topology_tables():
+    """random-mix can retarget fat-tree/torus: an explicit [topology]
+    table, fabric-valid routing/placement, storage-slow-only faults
+    (neither fabric satisfies the down-fault capability checks)."""
+    from repro.scenario.runner import build_manager
+
+    for fabric, routing in (("fattree", "adaptive"), ("torus", "dor")):
+        spec = generate_scenario(
+            {"type": "random-mix", "fabric": fabric, "faults": 3}, 7)
+        assert spec.name == f"random-mix-{fabric}-7"
+        assert spec.topology["type"] == fabric
+        assert spec.routing == routing
+        assert all(f.kind == "storage-slow" for f in spec.faults)
+        build_manager(spec).session().build()
+
+
+def test_default_fabric_output_is_unchanged():
+    """fabric="dragonfly" (the default) must stay byte-identical to the
+    pre-fabric generator output: golden seeds keep their meaning."""
+    explicit = generate_mapping(
+        {"type": "random-mix", "fabric": "dragonfly"}, 13)
+    default = generate_mapping("random-mix", 13)
+    assert explicit == default
+    assert "topology" not in default
+    assert default["name"] == "random-mix-13"
+
+
 def test_unknown_generator_and_params_fail_loudly():
     with pytest.raises(RegistryError, match="unknown generator"):
         build_generator("tornado", 0)
@@ -79,3 +108,5 @@ def test_unknown_generator_and_params_fail_loudly():
         build_generator({"type": "random-mix", "jobs": 0}, 0)
     with pytest.raises(RegistryError, match="wibble"):
         build_generator({"type": "diurnal", "wibble": 3}, 0)
+    with pytest.raises(RegistryError, match="fabric"):
+        build_generator({"type": "random-mix", "fabric": "hypercube"}, 0)

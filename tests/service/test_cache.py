@@ -1,0 +1,102 @@
+"""Content-addressed result cache: digests, storage, replay, counters."""
+
+import copy
+import json
+
+from repro.scenario import parse_scenario, to_toml
+from repro.scenario.runner import run_scenario
+from repro.service import ResultCache, cache_mapping, spec_digest
+from repro.telemetry import MemorySink, Telemetry
+
+TINY = {
+    "name": "tiny",
+    "seed": 3,
+    "horizon": 0.005,
+    "placement": "rn",
+    "topology": {"network": "1d"},
+    "jobs": [{"app": "nn", "params": {"iters": 2}}],
+}
+
+
+def _spec(extra=None):
+    data = copy.deepcopy(TINY)
+    if extra:
+        data.update(copy.deepcopy(extra))
+    return parse_scenario(data, name=data["name"])
+
+
+def test_digest_ignores_sink_routing_but_not_instrument_switches():
+    base = spec_digest(_spec())
+    # Pure routing: where the rows go cannot change what was simulated.
+    assert spec_digest(_spec({"metrics": {"jsonl": "out.jsonl"}})) == base
+    assert spec_digest(_spec({"metrics": {"jsonl": "elsewhere.jsonl",
+                                          "filter": ["mpi.*"]}})) == base
+    # Instrument switches change which rows exist: a different run.
+    assert spec_digest(_spec({"metrics": {"summary": True}})) != base
+
+
+def test_digest_ignores_base_dir_unless_a_job_reads_a_source():
+    spec = _spec()
+    spec.base_dir = "/somewhere/local"
+    assert spec_digest(spec) == spec_digest(_spec())
+    mapping = cache_mapping(spec)
+    assert "base_dir" not in mapping
+    # With a relative DSL source the base_dir selects real input files.
+    sourced = dict(copy.deepcopy(TINY), base_dir="/somewhere/local")
+    sourced["jobs"] = [{"source": "app.ncptl", "ntasks": 4}]
+    assert "base_dir" in cache_mapping(sourced)
+
+
+def test_put_get_roundtrip_and_replay(tmp_path):
+    spec = _spec()
+    result = run_scenario(spec)
+    doc = result.to_json_dict()
+    sink = result.telemetry.export(MemorySink(), None,
+                                   meta={"scenario": spec.name})
+    cache = ResultCache(tmp_path / "cache")
+    digest = spec_digest(spec)
+    assert cache.get(digest) is None  # miss
+    entry = cache.put(digest, to_toml(spec), doc, sink.rows, sink.header)
+    assert (entry.path / "spec.toml").is_file()
+    hit = cache.get(digest)
+    assert hit is not None
+    assert hit.result() == doc
+    assert hit.spec_toml() == to_toml(spec)
+    header, rows = hit.telemetry()
+    assert header["scenario"] == spec.name
+    assert rows == sink.rows
+    # Replay drives a later caller's own sink, with their filter globs.
+    replayed = hit.replay(MemorySink(), ["mpi.job.*"])
+    assert replayed.rows
+    assert all(r["key"].startswith("mpi.job.") for r in replayed.rows)
+    assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+
+def test_contains_peeks_without_counting(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert not cache.contains("ab" * 32)
+    assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+def test_hit_miss_telemetry_counters(tmp_path):
+    t = Telemetry()
+    cache = ResultCache(tmp_path, telemetry=t)
+    digest = spec_digest(_spec())
+    cache.get(digest)  # miss
+    cache.put(digest, "x = 1\n", {"ok": True}, [], {})
+    cache.get(digest)  # hit
+    cache.get(digest)  # hit
+    rows = {r["key"]: r["value"]
+            for r in t.export(MemorySink(), "cache.*").rows}
+    assert rows == {"cache.hit": 2, "cache.miss": 1}
+
+
+def test_same_digest_put_races_harmlessly(tmp_path):
+    cache = ResultCache(tmp_path)
+    digest = spec_digest(_spec())
+    cache.put(digest, "a = 1\n", {"v": 1}, [], {})
+    # A second writer of the same digest keeps the existing object.
+    cache.put(digest, "a = 1\n", {"v": 1}, [], {})
+    assert cache.entries() == [digest]
+    assert json.loads((cache._object_dir(digest) / "result.json")
+                      .read_text()) == {"v": 1}

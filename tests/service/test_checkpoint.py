@@ -1,0 +1,98 @@
+"""Checkpoint/resume: replay cursors, bit-identical resume, guards."""
+
+import copy
+import json
+
+import pytest
+
+from repro.scenario import parse_scenario
+from repro.scenario.runner import run_scenario
+from repro.service import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    checkpoint_boundaries,
+    load_checkpoint,
+    resume_from_checkpoint,
+    run_checkpointed,
+)
+
+TINY = {
+    "name": "tiny-ckpt",
+    "seed": 7,
+    "horizon": 0.005,
+    "placement": "rn",
+    "topology": {"network": "1d"},
+    "jobs": [{"app": "nn", "params": {"iters": 2}}],
+}
+
+
+def _spec():
+    data = copy.deepcopy(TINY)
+    return parse_scenario(data, name=data["name"])
+
+
+def _canon(result):
+    return json.dumps(result.to_json_dict(), sort_keys=True)
+
+
+def test_boundary_schedule():
+    assert checkpoint_boundaries(1.0, None) == [1.0]
+    assert checkpoint_boundaries(1.0, 0.0) == [1.0]
+    assert checkpoint_boundaries(1.0, 2.0) == [1.0]
+    assert checkpoint_boundaries(1.0, 0.4) == [0.4, 0.8, 1.0]
+    # interval divides the horizon: no duplicated final boundary
+    assert checkpoint_boundaries(1.0, 0.5) == [0.5, 1.0]
+
+
+def test_checkpointed_run_matches_plain_run(tmp_path):
+    baseline = _canon(run_scenario(_spec()))
+    path = tmp_path / "cursor.json"
+    result = run_checkpointed(_spec(), path, interval=TINY["horizon"] / 3)
+    assert _canon(result) == baseline
+    assert not path.exists()  # finished runs need no resume
+
+
+def test_abandon_and_resume_is_bit_identical(tmp_path):
+    baseline = _canon(run_scenario(_spec()))
+    path = tmp_path / "cursor.json"
+    aborted = run_checkpointed(_spec(), path, interval=TINY["horizon"] / 2,
+                               stop_after=1)
+    assert aborted is None
+    data = load_checkpoint(path)
+    assert data["format"] == CHECKPOINT_FORMAT
+    assert data["committed_index"] == 0
+    resumed = resume_from_checkpoint(path)
+    assert _canon(resumed) == baseline
+    assert not path.exists()
+
+
+def test_unknown_format_tag_is_rejected(tmp_path):
+    path = tmp_path / "cursor.json"
+    path.write_text(json.dumps({"format": "union-sim/checkpoint/v999"}))
+    with pytest.raises(CheckpointError, match="v999"):
+        load_checkpoint(path)
+    path.write_text("not json at all")
+    with pytest.raises(CheckpointError, match="cannot read"):
+        load_checkpoint(path)
+
+
+def test_divergent_replay_fails_loudly(tmp_path):
+    path = tmp_path / "cursor.json"
+    run_checkpointed(_spec(), path, interval=TINY["horizon"] / 2,
+                     stop_after=1)
+    data = load_checkpoint(path)
+    data["events"] += 13  # the environment "changed" since the cursor
+    path.write_text(json.dumps(data))
+    with pytest.raises(CheckpointError, match="replay diverged"):
+        resume_from_checkpoint(path)
+
+
+def test_off_schedule_cursor_is_rejected(tmp_path):
+    path = tmp_path / "cursor.json"
+    run_checkpointed(_spec(), path, interval=TINY["horizon"] / 2,
+                     stop_after=1)
+    data = load_checkpoint(path)
+    data["committed_time"] = data["committed_time"] * 0.9
+    path.write_text(json.dumps(data))
+    with pytest.raises(CheckpointError, match="boundary schedule"):
+        resume_from_checkpoint(path)

@@ -1,0 +1,74 @@
+"""The HTTP transport + urllib client over an in-process SubmitAPI.
+
+Backing the HTTP server with the synchronous :class:`SubmitAPI` keeps
+these tests free of worker processes: every submit completes inline,
+so the tests exercise exactly the transport layer (routes, JSON
+encoding, error mapping) the CLI client rides on.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.scenario.runner import run_scenario
+from repro.scenario import parse_scenario
+from repro.service import ServiceError, SubmitAPI
+from repro.service.client import DEFAULT_SERVER, ServiceClient
+from repro.service.http import ServiceHTTPServer
+
+TINY = {
+    "name": "tiny-http",
+    "seed": 23,
+    "horizon": 0.005,
+    "placement": "rn",
+    "topology": {"network": "1d"},
+    "jobs": [{"app": "nn", "params": {"iters": 2}}],
+}
+
+
+@pytest.fixture()
+def service(tmp_path):
+    http = ServiceHTTPServer(SubmitAPI(tmp_path / "state")).start()
+    try:
+        yield ServiceClient(http.url)
+    finally:
+        http.stop()
+
+
+def test_full_surface_over_http(service):
+    assert service.healthz() == {"ok": True}
+    record = service.submit(copy.deepcopy(TINY))
+    assert record["state"] == "done"
+    job_id = record["job_id"]
+    assert service.status(job_id)["state"] == "done"
+    assert [r["job_id"] for r in service.jobs()] == [job_id]
+    baseline = run_scenario(
+        parse_scenario(copy.deepcopy(TINY), name=TINY["name"]))
+    assert service.result(job_id) == baseline.to_json_dict()
+    header = json.loads(service.telemetry_jsonl(job_id).splitlines()[0])
+    assert header["schema"] == "union-sim.telemetry/v1"
+    assert service.cancel(job_id)["state"] == "done"  # terminal: untouched
+    assert service.wait(job_id, timeout=1.0)["state"] == "done"
+    stats = service.stats()
+    assert stats["jobs"]["done"] == 1
+    assert stats["cache"]["entries"] == 1
+
+
+def test_http_error_mapping(service):
+    with pytest.raises(ServiceError, match="no job"):
+        service.status("job-424242")
+    with pytest.raises(ServiceError, match="no route"):
+        service._request("GET", "/no/such/route")
+    # An invalid scenario comes back as a 400 with the parser's message.
+    with pytest.raises(ServiceError, match="POST /jobs"):
+        service.submit({"name": "broken"})
+    with pytest.raises(ServiceError, match="spec"):
+        service._request("POST", "/jobs", body={"nope": 1})
+
+
+def test_unreachable_endpoint_message():
+    client = ServiceClient("http://127.0.0.1:9", timeout=1.0)
+    with pytest.raises(ServiceError, match="union-sim serve"):
+        client.healthz()
+    assert DEFAULT_SERVER.startswith("http://127.0.0.1")

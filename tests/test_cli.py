@@ -383,9 +383,54 @@ def test_fuzz_smoke(capsys, tmp_path):
     data = json.loads(out_json.read_text())
     assert data["failures"] == 0
     assert data["invariants"] == ["conservation", "no_stuck_jobs",
-                                  "determinism", "parity", "monotone_clocks"]
+                                  "determinism", "parity",
+                                  "checkpoint_resume", "monotone_clocks"]
 
 
 def test_fuzz_unknown_generator_is_a_clean_error(capsys):
     assert main(["fuzz", "--generator", "chaos", "--seeds", "1"]) == 2
     assert "unknown generator" in capsys.readouterr().err
+
+
+def test_serve_submit_jobs_flags_parse():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--state", "st", "--workers", "4", "--port", "7399",
+         "--checkpoint-interval", "0.01"])
+    assert (args.state, args.workers, args.port) == ("st", 4, 7399)
+    args = build_parser().parse_args(["submit", "spec.toml", "--wait"])
+    assert args.server.startswith("http://127.0.0.1")
+    args = build_parser().parse_args(["jobs", "job-000001", "--cancel"])
+    assert args.job_id == "job-000001" and args.cancel
+
+
+def test_submit_rejects_a_broken_spec_before_any_network(tmp_path, capsys):
+    p = tmp_path / "bad.toml"
+    p.write_text("[[jobs]]\nbanana = 1\n")
+    assert main(["submit", str(p)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_submit_and_jobs_report_an_unreachable_service(tmp_path, capsys):
+    spec = tmp_path / "ok.toml"
+    spec.write_text('name = "t"\nhorizon = 0.001\n[[jobs]]\napp = "nn"\n')
+    dead = "http://127.0.0.1:9"
+    assert main(["submit", str(spec), "--server", dead]) == 2
+    assert "union-sim serve" in capsys.readouterr().err
+    assert main(["jobs", "--server", dead]) == 2
+    assert "cannot reach service" in capsys.readouterr().err
+
+
+def test_jobs_flags_without_an_id_are_an_error(capsys):
+    assert main(["jobs", "--cancel"]) == 2
+    assert "need a JOB id" in capsys.readouterr().err
+
+
+def test_serve_rejects_bad_flag_values(capsys, tmp_path):
+    assert main(["serve", "--state", str(tmp_path / "st"),
+                 "--checkpoint-interval", "0"]) == 2
+    assert "checkpoint-interval" in capsys.readouterr().err
+    assert main(["serve", "--state", str(tmp_path / "st2"),
+                 "--workers", "0"]) == 2
+    assert "workers" in capsys.readouterr().err

@@ -62,6 +62,28 @@ def test_faults_doc_names_every_kind_generator_invariant(check_docs):
     assert check_docs.check_faults_doc() >= 12
 
 
+def test_service_doc_names_every_state_key_and_cache_file(check_docs):
+    # 5 job states + 7 checkpoint keys + format tag + 3 cache files
+    # + 2 telemetry counters at minimum.
+    assert check_docs.check_service_doc() >= 18
+
+
+def test_service_doc_checkpoint_key_drift_is_caught(check_docs, tmp_path):
+    text = (REPO / "docs" / "service.md").read_text()
+    p = tmp_path / "service.md"
+    p.write_text(text.replace("`committed_index`", "`commit_index`"))
+    with pytest.raises(AssertionError, match="committed_index"):
+        check_docs.check_service_doc(p)
+
+
+def test_service_doc_cache_counter_drift_is_caught(check_docs, tmp_path):
+    text = (REPO / "docs" / "service.md").read_text()
+    p = tmp_path / "service.md"
+    p.write_text(text.replace("`cache.hit`", "`cache.hits`"))
+    with pytest.raises(AssertionError, match="cache.hit"):
+        check_docs.check_service_doc(p)
+
+
 def test_faults_doc_drift_is_caught(check_docs, tmp_path):
     text = (REPO / "docs" / "faults.md").read_text()
     p = tmp_path / "faults.md"
