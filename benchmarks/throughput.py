@@ -145,6 +145,53 @@ def run_network_storm_conservative() -> int:
     return run_network_throughput(engine=engine)
 
 
+def _storm_manager(engine):
+    """A manager-level uniform-random storm: 64 ranks spraying 32 KiB
+    messages across the mini dragonfly.
+
+    The mp-conservative engine only distributes models built through a
+    session (the recipe extraction happens at ``build()``), so the
+    multi-process pair below runs the storm through ``WorkloadManager``
+    rather than bare fabric sends.
+    """
+    from repro.union.manager import Job, WorkloadManager
+    from repro.workloads.uniform_random import uniform_random
+
+    mgr = WorkloadManager(Dragonfly1D.mini(), routing="adp", placement="rn",
+                          seed=2, engine=engine)
+    mgr.add_job(Job("storm", 64, program=uniform_random,
+                    params={"iters": 8, "msg_bytes": 1 << 16}))
+    return mgr
+
+
+def run_network_storm_union() -> int:
+    """The manager-level storm on the sequential engine -- the baseline
+    half of the multi-process pair."""
+    out = _storm_manager(None).run(until=1.0)
+    return out.fabric.engine.events_processed
+
+
+def run_network_storm_mp() -> int:
+    """The manager-level storm distributed over 3 real worker processes
+    (``mp-conservative``, spawn backend).
+
+    The committed event set is identical to the sequential run by
+    construction, so the pair (``network_storm_union``,
+    ``network_storm_mp``) shares one reference count; the delta is the
+    full multi-process bill -- worker spawn, replicated model
+    construction, window-boundary pickling and the end-of-run state
+    merge.  On a single CPU this is strictly overhead (the workers
+    time-slice one core); the number is tracked to keep that cost
+    honest, not to claim a speedup.
+    """
+    mgr = _storm_manager({"type": "mp-conservative", "partitions": 3,
+                          "backend": "mp"})
+    out = mgr.run(until=1.0)
+    eng = out.fabric.engine
+    assert eng.execution_mode == "distributed", eng.fallback_reason
+    return eng.events_processed
+
+
 def run_phold(engine=None) -> int:
     """Pure engine overhead: 64-LP PHOLD on the sequential scheduler."""
     from tests.pdes.phold import build_phold
@@ -169,6 +216,8 @@ BENCHES = {
     "network_storm_telemetry_off": run_network_storm_telemetry_off,
     "network_storm_conservative": run_network_storm_conservative,
     "network_storm_stepwise": run_network_storm_stepwise,
+    "network_storm_union": run_network_storm_union,
+    "network_storm_mp": run_network_storm_mp,
     "mpi_workload": run_mpi_workload_throughput,
     "phold_sequential": run_phold,
     "phold_conservative": run_phold_conservative,
@@ -187,6 +236,11 @@ REFERENCE_EVENTS = {
     "network_storm_telemetry_off": 117_846,
     "network_storm_conservative": 117_846,
     "network_storm_stepwise": 117_846,
+    # The manager-level storm pair is new in pr9-mpexec; its reference
+    # is this tree's sequential count (the mp run commits the identical
+    # set, golden-tested).
+    "network_storm_union": 54_749,
+    "network_storm_mp": 54_749,
     "mpi_workload": 132_317,
     "phold_sequential": 127_946,
     "phold_conservative": 127_946,

@@ -16,9 +16,10 @@ Three invariants keep the docs honest:
    instrument kind (from :data:`repro.telemetry.SINK_KINDS` /
    :data:`repro.telemetry.INSTRUMENT_KINDS`) *and* their classes, so
    the pipeline reference cannot drift from :mod:`repro.telemetry`.
-5. ``docs/engines.md`` must name every registered execution engine and
-   every parameter it declares, so the engine reference cannot drift
-   from :mod:`repro.registry.engines`.
+5. ``docs/engines.md`` must name every registered execution engine,
+   every parameter it declares and every enumerated parameter choice,
+   so the engine reference cannot drift from
+   :mod:`repro.registry.engines`.
 6. ``docs/env.md`` must name every registered control policy (with its
    declared parameters) and every field of the session
    :class:`~repro.union.session.Observation` snapshot, so the control
@@ -163,10 +164,11 @@ def check_telemetry_doc(path: Path = DOCS / "telemetry.md") -> int:
 
 
 def check_engines_doc(path: Path = DOCS / "engines.md") -> int:
-    """docs/engines.md must name every registered engine and its params.
+    """docs/engines.md must name every engine, param and param choice.
 
     Names must appear backtick-quoted (as in the roster and parameter
-    listings).  Returns the number of names checked.
+    listings); enumerated parameters (``Param.choices``) must document
+    every accepted value.  Returns the number of names checked.
     """
     from repro.registry import engine_registry
 
@@ -174,7 +176,10 @@ def check_engines_doc(path: Path = DOCS / "engines.md") -> int:
     names: list[str] = []
     for spec in engine_registry:
         names.append(spec.name)
-        names.extend(p.name for p in spec.params)
+        for p in spec.params:
+            names.append(p.name)
+            if p.choices:
+                names.extend(str(c) for c in p.choices)
     missing = [n for n in names if f"`{n}`" not in text]
     assert not missing, (
         f"{path} does not mention registered engine(s)/parameter(s) {missing}; "

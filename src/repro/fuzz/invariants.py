@@ -21,10 +21,12 @@ touching the harness.
 ``determinism``
     Running the identical spec twice yields bit-identical result JSON.
 ``parity``
-    The conservative engine (2 partitions) reproduces the sequential
-    result exactly, modulo the ``engine`` stanza.  Checked on sampled
-    cases only (it doubles the cost); :attr:`FuzzContext.parity` gates
-    it.
+    The conservative engine (2 partitions) and the multi-process
+    ``mp-conservative`` engine (inline backend -- fuzz pool workers are
+    daemonic and cannot spawn) both reproduce the sequential result
+    exactly, modulo the ``engine`` stanza.  Checked on sampled cases
+    only (each engine adds a full run); :attr:`FuzzContext.parity`
+    gates it.
 ``checkpoint_resume``
     Checkpointing mid-horizon, abandoning the session (the fuzz
     stand-in for a killed worker) and resuming from the cursor yields
@@ -123,14 +125,27 @@ def check_determinism(ctx: FuzzContext) -> list[str]:
 def check_parity(ctx: FuzzContext) -> list[str]:
     if not ctx.parity:
         return []
+    out = []
     seq = ctx.run().to_json_dict()
-    con = ctx.run(engine={"type": "conservative", "partitions": 2}).to_json_dict()
     seq.pop("engine", None)
+    seq_key = json.dumps(seq, sort_keys=True)
+    con = ctx.run(engine={"type": "conservative", "partitions": 2}).to_json_dict()
     con.pop("engine", None)
-    if json.dumps(seq, sort_keys=True) != json.dumps(con, sort_keys=True):
-        return ["conservative(partitions=2) run diverged from the "
-                "sequential result"]
-    return []
+    if json.dumps(con, sort_keys=True) != seq_key:
+        out.append("conservative(partitions=2) run diverged from the "
+                   "sequential result")
+    # The multi-process engine is held to the same bar.  The fuzz pool's
+    # own workers are daemonic and cannot spawn children, so the inline
+    # backend exercises the full worker protocol (recipe, window
+    # exchange, merge) in-process; generated scenarios that cannot
+    # distribute exercise the fallback path, which must also match.
+    mp = ctx.run(engine={"type": "mp-conservative", "partitions": 2,
+                         "backend": "inline"}).to_json_dict()
+    mp.pop("engine", None)
+    if json.dumps(mp, sort_keys=True) != seq_key:
+        out.append("mp-conservative(partitions=2, backend=inline) run "
+                   "diverged from the sequential result")
+    return out
 
 
 def check_checkpoint_resume(ctx: FuzzContext) -> list[str]:

@@ -45,14 +45,15 @@ DeliveryCallback = Callable[[int, Any, float], None]
 
 
 class _MsgState:
-    __slots__ = ("size", "remaining", "meta", "app_id", "injected_at")
+    __slots__ = ("size", "remaining", "meta", "app_id", "injected_at", "dst_node")
 
-    def __init__(self, size: int, meta: Any, app_id: int) -> None:
+    def __init__(self, size: int, meta: Any, app_id: int, dst_node: int) -> None:
         self.size = size
         self.remaining = size
         self.meta = meta
         self.app_id = app_id
         self.injected_at = -1.0
+        self.dst_node = dst_node
 
 
 class NetworkFabric:
@@ -162,8 +163,13 @@ class NetworkFabric:
         self.fault_plane = None
 
         self._msgs: dict[int, _MsgState] = {}
-        self._next_msg_id = 0
-        self._next_pkt_id = 0
+        # Message/packet ids are scoped per source node (node+1 in the
+        # high bits, that node's own count in the low 32): each node's
+        # id sequence depends only on its own send order, so a
+        # partitioned run (repro.parallel.mp) assigns the exact ids the
+        # sequential run would without any global counter.
+        self._msg_seq = [0] * topo.n_nodes
+        self._pkt_seq = [0] * topo.n_nodes
         #: Per-application count of packets routed non-minimally.
         self.nonmin_packets: dict[int, int] = {}
         self.total_packets: dict[int, int] = {}
@@ -196,9 +202,10 @@ class NetworkFabric:
     def terminal_lp_id(self, node: int) -> int:
         return self.terminals[node].lp_id
 
-    def next_packet_id(self) -> int:
-        pid = self._next_pkt_id
-        self._next_pkt_id += 1
+    def next_packet_id(self, node: int) -> int:
+        seq = self._pkt_seq
+        pid = ((node + 1) << 32) | seq[node]
+        seq[node] += 1
         return pid
 
     # -- fault injection --------------------------------------------------------
@@ -263,9 +270,10 @@ class NetworkFabric:
             raise ValueError(f"dst_node {dst_node} out of range")
         if size < 0:
             raise ValueError(f"message size must be >= 0, got {size}")
-        msg_id = self._next_msg_id
-        self._next_msg_id += 1
-        self._msgs[msg_id] = _MsgState(size, meta, app_id)
+        seq = self._msg_seq
+        msg_id = ((src_node + 1) << 32) | seq[src_node]
+        seq[src_node] += 1
+        self._msgs[msg_id] = _MsgState(size, meta, app_id, dst_node)
         self.messages_sent += 1
         self.bytes_sent += size
         if src_node == dst_node:

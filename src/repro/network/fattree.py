@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from repro.network.config import LinkClass, NetworkConfig
 from repro.network.topology import Port
+from repro.network.routing import per_router_stream
 from repro.pdes.rng import SplitMix
 
 
@@ -193,7 +194,14 @@ class FatTreeNCARouting:
         self.config = config
         self.probe = probe
         self.mode = mode
-        self.rng = SplitMix(config.seed, stream_id)
+        # One tie-break stream per source router (see
+        # repro.network.routing.per_router_stream): keeps the draw
+        # sequence a function of each router's own injection order.
+        self._streams = [
+            SplitMix(config.seed, per_router_stream(stream_id, r))
+            for r in range(topo.n_routers)
+        ]
+        self.rng = self._streams[0]
         self.name = f"fattree-{mode}"
 
     def _pick_up(self, router: int, candidates: list[int], salt: int) -> int:
@@ -215,6 +223,7 @@ class FatTreeNCARouting:
         topo = self.topo
         if src_router == dst_router:
             return [src_router], False
+        self.rng = self._streams[src_router]
         half = self.half = topo.half
         src_pod, dst_pod = topo.pod_of(src_router), topo.pod_of(dst_router)
         # salt for D-mod-k: spread by destination edge switch id

@@ -20,6 +20,17 @@ from repro.pdes.rng import SplitMix
 QueueProbe = Callable[[int, int], int]
 
 
+def per_router_stream(stream_id: int, router: int) -> int:
+    """Derived SplitMix stream id for one source router's tie-breaks.
+
+    Every routing policy keys its RNG streams this way (policy stream id
+    in the high bits, source router + 1 in the low 20), so a policy's
+    draws are partitionable by source router: the draw sequence observed
+    by router ``r`` depends only on ``r``'s own injection order.
+    """
+    return (stream_id << 20) | (router + 1)
+
+
 class RoutingPolicy:
     """Base class: selects the router-level path of one packet."""
 
@@ -29,17 +40,34 @@ class RoutingPolicy:
         self.topo = topo
         self.config = config
         self.probe = probe
-        self.rng = SplitMix(config.seed, stream_id)
+        # One tie-break stream *per source router*, derived from the
+        # policy's stream id: every draw a select_path(src, ...) call
+        # makes -- including the draws of the Valiant tail through a
+        # remote entry router -- comes from src's stream.  The draw
+        # sequence of a router is therefore a function of that router's
+        # injection order alone, which is what lets a partitioned run
+        # (repro.parallel.mp) reproduce the sequential draw-for-draw:
+        # all of router r's injections commit inside r's partition.
+        self._streams = [
+            SplitMix(config.seed, per_router_stream(stream_id, r))
+            for r in range(topo.n_routers)
+        ]
+        self.rng = self._streams[0] if self._streams else SplitMix(config.seed, stream_id)
         # Per-packet hot-path caches: intra-group candidate path lists are
         # static, so memoize them instead of re-enumerating per packet.
         # ``_min_full`` caches complete same-group candidate paths; the
         # cached lists are shared across packets and must not be mutated.
         self._routers_per_group = topo.routers_per_group
-        self._draw = self.rng.next_u64  # bound: one draw is one call
+        self._draw = self.rng.next_u64  # rebound to the source's stream per call
         self._local_paths: dict[tuple[int, int], list[list[int]]] = {}
         # (src, dst) -> (candidate full paths, rng draws consumed): 0 draws
         # for the trivial same-router path, 1 for a same-group selection.
         self._min_full: dict[tuple[int, int], tuple[list[list[int]], int]] = {}
+
+    def _bind_source(self, src_router: int) -> None:
+        """Point ``self._draw`` at ``src_router``'s tie-break stream."""
+        self.rng = self._streams[src_router]
+        self._draw = self.rng.next_u64
 
     def select_path(self, src_router: int, dst_router: int) -> tuple[list[int], bool]:
         """Return ``(path, nonminimal)``; path includes src and dst routers."""
@@ -139,6 +167,7 @@ class MinimalRouting(RoutingPolicy):
     name = "min"
 
     def select_path(self, src_router: int, dst_router: int) -> tuple[list[int], bool]:
+        self._bind_source(src_router)
         return self._minimal_candidate(src_router, dst_router), False
 
 
@@ -158,6 +187,7 @@ class AdaptiveRouting(RoutingPolicy):
         self._bias = config.adaptive_bias
 
     def select_path(self, src_router: int, dst_router: int) -> tuple[list[int], bool]:
+        self._bind_source(src_router)
         min_path = self._minimal_candidate(src_router, dst_router)
         if src_router == dst_router:
             return min_path, False

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from repro.network.config import LinkClass, NetworkConfig
 from repro.network.topology import Port
+from repro.network.routing import per_router_stream
 from repro.pdes.rng import SplitMix
 
 
@@ -230,7 +231,13 @@ class SlimFlyRouting:
         self.config = config
         self.probe = probe
         self.mode = mode
-        self.rng = SplitMix(config.seed, stream_id)
+        # One tie-break stream per source router (see
+        # repro.network.routing.per_router_stream).
+        self._streams = [
+            SplitMix(config.seed, per_router_stream(stream_id, r))
+            for r in range(topo.n_routers)
+        ]
+        self.rng = self._streams[0]
         self.name = f"slimfly-{mode}"
         self._common: dict[tuple[int, int], tuple[int, ...]] = {}
 
@@ -260,6 +267,7 @@ class SlimFlyRouting:
         return [src, self.rng.choice(list(mids)), dst]
 
     def select_path(self, src_router: int, dst_router: int) -> tuple[list[int], bool]:
+        self.rng = self._streams[src_router]
         mpath = self._minimal(src_router, dst_router)
         if self.mode != "adaptive" or src_router == dst_router:
             return mpath, False

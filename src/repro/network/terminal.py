@@ -136,7 +136,7 @@ class TerminalLP(LP):
         )
         fab.on_packet_routed(app_id, nonmin)
         pkt = Packet(
-            self._next_pkt_id(), msg_id, app_id, self.node, dst_node, size, path, nonmin
+            self._next_pkt_id(self.node), msg_id, app_id, self.node, dst_node, size, path, nonmin
         )
         done = self.engine.now + size / self._terminal_bw
         self.busy_until = done

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.network.config import LinkClass, NetworkConfig
 from repro.network.topology import Port
+from repro.network.routing import per_router_stream
 from repro.pdes.rng import SplitMix
 
 
@@ -132,7 +133,13 @@ class TorusDORRouting:
         self.topo = topo
         self.config = config
         self.probe = probe
-        self.rng = SplitMix(config.seed, stream_id)
+        # One tie-break stream per source router (see
+        # repro.network.routing.per_router_stream).
+        self._streams = [
+            SplitMix(config.seed, per_router_stream(stream_id, r))
+            for r in range(topo.n_routers)
+        ]
+        self.rng = self._streams[0]
 
     def _step(self, cur: tuple[int, ...], axis: int, dst_c: int) -> int:
         """Next coordinate along ``axis`` moving the short way to dst."""
@@ -146,6 +153,7 @@ class TorusDORRouting:
 
     def select_path(self, src_router: int, dst_router: int) -> tuple[list[int], bool]:
         topo = self.topo
+        self.rng = self._streams[src_router]
         path = [src_router]
         cur = list(topo.coords(src_router))
         dst = topo.coords(dst_router)

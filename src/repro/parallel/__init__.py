@@ -19,6 +19,7 @@ execution model and the lookahead contract are documented in
 
 * :mod:`repro.parallel.partition` -- topology-aware partition plans
 * :mod:`repro.parallel.runtime`   -- engine factory + telemetry binding
+* :mod:`repro.parallel.mp`        -- true multi-process execution
 """
 
 from repro.parallel.partition import (
@@ -27,13 +28,39 @@ from repro.parallel.partition import (
     min_cross_partition_latency,
     plan_partitions,
 )
-from repro.parallel.runtime import bind_engine_telemetry, conservative_engine
+from repro.parallel.runtime import (
+    bind_engine_telemetry,
+    conservative_engine,
+    resolve_lookahead,
+)
+
+#: repro.parallel.mp symbols resolved lazily: the fabric imports this
+#: package on its hot construction path, and the mp machinery
+#: (multiprocessing, merge plumbing) is only needed when an
+#: mp-conservative engine is actually requested.
+_MP_EXPORTS = frozenset(
+    {"MpConservativeEngine", "mp_conservative_engine", "WorkerFailure", "have_mpi4py"}
+)
+
+
+def __getattr__(name: str):
+    if name in _MP_EXPORTS:
+        import repro.parallel.mp as _mp
+
+        return getattr(_mp, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "MpConservativeEngine",
     "PartitionError",
     "PartitionPlan",
+    "WorkerFailure",
     "bind_engine_telemetry",
     "conservative_engine",
+    "have_mpi4py",
     "min_cross_partition_latency",
+    "mp_conservative_engine",
     "plan_partitions",
+    "resolve_lookahead",
 ]

@@ -1,0 +1,238 @@
+"""Transport backends for the multi-process conservative engine.
+
+Three interchangeable transports carry the master/worker protocol of
+:mod:`repro.parallel.mp.worker`:
+
+``mp`` (default)
+    One spawned process per partition, talking over a
+    :func:`multiprocessing.Pipe`.  Spawn (not fork) so workers rebuild
+    the model from the recipe exactly the way an MPI rank would, and so
+    behaviour matches across platforms.
+``inline``
+    The workers live in this process and every message still makes a
+    pickle round trip.  Zero process overhead, full protocol coverage --
+    this is what the fuzz harness and most tests drive, and it works
+    where process spawning is impossible (daemonic pool workers).
+``mpi``
+    mpi4py rank 0 is the master, ranks ``1..partitions`` the workers.
+    Selected at runtime; requires ``mpi4py`` in the environment and the
+    driver to be launched under ``mpiexec`` (see
+    :func:`repro.parallel.mp.worker.mpi_worker_loop`).
+
+All backends share one failure philosophy: a worker that dies or errors
+mid-protocol raises :class:`WorkerFailure` naming the partition -- the
+run fails loudly, never hangs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import multiprocessing
+import pickle
+
+MP_BACKENDS = ("mp", "inline", "mpi")
+
+_POLL_INTERVAL = 0.2
+
+
+class WorkerFailure(RuntimeError):
+    """A worker process died or reported an error mid-protocol."""
+
+
+def have_mpi4py() -> bool:
+    """Whether the optional ``mpi`` backend can be selected at all."""
+    return importlib.util.find_spec("mpi4py") is not None
+
+
+class InlineBackend:
+    """In-process workers with full pickle round trips.
+
+    Every request and reply is serialized and deserialized, so recipe
+    construction, event shipping and state snapshots are exercised
+    exactly as the process backends exercise them -- only the process
+    boundary is missing.
+    """
+
+    name = "inline"
+
+    def __init__(self) -> None:
+        self._workers: list = []
+        self._pending: dict[int, bytes] = {}
+
+    def launch(self, blob: bytes, partitions: int) -> None:
+        from repro.parallel.mp.worker import WorkerSession
+
+        # One independent unpickle per worker: separate model instances,
+        # exactly as separate processes would build them.
+        self._workers = [
+            WorkerSession(pickle.loads(blob), p) for p in range(partitions)
+        ]
+
+    def send(self, p: int, msg: tuple) -> None:
+        self._pending[p] = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def recv(self, p: int) -> tuple:
+        msg = pickle.loads(self._pending.pop(p))
+        reply = self._workers[p].handle(msg)
+        reply = pickle.loads(pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL))
+        if reply[0] == "error":
+            raise WorkerFailure(
+                f"mp-conservative worker for partition {p} failed: {reply[1]}"
+            )
+        return reply
+
+    def shutdown(self) -> None:
+        self._workers = []
+        self._pending.clear()
+
+
+class MultiprocessingBackend:
+    """Spawned worker processes over pipes (the ``mp`` default)."""
+
+    name = "mp"
+
+    def __init__(self) -> None:
+        self._procs: list = []
+        self._conns: list = []
+
+    @property
+    def processes(self) -> list:
+        """Live worker process handles (test hook for failure injection)."""
+        return list(self._procs)
+
+    def launch(self, blob: bytes, partitions: int) -> None:
+        from repro.parallel.mp.worker import worker_main
+
+        ctx = multiprocessing.get_context("spawn")
+        procs, conns = [], []
+        try:
+            for p in range(partitions):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(child, blob, p),
+                    name=f"mp-conservative-{p}",
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                procs.append(proc)
+                conns.append(parent)
+            self._procs, self._conns = procs, conns
+            for p in range(partitions):
+                reply = self.recv(p)
+                if reply[0] != "ready":
+                    raise WorkerFailure(
+                        f"mp-conservative worker for partition {p} sent "
+                        f"{reply[0]!r} instead of the ready handshake"
+                    )
+        except BaseException:
+            self._procs, self._conns = procs, conns
+            self.shutdown()
+            raise
+
+    def send(self, p: int, msg: tuple) -> None:
+        try:
+            self._conns[p].send(msg)
+        except (BrokenPipeError, OSError):
+            self._died(p)
+
+    def recv(self, p: int) -> tuple:
+        conn = self._conns[p]
+        proc = self._procs[p]
+        while not conn.poll(_POLL_INTERVAL):
+            if not proc.is_alive():
+                self._died(p)
+        try:
+            reply = conn.recv()
+        except (EOFError, OSError):
+            self._died(p)
+        if reply[0] == "error":
+            self.shutdown()
+            raise WorkerFailure(
+                f"mp-conservative worker for partition {p} failed: {reply[1]}"
+            )
+        return reply
+
+    def _died(self, p: int) -> None:
+        code = self._procs[p].exitcode
+        self.shutdown()
+        raise WorkerFailure(
+            f"mp-conservative worker for partition {p} died mid-protocol "
+            f"(exit code {code}); distributed run state is lost and the run "
+            f"cannot continue"
+        )
+
+    def shutdown(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        self._procs, self._conns = [], []
+
+
+class MPIBackend:  # pragma: no cover - requires mpi4py + mpiexec
+    """mpi4py transport: rank 0 masters ranks ``1..partitions``."""
+
+    name = "mpi"
+
+    def __init__(self) -> None:
+        if not have_mpi4py():
+            raise WorkerFailure(
+                "backend 'mpi' requires mpi4py, which is not installed; "
+                "use backend='mp' (default) or backend='inline'"
+            )
+        from mpi4py import MPI
+
+        self._comm = MPI.COMM_WORLD
+        self._partitions = 0
+
+    def launch(self, blob: bytes, partitions: int) -> None:
+        size = self._comm.Get_size()
+        if size < partitions + 1:
+            raise WorkerFailure(
+                f"backend 'mpi' needs {partitions + 1} ranks (1 master + "
+                f"{partitions} workers) but the communicator has {size}; "
+                f"launch with e.g. mpiexec -n {partitions + 1}"
+            )
+        self._partitions = partitions
+        for p in range(partitions):
+            self._comm.send(("build", blob, p), dest=p + 1, tag=1)
+        for p in range(partitions):
+            reply = self.recv(p)
+            if reply[0] != "ready":
+                raise WorkerFailure(
+                    f"mp-conservative worker for partition {p} sent "
+                    f"{reply[0]!r} instead of the ready handshake"
+                )
+
+    def send(self, p: int, msg: tuple) -> None:
+        self._comm.send(msg, dest=p + 1, tag=1)
+
+    def recv(self, p: int) -> tuple:
+        reply = self._comm.recv(source=p + 1, tag=2)
+        if reply[0] == "error":
+            raise WorkerFailure(
+                f"mp-conservative worker for partition {p} failed: {reply[1]}"
+            )
+        return reply
+
+    def shutdown(self) -> None:
+        self._partitions = 0
+
+
+def make_backend(name: str):
+    """Build the named transport (one of :data:`MP_BACKENDS`)."""
+    if name == "mp":
+        return MultiprocessingBackend()
+    if name == "inline":
+        return InlineBackend()
+    if name == "mpi":
+        return MPIBackend()
+    raise ValueError(f"unknown mp backend {name!r}; expected one of {list(MP_BACKENDS)}")

@@ -1,0 +1,370 @@
+"""State snapshots and the master-side merge.
+
+At the end of every distributed run/step the master collects one plain-
+data snapshot per worker and folds them into its own (built but never
+executed) model, so downstream consumers -- ``observe()``, scenario
+reduction, ``publish_job_metrics`` -- read exactly what a sequential
+run would have produced.
+
+The merge is *idempotent*: it recomputes every value as
+
+    ``merged = base + sum(worker - base)``
+
+where ``base`` is the master's state captured once at worker launch
+(mostly zeros -- nothing records during build).  Each measurement is
+made by exactly one worker (partition-local recording), so the deltas
+partition cleanly; repeating the merge after another window of
+execution simply recomputes from the fresh snapshots.
+
+What ships, per worker:
+
+* settable instruments -- counters, gauges, windowed bins, histograms
+  (observable gauges are skipped: the master owns live closures over
+  the merged state);
+* fabric totals, per-node sequence counters and the in-flight message
+  table (plain fields only -- metas hold live send state and stay put);
+* the :class:`~repro.mpi.engine.RankStats` of the worker's *owned*
+  ranks, shipped whole so the master's reductions run the exact float
+  arithmetic of a sequential run.
+
+Aggregation rules: counters/bins/histogram counts sum by delta; sum-
+aggregated windowed series sum by delta per (label, bin); max-
+aggregated series and settable gauges take the max over workers that
+changed (a gauge set during a run -- ``launched_at`` -- is set to the
+same simulated time in every worker).  Instruments created during the
+run (per-job gauges and latency histograms the master never creates
+because it executes nothing) are created at merge time from shipped
+descriptors.  ``finished_at`` is synthesized after the rank merge: no
+single worker sees a multi-partition job finish, but the owned rank
+stats carry every rank's finish time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from math import inf
+from typing import Any
+
+from repro.mpi.engine import job_key
+from repro.network.fabric import _MsgState
+from repro.network.stats import LinkLoadAccounting, WindowedAppCounter
+from repro.telemetry.instruments import Counter, Gauge, Histogram, WindowedSeries
+
+# -- snapshots (worker side, and master base capture) ----------------------
+
+
+def snapshot_instruments(telemetry) -> dict[str, dict[str, Any]]:
+    """Plain-data descriptors of every settable instrument."""
+    out: dict[str, dict[str, Any]] = {}
+    for inst in telemetry.instruments():
+        key = inst.key
+        if isinstance(inst, WindowedAppCounter):
+            out[key] = {
+                "cls": "app_counter",
+                "window": inst.window,
+                "bins": {label: dict(bins) for label, bins in inst._bins.items()},
+                "edge_bins": {
+                    label: dict(bins) for label, bins in inst._edge_bins.items()
+                },
+            }
+        elif isinstance(inst, LinkLoadAccounting):
+            out[key] = {"cls": "link_loads", "bytes": list(inst._bytes)}
+        elif isinstance(inst, WindowedSeries):
+            out[key] = {
+                "cls": "windowed",
+                "window": inst.window,
+                "agg": inst.agg,
+                "template": inst.template,
+                "unit": inst.unit,
+                "doc": inst.doc,
+                "bins": {label: dict(bins) for label, bins in inst._bins.items()},
+            }
+        elif isinstance(inst, Histogram):
+            out[key] = {
+                "cls": "histogram",
+                "edges": list(inst.edges),
+                "unit": inst.unit,
+                "doc": inst.doc,
+                "counts": list(inst._counts),
+                "count": inst.count,
+                "sum": inst.sum,
+                "min": inst.min,
+                "max": inst.max,
+            }
+        elif isinstance(inst, Counter):
+            out[key] = {
+                "cls": "counter",
+                "unit": inst.unit,
+                "doc": inst.doc,
+                "value": inst.value,
+            }
+        elif isinstance(inst, Gauge):
+            if inst._fn is not None:
+                continue  # observable: master evaluates its own closures
+            out[key] = {
+                "cls": "gauge",
+                "unit": inst.unit,
+                "doc": inst.doc,
+                "value": inst._value,
+            }
+    return out
+
+
+def snapshot_fabric(fabric) -> dict[str, Any]:
+    return {
+        "messages_sent": fabric.messages_sent,
+        "messages_delivered": fabric.messages_delivered,
+        "bytes_sent": fabric.bytes_sent,
+        "nonmin_packets": dict(fabric.nonmin_packets),
+        "total_packets": dict(fabric.total_packets),
+        "msg_seq": list(fabric._msg_seq),
+        "pkt_seq": list(fabric._pkt_seq),
+        # Metas stay behind: they hold live send-side state (requests,
+        # rank references).  The merge only needs the message counted.
+        "msgs": [
+            (msg_id, st.size, st.remaining, st.app_id, st.dst_node, st.injected_at)
+            for msg_id, st in fabric._msgs.items()
+        ],
+    }
+
+
+def snapshot_ranks(mpi, part_of_node, partition: int) -> dict[int, list[tuple]]:
+    """``{app_id: [(rank, finished, stats), ...]}`` for owned ranks only.
+
+    A rank is owned by the partition of its node's terminal; its
+    generator only ever runs there, so its stats are authoritative.
+    :class:`~repro.mpi.engine.RankStats` is slots-of-plain-data and
+    ships whole.
+    """
+    out: dict[int, list[tuple]] = {}
+    for job in mpi.jobs:
+        rows = [
+            (rs.rank, rs.finished, rs.stats)
+            for rs in job.ranks
+            if part_of_node[rs.node] == partition
+        ]
+        if rows:
+            out[job.app_id] = rows
+    return out
+
+
+def snapshot_worker(ws) -> dict[str, Any]:
+    """The full end-of-step state shipment for one worker."""
+    return {
+        "partition": ws.partition,
+        "instruments": snapshot_instruments(ws.session.manager.telemetry),
+        "fabric": snapshot_fabric(ws.fabric),
+        "ranks": snapshot_ranks(ws.mpi, ws.part_of_node, ws.partition),
+    }
+
+
+def capture_base(session) -> dict[str, Any]:
+    """The master's pre-run state, the common ancestor of every worker."""
+    return {
+        "instruments": snapshot_instruments(session.manager.telemetry),
+        "fabric": snapshot_fabric(session.fabric),
+    }
+
+
+# -- merge (master side) ---------------------------------------------------
+
+
+def _merge_bins(base: dict, worker_bins: list[dict], agg: str) -> defaultdict:
+    out: defaultdict = defaultdict(dict)
+    if agg == "max":
+        for src in [base, *worker_bins]:
+            for label, bins in src.items():
+                ob = out[label]
+                for b, v in bins.items():
+                    if v > ob.get(b, -inf):
+                        ob[b] = v
+        return out
+    for label, bins in base.items():
+        out[label] = dict(bins)
+    for wb in worker_bins:
+        for label, bins in wb.items():
+            ob = out[label]
+            bb = base.get(label, {})
+            for b, v in bins.items():
+                ob[b] = ob.get(b, 0) + v - bb.get(b, 0)
+    return out
+
+
+def _merge_instruments(telemetry, base: dict, snaps: list[dict]) -> None:
+    order: list[str] = []
+    seen: set[str] = set()
+    for snap in snaps:
+        for key in snap:
+            if key not in seen:
+                seen.add(key)
+                order.append(key)
+    # Update master-resident instruments in place (registration order is
+    # untouched); instruments only the workers created are appended in
+    # sorted key order -- row *streams* then differ from sequential only
+    # in ordering, which every consumer treats as a mapping.
+    existing = [k for k in order if telemetry.get(k) is not None]
+    created = sorted(k for k in order if telemetry.get(k) is None)
+    for key in existing + created:
+        descs = [snap[key] for snap in snaps if key in snap]
+        d0 = descs[0]
+        b = base.get(key)
+        cls = d0["cls"]
+        inst = telemetry.get(key)
+        if cls == "counter":
+            if inst is None:
+                inst = telemetry.counter(key, unit=d0["unit"], doc=d0["doc"])
+            v0 = b["value"] if b else 0
+            if inst.enabled:
+                inst.value = v0 + sum(d["value"] - v0 for d in descs)
+        elif cls == "gauge":
+            if inst is None:
+                inst = telemetry.gauge(key, unit=d0["unit"], doc=d0["doc"])
+            if inst.enabled:
+                v0 = b["value"] if b else None
+                changed = [d["value"] for d in descs if d["value"] != v0]
+                if changed:
+                    inst._value = max(changed)
+                elif v0 is not None:
+                    inst._value = v0
+        elif cls == "link_loads":
+            # Needs the topology to rebuild; the master registers it at
+            # fabric construction, so it can only be missing when the
+            # family is disabled everywhere.
+            if inst is None or not inst.enabled:
+                continue
+            bb = b["bytes"] if b else [0] * len(d0["bytes"])
+            merged = list(bb)
+            for d in descs:
+                wb = d["bytes"]
+                for i, v0 in enumerate(bb):
+                    merged[i] += wb[i] - v0
+            inst._bytes = merged
+        elif cls == "app_counter":
+            if inst is None or not inst.enabled:
+                continue  # registered by the master's fabric when enabled
+            inst._bins = _merge_bins(
+                b["bins"] if b else {}, [d["bins"] for d in descs], "sum"
+            )
+            inst._edge_bins = _merge_bins(
+                b["edge_bins"] if b else {}, [d["edge_bins"] for d in descs], "sum"
+            )
+        elif cls == "windowed":
+            if inst is None:
+                inst = telemetry.windowed(
+                    key,
+                    window=d0["window"],
+                    unit=d0["unit"],
+                    doc=d0["doc"],
+                    agg=d0["agg"],
+                    template=d0["template"],
+                )
+            if inst.enabled:
+                inst._bins = _merge_bins(
+                    b["bins"] if b else {}, [d["bins"] for d in descs], d0["agg"]
+                )
+        elif cls == "histogram":
+            if inst is None:
+                inst = telemetry.histogram(
+                    key, edges=d0["edges"], unit=d0["unit"], doc=d0["doc"]
+                )
+            if inst.enabled:
+                n = len(d0["counts"])
+                bc = b["counts"] if b else [0] * n
+                inst._counts = [
+                    bc[i] + sum(d["counts"][i] - bc[i] for d in descs)
+                    for i in range(n)
+                ]
+                b_count = b["count"] if b else 0
+                b_sum = b["sum"] if b else 0.0
+                inst.count = b_count + sum(d["count"] - b_count for d in descs)
+                inst.sum = b_sum + sum(d["sum"] - b_sum for d in descs)
+                mins = [d["min"] for d in descs if d["count"]]
+                maxs = [d["max"] for d in descs if d["count"]]
+                inst.min = min(mins) if mins else inf
+                inst.max = max(maxs) if maxs else -inf
+
+
+def _merge_fabric(fabric, base: dict, worker_fabrics: list[dict],
+                  held_opens: list[list[tuple]]) -> None:
+    for name in ("messages_sent", "messages_delivered", "bytes_sent"):
+        v0 = base[name]
+        setattr(fabric, name, v0 + sum(w[name] - v0 for w in worker_fabrics))
+    for name in ("nonmin_packets", "total_packets"):
+        b = base[name]
+        merged = dict(b)
+        for w in worker_fabrics:
+            for app_id, v in w[name].items():
+                merged[app_id] = merged.get(app_id, 0) + v - b.get(app_id, 0)
+        setattr(fabric, name, merged)
+    for name, attr in (("msg_seq", "_msg_seq"), ("pkt_seq", "_pkt_seq")):
+        b0 = base[name]
+        setattr(
+            fabric,
+            attr,
+            [v0 + sum(w[name][i] - v0 for w in worker_fabrics) for i, v0 in enumerate(b0)],
+        )
+    # In-flight union by msg_id: a crossing message can appear at its
+    # source (until injection ends), at its destination (once the open
+    # record lands) and as a master-held undelivered open -- all three
+    # describe the same live message.  Worker entries overwrite held
+    # opens (fresher remaining/injected_at).
+    msgs: dict[int, _MsgState] = {}
+    for opens in held_opens:
+        for msg_id, size, meta, app_id, dst_node in opens:
+            msgs[msg_id] = _MsgState(size, meta, app_id, dst_node)
+    for w in worker_fabrics:
+        for msg_id, size, remaining, app_id, dst_node, injected_at in w["msgs"]:
+            st = _MsgState(size, None, app_id, dst_node)
+            st.remaining = remaining
+            st.injected_at = injected_at
+            msgs[msg_id] = st
+    fabric._msgs = msgs
+
+
+def _merge_ranks(mpi, snaps: list[dict]) -> None:
+    for snap in snaps:
+        for app_id, rows in snap["ranks"].items():
+            job = mpi.jobs[app_id]
+            for rank, finished, stats in rows:
+                rs = job.ranks[rank]
+                rs.stats = stats
+                rs.finished = finished
+    for job in mpi.jobs:
+        job.done_ranks = sum(1 for rs in job.ranks if rs.finished)
+
+
+def _finish_jobs(mpi, telemetry, fired: set[int]) -> None:
+    """Synthesize job-completion effects no single worker could apply.
+
+    A job spanning partitions finishes in no worker's local view (each
+    counts only owned ranks), so the ``finished_at`` gauge and the
+    ``job_end_callback`` fire here, from the merged rank states.
+    ``fired`` persists across merges so repeated step() collections
+    never re-fire a callback.
+    """
+    for job in mpi.jobs:
+        if not job.finished:
+            continue
+        finished_at = max(rs.stats.finished_at for rs in job.ranks)
+        telemetry.gauge(
+            job_key(job.spec.name, "finished_at"), unit="seconds",
+            doc="simulated time the job's last rank finished",
+        ).set(finished_at)
+        if mpi.job_end_callback is not None and job.app_id not in fired:
+            fired.add(job.app_id)
+            mpi.job_end_callback(mpi._result_of(job))
+
+
+def merge_into_master(session, base: dict, snaps: list[dict],
+                      held_opens: list[list[tuple]], fired: set[int]) -> None:
+    """Fold every worker snapshot into the master model (idempotent)."""
+    telemetry = session.manager.telemetry
+    snaps = sorted(snaps, key=lambda s: s["partition"])
+    _merge_instruments(
+        telemetry, base["instruments"], [s["instruments"] for s in snaps]
+    )
+    _merge_fabric(
+        session.fabric, base["fabric"], [s["fabric"] for s in snaps], held_opens
+    )
+    _merge_ranks(session.mpi, snaps)
+    _finish_jobs(session.mpi, telemetry, fired)

@@ -57,6 +57,27 @@ def conservative_engine(
     """
     config = config or NetworkConfig()
     plan = plan_partitions(topo, partitions)
+    engine = ConservativeEngine(
+        lookahead=resolve_lookahead(topo, config, plan, lookahead),
+        n_partitions=partitions,
+        partition_fn=plan,
+    )
+    engine.plan = plan
+    return engine
+
+
+def resolve_lookahead(
+    topo: Any,
+    config: NetworkConfig,
+    plan: PartitionPlan,
+    lookahead: float | None = None,
+) -> float:
+    """Validate an explicit lookahead against ``plan``, or derive one.
+
+    Shared by every partitioned-engine factory (in-process and
+    :mod:`repro.parallel.mp`), so they agree on both the derived value
+    and the refusal rules.
+    """
     auto = min_cross_partition_latency(topo, config, plan)
     if auto is None:
         # Single partition: no link crosses, any positive lookahead is
@@ -66,26 +87,21 @@ def conservative_engine(
             config.latency(c) + config.router_delay
             for c in {p.link_class for ports in topo.router_ports for p in ports}
         )
-    if lookahead is not None:
-        if lookahead <= 0:
-            raise PartitionError(
-                f"lookahead must be positive, got {lookahead:g}"
-            )
-        if lookahead > auto:
-            raise PartitionError(
-                f"explicit lookahead {lookahead:g}s exceeds the minimum "
-                f"cross-partition link latency {auto:g}s of this "
-                f"{plan.scheme}-partitioned plan ({partitions} partitions); "
-                "events crossing partitions would violate the YAWNS "
-                f"contract -- use a lookahead <= {auto:g}"
-            )
-    engine = ConservativeEngine(
-        lookahead=lookahead if lookahead is not None else auto,
-        n_partitions=partitions,
-        partition_fn=plan,
-    )
-    engine.plan = plan
-    return engine
+    if lookahead is None:
+        return auto
+    if lookahead <= 0:
+        raise PartitionError(
+            f"lookahead must be positive, got {lookahead:g}"
+        )
+    if lookahead > auto:
+        raise PartitionError(
+            f"explicit lookahead {lookahead:g}s exceeds the minimum "
+            f"cross-partition link latency {auto:g}s of this "
+            f"{plan.scheme}-partitioned plan ({plan.n_partitions} partitions); "
+            "events crossing partitions would violate the YAWNS "
+            f"contract -- use a lookahead <= {auto:g}"
+        )
+    return lookahead
 
 
 def bind_engine_telemetry(engine: Any, telemetry: Any) -> None:
@@ -124,4 +140,5 @@ __all__ = [
     "conservative_engine",
     "min_cross_partition_latency",
     "plan_partitions",
+    "resolve_lookahead",
 ]

@@ -135,6 +135,63 @@ class ConservativeEngine(Engine):
             self._current_partition = saved
 
     # -- execution ---------------------------------------------------------
+    def pending_floor(self) -> float:
+        """Timestamp of the oldest pending event (``inf`` when drained).
+
+        In a parallel run each worker reports its local floor and the
+        master takes the global minimum -- the YAWNS window floor.
+        """
+        q = self._queue
+        return q[0][0] if q else float("inf")
+
+    def commit_window(self, window_end: float, until: float = float("inf"),
+                      budget: int = -1) -> tuple[int, bool]:
+        """Commit every pending event in ``[heap floor, window_end)``.
+
+        The extracted YAWNS window core: events are committed in the
+        deterministic ``(time, priority, seq)`` merge order -- including
+        events a handler schedules into the remainder of the window --
+        stopping at ``window_end``, at the ``until`` horizon (events
+        beyond it stay pending), or when ``budget`` more events have
+        been committed (``-1`` = unlimited).  Returns ``(committed,
+        budget_hit)``.  This same loop body executes one partition's
+        share of a window inside a :mod:`repro.parallel.mp` worker,
+        where the heap holds only that partition's events.
+        """
+        q = self._queue
+        pop = heapq.heappop
+        lps = self.lps
+        parts = self._part_of_lp
+        per_part = self.committed_by_partition
+        committed = 0
+        budget_hit = False
+        try:
+            while q:
+                t = q[0]
+                time = t[0]
+                if time >= window_end or time > until:
+                    break
+                pop(q)
+                ev = t[3]
+                part = parts[ev.dst]
+                self._current_partition = part
+                self._origin = ev.dst
+                self.now = time
+                lps[ev.dst].handle(ev)
+                per_part[part] += 1
+                committed += 1
+                if committed == budget:
+                    budget_hit = True
+                    break
+        finally:
+            # Leave the engine re-runnable on *every* exit path,
+            # including a handler raising mid-window: clear the
+            # executing-partition marker (it gates the lookahead check
+            # in _push) and the seq origin.
+            self._current_partition = -1
+            self._origin = -1
+        return committed, budget_hit
+
     def run(self, until: float = float("inf"), max_events: int | None = None) -> float:
         # ``committed == budget`` is the stop condition, so an unlimited
         # run uses -1 (never equal) and ``max_events=0`` commits nothing.
@@ -142,10 +199,6 @@ class ConservativeEngine(Engine):
         budget_hit = budget == 0
         committed = 0
         q = self._queue
-        pop = heapq.heappop
-        lps = self.lps
-        parts = self._part_of_lp
-        per_part = self.committed_by_partition
         lookahead = self.lookahead
         try:
             while q and not budget_hit:
@@ -154,38 +207,13 @@ class ConservativeEngine(Engine):
                     break  # nothing left inside the horizon
                 window_end = floor + lookahead
                 self.windows_executed += 1
-                window_events = 0
-                # Commit the window [floor, window_end) in global
-                # (time, priority, seq) order -- including events a
-                # partition schedules into its own remainder of the
-                # window, exactly as YAWNS allows.  ``until`` may land
-                # mid-window: events beyond it stay pending.
-                while q:
-                    t = q[0]
-                    time = t[0]
-                    if time >= window_end or time > until:
-                        break
-                    pop(q)
-                    ev = t[3]
-                    part = parts[ev.dst]
-                    self._current_partition = part
-                    self.now = time
-                    lps[ev.dst].handle(ev)
-                    per_part[part] += 1
-                    committed += 1
-                    window_events += 1
-                    if committed == budget:
-                        budget_hit = True
-                        break
-                self._current_partition = -1
+                window_events, budget_hit = self.commit_window(
+                    window_end, until, -1 if budget < 0 else budget - committed
+                )
+                committed += window_events
                 if window_events > self.max_window_events:
                     self.max_window_events = window_events
         finally:
-            # Leave the engine re-runnable on *every* exit path,
-            # including a handler raising mid-window: clear the
-            # executing-partition marker (it gates the lookahead check
-            # in _push) and keep the committed count accurate.
-            self._current_partition = -1
             self.events_processed += committed
         if not budget_hit and self.now < until < float("inf"):
             self.now = until

@@ -24,10 +24,25 @@ class Engine:
     #: to co-locate their control LPs with the partitions they serve.
     n_partitions: int = 1
 
+    #: Bit width reserved for the per-origin event counter in ``seq``
+    #: (see :meth:`schedule_fast`): 2^40 events per origin before the
+    #: packed keys of two origins could collide.
+    SEQ_ORIGIN_SHIFT = 40
+
     def __init__(self) -> None:
         self.lps: list[LP] = []
         self.now: float = 0.0
-        self._seq: int = 0
+        # Origin-scoped sequence numbers: ``seq`` is packed from the
+        # identity of the LP whose handler scheduled the event (slot 0
+        # is the environment -- model setup code running outside any
+        # handler) and a per-origin counter.  Because the counter of an
+        # origin advances only while that origin executes, the key is
+        # computable *locally* by whichever partition runs the origin,
+        # yet globally unique and identical to what a sequential run
+        # assigns -- the property the multi-process conservative engine
+        # (repro.parallel.mp) relies on for bit-identical merge order.
+        self._origin: int = -1
+        self._origin_seq: list[int] = [0]
         self.events_processed: int = 0
         self._end_hooks: list[Callable[[], None]] = []
 
@@ -43,6 +58,7 @@ class Engine:
         lp_id = len(self.lps)
         lp.bind(self, lp_id)
         self.lps.append(lp)
+        self._origin_seq.append(0)
         return lp_id
 
     def register_all(self, lps: Iterable[LP]) -> list[int]:
@@ -112,8 +128,10 @@ class Engine:
         enforcement in ``_push``) still apply.
         """
         ev = Event(time, dst, kind, data, priority, src, send_time=self.now)
-        ev.seq = self._seq
-        self._seq += 1
+        slot = self._origin + 1
+        c = self._origin_seq[slot]
+        self._origin_seq[slot] = c + 1
+        ev.seq = (slot << 40) | c
         self._push(ev)
         return ev
 

@@ -45,8 +45,11 @@ class SequentialEngine(Engine):
         # documents the contract; this engine inlines construction and
         # push to drop two call frames from the hottest path in the tree.
         ev = Event(time, dst, kind, data, priority, src, self.now)
-        seq = ev.seq = self._seq
-        self._seq = seq + 1
+        slot = self._origin + 1
+        counters = self._origin_seq
+        c = counters[slot]
+        counters[slot] = c + 1
+        seq = ev.seq = (slot << 40) | c
         heapq.heappush(self._queue, (time, priority, seq, ev))
         return ev
 
@@ -75,13 +78,16 @@ class SequentialEngine(Engine):
                 pop(q)
                 ev = t[3]
                 self.now = t[0]
+                self._origin = ev.dst
                 lps[ev.dst].handle(ev)
                 committed += 1
                 if committed == budget:
                     budget_hit = True
         finally:
             # Keep the committed-event count accurate even when a
-            # handler raises mid-run (post-mortem reporting reads it).
+            # handler raises mid-run (post-mortem reporting reads it),
+            # and reset the seq origin to the environment slot.
+            self._origin = -1
             self.events_processed += committed
         if not budget_hit and self.now < until < float("inf"):
             # Stopped at the horizon (drained or future events only): advance

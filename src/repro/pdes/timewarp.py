@@ -182,8 +182,10 @@ class TimeWarpEngine(Engine):
                 state = self.lps[lp_id].save_state()
                 self.now = ev.time
                 self._current_lp = lp_id
+                self._origin = lp_id
                 self.lps[lp_id].handle(ev)
                 self._current_lp = -1
+                self._origin = -1
                 rt.processed.append((ev, state))
                 rt.lvt = ev.time
                 self.events_executed += 1

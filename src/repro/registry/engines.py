@@ -15,6 +15,15 @@ all resolve through one roster:
     the lookahead derives from the minimum cross-partition link latency
     unless ``lookahead`` pins a tighter value explicitly.  Commits the
     identical event sequence as ``sequential`` (see ``docs/engines.md``).
+``mp-conservative``
+    The same YAWNS execution distributed for real: one worker process
+    per partition, cross-partition events exchanged at window
+    boundaries, results bit-identical to ``sequential``.  Models that
+    cannot be distributed fall back to single-process execution with
+    the reason recorded (``docs/engines.md``).
+``timewarp``
+    Optimistic Time Warp execution: speculative event handling with
+    state rollback and periodic GVT commitment.
 
 Engine factories need the live topology (and link config) to build
 their partition plan, so :func:`build_engine` takes both -- unlike
@@ -106,6 +115,22 @@ def _conservative_factory(topo: Any, config: NetworkConfig | None,
                                lookahead=lookahead)
 
 
+def _mp_conservative_factory(topo: Any, config: NetworkConfig | None,
+                             partitions: int, lookahead: float | None,
+                             backend: str) -> Engine:
+    from repro.parallel.mp import mp_conservative_engine
+
+    return mp_conservative_engine(topo, config, partitions=partitions,
+                                  lookahead=lookahead, backend=backend)
+
+
+def _timewarp_factory(topo: Any, config: NetworkConfig | None,
+                      gvt_interval: int) -> Engine:
+    from repro.pdes.timewarp import TimeWarpEngine
+
+    return TimeWarpEngine(gvt_interval=gvt_interval)
+
+
 register_engine(EngineSpec(
     name="sequential",
     summary="deterministic single-queue event scheduler (the default)",
@@ -127,3 +152,38 @@ register_engine(EngineSpec(
     factory=_conservative_factory,
     partitioned=True,
 ), aliases=("yawns",))
+
+register_engine(EngineSpec(
+    name="mp-conservative",
+    summary="YAWNS execution distributed over one worker process per "
+            "partition (clean single-process fallback, see docs/engines.md)",
+    params=(
+        Param("partitions", "int", "LP partitions (grouped topology-aware), "
+              "one worker process each",
+              default=4, minimum=1),
+        Param("lookahead", "float",
+              "explicit lookahead override in seconds (default: derived "
+              "from the partition plan's cross-partition links)",
+              default=None),
+        Param("backend", "str",
+              "cross-process transport: 'mp' (spawned processes over "
+              "pipes), 'inline' (in-process protocol emulation) or 'mpi' "
+              "(mpi4py ranks; requires mpi4py)",
+              default="mp", choices=("mp", "inline", "mpi")),
+    ),
+    factory=_mp_conservative_factory,
+    partitioned=True,
+), aliases=("mp",))
+
+register_engine(EngineSpec(
+    name="timewarp",
+    summary="optimistic Time Warp execution with rollback and periodic "
+            "GVT commitment",
+    params=(
+        Param("gvt_interval", "int",
+              "events executed between GVT (global virtual time) "
+              "computations",
+              default=64, minimum=1),
+    ),
+    factory=_timewarp_factory,
+), aliases=("tw",))

@@ -329,6 +329,12 @@ def reduce_scenario_result(spec: ScenarioSpec, outcome: RunOutcome) -> ScenarioR
             plan = getattr(eng, "plan", None)
             if plan is not None:
                 engine_info["scheme"] = plan.scheme
+        mode = getattr(eng, "execution_mode", None)
+        if mode is not None:
+            # mp-conservative: whether the run actually distributed, and
+            # if not, the user-facing reason it fell back.
+            engine_info["mode"] = mode
+            engine_info["fallback"] = eng.fallback_reason
     faults_info = None
     if spec.faults:
         def fault_val(metric: str) -> int:

@@ -231,6 +231,15 @@ class SimulationSession:
         else:
             self._setup_static()
         self.mpi.start()
+        # Distributing engines (repro.parallel.mp) need the built model
+        # distilled into a worker recipe -- or the reason that is
+        # impossible, which becomes their single-process fallback reason.
+        engine = self.fabric.engine
+        if hasattr(engine, "bind_model_source"):
+            from repro.parallel.mp.recipe import extract_recipe
+
+            recipe_blob, reason = extract_recipe(self)
+            engine.bind_model_source(self, recipe_blob, reason)
         self._built = True
         return self
 
@@ -331,6 +340,11 @@ class SimulationSession:
         mgr = self.manager
         end = self.engine.now
         self.mpi.publish_job_metrics()
+        # A distributed engine has merged all worker state by now; its
+        # processes only need releasing.
+        shutdown = getattr(self.engine, "shutdown_workers", None)
+        if shutdown is not None:
+            shutdown()
         apps = []
         not_started: list[tuple[str, str]] = []
         results = self.mpi.results()

@@ -254,12 +254,21 @@ def test_registered_custom_placement_reaches_the_manager():
 def test_engine_registry_roster():
     from repro.registry import available_engines, engine_registry
 
-    assert available_engines() == ("sequential", "conservative")
+    assert available_engines() == ("sequential", "conservative",
+                                   "mp-conservative", "timewarp")
     assert engine_registry.canonical("seq") == "sequential"
     assert engine_registry.canonical("yawns") == "conservative"
+    assert engine_registry.canonical("mp") == "mp-conservative"
+    assert engine_registry.canonical("tw") == "timewarp"
     spec = engine_registry.get("conservative")
     assert spec.partitioned
     assert spec.param_names() == ("partitions", "lookahead")
+    mp = engine_registry.get("mp-conservative")
+    assert mp.partitioned
+    assert mp.param_names() == ("partitions", "lookahead", "backend")
+    tw = engine_registry.get("timewarp")
+    assert not tw.partitioned
+    assert tw.param_names() == ("gvt_interval",)
 
 
 def test_build_engine_dispatches_and_validates():
