@@ -192,6 +192,25 @@ def run_network_storm_mp() -> int:
     return eng.events_processed
 
 
+def run_network_storm_accel() -> int:
+    """The same permutation storm with the event loop in the compiled
+    :mod:`repro.accel` kernel (``accel-sequential``, compiled backend).
+
+    The committed event set is identical to the sequential run (the
+    parity goldens pin it bit for bit), so the pair
+    (``network_throughput``, ``network_storm_accel``) shares one
+    reference count; the delta is what moving the heap, the commit loop
+    and the router/terminal ``pkt`` fast paths into C buys.  Asserts
+    the compiled backend actually ran -- this bench must fail loudly
+    rather than silently time the Python fallback.
+    """
+    from repro.accel import accel_sequential_engine
+
+    eng = accel_sequential_engine()
+    assert eng.backend == "compiled", eng.backend_reason
+    return run_network_throughput(engine=eng)
+
+
 def run_phold(engine=None) -> int:
     """Pure engine overhead: 64-LP PHOLD on the sequential scheduler."""
     from tests.pdes.phold import build_phold
@@ -211,6 +230,22 @@ def run_phold_conservative() -> int:
     return run_phold(ConservativeEngine(lookahead=0.5, n_partitions=8))
 
 
+def run_phold_accel() -> int:
+    """64-LP PHOLD on the compiled kernel (``accel-sequential``).
+
+    PHOLD handlers are plain Python LPs, so this pair
+    (``phold_sequential``, ``phold_accel``) isolates what the C heap and
+    commit loop alone are worth when every event still crosses back into
+    Python -- the floor of the kernel's win, where the storm pair is
+    closer to its ceiling.  Asserts the compiled backend actually ran.
+    """
+    from repro.accel import accel_sequential_engine
+
+    eng = accel_sequential_engine()
+    assert eng.backend == "compiled", eng.backend_reason
+    return run_phold(engine=eng)
+
+
 BENCHES = {
     "network_throughput": run_network_throughput,
     "network_storm_telemetry_off": run_network_storm_telemetry_off,
@@ -218,9 +253,11 @@ BENCHES = {
     "network_storm_stepwise": run_network_storm_stepwise,
     "network_storm_union": run_network_storm_union,
     "network_storm_mp": run_network_storm_mp,
+    "network_storm_accel": run_network_storm_accel,
     "mpi_workload": run_mpi_workload_throughput,
     "phold_sequential": run_phold,
     "phold_conservative": run_phold_conservative,
+    "phold_accel": run_phold_accel,
 }
 
 #: Committed event counts of the v0 seed model for the identical
@@ -241,15 +278,49 @@ REFERENCE_EVENTS = {
     # set, golden-tested).
     "network_storm_union": 54_749,
     "network_storm_mp": 54_749,
+    # The accel benches commit the identical event sets as their
+    # pure-Python halves (pinned bit for bit by the parity goldens).
+    "network_storm_accel": 117_846,
     "mpi_workload": 132_317,
     "phold_sequential": 127_946,
     "phold_conservative": 127_946,
+    "phold_accel": 127_946,
 }
 
 
-def measure(repeat: int = 3) -> dict:
+def engine_benches(table: dict) -> dict:
+    """The engine-substituted roster for ``union-sim bench --engine``.
+
+    Re-runs the engine-parameterizable benches on an engine built from
+    the registry table: the permutation storm always (partitioned
+    engines derive their plan from the storm's own topology), PHOLD only
+    for unpartitioned specs (its LPs are not a fabric, so there is no
+    topology to plan partitions over).  Each repeat builds a fresh
+    engine -- engines hold per-run LP state.
+    """
+    from repro.registry import build_engine, engine_registry
+
+    spec = engine_registry.get(table.get("type", "sequential"))
+
+    def storm() -> int:
+        eng = build_engine(dict(table), Dragonfly1D.mini(),
+                           NetworkConfig(seed=2))
+        return run_network_throughput(engine=eng)
+
+    out = {"network_throughput": storm}
+    if not spec.partitioned:
+        def phold() -> int:
+            return run_phold(engine=build_engine(dict(table), None))
+
+        out["phold_sequential"] = phold
+    return out
+
+
+def measure(repeat: int = 3, benches: dict | None = None) -> dict:
+    """Run ``benches`` (default: the full roster) ``repeat`` times each,
+    keeping the best; reference normalization keyed by bench name."""
     out = {}
-    for name, fn in BENCHES.items():
+    for name, fn in (BENCHES if benches is None else benches).items():
         best = None
         events = 0
         for _ in range(repeat):

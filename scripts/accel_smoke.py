@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""CI smoke drill for the compiled accel event kernel.
+
+Runs one hybrid storm scenario (apps plus background traffic on the
+mini dragonfly) twice -- on the pure-Python ``sequential`` engine, then
+on ``accel-sequential`` -- and asserts:
+
+1. the accel run used the backend this host is expected to provide
+   (``--expect compiled`` on a compiler host, ``--expect python`` on a
+   compiler-less host; without the flag either backend passes, which
+   would make a CI check vacuous -- always pass it in CI);
+2. a python fallback recorded a user-facing ``backend_reason``;
+3. the scenario result JSON is bit-identical modulo the ``engine`` key
+   (the docs/engines.md determinism guarantee, end to end through the
+   scenario layer).
+
+Exit 0 on success; any assertion is fatal.  Run directly:
+``python scripts/accel_smoke.py --expect compiled``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+SCENARIO = {
+    "name": "accel-smoke-storm",
+    "topology": {"network": "1d", "scale": "mini"},
+    "seed": 11,
+    "horizon": 0.004,
+    "placement": "rn",
+    "jobs": [
+        {"app": "milc", "nranks": 16},
+        {"app": "nn", "nranks": 8, "params": {"dims": [2, 2, 2]}},
+    ],
+    "traffic": [
+        {"pattern": "uniform", "nranks": 16, "msg_bytes": 8192,
+         "interval_s": 5e-5},
+    ],
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--expect", choices=("compiled", "python"), default=None,
+        help="assert the accel run used this backend (keeps the check "
+             "non-vacuous in CI)")
+    args = parser.parse_args()
+
+    from repro.scenario import parse_scenario
+    from repro.scenario.runner import run_scenario
+
+    seq = run_scenario(parse_scenario(dict(SCENARIO))).to_json_dict()
+
+    accel_spec = dict(SCENARIO)
+    accel_spec["engine"] = {"type": "accel-sequential"}
+    accel = run_scenario(parse_scenario(accel_spec)).to_json_dict()
+
+    engine = accel.pop("engine")
+    backend = engine["backend"]
+    reason = engine["backend_reason"]
+    if args.expect is not None:
+        assert backend == args.expect, (
+            f"expected the {args.expect!r} backend but the run used "
+            f"{backend!r} (backend_reason={reason!r})"
+        )
+    if backend == "python":
+        assert reason, "python fallback must record a backend_reason"
+    else:
+        assert reason is None, f"compiled backend recorded reason {reason!r}"
+
+    if accel != seq:
+        a = json.dumps(seq, indent=2, sort_keys=True).splitlines()
+        b = json.dumps(accel, indent=2, sort_keys=True).splitlines()
+        import difflib
+
+        sys.stderr.write("\n".join(difflib.unified_diff(
+            a, b, "sequential", "accel-sequential", lineterm="", n=3)))
+        sys.stderr.write("\n")
+        raise AssertionError(
+            "accel-sequential scenario JSON diverged from sequential"
+        )
+
+    detail = f"fallback: {reason}" if backend == "python" else "no fallback"
+    print(f"accel smoke OK: backend {backend} ({detail}), "
+          f"scenario JSON bit-identical to sequential")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -164,11 +164,13 @@ def check_telemetry_doc(path: Path = DOCS / "telemetry.md") -> int:
 
 
 def check_engines_doc(path: Path = DOCS / "engines.md") -> int:
-    """docs/engines.md must name every engine, param and param choice.
+    """docs/engines.md must name every engine, alias, param and choice.
 
     Names must appear backtick-quoted (as in the roster and parameter
     listings); enumerated parameters (``Param.choices``) must document
-    every accepted value.  Returns the number of names checked.
+    every accepted value, and every registered alias must be named so
+    the shorthand a scenario may use is discoverable.  Returns the
+    number of names checked.
     """
     from repro.registry import engine_registry
 
@@ -180,6 +182,7 @@ def check_engines_doc(path: Path = DOCS / "engines.md") -> int:
             names.append(p.name)
             if p.choices:
                 names.extend(str(c) for c in p.choices)
+    names.extend(engine_registry.aliases())
     missing = [n for n in names if f"`{n}`" not in text]
     assert not missing, (
         f"{path} does not mention registered engine(s)/parameter(s) {missing}; "

@@ -1,0 +1,32 @@
+"""repro.accel: compiled event-kernel subsystem with pure-Python fallback.
+
+The hot loop of every simulation -- heap pops, Router/Terminal ``pkt``
+dispatch, downstream scheduling -- optionally runs in a small C
+extension (``_kernel.c``) compiled lazily on first use.  The committed
+event sequence is bit-identical to the pure-Python engines, the
+fallback is automatic and recorded, and nothing at install or import
+time requires a compiler.  See ``docs/engines.md`` ("Accelerated
+kernels") and :mod:`repro.accel.build` for the build/caching story.
+"""
+
+from repro.accel.build import AccelUnavailable, kernel_status, load_kernel
+from repro.accel.engines import (
+    AccelConservativeEngine,
+    AccelSequentialEngine,
+    PythonConservativeEngine,
+    PythonSequentialEngine,
+    accel_conservative_engine,
+    accel_sequential_engine,
+)
+
+__all__ = [
+    "AccelUnavailable",
+    "kernel_status",
+    "load_kernel",
+    "AccelSequentialEngine",
+    "AccelConservativeEngine",
+    "PythonSequentialEngine",
+    "PythonConservativeEngine",
+    "accel_sequential_engine",
+    "accel_conservative_engine",
+]

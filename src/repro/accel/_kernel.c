@@ -1,0 +1,1309 @@
+/* _union_accel: compiled event-loop kernel for the repro PDES engines.
+ *
+ * One C type, Kernel, owns the (time, priority, seq) binary heap and
+ * runs the commit loop of the sequential and conservative (YAWNS)
+ * schedulers, calling back into Python only for non-hot LP kinds.  The
+ * hot Router/Terminal "pkt" events are handled natively: arrival
+ * scheduling, busy_until bookkeeping and link-load/queue telemetry are
+ * performed against the LPs' own Python containers, in the exact
+ * statement order of RouterLP._on_arrival, so the committed event
+ * sequence -- and every float -- is bit-identical to the pure-Python
+ * engines.
+ *
+ * Contracts this file must keep in lockstep with the Python side:
+ *
+ *   - entry layout + compare order: repro/pdes/eventheap.py
+ *     (ENTRY_FIELDS == ("time", "priority", "seq"); min-heap, seq is
+ *     unique so the compare never needs the payload);
+ *   - seq packing: Engine.schedule_fast -- slot = origin + 1,
+ *     seq = (slot << 40) | counter, counter bumped per slot;
+ *   - loop semantics: SequentialEngine.run and ConservativeEngine.run/
+ *     commit_window, including budget (-1 unlimited, 0 commits
+ *     nothing, stop when committed == budget), the horizon advance,
+ *     and the finally-clause bookkeeping on handler exceptions;
+ *   - router fast path: RouterLP._on_arrival / _select_port /
+ *     queue_depth, including the deque pruning a multi-candidate
+ *     adaptive probe performs on every candidate port.
+ *
+ * All floats are IEEE doubles computed in the same operation order as
+ * CPython would; build without -ffast-math (see accel/build.py).
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#include <math.h>
+#include <stdint.h>
+
+/* ---------------------------------------------------------------- */
+/* interned attribute / method names                                 */
+
+static PyObject *str_time, *str_priority, *str_seq, *str_dst, *str_src,
+    *str_send_time, *str_kind, *str_data, *str_path, *str_hop,
+    *str_dst_node, *str_size, *str_app_id, *str_popleft, *str_append,
+    *str_packets_forwarded;
+
+/* ---------------------------------------------------------------- */
+/* heap entries                                                      */
+
+typedef struct {
+    double time;
+    double send_time;
+    int64_t seq;
+    long prio;
+    long dst;
+    long src;
+    int native;        /* 1: payload is the Packet of a "pkt" event   */
+    PyObject *payload; /* owned: Event (native=0) or Packet (native=1) */
+} entry_t;
+
+static inline int
+entry_lt(const entry_t *a, const entry_t *b)
+{
+    if (a->time != b->time)
+        return a->time < b->time;
+    if (a->prio != b->prio)
+        return a->prio < b->prio;
+    return a->seq < b->seq;
+}
+
+/* ---------------------------------------------------------------- */
+/* per-LP dispatch table                                             */
+
+enum { DISP_PYTHON = 0, DISP_ROUTER = 1, DISP_TERMINAL = 2 };
+
+typedef struct {
+    int kind;
+    long lp_id;
+    PyObject *lp;         /* the LP object (owned)                    */
+    PyObject *handle;     /* bound lp.handle (owned; all kinds)       */
+    /* router fast path (owned or NULL) */
+    PyObject *on_arrival;     /* bound _on_arrival (held for the row) */
+    PyObject *ports;          /* list[(peer, bw, extra, link, hop+)]  */
+    PyObject *busy_until;     /* list[float], shared with the LP      */
+    PyObject *pending_starts; /* list[deque]                          */
+    PyObject *port_to_node;   /* dict: dst node -> port               */
+    PyObject *ports_to_router;/* dict: next router lp -> [ports]      */
+    PyObject *app_record;     /* telemetry hooks; NULL when disabled  */
+    PyObject *load_record;
+    PyObject *queue_record;
+    PyObject *rid;            /* router id (int)                      */
+    /* terminal fast path */
+    PyObject *on_pkt;         /* bound _on_pkt                        */
+} disp_t;
+
+/* ---------------------------------------------------------------- */
+/* the Kernel object                                                 */
+
+typedef struct {
+    PyObject_HEAD
+    entry_t *heap;
+    Py_ssize_t len, cap;
+    int64_t *counters;      /* slot 0 = environment, then one per LP  */
+    Py_ssize_t n_counters, counters_cap;
+    long *parts;            /* partition per LP (conservative mode)   */
+    Py_ssize_t parts_cap;
+    double now;
+    long origin;            /* seq slot owner; -1 outside handlers    */
+    int conservative;
+    double lookahead;
+    long n_partitions;
+    long current_partition; /* gates the push-side lookahead check    */
+    int64_t *per_part;      /* committed per partition                */
+    long long windows_executed;
+    long long max_window_events;
+    long long events_processed;
+    disp_t *disp;
+    Py_ssize_t n_disp;
+    PyObject *event_cls;    /* repro.pdes.event.Event                 */
+} KernelObject;
+
+#define SEQ_ORIGIN_SHIFT 40
+
+/* ---------------------------------------------------------------- */
+/* heap primitives (mirror heapq's sift algorithms)                  */
+
+static int
+heap_reserve(KernelObject *k, Py_ssize_t need)
+{
+    if (need <= k->cap)
+        return 0;
+    Py_ssize_t cap = k->cap ? k->cap : 256;
+    while (cap < need)
+        cap *= 2;
+    entry_t *h = PyMem_Realloc(k->heap, (size_t)cap * sizeof(entry_t));
+    if (!h) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    k->heap = h;
+    k->cap = cap;
+    return 0;
+}
+
+static void
+heap_siftdown(entry_t *h, Py_ssize_t start, Py_ssize_t pos)
+{
+    entry_t item = h[pos];
+    while (pos > start) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        if (!entry_lt(&item, &h[parent]))
+            break;
+        h[pos] = h[parent];
+        pos = parent;
+    }
+    h[pos] = item;
+}
+
+static void
+heap_siftup(entry_t *h, Py_ssize_t len, Py_ssize_t pos)
+{
+    Py_ssize_t start = pos;
+    entry_t item = h[pos];
+    Py_ssize_t child = 2 * pos + 1;
+    while (child < len) {
+        Py_ssize_t right = child + 1;
+        if (right < len && !entry_lt(&h[child], &h[right]))
+            child = right;
+        h[pos] = h[child];
+        pos = child;
+        child = 2 * pos + 1;
+    }
+    h[pos] = item;
+    heap_siftdown(h, start, pos);
+}
+
+/* push steals the payload reference on success */
+static int
+heap_push(KernelObject *k, entry_t *e)
+{
+    if (heap_reserve(k, k->len + 1) < 0)
+        return -1;
+    k->heap[k->len] = *e;
+    heap_siftdown(k->heap, 0, k->len);
+    k->len++;
+    return 0;
+}
+
+static void
+heap_pop(KernelObject *k, entry_t *out)
+{
+    *out = k->heap[0];
+    k->len--;
+    if (k->len) {
+        k->heap[0] = k->heap[k->len];
+        heap_siftup(k->heap, k->len, 0);
+    }
+}
+
+/* ---------------------------------------------------------------- */
+/* small attribute helpers                                           */
+
+static int
+get_double_attr(PyObject *o, PyObject *name, double *out)
+{
+    PyObject *v = PyObject_GetAttr(o, name);
+    if (!v)
+        return -1;
+    *out = PyFloat_AsDouble(v);
+    Py_DECREF(v);
+    if (*out == -1.0 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+static int
+get_long_attr(PyObject *o, PyObject *name, long *out)
+{
+    PyObject *v = PyObject_GetAttr(o, name);
+    if (!v)
+        return -1;
+    *out = PyLong_AsLong(v);
+    Py_DECREF(v);
+    if (*out == -1 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+/* Event for a natively-scheduled entry (handed to a Python LP or an
+ * error message); seq is the one assigned at scheduling time. */
+static PyObject *
+materialize_event(KernelObject *k, const entry_t *e)
+{
+    PyObject *ev = PyObject_CallFunction(
+        k->event_cls, "dlsOlld", e->time, e->dst, "pkt", e->payload,
+        e->prio, e->src, e->send_time);
+    if (!ev)
+        return NULL;
+    PyObject *seq = PyLong_FromLongLong((long long)e->seq);
+    if (!seq || PyObject_SetAttr(ev, str_seq, seq) < 0) {
+        Py_XDECREF(seq);
+        Py_DECREF(ev);
+        return NULL;
+    }
+    Py_DECREF(seq);
+    return ev;
+}
+
+/* Matches ConservativeEngine._push's message byte for byte. */
+static void
+raise_lookahead(KernelObject *k, PyObject *ev, double time, double send_time)
+{
+    char delay[32], la[32];
+    PyOS_snprintf(delay, sizeof(delay), "%.3e", time - send_time);
+    PyOS_snprintf(la, sizeof(la), "%.3e", k->lookahead);
+    PyErr_Format(PyExc_RuntimeError,
+                 "lookahead violation: cross-partition event %R scheduled "
+                 "with delay %s < lookahead %s", ev, delay, la);
+}
+
+/* ---------------------------------------------------------------- */
+/* native scheduling (router downstream sends)                       */
+
+static int
+sched_native(KernelObject *k, double time, long dst, PyObject *pkt, long src)
+{
+    long slot = k->origin + 1;
+    int64_t c = k->counters[slot];
+    k->counters[slot] = c + 1;
+    entry_t e;
+    e.time = time;
+    e.send_time = k->now;
+    e.seq = ((int64_t)slot << SEQ_ORIGIN_SHIFT) | c;
+    e.prio = 1; /* Priority.NETWORK */
+    e.dst = dst;
+    e.src = src;
+    e.native = 1;
+    e.payload = pkt;
+    if (k->conservative && k->current_partition >= 0
+        && dst >= 0 && dst < k->n_counters - 1
+        && k->parts[dst] != k->current_partition
+        && time < e.send_time + k->lookahead) {
+        PyObject *ev = materialize_event(k, &e);
+        if (ev) {
+            raise_lookahead(k, ev, time, e.send_time);
+            Py_DECREF(ev);
+        }
+        return -1;
+    }
+    Py_INCREF(pkt);
+    if (heap_push(k, &e) < 0) {
+        Py_DECREF(pkt);
+        return -1;
+    }
+    return 0;
+}
+
+/* ---------------------------------------------------------------- */
+/* router arrival fast path (RouterLP._on_arrival, natively)         */
+
+static int
+prune_deque(PyObject *dq, double now)
+{
+    for (;;) {
+        Py_ssize_t n = PySequence_Size(dq);
+        if (n < 0)
+            return -1;
+        if (n == 0)
+            return 0;
+        PyObject *head = PySequence_GetItem(dq, 0);
+        if (!head)
+            return -1;
+        double v = PyFloat_AsDouble(head);
+        Py_DECREF(head);
+        if (v == -1.0 && PyErr_Occurred())
+            return -1;
+        if (!(v <= now))
+            return 0;
+        PyObject *r = PyObject_CallMethodNoArgs(dq, str_popleft);
+        if (!r)
+            return -1;
+        Py_DECREF(r);
+    }
+}
+
+static int
+router_arrival(KernelObject *k, disp_t *d, PyObject *pkt)
+{
+    double now = k->now;
+
+    /* Resolve the output port first: last hop is a dict lookup, a
+     * single forward candidate needs no probing, and a multi-candidate
+     * adaptive choice takes the shallowest queue (pruning each port's
+     * pending-starts deque exactly as queue_depth does). */
+    long hop;
+    if (get_long_attr(pkt, str_hop, &hop) < 0)
+        return -1;
+    PyObject *path = PyObject_GetAttr(pkt, str_path);
+    if (!path)
+        return -1;
+    Py_ssize_t plen = PySequence_Size(path);
+    if (plen < 0) {
+        Py_DECREF(path);
+        return -1;
+    }
+    long port;
+    if (hop == plen - 1) {
+        Py_DECREF(path);
+        PyObject *dn = PyObject_GetAttr(pkt, str_dst_node);
+        if (!dn)
+            return -1;
+        PyObject *po = PyObject_GetItem(d->port_to_node, dn);
+        Py_DECREF(dn);
+        if (!po)
+            return -1; /* KeyError, as in Python */
+        port = PyLong_AsLong(po);
+        Py_DECREF(po);
+        if (port == -1 && PyErr_Occurred())
+            return -1;
+    }
+    else {
+        PyObject *nxt = PySequence_GetItem(path, hop + 1);
+        Py_DECREF(path);
+        if (!nxt)
+            return -1;
+        PyObject *cands = PyObject_GetItem(d->ports_to_router, nxt);
+        Py_DECREF(nxt);
+        if (!cands)
+            return -1; /* KeyError, as in Python */
+        Py_ssize_t ncand = PySequence_Size(cands);
+        if (ncand < 0) {
+            Py_DECREF(cands);
+            return -1;
+        }
+        if (ncand == 1) {
+            PyObject *po = PySequence_GetItem(cands, 0);
+            Py_DECREF(cands);
+            if (!po)
+                return -1;
+            port = PyLong_AsLong(po);
+            Py_DECREF(po);
+            if (port == -1 && PyErr_Occurred())
+                return -1;
+        }
+        else {
+            /* Parallel links to the same neighbour:
+             * min(candidates, key=queue_depth).  First minimum wins,
+             * candidates probed in order, and each probe prunes that
+             * port's pending-starts deque -- all exactly as the
+             * Python min()/queue_depth pair behaves. */
+            long best = -1;
+            Py_ssize_t best_depth = 0;
+            for (Py_ssize_t i = 0; i < ncand; i++) {
+                PyObject *po = PySequence_GetItem(cands, i);
+                if (!po)
+                    goto cand_fail;
+                long p = PyLong_AsLong(po);
+                Py_DECREF(po);
+                if (p == -1 && PyErr_Occurred())
+                    goto cand_fail;
+                PyObject *cdq = PyList_GetItem(d->pending_starts, p);
+                if (!cdq)
+                    goto cand_fail;
+                Py_INCREF(cdq);
+                int pr = prune_deque(cdq, now);
+                Py_ssize_t dlen = (pr < 0) ? -1 : PySequence_Size(cdq);
+                Py_DECREF(cdq);
+                if (pr < 0 || dlen < 0)
+                    goto cand_fail;
+                PyObject *cbu = PyList_GetItem(d->busy_until, p);
+                if (!cbu)
+                    goto cand_fail;
+                double b = PyFloat_AsDouble(cbu);
+                if (b == -1.0 && PyErr_Occurred())
+                    goto cand_fail;
+                Py_ssize_t depth = dlen + (now < b ? 1 : 0);
+                if (best < 0 || depth < best_depth) {
+                    best = p;
+                    best_depth = depth;
+                }
+            }
+            Py_DECREF(cands);
+            if (best < 0) {
+                PyErr_SetString(PyExc_ValueError,
+                                "min() iterable argument is empty");
+                return -1;
+            }
+            port = best;
+            goto cand_done;
+        cand_fail:
+            Py_DECREF(cands);
+            return -1;
+        cand_done:;
+        }
+    }
+
+    /* From here on, the statement order of _on_arrival exactly. */
+    int rc = -1;
+    PyObject *sizeobj = NULL, *nowobj = NULL, *dq = NULL, *pt = NULL;
+
+    sizeobj = PyObject_GetAttr(pkt, str_size);
+    if (!sizeobj)
+        goto done;
+    double size = PyFloat_AsDouble(sizeobj);
+    if (size == -1.0 && PyErr_Occurred())
+        goto done;
+
+    if (d->app_record) {
+        PyObject *app = PyObject_GetAttr(pkt, str_app_id);
+        if (!app)
+            goto done;
+        nowobj = PyFloat_FromDouble(now);
+        if (!nowobj) {
+            Py_DECREF(app);
+            goto done;
+        }
+        PyObject *r = PyObject_CallFunctionObjArgs(
+            d->app_record, d->rid, app, nowobj, sizeobj, NULL);
+        Py_DECREF(app);
+        if (!r)
+            goto done;
+        Py_DECREF(r);
+    }
+
+    /* Port constants are read live per event: fault planes rescale
+     * _ports[port] in place mid-run. */
+    pt = PyList_GetItem(d->ports, port); /* borrowed */
+    if (!pt)
+        goto done;
+    Py_INCREF(pt);
+    if (!PyTuple_Check(pt) || PyTuple_GET_SIZE(pt) != 5) {
+        PyErr_SetString(PyExc_TypeError, "router port entry is not a 5-tuple");
+        goto done;
+    }
+    long peer = PyLong_AsLong(PyTuple_GET_ITEM(pt, 0));
+    if (peer == -1 && PyErr_Occurred())
+        goto done;
+    double bw = PyFloat_AsDouble(PyTuple_GET_ITEM(pt, 1));
+    if (bw == -1.0 && PyErr_Occurred())
+        goto done;
+    double extra = PyFloat_AsDouble(PyTuple_GET_ITEM(pt, 2));
+    if (extra == -1.0 && PyErr_Occurred())
+        goto done;
+    long hop_inc = PyLong_AsLong(PyTuple_GET_ITEM(pt, 4));
+    if (hop_inc == -1 && PyErr_Occurred())
+        goto done;
+
+    PyObject *bu = PyList_GetItem(d->busy_until, port); /* borrowed */
+    if (!bu)
+        goto done;
+    double start = PyFloat_AsDouble(bu);
+    if (start == -1.0 && PyErr_Occurred())
+        goto done;
+
+    if (start > now) {
+        dq = PyList_GetItem(d->pending_starts, port); /* borrowed */
+        if (!dq)
+            goto done;
+        Py_INCREF(dq);
+        if (prune_deque(dq, now) < 0)
+            goto done;
+        PyObject *so = PyFloat_FromDouble(start);
+        if (!so)
+            goto done;
+        PyObject *r = PyObject_CallMethodOneArg(dq, str_append, so);
+        Py_DECREF(so);
+        if (!r)
+            goto done;
+        Py_DECREF(r);
+    }
+    else {
+        start = now;
+    }
+
+    double fin = start + size / bw;
+    {
+        PyObject *fo = PyFloat_FromDouble(fin);
+        if (!fo)
+            goto done;
+        if (PyList_SetItem(d->busy_until, port, fo) < 0) /* steals fo */
+            goto done;
+    }
+
+    if (d->load_record) {
+        PyObject *r = PyObject_CallFunctionObjArgs(
+            d->load_record, PyTuple_GET_ITEM(pt, 3), sizeobj, NULL);
+        if (!r)
+            goto done;
+        Py_DECREF(r);
+    }
+
+    if (d->queue_record) {
+        if (!dq) {
+            dq = PyList_GetItem(d->pending_starts, port);
+            if (!dq)
+                goto done;
+            Py_INCREF(dq);
+        }
+        if (prune_deque(dq, now) < 0)
+            goto done;
+        Py_ssize_t depth = PySequence_Size(dq);
+        if (depth < 0)
+            goto done;
+        if (!nowobj) {
+            nowobj = PyFloat_FromDouble(now);
+            if (!nowobj)
+                goto done;
+        }
+        PyObject *po = PyLong_FromLong(port);
+        if (!po)
+            goto done;
+        PyObject *key = PyTuple_Pack(2, d->rid, po);
+        Py_DECREF(po);
+        if (!key)
+            goto done;
+        PyObject *dep = PyLong_FromSsize_t(depth + 1);
+        if (!dep) {
+            Py_DECREF(key);
+            goto done;
+        }
+        PyObject *r = PyObject_CallFunctionObjArgs(
+            d->queue_record, key, nowobj, dep, NULL);
+        Py_DECREF(key);
+        Py_DECREF(dep);
+        if (!r)
+            goto done;
+        Py_DECREF(r);
+    }
+
+    {
+        long pf;
+        if (get_long_attr(d->lp, str_packets_forwarded, &pf) < 0)
+            goto done;
+        PyObject *npf = PyLong_FromLong(pf + 1);
+        if (!npf)
+            goto done;
+        int err = PyObject_SetAttr(d->lp, str_packets_forwarded, npf);
+        Py_DECREF(npf);
+        if (err < 0)
+            goto done;
+    }
+    {
+        /* pkt.hop += hop_inc */
+        PyObject *nh = PyLong_FromLong(hop + hop_inc);
+        if (!nh)
+            goto done;
+        int err = PyObject_SetAttr(pkt, str_hop, nh);
+        Py_DECREF(nh);
+        if (err < 0)
+            goto done;
+    }
+
+    if (sched_native(k, fin + extra, peer, pkt, d->lp_id) < 0)
+        goto done;
+    rc = 0;
+
+done:
+    Py_XDECREF(sizeobj);
+    Py_XDECREF(nowobj);
+    Py_XDECREF(dq);
+    Py_XDECREF(pt);
+    return rc;
+}
+
+/* ---------------------------------------------------------------- */
+/* per-event dispatch                                                */
+
+static int
+dispatch_one(KernelObject *k, entry_t *e)
+{
+    if (e->dst < 0 || e->dst >= k->n_disp) {
+        PyErr_SetString(PyExc_IndexError, "list index out of range");
+        return -1;
+    }
+    disp_t *d = &k->disp[e->dst];
+    PyObject *r;
+
+    if (d->kind != DISP_PYTHON) {
+        PyObject *pkt = NULL;
+        if (e->native) {
+            pkt = e->payload;
+            Py_INCREF(pkt);
+        }
+        else {
+            PyObject *kind = PyObject_GetAttr(e->payload, str_kind);
+            if (!kind)
+                return -1;
+            int is_pkt = PyUnicode_Check(kind)
+                && PyUnicode_CompareWithASCIIString(kind, "pkt") == 0;
+            Py_DECREF(kind);
+            if (is_pkt) {
+                pkt = PyObject_GetAttr(e->payload, str_data);
+                if (!pkt)
+                    return -1;
+            }
+        }
+        if (pkt) {
+            int rc;
+            if (d->kind == DISP_ROUTER)
+                rc = router_arrival(k, d, pkt);
+            else {
+                r = PyObject_CallOneArg(d->on_pkt, pkt);
+                rc = r ? 0 : -1;
+                Py_XDECREF(r);
+            }
+            Py_DECREF(pkt);
+            return rc;
+        }
+        /* a non-"pkt" Event: generic Python dispatch (same errors) */
+        r = PyObject_CallOneArg(d->handle, e->payload);
+        if (!r)
+            return -1;
+        Py_DECREF(r);
+        return 0;
+    }
+
+    PyObject *ev = e->payload;
+    int made = 0;
+    if (e->native) {
+        ev = materialize_event(k, e);
+        if (!ev)
+            return -1;
+        made = 1;
+    }
+    r = PyObject_CallOneArg(d->handle, ev);
+    if (made)
+        Py_DECREF(ev);
+    if (!r)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+/* ---------------------------------------------------------------- */
+/* run loops                                                         */
+
+static PyObject *
+run_sequential(KernelObject *k, double until, long long budget)
+{
+    long long committed = 0;
+    int budget_hit = (budget == 0);
+    int fail = 0;
+
+    while (k->len && !budget_hit) {
+        if (k->heap[0].time > until)
+            break;
+        entry_t e;
+        heap_pop(k, &e);
+        k->now = e.time;
+        k->origin = e.dst;
+        int rc = dispatch_one(k, &e);
+        Py_DECREF(e.payload);
+        if (rc < 0) {
+            fail = 1;
+            break;
+        }
+        committed++;
+        if (committed == budget)
+            budget_hit = 1;
+    }
+    /* the Python loop's finally clause */
+    k->origin = -1;
+    k->events_processed += committed;
+    if (fail)
+        return NULL;
+    if (!budget_hit && k->now < until && until < Py_HUGE_VAL)
+        k->now = until;
+    return Py_BuildValue("(Li)", committed, budget_hit);
+}
+
+static PyObject *
+run_conservative(KernelObject *k, double until, long long budget)
+{
+    long long committed = 0;
+    int budget_hit = (budget == 0);
+    int fail = 0;
+
+    while (k->len && !budget_hit) {
+        double floor = k->heap[0].time;
+        if (floor > until)
+            break;
+        double window_end = floor + k->lookahead;
+        k->windows_executed++;
+        long long wcommitted = 0;
+        while (k->len) {
+            double t = k->heap[0].time;
+            if (t >= window_end || t > until)
+                break;
+            entry_t e;
+            heap_pop(k, &e);
+            if (e.dst < 0 || e.dst >= k->n_counters - 1) {
+                PyErr_SetString(PyExc_IndexError, "list index out of range");
+                Py_DECREF(e.payload);
+                fail = 1;
+                break;
+            }
+            long part = k->parts[e.dst];
+            k->current_partition = part;
+            k->origin = e.dst;
+            k->now = t;
+            int rc = dispatch_one(k, &e);
+            Py_DECREF(e.payload);
+            if (rc < 0) {
+                fail = 1;
+                break;
+            }
+            k->per_part[part]++;
+            wcommitted++;
+            if (budget >= 0 && committed + wcommitted == budget) {
+                budget_hit = 1;
+                break;
+            }
+        }
+        /* commit_window's finally clause */
+        k->current_partition = -1;
+        k->origin = -1;
+        if (fail)
+            break; /* a raising window's events never reach the total */
+        committed += wcommitted;
+        if (wcommitted > k->max_window_events)
+            k->max_window_events = wcommitted;
+    }
+    /* the run loop's finally clause */
+    k->events_processed += committed;
+    if (fail)
+        return NULL;
+    if (!budget_hit && k->now < until && until < Py_HUGE_VAL)
+        k->now = until;
+    return Py_BuildValue("(Li)", committed, budget_hit);
+}
+
+/* ---------------------------------------------------------------- */
+/* Kernel methods                                                    */
+
+static PyObject *
+Kernel_run(KernelObject *self, PyObject *args)
+{
+    double until;
+    long long budget;
+    if (!PyArg_ParseTuple(args, "dL:run", &until, &budget))
+        return NULL;
+    if (self->conservative)
+        return run_conservative(self, until, budget);
+    return run_sequential(self, until, budget);
+}
+
+/* schedule_fast's enqueue half: assign seq to an already-built Event
+ * and push it.  Mirrors Engine.schedule_fast + the engine's _push
+ * (including the conservative lookahead check) exactly. */
+static PyObject *
+Kernel_push_event(KernelObject *self, PyObject *ev)
+{
+    double time, send_time;
+    long dst, prio, src;
+    if (get_double_attr(ev, str_time, &time) < 0
+        || get_long_attr(ev, str_dst, &dst) < 0
+        || get_long_attr(ev, str_priority, &prio) < 0
+        || get_long_attr(ev, str_src, &src) < 0
+        || get_double_attr(ev, str_send_time, &send_time) < 0)
+        return NULL;
+
+    long slot = self->origin + 1;
+    int64_t c = self->counters[slot];
+    self->counters[slot] = c + 1;
+    int64_t seq = ((int64_t)slot << SEQ_ORIGIN_SHIFT) | c;
+    PyObject *seqobj = PyLong_FromLongLong((long long)seq);
+    if (!seqobj)
+        return NULL;
+    int err = PyObject_SetAttr(ev, str_seq, seqobj);
+    Py_DECREF(seqobj);
+    if (err < 0)
+        return NULL;
+
+    if (self->conservative) {
+        if (dst < 0 || dst >= self->n_counters - 1) {
+            /* ConservativeEngine._push indexes _part_of_lp[ev.dst] */
+            PyErr_SetString(PyExc_IndexError, "list index out of range");
+            return NULL;
+        }
+        if (self->current_partition >= 0
+            && self->parts[dst] != self->current_partition
+            && time < send_time + self->lookahead) {
+            raise_lookahead(self, ev, time, send_time);
+            return NULL;
+        }
+    }
+
+    entry_t e;
+    e.time = time;
+    e.send_time = send_time;
+    e.seq = seq;
+    e.prio = prio;
+    e.dst = dst;
+    e.src = src;
+    e.native = 0;
+    e.payload = ev;
+    Py_INCREF(ev);
+    if (heap_push(self, &e) < 0) {
+        Py_DECREF(ev);
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Kernel_add_lp(KernelObject *self, PyObject *args)
+{
+    long partition = 0;
+    if (!PyArg_ParseTuple(args, "|l:add_lp", &partition))
+        return NULL;
+    if (self->conservative
+        && (partition < 0 || partition >= self->n_partitions)) {
+        return PyErr_Format(PyExc_ValueError,
+                            "partition %ld outside [0, %ld)", partition,
+                            self->n_partitions);
+    }
+    if (self->n_counters + 1 > self->counters_cap) {
+        Py_ssize_t cap = self->counters_cap * 2;
+        int64_t *c = PyMem_Realloc(self->counters,
+                                   (size_t)cap * sizeof(int64_t));
+        if (!c)
+            return PyErr_NoMemory();
+        self->counters = c;
+        self->counters_cap = cap;
+    }
+    Py_ssize_t n_lps = self->n_counters - 1;
+    if (n_lps + 1 > self->parts_cap) {
+        Py_ssize_t cap = self->parts_cap * 2;
+        long *p = PyMem_Realloc(self->parts, (size_t)cap * sizeof(long));
+        if (!p)
+            return PyErr_NoMemory();
+        self->parts = p;
+        self->parts_cap = cap;
+    }
+    self->counters[self->n_counters++] = 0;
+    self->parts[n_lps] = partition;
+    Py_RETURN_NONE;
+}
+
+static void
+disp_free(KernelObject *k)
+{
+    if (!k->disp)
+        return;
+    for (Py_ssize_t i = 0; i < k->n_disp; i++) {
+        disp_t *d = &k->disp[i];
+        Py_XDECREF(d->lp);
+        Py_XDECREF(d->handle);
+        Py_XDECREF(d->on_arrival);
+        Py_XDECREF(d->ports);
+        Py_XDECREF(d->busy_until);
+        Py_XDECREF(d->pending_starts);
+        Py_XDECREF(d->port_to_node);
+        Py_XDECREF(d->ports_to_router);
+        Py_XDECREF(d->app_record);
+        Py_XDECREF(d->load_record);
+        Py_XDECREF(d->queue_record);
+        Py_XDECREF(d->rid);
+        Py_XDECREF(d->on_pkt);
+    }
+    PyMem_Free(k->disp);
+    k->disp = NULL;
+    k->n_disp = 0;
+}
+
+/* item: borrowed; slot: filled with an owned ref (None stays NULL) */
+static void
+take_opt(PyObject **slot, PyObject *item)
+{
+    if (item != Py_None) {
+        Py_INCREF(item);
+        *slot = item;
+    }
+}
+
+static PyObject *
+Kernel_set_dispatch(KernelObject *self, PyObject *table)
+{
+    if (!PyList_Check(table)) {
+        PyErr_SetString(PyExc_TypeError, "dispatch table must be a list");
+        return NULL;
+    }
+    Py_ssize_t n = PyList_GET_SIZE(table);
+    disp_t *disp = PyMem_Calloc((size_t)(n ? n : 1), sizeof(disp_t));
+    if (!disp)
+        return PyErr_NoMemory();
+    disp_free(self);
+    self->disp = disp;
+    self->n_disp = n;
+
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *row = PyList_GET_ITEM(table, i);
+        disp_t *d = &disp[i];
+        d->lp_id = (long)i;
+        if (!PyTuple_Check(row) || PyTuple_GET_SIZE(row) < 3)
+            goto badrow;
+        PyObject *tag = PyTuple_GET_ITEM(row, 0);
+        if (!PyUnicode_Check(tag))
+            goto badrow;
+        d->lp = PyTuple_GET_ITEM(row, 1);
+        Py_INCREF(d->lp);
+        d->handle = PyTuple_GET_ITEM(row, 2);
+        Py_INCREF(d->handle);
+        if (PyUnicode_CompareWithASCIIString(tag, "python") == 0) {
+            d->kind = DISP_PYTHON;
+        }
+        else if (PyUnicode_CompareWithASCIIString(tag, "terminal") == 0) {
+            if (PyTuple_GET_SIZE(row) != 4)
+                goto badrow;
+            d->kind = DISP_TERMINAL;
+            d->on_pkt = PyTuple_GET_ITEM(row, 3);
+            Py_INCREF(d->on_pkt);
+        }
+        else if (PyUnicode_CompareWithASCIIString(tag, "router") == 0) {
+            if (PyTuple_GET_SIZE(row) != 13)
+                goto badrow;
+            d->kind = DISP_ROUTER;
+            d->on_arrival = PyTuple_GET_ITEM(row, 3);
+            Py_INCREF(d->on_arrival);
+            d->ports = PyTuple_GET_ITEM(row, 4);
+            Py_INCREF(d->ports);
+            d->busy_until = PyTuple_GET_ITEM(row, 5);
+            Py_INCREF(d->busy_until);
+            d->pending_starts = PyTuple_GET_ITEM(row, 6);
+            Py_INCREF(d->pending_starts);
+            d->port_to_node = PyTuple_GET_ITEM(row, 7);
+            Py_INCREF(d->port_to_node);
+            d->ports_to_router = PyTuple_GET_ITEM(row, 8);
+            Py_INCREF(d->ports_to_router);
+            take_opt(&d->app_record, PyTuple_GET_ITEM(row, 9));
+            take_opt(&d->load_record, PyTuple_GET_ITEM(row, 10));
+            take_opt(&d->queue_record, PyTuple_GET_ITEM(row, 11));
+            d->rid = PyTuple_GET_ITEM(row, 12);
+            Py_INCREF(d->rid);
+        }
+        else {
+            goto badrow;
+        }
+        continue;
+    badrow:
+        disp_free(self);
+        return PyErr_Format(PyExc_ValueError,
+                            "malformed dispatch row for LP %zd", i);
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Kernel_empty(KernelObject *self, PyObject *Py_UNUSED(ignored))
+{
+    return PyBool_FromLong(self->len == 0);
+}
+
+static PyObject *
+Kernel_peek_time(KernelObject *self, PyObject *Py_UNUSED(ignored))
+{
+    return PyFloat_FromDouble(self->len ? self->heap[0].time : Py_HUGE_VAL);
+}
+
+static PyObject *
+Kernel_committed_by_partition(KernelObject *self, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *out = PyList_New(self->n_partitions);
+    if (!out)
+        return NULL;
+    for (long p = 0; p < self->n_partitions; p++) {
+        PyObject *v = PyLong_FromLongLong((long long)self->per_part[p]);
+        if (!v) {
+            Py_DECREF(out);
+            return NULL;
+        }
+        PyList_SET_ITEM(out, p, v);
+    }
+    return out;
+}
+
+static PyObject *
+Kernel_pending_count(KernelObject *self, PyObject *Py_UNUSED(ignored))
+{
+    return PyLong_FromSsize_t(self->len);
+}
+
+/* ---------------------------------------------------------------- */
+/* getsets                                                           */
+
+static PyObject *
+Kernel_get_now(KernelObject *self, void *c)
+{
+    return PyFloat_FromDouble(self->now);
+}
+
+static int
+Kernel_set_now(KernelObject *self, PyObject *v, void *c)
+{
+    double d = PyFloat_AsDouble(v);
+    if (d == -1.0 && PyErr_Occurred())
+        return -1;
+    self->now = d;
+    return 0;
+}
+
+static PyObject *
+Kernel_get_origin(KernelObject *self, void *c)
+{
+    return PyLong_FromLong(self->origin);
+}
+
+static int
+Kernel_set_origin(KernelObject *self, PyObject *v, void *c)
+{
+    long l = PyLong_AsLong(v);
+    if (l == -1 && PyErr_Occurred())
+        return -1;
+    self->origin = l;
+    return 0;
+}
+
+static PyObject *
+Kernel_get_current_partition(KernelObject *self, void *c)
+{
+    return PyLong_FromLong(self->current_partition);
+}
+
+static int
+Kernel_set_current_partition(KernelObject *self, PyObject *v, void *c)
+{
+    long l = PyLong_AsLong(v);
+    if (l == -1 && PyErr_Occurred())
+        return -1;
+    self->current_partition = l;
+    return 0;
+}
+
+static PyObject *
+Kernel_get_events_processed(KernelObject *self, void *c)
+{
+    return PyLong_FromLongLong(self->events_processed);
+}
+
+static int
+Kernel_set_events_processed(KernelObject *self, PyObject *v, void *c)
+{
+    long long l = PyLong_AsLongLong(v);
+    if (l == -1 && PyErr_Occurred())
+        return -1;
+    self->events_processed = l;
+    return 0;
+}
+
+static PyObject *
+Kernel_get_windows_executed(KernelObject *self, void *c)
+{
+    return PyLong_FromLongLong(self->windows_executed);
+}
+
+static PyObject *
+Kernel_get_max_window_events(KernelObject *self, void *c)
+{
+    return PyLong_FromLongLong(self->max_window_events);
+}
+
+static PyObject *
+Kernel_get_lookahead(KernelObject *self, void *c)
+{
+    return PyFloat_FromDouble(self->lookahead);
+}
+
+static PyObject *
+Kernel_get_n_partitions(KernelObject *self, void *c)
+{
+    return PyLong_FromLong(self->n_partitions);
+}
+
+/* ---------------------------------------------------------------- */
+/* lifecycle                                                         */
+
+static int
+Kernel_init(KernelObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"n_partitions", "lookahead", "event_cls", NULL};
+    long n_partitions;
+    double lookahead;
+    PyObject *event_cls;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "ldO:Kernel", kwlist,
+                                     &n_partitions, &lookahead, &event_cls))
+        return -1;
+    if (n_partitions < 0) {
+        PyErr_SetString(PyExc_ValueError, "n_partitions must be >= 0");
+        return -1;
+    }
+    if (n_partitions > 0 && !(lookahead > 0.0)) {
+        PyErr_SetString(PyExc_ValueError, "lookahead must be positive");
+        return -1;
+    }
+    self->conservative = n_partitions > 0;
+    self->lookahead = lookahead;
+    self->n_partitions = n_partitions;
+    self->now = 0.0;
+    self->origin = -1;
+    self->current_partition = -1;
+
+    self->counters_cap = 8;
+    self->counters = PyMem_Calloc((size_t)self->counters_cap,
+                                  sizeof(int64_t));
+    self->parts_cap = 8;
+    self->parts = PyMem_Calloc((size_t)self->parts_cap, sizeof(long));
+    self->per_part = PyMem_Calloc((size_t)(n_partitions ? n_partitions : 1),
+                                  sizeof(int64_t));
+    if (!self->counters || !self->parts || !self->per_part) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    self->n_counters = 1; /* slot 0: the environment */
+
+    Py_INCREF(event_cls);
+    Py_XSETREF(self->event_cls, event_cls);
+    return 0;
+}
+
+static int
+Kernel_traverse(KernelObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->event_cls);
+    for (Py_ssize_t i = 0; i < self->len; i++)
+        Py_VISIT(self->heap[i].payload);
+    for (Py_ssize_t i = 0; i < self->n_disp; i++) {
+        disp_t *d = &self->disp[i];
+        Py_VISIT(d->lp);
+        Py_VISIT(d->handle);
+        Py_VISIT(d->on_arrival);
+        Py_VISIT(d->ports);
+        Py_VISIT(d->busy_until);
+        Py_VISIT(d->pending_starts);
+        Py_VISIT(d->port_to_node);
+        Py_VISIT(d->ports_to_router);
+        Py_VISIT(d->app_record);
+        Py_VISIT(d->load_record);
+        Py_VISIT(d->queue_record);
+        Py_VISIT(d->rid);
+        Py_VISIT(d->on_pkt);
+    }
+    return 0;
+}
+
+static int
+Kernel_clear(KernelObject *self)
+{
+    Py_CLEAR(self->event_cls);
+    for (Py_ssize_t i = 0; i < self->len; i++)
+        Py_CLEAR(self->heap[i].payload);
+    self->len = 0;
+    disp_free(self);
+    return 0;
+}
+
+static void
+Kernel_dealloc(KernelObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Kernel_clear(self);
+    PyMem_Free(self->heap);
+    PyMem_Free(self->counters);
+    PyMem_Free(self->parts);
+    PyMem_Free(self->per_part);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* ---------------------------------------------------------------- */
+/* type + module tables                                              */
+
+static PyMethodDef Kernel_methods[] = {
+    {"run", (PyCFunction)Kernel_run, METH_VARARGS,
+     "run(until, budget) -> (committed, budget_hit)"},
+    {"push_event", (PyCFunction)Kernel_push_event, METH_O,
+     "assign seq to an Event and push it on the heap"},
+    {"add_lp", (PyCFunction)Kernel_add_lp, METH_VARARGS,
+     "add_lp(partition=0): grow the per-LP seq/partition arrays"},
+    {"set_dispatch", (PyCFunction)Kernel_set_dispatch, METH_O,
+     "install the per-LP dispatch table (list of tuples)"},
+    {"empty", (PyCFunction)Kernel_empty, METH_NOARGS, NULL},
+    {"peek_time", (PyCFunction)Kernel_peek_time, METH_NOARGS, NULL},
+    {"pending_count", (PyCFunction)Kernel_pending_count, METH_NOARGS, NULL},
+    {"committed_by_partition", (PyCFunction)Kernel_committed_by_partition,
+     METH_NOARGS, NULL},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef Kernel_getset[] = {
+    {"now", (getter)Kernel_get_now, (setter)Kernel_set_now, NULL, NULL},
+    {"origin", (getter)Kernel_get_origin, (setter)Kernel_set_origin, NULL,
+     NULL},
+    {"current_partition", (getter)Kernel_get_current_partition,
+     (setter)Kernel_set_current_partition, NULL, NULL},
+    {"events_processed", (getter)Kernel_get_events_processed,
+     (setter)Kernel_set_events_processed, NULL, NULL},
+    {"windows_executed", (getter)Kernel_get_windows_executed, NULL, NULL,
+     NULL},
+    {"max_window_events", (getter)Kernel_get_max_window_events, NULL, NULL,
+     NULL},
+    {"lookahead", (getter)Kernel_get_lookahead, NULL, NULL, NULL},
+    {"n_partitions", (getter)Kernel_get_n_partitions, NULL, NULL, NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject KernelType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "_union_accel.Kernel",
+    .tp_basicsize = sizeof(KernelObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Compiled (time, priority, seq) event heap + commit loop",
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Kernel_init,
+    .tp_dealloc = (destructor)Kernel_dealloc,
+    .tp_traverse = (traverseproc)Kernel_traverse,
+    .tp_clear = (inquiry)Kernel_clear,
+    .tp_methods = Kernel_methods,
+    .tp_getset = Kernel_getset,
+};
+
+static struct PyModuleDef accel_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "_union_accel",
+    .m_doc = "Compiled event-loop kernel for the repro PDES engines.",
+    .m_size = -1,
+};
+
+#define INTERN(var, s)                                                    \
+    do {                                                                  \
+        var = PyUnicode_InternFromString(s);                              \
+        if (!var)                                                         \
+            return NULL;                                                  \
+    } while (0)
+
+PyMODINIT_FUNC
+PyInit__union_accel(void)
+{
+    INTERN(str_time, "time");
+    INTERN(str_priority, "priority");
+    INTERN(str_seq, "seq");
+    INTERN(str_dst, "dst");
+    INTERN(str_src, "src");
+    INTERN(str_send_time, "send_time");
+    INTERN(str_kind, "kind");
+    INTERN(str_data, "data");
+    INTERN(str_path, "path");
+    INTERN(str_hop, "hop");
+    INTERN(str_dst_node, "dst_node");
+    INTERN(str_size, "size");
+    INTERN(str_app_id, "app_id");
+    INTERN(str_popleft, "popleft");
+    INTERN(str_append, "append");
+    INTERN(str_packets_forwarded, "packets_forwarded");
+
+    if (PyType_Ready(&KernelType) < 0)
+        return NULL;
+    PyObject *m = PyModule_Create(&accel_module);
+    if (!m)
+        return NULL;
+    Py_INCREF(&KernelType);
+    if (PyModule_AddObject(m, "Kernel", (PyObject *)&KernelType) < 0) {
+        Py_DECREF(&KernelType);
+        Py_DECREF(m);
+        return NULL;
+    }
+    if (PyModule_AddIntConstant(m, "SEQ_ORIGIN_SHIFT", SEQ_ORIGIN_SHIFT) < 0) {
+        Py_DECREF(m);
+        return NULL;
+    }
+    return m;
+}

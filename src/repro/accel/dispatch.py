@@ -1,0 +1,37 @@
+"""Per-LP dispatch tables for the compiled kernel.
+
+The kernel dispatches each committed event by destination LP through a
+table of rows, one per LP, built fresh at every ``run()`` entry (LPs
+register between runs, telemetry bindings are fixed at fabric
+construction -- rebuilding is O(n_lps) and keeps the table honest):
+
+``("python", lp, lp.handle)``
+    Generic LP: every event goes through the bound Python handler.
+``("router", lp, handle, _on_arrival, _ports, busy_until,
+pending_starts, _port_to_node, _ports_to_router, app_record,
+load_record, queue_record, rid)``
+    :class:`~repro.network.router.RouterLP`'s own containers; the
+    kernel replays ``_on_arrival`` natively against them, including the
+    multi-candidate adaptive port choice (shallowest queue, with the
+    same deque pruning ``queue_depth`` performs).
+``("terminal", lp, handle, _on_pkt)``
+    :class:`~repro.network.terminal.TerminalLP`: ``pkt`` deliveries
+    call the bound ``_on_pkt`` directly; other kinds go through
+    ``handle``.
+
+LPs advertise their row via ``accel_export()`` (returning ``None`` --
+e.g. for subclasses -- means generic dispatch).  The row shapes here
+and in ``_kernel.c``'s ``Kernel_set_dispatch`` must stay in lockstep.
+"""
+
+from __future__ import annotations
+
+
+def build_dispatch(lps) -> list:
+    """The kernel dispatch table for ``lps`` (one row per LP, in order)."""
+    table = []
+    for lp in lps:
+        export = getattr(lp, "accel_export", None)
+        row = export() if export is not None else None
+        table.append(row if row is not None else ("python", lp, lp.handle))
+    return table

@@ -21,12 +21,13 @@ touching the harness.
 ``determinism``
     Running the identical spec twice yields bit-identical result JSON.
 ``parity``
-    The conservative engine (2 partitions) and the multi-process
+    The conservative engine (2 partitions), the multi-process
     ``mp-conservative`` engine (inline backend -- fuzz pool workers are
-    daemonic and cannot spawn) both reproduce the sequential result
-    exactly, modulo the ``engine`` stanza.  Checked on sampled cases
-    only (each engine adds a full run); :attr:`FuzzContext.parity`
-    gates it.
+    daemonic and cannot spawn) and the ``accel-sequential`` engine
+    (default backend plus a forced-python run, so fallback parity never
+    goes vacuous) all reproduce the sequential result exactly, modulo
+    the ``engine`` stanza.  Checked on sampled cases only (each engine
+    adds a full run); :attr:`FuzzContext.parity` gates it.
 ``checkpoint_resume``
     Checkpointing mid-horizon, abandoning the session (the fuzz
     stand-in for a killed worker) and resuming from the cursor yields
@@ -145,6 +146,22 @@ def check_parity(ctx: FuzzContext) -> list[str]:
     if json.dumps(mp, sort_keys=True) != seq_key:
         out.append("mp-conservative(partitions=2, backend=inline) run "
                    "diverged from the sequential result")
+    # The accel engine, twice: the default backend (the compiled kernel
+    # wherever this host can build one, else its recorded fallback) and
+    # the forced python backend -- the latter unconditionally, so the
+    # fallback-parity guarantee can never go vacuous on a host where
+    # every default-backend run happens to compile.
+    acc = ctx.run(engine={"type": "accel-sequential"}).to_json_dict()
+    backend = (acc.pop("engine", None) or {}).get("backend", "?")
+    if json.dumps(acc, sort_keys=True) != seq_key:
+        out.append(f"accel-sequential (backend={backend}) run diverged "
+                   "from the sequential result")
+    pyb = ctx.run(engine={"type": "accel-sequential",
+                          "backend": "python"}).to_json_dict()
+    pyb.pop("engine", None)
+    if json.dumps(pyb, sort_keys=True) != seq_key:
+        out.append("accel-sequential(backend=python) run diverged from "
+                   "the sequential result")
     return out
 
 

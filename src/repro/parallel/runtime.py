@@ -35,6 +35,7 @@ def conservative_engine(
     config: NetworkConfig | None = None,
     partitions: int = 4,
     lookahead: float | None = None,
+    engine_cls: type[ConservativeEngine] = ConservativeEngine,
 ) -> ConservativeEngine:
     """A :class:`ConservativeEngine` partitioned for ``topo``.
 
@@ -54,10 +55,14 @@ def conservative_engine(
         Explicit lookahead override (seconds).  Must be positive and at
         most the minimum cross-partition link latency of the plan;
         ``None`` (the default) uses that minimum directly.
+    engine_cls:
+        The :class:`ConservativeEngine` subclass to instantiate (the
+        accelerated engines reuse this plan/lookahead derivation with
+        their own scheduler core).
     """
     config = config or NetworkConfig()
     plan = plan_partitions(topo, partitions)
-    engine = ConservativeEngine(
+    engine = engine_cls(
         lookahead=resolve_lookahead(topo, config, plan, lookahead),
         n_partitions=partitions,
         partition_fn=plan,

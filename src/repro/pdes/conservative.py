@@ -34,6 +34,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable
 
+from repro.pdes import eventheap
 from repro.pdes.engine import Engine
 from repro.pdes.event import Event, Priority
 from repro.pdes.lp import LP
@@ -76,7 +77,7 @@ class ConservativeEngine(Engine):
         # registration into _part_of_lp, so the per-event partition
         # lookup on the push (contract check) and pop (stats) paths is
         # a plain list index.
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[eventheap.Entry] = []
         self._part_of_lp: list[int] = []
         self._current_partition: int = -1
         self.windows_executed: int = 0
@@ -114,7 +115,7 @@ class ConservativeEngine(Engine):
                 f"with delay {ev.time - ev.send_time:.3e} < lookahead "
                 f"{self.lookahead:.3e}"
             )
-        heapq.heappush(self._queue, (ev.time, ev.priority, ev.seq, ev))
+        eventheap.push(self._queue, ev)
 
     def schedule_control(
         self,
@@ -141,8 +142,7 @@ class ConservativeEngine(Engine):
         In a parallel run each worker reports its local floor and the
         master takes the global minimum -- the YAWNS window floor.
         """
-        q = self._queue
-        return q[0][0] if q else float("inf")
+        return eventheap.peek_time(self._queue)
 
     def commit_window(self, window_end: float, until: float = float("inf"),
                       budget: int = -1) -> tuple[int, bool]:

@@ -15,6 +15,7 @@ from __future__ import annotations
 import heapq
 from typing import Any
 
+from repro.pdes import eventheap
 from repro.pdes.engine import Engine
 from repro.pdes.event import Event, Priority
 
@@ -24,13 +25,13 @@ class SequentialEngine(Engine):
 
     def __init__(self) -> None:
         super().__init__()
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[eventheap.Entry] = []
 
     def _push(self, ev: Event) -> None:
         # Engine-contract enqueue.  The schedule_fast override below
         # inlines this push for speed, so instrumenting _push alone does
         # not observe hot-path traffic on this engine.
-        heapq.heappush(self._queue, (ev.time, ev.priority, ev.seq, ev))
+        eventheap.push(self._queue, ev)
 
     def schedule_fast(
         self,
@@ -58,8 +59,7 @@ class SequentialEngine(Engine):
 
     def peek_time(self) -> float:
         """Timestamp of the next pending event (``inf`` if drained)."""
-        q = self._queue
-        return q[0][0] if q else float("inf")
+        return eventheap.peek_time(self._queue)
 
     def run(self, until: float = float("inf"), max_events: int | None = None) -> float:
         q = self._queue

@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 from typing import Any
 
+from repro.pdes import eventheap
 from repro.pdes.engine import Engine
 from repro.pdes.event import Event
 
@@ -36,9 +37,9 @@ class _LpRuntime:
     __slots__ = ("pending", "processed", "sent", "lvt")
 
     def __init__(self) -> None:
-        # min-heap of (time, priority, seq, Event); the leading key
+        # min-heap in the shared eventheap entry layout; the leading key
         # triple keeps heap comparisons at C speed.
-        self.pending: list[tuple[float, int, int, Event]] = []
+        self.pending: list[eventheap.Entry] = []
         # chronological list of (Event, state-before) pairs
         self.processed: list[tuple[Event, Any]] = []
         # chronological list of events this LP emitted (for anti-messages)
@@ -78,7 +79,7 @@ class TimeWarpEngine(Engine):
         rt = self._rt[ev.dst]
         if self._current_lp >= 0:
             self._rt[self._current_lp].sent.append(ev)
-        heapq.heappush(rt.pending, (ev.time, ev.priority, ev.seq, ev))
+        eventheap.push(rt.pending, ev)
         if ev.time < rt.lvt:
             # Straggler: the destination already executed past this time.
             self._rollback(ev.dst, ev.time)
@@ -105,7 +106,7 @@ class TimeWarpEngine(Engine):
         rt.lvt = rt.processed[-1][0].time if rt.processed else 0.0
         # Re-queue the undone input events.
         for ev, _state in undone:
-            heapq.heappush(rt.pending, (ev.time, ev.priority, ev.seq, ev))
+            eventheap.push(rt.pending, ev)
         # Cancel outputs emitted from the undone region.
         cancel_from = undone[0][0].time
         keep: list[Event] = []

@@ -24,6 +24,12 @@ all resolve through one roster:
 ``timewarp``
     Optimistic Time Warp execution: speculative event handling with
     state rollback and periodic GVT commitment.
+``accel-sequential`` / ``accel-conservative``
+    The sequential / YAWNS schedulers with the event loop in the
+    compiled :mod:`repro.accel` kernel.  ``backend: compiled`` (the
+    default) uses the C kernel when it can be built and falls back to
+    the bit-identical pure-Python engine otherwise, recording the
+    reason; ``backend: python`` forces the fallback.
 
 Engine factories need the live topology (and link config) to build
 their partition plan, so :func:`build_engine` takes both -- unlike
@@ -131,6 +137,27 @@ def _timewarp_factory(topo: Any, config: NetworkConfig | None,
     return TimeWarpEngine(gvt_interval=gvt_interval)
 
 
+def _accel_sequential_factory(topo: Any, config: NetworkConfig | None,
+                              backend: str) -> Engine:
+    from repro.accel import accel_sequential_engine
+
+    return accel_sequential_engine(backend=backend)
+
+
+def _accel_conservative_factory(topo: Any, config: NetworkConfig | None,
+                                partitions: int, lookahead: float | None,
+                                backend: str) -> Engine:
+    from repro.accel import accel_conservative_engine
+
+    return accel_conservative_engine(topo, config, partitions=partitions,
+                                     lookahead=lookahead, backend=backend)
+
+
+_BACKEND_DOC = ("event-loop backend: 'compiled' (the C kernel, falling "
+                "back cleanly with the reason recorded when it cannot be "
+                "built) or 'python' (force the pure-Python fallback)")
+
+
 register_engine(EngineSpec(
     name="sequential",
     summary="deterministic single-queue event scheduler (the default)",
@@ -187,3 +214,33 @@ register_engine(EngineSpec(
     ),
     factory=_timewarp_factory,
 ), aliases=("tw",))
+
+register_engine(EngineSpec(
+    name="accel-sequential",
+    summary="sequential scheduling with the event loop in the compiled "
+            "repro.accel kernel (bit-identical pure-Python fallback)",
+    params=(
+        Param("backend", "str", _BACKEND_DOC,
+              default="compiled", choices=("compiled", "python")),
+    ),
+    factory=_accel_sequential_factory,
+), aliases=("fast",))
+
+register_engine(EngineSpec(
+    name="accel-conservative",
+    summary="partitioned YAWNS execution with the window loop in the "
+            "compiled repro.accel kernel (bit-identical pure-Python "
+            "fallback)",
+    params=(
+        Param("partitions", "int", "LP partitions (grouped topology-aware)",
+              default=4, minimum=1),
+        Param("lookahead", "float",
+              "explicit lookahead override in seconds (default: derived "
+              "from the partition plan's cross-partition links)",
+              default=None),
+        Param("backend", "str", _BACKEND_DOC,
+              default="compiled", choices=("compiled", "python")),
+    ),
+    factory=_accel_conservative_factory,
+    partitioned=True,
+), aliases=("fast-yawns",))

@@ -335,6 +335,13 @@ def reduce_scenario_result(spec: ScenarioSpec, outcome: RunOutcome) -> ScenarioR
             # if not, the user-facing reason it fell back.
             engine_info["mode"] = mode
             engine_info["fallback"] = eng.fallback_reason
+        backend = getattr(eng, "backend", None)
+        if backend is not None:
+            # accel engines: which backend actually ran ('compiled' or
+            # 'python'), and the user-facing reason when it is not the
+            # compiled kernel.
+            engine_info["backend"] = backend
+            engine_info["backend_reason"] = eng.backend_reason or None
     faults_info = None
     if spec.faults:
         def fault_val(metric: str) -> int:

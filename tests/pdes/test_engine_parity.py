@@ -38,6 +38,34 @@ def test_all_three_engines_commit_identical_event_set():
         assert events == seq_events
 
 
+def test_accel_engines_commit_identical_event_set():
+    """The accel engines join the PHOLD cross-validation: the forced
+    ``python`` backend always (so fallback parity never goes vacuous),
+    the compiled kernel whenever this host can build it."""
+    from repro.accel import (
+        AccelConservativeEngine,
+        AccelSequentialEngine,
+        PythonConservativeEngine,
+        PythonSequentialEngine,
+        kernel_status,
+    )
+
+    seq_fp, seq_events = _run(SequentialEngine())
+    makes = [
+        lambda: PythonSequentialEngine(),
+        lambda: PythonConservativeEngine(lookahead=0.5, n_partitions=3),
+    ]
+    if kernel_status()["available"]:
+        makes += [
+            lambda: AccelSequentialEngine(),
+            lambda: AccelConservativeEngine(lookahead=0.5, n_partitions=3),
+        ]
+    for make in makes:
+        fp, events = _run(make())
+        assert fp == seq_fp
+        assert events == seq_events
+
+
 def test_conservative_per_partition_commits_sum_to_total():
     eng = ConservativeEngine(lookahead=0.5, n_partitions=4)
     _run(eng)

@@ -1,0 +1,71 @@
+"""The shared event-heap entry layout (repro.pdes.eventheap).
+
+Every scheduler -- and the compiled kernel's C entry struct -- depends
+on this exact layout and ``(time, priority, seq)`` ordering, so the
+module gets its own pin beyond the cross-engine parity tests.
+"""
+
+import math
+
+from repro.pdes import eventheap
+from repro.pdes.event import Event, Priority
+
+
+def _ev(time, priority=Priority.NETWORK, seq=0, dst=0):
+    ev = Event(time, dst, "tick", priority=priority)
+    ev.seq = seq
+    return ev
+
+
+def test_entry_layout_is_key_triple_plus_event():
+    ev = _ev(1.5, Priority.MPI, seq=7)
+    assert eventheap.entry(ev) == (1.5, Priority.MPI, 7, ev)
+    assert eventheap.ENTRY_FIELDS == ("time", "priority", "seq")
+    # The declared layout and entry() cannot drift apart.
+    assert eventheap.entry(ev)[:3] == tuple(
+        getattr(ev, f) for f in eventheap.ENTRY_FIELDS)
+
+
+def test_pop_orders_by_time_then_priority_then_seq():
+    q = []
+    late = _ev(2.0, seq=1)
+    control = _ev(1.0, Priority.CONTROL, seq=3)
+    first_seq = _ev(1.0, Priority.NETWORK, seq=2)
+    second_seq = _ev(1.0, Priority.NETWORK, seq=5)
+    for ev in (late, second_seq, control, first_seq):
+        eventheap.push(q, ev)
+    drained = [eventheap.pop_event(q) for _ in range(4)]
+    assert drained == [control, first_seq, second_seq, late]
+
+
+def test_peek_time():
+    q = []
+    assert eventheap.peek_time(q) == math.inf
+    eventheap.push(q, _ev(3.25, seq=1))
+    eventheap.push(q, _ev(0.5, seq=2))
+    assert eventheap.peek_time(q) == 0.5
+    eventheap.pop_event(q)
+    assert eventheap.peek_time(q) == 3.25
+    eventheap.pop_event(q)
+    assert eventheap.peek_time(q) == math.inf
+
+
+def test_engines_store_the_shared_layout():
+    """The sequential engine's live queue holds exactly these entries
+    (its inlined hot-path pushes are pinned to the same layout)."""
+    from repro.pdes.sequential import SequentialEngine
+    from repro.pdes.lp import LP
+
+    class Sink(LP):
+        def handle(self, event):
+            pass
+
+    eng = SequentialEngine()
+    lp = Sink()
+    eng.register(lp)
+    eng.schedule_at(0.25, lp.lp_id, "tick")
+    eng.schedule_at(0.75, lp.lp_id, "tick")
+    assert eng.peek_time() == 0.25
+    for ent in eng._queue:
+        ev = ent[3]
+        assert ent == eventheap.entry(ev)

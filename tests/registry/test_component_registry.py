@@ -255,11 +255,14 @@ def test_engine_registry_roster():
     from repro.registry import available_engines, engine_registry
 
     assert available_engines() == ("sequential", "conservative",
-                                   "mp-conservative", "timewarp")
+                                   "mp-conservative", "timewarp",
+                                   "accel-sequential", "accel-conservative")
     assert engine_registry.canonical("seq") == "sequential"
     assert engine_registry.canonical("yawns") == "conservative"
     assert engine_registry.canonical("mp") == "mp-conservative"
     assert engine_registry.canonical("tw") == "timewarp"
+    assert engine_registry.canonical("fast") == "accel-sequential"
+    assert engine_registry.canonical("fast-yawns") == "accel-conservative"
     spec = engine_registry.get("conservative")
     assert spec.partitioned
     assert spec.param_names() == ("partitions", "lookahead")
@@ -269,6 +272,12 @@ def test_engine_registry_roster():
     tw = engine_registry.get("timewarp")
     assert not tw.partitioned
     assert tw.param_names() == ("gvt_interval",)
+    acc = engine_registry.get("accel-sequential")
+    assert not acc.partitioned
+    assert acc.param_names() == ("backend",)
+    acc_con = engine_registry.get("accel-conservative")
+    assert acc_con.partitioned
+    assert acc_con.param_names() == ("partitions", "lookahead", "backend")
 
 
 def test_build_engine_dispatches_and_validates():

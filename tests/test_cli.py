@@ -434,3 +434,86 @@ def test_serve_rejects_bad_flag_values(capsys, tmp_path):
     assert main(["serve", "--state", str(tmp_path / "st2"),
                  "--workers", "0"]) == 2
     assert "workers" in capsys.readouterr().err
+
+
+# -- bench / --profile -------------------------------------------------------
+
+def _tiny_benches(monkeypatch):
+    """Shrink the bench roster to one instant fake so the CLI plumbing
+    (roster handling, output shape, --json) is tested without paying
+    for a real measurement."""
+    import time
+
+    from benchmarks import throughput
+
+    def fake():
+        time.sleep(0.01)
+        return 1000
+
+    monkeypatch.setattr(throughput, "BENCHES", {"network_throughput": fake})
+    monkeypatch.setattr(throughput, "REFERENCE_EVENTS",
+                        {"network_throughput": 500})
+
+
+def test_bench_list(capsys):
+    assert main(["bench", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("network_throughput", "network_storm_accel",
+                 "phold_sequential", "phold_accel"):
+        assert name in out
+
+
+def test_bench_runs_and_writes_json(capsys, tmp_path, monkeypatch):
+    import json
+    _tiny_benches(monkeypatch)
+    out_json = tmp_path / "bench.json"
+    assert main(["bench", "--repeat", "1", "--json", str(out_json)]) == 0
+    out = capsys.readouterr().out
+    assert "network_throughput" in out and "ref-ev/s" in out
+    doc = json.loads(out_json.read_text())
+    r = doc["benches"]["network_throughput"]
+    assert r["events"] == 1000
+    # Normalized to the reference count, not the raw one: half the
+    # committed events, half the rate.
+    assert r["ref_events_per_sec"] == pytest.approx(
+        r["events_per_sec"] / 2, rel=1e-3)
+
+
+def test_bench_unknown_name_is_a_clean_error(capsys, monkeypatch):
+    _tiny_benches(monkeypatch)
+    assert main(["bench", "--only", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown bench" in err and "network_throughput" in err
+
+
+def test_bench_engine_substitution(capsys, monkeypatch):
+    """--engine re-runs the parameterizable benches on a registry
+    engine; the python backend keeps this host-independent."""
+    from benchmarks import throughput
+
+    seen = []
+
+    def fake_storm(telemetry=None, engine=None):
+        seen.append(engine)
+        return 42
+
+    monkeypatch.setattr(throughput, "run_network_throughput", fake_storm)
+    assert main(["bench", "--engine", "accel-sequential",
+                 "--only", "network_throughput", "--repeat", "1"]) == 0
+    (eng,) = seen
+    assert eng.backend in ("compiled", "python")
+    assert "network_throughput" in capsys.readouterr().out
+
+
+def test_profile_flag_writes_pstats(capsys, scenario_file, tmp_path):
+    import pstats
+    prof = tmp_path / "run.pstats"
+    assert main(["scenario", str(scenario_file),
+                 "--profile", str(prof)]) == 0
+    assert f"wrote profile to {prof}" in capsys.readouterr().err
+    stats = pstats.Stats(str(prof))
+    calls = {f"{path.rsplit('/', 1)[-1]}:{name}"
+             for (path, _line, name) in stats.stats}
+    # The simulation core is in the profile, not just CLI plumbing.
+    assert any(name == "run_scenario" for (_p, _l, name) in stats.stats)
+    assert calls
